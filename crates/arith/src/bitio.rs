@@ -1,0 +1,163 @@
+//! Plain MSB-first bit I/O.
+//!
+//! Used by container headers and by tests. JPEG's entropy-coded segment
+//! needs its own bit I/O with `0xFF` stuffing and restart-marker
+//! alignment, which lives in `lepton-jpeg`; Deflate is LSB-first and owns
+//! its bit I/O in `lepton-deflate`. This module is the shared, simple
+//! case.
+
+/// MSB-first bit writer over a growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bits accumulated into the current partial byte (MSB side first).
+    acc: u8,
+    /// Number of valid bits in `acc` (0..8).
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// New, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | bit as u8;
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.out.push(self.acc);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Append the low `n` bits of `v`, most-significant bit first.
+    pub fn put_bits(&mut self, v: u32, n: u32) {
+        debug_assert!(n <= 32);
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Pad to a byte boundary with `pad_bit` and return the buffer.
+    pub fn finish(mut self, pad_bit: bool) -> Vec<u8> {
+        while self.nbits != 0 {
+            self.put_bit(pad_bit);
+        }
+        self.out
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit position from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// New reader positioned at the first bit of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Read one bit; `None` at end of input.
+    #[inline]
+    pub fn get_bit(&mut self) -> Option<bool> {
+        let byte = self.data.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `n` bits MSB-first; `None` if input is exhausted first.
+    pub fn get_bits(&mut self, n: u32) -> Option<u32> {
+        debug_assert!(n <= 32);
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.get_bit()? as u32;
+        }
+        Some(v)
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining in the input.
+    pub fn remaining(&self) -> usize {
+        (self.data.len() * 8).saturating_sub(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        let bits = [true, false, false, true, true, true, false, true, true, false];
+        for &b in &bits {
+            w.put_bit(b);
+        }
+        let bytes = w.finish(false);
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            assert_eq!(r.get_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multibit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xFF00, 16);
+        w.put_bits(1, 1);
+        let bytes = w.finish(true);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3), Some(0b101));
+        assert_eq!(r.get_bits(16), Some(0xFF00));
+        assert_eq!(r.get_bits(1), Some(1));
+        // Padding was 1s.
+        assert_eq!(r.get_bits(4), Some(0b1111));
+    }
+
+    #[test]
+    fn reader_stops_at_end() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.get_bits(8), Some(0xAB));
+        assert_eq!(r.get_bit(), None);
+        assert_eq!(r.get_bits(1), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.put_bits(0, 8);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn pad_bit_zero() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        let bytes = w.finish(false);
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Adaptive statistic bins ("branches").
+//!
+//! A [`Branch`] is one entry of Lepton's probability model: it counts the
+//! zeroes and ones observed in a particular context and converts those
+//! counts into the probability fed to the range coder. The paper (§3.2)
+//! describes 721,564 such bins, "each initialized to a 50-50 probability
+//! of zeros vs. ones" and adapted independently as the file is coded.
+
+/// One adaptive statistic bin.
+///
+/// Counts saturate at 255 and are renormalized by halving (keeping each
+/// count at least 1), which gives recent history more weight — the same
+/// scheme the production Lepton `Branch` uses. The derived probability is
+/// 16-bit fixed point: `P(bit == false) ≈ prob_false() / 65536`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Branch {
+    /// `counts[0]` tracks `false` bits, `counts[1]` tracks `true` bits.
+    counts: [u8; 2],
+}
+
+impl Default for Branch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Branch {
+    /// A fresh bin with a 50-50 prior (one observation of each symbol).
+    #[inline]
+    pub const fn new() -> Self {
+        Branch { counts: [1, 1] }
+    }
+
+    /// Probability that the next bit is `false`, in 16-bit fixed point,
+    /// clamped to `1..=65535` so neither symbol ever becomes impossible.
+    #[inline]
+    pub fn prob_false(&self) -> u16 {
+        let c0 = self.counts[0] as u32;
+        let c1 = self.counts[1] as u32;
+        // Rounded division; counts are >= 1 so the denominator is >= 2.
+        let p = (c0 * 65536 + (c0 + c1) / 2) / (c0 + c1);
+        p.clamp(1, 65535) as u16
+    }
+
+    /// Record an observed bit and adapt the probability.
+    #[inline]
+    pub fn record(&mut self, bit: bool) {
+        let idx = bit as usize;
+        if self.counts[idx] == 255 {
+            // Saturated: halve both counts (rounding up, so each stays >= 1)
+            // to keep adapting while preserving the learned skew.
+            self.counts[0] = (self.counts[0] >> 1) | 1;
+            self.counts[1] = (self.counts[1] >> 1) | 1;
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Raw `(false_count, true_count)` pair, for tests and debugging.
+    #[inline]
+    pub fn counts(&self) -> (u8, u8) {
+        (self.counts[0], self.counts[1])
+    }
+
+    /// True if this bin has never been updated.
+    #[inline]
+    pub fn is_fresh(&self) -> bool {
+        self.counts == [1, 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_branch_is_even() {
+        let b = Branch::new();
+        let p = b.prob_false();
+        assert!((32700..=32800).contains(&p), "p = {p}");
+        assert!(b.is_fresh());
+    }
+
+    #[test]
+    fn skews_toward_observations() {
+        let mut b = Branch::new();
+        for _ in 0..100 {
+            b.record(false);
+        }
+        assert!(b.prob_false() > 60000, "p = {}", b.prob_false());
+        let mut b = Branch::new();
+        for _ in 0..100 {
+            b.record(true);
+        }
+        assert!(b.prob_false() < 5000, "p = {}", b.prob_false());
+    }
+
+    #[test]
+    fn counts_saturate_by_halving() {
+        let mut b = Branch::new();
+        for _ in 0..10_000 {
+            b.record(true);
+        }
+        let (c0, c1) = b.counts();
+        assert!(c1 >= 128, "true count stays near saturation: {c1}");
+        assert!(c0 >= 1, "false count never reaches zero: {c0}");
+        // Still strongly skewed after many renormalizations.
+        assert!(b.prob_false() < 2000);
+    }
+
+    #[test]
+    fn probability_never_zero_or_one() {
+        let mut b = Branch::new();
+        for _ in 0..100_000 {
+            b.record(true);
+        }
+        assert!(b.prob_false() >= 1);
+        let mut b = Branch::new();
+        for _ in 0..100_000 {
+            b.record(false);
+        }
+        assert!(b.prob_false() >= 60000, "skewed toward false");
+        assert!(b.prob_false() < u16::MAX, "never a certain prediction");
+    }
+
+    #[test]
+    fn adaptation_recovers_after_regime_change() {
+        let mut b = Branch::new();
+        for _ in 0..1000 {
+            b.record(false);
+        }
+        assert!(b.prob_false() > 60000);
+        for _ in 0..1000 {
+            b.record(true);
+        }
+        assert!(b.prob_false() < 32768, "renormalization lets it flip");
+    }
+}

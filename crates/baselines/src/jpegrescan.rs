@@ -1,0 +1,247 @@
+//! JPEGrescan-class baseline: optimal Huffman re-coding.
+//!
+//! jpegtran-style tools (§2) keep JPEG's Huffman entropy stage but
+//! replace the encoder-chosen (usually Annex K) tables with per-image
+//! optimal ones. Savings come only from table fit — typically 5–10% —
+//! and both directions stay cheap. Our container stores the original
+//! header verbatim, so decode re-encodes the scan with the *original*
+//! tables for a byte-exact round trip.
+
+use crate::codec::{decode_with_fallback, encode_with_fallback, Codec, CodecError, JpegCarrier};
+use lepton_jpeg::huffman::HuffTable;
+use lepton_jpeg::parser::ParsedJpeg;
+use lepton_jpeg::scan::{decode_scan, encode_scan_whole, EncodeParams};
+use lepton_jpeg::{CoefPlanes, ZIGZAG};
+
+/// The JPEGrescan-class codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JpegRescanCodec;
+
+/// Tally DC/AC symbol frequencies per table id across the scan.
+fn tally(
+    parsed: &ParsedJpeg,
+    planes: &CoefPlanes,
+    rst_limit: u32,
+) -> ([[u32; 256]; 4], [[u32; 256]; 4]) {
+    let mut dc = [[0u32; 256]; 4];
+    let mut ac = [[0u32; 256]; 4];
+    let frame = &parsed.frame;
+    let interval = parsed.restart_interval as u32;
+    let mut prev_dc = [0i16; 4];
+    let mut rst = 0u32;
+    for mcu in 0..frame.mcu_count() as u32 {
+        if interval > 0 && mcu > 0 && mcu % interval == 0 && rst < rst_limit {
+            prev_dc = [0; 4];
+            rst += 1;
+        }
+        let (mx, my) = (
+            (mcu as usize) % frame.mcus_x,
+            (mcu as usize) / frame.mcus_x,
+        );
+        for sc in &parsed.scan.components {
+            let comp = &frame.components[sc.comp_index];
+            for by in 0..comp.v as usize {
+                for bx in 0..comp.h as usize {
+                    let block = planes.planes[sc.comp_index]
+                        .block(mx * comp.h as usize + bx, my * comp.v as usize + by);
+                    let diff = block[0] as i32 - prev_dc[sc.comp_index] as i32;
+                    prev_dc[sc.comp_index] = block[0];
+                    let s = (32 - diff.unsigned_abs().leading_zeros()) as usize;
+                    dc[sc.dc_table as usize][s] += 1;
+                    let mut run = 0usize;
+                    for k in 1..=63usize {
+                        let v = block[ZIGZAG[k]] as i32;
+                        if v == 0 {
+                            run += 1;
+                            continue;
+                        }
+                        while run > 15 {
+                            ac[sc.ac_table as usize][0xF0] += 1;
+                            run -= 16;
+                        }
+                        let s = (32 - v.unsigned_abs().leading_zeros()) as usize;
+                        ac[sc.ac_table as usize][(run << 4) | s] += 1;
+                        run = 0;
+                    }
+                    if run > 0 {
+                        ac[sc.ac_table as usize][0x00] += 1;
+                    }
+                }
+            }
+        }
+    }
+    (dc, ac)
+}
+
+/// Swap in optimal tables for every table id the scan references.
+fn optimized_tables(parsed: &ParsedJpeg, planes: &CoefPlanes, rst_limit: u32) -> Option<ParsedJpeg> {
+    let (dc_freq, ac_freq) = tally(parsed, planes, rst_limit);
+    let mut out = parsed.clone();
+    for sc in &parsed.scan.components {
+        let d = sc.dc_table as usize;
+        let a = sc.ac_table as usize;
+        if out.dc_tables[d].is_some() && dc_freq[d].iter().any(|&f| f > 0) {
+            out.dc_tables[d] = Some(HuffTable::optimal(&dc_freq[d]).ok()?);
+        }
+        if out.ac_tables[a].is_some() && ac_freq[a].iter().any(|&f| f > 0) {
+            out.ac_tables[a] = Some(HuffTable::optimal(&ac_freq[a]).ok()?);
+        }
+    }
+    Some(out)
+}
+
+/// Serialized optimal tables (so decode can rebuild them): per scan-used
+/// table id: class byte, id byte, DHT fragment length, fragment.
+fn serialize_tables(parsed: &ParsedJpeg) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut seen_dc = [false; 4];
+    let mut seen_ac = [false; 4];
+    for sc in &parsed.scan.components {
+        let d = sc.dc_table as usize;
+        if !seen_dc[d] {
+            seen_dc[d] = true;
+            let frag = parsed.dc_tables[d].as_ref().expect("present").to_dht_fragment();
+            out.push(0x00 | d as u8);
+            out.extend_from_slice(&(frag.len() as u16).to_le_bytes());
+            out.extend_from_slice(&frag);
+        }
+        let a = sc.ac_table as usize;
+        if !seen_ac[a] {
+            seen_ac[a] = true;
+            let frag = parsed.ac_tables[a].as_ref().expect("present").to_dht_fragment();
+            out.push(0x10 | a as u8);
+            out.extend_from_slice(&(frag.len() as u16).to_le_bytes());
+            out.extend_from_slice(&frag);
+        }
+    }
+    out.push(0xFF);
+    out
+}
+
+fn parse_tables(data: &[u8], into: &mut ParsedJpeg) -> Result<usize, CodecError> {
+    let mut pos = 0usize;
+    loop {
+        let tag = *data.get(pos).ok_or(CodecError::Corrupt)?;
+        pos += 1;
+        if tag == 0xFF {
+            return Ok(pos);
+        }
+        let (class, id) = (tag >> 4, (tag & 0x0F) as usize);
+        if class > 1 || id > 3 || pos + 2 > data.len() {
+            return Err(CodecError::Corrupt);
+        }
+        let len = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        if pos + len > data.len() || len < 16 {
+            return Err(CodecError::Corrupt);
+        }
+        let mut bits = [0u8; 17];
+        bits[1..17].copy_from_slice(&data[pos..pos + 16]);
+        let values = data[pos + 16..pos + len].to_vec();
+        let table = HuffTable::new(bits, values).map_err(|_| CodecError::Corrupt)?;
+        if class == 0 {
+            into.dc_tables[id] = Some(table);
+        } else {
+            into.ac_tables[id] = Some(table);
+        }
+        pos += len;
+    }
+}
+
+impl Codec for JpegRescanCodec {
+    fn name(&self) -> &'static str {
+        "JPEGrescan-like"
+    }
+
+    fn format_aware(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(encode_with_fallback(data, || {
+            let parsed = lepton_jpeg::parse(data).ok()?;
+            let (sd, _) = decode_scan(data, &parsed, &[]).ok()?;
+            let optimized = optimized_tables(&parsed, &sd.coefs, sd.rst_count)?;
+            let params = EncodeParams {
+                pad_bit: sd.pad.bit_or_default(),
+                rst_limit: sd.rst_count,
+            };
+            let new_scan = encode_scan_whole(&sd.coefs, &optimized, &params).ok()?;
+            let mut payload = serialize_tables(&optimized);
+            payload.extend(new_scan);
+            Some(
+                JpegCarrier {
+                    header: data[..parsed.header_len].to_vec(),
+                    pad_bit: params.pad_bit as u8,
+                    rst_count: sd.rst_count,
+                    append: data[sd.scan_end..].to_vec(),
+                    payload,
+                }
+                .serialize(),
+            )
+        }))
+    }
+
+    fn decode(&self, data: &[u8], size_hint: usize) -> Result<Vec<u8>, CodecError> {
+        decode_with_fallback(data, size_hint, |payload| {
+            let carrier = JpegCarrier::parse(payload)?;
+            let parsed = lepton_jpeg::parse(&carrier.header).map_err(|_| CodecError::Corrupt)?;
+            let mut optimized = parsed.clone();
+            let consumed = parse_tables(&carrier.payload, &mut optimized)?;
+            // Decode the optimized-table scan…
+            let scan = &carrier.payload[consumed..];
+            let mut reread = optimized.clone();
+            reread.header_len = 0;
+            let (sd, _) = decode_scan(scan, &reread, &[]).map_err(|_| CodecError::Corrupt)?;
+            // …and re-encode with the original tables.
+            let params = EncodeParams {
+                pad_bit: carrier.pad_bit != 0,
+                rst_limit: carrier.rst_count,
+            };
+            let orig_scan =
+                encode_scan_whole(&sd.coefs, &parsed, &params).map_err(|_| CodecError::Corrupt)?;
+            let mut out = carrier.header;
+            out.extend(orig_scan);
+            out.extend_from_slice(&carrier.append);
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+
+    #[test]
+    fn roundtrip_and_savings() {
+        let spec = CorpusSpec {
+            min_dim: 96,
+            max_dim: 256,
+            ..Default::default()
+        };
+        let c = JpegRescanCodec;
+        let mut total_in = 0usize;
+        let mut total_out = 0usize;
+        for seed in 0..6u64 {
+            let jpg = clean_jpeg(&spec, seed);
+            let e = c.encode(&jpg).unwrap();
+            assert_eq!(c.decode(&e, jpg.len()).unwrap(), jpg, "seed {seed}");
+            total_in += jpg.len();
+            total_out += e.len();
+        }
+        let savings = 1.0 - total_out as f64 / total_in as f64;
+        // The class achieves mid-single-digit savings; must at least not
+        // expand and should beat 2%.
+        assert!(savings > 0.02, "savings {savings}");
+        assert!(savings < 0.25, "suspiciously high {savings}");
+    }
+
+    #[test]
+    fn non_jpeg_falls_back() {
+        let c = JpegRescanCodec;
+        let data = b"plainly not a jpeg".repeat(10);
+        let e = c.encode(&data).unwrap();
+        assert_eq!(c.decode(&e, data.len()).unwrap(), data);
+    }
+}

@@ -1,0 +1,345 @@
+//! MozJPEG-arithmetic-class baseline: spec-style arithmetic coding.
+//!
+//! The JPEG specification's arithmetic extension uses ~300 statistic
+//! bins (paper §3.2) with contexts limited to the previous DC difference
+//! and per-band state — no spatial neighbor modeling. This codec
+//! reproduces that class: same Exp-Golomb binarization machinery as
+//! Lepton, but a deliberately small bin space. The ratio gap between
+//! this codec and Lepton isolates the value of Lepton's 721k-bin
+//! neighbor-indexed model.
+
+use crate::codec::{decode_with_fallback, encode_with_fallback, Codec, CodecError, JpegCarrier};
+use lepton_arith::{BoolDecoder, BoolEncoder, Branch, SliceSource};
+use lepton_jpeg::scan::{decode_scan, encode_scan_whole, EncodeParams};
+use lepton_jpeg::{CoefPlanes, ZIGZAG};
+
+/// The ~300-bin arithmetic JPEG codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MozArithCodec;
+
+/// Zigzag position → coarse band (4 bands — the spec conditions AC
+/// statistics only on a coarse low/high split; we are slightly more
+/// generous).
+fn band(k: usize) -> usize {
+    match k {
+        0 => 0,
+        1..=5 => 1,
+        6..=20 => 2,
+        _ => 3,
+    }
+}
+const NBANDS: usize = 4;
+
+/// Small-model state: ≈ (5 DC ctx × 13 + 13) + 8 bands × (eob + exp 11 +
+/// sign + resid) ≈ 300 bins, matching the spec's order of magnitude.
+struct SmallModel {
+    dc_exp: Vec<Branch>,   // [5 prev-diff ctx][13]
+    dc_sign: Vec<Branch>,  // [5]
+    dc_resid: Vec<Branch>, // [13]
+    eob: Vec<Branch>,  // [NBANDS]
+    exp: Vec<Branch>,  // [NBANDS][11]
+    sign: Branch,      // shared: the spec codes AC signs near 50-50
+}
+
+impl SmallModel {
+    fn new() -> Self {
+        SmallModel {
+            dc_exp: vec![Branch::new(); 5 * 13],
+            dc_sign: vec![Branch::new(); 5],
+            dc_resid: vec![Branch::new(); 13],
+            eob: vec![Branch::new(); NBANDS],
+            exp: vec![Branch::new(); NBANDS * 11],
+            sign: Branch::new(),
+        }
+    }
+
+    fn bin_count(&self) -> usize {
+        self.dc_exp.len()
+            + self.dc_sign.len()
+            + self.dc_resid.len()
+            + self.eob.len()
+            + self.exp.len()
+            + 1
+    }
+}
+
+fn dc_ctx(prev_diff: i32) -> usize {
+    // The spec conditions DC on the previous difference's class:
+    // zero / small± / large±.
+    match prev_diff {
+        0 => 0,
+        1..=2 => 1,
+        -2..=-1 => 2,
+        3..=i32::MAX => 3,
+        _ => 4,
+    }
+}
+
+fn encode_value(
+    enc: &mut BoolEncoder,
+    v: i32,
+    max_exp: usize,
+    exp: &mut [Branch],
+    sign: &mut Branch,
+    resid: Option<&mut [Branch]>,
+) {
+    let mag = v.unsigned_abs();
+    let n = (32 - mag.leading_zeros()) as usize;
+    for i in 0..max_exp {
+        let more = n > i;
+        enc.put(more, &mut exp[i]);
+        if !more {
+            break;
+        }
+    }
+    if n == 0 {
+        return;
+    }
+    enc.put(v < 0, sign);
+    match resid {
+        Some(bins) => {
+            for j in (0..n - 1).rev() {
+                enc.put((mag >> j) & 1 == 1, &mut bins[j]);
+            }
+        }
+        None => {
+            // Spec-class: residual magnitude bits carry no context.
+            for j in (0..n - 1).rev() {
+                enc.put_uniform((mag >> j) & 1 == 1);
+            }
+        }
+    }
+}
+
+fn decode_value<S: lepton_arith::ByteSource>(
+    dec: &mut BoolDecoder<S>,
+    max_exp: usize,
+    exp: &mut [Branch],
+    sign: &mut Branch,
+    resid: Option<&mut [Branch]>,
+) -> i32 {
+    let mut n = 0usize;
+    for i in 0..max_exp {
+        if dec.get(&mut exp[i]) {
+            n = i + 1;
+        } else {
+            break;
+        }
+    }
+    if n == 0 {
+        return 0;
+    }
+    let neg = dec.get(sign);
+    let mut mag = 1u32 << (n - 1);
+    match resid {
+        Some(bins) => {
+            for j in (0..n - 1).rev() {
+                if dec.get(&mut bins[j]) {
+                    mag |= 1 << j;
+                }
+            }
+        }
+        None => {
+            for j in (0..n - 1).rev() {
+                if dec.get_uniform() {
+                    mag |= 1 << j;
+                }
+            }
+        }
+    }
+    if neg {
+        -(mag as i32)
+    } else {
+        mag as i32
+    }
+}
+
+fn encode_planes(parsed: &lepton_jpeg::ParsedJpeg, planes: &CoefPlanes) -> Vec<u8> {
+    let mut enc = BoolEncoder::new();
+    let mut models: Vec<SmallModel> = (0..2).map(|_| SmallModel::new()).collect();
+    debug_assert!(models[0].bin_count() < 400);
+    let frame = &parsed.frame;
+    for (ci, plane) in planes.planes.iter().enumerate() {
+        let class = usize::from(ci != 0);
+        let m = &mut models[class];
+        let mut prev_dc = 0i32;
+        let mut prev_diff = 0i32;
+        let _ = frame;
+        for by in 0..plane.blocks_h {
+            for bx in 0..plane.blocks_w {
+                let block = plane.block(bx, by);
+                let diff = block[0] as i32 - prev_dc;
+                prev_dc = block[0] as i32;
+                let ctx = dc_ctx(prev_diff);
+                prev_diff = diff;
+                encode_value(
+                    &mut enc,
+                    diff,
+                    13,
+                    &mut m.dc_exp[ctx * 13..(ctx + 1) * 13],
+                    &mut m.dc_sign[ctx],
+                    Some(&mut m.dc_resid),
+                );
+                // AC: per coefficient, EOB flag when the rest is zero.
+                let last_nz = (1..64).rev().find(|&k| block[ZIGZAG[k]] != 0).unwrap_or(0);
+                for k in 1..=last_nz {
+                    let b = band(k);
+                    enc.put(false, &mut m.eob[b]); // not end-of-block yet
+                    let v = block[ZIGZAG[k]] as i32;
+                    encode_value(
+                        &mut enc,
+                        v,
+                        11,
+                        &mut m.exp[b * 11..(b + 1) * 11],
+                        &mut m.sign,
+                        None,
+                    );
+                }
+                if last_nz < 63 {
+                    enc.put(true, &mut m.eob[band(last_nz + 1)]);
+                }
+            }
+        }
+    }
+    enc.finish()
+}
+
+fn decode_planes(
+    parsed: &lepton_jpeg::ParsedJpeg,
+    stream: &[u8],
+) -> Result<CoefPlanes, CodecError> {
+    let mut dec = BoolDecoder::new(SliceSource::new(stream));
+    let mut models: Vec<SmallModel> = (0..2).map(|_| SmallModel::new()).collect();
+    let mut planes = CoefPlanes::for_frame(&parsed.frame);
+    for ci in 0..planes.planes.len() {
+        let class = usize::from(ci != 0);
+        let m = &mut models[class];
+        let mut prev_dc = 0i32;
+        let mut prev_diff = 0i32;
+        let plane = &mut planes.planes[ci];
+        for by in 0..plane.blocks_h {
+            for bx in 0..plane.blocks_w {
+                let block = plane.block_mut(bx, by);
+                let ctx = dc_ctx(prev_diff);
+                let diff = decode_value(
+                    &mut dec,
+                    13,
+                    &mut m.dc_exp[ctx * 13..(ctx + 1) * 13],
+                    &mut m.dc_sign[ctx],
+                    Some(&mut m.dc_resid),
+                );
+                prev_diff = diff;
+                let dc = prev_dc + diff;
+                prev_dc = dc;
+                block[0] = dc.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                let mut k = 1usize;
+                while k < 64 {
+                    let b = band(k);
+                    if dec.get(&mut m.eob[b]) {
+                        break;
+                    }
+                    let v = decode_value(
+                        &mut dec,
+                        11,
+                        &mut m.exp[b * 11..(b + 1) * 11],
+                        &mut m.sign,
+                        None,
+                    );
+                    block[ZIGZAG[k]] = v.clamp(-2047, 2047) as i16;
+                    k += 1;
+                }
+            }
+        }
+    }
+    Ok(planes)
+}
+
+impl Codec for MozArithCodec {
+    fn name(&self) -> &'static str {
+        "MozJPEG-arith"
+    }
+
+    fn format_aware(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(encode_with_fallback(data, || {
+            let parsed = lepton_jpeg::parse(data).ok()?;
+            let (sd, _) = decode_scan(data, &parsed, &[]).ok()?;
+            let payload = encode_planes(&parsed, &sd.coefs);
+            Some(
+                JpegCarrier {
+                    header: data[..parsed.header_len].to_vec(),
+                    pad_bit: sd.pad.bit_or_default() as u8,
+                    rst_count: sd.rst_count,
+                    append: data[sd.scan_end..].to_vec(),
+                    payload,
+                }
+                .serialize(),
+            )
+        }))
+    }
+
+    fn decode(&self, data: &[u8], size_hint: usize) -> Result<Vec<u8>, CodecError> {
+        decode_with_fallback(data, size_hint, |payload| {
+            let carrier = JpegCarrier::parse(payload)?;
+            let parsed = lepton_jpeg::parse(&carrier.header).map_err(|_| CodecError::Corrupt)?;
+            let planes = decode_planes(&parsed, &carrier.payload)?;
+            let params = EncodeParams {
+                pad_bit: carrier.pad_bit != 0,
+                rst_limit: carrier.rst_count,
+            };
+            let scan =
+                encode_scan_whole(&planes, &parsed, &params).map_err(|_| CodecError::Corrupt)?;
+            let mut out = carrier.header;
+            out.extend(scan);
+            out.extend_from_slice(&carrier.append);
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+
+    #[test]
+    fn roundtrip_and_savings_between_rescan_and_lepton() {
+        let spec = CorpusSpec {
+            min_dim: 96,
+            max_dim: 256,
+            ..Default::default()
+        };
+        let c = MozArithCodec;
+        let mut tin = 0usize;
+        let mut tout = 0usize;
+        for seed in 0..6u64 {
+            let jpg = clean_jpeg(&spec, seed);
+            let e = c.encode(&jpg).unwrap();
+            assert_eq!(c.decode(&e, jpg.len()).unwrap(), jpg, "seed {seed}");
+            tin += jpg.len();
+            tout += e.len();
+        }
+        let savings = 1.0 - tout as f64 / tin as f64;
+        // Class target: clearly above JPEGrescan, clearly below Lepton.
+        // (Paper: 12%; our synthetic corpus favors adaptive coding, so
+        // the class lands higher — the ordering is what matters.)
+        assert!(savings > 0.05, "savings {savings}");
+        assert!(savings < 0.215, "savings {savings}");
+    }
+
+    #[test]
+    fn non_jpeg_falls_back() {
+        let c = MozArithCodec;
+        let data = vec![9u8; 400];
+        let e = c.encode(&data).unwrap();
+        assert_eq!(c.decode(&e, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn model_is_small() {
+        assert!(SmallModel::new().bin_count() <= 350);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benches for the speed axis of Figs. 1/2: Lepton encode and
+//! decode throughput at 1 and 8 thread segments, vs the Deflate
+//! fallback path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lepton_bench::bench_corpus;
+use lepton_core::{compress, decompress, CompressOptions, ThreadPolicy};
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let files = bench_corpus(3, 384, 0xBE9C);
+    let bytes: usize = files.iter().map(|f| f.len()).sum();
+
+    let mut g = c.benchmark_group("lepton");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    for threads in [1usize, 8] {
+        let opts = CompressOptions {
+            threads: ThreadPolicy::Fixed(threads),
+            verify: false,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("encode", threads), &threads, |b, _| {
+            b.iter(|| {
+                for f in &files {
+                    std::hint::black_box(compress(f, &opts).expect("enc"));
+                }
+            })
+        });
+        let encs: Vec<Vec<u8>> = files.iter().map(|f| compress(f, &opts).expect("enc")).collect();
+        g.bench_with_input(BenchmarkId::new("decode", threads), &threads, |b, _| {
+            b.iter(|| {
+                for e in &encs {
+                    std::hint::black_box(decompress(e).expect("dec"));
+                }
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("deflate_fallback");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("zlib_encode", |b| {
+        b.iter(|| {
+            for f in &files {
+                std::hint::black_box(lepton_deflate::zlib_compress(
+                    f,
+                    lepton_deflate::Level::Default,
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for the substrate layers: range coder, JPEG scan
+//! codec, model block coding — the per-stage costs behind Fig. 2.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lepton_arith::{BoolDecoder, BoolEncoder, Branch, SliceSource};
+use lepton_bench::bench_corpus;
+use lepton_jpeg::scan::{decode_scan, encode_scan_whole, EncodeParams};
+
+fn bench_range_coder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_coder");
+    g.sample_size(20);
+    let bits: Vec<bool> = (0..100_000).map(|i| (i * 2654435761u64) % 7 == 0).collect();
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("encode_100k_bits", |b| {
+        b.iter(|| {
+            let mut enc = BoolEncoder::new();
+            let mut bin = Branch::new();
+            for &bit in &bits {
+                enc.put(bit, &mut bin);
+            }
+            std::hint::black_box(enc.finish())
+        })
+    });
+    let mut enc = BoolEncoder::new();
+    let mut bin = Branch::new();
+    for &bit in &bits {
+        enc.put(bit, &mut bin);
+    }
+    let bytes = enc.finish();
+    g.bench_function("decode_100k_bits", |b| {
+        b.iter(|| {
+            let mut dec = BoolDecoder::new(SliceSource::new(&bytes));
+            let mut bin = Branch::new();
+            let mut acc = 0u32;
+            for _ in 0..bits.len() {
+                acc += dec.get(&mut bin) as u32;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_jpeg_scan(c: &mut Criterion) {
+    let files = bench_corpus(2, 384, 0x5CAB);
+    let mut g = c.benchmark_group("jpeg_scan");
+    g.sample_size(10);
+    let bytes: usize = files.iter().map(|f| f.len()).sum();
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("huffman_decode", |b| {
+        b.iter(|| {
+            for f in &files {
+                let parsed = lepton_jpeg::parse(f).expect("parse");
+                std::hint::black_box(decode_scan(f, &parsed, &[]).expect("scan"));
+            }
+        })
+    });
+    let prepped: Vec<_> = files
+        .iter()
+        .map(|f| {
+            let parsed = lepton_jpeg::parse(f).expect("parse");
+            let (sd, _) = decode_scan(f, &parsed, &[]).expect("scan");
+            (parsed, sd)
+        })
+        .collect();
+    g.bench_function("huffman_encode", |b| {
+        b.iter(|| {
+            for (parsed, sd) in &prepped {
+                let params = EncodeParams {
+                    pad_bit: sd.pad.bit_or_default(),
+                    rst_limit: sd.rst_count,
+                };
+                std::hint::black_box(encode_scan_whole(&sd.coefs, parsed, &params).expect("enc"));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_range_coder, bench_jpeg_scan);
+criterion_main!(benches);

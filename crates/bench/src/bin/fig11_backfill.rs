@@ -1,0 +1,36 @@
+//! Figure 11: backfill fleet power and conversion rate across an
+//! outage, plus the §5.6.1 economics.
+
+use lepton_bench::{bar, header};
+use lepton_cluster::backfill::{simulate_backfill, BackfillConfig, Economics};
+
+fn main() {
+    header("Figure 11", "datacenter power and conversions/s, with outage");
+    let cfg = BackfillConfig::default();
+    let samples = simulate_backfill(&cfg, 30.0, 20.0, 23.0);
+    println!("{:>6} {:>10} {:>12}", "hour", "power kW", "conv/s");
+    for s in samples.iter().step_by(4) {
+        println!(
+            "{:>6.1} {:>10.0} {:>12.0}  {}",
+            s.hour,
+            s.power_kw,
+            s.conversions_per_sec,
+            bar(s.power_kw, 300.0, 30)
+        );
+    }
+    let peak = samples.iter().map(|s| s.power_kw).fold(0.0, f64::max);
+    let during = samples
+        .iter()
+        .filter(|s| s.hour >= 20.5 && s.hour < 23.0)
+        .map(|s| s.power_kw)
+        .fold(0.0, f64::max);
+    println!("\npeak power {peak:.0} kW; during outage {during:.0} kW (paper: ~121 kW drop)");
+
+    let eco = Economics::from_config(&cfg);
+    println!("\n§5.6.1 economics:");
+    println!("  conversions per kWh:     {:>10.0} (paper: 72,300)", eco.conversions_per_kwh);
+    println!("  GiB saved per kWh:       {:>10.1} (paper: 24)", eco.gib_saved_per_kwh());
+    let (images, tib) = eco.per_machine_year(&cfg);
+    println!("  images per machine-year: {:>10.2e} (paper: 1.815e8)", images);
+    println!("  TiB saved per machine-yr:{:>10.1} (paper: 58.8)", tib);
+}

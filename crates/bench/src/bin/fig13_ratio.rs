@@ -1,0 +1,36 @@
+//! Figure 13: decode:encode ratio over the rollout, as the stored-
+//! Lepton fraction grows ("boiling the frog", §6.4).
+
+use lepton_bench::{bar, header};
+use lepton_cluster::workload::{WorkloadConfig, WorkloadPhase, DAY};
+use lepton_cluster::{ClusterConfig, ClusterSim};
+
+fn main() {
+    header("Figure 13", "decode:encode ratio across the rollout");
+    println!("{:>12} {:>16} {:>8}", "week", "stored fraction", "ratio");
+    for week in 0..10u32 {
+        // Stored-Lepton fraction grows as uploads accumulate.
+        let frac = (week as f64 / 9.0).powf(0.7).min(1.0);
+        let cfg = ClusterConfig {
+            horizon: DAY,
+            blockservers: 24,
+            workload: WorkloadConfig {
+                base_encode_rate: 10.0,
+                phase: WorkloadPhase::EarlyRollout,
+                lepton_stored_fraction: frac,
+            },
+            ..Default::default()
+        };
+        let r = ClusterSim::new(cfg).run();
+        let ratio = r.decode_encode_ratio();
+        println!(
+            "{:>12} {:>15.0}% {:>8.2}  {}",
+            week,
+            frac * 100.0,
+            ratio,
+            bar(ratio, 2.0, 30)
+        );
+    }
+    println!("\npaper shape: ratio starts near 0 (only new photos need Lepton");
+    println!("decodes) and climbs toward the steady-state 1.0-1.5 band.");
+}

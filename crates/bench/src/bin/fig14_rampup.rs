@@ -1,0 +1,34 @@
+//! Figure 14: decode latency percentiles over months of ramp-up,
+//! before the outsourcing system existed.
+
+use lepton_bench::header;
+use lepton_cluster::workload::{WorkloadConfig, WorkloadPhase, DAY};
+use lepton_cluster::{ClusterConfig, ClusterSim, OutsourcePolicy};
+
+fn main() {
+    header("Figure 14", "latency percentiles over ramp-up (no outsourcing)");
+    println!(
+        "{:>7} {:>8} {:>8} {:>8} {:>8}",
+        "month", "p50", "p75", "p95", "p99 (s)"
+    );
+    for month in 0..5u32 {
+        // Decode volume grows with the stored fraction; no outsourcing.
+        let frac = ((month as f64 + 0.5) / 4.0).min(1.0);
+        let cfg = ClusterConfig {
+            horizon: DAY,
+            blockservers: 20,
+            policy: OutsourcePolicy::None,
+            workload: WorkloadConfig {
+                base_encode_rate: 7.0 + 1.6 * month as f64,
+                phase: WorkloadPhase::EarlyRollout,
+                lepton_stored_fraction: frac,
+            },
+            ..Default::default()
+        };
+        let mut r = ClusterSim::new(cfg).run();
+        let (a, b, c, d) = r.latency.quad();
+        println!("{:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2}", month, a, b, c, d);
+    }
+    println!("\npaper shape: p99 grows into multi-second territory as decode demand");
+    println!("builds, while the median stays low — the pressure that motivated §5.5.");
+}

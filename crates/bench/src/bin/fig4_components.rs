@@ -1,0 +1,69 @@
+//! Figure 4 (table): compression ratio by JPEG file component
+//! (header / 7x7 AC / 7x1+1x7 edges / DC), mean ± stddev.
+
+use lepton_bench::{bench_corpus, bench_file_count, header};
+use lepton_core::{compress_with_stats, CompressOptions};
+
+fn main() {
+    header("Figure 4", "compression ratio by component (paper: 77.3% total)");
+    let files = bench_corpus(bench_file_count(24), 512, 0xF16_4);
+    let mut rows: Vec<[f64; 8]> = Vec::new(); // in/out per category + totals
+    for f in &files {
+        let Ok((_, s)) = compress_with_stats(f, &CompressOptions::default()) else {
+            continue;
+        };
+        let hdr_in = s.header_in as f64;
+        let hdr_out = s.header_out as f64;
+        let in77 = s.scan_in.ac77_bits as f64 / 8.0;
+        let in_edge = s.scan_in.edge_bits as f64 / 8.0;
+        let in_dc = s.scan_in.dc_bits as f64 / 8.0;
+        // Model nz structure bytes are part of the 7x7 story (they encode
+        // which interior coefficients exist).
+        let out77 = (s.scan_out.ac77 + s.scan_out.nz) as f64;
+        let out_edge = s.scan_out.edge as f64;
+        let out_dc = s.scan_out.dc as f64;
+        rows.push([hdr_in, hdr_out, in77, out77, in_edge, out_edge, in_dc, out_dc]);
+    }
+    let total_in: f64 = rows.iter().map(|r| r[0] + r[2] + r[4] + r[6]).sum();
+    let stats = |rows: &[[f64; 8]], i: usize, o: usize| -> (f64, f64, f64) {
+        let mut ratios: Vec<f64> = rows
+            .iter()
+            .filter(|r| r[i] > 0.0)
+            .map(|r| 100.0 * r[o] / r[i])
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        let sd = (ratios
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (ratios.len().max(2) - 1) as f64)
+            .sqrt();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let share: f64 = rows.iter().map(|r| r[i]).sum::<f64>() / total_in * 100.0;
+        (share, mean, sd)
+    };
+    println!(
+        "{:<10} {:>12} {:>18} {:>12}",
+        "category", "orig bytes", "ratio (out/in)", "paper ratio"
+    );
+    for (name, i, o, paper) in [
+        ("Header", 0usize, 1usize, "47.6%"),
+        ("7x7 AC", 2, 3, "80.2%"),
+        ("7x1/1x7", 4, 5, "78.7%"),
+        ("DC", 6, 7, "59.9%"),
+    ] {
+        let (share, mean, sd) = stats(&rows, i, o);
+        println!(
+            "{:<10} {:>10.1}%  {:>9.1}% ± {:>4.1}  {:>10}",
+            name, share, mean, sd, paper
+        );
+    }
+    let total_out: f64 = rows.iter().map(|r| r[1] + r[3] + r[5] + r[7]).sum();
+    println!(
+        "{:<10} {:>10.1}%  {:>9.1}%          {:>10}",
+        "Total",
+        100.0,
+        100.0 * total_out / total_in,
+        "77.3%"
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 7: decompression speed vs input size for 1/2/4/8 threads.
+
+use lepton_bench::{header, mbps, timed};
+use lepton_core::{compress, decompress, CompressOptions, ThreadPolicy};
+use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+
+fn main() {
+    header("Figure 7", "decode speed vs file size, by thread-segment count");
+    println!(
+        "{:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "size KB", "(files)", "1 thr", "2 thr", "4 thr", "8 thr"
+    );
+    for dim in [128usize, 256, 448, 640, 832] {
+        let spec = CorpusSpec {
+            min_dim: dim,
+            max_dim: dim + 32,
+            ..Default::default()
+        };
+        let files: Vec<Vec<u8>> = (0..4u64).map(|s| clean_jpeg(&spec, s + dim as u64)).collect();
+        let bytes: usize = files.iter().map(|f| f.len()).sum();
+        print!("{:>9} {:>9} |", bytes / 1024 / files.len(), files.len());
+        for threads in [1usize, 2, 4, 8] {
+            let opts = CompressOptions {
+                threads: ThreadPolicy::Fixed(threads),
+                verify: false,
+                ..Default::default()
+            };
+            let encs: Vec<Vec<u8>> = files.iter().map(|f| compress(f, &opts).expect("enc")).collect();
+            // Warm, then measure.
+            for e in &encs {
+                let _ = decompress(e).expect("dec");
+            }
+            let (_, secs) = timed(|| {
+                for e in &encs {
+                    let out = decompress(e).expect("dec");
+                    std::hint::black_box(out);
+                }
+            });
+            print!(" {:>7.0}Mb", mbps(bytes, secs));
+        }
+        println!();
+    }
+    println!("\npaper shape: more threads decode faster; small files gain less");
+    println!("(thread cutoffs by size are visible in production scatter).");
+}

@@ -1,0 +1,43 @@
+//! Figure 8: compression speed vs size by thread count — encode gains
+//! saturate because the JPEG Huffman decode stays serial (§5.4).
+
+use lepton_bench::{header, mbps, timed};
+use lepton_core::{compress, CompressOptions, ThreadPolicy};
+use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+
+fn main() {
+    header("Figure 8", "encode speed vs file size, by thread-segment count");
+    println!(
+        "{:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "size KB", "1 thr", "2 thr", "4 thr", "8 thr"
+    );
+    for dim in [128usize, 256, 448, 640] {
+        let spec = CorpusSpec {
+            min_dim: dim,
+            max_dim: dim + 32,
+            ..Default::default()
+        };
+        let files: Vec<Vec<u8>> = (0..3u64).map(|s| clean_jpeg(&spec, s + dim as u64)).collect();
+        let bytes: usize = files.iter().map(|f| f.len()).sum();
+        print!("{:>9} |", bytes / 1024 / files.len());
+        for threads in [1usize, 2, 4, 8] {
+            let opts = CompressOptions {
+                threads: ThreadPolicy::Fixed(threads),
+                verify: false,
+                ..Default::default()
+            };
+            for f in &files {
+                let _ = compress(f, &opts).expect("enc");
+            }
+            let (_, secs) = timed(|| {
+                for f in &files {
+                    std::hint::black_box(compress(f, &opts).expect("enc"));
+                }
+            });
+            print!(" {:>7.0}Mb", mbps(bytes, secs));
+        }
+        println!();
+    }
+    println!("\npaper shape: encode speedup flattens past 4 threads — the serial");
+    println!("JPEG Huffman decode becomes the bottleneck.");
+}

@@ -1,0 +1,80 @@
+//! §4.3 / App. A.2 ablations: what each modeling choice buys.
+//!
+//! Holds everything fixed except one knob: Lakhani vs averaged edges,
+//! gradient vs first-cut vs neighbor-average DC, zigzag vs raster order
+//! — plus the §6.1 bounds-check overhead note.
+
+use lepton_bench::{bench_corpus, bench_file_count, header, timed};
+use lepton_core::{compress_with_stats, CompressOptions, ThreadPolicy};
+use lepton_model::{DcMode, EdgeMode, ModelConfig};
+
+fn run(files: &[Vec<u8>], cfg: ModelConfig) -> (f64, f64, f64, f64) {
+    // Returns (edge ratio %, dc ratio %, total savings %, encode secs).
+    let mut edge_in = 0u64;
+    let mut edge_out = 0u64;
+    let mut dc_in = 0u64;
+    let mut dc_out = 0u64;
+    let mut tin = 0usize;
+    let mut tout = 0usize;
+    let opts = CompressOptions {
+        model: cfg,
+        threads: ThreadPolicy::Fixed(1),
+        verify: false,
+        ..Default::default()
+    };
+    let (_, secs) = timed(|| {
+        for f in files {
+            let (out, s) = compress_with_stats(f, &opts).expect("encode");
+            edge_in += s.scan_in.edge_bits / 8;
+            edge_out += s.scan_out.edge;
+            dc_in += s.scan_in.dc_bits / 8;
+            dc_out += s.scan_out.dc;
+            tin += f.len();
+            tout += out.len();
+        }
+    });
+    (
+        100.0 * edge_out as f64 / edge_in.max(1) as f64,
+        100.0 * dc_out as f64 / dc_in.max(1) as f64,
+        100.0 * (1.0 - tout as f64 / tin as f64),
+        secs,
+    )
+}
+
+fn main() {
+    header("§4.3 ablations", "edge prediction, DC prediction, scan order");
+    let files = bench_corpus(bench_file_count(16), 448, 0xAB1);
+
+    let base = ModelConfig::default();
+    println!("--- edge predictor (paper: Lakhani 78.7% vs averaged 82.5%) ---");
+    for (name, mode) in [("Lakhani", EdgeMode::Lakhani), ("Averaged", EdgeMode::Averaged)] {
+        let cfg = ModelConfig { edge_mode: mode, ..base };
+        let (edge, _, total, _) = run(&files, cfg);
+        println!("{name:<18} edge ratio {edge:>6.1}%   total savings {total:>5.1}%");
+    }
+
+    println!("--- DC predictor (paper: gradient 59.9% vs neighbor-avg 79.4%) ---");
+    for (name, mode) in [
+        ("Gradient", DcMode::Gradient),
+        ("First-cut", DcMode::FirstCut),
+        ("Neighbor avg", DcMode::NeighborAverage),
+    ] {
+        let cfg = ModelConfig { dc_mode: mode, ..base };
+        let (_, dc, total, _) = run(&files, cfg);
+        println!("{name:<18} DC ratio {dc:>6.1}%   total savings {total:>5.1}%");
+    }
+
+    println!("--- interior scan order (paper: zigzag buys 0.2%) ---");
+    for (name, order) in [
+        ("Zigzag", lepton_model::config::ScanOrder::Zigzag),
+        ("Raster", lepton_model::config::ScanOrder::Raster),
+    ] {
+        let cfg = ModelConfig { scan_order: order, ..base };
+        let (_, _, total, secs) = run(&files, cfg);
+        println!("{name:<18} total savings {total:>5.1}%   encode {secs:>5.2}s");
+    }
+
+    println!("\n§6.1 note: every bin access in this implementation goes through");
+    println!("per-axis bounds checks (BinGrid); the paper kept the equivalent");
+    println!("checks at a measured ~10% cost after the reversed-index incident.");
+}

@@ -1,0 +1,46 @@
+//! §7 (future work): what moving the codec into client software buys.
+//!
+//! "In the future, we intend to move the compression and decompression
+//! to client software, which will save 23% in network bandwidth when
+//! uploading or downloading JPEG images."
+
+use lepton_bench::header;
+use lepton_cluster::bandwidth::{Placement, PlacementModel};
+
+fn gib_per_day(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 86_400.0 / (1u64 << 30) as f64
+}
+
+fn main() {
+    header(
+        "Table §7",
+        "codec placement: wire bytes and conversion CPU, server-side vs client-side",
+    );
+    for (label, ratio) in [("weekend (1.0)", 1.0), ("weekday (1.5)", 1.5), ("peak (2.0)", 2.0)] {
+        let model = PlacementModel {
+            download_ratio: ratio,
+            ..Default::default()
+        };
+        let server = model.cost(Placement::ServerSide);
+        let client = model.cost(Placement::ClientSide);
+        println!("\ndecode:encode {label}");
+        println!(
+            "  {:<12} {:>14} {:>16} {:>16}",
+            "placement", "wire GiB/day", "backend conv/s", "client conv/s"
+        );
+        for (name, c) in [("server-side", server), ("client-side", client)] {
+            println!(
+                "  {:<12} {:>14.1} {:>16.0} {:>16.0}",
+                name,
+                gib_per_day(c.wire_bytes),
+                c.backend_conversions,
+                c.client_conversions
+            );
+        }
+        println!(
+            "  wire saving: {:.1}% (paper: ~23%); storage unchanged at {:.1} GiB/day",
+            100.0 * model.wire_saving(),
+            gib_per_day(server.stored_bytes)
+        );
+    }
+}

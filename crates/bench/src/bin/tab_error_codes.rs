@@ -1,0 +1,30 @@
+//! §6.2 table: exit-code distribution over a mixed corpus.
+
+use lepton_bench::{bench_file_count, header, mixed_corpus};
+use lepton_core::verify::{verify_roundtrip, Verdict};
+use lepton_core::{CompressOptions, ExitCode};
+use std::collections::BTreeMap;
+
+fn main() {
+    header("§6.2 table", "exit codes over the mixed corpus");
+    let corpus = mixed_corpus(bench_file_count(120), 0x6_2);
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for f in &corpus.files {
+        total += 1;
+        let label = match verify_roundtrip(&f.data, &CompressOptions::default()) {
+            Verdict::Verified { .. } => ExitCode::Success.label(),
+            Verdict::Rejected(code) => code.label(),
+            Verdict::Alarm(_) => ExitCode::RoundtripFailed.label(),
+        };
+        *counts.entry(label).or_default() += 1;
+    }
+    let mut rows: Vec<(&str, usize)> = counts.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("{:<26} {:>9} {:>9}", "exit code", "count", "share");
+    for (label, n) in rows {
+        println!("{:<26} {:>9} {:>8.3}%", label, n, 100.0 * n as f64 / total as f64);
+    }
+    println!("\npaper: Success 94.069%, Progressive 3.043%, Unsupported 1.535%,");
+    println!("Not an image 0.801%, 4-color CMYK 0.478%, long tail < 0.1%.");
+}

@@ -1,0 +1,374 @@
+//! Hand-rolled argument parsing for the `lepton` tool.
+//!
+//! Deliberately dependency-free: the production tool's interface was a
+//! couple of positional arguments and a socket mode, and keeping the
+//! parser in-tree lets us unit-test every usage error path.
+
+use std::path::PathBuf;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `lepton compress <in> [out]` — JPEG → Lepton container.
+    Compress {
+        /// Input path, `-` for stdin.
+        input: Input,
+        /// Output path, `-` for stdout; default derives from input.
+        output: Output,
+        /// `--threads N` (0 = auto).
+        threads: usize,
+        /// `--no-verify`: skip the round-trip admission check.
+        verify: bool,
+    },
+    /// `lepton decompress <in> [out]` — container → original JPEG.
+    Decompress {
+        /// Input path, `-` for stdin.
+        input: Input,
+        /// Output path, `-` for stdout; default derives from input.
+        output: Output,
+    },
+    /// `lepton verify <file...>` — round-trip check without writing.
+    Verify {
+        /// Files to verify.
+        files: Vec<PathBuf>,
+    },
+    /// `lepton qualify [--count N] [--seed S]` — the pre-deployment
+    /// qualification run (§5.7) over a synthetic corpus.
+    Qualify {
+        /// Corpus size.
+        count: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// `lepton serve (--uds PATH | --tcp ADDR) [--max-conns N]
+    /// [--threshold T] [--shutoff FILE]` — run the conversion service.
+    Serve {
+        /// `--uds PATH` listen endpoint.
+        uds: Option<PathBuf>,
+        /// `--tcp ADDR` listen endpoint.
+        tcp: Option<String>,
+        /// Maximum simultaneous connections.
+        max_conns: usize,
+        /// Advertised busy threshold.
+        threshold: u32,
+        /// Shutoff-switch file.
+        shutoff: Option<PathBuf>,
+    },
+    /// `lepton errorcodes` — print the §6.2 taxonomy and wire bytes.
+    ErrorCodes,
+    /// `lepton corpus --out DIR [--count N] [--seed S] [--dirty]` —
+    /// write a synthetic corpus to disk.
+    Corpus {
+        /// Output directory.
+        out: PathBuf,
+        /// File count.
+        count: usize,
+        /// Master seed.
+        seed: u64,
+        /// Include reject/corrupt populations (§6.2 mix).
+        dirty: bool,
+    },
+    /// `lepton --help`.
+    Help,
+    /// `lepton --version`.
+    Version,
+}
+
+/// An input source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Input {
+    /// Read the named file.
+    Path(PathBuf),
+    /// Read stdin to EOF.
+    Stdin,
+}
+
+/// An output sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Output {
+    /// Write the named file.
+    Path(PathBuf),
+    /// Write to stdout.
+    Stdout,
+    /// Derive from the input name (`x.jpg` → `x.lep`, `x.lep` → `x.jpg`).
+    Derived,
+}
+
+/// A usage error with the offending detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "usage error: {}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn parse_io(arg: &str) -> Input {
+    if arg == "-" {
+        Input::Stdin
+    } else {
+        Input::Path(PathBuf::from(arg))
+    }
+}
+
+fn parse_out(arg: &str) -> Output {
+    if arg == "-" {
+        Output::Stdout
+    } else {
+        Output::Path(PathBuf::from(arg))
+    }
+}
+
+fn want_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, UsageError> {
+    it.next()
+        .ok_or_else(|| UsageError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, UsageError> {
+    v.parse()
+        .map_err(|_| UsageError(format!("{flag}: bad value {v:?}")))
+}
+
+/// Parse a full argv (excluding argv[0]).
+pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
+    let mut it = args.iter().copied();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "--version" | "-V" | "version" => Ok(Command::Version),
+        "compress" => {
+            let mut input = None;
+            let mut output = Output::Derived;
+            let mut threads = 0usize;
+            let mut verify = true;
+            while let Some(a) = it.next() {
+                match a {
+                    "--threads" => threads = parse_num(a, want_value(a, &mut it)?)?,
+                    "--no-verify" => verify = false,
+                    _ if a.starts_with("--") => {
+                        return Err(UsageError(format!("unknown flag {a}")))
+                    }
+                    _ if input.is_none() => input = Some(parse_io(a)),
+                    _ => output = parse_out(a),
+                }
+            }
+            let input = input.ok_or_else(|| UsageError("compress needs an input".into()))?;
+            Ok(Command::Compress {
+                input,
+                output,
+                threads,
+                verify,
+            })
+        }
+        "decompress" => {
+            let mut input = None;
+            let mut output = Output::Derived;
+            for a in it {
+                if a.starts_with("--") {
+                    return Err(UsageError(format!("unknown flag {a}")));
+                } else if input.is_none() {
+                    input = Some(parse_io(a));
+                } else {
+                    output = parse_out(a);
+                }
+            }
+            let input = input.ok_or_else(|| UsageError("decompress needs an input".into()))?;
+            Ok(Command::Decompress { input, output })
+        }
+        "verify" => {
+            let files: Vec<PathBuf> = it.map(PathBuf::from).collect();
+            if files.is_empty() {
+                return Err(UsageError("verify needs at least one file".into()));
+            }
+            Ok(Command::Verify { files })
+        }
+        "qualify" => {
+            let mut count = 200usize;
+            let mut seed = 0x1EAF_5EEDu64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--count" => count = parse_num(a, want_value(a, &mut it)?)?,
+                    "--seed" => seed = parse_num(a, want_value(a, &mut it)?)?,
+                    _ => return Err(UsageError(format!("unknown flag {a}"))),
+                }
+            }
+            Ok(Command::Qualify { count, seed })
+        }
+        "serve" => {
+            let mut uds = None;
+            let mut tcp = None;
+            let mut max_conns = 64usize;
+            let mut threshold = 3u32;
+            let mut shutoff = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--uds" => uds = Some(PathBuf::from(want_value(a, &mut it)?)),
+                    "--tcp" => tcp = Some(want_value(a, &mut it)?.to_string()),
+                    "--max-conns" => max_conns = parse_num(a, want_value(a, &mut it)?)?,
+                    "--threshold" => threshold = parse_num(a, want_value(a, &mut it)?)?,
+                    "--shutoff" => shutoff = Some(PathBuf::from(want_value(a, &mut it)?)),
+                    _ => return Err(UsageError(format!("unknown flag {a}"))),
+                }
+            }
+            if uds.is_none() == tcp.is_none() {
+                return Err(UsageError("serve needs exactly one of --uds / --tcp".into()));
+            }
+            Ok(Command::Serve {
+                uds,
+                tcp,
+                max_conns,
+                threshold,
+                shutoff,
+            })
+        }
+        "errorcodes" => Ok(Command::ErrorCodes),
+        "corpus" => {
+            let mut out = None;
+            let mut count = 50usize;
+            let mut seed = 0x1EAF_5EEDu64;
+            let mut dirty = false;
+            while let Some(a) = it.next() {
+                match a {
+                    "--out" => out = Some(PathBuf::from(want_value(a, &mut it)?)),
+                    "--count" => count = parse_num(a, want_value(a, &mut it)?)?,
+                    "--seed" => seed = parse_num(a, want_value(a, &mut it)?)?,
+                    "--dirty" => dirty = true,
+                    _ => return Err(UsageError(format!("unknown flag {a}"))),
+                }
+            }
+            let out = out.ok_or_else(|| UsageError("corpus needs --out DIR".into()))?;
+            Ok(Command::Corpus {
+                out,
+                count,
+                seed,
+                dirty,
+            })
+        }
+        other => Err(UsageError(format!("unknown command {other:?}"))),
+    }
+}
+
+/// The `--help` text.
+pub const HELP: &str = "\
+lepton — transparent, lossless JPEG recompression (NSDI '17 reproduction)
+
+USAGE:
+  lepton compress   <in.jpg|-> [out.lep|-] [--threads N] [--no-verify]
+  lepton decompress <in.lep|-> [out.jpg|-]
+  lepton verify     <file...>
+  lepton qualify    [--count N] [--seed S]
+  lepton serve      (--uds PATH | --tcp ADDR) [--max-conns N]
+                    [--threshold T] [--shutoff FILE]
+  lepton corpus     --out DIR [--count N] [--seed S] [--dirty]
+  lepton errorcodes
+  lepton help | version
+
+EXIT CODES:
+  0 success; 1 usage/IO error; 16+ the production exit-code taxonomy
+  (run `lepton errorcodes` for the table).
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_compress_with_flags() {
+        let c = parse(&["compress", "a.jpg", "b.lep", "--threads", "4"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Compress {
+                input: Input::Path("a.jpg".into()),
+                output: Output::Path("b.lep".into()),
+                threads: 4,
+                verify: true,
+            }
+        );
+    }
+
+    #[test]
+    fn stdin_stdout_spelled_as_dash() {
+        let c = parse(&["compress", "-", "-"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Compress {
+                input: Input::Stdin,
+                output: Output::Stdout,
+                threads: 0,
+                verify: true,
+            }
+        );
+    }
+
+    #[test]
+    fn no_verify_flag() {
+        let Command::Compress { verify, .. } = parse(&["compress", "x", "--no-verify"]).unwrap()
+        else {
+            panic!()
+        };
+        assert!(!verify);
+    }
+
+    #[test]
+    fn derived_output_is_default() {
+        let Command::Decompress { output, .. } = parse(&["decompress", "x.lep"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(output, Output::Derived);
+    }
+
+    #[test]
+    fn missing_input_is_usage_error() {
+        assert!(parse(&["compress"]).is_err());
+        assert!(parse(&["decompress"]).is_err());
+        assert!(parse(&["verify"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_rejected() {
+        assert!(parse(&["compress", "a", "--frobnicate"]).is_err());
+        assert!(parse(&["transmogrify"]).is_err());
+        assert!(parse(&["qualify", "--count", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn serve_requires_exactly_one_endpoint() {
+        assert!(parse(&["serve"]).is_err());
+        assert!(parse(&["serve", "--uds", "/s", "--tcp", "127.0.0.1:1"]).is_err());
+        let Command::Serve {
+            max_conns, threshold, ..
+        } = parse(&["serve", "--uds", "/tmp/s.sock"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(max_conns, 64);
+        assert_eq!(threshold, 3, "default matches the paper's deployment");
+    }
+
+    #[test]
+    fn corpus_requires_out() {
+        assert!(parse(&["corpus"]).is_err());
+        let Command::Corpus { dirty, count, .. } =
+            parse(&["corpus", "--out", "/tmp/c", "--dirty", "--count", "7"]).unwrap()
+        else {
+            panic!()
+        };
+        assert!(dirty);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--version"]).unwrap(), Command::Version);
+    }
+}

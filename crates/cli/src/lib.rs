@@ -1,0 +1,439 @@
+//! # lepton-cli — the stand-alone `lepton` tool
+//!
+//! "At its core, Lepton is a stand-alone tool that performs round-trip
+//! compression and decompression of baseline JPEG files" (§3). This
+//! crate is that tool: file and stdin/stdout conversion, round-trip
+//! verification, the pre-deployment qualification run (§5.7), the
+//! conversion service (§5.5), and synthetic-corpus generation.
+//!
+//! The process exit code follows the production taxonomy (§6.2):
+//! `0` success, `1` usage or I/O error, and `16 + i` for rejection
+//! class `i` in the paper's table order — so scripts herding millions
+//! of conversions can tally outcomes exactly like the paper's Figure
+//! in §6.2 (`lepton errorcodes` prints the mapping).
+
+pub mod args;
+
+use args::{Command, Input, Output};
+use lepton_core::verify::{qualify, verify_roundtrip, Verdict};
+use lepton_core::{CompressOptions, ExitCode, ThreadPolicy};
+use lepton_corpus::builder::{Corpus, CorpusSpec, FileKind};
+use lepton_server::protocol::EXIT_CODES;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Tool version string (the container format records the same build
+/// identity in its revision field).
+pub const VERSION: &str = concat!("lepton-rs ", env!("CARGO_PKG_VERSION"));
+
+/// Map an [`ExitCode`] to the process exit code: `0` for success,
+/// `16 + taxonomy index` otherwise (the same index as the wire
+/// protocol's rejection statuses).
+pub fn process_exit_code(code: ExitCode) -> i32 {
+    if code == ExitCode::Success {
+        return 0;
+    }
+    16 + EXIT_CODES.iter().position(|c| *c == code).unwrap_or(0) as i32
+}
+
+fn read_input(input: &Input) -> std::io::Result<Vec<u8>> {
+    match input {
+        Input::Path(p) => std::fs::read(p),
+        Input::Stdin => {
+            let mut buf = Vec::new();
+            std::io::stdin().lock().read_to_end(&mut buf)?;
+            Ok(buf)
+        }
+    }
+}
+
+fn derive_output(input: &Input, extension: &str) -> Option<PathBuf> {
+    match input {
+        Input::Path(p) => Some(p.with_extension(extension)),
+        Input::Stdin => None, // stdin in ⇒ stdout out
+    }
+}
+
+fn write_output(
+    output: &Output,
+    input: &Input,
+    extension: &str,
+    data: &[u8],
+) -> std::io::Result<Option<PathBuf>> {
+    match output {
+        Output::Stdout => {
+            std::io::stdout().lock().write_all(data)?;
+            Ok(None)
+        }
+        Output::Path(p) => {
+            std::fs::write(p, data)?;
+            Ok(Some(p.clone()))
+        }
+        Output::Derived => match derive_output(input, extension) {
+            Some(p) => {
+                std::fs::write(&p, data)?;
+                Ok(Some(p))
+            }
+            None => {
+                std::io::stdout().lock().write_all(data)?;
+                Ok(None)
+            }
+        },
+    }
+}
+
+/// Execute a parsed command; returns the process exit code. All
+/// diagnostic output goes to `log` (stderr in `main`), payload bytes
+/// go to real stdout when requested.
+pub fn run(cmd: Command, log: &mut dyn Write) -> i32 {
+    match run_inner(cmd, log) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(log, "lepton: {e}");
+            1
+        }
+    }
+}
+
+fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            writeln!(log, "{}", args::HELP)?;
+            Ok(0)
+        }
+        Command::Version => {
+            writeln!(log, "{VERSION}")?;
+            Ok(0)
+        }
+        Command::Compress {
+            input,
+            output,
+            threads,
+            verify,
+        } => {
+            let jpeg = read_input(&input)?;
+            let opts = CompressOptions {
+                threads: if threads == 0 {
+                    ThreadPolicy::Auto
+                } else {
+                    ThreadPolicy::Fixed(threads)
+                },
+                verify,
+                ..Default::default()
+            };
+            match lepton_core::compress(&jpeg, &opts) {
+                Ok(lepton) => {
+                    let dest = write_output(&output, &input, "lep", &lepton)?;
+                    let pct = 100.0 * (1.0 - lepton.len() as f64 / jpeg.len().max(1) as f64);
+                    writeln!(
+                        log,
+                        "{} -> {} ({} -> {} bytes, {:.1}% saved)",
+                        describe(&input),
+                        dest.as_deref().map_or("stdout".into(), pretty),
+                        jpeg.len(),
+                        lepton.len(),
+                        pct
+                    )?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    let code = ExitCode::classify(&e);
+                    writeln!(log, "lepton: {} ({e})", code.label())?;
+                    Ok(process_exit_code(code))
+                }
+            }
+        }
+        Command::Decompress { input, output } => {
+            let container = read_input(&input)?;
+            match lepton_core::decompress(&container) {
+                Ok(jpeg) => {
+                    let dest = write_output(&output, &input, "jpg", &jpeg)?;
+                    writeln!(
+                        log,
+                        "{} -> {} ({} -> {} bytes)",
+                        describe(&input),
+                        dest.as_deref().map_or("stdout".into(), pretty),
+                        container.len(),
+                        jpeg.len()
+                    )?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    let code = ExitCode::classify(&e);
+                    writeln!(log, "lepton: {} ({e})", code.label())?;
+                    Ok(process_exit_code(code))
+                }
+            }
+        }
+        Command::Verify { files } => {
+            let opts = CompressOptions::default();
+            let mut worst = 0;
+            for path in &files {
+                let data = std::fs::read(path)?;
+                match verify_roundtrip(&data, &opts) {
+                    Verdict::Verified { compressed } => {
+                        writeln!(
+                            log,
+                            "{}: verified ({} -> {} bytes)",
+                            pretty(path),
+                            data.len(),
+                            compressed
+                        )?;
+                    }
+                    Verdict::Rejected(code) => {
+                        writeln!(log, "{}: rejected — {}", pretty(path), code.label())?;
+                        worst = worst.max(process_exit_code(code));
+                    }
+                    Verdict::Alarm(why) => {
+                        // The page-a-human condition (§5.7).
+                        writeln!(log, "{}: ALARM — {why}", pretty(path))?;
+                        worst = worst.max(process_exit_code(ExitCode::RoundtripFailed));
+                    }
+                }
+            }
+            Ok(worst)
+        }
+        Command::Qualify { count, seed } => {
+            let spec = CorpusSpec {
+                count,
+                seed,
+                ..Default::default()
+            };
+            let corpus = Corpus::generate(&spec);
+            let q = qualify(
+                corpus.files.iter().map(|f| f.data.as_slice()),
+                &CompressOptions::default(),
+            );
+            writeln!(log, "qualification over {count} files (seed {seed:#x}):")?;
+            let total = count.max(1) as f64;
+            writeln!(
+                log,
+                "  {:<24} {:>7} ({:>6.2}%)",
+                "Success",
+                q.verified,
+                100.0 * q.verified as f64 / total
+            )?;
+            for (code, n) in &q.rejected {
+                writeln!(
+                    log,
+                    "  {:<24} {:>7} ({:>6.2}%)",
+                    code.label(),
+                    n,
+                    100.0 * *n as f64 / total
+                )?;
+            }
+            writeln!(log, "  compression ratio on verified: {:.1}%", 100.0 * q.ratio())?;
+            writeln!(log, "  alarms: {}", q.alarms)?;
+            if q.qualified() {
+                writeln!(log, "build QUALIFIED")?;
+                Ok(0)
+            } else {
+                writeln!(log, "build NOT qualified")?;
+                Ok(process_exit_code(ExitCode::RoundtripFailed))
+            }
+        }
+        Command::Serve {
+            uds,
+            tcp,
+            max_conns,
+            threshold,
+            shutoff,
+        } => {
+            let endpoint = match (&uds, &tcp) {
+                (Some(path), None) => lepton_server::Endpoint::uds(path),
+                (None, Some(addr)) => lepton_server::Endpoint::tcp(addr.as_str())?,
+                _ => unreachable!("parser enforces exactly one endpoint"),
+            };
+            let cfg = lepton_server::ServiceConfig {
+                max_connections: max_conns,
+                busy_threshold: threshold,
+                shutoff_file: shutoff,
+                ..Default::default()
+            };
+            let handle = lepton_server::serve(&endpoint, cfg)?;
+            writeln!(log, "listening on {}", handle.endpoint())?;
+            log.flush()?;
+            // Serve until killed, like the production process (§5.5).
+            loop {
+                std::thread::park();
+            }
+        }
+        Command::ErrorCodes => {
+            writeln!(log, "{:<24} {:>9} {:>12}", "class", "wire byte", "process exit")?;
+            for (i, code) in EXIT_CODES.iter().enumerate() {
+                let process = process_exit_code(*code);
+                writeln!(
+                    log,
+                    "{:<24} {:>9} {:>12}",
+                    code.label(),
+                    16 + i,
+                    process
+                )?;
+            }
+            Ok(0)
+        }
+        Command::Corpus {
+            out,
+            count,
+            seed,
+            dirty,
+        } => {
+            std::fs::create_dir_all(&out)?;
+            let spec = CorpusSpec {
+                count,
+                seed,
+                clean_fraction: if dirty { 0.94 } else { 1.0 },
+                ..Default::default()
+            };
+            let corpus = Corpus::generate(&spec);
+            let mut written = 0usize;
+            for (i, f) in corpus.files.iter().enumerate() {
+                let ext = match f.kind {
+                    FileKind::Baseline | FileKind::TrailingData | FileKind::ZeroRun => "jpg",
+                    _ => "bin",
+                };
+                let name = out.join(format!("{:05}-{:?}.{ext}", i, f.kind));
+                std::fs::write(&name, &f.data)?;
+                written += f.data.len();
+            }
+            writeln!(
+                log,
+                "wrote {} files, {} bytes, to {}",
+                corpus.files.len(),
+                written,
+                pretty(&out)
+            )?;
+            Ok(0)
+        }
+    }
+}
+
+fn describe(input: &Input) -> String {
+    match input {
+        Input::Path(p) => pretty(p),
+        Input::Stdin => "stdin".into(),
+    }
+}
+
+fn pretty(p: &Path) -> String {
+    p.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_maps_to_zero() {
+        assert_eq!(process_exit_code(ExitCode::Success), 0);
+    }
+
+    #[test]
+    fn taxonomy_rows_map_to_distinct_codes_above_15() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in EXIT_CODES.iter().skip(1) {
+            let p = process_exit_code(*code);
+            assert!(p >= 16, "{code:?} -> {p}");
+            assert!(p < 256, "must fit a process exit code");
+            assert!(seen.insert(p), "duplicate process code for {code:?}");
+        }
+    }
+
+    #[test]
+    fn wire_and_process_codes_agree() {
+        use lepton_server::Status;
+        for code in EXIT_CODES.iter().skip(1) {
+            assert_eq!(
+                Status::Rejected(*code).to_wire() as i32,
+                process_exit_code(*code),
+                "one taxonomy, two encodings, same number"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_output_swaps_extension() {
+        let i = Input::Path("a/b/photo.jpg".into());
+        assert_eq!(derive_output(&i, "lep"), Some(PathBuf::from("a/b/photo.lep")));
+        assert_eq!(derive_output(&Input::Stdin, "lep"), None);
+    }
+
+    #[test]
+    fn qualify_command_runs_clean() {
+        let mut log = Vec::new();
+        let code = run(
+            Command::Qualify {
+                count: 6,
+                seed: 42,
+            },
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("QUALIFIED"), "{text}");
+    }
+
+    #[test]
+    fn verify_command_reports_rejects() {
+        let dir = std::env::temp_dir().join(format!("lepton-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.jpg");
+        std::fs::write(
+            &good,
+            lepton_corpus::builder::clean_jpeg(
+                &CorpusSpec {
+                    min_dim: 48,
+                    max_dim: 96,
+                    ..Default::default()
+                },
+                1,
+            ),
+        )
+        .unwrap();
+        let bad = dir.join("bad.jpg");
+        std::fs::write(&bad, b"this is not a jpeg").unwrap();
+
+        let mut log = Vec::new();
+        let code = run(
+            Command::Verify {
+                files: vec![good.clone(), bad.clone()],
+            },
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("verified"), "{text}");
+        assert!(text.contains("rejected"), "{text}");
+        assert_eq!(code, process_exit_code(ExitCode::NotAnImage), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corpus_command_writes_files() {
+        let dir = std::env::temp_dir().join(format!("lepton-cli-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut log = Vec::new();
+        let code = run(
+            Command::Corpus {
+                out: dir.clone(),
+                count: 5,
+                seed: 7,
+                dirty: false,
+            },
+            &mut log,
+        );
+        assert_eq!(code, 0);
+        let n = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(n, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errorcodes_prints_full_table() {
+        let mut log = Vec::new();
+        assert_eq!(run(Command::ErrorCodes, &mut log), 0);
+        let text = String::from_utf8(log).unwrap();
+        for code in EXIT_CODES {
+            assert!(text.contains(code.label()), "missing {:?}", code.label());
+        }
+    }
+}

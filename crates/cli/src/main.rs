@@ -1,0 +1,18 @@
+//! Entry point for the `lepton` binary. All logic lives in
+//! [`lepton_cli`] so it can be unit-tested; this file only adapts the
+//! process boundary (argv, stderr, exit code).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = argv.iter().map(String::as_str).collect();
+    let mut stderr = std::io::stderr().lock();
+    let code = match lepton_cli::args::parse(&args) {
+        Ok(cmd) => lepton_cli::run(cmd, &mut stderr),
+        Err(e) => {
+            use std::io::Write;
+            let _ = writeln!(stderr, "lepton: {e}\n\n{}", lepton_cli::args::HELP);
+            1
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,186 @@
+//! Black-box tests of the compiled `lepton` binary: real argv, real
+//! files, real pipes, real process exit codes — the §6.2 taxonomy as
+//! an operator's script would see it.
+
+use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lepton");
+
+fn spec() -> CorpusSpec {
+    CorpusSpec {
+        min_dim: 48,
+        max_dim: 120,
+        ..Default::default()
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lepton-bin-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn compress_then_decompress_files_roundtrip() {
+    let dir = scratch("rt");
+    let jpg = dir.join("photo.jpg");
+    let original = clean_jpeg(&spec(), 1);
+    std::fs::write(&jpg, &original).unwrap();
+
+    let out = Command::new(BIN)
+        .args(["compress", jpg.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lep = dir.join("photo.lep");
+    assert!(lep.exists(), "derived output name");
+    assert!(std::fs::metadata(&lep).unwrap().len() < original.len() as u64);
+
+    let restored = dir.join("restored.jpg");
+    let out = Command::new(BIN)
+        .args([
+            "decompress",
+            lep.to_str().unwrap(),
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&restored).unwrap(), original, "byte-exact");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stdin_stdout_pipeline_roundtrips() {
+    let original = clean_jpeg(&spec(), 2);
+
+    let mut compress = Command::new(BIN)
+        .args(["compress", "-", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    compress
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(&original)
+        .unwrap();
+    let lepton = compress.wait_with_output().unwrap();
+    assert!(lepton.status.success());
+    assert!(!lepton.stdout.is_empty());
+    assert!(lepton.stdout.len() < original.len());
+
+    let mut decompress = Command::new(BIN)
+        .args(["decompress", "-", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    decompress
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(&lepton.stdout)
+        .unwrap();
+    let restored = decompress.wait_with_output().unwrap();
+    assert!(restored.status.success());
+    assert_eq!(restored.stdout, original);
+}
+
+#[test]
+fn not_an_image_yields_taxonomy_exit_code() {
+    let dir = scratch("nai");
+    let junk = dir.join("junk.jpg");
+    std::fs::write(&junk, b"definitely not a jpeg").unwrap();
+    let out = Command::new(BIN)
+        .args(["compress", junk.to_str().unwrap()])
+        .output()
+        .unwrap();
+    // "Not an image" is taxonomy index 3 ⇒ process exit 19.
+    assert_eq!(out.status.code(), Some(19), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Not an image"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_one_with_help() {
+    let out = Command::new(BIN).args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn qualify_smoke_run_qualifies() {
+    let out = Command::new(BIN)
+        .args(["qualify", "--count", "8", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("QUALIFIED"));
+}
+
+#[test]
+fn errorcodes_table_lists_every_class() {
+    let out = Command::new(BIN).args(["errorcodes"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    for label in [
+        "Success",
+        "Progressive",
+        "Not an image",
+        "4 color CMYK",
+        "Roundtrip failed",
+        "OOM kill",
+    ] {
+        assert!(text.contains(label), "missing {label}: {text}");
+    }
+}
+
+#[test]
+fn serve_and_convert_over_unix_socket() {
+    let dir = scratch("srv");
+    let sock = dir.join("lepton.sock");
+    let mut server = Command::new(BIN)
+        .args(["serve", "--uds", sock.to_str().unwrap(), "--max-conns", "8"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Wait for the socket to appear.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !sock.exists() {
+        assert!(std::time::Instant::now() < deadline, "server never bound");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let jpeg = clean_jpeg(&spec(), 3);
+    let ep = lepton_server::Endpoint::uds(&sock);
+    let timeout = std::time::Duration::from_secs(30);
+    let lepton = lepton_server::client::compress(&ep, &jpeg, timeout).unwrap();
+    let back = lepton_server::client::decompress(&ep, &lepton, timeout).unwrap();
+    assert_eq!(back, jpeg);
+
+    server.kill().unwrap();
+    server.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_mixed_files_reports_worst_code() {
+    let dir = scratch("vfy");
+    let good = dir.join("good.jpg");
+    std::fs::write(&good, clean_jpeg(&spec(), 4)).unwrap();
+    let out = Command::new(BIN)
+        .args(["verify", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verified"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,234 @@
+//! Backfill: DropSpot, metaserver shard scans, and the power model
+//! (§5.6, Fig. 11, §5.6.1).
+//!
+//! "DropSpot monitors the spare capacity in each server room, and when
+//! the free machines in a room exceed a threshold, a machine is
+//! allocated for Lepton encoding." Workers pull batches of user chunks
+//! from metaserver shards, convert, triple-verify, and re-upload; the
+//! fleet's power draw tracks the reserved machine count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DropSpot configuration.
+#[derive(Clone, Debug)]
+pub struct BackfillConfig {
+    /// Server rooms monitored.
+    pub rooms: usize,
+    /// Machines per room.
+    pub machines_per_room: usize,
+    /// Reserve a machine when a room has more than this many free.
+    pub free_threshold: usize,
+    /// Hours to wipe/reimage a machine before it joins (§5.6: 2–4 h).
+    pub provision_hours: f64,
+    /// Conversions per second per machine (paper: 5.75 images/s).
+    pub conversions_per_machine: f64,
+    /// Watts drawn per active backfill machine (964 machines ↔ 278 kW
+    /// total incl. overhead ⇒ ~288 W each).
+    pub watts_per_machine: f64,
+    /// Mean input image size, bytes (paper: ~1.5 MB).
+    pub image_bytes: f64,
+    /// Compression savings fraction (paper: ~23% of JPEG bytes).
+    pub savings: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BackfillConfig {
+    fn default() -> Self {
+        BackfillConfig {
+            rooms: 24,
+            machines_per_room: 80,
+            free_threshold: 12,
+            provision_hours: 3.0,
+            conversions_per_machine: 5.75,
+            watts_per_machine: 288.0,
+            image_bytes: 1.5e6,
+            savings: 0.2269,
+            seed: 0xBACF_111,
+        }
+    }
+}
+
+/// One sample of the backfill fleet state.
+#[derive(Clone, Copy, Debug)]
+pub struct BackfillSample {
+    /// Simulated time, hours.
+    pub hour: f64,
+    /// Machines converting.
+    pub active_machines: usize,
+    /// Chassis power, kW.
+    pub power_kw: f64,
+    /// Conversions per second.
+    pub conversions_per_sec: f64,
+}
+
+/// Simulate the backfill fleet over `hours`, with an outage window
+/// `[outage_start, outage_end)` (hours) during which backfill stops —
+/// reproducing Fig. 11's power-drop signature.
+pub fn simulate_backfill(
+    cfg: &BackfillConfig,
+    hours: f64,
+    outage_start: f64,
+    outage_end: f64,
+) -> Vec<BackfillSample> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Free machines per room fluctuate with front-end demand.
+    let mut reserved: Vec<usize> = vec![0; cfg.rooms];
+    let mut provisioning: Vec<Vec<f64>> = vec![Vec::new(); cfg.rooms]; // ready-at times
+    let mut samples = Vec::new();
+    let step = 0.25; // 15-minute samples
+    let mut t = 0.0;
+    while t < hours {
+        let in_outage = t >= outage_start && t < outage_end;
+        for room in 0..cfg.rooms {
+            // Front-end demand for the room's machines follows a noisy
+            // diurnal pattern; whatever is left over is spare capacity.
+            let tod = (t % 24.0) / 24.0;
+            let demand = 0.35 + 0.25 * (-((tod - 0.6) * (tod - 0.6)) / 0.02).exp();
+            let busy = (cfg.machines_per_room as f64 * demand) as usize
+                + rng.gen_range(0..cfg.machines_per_room / 16 + 1);
+            let committed = reserved[room] + provisioning[room].len();
+            let free = cfg.machines_per_room.saturating_sub(busy).saturating_sub(committed);
+            if in_outage {
+                // Outage: release everything immediately.
+                reserved[room] = 0;
+                provisioning[room].clear();
+            } else if free > cfg.free_threshold {
+                // Reserve the excess (a few at a time); each becomes
+                // productive after the wipe/reimage delay.
+                let take = (free - cfg.free_threshold).min(4);
+                for _ in 0..take {
+                    provisioning[room].push(t + cfg.provision_hours);
+                }
+            } else if free < cfg.free_threshold / 2 {
+                // DropSpot releases machines when the room tightens.
+                let give_back = (cfg.free_threshold / 2 - free).min(reserved[room]);
+                reserved[room] -= give_back;
+            }
+            // Promote provisioned machines that are ready.
+            let ready = provisioning[room].iter().filter(|&&r| r <= t).count();
+            reserved[room] += ready;
+            provisioning[room].retain(|&r| r > t);
+        }
+        let active: usize = reserved.iter().sum();
+        samples.push(BackfillSample {
+            hour: t,
+            active_machines: active,
+            power_kw: active as f64 * cfg.watts_per_machine / 1000.0,
+            conversions_per_sec: active as f64 * cfg.conversions_per_machine,
+        });
+        t += step;
+    }
+    samples
+}
+
+/// The §5.6.1 cost-effectiveness arithmetic, parameterized so the bench
+/// harness can print the paper's numbers and ours side by side.
+#[derive(Clone, Copy, Debug)]
+pub struct Economics {
+    /// Conversions bought by one kWh.
+    pub conversions_per_kwh: f64,
+    /// Bytes saved per conversion.
+    pub bytes_saved_per_conversion: f64,
+}
+
+impl Economics {
+    /// Derive from a backfill configuration.
+    pub fn from_config(cfg: &BackfillConfig) -> Self {
+        // One machine: conversions/s at watts ⇒ conversions per kWh.
+        let conversions_per_kwh =
+            cfg.conversions_per_machine * 3600.0 / (cfg.watts_per_machine / 1000.0);
+        Economics {
+            conversions_per_kwh,
+            bytes_saved_per_conversion: cfg.image_bytes * cfg.savings,
+        }
+    }
+
+    /// GiB saved permanently per kWh spent.
+    pub fn gib_saved_per_kwh(&self) -> f64 {
+        self.conversions_per_kwh * self.bytes_saved_per_conversion / (1u64 << 30) as f64
+    }
+
+    /// Break-even electricity price ($/kWh) against storage priced at
+    /// `usd_per_gib_year` amortized over `years`.
+    pub fn breakeven_kwh_price(&self, usd_per_gib_year: f64, years: f64) -> f64 {
+        self.gib_saved_per_kwh() * usd_per_gib_year * years
+    }
+
+    /// Images converted per machine-year and TiB saved per machine-year
+    /// (§5.6.1 quotes 181.5M images and 58.8 TiB per Xeon-year).
+    pub fn per_machine_year(&self, cfg: &BackfillConfig) -> (f64, f64) {
+        let images = cfg.conversions_per_machine * 3600.0 * 24.0 * 365.0;
+        let tib = images * self.bytes_saved_per_conversion / (1u64 << 40) as f64;
+        (images, tib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backfill_ramps_and_obeys_outage() {
+        let cfg = BackfillConfig::default();
+        let samples = simulate_backfill(&cfg, 48.0, 20.0, 26.0);
+        let before: Vec<_> = samples
+            .iter()
+            .filter(|s| s.hour > 12.0 && s.hour < 20.0)
+            .collect();
+        let during: Vec<_> = samples
+            .iter()
+            .filter(|s| s.hour > 21.0 && s.hour < 25.0)
+            .collect();
+        let after: Vec<_> = samples.iter().filter(|s| s.hour > 32.0).collect();
+        let avg = |v: &[&BackfillSample]| {
+            v.iter().map(|s| s.power_kw).sum::<f64>() / v.len().max(1) as f64
+        };
+        let (b, d, a) = (avg(&before), avg(&during), avg(&after));
+        assert!(b > 20.0, "ramped power {b} kW");
+        assert!(d < b * 0.2, "outage power {d} kW vs {b}");
+        assert!(a > b * 0.5, "recovered power {a} kW");
+    }
+
+    #[test]
+    fn paper_scale_power_checks_out() {
+        // 964 machines at ~288 W ≈ the paper's 278 kW fleet.
+        let cfg = BackfillConfig::default();
+        let kw = 964.0 * cfg.watts_per_machine / 1000.0;
+        assert!((kw - 278.0).abs() < 10.0, "{kw} kW");
+    }
+
+    #[test]
+    fn economics_match_paper_magnitudes() {
+        let cfg = BackfillConfig::default();
+        let eco = Economics::from_config(&cfg);
+        // Paper: ~72,300 conversions/kWh and ~24 GiB saved per kWh.
+        assert!(
+            (60_000.0..85_000.0).contains(&eco.conversions_per_kwh),
+            "{}",
+            eco.conversions_per_kwh
+        );
+        let gib = eco.gib_saved_per_kwh();
+        assert!((18.0..30.0).contains(&gib), "{gib} GiB/kWh");
+        // Paper: worthwhile if kWh < $0.58 at ~$0.15/GiB-year × ~1.6y…
+        // verify the direction: at realistic prices it's clearly worth it.
+        let breakeven = eco.breakeven_kwh_price(0.15, 1.0);
+        assert!(breakeven > 0.5, "breakeven {breakeven}");
+        // Per machine-year: paper says 181.5M images, 58.8 TiB.
+        let (images, tib) = eco.per_machine_year(&cfg);
+        assert!((150e6..220e6).contains(&images), "{images}");
+        assert!((45.0..75.0).contains(&tib), "{tib}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = BackfillConfig::default();
+        let a = simulate_backfill(&cfg, 12.0, 100.0, 100.0);
+        let b = simulate_backfill(&cfg, 12.0, 100.0, 100.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.active_machines, y.active_machines);
+        }
+    }
+}

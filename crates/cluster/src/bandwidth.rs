@@ -1,0 +1,158 @@
+//! Codec placement and network bandwidth — the paper's §7 future work.
+//!
+//! As deployed, Lepton runs on the back-end file servers: conversion
+//! "is currently transparent to client software and does not reduce
+//! network utilization." The paper's stated next step: "we intend to
+//! move the compression and decompression to client software, which
+//! will save 23% in network bandwidth when uploading or downloading
+//! JPEG images." This module prices both placements over the measured
+//! workload shape (Fig. 5's decode:encode rhythm) so the trade —
+//! client CPU and battery vs. wire bytes and backend CPU — is
+//! explicit.
+
+/// Where the Lepton codec runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Production deployment: blockservers convert; the wire carries
+    /// full JPEG bytes.
+    ServerSide,
+    /// §7 future work: clients convert; the wire carries Lepton
+    /// containers.
+    ClientSide,
+}
+
+/// Workload and codec parameters for the placement model.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementModel {
+    /// JPEG uploads per second.
+    pub uploads_per_sec: f64,
+    /// Downloads per upload (paper: ~1.0 weekends, ~1.5 weekdays,
+    /// rising to ~2 with backfill decodes).
+    pub download_ratio: f64,
+    /// Mean JPEG size in bytes (paper's backfill mean: 1.5 MB).
+    pub mean_jpeg_bytes: f64,
+    /// Lepton compression ratio (paper: 0.7731).
+    pub lepton_ratio: f64,
+}
+
+impl Default for PlacementModel {
+    fn default() -> Self {
+        PlacementModel {
+            uploads_per_sec: 100.0,
+            download_ratio: 1.5,
+            mean_jpeg_bytes: 1.5e6,
+            lepton_ratio: 0.7731,
+        }
+    }
+}
+
+/// Per-second costs of one placement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlacementCost {
+    /// Client↔datacenter bytes per second, uploads + downloads.
+    pub wire_bytes: f64,
+    /// Conversions per second executed on backend CPUs.
+    pub backend_conversions: f64,
+    /// Conversions per second executed on client devices.
+    pub client_conversions: f64,
+    /// Bytes per second written to storage (identical across
+    /// placements — the at-rest format is Lepton either way).
+    pub stored_bytes: f64,
+}
+
+impl PlacementModel {
+    /// Price a placement.
+    pub fn cost(&self, placement: Placement) -> PlacementCost {
+        let up = self.uploads_per_sec;
+        let down = up * self.download_ratio;
+        let jpeg = self.mean_jpeg_bytes;
+        let lepton = jpeg * self.lepton_ratio;
+        match placement {
+            Placement::ServerSide => PlacementCost {
+                wire_bytes: (up + down) * jpeg,
+                // Every upload is one encode; every download one decode.
+                backend_conversions: up + down,
+                client_conversions: 0.0,
+                stored_bytes: up * lepton,
+            },
+            Placement::ClientSide => PlacementCost {
+                wire_bytes: (up + down) * lepton,
+                backend_conversions: 0.0,
+                client_conversions: up + down,
+                stored_bytes: up * lepton,
+            },
+        }
+    }
+
+    /// Fractional wire-bandwidth saving of client-side over
+    /// server-side placement (the paper's "23%").
+    pub fn wire_saving(&self) -> f64 {
+        let server = self.cost(Placement::ServerSide).wire_bytes;
+        let client = self.cost(Placement::ClientSide).wire_bytes;
+        1.0 - client / server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_saving_is_the_compression_saving() {
+        // Moving the codec to the client saves exactly the compression
+        // ratio on every wire byte, independent of traffic mix.
+        let m = PlacementModel::default();
+        let expected = 1.0 - m.lepton_ratio;
+        assert!((m.wire_saving() - expected).abs() < 1e-12);
+        let weekend = PlacementModel {
+            download_ratio: 1.0,
+            ..m
+        };
+        assert!((weekend.wire_saving() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_numbers_give_paper_savings() {
+        let m = PlacementModel::default();
+        // 1 - 0.7731 = 22.69% ≈ the paper's "save 23% in network
+        // bandwidth".
+        let pct = 100.0 * m.wire_saving();
+        assert!((22.0..23.5).contains(&pct), "saving {pct}%");
+    }
+
+    #[test]
+    fn storage_is_placement_invariant() {
+        let m = PlacementModel::default();
+        assert_eq!(
+            m.cost(Placement::ServerSide).stored_bytes,
+            m.cost(Placement::ClientSide).stored_bytes,
+            "at-rest format is Lepton either way"
+        );
+    }
+
+    #[test]
+    fn conversions_move_but_do_not_disappear() {
+        let m = PlacementModel::default();
+        let s = m.cost(Placement::ServerSide);
+        let c = m.cost(Placement::ClientSide);
+        assert_eq!(
+            s.backend_conversions + s.client_conversions,
+            c.backend_conversions + c.client_conversions
+        );
+        assert_eq!(c.backend_conversions, 0.0);
+        assert!(s.backend_conversions > 0.0);
+    }
+
+    #[test]
+    fn weekday_mix_costs_more_wire_than_weekend() {
+        let weekday = PlacementModel::default(); // ratio 1.5
+        let weekend = PlacementModel {
+            download_ratio: 1.0,
+            ..Default::default()
+        };
+        assert!(
+            weekday.cost(Placement::ServerSide).wire_bytes
+                > weekend.cost(Placement::ServerSide).wire_bytes
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The §6.5 incident: the safety net takes down camera uploads.
+//!
+//! During top-of-rack maintenance in one datacenter, traffic was
+//! rerouted; the safety-net feature — every image uploaded *twice*,
+//! once compressed to the store and once uncompressed to S3 — was
+//! suddenly "writing more data to S3 from the new location than all of
+//! the rest of Dropbox combined", the S3 proxy fleet was overtaxed,
+//! and "put" operations began failing from truncated uploads. Upload
+//! availability dropped to 94% for the 9 minutes of diagnosis (82% for
+//! camera uploads, which are all photos); the shutoff switch then
+//! disabled Lepton encodes — and with them the safety-net writes — in
+//! 29 seconds, and traffic recovered.
+//!
+//! The model is a minute-by-minute fluid simulation of proxy capacity
+//! vs. offered write load. It exists because the paper's lesson is
+//! quantitative: a belt-and-suspenders feature can be the biggest
+//! load on the belt. ("An irony emerged: a system we designed as a
+//! safety net ended up causing our users trouble, but has never helped
+//! to resolve an actual problem.")
+
+/// Scenario parameters, calibrated to the §6.5 narrative.
+#[derive(Clone, Debug)]
+pub struct SafetyNetScenario {
+    /// Non-Lepton S3 write load, MB/s ("all of the rest of Dropbox").
+    pub base_s3_load: f64,
+    /// Safety-net S3 write load, MB/s (uncompressed doubles of every
+    /// photo upload; the paper: *more than* the base load).
+    pub safety_net_load: f64,
+    /// S3 proxy capacity in the healthy two-datacenter layout, MB/s.
+    pub proxy_capacity_total: f64,
+    /// Fraction of proxy capacity left after the failover rerouted
+    /// traffic onto one location.
+    pub failover_capacity_fraction: f64,
+    /// Fraction of all uploads that are phone camera uploads (photos).
+    pub camera_fraction: f64,
+    /// Minute the failover completes.
+    pub failover_minute: usize,
+    /// Minutes until operators diagnose and hit the shutoff (paper: 9).
+    pub diagnosis_minutes: usize,
+    /// Seconds for the shutoff switch to propagate (paper: 29).
+    pub shutoff_seconds: f64,
+    /// Simulation length in minutes.
+    pub horizon_minutes: usize,
+}
+
+impl Default for SafetyNetScenario {
+    fn default() -> Self {
+        SafetyNetScenario {
+            base_s3_load: 900.0,
+            safety_net_load: 1100.0, // more than everything else combined
+            proxy_capacity_total: 2600.0,
+            failover_capacity_fraction: 0.63, // one location's share
+            camera_fraction: 0.35,
+            failover_minute: 10,
+            diagnosis_minutes: 9,
+            shutoff_seconds: 29.0,
+            horizon_minutes: 40,
+        }
+    }
+}
+
+/// One minute of the incident timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct MinuteSample {
+    /// Minute index.
+    pub minute: usize,
+    /// Offered S3 write load, MB/s.
+    pub offered: f64,
+    /// Available proxy capacity, MB/s.
+    pub capacity: f64,
+    /// Overall upload availability (0..1).
+    pub upload_availability: f64,
+    /// Camera-upload availability (0..1).
+    pub camera_availability: f64,
+    /// Is the Lepton shutoff (and with it the safety net) engaged?
+    pub shutoff: bool,
+}
+
+/// Result of running the scenario.
+#[derive(Clone, Debug)]
+pub struct IncidentReport {
+    /// Per-minute samples.
+    pub timeline: Vec<MinuteSample>,
+    /// Lowest overall upload availability seen.
+    pub worst_upload_availability: f64,
+    /// Lowest camera-upload availability seen.
+    pub worst_camera_availability: f64,
+    /// Minutes during which availability was below 99%.
+    pub degraded_minutes: usize,
+}
+
+impl SafetyNetScenario {
+    /// Run the minute-by-minute model.
+    pub fn run(&self) -> IncidentReport {
+        let mut timeline = Vec::with_capacity(self.horizon_minutes);
+        let shutoff_at = self.failover_minute + self.diagnosis_minutes;
+        let mut worst_upload = 1.0f64;
+        let mut worst_camera = 1.0f64;
+        let mut degraded = 0usize;
+
+        for minute in 0..self.horizon_minutes {
+            let failed_over = minute >= self.failover_minute;
+            // The switch is hit at `shutoff_at`; propagation rounds the
+            // sub-minute 29 s into the same minute.
+            let shutoff = minute >= shutoff_at
+                || (minute + 1 == shutoff_at && self.shutoff_seconds <= 0.0);
+
+            let capacity = if failed_over {
+                self.proxy_capacity_total * self.failover_capacity_fraction
+            } else {
+                self.proxy_capacity_total
+            };
+            let offered = if shutoff {
+                self.base_s3_load
+            } else {
+                self.base_s3_load + self.safety_net_load
+            };
+
+            // Fluid model: past saturation, a random `1 - cap/offered`
+            // share of puts truncate and fail.
+            let put_success = (capacity / offered).min(1.0);
+            // "Each photograph upload required a write to the safety
+            // net" — a camera upload's availability *is* the put
+            // success rate while the net is live. Non-photo uploads
+            // never touch the net, so they ride out the proxy overload
+            // untouched; the overall number dilutes the camera failure
+            // by the photo share of traffic.
+            let camera_availability = if shutoff { 1.0 } else { put_success };
+            let upload_availability =
+                1.0 - self.camera_fraction * (1.0 - camera_availability);
+
+            worst_upload = worst_upload.min(upload_availability);
+            worst_camera = worst_camera.min(camera_availability);
+            if upload_availability < 0.99 {
+                degraded += 1;
+            }
+            timeline.push(MinuteSample {
+                minute,
+                offered,
+                capacity,
+                upload_availability,
+                camera_availability,
+                shutoff,
+            });
+        }
+
+        IncidentReport {
+            timeline,
+            worst_upload_availability: worst_upload,
+            worst_camera_availability: worst_camera,
+            degraded_minutes: degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_layout_has_headroom() {
+        // Before the failover, even with the safety net on, capacity
+        // exceeds offered load: no degradation.
+        let report = SafetyNetScenario::default().run();
+        let pre = &report.timeline[..10];
+        assert!(pre.iter().all(|m| m.upload_availability >= 0.999));
+    }
+
+    #[test]
+    fn failover_with_safety_net_degrades_uploads() {
+        let report = SafetyNetScenario::default().run();
+        // The §6.5 numbers: overall ~94%, camera ~82%.
+        assert!(
+            (0.90..0.97).contains(&report.worst_upload_availability),
+            "overall worst {}",
+            report.worst_upload_availability
+        );
+        assert!(
+            (0.75..0.88).contains(&report.worst_camera_availability),
+            "camera worst {}",
+            report.worst_camera_availability
+        );
+        // Camera uploads are hit disproportionately.
+        assert!(report.worst_camera_availability < report.worst_upload_availability);
+    }
+
+    #[test]
+    fn shutoff_restores_service() {
+        let scenario = SafetyNetScenario::default();
+        let report = scenario.run();
+        let shutoff_at = scenario.failover_minute + scenario.diagnosis_minutes;
+        let after = &report.timeline[shutoff_at + 1..];
+        assert!(
+            after.iter().all(|m| m.upload_availability >= 0.999),
+            "shutoff must end the incident"
+        );
+        // Degradation lasted roughly the diagnosis window.
+        assert!(
+            (scenario.diagnosis_minutes..scenario.diagnosis_minutes + 2)
+                .contains(&report.degraded_minutes),
+            "degraded {} minutes",
+            report.degraded_minutes
+        );
+    }
+
+    #[test]
+    fn without_safety_net_the_failover_is_a_non_event() {
+        let scenario = SafetyNetScenario {
+            safety_net_load: 0.0,
+            ..Default::default()
+        };
+        let report = scenario.run();
+        assert!(
+            report.worst_upload_availability >= 0.999,
+            "no double-write, no incident: {}",
+            report.worst_upload_availability
+        );
+    }
+
+    #[test]
+    fn safety_net_dominates_other_traffic() {
+        // The paper's startling claim: the net alone wrote more than
+        // everything else combined. Keep the default scenario honest.
+        let s = SafetyNetScenario::default();
+        assert!(s.safety_net_load > s.base_s3_load);
+    }
+}

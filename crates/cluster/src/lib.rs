@@ -1,0 +1,34 @@
+//! Discrete-event simulation of the Lepton deployment (paper §5–§6).
+//!
+//! The paper's operational results — outsourcing under oversubscription
+//! (Figs. 9–10), backfill power economics (Fig. 11, §5.6.1), workload
+//! rhythms (Figs. 5, 13), ramp-up latency regressions (Fig. 14), and the
+//! transparent-huge-pages anomaly (Fig. 12) — are all queueing/
+//! scheduling phenomena. This crate reproduces them with a deterministic
+//! event-driven simulator whose service-time distributions are
+//! *calibrated from the real codec in this workspace* (the bench
+//! harness measures encode/decode throughput and feeds it in).
+//!
+//! Modules:
+//!
+//! * [`sim`] — the event loop, blockserver fleet, load balancer, and
+//!   outsourcing policies ("to self" / "to dedicated", §5.5);
+//! * [`workload`] — diurnal/weekly arrival processes matching §5.4;
+//! * [`backfill`] — DropSpot machine reservations, metaserver shard
+//!   scans, worker verification loops, and the power model (§5.6);
+//! * [`anomaly`] — injectable pathologies: THP stalls (§6.3), decode
+//!   timeouts (§6.6), unhealthy hosts;
+//! * [`metrics`] — percentile/timeseries accumulators used by every
+//!   figure harness.
+
+pub mod anomaly;
+pub mod backfill;
+pub mod bandwidth;
+pub mod incident;
+pub mod metrics;
+pub mod sim;
+pub mod workload;
+
+pub use metrics::{Percentiles, TimeSeries};
+pub use sim::{ClusterConfig, ClusterSim, JobKind, OutsourcePolicy, SimReport};
+pub use workload::{WorkloadConfig, WorkloadPhase};

@@ -1,0 +1,207 @@
+//! Percentile and time-series accumulators for the figure harnesses.
+
+/// Exact percentile computation over collected samples (the paper
+/// reports p50/p75/p95/p99 everywhere).
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// New, empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile `p` in 0..=100 (nearest-rank).
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// The (p50, p75, p95, p99) quadruple the paper's figures use.
+    pub fn quad(&mut self) -> (f64, f64, f64, f64) {
+        (
+            self.percentile(50.0),
+            self.percentile(75.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+        )
+    }
+
+    /// Mean of samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+}
+
+/// Fixed-bucket time series (e.g. hourly percentiles over a simulated
+/// day/week/month).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    /// Bucket width in simulated seconds.
+    pub bucket_secs: f64,
+    buckets: Vec<Percentiles>,
+}
+
+impl TimeSeries {
+    /// A series covering `horizon_secs` with `bucket_secs` buckets.
+    pub fn new(horizon_secs: f64, bucket_secs: f64) -> Self {
+        let n = (horizon_secs / bucket_secs).ceil() as usize;
+        TimeSeries {
+            bucket_secs,
+            buckets: vec![Percentiles::new(); n.max(1)],
+        }
+    }
+
+    /// Record `value` at simulated time `t`.
+    pub fn push(&mut self, t: f64, value: f64) {
+        let idx = ((t / self.bucket_secs) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx].push(value);
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when the series has no buckets (never; kept for API shape).
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Percentile per bucket.
+    pub fn percentile_series(&mut self, p: f64) -> Vec<f64> {
+        self.buckets.iter_mut().map(|b| b.percentile(p)).collect()
+    }
+
+    /// Mean per bucket.
+    pub fn mean_series(&self) -> Vec<f64> {
+        self.buckets.iter().map(|b| b.mean()).collect()
+    }
+
+    /// Sample count per bucket (rates).
+    pub fn count_series(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.len()).collect()
+    }
+
+    /// Mutable access to a bucket (for merging).
+    pub fn bucket_mut(&mut self, i: usize) -> &mut Percentiles {
+        &mut self.buckets[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut p = Percentiles::new();
+        for v in 1..=100 {
+            p.push(v as f64);
+        }
+        assert_eq!(p.percentile(0.0), 1.0);
+        assert!((p.percentile(50.0) - 50.0).abs() <= 1.0);
+        assert!((p.percentile(99.0) - 99.0).abs() <= 1.0);
+        assert_eq!(p.percentile(100.0), 100.0);
+        assert!((p.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quad_is_monotone() {
+        let mut p = Percentiles::new();
+        let mut x = 5u64;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            p.push((x % 1000) as f64);
+        }
+        let (a, b, c, d) = p.quad();
+        assert!(a <= b && b <= c && c <= d);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.percentile(50.0), 0.0);
+        assert_eq!(p.mean(), 0.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn stddev_sane() {
+        let mut p = Percentiles::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            p.push(v);
+        }
+        assert!((p.stddev() - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn timeseries_buckets() {
+        let mut ts = TimeSeries::new(3600.0, 600.0);
+        assert_eq!(ts.len(), 6);
+        ts.push(0.0, 1.0);
+        ts.push(599.0, 3.0);
+        ts.push(600.0, 10.0);
+        ts.push(10_000.0, 7.0); // clamps to last bucket
+        assert_eq!(ts.count_series(), vec![2, 1, 0, 0, 0, 1]);
+        let means = ts.mean_series();
+        assert!((means[0] - 2.0).abs() < 1e-9);
+        assert!((means[1] - 10.0).abs() < 1e-9);
+    }
+}

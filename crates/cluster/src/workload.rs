@@ -1,0 +1,165 @@
+//! Workload generation: the §5.4 traffic rhythms.
+//!
+//! "On the weekends, users tend to produce the same number of photos but
+//! sync fewer to their clients, so the ratio of decodes to encodes
+//! approaches 1.0. On weekdays … the ratio approaches 1.5." Arrivals
+//! follow a Poisson process modulated by a diurnal curve and that weekly
+//! decode:encode rhythm; the rollout phases of Figs. 13–14 scale the
+//! decode share as the stored-Lepton fraction grows.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Seconds per simulated hour/day/week.
+pub const HOUR: f64 = 3600.0;
+/// Seconds per day.
+pub const DAY: f64 = 24.0 * HOUR;
+/// Seconds per week.
+pub const WEEK: f64 = 7.0 * DAY;
+
+/// Deployment phase, for the Fig. 13/14 ramp-up series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadPhase {
+    /// Initial rollout: few stored files are Lepton yet, so decodes are
+    /// rare relative to encodes (ratio << 1, "boiling the frog", §6.4).
+    EarlyRollout,
+    /// Steady state: decode:encode between 1.0 (weekend) and ~1.5
+    /// (weekday).
+    Steady,
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Mean encode arrivals per second at the weekly baseline.
+    pub base_encode_rate: f64,
+    /// Deployment phase.
+    pub phase: WorkloadPhase,
+    /// Fraction of stored chunks that are Lepton (drives decode volume
+    /// during rollout; 0..=1).
+    pub lepton_stored_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            base_encode_rate: 5.0, // paper: ~5 encodes/s at Thursday peak
+            phase: WorkloadPhase::Steady,
+            lepton_stored_fraction: 1.0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Diurnal modulation factor at simulated time `t` (1.0 = weekly
+    /// minimum, up to ~4.5 like Fig. 5's "coding events vs weekly min").
+    pub fn diurnal_factor(&self, t: f64) -> f64 {
+        let tod = (t % DAY) / DAY; // 0..1
+        // Single broad daytime hump peaking mid-afternoon UTC.
+        let hump = (-((tod - 0.65) * (tod - 0.65)) / 0.035).exp();
+        1.0 + 2.2 * hump
+    }
+
+    /// Is `t` on a weekend?
+    pub fn is_weekend(&self, t: f64) -> bool {
+        let dow = ((t % WEEK) / DAY) as usize; // day 0 = Monday
+        dow >= 5
+    }
+
+    /// Instantaneous encode rate (uploads happen rain or shine; §5.4:
+    /// "users tend to produce the same number of photos" on weekends).
+    pub fn encode_rate(&self, t: f64) -> f64 {
+        self.base_encode_rate * self.diurnal_factor(t)
+    }
+
+    /// Instantaneous decode rate.
+    pub fn decode_rate(&self, t: f64) -> f64 {
+        let ratio = self.decode_encode_ratio(t);
+        self.encode_rate(t) * ratio
+    }
+
+    /// The §5.4 decode:encode ratio at time `t`.
+    pub fn decode_encode_ratio(&self, t: f64) -> f64 {
+        let steady = if self.is_weekend(t) { 1.0 } else { 1.5 };
+        match self.phase {
+            WorkloadPhase::Steady => steady * self.lepton_stored_fraction.max(0.0).min(1.0),
+            WorkloadPhase::EarlyRollout => {
+                // Only Lepton-stored photos need Lepton decodes.
+                steady * self.lepton_stored_fraction.clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Sample the next inter-arrival gap for a Poisson process with the
+    /// given rate (exponential via inverse CDF; deterministic given rng).
+    pub fn next_gap(rng: &mut StdRng, rate: f64) -> f64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        -u.ln() / rate.max(1e-9)
+    }
+
+    /// Sample a chunk size in bytes, matching the paper's Fig. 6/7 x-axis
+    /// spread (0..4 MiB, mass around 1–2 MiB).
+    pub fn sample_chunk_bytes(rng: &mut StdRng) -> usize {
+        // Log-normal-ish: median ~1.2 MiB, capped at 4 MiB.
+        let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+        let bytes = (1.2e6 * (z * 0.9).exp()) as usize;
+        bytes.clamp(40 << 10, 4 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_peak_exceeds_trough() {
+        let w = WorkloadConfig::default();
+        let trough = w.diurnal_factor(0.2 * DAY);
+        let peak = w.diurnal_factor(0.65 * DAY);
+        assert!(peak > trough * 1.8, "peak {peak} trough {trough}");
+        assert!(peak <= 4.5);
+    }
+
+    #[test]
+    fn weekday_ratio_higher_than_weekend() {
+        let w = WorkloadConfig::default();
+        let weekday = w.decode_encode_ratio(2.0 * DAY); // Wednesday
+        let weekend = w.decode_encode_ratio(5.5 * DAY); // Saturday
+        assert!((weekday - 1.5).abs() < 1e-9);
+        assert!((weekend - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollout_ratio_scales_with_stored_fraction() {
+        let mut w = WorkloadConfig {
+            phase: WorkloadPhase::EarlyRollout,
+            lepton_stored_fraction: 0.1,
+            ..Default::default()
+        };
+        let early = w.decode_encode_ratio(DAY);
+        w.lepton_stored_fraction = 1.0;
+        let late = w.decode_encode_ratio(DAY);
+        assert!(early < 0.2);
+        assert!((late - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = 4.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| WorkloadConfig::next_gap(&mut rng, rate)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn chunk_sizes_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let b = WorkloadConfig::sample_chunk_bytes(&mut rng);
+            assert!((40 << 10..=4 << 20).contains(&b));
+        }
+    }
+}

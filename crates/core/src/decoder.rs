@@ -1,0 +1,265 @@
+//! Lepton → JPEG decompression: multithreaded, streaming, chunk-
+//! independent.
+//!
+//! Each thread segment runs the full §3.4 pipeline concurrently:
+//! arithmetic-decode a block with the model, immediately Huffman-encode
+//! it into that segment's output stream (resumed mid-byte from the
+//! segment's Huffman handover word). Segment outputs are forwarded to
+//! the caller's sink in order as they are produced, so the first bytes
+//! of the file leave the decoder long before the last segment finishes
+//! (time-to-first-byte, §1).
+
+use crate::driver::{walk_segment, BlockOp};
+use crate::error::LeptonError;
+use crate::format::{packets, read_container, ContainerHeader, SegmentInfo};
+use lepton_arith::{BoolDecoder, VecSource};
+use lepton_jpeg::bitio::ScanWriter;
+use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
+use lepton_jpeg::scan::BlockHuffEncoder;
+use lepton_jpeg::CoefBlock;
+use lepton_model::context::BlockNeighbors;
+use lepton_model::{ComponentModel, ModelConfig};
+use std::sync::mpsc::SyncSender;
+
+/// Drain threshold: how many completed bytes accumulate before a chunk
+/// is forwarded to the output channel.
+const DRAIN_BYTES: usize = 32 << 10;
+
+/// Decode one thread segment: model-decode each block and Huffman-encode
+/// it into the resumable scan writer, draining output incrementally.
+struct SegDecoder<'a> {
+    parsed: &'a ParsedJpeg,
+    huff: Vec<BlockHuffEncoder<'a>>,
+    dec: BoolDecoder<VecSource>,
+    models: [ComponentModel; 2],
+    writer: ScanWriter,
+    prev_dc: [i16; 4],
+    rst_emitted: u32,
+    rst_limit: u32,
+    pad_bit: bool,
+    interval: u32,
+    /// Output budget (exact bytes this segment owes).
+    budget: usize,
+    sent: usize,
+    tx: SyncSender<Vec<u8>>,
+    /// Receiver disappeared; stop sending but finish quietly.
+    receiver_gone: bool,
+}
+
+impl SegDecoder<'_> {
+    fn drain(&mut self, force: bool) {
+        if self.receiver_gone || (!force && self.writer.pending_len() < DRAIN_BYTES) {
+            return;
+        }
+        let mut bytes = self.writer.take_bytes();
+        if self.sent + bytes.len() > self.budget {
+            bytes.truncate(self.budget - self.sent);
+        }
+        if bytes.is_empty() {
+            return;
+        }
+        self.sent += bytes.len();
+        if self.tx.send(bytes).is_err() {
+            self.receiver_gone = true;
+        }
+    }
+}
+
+impl BlockOp for SegDecoder<'_> {
+    type Error = LeptonError;
+
+    fn mcu_start(&mut self, mcu: u32) -> Result<(), LeptonError> {
+        if self.interval > 0
+            && mcu > 0
+            && mcu % self.interval == 0
+            && self.rst_emitted < self.rst_limit
+        {
+            self.writer.align(self.pad_bit);
+            self.writer.write_rst((self.rst_emitted % 8) as u8);
+            self.rst_emitted += 1;
+            self.prev_dc = [0; 4];
+        }
+        Ok(())
+    }
+
+    fn block(
+        &mut self,
+        scan_idx: usize,
+        class: usize,
+        _bx: usize,
+        _gy: usize,
+        nbr: &BlockNeighbors<'_>,
+    ) -> Result<CoefBlock, LeptonError> {
+        let block = self.models[class].decode_block(&mut self.dec, nbr);
+        let comp_index = self.parsed.scan.components[scan_idx].comp_index;
+        self.huff[scan_idx]
+            .encode(&mut self.writer, &block, &mut self.prev_dc[comp_index])
+            .map_err(LeptonError::Jpeg)?;
+        Ok(block)
+    }
+
+    fn mcu_end(&mut self, _mcu: u32) -> Result<(), LeptonError> {
+        self.drain(false);
+        Ok(())
+    }
+}
+
+/// Decompression options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecompressOptions {
+    /// Model configuration — must match the encoder's (the format does
+    /// not negotiate this; like the paper, model changes are version
+    /// bumps, see §6.7).
+    pub model: ModelConfig,
+}
+
+/// Decompress a Lepton container into the exact original bytes of the
+/// chunk it covers.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LeptonError> {
+    decompress_opts(data, &DecompressOptions::default())
+}
+
+/// Decompress with explicit options.
+pub fn decompress_opts(data: &[u8], opts: &DecompressOptions) -> Result<Vec<u8>, LeptonError> {
+    let container = read_container(data)?;
+    let mut out = Vec::with_capacity(container.header.output_size as usize);
+    decompress_streaming(data, opts, &mut |bytes: &[u8]| out.extend_from_slice(bytes))?;
+    Ok(out)
+}
+
+/// Streaming decompression: `sink` receives output fragments strictly in
+/// file order, starting before the whole container is decoded.
+pub fn decompress_streaming(
+    data: &[u8],
+    opts: &DecompressOptions,
+    sink: &mut dyn FnMut(&[u8]),
+) -> Result<(), LeptonError> {
+    let container = read_container(data)?;
+    let header = &container.header;
+
+    // Tables and geometry come from the (possibly non-emitted) header.
+    // The decoder streams row-by-row, so no plane-size budget applies.
+    let parsed = parse_with_limits(
+        &header.jpeg_header,
+        &ParseLimits {
+            max_coef_bytes: usize::MAX,
+        },
+    )?;
+    if parsed.header_len != header.jpeg_header.len() {
+        return Err(LeptonError::CorruptContainer("header length mismatch"));
+    }
+    for seg in &header.segments {
+        if seg.mcu_end > parsed.frame.mcu_count() as u32 {
+            return Err(LeptonError::CorruptContainer("segment beyond image"));
+        }
+    }
+
+    let mut produced = 0usize;
+    if header.emit_header {
+        produced += header.jpeg_header.len();
+        sink(&header.jpeg_header);
+    }
+    produced += header.prepend.len();
+    sink(&header.prepend);
+
+    // Demux the interleaved arithmetic section.
+    let nseg = header.segments.len();
+    let mut streams: Vec<Vec<u8>> = (0..nseg)
+        .map(|i| Vec::with_capacity(header.segments[i].arith_bytes as usize))
+        .collect();
+    for p in packets(container.arith_section) {
+        let (sid, payload) = p?;
+        let sid = sid as usize;
+        if sid >= nseg {
+            return Err(LeptonError::CorruptContainer("packet for unknown segment"));
+        }
+        streams[sid].extend_from_slice(payload);
+    }
+
+    produced += decode_segments(&parsed, header, streams, opts, sink)?;
+
+    produced += header.append.len();
+    sink(&header.append);
+    if produced != header.output_size as usize {
+        return Err(LeptonError::CorruptContainer("output size mismatch"));
+    }
+    Ok(())
+}
+
+/// Run all segment decoders concurrently; forward their outputs to
+/// `sink` in segment order. Returns bytes forwarded.
+fn decode_segments(
+    parsed: &ParsedJpeg,
+    header: &ContainerHeader,
+    streams: Vec<Vec<u8>>,
+    opts: &DecompressOptions,
+    sink: &mut dyn FnMut(&[u8]),
+) -> Result<usize, LeptonError> {
+    let nseg = header.segments.len();
+    if nseg == 0 {
+        return Ok(0);
+    }
+    let pad_bit = header.pad_bit != 0; // "unknown" defaults to 1s
+    let interval = parsed.restart_interval as u32;
+    let mut forwarded = 0usize;
+
+    std::thread::scope(|scope| -> Result<(), LeptonError> {
+        let mut receivers = Vec::with_capacity(nseg);
+        let mut handles = Vec::with_capacity(nseg);
+        for (i, stream) in streams.into_iter().enumerate() {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(64);
+            receivers.push(rx);
+            let seg: &SegmentInfo = &header.segments[i];
+            let model_cfg = opts.model;
+            handles.push(scope.spawn(move || -> Result<(), LeptonError> {
+                let huff: Vec<BlockHuffEncoder> = (0..parsed.scan.components.len())
+                    .map(|si| BlockHuffEncoder::for_component(parsed, si))
+                    .collect::<Result<_, _>>()
+                    .map_err(LeptonError::Jpeg)?;
+                let handover = seg.handover.to_handover(seg.mcu_start);
+                let mut op = SegDecoder {
+                    parsed,
+                    huff,
+                    dec: BoolDecoder::new(VecSource::new(stream)),
+                    models: [
+                        ComponentModel::new(model_cfg),
+                        ComponentModel::new(model_cfg),
+                    ],
+                    writer: ScanWriter::resume(handover.partial, handover.bits_used),
+                    prev_dc: handover.prev_dc,
+                    rst_emitted: handover.rst_so_far,
+                    rst_limit: header.rst_count,
+                    pad_bit,
+                    interval,
+                    budget: seg.out_bytes as usize,
+                    sent: 0,
+                    tx,
+                    receiver_gone: false,
+                };
+                walk_segment(parsed, seg.mcu_start, seg.mcu_end, &mut op)?;
+                // Final flush with padding; truncation caps the tail
+                // spill-over of non-final chunks.
+                op.writer.align(pad_bit);
+                op.drain(true);
+                if !op.receiver_gone && op.sent != op.budget {
+                    return Err(LeptonError::CorruptContainer(
+                        "segment produced wrong byte count",
+                    ));
+                }
+                Ok(())
+            }));
+        }
+
+        for rx in receivers {
+            for chunk in rx {
+                forwarded += chunk.len();
+                sink(&chunk);
+            }
+        }
+        for h in handles {
+            h.join().expect("segment decoder panicked")?;
+        }
+        Ok(())
+    })?;
+    Ok(forwarded)
+}

@@ -1,0 +1,236 @@
+//! The segment walk: one MCU iteration used identically by the
+//! arithmetic encoder and decoder.
+//!
+//! Lepton's compression ratio depends on encode and decode agreeing
+//! *exactly* on which neighbor blocks are visible in each context (only
+//! blocks coded earlier in the *same thread segment* — §3.4: each
+//! thread's model adapts independently). Implementing the walk once and
+//! parameterizing over "where blocks come from" makes that agreement
+//! structural instead of a discipline.
+
+use lepton_model::context::{block_edges, BlockEdges, BlockNeighbors};
+use lepton_jpeg::parser::ParsedJpeg;
+use lepton_jpeg::CoefBlock;
+
+/// Ring buffer of the last `v+1` block rows of one component, tracking
+/// which row each slot currently holds so stale rows never leak across
+/// row boundaries or segment starts.
+struct RowRing {
+    depth: usize,
+    blocks_w: usize,
+    rows: Vec<Vec<Option<(CoefBlock, BlockEdges)>>>,
+    row_ids: Vec<isize>,
+}
+
+impl RowRing {
+    fn new(blocks_w: usize, v: usize) -> Self {
+        let depth = v + 1;
+        RowRing {
+            depth,
+            blocks_w,
+            rows: (0..depth).map(|_| vec![None; blocks_w]).collect(),
+            row_ids: vec![-1; depth],
+        }
+    }
+
+    fn get(&self, bx: usize, gy: isize) -> Option<&(CoefBlock, BlockEdges)> {
+        if gy < 0 || bx >= self.blocks_w {
+            return None;
+        }
+        let slot = (gy as usize) % self.depth;
+        if self.row_ids[slot] != gy {
+            return None;
+        }
+        self.rows[slot][bx].as_ref()
+    }
+
+    fn put(&mut self, bx: usize, gy: usize, entry: (CoefBlock, BlockEdges)) {
+        let slot = gy % self.depth;
+        if self.row_ids[slot] != gy as isize {
+            self.rows[slot].iter_mut().for_each(|e| *e = None);
+            self.row_ids[slot] = gy as isize;
+        }
+        self.rows[slot][bx] = Some(entry);
+    }
+}
+
+/// Per-block operation: produce (decode) or consume-and-return (encode)
+/// the block at the given position. `class` is 0 for luma, 1 for chroma.
+pub trait BlockOp {
+    /// The error produced on failure.
+    type Error;
+
+    /// Handle the block for scan component `scan_idx` at plane position
+    /// (`bx`, `gy`), with `nbr` describing segment-local neighbors.
+    fn block(
+        &mut self,
+        scan_idx: usize,
+        class: usize,
+        bx: usize,
+        gy: usize,
+        nbr: &BlockNeighbors<'_>,
+    ) -> Result<CoefBlock, Self::Error>;
+
+    /// Called at the start of each MCU (restart handling hooks here).
+    fn mcu_start(&mut self, mcu: u32) -> Result<(), Self::Error> {
+        let _ = mcu;
+        Ok(())
+    }
+
+    /// Called after each MCU completes (streaming flush hooks here).
+    fn mcu_end(&mut self, mcu: u32) -> Result<(), Self::Error> {
+        let _ = mcu;
+        Ok(())
+    }
+}
+
+/// Walk MCUs `[start_mcu, end_mcu)` of the parsed frame, invoking `op`
+/// per block with segment-local neighbor context.
+pub fn walk_segment<O: BlockOp>(
+    parsed: &ParsedJpeg,
+    start_mcu: u32,
+    end_mcu: u32,
+    op: &mut O,
+) -> Result<(), O::Error> {
+    let frame = &parsed.frame;
+    let mcus_x = frame.mcus_x as u32;
+
+    let mut rings: Vec<RowRing> = parsed
+        .scan
+        .components
+        .iter()
+        .map(|sc| {
+            let comp = &frame.components[sc.comp_index];
+            RowRing::new(comp.blocks_w, comp.v as usize)
+        })
+        .collect();
+
+    let quants: Vec<[u16; 64]> = parsed
+        .scan
+        .components
+        .iter()
+        .map(|sc| {
+            *parsed.quant[frame.components[sc.comp_index].tq as usize]
+                .as_ref()
+                .expect("validated at parse time")
+        })
+        .collect();
+
+    for mcu in start_mcu..end_mcu {
+        op.mcu_start(mcu)?;
+        let mx = (mcu % mcus_x) as usize;
+        let my = (mcu / mcus_x) as usize;
+        for (si, sc) in parsed.scan.components.iter().enumerate() {
+            let comp = &frame.components[sc.comp_index];
+            let class = if sc.comp_index == 0 { 0 } else { 1 };
+            let (ch, cv) = (comp.h as usize, comp.v as usize);
+            for by in 0..cv {
+                for bx_in in 0..ch {
+                    let gx = mx * ch + bx_in;
+                    let gy = my * cv + by;
+                    let ring = &rings[si];
+                    let above = ring.get(gx, gy as isize - 1);
+                    let left = if gx > 0 { ring.get(gx - 1, gy as isize) } else { None };
+                    let above_left = if gx > 0 {
+                        ring.get(gx - 1, gy as isize - 1)
+                    } else {
+                        None
+                    };
+                    let block = {
+                        let nbr = BlockNeighbors {
+                            above: above.map(|e| &e.0),
+                            left: left.map(|e| &e.0),
+                            above_left: above_left.map(|e| &e.0),
+                            above_edges: above.map(|e| &e.1),
+                            left_edges: left.map(|e| &e.1),
+                            quant: &quants[si],
+                        };
+                        op.block(si, class, gx, gy, &nbr)?
+                    };
+                    let edges = block_edges(&block, &quants[si]);
+                    rings[si].put(gx, gy, (block, edges));
+                }
+            }
+        }
+        op.mcu_end(mcu)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An op that records visit order and neighbor availability.
+    struct Recorder {
+        visits: Vec<(usize, usize, usize, bool, bool)>,
+    }
+
+    impl BlockOp for Recorder {
+        type Error = ();
+        fn block(
+            &mut self,
+            scan_idx: usize,
+            _class: usize,
+            bx: usize,
+            gy: usize,
+            nbr: &BlockNeighbors<'_>,
+        ) -> Result<CoefBlock, ()> {
+            self.visits
+                .push((scan_idx, bx, gy, nbr.above.is_some(), nbr.left.is_some()));
+            let mut b = [0i16; 64];
+            b[0] = (bx + gy) as i16;
+            Ok(b)
+        }
+    }
+
+    fn tiny_parsed(w: u16, h: u16) -> ParsedJpeg {
+        // Reuse the pixel encoder to get a consistent ParsedJpeg.
+        use lepton_jpeg::encoder::{encode_jpeg, EncodeOptions, Image, PixelData};
+        let img = Image {
+            width: w as usize,
+            height: h as usize,
+            data: PixelData::Gray(vec![128; w as usize * h as usize]),
+        };
+        let jpg = encode_jpeg(&img, &EncodeOptions::default()).unwrap();
+        lepton_jpeg::parse(&jpg).unwrap()
+    }
+
+    #[test]
+    fn neighbor_visibility_from_segment_start() {
+        let parsed = tiny_parsed(32, 24); // 4x3 MCUs
+        let mut op = Recorder { visits: vec![] };
+        // Segment starting mid-row at MCU 5 (= row 1, col 1).
+        walk_segment(&parsed, 5, 12, &mut op).unwrap();
+        // First block (bx=1, gy=1): no neighbors visible (above is in
+        // another segment's rows, left was coded by a previous segment).
+        let first = op.visits[0];
+        assert_eq!((first.1, first.2), (1, 1));
+        assert!(!first.3 && !first.4, "segment start sees no neighbors");
+        // Next block (bx=2, gy=1): left visible, above not.
+        let second = op.visits[1];
+        assert!(!second.3 && second.4);
+        // A block in the following row with same bx: above now visible.
+        let below = op
+            .visits
+            .iter()
+            .find(|v| v.1 == 1 && v.2 == 2)
+            .expect("visited");
+        assert!(below.3, "above visible within segment");
+        // Row-2 col-0 block: no left.
+        let row2c0 = op.visits.iter().find(|v| v.1 == 0 && v.2 == 2).unwrap();
+        assert!(!row2c0.4);
+    }
+
+    #[test]
+    fn full_walk_covers_all_blocks() {
+        let parsed = tiny_parsed(32, 24);
+        let mut op = Recorder { visits: vec![] };
+        let mcus = parsed.frame.mcu_count() as u32;
+        walk_segment(&parsed, 0, mcus, &mut op).unwrap();
+        assert_eq!(op.visits.len(), parsed.frame.mcu_count());
+        // Interior blocks see both neighbors.
+        let interior = op.visits.iter().find(|v| v.1 == 2 && v.2 == 2).unwrap();
+        assert!(interior.3 && interior.4);
+    }
+}

@@ -1,0 +1,431 @@
+//! JPEG → Lepton compression.
+//!
+//! The encoder (paper §3.4) is serial on the JPEG side — "the Lepton
+//! encoder must decode the original JPEG serially" — and parallel on the
+//! arithmetic side: the scan is decoded once into coefficient planes
+//! with handover snapshots, then each thread segment is arithmetically
+//! encoded concurrently with its own fresh model.
+
+use crate::driver::{walk_segment, BlockOp};
+use crate::error::LeptonError;
+use crate::format::{
+    write_container, ContainerHeader, SegmentInfo, SerializedHandover,
+};
+use lepton_arith::BoolEncoder;
+use lepton_jpeg::bitio::PadState;
+use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
+use lepton_jpeg::scan::{decode_scan, Handover, ScanStats};
+use lepton_jpeg::{CoefPlanes, JpegError};
+use lepton_model::component::CategoryBytes;
+use lepton_model::context::BlockNeighbors;
+use lepton_model::{ComponentModel, ModelConfig};
+
+/// Thread-segment selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadPolicy {
+    /// Pick segment count from input size with the paper's empirically
+    /// chosen cutoffs (Fig. 7/8 show the resulting steps).
+    Auto,
+    /// Fixed segment count (1 = the paper's "Lepton 1-way").
+    Fixed(usize),
+}
+
+impl ThreadPolicy {
+    /// Segment count for an input of `bytes` bytes, capped at `mcus`.
+    pub fn segments(&self, bytes: usize, mcus: u32) -> u32 {
+        let n = match self {
+            ThreadPolicy::Fixed(n) => (*n).max(1) as u32,
+            ThreadPolicy::Auto => {
+                // Empirical cutoffs in the spirit of §5.4: small images
+                // get fewer threads so each bin sees more data.
+                if bytes < 128 << 10 {
+                    1
+                } else if bytes < 512 << 10 {
+                    2
+                } else if bytes < (2 << 20) {
+                    4
+                } else {
+                    8
+                }
+            }
+        };
+        n.min(mcus.max(1)).min(255)
+    }
+}
+
+/// Compression options.
+#[derive(Clone, Debug)]
+pub struct CompressOptions {
+    /// Thread-segment policy.
+    pub threads: ThreadPolicy,
+    /// Probability-model configuration (ablations).
+    pub model: ModelConfig,
+    /// Memory budget for parsing/decoding the JPEG.
+    pub limits: ParseLimits,
+    /// Verify a full round-trip before returning (production always
+    /// does; §5.7 "blockservers never admit chunks that fail to
+    /// round-trip").
+    pub verify: bool,
+}
+
+impl Default for CompressOptions {
+    fn default() -> Self {
+        CompressOptions {
+            threads: ThreadPolicy::Auto,
+            model: ModelConfig::default(),
+            limits: ParseLimits::default(),
+            verify: true,
+        }
+    }
+}
+
+/// Instrumentation from one compression run (drives Figs. 4 and 6).
+#[derive(Clone, Debug, Default)]
+pub struct CompressStats {
+    /// Input bytes.
+    pub input_bytes: usize,
+    /// Output (Lepton) bytes.
+    pub output_bytes: usize,
+    /// Verbatim JPEG header size.
+    pub header_in: usize,
+    /// Compressed header size (zlib blob, metadata included).
+    pub header_out: usize,
+    /// Input scan bit breakdown from the Huffman decode.
+    pub scan_in: ScanStats,
+    /// Output byte attribution from the model.
+    pub scan_out: CategoryBytes,
+    /// Thread segments used.
+    pub segments: u32,
+}
+
+/// The arithmetic-encoding side of one thread segment.
+struct SegEncoder<'a> {
+    planes: &'a CoefPlanes,
+    parsed: &'a ParsedJpeg,
+    enc: BoolEncoder,
+    models: [ComponentModel; 2],
+}
+
+impl BlockOp for SegEncoder<'_> {
+    type Error = LeptonError;
+
+    fn block(
+        &mut self,
+        scan_idx: usize,
+        class: usize,
+        bx: usize,
+        gy: usize,
+        nbr: &BlockNeighbors<'_>,
+    ) -> Result<lepton_jpeg::CoefBlock, LeptonError> {
+        let comp_index = self.parsed.scan.components[scan_idx].comp_index;
+        let block = *self.planes.planes[comp_index].block(bx, gy);
+        self.models[class].encode_block(&mut self.enc, &block, nbr);
+        Ok(block)
+    }
+}
+
+/// Compress a whole JPEG file into a single Lepton container.
+pub fn compress(jpeg: &[u8], opts: &CompressOptions) -> Result<Vec<u8>, LeptonError> {
+    let (out, _) = compress_with_stats(jpeg, opts)?;
+    Ok(out)
+}
+
+/// Compress and report instrumentation.
+pub fn compress_with_stats(
+    jpeg: &[u8],
+    opts: &CompressOptions,
+) -> Result<(Vec<u8>, CompressStats), LeptonError> {
+    let parsed = parse_with_limits(jpeg, &opts.limits)?;
+    if parsed.header_len > jpeg.len() {
+        return Err(LeptonError::Jpeg(JpegError::Truncated));
+    }
+    let mcus = parsed.frame.mcu_count() as u32;
+    let nseg = opts.threads.segments(jpeg.len(), mcus);
+    let bounds = segment_bounds(&parsed, 0, mcus, nseg);
+
+    let (scan_data, snapshots) = decode_scan(jpeg, &parsed, &bounds)?;
+    let container = build_container(
+        jpeg,
+        &parsed,
+        &scan_data.coefs,
+        &ChunkSpec {
+            byte_start: 0,
+            byte_end: jpeg.len(),
+            emit_header: true,
+            bounds: &bounds,
+            handovers: &snapshots,
+            final_chunk: true,
+            scan_end: scan_data.scan_end,
+            pad: scan_data.pad,
+            rst_count: scan_data.rst_count,
+        },
+        opts,
+    )?;
+    let (bytes, scan_out, header_out) = container;
+
+    let stats = CompressStats {
+        input_bytes: jpeg.len(),
+        output_bytes: bytes.len(),
+        header_in: parsed.header_len,
+        header_out,
+        scan_in: scan_data.stats,
+        scan_out,
+        segments: nseg,
+    };
+
+    if opts.verify {
+        let round = crate::decoder::decompress(&bytes)?;
+        if round != jpeg {
+            return Err(LeptonError::RoundtripFailed);
+        }
+    }
+    Ok((bytes, stats))
+}
+
+/// Compress a JPEG into independent per-chunk containers of at most
+/// `chunk_size` original bytes each (the paper's 4-MiB blocks, §3.4).
+/// Each container decompresses independently to its exact byte range.
+pub fn compress_chunked(
+    jpeg: &[u8],
+    chunk_size: usize,
+    opts: &CompressOptions,
+) -> Result<Vec<Vec<u8>>, LeptonError> {
+    assert!(chunk_size > 0);
+    let parsed = parse_with_limits(jpeg, &opts.limits)?;
+    if parsed.header_len >= chunk_size {
+        // A header spanning chunks is not supported (production rejects
+        // such pathological files too).
+        return Err(LeptonError::Jpeg(JpegError::UnsupportedScan));
+    }
+    let mcus = parsed.frame.mcu_count() as u32;
+
+    // Snapshot every MCU so chunk boundaries can be resolved to MCU
+    // indices by byte offset.
+    let all: Vec<u32> = (0..=mcus).collect();
+    let (scan_data, snapshots) = decode_scan(jpeg, &parsed, &all)?;
+
+    let n_chunks = jpeg.len().div_ceil(chunk_size).max(1);
+    let mut out = Vec::with_capacity(n_chunks);
+    for k in 0..n_chunks {
+        let byte_start = k * chunk_size;
+        let byte_end = ((k + 1) * chunk_size).min(jpeg.len());
+        let final_chunk = k == n_chunks - 1;
+
+        // First MCU whose coding starts at byte >= byte_start.
+        let m_start = snapshots.partition_point(|h| h.byte_offset < byte_start) as u32;
+        let m_end = snapshots.partition_point(|h| h.byte_offset < byte_end) as u32;
+        let (m_start, m_end) = (m_start.min(mcus), m_end.min(mcus));
+
+        let nseg = opts.threads.segments(byte_end - byte_start, (m_end - m_start).max(1));
+        let bounds = segment_bounds(&parsed, m_start, m_end, nseg);
+        let handovers: Vec<Handover> = bounds
+            .iter()
+            .map(|&m| snapshots[m as usize])
+            .collect();
+
+        let (bytes, _, _) = build_container(
+            jpeg,
+            &parsed,
+            &scan_data.coefs,
+            &ChunkSpec {
+                byte_start,
+                byte_end,
+                emit_header: k == 0,
+                bounds: &bounds,
+                handovers: &handovers,
+                final_chunk,
+                scan_end: scan_data.scan_end,
+                pad: scan_data.pad,
+                rst_count: scan_data.rst_count,
+            },
+            opts,
+        )?;
+        if opts.verify {
+            let round = crate::decoder::decompress(&bytes)?;
+            if round != jpeg[byte_start..byte_end] {
+                return Err(LeptonError::RoundtripFailed);
+            }
+        }
+        out.push(bytes);
+    }
+    Ok(out)
+}
+
+/// Segment boundaries: `nseg+1` MCU indices in `[from, to]`, equally
+/// split and snapped to MCU-row starts where possible (paper: "Thread
+/// Segment Vertical Range").
+fn segment_bounds(parsed: &ParsedJpeg, from: u32, to: u32, nseg: u32) -> Vec<u32> {
+    let mcus_x = parsed.frame.mcus_x as u32;
+    let span = to - from;
+    let nseg = nseg.min(span.max(1));
+    let mut bounds = Vec::with_capacity(nseg as usize + 1);
+    bounds.push(from);
+    for i in 1..nseg {
+        let raw = from + span * i / nseg;
+        // Snap up to the next row start if that stays in range.
+        let snapped = raw.div_ceil(mcus_x) * mcus_x;
+        let b = if snapped > from && snapped < to { snapped } else { raw };
+        let b = b.clamp(from, to);
+        if *bounds.last().expect("nonempty") < b {
+            bounds.push(b);
+        }
+    }
+    if *bounds.last().expect("nonempty") != to {
+        bounds.push(to);
+    }
+    bounds
+}
+
+struct ChunkSpec<'a> {
+    byte_start: usize,
+    byte_end: usize,
+    emit_header: bool,
+    /// Segment boundary MCUs (len = nseg + 1).
+    bounds: &'a [u32],
+    /// Handover at each boundary (len = nseg + 1).
+    handovers: &'a [Handover],
+    final_chunk: bool,
+    scan_end: usize,
+    pad: PadState,
+    rst_count: u32,
+}
+
+/// Encode all segments of one chunk and assemble its container.
+/// Returns (container bytes, model output attribution, header blob size).
+fn build_container(
+    jpeg: &[u8],
+    parsed: &ParsedJpeg,
+    planes: &CoefPlanes,
+    spec: &ChunkSpec<'_>,
+    opts: &CompressOptions,
+) -> Result<(Vec<u8>, CategoryBytes, usize), LeptonError> {
+    let nseg = spec.bounds.len() - 1;
+    debug_assert_eq!(spec.handovers.len(), spec.bounds.len());
+
+    // Parallel arithmetic encoding of the segments.
+    let mut results: Vec<Option<Result<(Vec<u8>, CategoryBytes), LeptonError>>> =
+        (0..nseg).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, slot) in results.iter_mut().enumerate() {
+            let bounds = spec.bounds;
+            let model_cfg = opts.model;
+            handles.push(s.spawn(move || {
+                let mut op = SegEncoder {
+                    planes,
+                    parsed,
+                    enc: BoolEncoder::new(),
+                    models: [
+                        ComponentModel::new(model_cfg),
+                        ComponentModel::new(model_cfg),
+                    ],
+                };
+                let r = walk_segment(parsed, bounds[i], bounds[i + 1], &mut op);
+                *slot = Some(r.map(|()| {
+                    let mut cat = op.models[0].stats();
+                    cat.add(&op.models[1].stats());
+                    (op.enc.finish(), cat)
+                }));
+            }));
+        }
+        for h in handles {
+            h.join().expect("segment encoder panicked");
+        }
+    });
+
+    let mut streams = Vec::with_capacity(nseg);
+    let mut cat_total = CategoryBytes::default();
+    for slot in results {
+        let (stream, cat) = slot.expect("filled")?;
+        cat_total.add(&cat);
+        streams.push(stream);
+    }
+
+    // Byte-range bookkeeping.
+    let first_mcu_byte = spec.handovers[0].byte_offset.max(spec.byte_start);
+    let scan_part_end = spec.scan_end.clamp(spec.byte_start, spec.byte_end);
+
+    // Covered-by-segments region: [handover[0].byte_offset,
+    // handover[last].byte_offset) — or up to scan_end for final chunks.
+    let prepend = if spec.bounds[0] == spec.bounds[nseg] {
+        // No MCUs in this chunk: everything before the scan tail is
+        // verbatim prefix.
+        jpeg[spec.byte_start..scan_part_end.max(spec.byte_start)].to_vec()
+    } else {
+        jpeg[spec.byte_start..first_mcu_byte].to_vec()
+    };
+    let prepend = if spec.emit_header {
+        // The header is emitted separately; strip it from the prefix.
+        prepend[parsed.header_len.saturating_sub(spec.byte_start).min(prepend.len())..].to_vec()
+    } else {
+        prepend
+    };
+
+    // Trailing bytes: for the final chunk, everything after the scan.
+    let append = if scan_part_end < spec.byte_end {
+        jpeg[scan_part_end..spec.byte_end].to_vec()
+    } else {
+        Vec::new()
+    };
+
+    // Per-segment output byte counts.
+    let mut segments = Vec::with_capacity(nseg);
+    for i in 0..nseg {
+        let seg_start_byte = spec.handovers[i].byte_offset;
+        let out_bytes = if i + 1 < nseg {
+            (spec.handovers[i + 1].byte_offset - seg_start_byte) as u64
+        } else {
+            // Last segment: up to the chunk end (non-final chunks
+            // truncate; final chunks run to the scan end).
+            let end = if spec.final_chunk {
+                scan_part_end
+            } else {
+                spec.byte_end
+            };
+            end.saturating_sub(seg_start_byte) as u64
+        };
+        segments.push(SegmentInfo {
+            mcu_start: spec.bounds[i],
+            mcu_end: spec.bounds[i + 1],
+            out_bytes,
+            arith_bytes: streams[i].len() as u64,
+            handover: SerializedHandover::from_handover(&spec.handovers[i]),
+        });
+    }
+
+    let header = ContainerHeader {
+        emit_header: spec.emit_header,
+        jpeg_header: jpeg[..parsed.header_len].to_vec(),
+        output_size: (spec.byte_end - spec.byte_start) as u32,
+        pad_bit: match spec.pad {
+            PadState::Seen(true) => 1,
+            PadState::Seen(false) => 0,
+            _ => 2,
+        },
+        rst_count: spec.rst_count,
+        prepend,
+        append,
+        segments,
+    };
+    let blob_len = header.serialize_blob().len();
+    let bytes = write_container(&header, &streams);
+    Ok((bytes, cat_total, blob_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_policy_cutoffs() {
+        let p = ThreadPolicy::Auto;
+        assert_eq!(p.segments(10 << 10, 1000), 1);
+        assert_eq!(p.segments(256 << 10, 1000), 2);
+        assert_eq!(p.segments(1 << 20, 1000), 4);
+        assert_eq!(p.segments(4 << 20, 1000), 8);
+        // Capped by MCU count.
+        assert_eq!(p.segments(4 << 20, 3), 3);
+        assert_eq!(ThreadPolicy::Fixed(5).segments(1, 1000), 5);
+        assert_eq!(ThreadPolicy::Fixed(0).segments(1, 1000), 1);
+    }
+}

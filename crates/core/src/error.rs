@@ -1,0 +1,176 @@
+//! Lepton error types and the production exit-code taxonomy (§6.2).
+
+use lepton_jpeg::JpegError;
+
+/// Errors from Lepton compression/decompression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeptonError {
+    /// The input JPEG could not be handled; carries the substrate error.
+    Jpeg(JpegError),
+    /// Input is not a Lepton container (bad magic).
+    BadMagic,
+    /// Container version not supported by this build (§6.7: the
+    /// incompatible-old-version incident).
+    UnsupportedVersion(u8),
+    /// Container structurally invalid.
+    CorruptContainer(&'static str),
+    /// The round-trip verification failed: decompressing the freshly
+    /// compressed file did not reproduce the input (§5.7: such files are
+    /// never admitted and fall back to Deflate).
+    RoundtripFailed,
+    /// A memory budget was exceeded.
+    MemoryLimit {
+        /// Bytes required.
+        required: usize,
+        /// Configured budget.
+        limit: usize,
+    },
+    /// Thread communication failed (should be impossible; mirrors the
+    /// paper's "Impossible" exit code).
+    Internal(&'static str),
+}
+
+impl From<JpegError> for LeptonError {
+    fn from(e: JpegError) -> Self {
+        LeptonError::Jpeg(e)
+    }
+}
+
+impl std::fmt::Display for LeptonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeptonError::Jpeg(e) => write!(f, "jpeg: {e}"),
+            LeptonError::BadMagic => write!(f, "not a Lepton container"),
+            LeptonError::UnsupportedVersion(v) => write!(f, "unsupported Lepton version {v}"),
+            LeptonError::CorruptContainer(w) => write!(f, "corrupt container: {w}"),
+            LeptonError::RoundtripFailed => write!(f, "round-trip verification failed"),
+            LeptonError::MemoryLimit { required, limit } => {
+                write!(f, "memory budget exceeded: need {required}, limit {limit}")
+            }
+            LeptonError::Internal(w) => write!(f, "internal: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for LeptonError {}
+
+/// Exit-code classification matching the §6.2 production table, used by
+/// the `tab_error_codes` experiment and the storage layer's accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExitCode {
+    /// File compressed and verified.
+    Success,
+    /// Progressive JPEG (intentionally unsupported).
+    Progressive,
+    /// Baseline-incompatible JPEG of some other kind.
+    UnsupportedJpeg,
+    /// Input is not a JPEG at all.
+    NotAnImage,
+    /// 4-color (CMYK) JPEG.
+    FourColorCmyk,
+    /// Decode memory budget exceeded (">24 MiB mem decode").
+    MemDecodeLimit,
+    /// Encode memory budget exceeded (">178 MiB mem encode").
+    MemEncodeLimit,
+    /// Graceful shutdown requested mid-operation.
+    ServerShutdown,
+    /// "Impossible": internal invariant failure.
+    Impossible,
+    /// Abort signal.
+    AbortSignal,
+    /// Operation timed out.
+    Timeout,
+    /// Chroma subsampling larger than supported.
+    ChromaSubsampleBig,
+    /// AC values out of baseline range.
+    AcOutOfRange,
+    /// Round-trip verification failed.
+    RoundtripFailed,
+    /// Out-of-memory kill.
+    OomKill,
+    /// Operator interrupt.
+    OperatorInterrupt,
+}
+
+impl ExitCode {
+    /// Classify an error the way the production deployment's exit codes
+    /// did.
+    pub fn classify(err: &LeptonError) -> ExitCode {
+        match err {
+            LeptonError::Jpeg(j) => match j {
+                JpegError::NotAJpeg => ExitCode::NotAnImage,
+                JpegError::Progressive => ExitCode::Progressive,
+                JpegError::FourColor => ExitCode::FourColorCmyk,
+                JpegError::UnsupportedSampling => ExitCode::ChromaSubsampleBig,
+                JpegError::AcOutOfRange | JpegError::DcOutOfRange => ExitCode::AcOutOfRange,
+                JpegError::TooLarge { .. } => ExitCode::MemEncodeLimit,
+                _ => ExitCode::UnsupportedJpeg,
+            },
+            LeptonError::RoundtripFailed => ExitCode::RoundtripFailed,
+            LeptonError::MemoryLimit { .. } => ExitCode::MemDecodeLimit,
+            LeptonError::Internal(_) => ExitCode::Impossible,
+            _ => ExitCode::UnsupportedJpeg,
+        }
+    }
+
+    /// Short label matching the paper's table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExitCode::Success => "Success",
+            ExitCode::Progressive => "Progressive",
+            ExitCode::UnsupportedJpeg => "Unsupported JPEG",
+            ExitCode::NotAnImage => "Not an image",
+            ExitCode::FourColorCmyk => "4 color CMYK",
+            ExitCode::MemDecodeLimit => ">24 MiB mem decode",
+            ExitCode::MemEncodeLimit => ">178 MiB mem encode",
+            ExitCode::ServerShutdown => "Server shutdown",
+            ExitCode::Impossible => "\"Impossible\"",
+            ExitCode::AbortSignal => "Abort signal",
+            ExitCode::Timeout => "Timeout",
+            ExitCode::ChromaSubsampleBig => "Chroma subsample big",
+            ExitCode::AcOutOfRange => "AC values out of range",
+            ExitCode::RoundtripFailed => "Roundtrip failed",
+            ExitCode::OomKill => "OOM kill",
+            ExitCode::OperatorInterrupt => "Operator interrupt",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_table() {
+        assert_eq!(
+            ExitCode::classify(&LeptonError::Jpeg(JpegError::Progressive)),
+            ExitCode::Progressive
+        );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::Jpeg(JpegError::NotAJpeg)),
+            ExitCode::NotAnImage
+        );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::Jpeg(JpegError::FourColor)),
+            ExitCode::FourColorCmyk
+        );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::Jpeg(JpegError::AcOutOfRange)),
+            ExitCode::AcOutOfRange
+        );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::RoundtripFailed),
+            ExitCode::RoundtripFailed
+        );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::Internal("x")),
+            ExitCode::Impossible
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ExitCode::Progressive.label(), "Progressive");
+        assert_eq!(ExitCode::MemDecodeLimit.label(), ">24 MiB mem decode");
+    }
+}

@@ -1,0 +1,55 @@
+//! # lepton-core — the Lepton codec
+//!
+//! Round-trip, format-aware recompression of baseline JPEG files
+//! (Horn et al., NSDI '17). The Huffman entropy layer of a JPEG is
+//! replaced by an adaptive binary arithmetic code driven by a large
+//! context model; the original file is recovered **byte-exactly** on
+//! decompression.
+//!
+//! ## API
+//!
+//! * [`compress`] / [`decompress`] — whole files, one container.
+//! * [`compress_chunked`] / [`decompress`] — independent containers per
+//!   fixed-size byte range of the original file (the paper's 4-MiB
+//!   storage chunks): any chunk decompresses without access to the
+//!   others, via Huffman handover words.
+//! * [`decompress_streaming`] — output bytes are pushed to a sink in
+//!   file order while later thread segments are still decoding.
+//! * [`verify`] — round-trip verification and build qualification.
+//!
+//! ```
+//! use lepton_core::{compress, decompress, CompressOptions};
+//! # fn demo(jpeg: &[u8]) -> Result<(), lepton_core::LeptonError> {
+//! let lepton = compress(jpeg, &CompressOptions::default())?;
+//! assert!(lepton.len() < jpeg.len());
+//! assert_eq!(decompress(&lepton)?, jpeg);
+//! # Ok(()) }
+//! ```
+//!
+//! ## Guarantees
+//!
+//! * **Transparency**: `decompress(compress(x)) == x` for every input
+//!   that `compress` accepts, including files with trailing garbage,
+//!   missing restart markers (App. A.3), and either pad-bit convention.
+//!   With `CompressOptions::verify` (default), this is *checked* before
+//!   a container is returned — the production admission rule (§5.7).
+//! * **Determinism**: encode and decode use only integer arithmetic;
+//!   the same input produces the same bytes on every platform, thread
+//!   count, and run (§5.2).
+//! * **Bounded decode memory**: decompression works row-by-row and
+//!   never materializes coefficient planes (§1, §4.2).
+
+mod decoder;
+mod driver;
+mod encoder;
+mod error;
+pub mod format;
+pub mod security;
+pub mod verify;
+
+pub use decoder::{decompress, decompress_opts, decompress_streaming, DecompressOptions};
+pub use driver::{walk_segment, BlockOp};
+pub use encoder::{
+    compress, compress_chunked, compress_with_stats, CompressOptions, CompressStats, ThreadPolicy,
+};
+pub use error::{ExitCode, LeptonError};

@@ -1,0 +1,130 @@
+//! Resource policy: the library-level analogue of the deployment's
+//! SECCOMP discipline (§5.1).
+//!
+//! The production system enters a syscall-filtered mode (read/write/
+//! exit/sigreturn only) after pre-allocating a fixed 200-MiB arena and
+//! pre-spawning threads, so untrusted input can never cause allocation,
+//! file access, or process control. A library cannot install seccomp
+//! filters for its host process, so this module enforces the observable
+//! half of the contract and documents the substitution (see DESIGN.md):
+//!
+//! * all sizing decisions are made from the *header* before coefficient
+//!   data is touched, against explicit budgets ([`ResourceBudget`]);
+//! * worker threads perform no I/O and no budget-exceeding allocation;
+//! * input bytes are only ever *read* — nothing about the process
+//!   environment changes based on payload content.
+
+/// Explicit byte budgets, defaulting to the paper's deployed limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Decode-side budget (paper: 24 MiB per thread segment, §4.2).
+    pub decode_bytes: usize,
+    /// Encode-side budget (paper: 178 MiB, §6.2).
+    pub encode_bytes: usize,
+    /// Upfront arena the production binary zeroes before reading input
+    /// (§5.1: 200 MiB).
+    pub arena_bytes: usize,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            decode_bytes: 24 << 20,
+            encode_bytes: 178 << 20,
+            arena_bytes: 200 << 20,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// Would an encode-side working set of `bytes` fit?
+    pub fn admits_encode(&self, bytes: usize) -> bool {
+        bytes <= self.encode_bytes
+    }
+
+    /// Would a decode-side working set of `bytes` fit?
+    pub fn admits_decode(&self, bytes: usize) -> bool {
+        bytes <= self.decode_bytes
+    }
+}
+
+/// Estimate the decoder's steady-state working set for a frame: ring
+/// rows, edge caches, and per-thread models — *not* full coefficient
+/// planes, because decode streams row-by-row (§1 "Memory").
+pub fn decode_working_set(frame: &lepton_jpeg::FrameInfo, segments: usize) -> usize {
+    let per_segment_rows: usize = frame
+        .components
+        .iter()
+        .map(|c| {
+            // (v+1) rows of (block + edges) per component.
+            let per_block = 64 * 2 + std::mem::size_of::<[i64; 32]>();
+            c.blocks_w * (c.v as usize + 1) * per_block
+        })
+        .sum();
+    // Two component models (~2 bytes per bin) per segment.
+    let model_bytes = 2 * 2 * 90_000;
+    segments * (per_segment_rows + model_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let b = ResourceBudget::default();
+        assert_eq!(b.decode_bytes, 24 << 20);
+        assert_eq!(b.encode_bytes, 178 << 20);
+        assert_eq!(b.arena_bytes, 200 << 20);
+    }
+
+    #[test]
+    fn working_set_is_row_bounded() {
+        // A 4000x3000 4:2:0 image: decode working set must stay in the
+        // paper's tens-of-MiB regime even though coefficient planes
+        // would be ~36 MB.
+        let frame = lepton_jpeg::FrameInfo {
+            precision: 8,
+            width: 4000,
+            height: 3000,
+            components: vec![
+                lepton_jpeg::Component {
+                    id: 1,
+                    h: 2,
+                    v: 2,
+                    tq: 0,
+                    blocks_w: 500,
+                    blocks_h: 376,
+                },
+                lepton_jpeg::Component {
+                    id: 2,
+                    h: 1,
+                    v: 1,
+                    tq: 1,
+                    blocks_w: 250,
+                    blocks_h: 188,
+                },
+                lepton_jpeg::Component {
+                    id: 3,
+                    h: 1,
+                    v: 1,
+                    tq: 1,
+                    blocks_w: 250,
+                    blocks_h: 188,
+                },
+            ],
+            mcus_x: 250,
+            mcus_y: 188,
+            hmax: 2,
+            vmax: 2,
+        };
+        let ws = decode_working_set(&frame, 8);
+        assert!(ws < ResourceBudget::default().decode_bytes * 8);
+        let planes: usize = frame
+            .components
+            .iter()
+            .map(|c| c.blocks_w * c.blocks_h * 128)
+            .sum();
+        assert!(ws < planes, "streaming beats plane-resident decode");
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end Lepton round trips: compress → decompress == identity,
+//! across image shapes, thread counts, chunking, and streaming.
+
+use lepton_core::{
+    compress, compress_chunked, compress_with_stats, decompress, decompress_streaming,
+    CompressOptions, DecompressOptions, ThreadPolicy,
+};
+use lepton_jpeg::encoder::{encode_jpeg, EncodeOptions, Image, PixelData, Subsampling};
+
+fn prng_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut x = seed.max(1);
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+fn photo_rgb(w: usize, h: usize, seed: u64) -> Vec<u8> {
+    let noise = prng_bytes(seed, w * h * 3);
+    let mut data = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        for x in 0..w {
+            let i = (y * w + x) * 3;
+            let r = 120.0 + 90.0 * ((x as f32) / 23.0).sin() + (noise[i] as f32 - 128.0) * 0.12;
+            let g = 110.0 + 75.0 * ((y as f32) / 17.0).cos() + (noise[i + 1] as f32 - 128.0) * 0.12;
+            let b = 95.0 + 65.0 * (((x * y) as f32) / 701.0).sin()
+                + (noise[i + 2] as f32 - 128.0) * 0.12;
+            data.push(r.clamp(0.0, 255.0) as u8);
+            data.push(g.clamp(0.0, 255.0) as u8);
+            data.push(b.clamp(0.0, 255.0) as u8);
+        }
+    }
+    let img = Image {
+        width: w,
+        height: h,
+        data: PixelData::Rgb(data),
+    };
+    encode_jpeg(&img, &EncodeOptions::default()).unwrap()
+}
+
+fn photo_gray(w: usize, h: usize, seed: u64, opts: &EncodeOptions) -> Vec<u8> {
+    let noise = prng_bytes(seed, w * h);
+    let data = (0..w * h)
+        .map(|i| {
+            let (x, y) = ((i % w) as f32, (i / w) as f32);
+            let v = 128.0
+                + 70.0 * (x / 29.0).sin() * (y / 31.0).cos()
+                + (noise[i] as f32 - 128.0) * 0.1;
+            v.clamp(0.0, 255.0) as u8
+        })
+        .collect();
+    let img = Image {
+        width: w,
+        height: h,
+        data: PixelData::Gray(data),
+    };
+    encode_jpeg(&img, opts).unwrap()
+}
+
+#[test]
+fn roundtrip_gray_single_thread() {
+    let jpg = photo_gray(64, 48, 1, &EncodeOptions::default());
+    let opts = CompressOptions {
+        threads: ThreadPolicy::Fixed(1),
+        ..Default::default()
+    };
+    let lepton = compress(&jpg, &opts).unwrap();
+    assert_eq!(decompress(&lepton).unwrap(), jpg);
+    assert!(lepton.len() < jpg.len(), "{} !< {}", lepton.len(), jpg.len());
+}
+
+#[test]
+fn roundtrip_color_multithreaded() {
+    let jpg = photo_rgb(96, 80, 2);
+    for n in [1usize, 2, 3, 4, 8] {
+        let opts = CompressOptions {
+            threads: ThreadPolicy::Fixed(n),
+            ..Default::default()
+        };
+        let lepton = compress(&jpg, &opts).unwrap();
+        assert_eq!(decompress(&lepton).unwrap(), jpg, "threads={n}");
+    }
+}
+
+#[test]
+fn compression_ratio_in_paper_range() {
+    // The paper reports ~77% of original size on photographic content.
+    // Synthetic photos differ, but we should land clearly below 95% and
+    // above 40% on realistic content.
+    let jpg = photo_rgb(256, 192, 3);
+    let (lepton, stats) = compress_with_stats(&jpg, &CompressOptions::default()).unwrap();
+    let ratio = lepton.len() as f64 / jpg.len() as f64;
+    assert!(ratio < 0.95, "ratio {ratio}");
+    assert!(ratio > 0.40, "ratio {ratio}");
+    assert_eq!(stats.input_bytes, jpg.len());
+    assert_eq!(stats.output_bytes, lepton.len());
+    assert!(stats.scan_in.ac77_bits > 0);
+    assert!(stats.scan_out.total() > 0);
+}
+
+#[test]
+fn single_thread_compresses_no_worse() {
+    // "Lepton 1-way": one model over the whole image compresses at least
+    // as well as 8 independent segments (§3.4).
+    let jpg = photo_rgb(160, 120, 4);
+    let one = compress(
+        &jpg,
+        &CompressOptions {
+            threads: ThreadPolicy::Fixed(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let many = compress(
+        &jpg,
+        &CompressOptions {
+            threads: ThreadPolicy::Fixed(8),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        one.len() <= many.len() + 16,
+        "1-way {} vs 8-way {}",
+        one.len(),
+        many.len()
+    );
+}
+
+#[test]
+fn roundtrip_with_restarts() {
+    let opts_jpg = EncodeOptions {
+        restart_interval: 5,
+        ..Default::default()
+    };
+    let jpg = photo_gray(128, 96, 5, &opts_jpg);
+    for n in [1usize, 4] {
+        let opts = CompressOptions {
+            threads: ThreadPolicy::Fixed(n),
+            ..Default::default()
+        };
+        let lepton = compress(&jpg, &opts).unwrap();
+        assert_eq!(decompress(&lepton).unwrap(), jpg, "threads={n}");
+    }
+}
+
+#[test]
+fn roundtrip_trailing_garbage() {
+    let mut jpg = photo_gray(40, 40, 6, &EncodeOptions::default());
+    jpg.extend_from_slice(&prng_bytes(77, 1000));
+    let lepton = compress(&jpg, &CompressOptions::default()).unwrap();
+    assert_eq!(decompress(&lepton).unwrap(), jpg);
+}
+
+#[test]
+fn roundtrip_all_subsamplings_and_pads() {
+    for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+        for pad in [true, false] {
+            let img = Image {
+                width: 50,
+                height: 42,
+                data: PixelData::Rgb(prng_bytes(8, 50 * 42 * 3)),
+            };
+            let jpg = encode_jpeg(
+                &img,
+                &EncodeOptions {
+                    subsampling: sub,
+                    pad_bit: pad,
+                    quality: 60,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let lepton = compress(&jpg, &CompressOptions::default()).unwrap();
+            assert_eq!(decompress(&lepton).unwrap(), jpg, "{sub:?} pad={pad}");
+        }
+    }
+}
+
+#[test]
+fn chunked_roundtrip_reassembles() {
+    let jpg = photo_rgb(640, 480, 9);
+    assert!(jpg.len() > 1 << 15, "test image too small: {}", jpg.len());
+    for chunk_size in [1 << 12, 1 << 13, 1 << 15] {
+        let chunks = compress_chunked(&jpg, chunk_size, &CompressOptions::default()).unwrap();
+        assert!(chunks.len() > 1, "want multiple chunks for size {chunk_size}");
+        let mut rebuilt = Vec::new();
+        for c in &chunks {
+            rebuilt.extend(decompress(c).unwrap());
+        }
+        assert_eq!(rebuilt, jpg, "chunk_size={chunk_size}");
+    }
+}
+
+#[test]
+fn chunks_decode_independently_in_any_order() {
+    let jpg = photo_rgb(180, 140, 10);
+    let chunks = compress_chunked(&jpg, 1 << 13, &CompressOptions::default()).unwrap();
+    // Decode chunks in reverse order, then reassemble.
+    let mut parts: Vec<(usize, Vec<u8>)> = Vec::new();
+    for (i, c) in chunks.iter().enumerate().rev() {
+        parts.push((i, decompress(c).unwrap()));
+    }
+    parts.sort_by_key(|p| p.0);
+    let rebuilt: Vec<u8> = parts.into_iter().flat_map(|p| p.1).collect();
+    assert_eq!(rebuilt, jpg);
+}
+
+#[test]
+fn streaming_prefix_property() {
+    // The first sink calls must deliver the file prefix before the whole
+    // decode completes; collect fragment boundaries and verify order.
+    let jpg = photo_rgb(128, 96, 11);
+    let lepton = compress(&jpg, &CompressOptions::default()).unwrap();
+    let mut fragments: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    decompress_streaming(&lepton, &DecompressOptions::default(), &mut |b: &[u8]| {
+        fragments.push(b.len());
+        out.extend_from_slice(b);
+    })
+    .unwrap();
+    assert_eq!(out, jpg);
+    assert!(
+        fragments.len() >= 3,
+        "expected multiple fragments, got {fragments:?}"
+    );
+}
+
+#[test]
+fn deterministic_output() {
+    let jpg = photo_rgb(100, 76, 12);
+    let opts = CompressOptions::default();
+    let a = compress(&jpg, &opts).unwrap();
+    let b = compress(&jpg, &opts).unwrap();
+    assert_eq!(a, b, "compression must be deterministic");
+}
+
+#[test]
+fn rejects_non_jpeg_inputs() {
+    use lepton_core::{ExitCode, LeptonError};
+    let e = compress(b"not a jpeg at all", &CompressOptions::default()).unwrap_err();
+    assert_eq!(ExitCode::classify(&e), ExitCode::NotAnImage);
+    let e = compress(&[], &CompressOptions::default()).unwrap_err();
+    assert!(matches!(e, LeptonError::Jpeg(_)));
+}
+
+#[test]
+fn decompress_rejects_corruption_without_panic() {
+    let jpg = photo_gray(64, 64, 13, &EncodeOptions::default());
+    let lepton = compress(&jpg, &CompressOptions::default()).unwrap();
+    // Flip bytes throughout the container; decode must error or produce
+    // different bytes, never panic or hang.
+    for pos in (0..lepton.len()).step_by(97) {
+        let mut bad = lepton.clone();
+        bad[pos] ^= 0x5A;
+        match decompress(&bad) {
+            Ok(out) => {
+                // Arithmetic garbage may still "decode"; it must simply
+                // not panic. (Equality is possible only if we flipped a
+                // byte the parser ignores — the revision field.)
+                let _ = out;
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs() {
+    // 1x1 image.
+    let img = Image {
+        width: 1,
+        height: 1,
+        data: PixelData::Gray(vec![42]),
+    };
+    let jpg = encode_jpeg(&img, &EncodeOptions::default()).unwrap();
+    let lepton = compress(&jpg, &CompressOptions::default()).unwrap();
+    assert_eq!(decompress(&lepton).unwrap(), jpg);
+}
+
+#[test]
+fn verify_harness_agrees() {
+    use lepton_core::verify::{qualify, verify_roundtrip, Verdict};
+    let jpg = photo_rgb(80, 60, 14);
+    match verify_roundtrip(&jpg, &CompressOptions::default()) {
+        Verdict::Verified { compressed } => assert!(compressed < jpg.len()),
+        v => panic!("expected verified, got {v:?}"),
+    }
+    let not_jpeg = prng_bytes(15, 500);
+    let files: Vec<&[u8]> = vec![&jpg, &not_jpeg];
+    let q = qualify(files, &CompressOptions::default());
+    assert!(q.qualified());
+    assert_eq!(q.verified, 1);
+    assert_eq!(q.rejected.len(), 1);
+}

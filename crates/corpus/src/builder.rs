@@ -1,0 +1,271 @@
+//! Corpus assembly: the §4 benchmark population.
+//!
+//! "Some of these chunks are JPEG files, some are not JPEGs, and some
+//! are the first 4 MiB of a large JPEG file… Lepton successfully
+//! compresses 96.4% of the sampled chunks." The builder reproduces that
+//! mix with §6.2's proportions as defaults.
+
+use crate::corrupt;
+use crate::synth::{synth_image, SceneKind};
+use lepton_jpeg::encoder::{encode_jpeg, EncodeOptions, Image, PixelData, Subsampling};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a corpus file is supposed to be (ground truth for the §6.2
+/// error-code experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Clean baseline JPEG.
+    Baseline,
+    /// Baseline with trailing garbage (rounds trip fine).
+    TrailingData,
+    /// Zero-run tail corruption (App. A.3).
+    ZeroRun,
+    /// Progressive file (rejected).
+    Progressive,
+    /// CMYK/4-component (rejected).
+    Cmyk,
+    /// SOI-prefixed garbage (rejected: "Not an image").
+    NotAnImage,
+    /// Truncated mid-scan (rejected or fails round-trip).
+    Truncated,
+}
+
+/// One generated file with its ground-truth kind and seed.
+#[derive(Clone, Debug)]
+pub struct CorpusFile {
+    /// The file bytes.
+    pub data: Vec<u8>,
+    /// Ground truth population.
+    pub kind: FileKind,
+    /// Seed that produced it (for reproduction in bug reports).
+    pub seed: u64,
+}
+
+/// Corpus shape parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusSpec {
+    /// Number of files.
+    pub count: usize,
+    /// Minimum image dimension.
+    pub min_dim: usize,
+    /// Maximum image dimension.
+    pub max_dim: usize,
+    /// Probability a file is a clean baseline JPEG; the §6.2 remainder
+    /// is split among the reject/corrupt classes.
+    pub clean_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            count: 100,
+            min_dim: 48,
+            max_dim: 512,
+            clean_fraction: 0.94, // §6.2: 94.069% success
+            seed: 0x1EAF_5EED,
+        }
+    }
+}
+
+/// A generated corpus.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// The files.
+    pub files: Vec<CorpusFile>,
+}
+
+impl Corpus {
+    /// Generate a corpus per `spec`.
+    pub fn generate(spec: &CorpusSpec) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let files = (0..spec.count)
+            .map(|i| {
+                let seed = rng.gen::<u64>() ^ (i as u64);
+                generate_file(spec, seed, &mut rng)
+            })
+            .collect();
+        Corpus { files }
+    }
+
+    /// Only the clean-baseline files (the population Fig. 4/6 use).
+    pub fn clean(&self) -> impl Iterator<Item = &CorpusFile> {
+        self.files
+            .iter()
+            .filter(|f| matches!(f.kind, FileKind::Baseline | FileKind::TrailingData))
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> usize {
+        self.files.iter().map(|f| f.data.len()).sum()
+    }
+}
+
+/// Generate one clean baseline JPEG with camera-like parameter spread.
+pub fn clean_jpeg(spec: &CorpusSpec, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kind = SceneKind::ALL[rng.gen_range(0..SceneKind::ALL.len())];
+    let w = rng.gen_range(spec.min_dim..=spec.max_dim);
+    let h = rng.gen_range(spec.min_dim..=spec.max_dim);
+    let rgb = synth_image(kind, w, h, seed);
+    // Camera-like distribution: most photos 70–95 quality, 4:2:0 most
+    // common; fixed-function chips never optimize tables (§1).
+    let quality = *[55u8, 65, 75, 80, 85, 90, 92, 95]
+        .get(rng.gen_range(0..8))
+        .expect("in range");
+    let subsampling = match rng.gen_range(0..10) {
+        0..=5 => Subsampling::S420,
+        6..=7 => Subsampling::S422,
+        _ => Subsampling::S444,
+    };
+    let gray = rng.gen_bool(0.08);
+    let img = if gray {
+        let g = rgb.chunks(3).map(|p| p[0]).collect();
+        Image {
+            width: w,
+            height: h,
+            data: PixelData::Gray(g),
+        }
+    } else {
+        Image {
+            width: w,
+            height: h,
+            data: PixelData::Rgb(rgb),
+        }
+    };
+    let opts = EncodeOptions {
+        quality,
+        subsampling,
+        restart_interval: if rng.gen_bool(0.2) {
+            rng.gen_range(1..32)
+        } else {
+            0
+        },
+        optimize_tables: rng.gen_bool(0.15),
+        pad_bit: rng.gen_bool(0.9),
+        comment: rng
+            .gen_bool(0.3)
+            .then(|| b"synthesized by lepton-corpus".to_vec()),
+        app0: true,
+    };
+    encode_jpeg(&img, &opts).expect("synthesized images always encode")
+}
+
+fn generate_file(spec: &CorpusSpec, seed: u64, rng: &mut StdRng) -> CorpusFile {
+    let clean = rng.gen_bool(spec.clean_fraction);
+    if clean {
+        return CorpusFile {
+            data: clean_jpeg(spec, seed),
+            kind: FileKind::Baseline,
+            seed,
+        };
+    }
+    // §6.2 reject-class proportions (renormalized over ~6%):
+    // Progressive 3.04%, Unsupported/Not-an-image 2.3%, CMYK 0.48%,
+    // plus the A.3 corruption classes.
+    let kind = match rng.gen_range(0..100) {
+        0..=45 => FileKind::Progressive,
+        46..=65 => FileKind::NotAnImage,
+        66..=73 => FileKind::Cmyk,
+        74..=85 => FileKind::ZeroRun,
+        86..=93 => FileKind::TrailingData,
+        _ => FileKind::Truncated,
+    };
+    let data = match kind {
+        FileKind::Progressive => corrupt::progressive_lookalike(&clean_jpeg(spec, seed)),
+        FileKind::NotAnImage => {
+            corrupt::soi_prefixed_garbage(rng.gen_range(512..8192), seed)
+        }
+        FileKind::Cmyk => corrupt::cmyk_stub(seed),
+        FileKind::ZeroRun => corrupt::zero_run_tail(&clean_jpeg(spec, seed), 0.7),
+        FileKind::TrailingData => {
+            corrupt::trailing_data(&clean_jpeg(spec, seed), rng.gen_range(16..2048), seed)
+        }
+        FileKind::Truncated => corrupt::truncate(&clean_jpeg(spec, seed), 0.6),
+        FileKind::Baseline => unreachable!(),
+    };
+    CorpusFile { data, kind, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let spec = CorpusSpec {
+            count: 12,
+            max_dim: 96,
+            ..Default::default()
+        };
+        let a = Corpus::generate(&spec);
+        let b = Corpus::generate(&spec);
+        assert_eq!(a.files.len(), 12);
+        for (fa, fb) in a.files.iter().zip(&b.files) {
+            assert_eq!(fa.data, fb.data);
+            assert_eq!(fa.kind, fb.kind);
+        }
+    }
+
+    #[test]
+    fn clean_files_parse() {
+        let spec = CorpusSpec {
+            count: 20,
+            max_dim: 128,
+            clean_fraction: 1.0,
+            ..Default::default()
+        };
+        let c = Corpus::generate(&spec);
+        for f in &c.files {
+            assert_eq!(f.kind, FileKind::Baseline);
+            lepton_jpeg::parse(&f.data).expect("clean corpus files parse");
+        }
+    }
+
+    #[test]
+    fn mixed_population_present() {
+        let spec = CorpusSpec {
+            count: 300,
+            max_dim: 64,
+            min_dim: 48,
+            clean_fraction: 0.5, // force plenty of rejects
+            ..Default::default()
+        };
+        let c = Corpus::generate(&spec);
+        let kinds: std::collections::HashSet<_> = c.files.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FileKind::Baseline));
+        assert!(kinds.contains(&FileKind::Progressive));
+        assert!(kinds.contains(&FileKind::NotAnImage));
+        assert!(kinds.len() >= 5, "got {kinds:?}");
+    }
+
+    #[test]
+    fn progressive_files_rejected_as_progressive() {
+        let spec = CorpusSpec {
+            count: 1,
+            max_dim: 64,
+            ..Default::default()
+        };
+        let jpg = clean_jpeg(&spec, 5);
+        let prog = corrupt::progressive_lookalike(&jpg);
+        assert_eq!(
+            lepton_jpeg::parse(&prog).unwrap_err(),
+            lepton_jpeg::JpegError::Progressive
+        );
+    }
+
+    #[test]
+    fn quality_spread_affects_size() {
+        // Same scene at q55 vs q95 must differ substantially in size.
+        let spec = CorpusSpec::default();
+        let mut sizes = Vec::new();
+        for seed in 0..30u64 {
+            sizes.push(clean_jpeg(&spec, seed).len());
+        }
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min * 2, "size spread too small: {min}..{max}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Corruption patterns from paper Appendix A.3 and §6.2.
+//!
+//! "Most prevalently, JPEG files sometimes contain or end with runs of
+//! zero bytes… RST markers foil this fortuitous behavior… A very common
+//! corruption was arbitrary data at the end of the file… two JPEGs were
+//! concatenated, the first being a thumbnail of the second."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zero-fill the file's tail starting at `from_fraction` of its length
+/// (unsynced-page corruption; wipes any restart markers in the range).
+pub fn zero_run_tail(jpeg: &[u8], from_fraction: f64) -> Vec<u8> {
+    let cut = ((jpeg.len() as f64) * from_fraction.clamp(0.1, 0.99)) as usize;
+    let mut out = jpeg.to_vec();
+    for b in out[cut..].iter_mut() {
+        *b = 0;
+    }
+    out
+}
+
+/// Truncate the file at `fraction` of its length.
+pub fn truncate(jpeg: &[u8], fraction: f64) -> Vec<u8> {
+    let cut = ((jpeg.len() as f64) * fraction.clamp(0.05, 0.99)) as usize;
+    jpeg[..cut.max(2)].to_vec()
+}
+
+/// Append "TV-ready interlaced preview" style trailing data (arbitrary
+/// non-JPEG bytes after EOI).
+pub fn trailing_data(jpeg: &[u8], n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = jpeg.to_vec();
+    out.extend((0..n).map(|_| rng.gen::<u8>()));
+    out
+}
+
+/// Concatenate a thumbnail JPEG and a main JPEG (the authors' camera
+/// case: Lepton compresses only the leading image).
+pub fn concatenated(thumbnail: &[u8], main: &[u8]) -> Vec<u8> {
+    let mut out = thumbnail.to_vec();
+    out.extend_from_slice(main);
+    out
+}
+
+/// Flip `n` random bits anywhere in the file.
+pub fn bit_flips(jpeg: &[u8], n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = jpeg.to_vec();
+    for _ in 0..n {
+        if out.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..out.len());
+        out[i] ^= 1 << rng.gen_range(0..8);
+    }
+    out
+}
+
+/// A progressive-JPEG lookalike: take a baseline file and rewrite its
+/// SOF0 marker to SOF2 (parsers must reject it as progressive; the scan
+/// itself is never reached).
+pub fn progressive_lookalike(jpeg: &[u8]) -> Vec<u8> {
+    let mut out = jpeg.to_vec();
+    let mut i = 2;
+    while i + 1 < out.len() {
+        if out[i] == 0xFF && out[i + 1] == 0xC0 {
+            out[i + 1] = 0xC2;
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A four-component (CMYK-style) SOF embedded in a minimal container.
+pub fn cmyk_stub(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0xFF, 0xD8];
+    v.extend_from_slice(&[
+        0xFF, 0xC0, 0x00, 0x14, 0x08, 0x00, 0x40, 0x00, 0x40, 0x04,
+        0x01, 0x11, 0x00, 0x02, 0x11, 0x00, 0x03, 0x11, 0x00, 0x04, 0x11, 0x00,
+    ]);
+    v.extend((0..rng.gen_range(64..256)).map(|_| rng.gen::<u8>()));
+    v
+}
+
+/// Bytes that begin with the JPEG SOI marker but are not a JPEG (the
+/// paper's sampling is "chunks beginning with the start-of-image
+/// marker", 3.6% of which are not usable JPEGs).
+pub fn soi_prefixed_garbage(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0xFF, 0xD8];
+    v.extend((0..n).map(|_| rng.gen::<u8>()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_jpeg() -> Vec<u8> {
+        let mut v = vec![0xFF, 0xD8, 0xFF, 0xC0, 0x00, 0x05, 1, 2, 3];
+        v.extend_from_slice(&[0u8; 100]);
+        v.extend_from_slice(&[0xFF, 0xD9]);
+        v
+    }
+
+    #[test]
+    fn zero_run_preserves_length() {
+        let j = fake_jpeg();
+        let z = zero_run_tail(&j, 0.5);
+        assert_eq!(z.len(), j.len());
+        assert!(z[z.len() - 1] == 0);
+        assert_eq!(&z[..2], &[0xFF, 0xD8]);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let j = fake_jpeg();
+        assert!(truncate(&j, 0.5).len() < j.len());
+        assert!(truncate(&j, 0.0).len() >= 2);
+    }
+
+    #[test]
+    fn trailing_grows() {
+        let j = fake_jpeg();
+        let t = trailing_data(&j, 64, 9);
+        assert_eq!(t.len(), j.len() + 64);
+        assert_eq!(&t[..j.len()], &j[..]);
+    }
+
+    #[test]
+    fn progressive_flips_sof() {
+        let j = fake_jpeg();
+        let p = progressive_lookalike(&j);
+        assert_eq!(p[3], 0xC2);
+    }
+
+    #[test]
+    fn cmyk_stub_has_four_components() {
+        let c = cmyk_stub(1);
+        assert_eq!(c[11], 0x04);
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let j = fake_jpeg();
+        assert_eq!(bit_flips(&j, 5, 42), bit_flips(&j, 5, 42));
+        assert_ne!(bit_flips(&j, 5, 42), bit_flips(&j, 5, 43));
+    }
+}

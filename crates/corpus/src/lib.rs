@@ -1,0 +1,24 @@
+//! Deterministic synthetic JPEG corpus generation.
+//!
+//! The paper evaluates on 233,376 randomly sampled Dropbox data chunks
+//! (§4): mostly baseline JPEGs across a wide quality/size range, plus
+//! progressive files, CMYK files, non-images, and several corruption
+//! patterns (App. A.3). That corpus is private; this crate synthesizes
+//! its statistical stand-in, as documented in DESIGN.md:
+//!
+//! * [`synth`] — photographic image synthesis (smooth fields, filtered
+//!   noise, edges, text-like glyphs) with seeded determinism;
+//! * [`builder`] — corpus assembly: quality/subsampling/size/table-mode
+//!   distributions modeled on camera output, plus the §6.2 population
+//!   of rejectable files (progressive, CMYK, non-image, oversized);
+//! * [`corrupt`] — the App. A.3 corruption patterns: zero-run tails,
+//!   truncation, trailing TV-preview data, concatenated thumbnails.
+//!
+//! Every file is reproducible from a `u64` seed.
+
+pub mod builder;
+pub mod corrupt;
+pub mod synth;
+
+pub use builder::{Corpus, CorpusFile, CorpusSpec, FileKind};
+pub use synth::{synth_image, SceneKind};

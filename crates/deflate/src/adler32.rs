@@ -1,0 +1,89 @@
+//! Adler-32 checksum (RFC 1950 §8.2).
+
+const MOD: u32 = 65521;
+/// Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) fits in a u32;
+/// standard zlib value, lets us defer the modulo.
+const NMAX: usize = 5552;
+
+/// Rolling Adler-32 state.
+#[derive(Clone, Copy, Debug)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Initial state (checksum of the empty string is 1).
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(NMAX) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MOD;
+            self.b %= MOD;
+        }
+    }
+
+    /// Current checksum value.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// One-shot Adler-32 of `data`.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a = Adler32::new();
+    a.update(data);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Values cross-checked against zlib's adler32().
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"message digest"), 0x29750586);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i * 31) as u8).collect();
+        let mut inc = Adler32::new();
+        for chunk in data.chunks(97) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn long_input_no_overflow() {
+        let data = vec![0xFFu8; 1_000_000];
+        // Must not overflow/wrap incorrectly.
+        let c = adler32(&data);
+        let mut a: u64 = 1;
+        let mut b: u64 = 0;
+        for &x in &data {
+            a = (a + x as u64) % 65521;
+            b = (b + a) % 65521;
+        }
+        assert_eq!(c, ((b as u32) << 16) | a as u32);
+    }
+}

@@ -1,0 +1,227 @@
+//! LSB-first bit I/O as used by Deflate (RFC 1951 §3.1.1).
+//!
+//! Data elements are packed starting at the least-significant bit of each
+//! byte. Huffman codes are packed most-significant-bit first *of the
+//! code*, which means codes must be bit-reversed before being written with
+//! [`LsbWriter::write_bits`]; [`reverse_bits`] does that.
+
+/// LSB-first bit writer.
+#[derive(Clone, Debug, Default)]
+pub struct LsbWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl LsbWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `v` (LSB-first).
+    #[inline]
+    pub fn write_bits(&mut self, v: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || v < (1u32 << n));
+        self.acc |= (v as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Write a raw byte (must be byte-aligned).
+    pub fn write_byte(&mut self, b: u8) {
+        debug_assert_eq!(self.nbits, 0, "write_byte requires byte alignment");
+        self.out.push(b);
+    }
+
+    /// Write raw bytes (must be byte-aligned).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.nbits, 0);
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Flush any partial byte (zero-padded) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+}
+
+/// LSB-first bit reader. Reads past the end return an error from callers
+/// via `Option`.
+#[derive(Clone, Debug)]
+pub struct LsbReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> LsbReader<'a> {
+    /// New reader at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        LsbReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 {
+            match self.data.get(self.pos) {
+                Some(&b) => {
+                    self.acc |= (b as u64) << self.nbits;
+                    self.nbits += 8;
+                    self.pos += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Read `n` bits LSB-first; `None` if the input is exhausted.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u32> {
+        debug_assert!(n <= 32);
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return None;
+            }
+        }
+        let v = if n == 0 {
+            0
+        } else {
+            (self.acc & ((1u64 << n) - 1)) as u32
+        };
+        self.acc >>= n;
+        self.nbits -= n;
+        Some(v)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u32> {
+        self.read_bits(1)
+    }
+
+    /// Discard bits up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Read `n` raw bytes (must be byte-aligned).
+    pub fn read_bytes(&mut self, n: usize) -> Option<Vec<u8>> {
+        debug_assert_eq!(self.nbits % 8, 0);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Some(out)
+    }
+
+    /// True when all input (including buffered bits) is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0 && self.pos >= self.data.len()
+    }
+}
+
+/// Reverse the low `n` bits of `code` (for writing Huffman codes, which
+/// Deflate packs starting from the code's MSB).
+#[inline]
+pub fn reverse_bits(code: u32, n: u32) -> u32 {
+    let mut v = 0;
+    for i in 0..n {
+        v |= ((code >> i) & 1) << (n - 1 - i);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_roundtrip() {
+        let mut w = LsbWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0x3FFF, 14);
+        w.write_bits(0, 0);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = LsbReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(14), Some(0x3FFF));
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bits(1), Some(1));
+    }
+
+    #[test]
+    fn byte_alignment() {
+        let mut w = LsbWriter::new();
+        w.write_bits(1, 1);
+        w.align_byte();
+        w.write_byte(0xAB);
+        w.write_bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x01, 0xAB, 1, 2, 3]);
+        let mut r = LsbReader::new(&bytes);
+        assert_eq!(r.read_bit(), Some(1));
+        r.align_byte();
+        assert_eq!(r.read_bytes(4), Some(vec![0xAB, 1, 2, 3]));
+    }
+
+    #[test]
+    fn read_past_end() {
+        let mut r = LsbReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reverse() {
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b10110, 5), 0b01101);
+        assert_eq!(reverse_bits(0xFFFF, 16), 0xFFFF);
+        assert_eq!(reverse_bits(1, 15), 1 << 14);
+    }
+
+    #[test]
+    fn interleaved_align() {
+        let mut w = LsbWriter::new();
+        for i in 0..10u32 {
+            w.write_bits(i & 0x7, 3);
+        }
+        let bytes = w.finish();
+        let mut r = LsbReader::new(&bytes);
+        for i in 0..10u32 {
+            assert_eq!(r.read_bits(3), Some(i & 0x7));
+        }
+    }
+}

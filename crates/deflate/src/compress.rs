@@ -1,0 +1,466 @@
+//! The Deflate compressor: tokenize with LZ77, then emit each block as
+//! whichever of stored / fixed-Huffman / dynamic-Huffman is smallest.
+
+use crate::adler32::adler32;
+use crate::bitstream::{reverse_bits, LsbWriter};
+use crate::huffman::{canonical_codes, code_lengths};
+use crate::lz77::{Matcher, MatcherConfig, Token};
+
+/// Compression effort level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Short hash chains, greedy matching.
+    Fastest,
+    /// zlib-6-like effort.
+    Default,
+    /// Long chains, lazy matching.
+    Best,
+}
+
+impl Level {
+    fn matcher_config(self) -> MatcherConfig {
+        match self {
+            Level::Fastest => MatcherConfig::FAST,
+            Level::Default => MatcherConfig::DEFAULT,
+            Level::Best => MatcherConfig::BEST,
+        }
+    }
+}
+
+/// Tokens per emitted block: bounds per-block frequency-table drift.
+const BLOCK_TOKENS: usize = 65_536;
+
+// --- RFC 1951 length/distance code tables -------------------------------
+
+/// `(base_length, extra_bits)` for length codes 257..=285.
+const LENGTH_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// `(base_distance, extra_bits)` for distance codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1),
+    (9, 2), (13, 2),
+    (17, 3), (25, 3),
+    (33, 4), (49, 4),
+    (65, 5), (97, 5),
+    (129, 6), (193, 6),
+    (257, 7), (385, 7),
+    (513, 8), (769, 8),
+    (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11),
+    (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Order in which code-length code lengths are transmitted (RFC 1951).
+pub(crate) const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Map a match length (3..=258) to `(code - 257, extra_bits, extra_value)`.
+fn length_code(len: u16) -> (usize, u8, u16) {
+    debug_assert!((3..=258).contains(&len));
+    // Binary search is overkill for 29 entries; linear scan from the top.
+    for (i, &(base, extra)) in LENGTH_TABLE.iter().enumerate().rev() {
+        if len >= base {
+            return (i, extra, len - base);
+        }
+    }
+    unreachable!()
+}
+
+/// Map a distance (1..=32768) to `(code, extra_bits, extra_value)`.
+fn dist_code(dist: u16) -> (usize, u8, u16) {
+    debug_assert!(dist >= 1);
+    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate().rev() {
+        if dist >= base {
+            return (i, extra, dist - base);
+        }
+    }
+    unreachable!()
+}
+
+pub(crate) fn length_base(code: usize) -> (u16, u8) {
+    LENGTH_TABLE[code]
+}
+
+pub(crate) fn dist_base(code: usize) -> (u16, u8) {
+    DIST_TABLE[code]
+}
+
+/// Fixed literal/length code lengths (RFC 1951 §3.2.6).
+pub(crate) fn fixed_lit_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    l[144..256].iter_mut().for_each(|x| *x = 9);
+    l[256..280].iter_mut().for_each(|x| *x = 7);
+    l
+}
+
+/// Fixed distance code lengths.
+pub(crate) fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+struct BlockPlan {
+    lit_lengths: Vec<u8>,
+    dist_lengths: Vec<u8>,
+    /// Cost in bits of the token payload under these codes.
+    payload_bits: usize,
+}
+
+fn tally(tokens: &[Token]) -> ([u32; 286], [u32; 30]) {
+    let mut lit = [0u32; 286];
+    let mut dist = [0u32; 30];
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit[b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                lit[257 + length_code(len).0] += 1;
+                dist[dist_code(d).0] += 1;
+            }
+        }
+    }
+    lit[256] += 1; // end-of-block
+    (lit, dist)
+}
+
+fn payload_cost(tokens: &[Token], lit_lengths: &[u8], dist_lengths: &[u8]) -> usize {
+    let mut bits = lit_lengths[256] as usize;
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => bits += lit_lengths[b as usize] as usize,
+            Token::Match { len, dist: d } => {
+                let (lc, le, _) = length_code(len);
+                let (dc, de, _) = dist_code(d);
+                bits += lit_lengths[257 + lc] as usize + le as usize;
+                bits += dist_lengths[dc] as usize + de as usize;
+            }
+        }
+    }
+    bits
+}
+
+fn dynamic_plan(tokens: &[Token]) -> BlockPlan {
+    let (lit_freq, dist_freq) = tally(tokens);
+    let lit_lengths = code_lengths(&lit_freq, 15);
+    let mut dist_lengths = code_lengths(&dist_freq, 15);
+    // RFC: at least one distance code must be described.
+    if dist_lengths.iter().all(|&l| l == 0) {
+        dist_lengths[0] = 1;
+    }
+    let payload_bits = payload_cost(tokens, &lit_lengths, &dist_lengths);
+    BlockPlan {
+        lit_lengths,
+        dist_lengths,
+        payload_bits,
+    }
+}
+
+/// RLE-encode code lengths with symbols 16/17/18 per RFC 1951 §3.2.7.
+fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u8, u8)> {
+    // (symbol, extra_bits, extra_value)
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lengths.len() {
+        let v = lengths[i];
+        let mut run = 1;
+        while i + run < lengths.len() && lengths[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let n = left.min(138);
+                out.push((18, 7, (n - 11) as u8));
+                left -= n;
+            }
+            if left >= 3 {
+                out.push((17, 3, (left - 3) as u8));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push((0, 0, 0));
+            }
+        } else {
+            out.push((v, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let n = left.min(6);
+                out.push((16, 2, (n - 3) as u8));
+                left -= n;
+            }
+            for _ in 0..left {
+                out.push((v, 0, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+fn write_dynamic_header(w: &mut LsbWriter, plan: &BlockPlan) {
+    // Trim trailing zero lengths (but keep at least 257 lit / 1 dist).
+    let hlit = plan
+        .lit_lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map(|p| p + 1)
+        .unwrap_or(257)
+        .max(257);
+    let hdist = plan
+        .dist_lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map(|p| p + 1)
+        .unwrap_or(1)
+        .max(1);
+
+    let mut all = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&plan.lit_lengths[..hlit]);
+    all.extend_from_slice(&plan.dist_lengths[..hdist]);
+    let rle = rle_code_lengths(&all);
+
+    let mut clen_freq = [0u32; 19];
+    for &(sym, _, _) in &rle {
+        clen_freq[sym as usize] += 1;
+    }
+    let clen_lengths = code_lengths(&clen_freq, 7);
+    let clen_codes = canonical_codes(&clen_lengths);
+
+    let hclen = CLEN_ORDER
+        .iter()
+        .rposition(|&s| clen_lengths[s] > 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+
+    w.write_bits((hlit - 257) as u32, 5);
+    w.write_bits((hdist - 1) as u32, 5);
+    w.write_bits((hclen - 4) as u32, 4);
+    for &s in CLEN_ORDER.iter().take(hclen) {
+        w.write_bits(clen_lengths[s] as u32, 3);
+    }
+    for &(sym, extra_bits, extra_val) in &rle {
+        let l = clen_lengths[sym as usize] as u32;
+        debug_assert!(l > 0);
+        w.write_bits(reverse_bits(clen_codes[sym as usize] as u32, l), l);
+        if extra_bits > 0 {
+            w.write_bits(extra_val as u32, extra_bits as u32);
+        }
+    }
+}
+
+fn dynamic_header_cost(plan: &BlockPlan) -> usize {
+    let mut probe = LsbWriter::new();
+    write_dynamic_header(&mut probe, plan);
+    probe.bit_len()
+}
+
+fn write_tokens(w: &mut LsbWriter, tokens: &[Token], lit_lengths: &[u8], dist_lengths: &[u8]) {
+    let lit_codes = canonical_codes(lit_lengths);
+    let dist_codes = canonical_codes(dist_lengths);
+    let put = |codes: &[u16], lengths: &[u8], sym: usize| {
+        let l = lengths[sym] as u32;
+        debug_assert!(l > 0, "symbol {sym} has no code");
+        (reverse_bits(codes[sym] as u32, l), l)
+    };
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                let (c, l) = put(&lit_codes, lit_lengths, b as usize);
+                w.write_bits(c, l);
+            }
+            Token::Match { len, dist } => {
+                let (lc, le, lv) = length_code(len);
+                let (c, l) = put(&lit_codes, lit_lengths, 257 + lc);
+                w.write_bits(c, l);
+                if le > 0 {
+                    w.write_bits(lv as u32, le as u32);
+                }
+                let (dc, de, dv) = dist_code(dist);
+                let (c, l) = put(&dist_codes, dist_lengths, dc);
+                w.write_bits(c, l);
+                if de > 0 {
+                    w.write_bits(dv as u32, de as u32);
+                }
+            }
+        }
+    }
+    let (c, l) = put(&lit_codes, lit_lengths, 256);
+    w.write_bits(c, l);
+}
+
+/// Compress `data` into a raw Deflate stream.
+pub fn deflate_compress(data: &[u8], level: Level) -> Vec<u8> {
+    let mut w = LsbWriter::new();
+    let mut matcher = Matcher::new(level.matcher_config());
+
+    // Tokenize the whole input once (window history flows across blocks),
+    // then emit blocks of BLOCK_TOKENS tokens.
+    let mut tokens = Vec::new();
+    matcher.tokenize(data, 0, data.len(), &mut tokens);
+
+    // Byte ranges covered by each token, for stored-block fallback.
+    let mut token_bytes = Vec::with_capacity(tokens.len());
+    {
+        let mut pos = 0usize;
+        for t in &tokens {
+            let n = match *t {
+                Token::Literal(_) => 1usize,
+                Token::Match { len, .. } => len as usize,
+            };
+            token_bytes.push((pos, pos + n));
+            pos += n;
+        }
+        debug_assert_eq!(pos, data.len());
+    }
+
+    let nblocks = tokens.len().div_ceil(BLOCK_TOKENS).max(1);
+    for bi in 0..nblocks {
+        let t0 = bi * BLOCK_TOKENS;
+        let t1 = ((bi + 1) * BLOCK_TOKENS).min(tokens.len());
+        let toks = &tokens[t0..t1];
+        let is_final = bi == nblocks - 1;
+        let (b0, b1) = if toks.is_empty() {
+            (0, 0)
+        } else {
+            (token_bytes[t0].0, token_bytes[t1 - 1].1)
+        };
+        let raw = &data[b0..b1];
+
+        let plan = dynamic_plan(toks);
+        let dyn_bits = dynamic_header_cost(&plan) + plan.payload_bits;
+        let fixed_lit = fixed_lit_lengths();
+        let fixed_dist = fixed_dist_lengths();
+        let fixed_bits = payload_cost(toks, &fixed_lit, &fixed_dist);
+        // Stored blocks are limited to 65535 bytes each.
+        let stored_bits = {
+            let chunks = raw.len().div_ceil(65_535).max(1);
+            chunks * (5 * 8) + raw.len() * 8 + 7 /* alignment slack */
+        };
+
+        if stored_bits < dyn_bits.min(fixed_bits) {
+            if raw.is_empty() {
+                // Zero-length stored block.
+                w.write_bits(is_final as u32, 1);
+                w.write_bits(0b00, 2);
+                w.align_byte();
+                w.write_bytes(&[0, 0, 0xFF, 0xFF]);
+            } else {
+                // Stored blocks carry at most 65535 bytes; emit sub-blocks,
+                // each with its own BFINAL/BTYPE header.
+                let mut chunks = raw.chunks(65_535).peekable();
+                while let Some(chunk) = chunks.next() {
+                    let last = chunks.peek().is_none();
+                    w.write_bits((is_final && last) as u32, 1);
+                    w.write_bits(0b00, 2);
+                    w.align_byte();
+                    let len = chunk.len() as u16;
+                    w.write_bytes(&len.to_le_bytes());
+                    w.write_bytes(&(!len).to_le_bytes());
+                    w.write_bytes(chunk);
+                }
+            }
+        } else if fixed_bits <= dyn_bits {
+            w.write_bits(is_final as u32, 1);
+            w.write_bits(0b01, 2);
+            write_tokens(&mut w, toks, &fixed_lit, &fixed_dist);
+        } else {
+            w.write_bits(is_final as u32, 1);
+            w.write_bits(0b10, 2);
+            write_dynamic_header(&mut w, &plan);
+            write_tokens(&mut w, toks, &plan.lit_lengths, &plan.dist_lengths);
+        }
+    }
+    w.finish()
+}
+
+/// Compress `data` into a zlib stream (RFC 1950): 2-byte header, Deflate
+/// body, Adler-32 trailer.
+pub fn zlib_compress(data: &[u8], level: Level) -> Vec<u8> {
+    let mut out = Vec::new();
+    // CMF: method 8 (deflate), 32 KiB window. FLG: check bits, no dict.
+    let cmf = 0x78u8;
+    let flevel: u8 = match level {
+        Level::Fastest => 0,
+        Level::Default => 2,
+        Level::Best => 3,
+    };
+    let mut flg = flevel << 6;
+    let rem = ((cmf as u16) << 8 | flg as u16) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(cmf);
+    out.push(flg);
+    out.extend_from_slice(&deflate_compress(data, level));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_code_boundaries() {
+        assert_eq!(length_code(3), (0, 0, 0));
+        assert_eq!(length_code(10), (7, 0, 0));
+        assert_eq!(length_code(11), (8, 1, 0));
+        assert_eq!(length_code(12), (8, 1, 1));
+        assert_eq!(length_code(257), (27, 5, 30));
+        assert_eq!(length_code(258), (28, 0, 0));
+    }
+
+    #[test]
+    fn dist_code_boundaries() {
+        assert_eq!(dist_code(1), (0, 0, 0));
+        assert_eq!(dist_code(4), (3, 0, 0));
+        assert_eq!(dist_code(5), (4, 1, 0));
+        assert_eq!(dist_code(32768), (29, 13, 8191));
+        assert_eq!(dist_code(24577), (29, 13, 0));
+        assert_eq!(dist_code(24576), (28, 13, 8191));
+    }
+
+    #[test]
+    fn rle_runs() {
+        let lengths = vec![0u8; 20];
+        let rle = rle_code_lengths(&lengths);
+        assert_eq!(rle, vec![(18, 7, 9)]); // 20 zeros = code 18 with extra 20-11
+        let lengths = vec![5u8; 8];
+        let rle = rle_code_lengths(&lengths);
+        assert_eq!(rle, vec![(5, 0, 0), (16, 2, 3), (5, 0, 0)]); // 5, rep6, 5
+    }
+
+    #[test]
+    fn fixed_lengths_shape() {
+        let l = fixed_lit_lengths();
+        assert_eq!(l[0], 8);
+        assert_eq!(l[143], 8);
+        assert_eq!(l[144], 9);
+        assert_eq!(l[255], 9);
+        assert_eq!(l[256], 7);
+        assert_eq!(l[279], 7);
+        assert_eq!(l[280], 8);
+        assert_eq!(l[287], 8);
+    }
+
+    #[test]
+    fn zlib_header_check_bits() {
+        for level in [Level::Fastest, Level::Default, Level::Best] {
+            let z = zlib_compress(b"abc", level);
+            let v = ((z[0] as u16) << 8) | z[1] as u16;
+            assert_eq!(v % 31, 0, "FCHECK invalid");
+            assert_eq!(z[0] & 0x0F, 8, "method must be deflate");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Canonical Huffman codes for Deflate.
+//!
+//! Provides length-limited code construction (package-merge, limit 15) for
+//! the compressor and a canonical decoder for the decompressor. The
+//! decoder is the count/offset scheme from Mark Adler's `puff`: simple,
+//! allocation-light, and impossible to drive out of bounds with malformed
+//! code descriptions (they are rejected up front).
+
+/// Maximum code length permitted by Deflate.
+pub const MAX_BITS: usize = 15;
+
+/// Compute length-limited Huffman code lengths for the given symbol
+/// frequencies using the package-merge algorithm.
+///
+/// Symbols with zero frequency get length 0 (absent). If only one symbol
+/// has nonzero frequency it is assigned length 1, as Deflate requires a
+/// decodable (non-degenerate) tree.
+pub fn code_lengths(freqs: &[u32], max_bits: usize) -> Vec<u8> {
+    assert!(max_bits <= MAX_BITS);
+    let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        (1usize << max_bits) >= active.len(),
+        "alphabet too large for bit limit"
+    );
+
+    // Package-merge: coins at each level are (weight, set-of-symbols).
+    // We track symbol multiplicity via a count vector per coin to stay
+    // simple; alphabets here are <= 288 symbols so this is cheap.
+    #[derive(Clone)]
+    struct Coin {
+        weight: u64,
+        /// Indices into `active`` whose depth this coin contributes to.
+        symbols: Vec<u16>,
+    }
+
+    let mut prev: Vec<Coin> = Vec::new();
+    for _level in 0..max_bits {
+        // Fresh coins for this denomination: one per active symbol.
+        let mut row: Vec<Coin> = active
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| Coin {
+                weight: freqs[s] as u64,
+                symbols: vec![k as u16],
+            })
+            .collect();
+        // Package pairs from the previous row.
+        let mut packages: Vec<Coin> = prev
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| {
+                let mut symbols = c[0].symbols.clone();
+                symbols.extend_from_slice(&c[1].symbols);
+                Coin {
+                    weight: c[0].weight + c[1].weight,
+                    symbols,
+                }
+            })
+            .collect();
+        row.append(&mut packages);
+        row.sort_by_key(|c| c.weight);
+        prev = row;
+    }
+
+    // Take the first 2(n-1) coins; each symbol's code length is the number
+    // of coins containing it.
+    let take = 2 * (active.len() - 1);
+    let mut depth = vec![0u32; active.len()];
+    for coin in prev.into_iter().take(take) {
+        for &k in &coin.symbols {
+            depth[k as usize] += 1;
+        }
+    }
+    for (k, &s) in active.iter().enumerate() {
+        debug_assert!(depth[k] >= 1 && depth[k] <= max_bits as u32);
+        lengths[s] = depth[k] as u8;
+    }
+    debug_assert!(kraft_ok(&lengths));
+    lengths
+}
+
+/// Check the Kraft inequality Σ 2^-len <= 1 (with equality required for a
+/// complete Deflate code; package-merge always produces equality).
+pub fn kraft_ok(lengths: &[u8]) -> bool {
+    let mut sum = 0u64;
+    for &l in lengths {
+        if l > 0 {
+            sum += 1u64 << (MAX_BITS - l as usize);
+        }
+    }
+    sum <= (1u64 << MAX_BITS)
+}
+
+/// Assign canonical codes (RFC 1951 §3.2.2) to the given lengths.
+/// Returns `codes[sym]` whose low `lengths[sym]` bits (MSB-first) are the
+/// code.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    let mut bl_count = [0u16; MAX_BITS + 1];
+    for &l in lengths {
+        bl_count[l as usize] += 1;
+    }
+    bl_count[0] = 0;
+    let mut next_code = [0u16; MAX_BITS + 2];
+    let mut code = 0u16;
+    for bits in 1..=MAX_BITS {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Canonical Huffman decoder (puff-style counts/symbols tables).
+#[derive(Clone, Debug)]
+pub struct Decoder {
+    /// `count[l]` = number of codes of length `l`.
+    count: [u16; MAX_BITS + 1],
+    /// Symbols sorted by (length, symbol index).
+    symbols: Vec<u16>,
+}
+
+/// Errors from building or using a [`Decoder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HuffError {
+    /// The code description oversubscribes the code space.
+    Oversubscribed,
+    /// No symbols have nonzero length.
+    Empty,
+    /// Ran out of input bits mid-code.
+    Truncated,
+    /// The bits read do not correspond to any symbol (incomplete code).
+    InvalidCode,
+}
+
+impl Decoder {
+    /// Build a decoder from per-symbol code lengths.
+    ///
+    /// Incomplete codes (Kraft sum < 1) are *permitted* — RFC 1951 allows a
+    /// single-symbol distance code — but oversubscribed codes are rejected.
+    pub fn new(lengths: &[u8]) -> Result<Self, HuffError> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &l in lengths {
+            assert!(l as usize <= MAX_BITS);
+            count[l as usize] += 1;
+        }
+        if count[0] as usize == lengths.len() {
+            return Err(HuffError::Empty);
+        }
+        // Check for oversubscription.
+        let mut left = 1i32;
+        for l in 1..=MAX_BITS {
+            left <<= 1;
+            left -= count[l] as i32;
+            if left < 0 {
+                return Err(HuffError::Oversubscribed);
+            }
+        }
+        // Offsets of first symbol of each length in `symbols`.
+        let mut offs = [0u16; MAX_BITS + 2];
+        for l in 1..=MAX_BITS {
+            offs[l + 1] = offs[l] + count[l];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[offs[l as usize] as usize] = sym as u16;
+                offs[l as usize] += 1;
+            }
+        }
+        Ok(Decoder { count, symbols })
+    }
+
+    /// Decode one symbol, pulling bits (LSB-first stream order) from
+    /// `next_bit`.
+    pub fn decode<F: FnMut() -> Option<u32>>(
+        &self,
+        mut next_bit: F,
+    ) -> Result<u16, HuffError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..=MAX_BITS {
+            code |= next_bit().ok_or(HuffError::Truncated)? as i32;
+            let count = self.count[len] as i32;
+            if code - count < first {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first += count;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(HuffError::InvalidCode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_symbol_gets_length_one() {
+        let lengths = code_lengths(&[0, 5, 0], 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let lengths = code_lengths(&[3, 7], 15);
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn skewed_frequencies_get_short_codes() {
+        let lengths = code_lengths(&[1000, 10, 10, 10, 1], 15);
+        assert!(lengths[0] < lengths[4]);
+        assert!(kraft_ok(&lengths));
+        // Kraft equality for a complete code.
+        let sum: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_BITS - l as usize))
+            .sum();
+        assert_eq!(sum, 1 << MAX_BITS);
+    }
+
+    #[test]
+    fn respects_bit_limit() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let mut freqs = vec![0u32; 40];
+        let (mut a, mut b) = (1u32, 1u32);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        for limit in [15usize, 10, 7] {
+            let lengths = code_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| (l as usize) <= limit));
+            assert!(kraft_ok(&lengths));
+        }
+    }
+
+    #[test]
+    fn canonical_code_values() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4)
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn decoder_roundtrip() {
+        let freqs: Vec<u32> = (1..=20).collect();
+        let lengths = code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lengths);
+        let dec = Decoder::new(&lengths).unwrap();
+        for sym in 0..freqs.len() {
+            // Feed the code's bits MSB-first (stream order).
+            let len = lengths[sym] as u32;
+            let code = codes[sym] as u32;
+            let mut i = 0;
+            let got = dec
+                .decode(|| {
+                    let bit = (code >> (len - 1 - i)) & 1;
+                    i += 1;
+                    Some(bit)
+                })
+                .unwrap();
+            assert_eq!(got as usize, sym);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        // Three codes of length 1 cannot exist.
+        assert_eq!(
+            Decoder::new(&[1, 1, 1]).unwrap_err(),
+            HuffError::Oversubscribed
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Decoder::new(&[0, 0, 0]).unwrap_err(), HuffError::Empty);
+    }
+
+    #[test]
+    fn incomplete_code_allowed_but_invalid_bits_detected() {
+        // Single length-2 code: valid per RFC (single distance code),
+        // decoding bits outside the code must fail, not panic.
+        let dec = Decoder::new(&[2]).unwrap();
+        let mut ones = std::iter::repeat(1u32);
+        let r = dec.decode(|| ones.next());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn truncated_input() {
+        // All codes are 2 bits; one bit of input cannot resolve a symbol.
+        let dec = Decoder::new(&[2, 2, 2]).unwrap();
+        let mut seq = vec![0u32].into_iter();
+        let r = dec.decode(|| seq.next());
+        assert_eq!(r.unwrap_err(), HuffError::Truncated);
+    }
+}

@@ -1,0 +1,145 @@
+//! Deflate (RFC 1951) and zlib (RFC 1950) implemented from scratch.
+//!
+//! Lepton uses this substrate in two roles (paper §3.1, §4):
+//!
+//! 1. JPEG *headers* (everything outside the entropy-coded scan) are
+//!    compressed "with existing lossless techniques" — zlib.
+//! 2. Deflate is the generic baseline in the paper's evaluation and the
+//!    production fallback when a chunk cannot be Lepton-compressed (§5.7).
+//!
+//! The implementation is complete and self-contained:
+//!
+//! * LSB-first bit I/O ([`bitstream`]),
+//! * canonical Huffman code construction with the 15-bit length limit via
+//!   package-merge ([`huffman`]),
+//! * an LZ77 hash-chain matcher with lazy matching ([`lz77`]),
+//! * a compressor choosing per-block between stored / fixed / dynamic
+//!   encodings ([`deflate_compress`]),
+//! * a strict decompressor ([`inflate`]) that never panics on malformed
+//!   input, and
+//! * the zlib wrapper with Adler-32 ([`zlib_compress`] / [`zlib_decompress`]).
+//!
+//! # Example
+//!
+//! ```
+//! let data = b"hello hello hello hello deflate".to_vec();
+//! let z = lepton_deflate::zlib_compress(&data, lepton_deflate::Level::Default);
+//! let back = lepton_deflate::zlib_decompress(&z, 1 << 20).unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+pub mod adler32;
+pub mod bitstream;
+mod compress;
+pub mod huffman;
+mod inflate;
+pub mod lz77;
+
+pub use compress::{deflate_compress, zlib_compress, Level};
+pub use inflate::{inflate, zlib_decompress, InflateError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        for level in [Level::Fastest, Level::Default, Level::Best] {
+            let c = deflate_compress(data, level);
+            let d = inflate(&c, data.len().max(16)).expect("inflate");
+            assert_eq!(d, data, "level {level:?}");
+            let z = zlib_compress(data, level);
+            let d = zlib_decompress(&z, data.len().max(16)).expect("zlib");
+            assert_eq!(d, data, "zlib level {level:?}");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn single_byte() {
+        roundtrip(b"x");
+    }
+
+    #[test]
+    fn repetitive() {
+        roundtrip(&b"abcabcabc".repeat(500));
+        let c = deflate_compress(&b"abcabcabc".repeat(500), Level::Default);
+        assert!(c.len() < 200, "repetitive data should compress, got {}", c.len());
+    }
+
+    #[test]
+    fn all_zero() {
+        roundtrip(&vec![0u8; 100_000]);
+        let c = deflate_compress(&vec![0u8; 100_000], Level::Default);
+        assert!(c.len() < 500);
+    }
+
+    #[test]
+    fn incompressible_uses_stored() {
+        // A simple xorshift fills a buffer with high-entropy bytes.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+        let c = deflate_compress(&data, Level::Default);
+        // Stored-block fallback bounds expansion to ~5 bytes per 64 KiB.
+        assert!(c.len() < data.len() + 64, "expansion bounded, got {}", c.len());
+    }
+
+    #[test]
+    fn text_like() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(200);
+        roundtrip(text.as_bytes());
+        let c = deflate_compress(text.as_bytes(), Level::Default);
+        assert!(c.len() * 4 < text.len(), "text compresses at least 4x");
+    }
+
+    #[test]
+    fn every_byte_value() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_match_at_max_distance() {
+        // A repeat exactly 32768 bytes back exercises the window edge.
+        let mut data = vec![7u8; 100];
+        data.extend(std::iter::repeat(0u8).take(32768 - 100));
+        data.extend(vec![7u8; 100]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn inflate_rejects_garbage() {
+        assert!(inflate(&[0xFF, 0xFF, 0xFF, 0xFF], 1024).is_err());
+        assert!(zlib_decompress(&[0x00, 0x01], 1024).is_err());
+        assert!(inflate(&[], 1024).is_err());
+    }
+
+    #[test]
+    fn inflate_respects_size_limit() {
+        let data = vec![0u8; 10_000];
+        let c = deflate_compress(&data, Level::Default);
+        assert!(matches!(inflate(&c, 100), Err(InflateError::OutputTooLarge)));
+    }
+
+    #[test]
+    fn zlib_detects_corrupt_checksum() {
+        let mut z = zlib_compress(b"checksum test data", Level::Default);
+        let n = z.len();
+        z[n - 1] ^= 0xFF;
+        assert!(matches!(
+            zlib_decompress(&z, 1024),
+            Err(InflateError::ChecksumMismatch)
+        ));
+    }
+}

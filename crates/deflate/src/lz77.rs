@@ -1,0 +1,314 @@
+//! LZ77 matching with hash chains and optional lazy evaluation.
+//!
+//! Produces the literal/match token stream that the Deflate block encoder
+//! entropy-codes. Window size, minimum/maximum match lengths follow
+//! RFC 1951 (32 KiB / 3 / 258).
+
+/// Sliding-window size mandated by Deflate.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length, `3..=258`.
+        len: u16,
+        /// Match distance, `1..=32768`.
+        dist: u16,
+    },
+}
+
+/// Matcher effort knobs, derived from the compression level.
+#[derive(Clone, Copy, Debug)]
+pub struct MatcherConfig {
+    /// Maximum hash-chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Use one-step-lazy matching (defer emitting a match if the next
+    /// position matches longer).
+    pub lazy: bool,
+    /// Stop searching early once a match of this length is found.
+    pub good_enough: usize,
+}
+
+impl MatcherConfig {
+    /// Fast: short chains, greedy.
+    pub const FAST: MatcherConfig = MatcherConfig {
+        max_chain: 8,
+        lazy: false,
+        good_enough: 32,
+    };
+    /// Balanced (zlib level ~6 equivalent).
+    pub const DEFAULT: MatcherConfig = MatcherConfig {
+        max_chain: 128,
+        lazy: true,
+        good_enough: 128,
+    };
+    /// Thorough: long chains, lazy.
+    pub const BEST: MatcherConfig = MatcherConfig {
+        max_chain: 1024,
+        lazy: true,
+        good_enough: MAX_MATCH,
+    };
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = (data[pos] as u32) | ((data[pos + 1] as u32) << 8) | ((data[pos + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain LZ77 matcher over a whole input buffer.
+pub struct Matcher {
+    head: Vec<i32>,
+    prev: Vec<i32>,
+    config: MatcherConfig,
+}
+
+impl Matcher {
+    /// New matcher with the given effort configuration.
+    pub fn new(config: MatcherConfig) -> Self {
+        Matcher {
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; WINDOW_SIZE],
+            config,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            self.prev[pos % WINDOW_SIZE] = self.head[h];
+            self.head[h] = pos as i32;
+        }
+    }
+
+    /// Longest match for `pos`, if any, as `(len, dist)`.
+    fn best_match(&self, data: &[u8], pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = (data.len() - pos).min(MAX_MATCH);
+        let h = hash3(data, pos);
+        let mut cand = self.head[h];
+        let min_pos = pos.saturating_sub(WINDOW_SIZE) as i32;
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = self.config.max_chain;
+        while cand >= 0 && cand >= min_pos && chain > 0 {
+            let c = cand as usize;
+            debug_assert!(c < pos);
+            // Quick reject: check the byte just past the current best.
+            if best_len >= MIN_MATCH
+                && (c + best_len >= data.len() || data[c + best_len] != data[pos + best_len])
+            {
+                cand = self.prev[c % WINDOW_SIZE];
+                chain -= 1;
+                continue;
+            }
+            let mut l = 0usize;
+            while l < max_len && data[c + l] == data[pos + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = pos - c;
+                if l >= self.config.good_enough || l == max_len {
+                    break;
+                }
+            }
+            cand = self.prev[c % WINDOW_SIZE];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+
+    /// Tokenize `data[start..end]`, with `data[..start]` available as
+    /// window history (positions before `start` must already have been
+    /// inserted via a previous `tokenize` call on the same `Matcher`).
+    pub fn tokenize(&mut self, data: &[u8], start: usize, end: usize, out: &mut Vec<Token>) {
+        debug_assert!(end <= data.len());
+        let mut pos = start;
+        while pos < end {
+            let cur = self.best_match(data, pos);
+            match cur {
+                None => {
+                    out.push(Token::Literal(data[pos]));
+                    self.insert(data, pos);
+                    pos += 1;
+                }
+                Some((mut len, mut dist)) => {
+                    // Lazy matching: if the next position has a strictly
+                    // longer match, emit a literal instead and let the
+                    // longer match win.
+                    if self.config.lazy && len < self.config.good_enough && pos + 1 < end {
+                        self.insert(data, pos);
+                        if let Some((nlen, ndist)) = self.best_match(data, pos + 1) {
+                            if nlen > len {
+                                out.push(Token::Literal(data[pos]));
+                                pos += 1;
+                                len = nlen;
+                                dist = ndist;
+                            }
+                        }
+                        // Clamp the match to the requested range.
+                        let len = len.min(end - pos).max(0);
+                        if len < MIN_MATCH {
+                            out.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            continue;
+                        }
+                        out.push(Token::Match {
+                            len: len as u16,
+                            dist: dist as u16,
+                        });
+                        // First position was already inserted above.
+                        for p in pos + 1..(pos + len).min(end) {
+                            self.insert(data, p);
+                        }
+                        pos += len;
+                    } else {
+                        let len = len.min(end - pos);
+                        if len < MIN_MATCH {
+                            out.push(Token::Literal(data[pos]));
+                            self.insert(data, pos);
+                            pos += 1;
+                            continue;
+                        }
+                        out.push(Token::Match {
+                            len: len as u16,
+                            dist: dist as u16,
+                        });
+                        for p in pos..(pos + len).min(end) {
+                            self.insert(data, p);
+                        }
+                        pos += len;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reconstruct bytes from tokens (reference decoder for tests).
+pub fn expand_tokens(tokens: &[Token], out: &mut Vec<u8>) -> Result<(), &'static str> {
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err("distance out of range");
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_tokens(data: &[u8], config: MatcherConfig) {
+        let mut m = Matcher::new(config);
+        let mut tokens = Vec::new();
+        m.tokenize(data, 0, data.len(), &mut tokens);
+        let mut out = Vec::new();
+        expand_tokens(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn literal_only() {
+        roundtrip_tokens(b"abcdefg", MatcherConfig::DEFAULT);
+    }
+
+    #[test]
+    fn finds_repeats() {
+        let data = b"abcabcabcabcabc";
+        let mut m = Matcher::new(MatcherConfig::DEFAULT);
+        let mut tokens = Vec::new();
+        m.tokenize(data, 0, data.len(), &mut tokens);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        let mut out = Vec::new();
+        expand_tokens(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn overlapping_match() {
+        // "aaaa..." produces dist=1 overlapping copies.
+        roundtrip_tokens(&vec![b'a'; 1000], MatcherConfig::DEFAULT);
+        roundtrip_tokens(&vec![b'a'; 1000], MatcherConfig::FAST);
+    }
+
+    #[test]
+    fn all_configs_roundtrip() {
+        let data: Vec<u8> = (0..5000u32).map(|i| ((i * i) >> 3) as u8).collect();
+        for c in [MatcherConfig::FAST, MatcherConfig::DEFAULT, MatcherConfig::BEST] {
+            roundtrip_tokens(&data, c);
+        }
+    }
+
+    #[test]
+    fn window_boundary() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        data.extend(std::iter::repeat(0).take(WINDOW_SIZE));
+        data.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        roundtrip_tokens(&data, MatcherConfig::BEST);
+    }
+
+    #[test]
+    fn segmented_tokenize_preserves_history() {
+        let data = b"hello world hello world hello world".repeat(20);
+        let mut m = Matcher::new(MatcherConfig::DEFAULT);
+        let mut tokens = Vec::new();
+        let mid = data.len() / 2;
+        m.tokenize(&data, 0, mid, &mut tokens);
+        m.tokenize(&data, mid, data.len(), &mut tokens);
+        let mut out = Vec::new();
+        expand_tokens(&tokens, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn match_len_bounds() {
+        let data = vec![9u8; 10_000];
+        let mut m = Matcher::new(MatcherConfig::BEST);
+        let mut tokens = Vec::new();
+        m.tokenize(&data, 0, data.len(), &mut tokens);
+        for t in &tokens {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(*len as usize)));
+                assert!((1..=WINDOW_SIZE).contains(&(*dist as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn expand_rejects_bad_distance() {
+        let mut out = Vec::new();
+        assert!(expand_tokens(&[Token::Match { len: 3, dist: 5 }], &mut out).is_err());
+    }
+}

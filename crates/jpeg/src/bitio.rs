@@ -1,0 +1,551 @@
+//! Entropy-coded-segment bit I/O with `0xFF00` stuffing, restart
+//! markers, pad bits, and mid-byte suspend/resume.
+//!
+//! This is where the paper's "Huffman handover words" (§3.4) become
+//! concrete. The reader can report its exact position — file byte offset
+//! plus bits consumed of the current byte — before any MCU; the writer
+//! can *start* from such a position (partial byte included) and emit
+//! exactly the bytes from that point on. Concatenating per-segment writer
+//! outputs reproduces the original scan byte-for-byte.
+
+use crate::error::JpegError;
+
+/// Consistency tracker for pad bits (the filler bits written before
+/// byte-aligned restart markers and at the end of the scan).
+///
+/// JPEG does not specify the pad value; encoders pick 0 or 1 and (almost
+/// always) use it throughout. Lepton stores a single pad bit in its
+/// header (App. A.1), so files that mix pad values cannot round-trip and
+/// are rejected (they fall back to Deflate in production).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PadState {
+    /// No padding observed yet.
+    #[default]
+    Unknown,
+    /// All padding so far used this bit.
+    Seen(bool),
+    /// Contradictory pad bits observed.
+    Mixed,
+}
+
+impl PadState {
+    /// Record an observed pad bit.
+    pub fn record(&mut self, bit: bool) {
+        *self = match *self {
+            PadState::Unknown => PadState::Seen(bit),
+            PadState::Seen(b) if b == bit => PadState::Seen(b),
+            _ => PadState::Mixed,
+        };
+    }
+
+    /// The pad bit to use when re-encoding (1 is the de-facto default).
+    pub fn bit_or_default(&self) -> bool {
+        match self {
+            PadState::Seen(b) => *b,
+            _ => true,
+        }
+    }
+}
+
+/// Exact bit position inside the entropy-coded segment.
+///
+/// `byte` is an offset into the *containing buffer* (so stuffed `0x00`
+/// bytes and restart markers are counted); `bits_used` is how many bits
+/// of that byte are already consumed (0..=7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitPos {
+    /// Byte offset of the current (partially consumed) byte.
+    pub byte: usize,
+    /// Bits of that byte already consumed (0..=7).
+    pub bits_used: u8,
+    /// The consumed high bits of the current byte (low bits zero).
+    pub partial: u8,
+}
+
+/// Bit reader over an entropy-coded segment.
+///
+/// `data` is the whole buffer; reading starts at `start` and stops when a
+/// non-stuffing marker is reached or `data` ends.
+#[derive(Clone, Debug)]
+pub struct ScanReader<'a> {
+    data: &'a [u8],
+    /// Offset of the byte currently being consumed.
+    pos: usize,
+    /// Bits consumed of `data[pos]` (0..=8; 8 means "advance before next
+    /// read").
+    bits_used: u8,
+    /// Pad-bit consistency across align events.
+    pub pads: PadState,
+}
+
+impl<'a> ScanReader<'a> {
+    /// Start reading entropy data at byte offset `start`.
+    pub fn new(data: &'a [u8], start: usize) -> Self {
+        ScanReader {
+            data,
+            pos: start,
+            bits_used: 0,
+            pads: PadState::Unknown,
+        }
+    }
+
+    /// Is the byte at `off` the start of a marker (0xFF followed by
+    /// something other than stuffing 0x00)?
+    fn is_marker_at(&self, off: usize) -> bool {
+        self.data.get(off) == Some(&0xFF) && self.data.get(off + 1) != Some(&0x00)
+    }
+
+    /// Advance to the next entropy byte, skipping stuffing.
+    fn advance(&mut self) -> Result<(), JpegError> {
+        let cur = *self.data.get(self.pos).ok_or(JpegError::Truncated)?;
+        self.pos += if cur == 0xFF { 2 } else { 1 };
+        self.bits_used = 0;
+        Ok(())
+    }
+
+    /// Read one bit of entropy data.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, JpegError> {
+        if self.bits_used == 8 {
+            self.advance()?;
+        }
+        let cur = *self.data.get(self.pos).ok_or(JpegError::Truncated)?;
+        if cur == 0xFF && self.is_marker_at(self.pos) {
+            // A marker where entropy data was expected: truncated scan.
+            return Err(JpegError::Truncated);
+        }
+        let bit = (cur >> (7 - self.bits_used)) & 1 == 1;
+        self.bits_used += 1;
+        Ok(bit)
+    }
+
+    /// Read `n` bits MSB-first.
+    pub fn read_bits(&mut self, n: u8) -> Result<u32, JpegError> {
+        debug_assert!(n <= 16);
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Ok(v)
+    }
+
+    /// Current position, normalized so `bits_used < 8`.
+    pub fn position(&self) -> BitPos {
+        let (byte, bits_used) = if self.bits_used == 8 {
+            let cur = self.data.get(self.pos).copied().unwrap_or(0);
+            (self.pos + if cur == 0xFF { 2 } else { 1 }, 0)
+        } else {
+            (self.pos, self.bits_used)
+        };
+        let partial = if bits_used == 0 {
+            0
+        } else {
+            let cur = self.data.get(byte).copied().unwrap_or(0);
+            cur & !(0xFFu8 >> bits_used)
+        };
+        BitPos {
+            byte,
+            bits_used,
+            partial,
+        }
+    }
+
+    /// Consume padding up to the next byte boundary, recording pad bits.
+    pub fn align(&mut self) -> Result<(), JpegError> {
+        if self.bits_used == 8 {
+            self.advance()?;
+            return Ok(());
+        }
+        if self.bits_used == 0 {
+            return Ok(());
+        }
+        while self.bits_used != 8 {
+            let bit = self.read_bit()?;
+            self.pads.record(bit);
+        }
+        self.advance()
+    }
+
+    /// If a restart marker with index `idx` (0..=7) sits at the next
+    /// byte-aligned position — with valid (self-consistent) padding in
+    /// between — consume padding and marker and return `true`. Otherwise
+    /// leave the reader untouched and return `false`.
+    ///
+    /// The non-consuming "missing RST" path is what lets zero-run
+    /// corrupted files round-trip (paper App. A.3).
+    pub fn try_restart(&mut self, idx: u8) -> Result<bool, JpegError> {
+        debug_assert!(idx < 8);
+        let p = self.position();
+        // Check pad bits of the current partial byte are all identical.
+        if p.bits_used > 0 {
+            let cur = *self.data.get(p.byte).ok_or(JpegError::Truncated)?;
+            let padlen = 8 - p.bits_used;
+            let padmask = 0xFFu8 >> p.bits_used;
+            let pad = cur & padmask;
+            let pad_bit = if pad == padmask {
+                true
+            } else if pad == 0 {
+                false
+            } else {
+                return Ok(false); // mixed bits: not padding
+            };
+            let next = p.byte + if cur == 0xFF { 2 } else { 1 };
+            if self.data.get(next) == Some(&0xFF)
+                && self.data.get(next + 1) == Some(&(0xD0 + idx))
+            {
+                // Commit: consume padding and the marker.
+                for _ in 0..padlen {
+                    let b = self.read_bit()?;
+                    debug_assert_eq!(b, pad_bit);
+                    self.pads.record(b);
+                }
+                self.advance()?;
+                debug_assert_eq!(self.pos, next);
+                self.pos = next + 2;
+                self.bits_used = 0;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        } else {
+            let at = p.byte;
+            if self.data.get(at) == Some(&0xFF) && self.data.get(at + 1) == Some(&(0xD0 + idx)) {
+                self.pos = at + 2;
+                self.bits_used = 0;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+    }
+
+    /// Bit offset from the start of the buffer (stuffing included), for
+    /// instrumentation.
+    pub fn bit_offset(&self) -> usize {
+        self.pos * 8 + self.bits_used as usize
+    }
+
+    /// Byte offset where the scan ended (call after the final align).
+    pub fn end_offset(&self) -> usize {
+        debug_assert_eq!(self.bits_used % 8, 0);
+        if self.bits_used == 8 {
+            let cur = self.data.get(self.pos).copied().unwrap_or(0);
+            self.pos + if cur == 0xFF { 2 } else { 1 }
+        } else {
+            self.pos
+        }
+    }
+}
+
+/// Bit writer for entropy-coded segments: inserts `0xFF00` stuffing and
+/// supports starting from a mid-byte handover position.
+#[derive(Clone, Debug)]
+pub struct ScanWriter {
+    out: Vec<u8>,
+    /// Bits accumulated (high bits of the next byte).
+    acc: u8,
+    nbits: u8,
+    /// Bytes already handed out via [`ScanWriter::take_bytes`].
+    drained: usize,
+}
+
+impl ScanWriter {
+    /// Fresh writer starting at a byte boundary.
+    pub fn new() -> Self {
+        ScanWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+            drained: 0,
+        }
+    }
+
+    /// Writer resuming mid-byte: `partial`'s high `bits_used` bits were
+    /// already produced by the previous segment (they will be included in
+    /// this writer's first output byte).
+    pub fn resume(partial: u8, bits_used: u8) -> Self {
+        debug_assert!(bits_used < 8);
+        debug_assert_eq!(partial & (0xFF >> bits_used), 0, "low bits must be zero");
+        ScanWriter {
+            out: Vec::new(),
+            acc: partial,
+            nbits: bits_used,
+            drained: 0,
+        }
+    }
+
+    #[inline]
+    fn push_byte(&mut self, b: u8) {
+        self.out.push(b);
+        if b == 0xFF {
+            self.out.push(0x00); // byte stuffing
+        }
+    }
+
+    /// Write one bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        if bit {
+            self.acc |= 0x80 >> self.nbits;
+        }
+        self.nbits += 1;
+        if self.nbits == 8 {
+            let b = self.acc;
+            self.acc = 0;
+            self.nbits = 0;
+            self.push_byte(b);
+        }
+    }
+
+    /// Write the low `n` bits of `v`, MSB-first.
+    pub fn put_bits(&mut self, v: u32, n: u8) {
+        debug_assert!(n <= 26);
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Pad with `pad_bit` to the next byte boundary.
+    pub fn align(&mut self, pad_bit: bool) {
+        while self.nbits != 0 {
+            self.put_bit(pad_bit);
+        }
+    }
+
+    /// Write a restart marker (must be byte-aligned).
+    pub fn write_rst(&mut self, idx: u8) {
+        debug_assert!(idx < 8);
+        debug_assert_eq!(self.nbits, 0);
+        // Raw marker bytes, no stuffing.
+        self.out.push(0xFF);
+        self.out.push(0xD0 + idx);
+    }
+
+    /// Completed bytes so far (stuffing and markers included; drained
+    /// bytes are counted).
+    pub fn byte_len(&self) -> usize {
+        self.drained + self.out.len()
+    }
+
+    /// Drain the completed bytes accumulated so far, leaving the partial
+    /// byte intact. Lets a streaming decoder emit output while the scan
+    /// is still being written (time-to-first-byte, §3.4).
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        self.drained += self.out.len();
+        std::mem::take(&mut self.out)
+    }
+
+    /// Completed bytes currently buffered (not yet drained).
+    pub fn pending_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Current partial-byte state `(partial, bits_used)` for handover to
+    /// the next segment.
+    pub fn partial_state(&self) -> (u8, u8) {
+        (self.acc, self.nbits)
+    }
+
+    /// Finish the segment *without* flushing the partial byte (the next
+    /// segment owns it); returns completed bytes.
+    pub fn finish_segment(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Finish the scan: pad the final partial byte with `pad_bit` and
+    /// return all bytes.
+    pub fn finish_scan(mut self, pad_bit: bool) -> Vec<u8> {
+        self.align(pad_bit);
+        self.out
+    }
+}
+
+impl Default for ScanWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_simple_bits() {
+        let data = [0b1010_1100u8, 0b0111_0001];
+        let mut r = ScanReader::new(&data, 0);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1100_0111);
+        assert_eq!(r.read_bits(4).unwrap(), 0b0001);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn stuffing_skipped() {
+        let data = [0xFF, 0x00, 0xAB];
+        let mut r = ScanReader::new(&data, 0);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn marker_stops_reading() {
+        let data = [0xAB, 0xFF, 0xD9];
+        let mut r = ScanReader::new(&data, 0);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn writer_stuffs_ff() {
+        let mut w = ScanWriter::new();
+        w.put_bits(0xFF, 8);
+        w.put_bits(0xAB, 8);
+        assert_eq!(w.finish_scan(true), vec![0xFF, 0x00, 0xAB]);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = ScanWriter::new();
+        let vals = [(0x5u32, 3u8), (0xFFFF, 16), (0x0, 7), (0x1234, 13)];
+        for &(v, n) in &vals {
+            w.put_bits(v, n);
+        }
+        let bytes = w.finish_scan(false);
+        let mut r = ScanReader::new(&bytes, 0);
+        for &(v, n) in &vals {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn pad_state_tracking() {
+        let mut p = PadState::Unknown;
+        assert!(p.bit_or_default());
+        p.record(false);
+        assert_eq!(p, PadState::Seen(false));
+        assert!(!p.bit_or_default());
+        p.record(false);
+        assert_eq!(p, PadState::Seen(false));
+        p.record(true);
+        assert_eq!(p, PadState::Mixed);
+    }
+
+    #[test]
+    fn align_records_pads() {
+        // 3 data bits then 5 one-pad bits, then another byte.
+        let data = [0b1011_1111u8, 0xAA];
+        let mut r = ScanReader::new(&data, 0);
+        r.read_bits(3).unwrap();
+        r.align().unwrap();
+        assert_eq!(r.pads, PadState::Seen(true));
+        assert_eq!(r.read_bits(8).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn resume_mid_byte_concatenates_exactly() {
+        // Segment 1 writes 11 bits; segment 2 resumes and writes 13 more.
+        // Concatenation must equal a single 24-bit write.
+        let all: u32 = 0b1011_0111_0001_1010_0110_1101;
+        let mut w_full = ScanWriter::new();
+        w_full.put_bits(all, 24);
+        let expect = w_full.finish_scan(true);
+
+        let mut w1 = ScanWriter::new();
+        w1.put_bits(all >> 13, 11);
+        let (partial, used) = w1.partial_state();
+        let seg1 = w1.finish_segment();
+        let mut w2 = ScanWriter::resume(partial, used);
+        w2.put_bits(all & 0x1FFF, 13);
+        let seg2 = w2.finish_scan(true);
+
+        let mut cat = seg1;
+        cat.extend(seg2);
+        assert_eq!(cat, expect);
+    }
+
+    #[test]
+    fn resume_handles_stuffing_across_boundary() {
+        // The byte straddling the handover completes to 0xFF: the second
+        // segment must emit the stuffed 0x00.
+        let mut w1 = ScanWriter::new();
+        w1.put_bits(0b1111, 4);
+        let (partial, used) = w1.partial_state();
+        assert_eq!(partial, 0xF0);
+        let seg1 = w1.finish_segment();
+        assert!(seg1.is_empty());
+        let mut w2 = ScanWriter::resume(partial, used);
+        w2.put_bits(0b1111, 4); // completes 0xFF
+        w2.put_bits(0x12, 8);
+        let seg2 = w2.finish_scan(true);
+        assert_eq!(seg2, vec![0xFF, 0x00, 0x12]);
+    }
+
+    #[test]
+    fn reader_position_reports_partial() {
+        let data = [0b1100_0000u8, 0x55];
+        let mut r = ScanReader::new(&data, 0);
+        r.read_bits(2).unwrap();
+        let p = r.position();
+        assert_eq!(p.byte, 0);
+        assert_eq!(p.bits_used, 2);
+        assert_eq!(p.partial, 0b1100_0000);
+    }
+
+    #[test]
+    fn position_normalizes_full_byte() {
+        let data = [0xFF, 0x00, 0x55];
+        let mut r = ScanReader::new(&data, 0);
+        r.read_bits(8).unwrap(); // consumed the 0xFF fully
+        let p = r.position();
+        assert_eq!(p.byte, 2, "skips the stuffed zero");
+        assert_eq!(p.bits_used, 0);
+    }
+
+    #[test]
+    fn try_restart_present() {
+        // 4 data bits, 4 one-pads, RST3, one more byte.
+        let data = [0b1010_1111u8, 0xFF, 0xD3, 0x42];
+        let mut r = ScanReader::new(&data, 0);
+        r.read_bits(4).unwrap();
+        assert!(r.try_restart(3).unwrap());
+        assert_eq!(r.read_bits(8).unwrap(), 0x42);
+        assert_eq!(r.pads, PadState::Seen(true));
+    }
+
+    #[test]
+    fn try_restart_absent_leaves_state() {
+        let data = [0b1010_0000u8, 0x42];
+        let mut r = ScanReader::new(&data, 0);
+        r.read_bits(4).unwrap();
+        let before = r.position();
+        assert!(!r.try_restart(0).unwrap());
+        assert_eq!(r.position(), before);
+        // Data continues to decode as if no restart existed.
+        assert_eq!(r.read_bits(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn try_restart_wrong_index_not_consumed() {
+        let data = [0xFF, 0xD3, 0x42];
+        let mut r = ScanReader::new(&data, 0);
+        assert!(!r.try_restart(1).unwrap());
+        assert!(r.try_restart(3).unwrap());
+    }
+
+    #[test]
+    fn rst_written_without_stuffing() {
+        let mut w = ScanWriter::new();
+        w.put_bits(0xAB, 8);
+        w.write_rst(5);
+        w.put_bits(0x11, 8);
+        assert_eq!(w.finish_scan(true), vec![0xAB, 0xFF, 0xD5, 0x11]);
+    }
+
+    #[test]
+    fn writer_byte_len_counts_stuffing() {
+        let mut w = ScanWriter::new();
+        w.put_bits(0xFF, 8);
+        assert_eq!(w.byte_len(), 2);
+    }
+}

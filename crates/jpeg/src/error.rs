@@ -1,0 +1,85 @@
+//! Typed errors for the JPEG substrate.
+//!
+//! The variants deliberately mirror the production exit-code taxonomy the
+//! paper reports in §6.2 ("Progressive", "Unsupported JPEG", "Not an
+//! image", "4 color CMYK", "AC values out of range", ...), so the error
+//! table experiment can classify corpus files exactly as Dropbox did.
+
+/// Everything that can go wrong while parsing or transcoding a JPEG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JpegError {
+    /// Input does not start with SOI — not a JPEG at all.
+    NotAJpeg,
+    /// Input ended in the middle of a segment or the scan.
+    Truncated,
+    /// Progressive DCT (SOF2) — intentionally unsupported in deployment.
+    Progressive,
+    /// Four-component file (CMYK/YCCK) — intentionally unsupported.
+    FourColor,
+    /// Sample precision other than 8 bits.
+    UnsupportedPrecision(u8),
+    /// Frame type other than baseline/extended sequential.
+    UnsupportedFrame(u8),
+    /// Sampling factors outside the supported 1..=2 range, or ones that
+    /// imply a chroma plane larger than the luma plane.
+    UnsupportedSampling,
+    /// More than one scan, or a scan layout we do not handle.
+    UnsupportedScan,
+    /// A marker segment was structurally invalid.
+    Malformed(&'static str),
+    /// A DHT table was missing, oversubscribed, or self-inconsistent.
+    BadHuffman(&'static str),
+    /// A DQT table was missing or invalid.
+    BadQuant(&'static str),
+    /// A Huffman-decoded AC magnitude category exceeded the baseline
+    /// range (paper §6.2: "AC values out of range").
+    AcOutOfRange,
+    /// A DC difference exceeded the baseline range.
+    DcOutOfRange,
+    /// An invalid Huffman code appeared in the entropy-coded segment.
+    BadScanCode,
+    /// Pad bits within the scan were inconsistent (some 0, some 1), so
+    /// the file cannot round-trip with a single stored pad bit.
+    MixedPadBits,
+    /// Image dimensions imply a memory footprint beyond the configured
+    /// budget (paper §6.2: ">24 MiB mem decode" class).
+    TooLarge {
+        /// Bytes the decode would need.
+        required: usize,
+        /// Configured cap.
+        limit: usize,
+    },
+    /// Restart marker sequence was malformed (wrong index order).
+    BadRestart,
+    /// Dimensions of zero are not meaningful.
+    ZeroDimension,
+}
+
+impl std::fmt::Display for JpegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JpegError::NotAJpeg => write!(f, "not a JPEG (missing SOI)"),
+            JpegError::Truncated => write!(f, "truncated input"),
+            JpegError::Progressive => write!(f, "progressive JPEG unsupported"),
+            JpegError::FourColor => write!(f, "4-color (CMYK) JPEG unsupported"),
+            JpegError::UnsupportedPrecision(p) => write!(f, "{p}-bit precision unsupported"),
+            JpegError::UnsupportedFrame(m) => write!(f, "unsupported frame marker 0xFF{m:02X}"),
+            JpegError::UnsupportedSampling => write!(f, "unsupported sampling factors"),
+            JpegError::UnsupportedScan => write!(f, "unsupported scan structure"),
+            JpegError::Malformed(what) => write!(f, "malformed segment: {what}"),
+            JpegError::BadHuffman(what) => write!(f, "bad Huffman table: {what}"),
+            JpegError::BadQuant(what) => write!(f, "bad quantization table: {what}"),
+            JpegError::AcOutOfRange => write!(f, "AC values out of range"),
+            JpegError::DcOutOfRange => write!(f, "DC values out of range"),
+            JpegError::BadScanCode => write!(f, "invalid Huffman code in scan"),
+            JpegError::MixedPadBits => write!(f, "inconsistent pad bits"),
+            JpegError::TooLarge { required, limit } => {
+                write!(f, "image needs {required} bytes, limit {limit}")
+            }
+            JpegError::BadRestart => write!(f, "restart marker sequence invalid"),
+            JpegError::ZeroDimension => write!(f, "zero image dimension"),
+        }
+    }
+}
+
+impl std::error::Error for JpegError {}

@@ -1,0 +1,78 @@
+//! JPEG marker constants and classification helpers (ITU-T T.81 §B.1).
+
+/// Start of image.
+pub const SOI: u8 = 0xD8;
+/// End of image.
+pub const EOI: u8 = 0xD9;
+/// Start of scan.
+pub const SOS: u8 = 0xDA;
+/// Define quantization table(s).
+pub const DQT: u8 = 0xDB;
+/// Define Huffman table(s).
+pub const DHT: u8 = 0xC4;
+/// Define arithmetic coding conditioning (unsupported downstream).
+pub const DAC: u8 = 0xCC;
+/// Define restart interval.
+pub const DRI: u8 = 0xDD;
+/// Define number of lines (unsupported downstream).
+pub const DNL: u8 = 0xDC;
+/// Comment.
+pub const COM: u8 = 0xFE;
+/// Baseline sequential DCT frame.
+pub const SOF0: u8 = 0xC0;
+/// Extended sequential DCT frame.
+pub const SOF1: u8 = 0xC1;
+/// Progressive DCT frame.
+pub const SOF2: u8 = 0xC2;
+/// First restart marker (RST0); RSTm = RST0 + (m & 7).
+pub const RST0: u8 = 0xD0;
+/// First application segment marker (APP0).
+pub const APP0: u8 = 0xE0;
+
+/// True for RST0..=RST7.
+pub fn is_rst(marker: u8) -> bool {
+    (0xD0..=0xD7).contains(&marker)
+}
+
+/// True for any SOFn marker (C0–C3, C5–C7, C9–CB, CD–CF).
+pub fn is_sof(marker: u8) -> bool {
+    matches!(marker, 0xC0..=0xC3 | 0xC5..=0xC7 | 0xC9..=0xCB | 0xCD..=0xCF)
+}
+
+/// True for markers that stand alone with no length field
+/// (TEM, RSTn, SOI, EOI).
+pub fn is_standalone(marker: u8) -> bool {
+    marker == 0x01 || is_rst(marker) || marker == SOI || marker == EOI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rst_range() {
+        assert!(is_rst(0xD0));
+        assert!(is_rst(0xD7));
+        assert!(!is_rst(0xD8));
+        assert!(!is_rst(0xCF));
+    }
+
+    #[test]
+    fn sof_markers() {
+        assert!(is_sof(SOF0));
+        assert!(is_sof(SOF2));
+        assert!(!is_sof(DHT)); // C4 is DHT, not SOF
+        assert!(!is_sof(0xC8)); // JPG reserved
+        assert!(!is_sof(DAC)); // CC is DAC
+        assert!(is_sof(0xCF));
+    }
+
+    #[test]
+    fn standalone_markers() {
+        assert!(is_standalone(SOI));
+        assert!(is_standalone(EOI));
+        assert!(is_standalone(0xD3));
+        assert!(!is_standalone(SOS));
+        assert!(!is_standalone(COM));
+    }
+}

@@ -1,0 +1,92 @@
+//! Quantization tables: Annex K references and IJG-style quality scaling.
+
+/// ITU-T T.81 Annex K.1 luminance quantization table (raster order).
+pub const ANNEX_K_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K.1 chrominance quantization table (raster order).
+pub const ANNEX_K_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99,
+    18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Scale a reference table for an IJG quality factor in 1..=100
+/// (50 = reference, 100 = all ones).
+pub fn scale_table(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    let quality = quality.clamp(1, 100) as u32;
+    let scale = if quality < 50 {
+        5000 / quality
+    } else {
+        200 - 2 * quality
+    };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        let v = (b as u32 * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16; // baseline tables are 8-bit
+    }
+    out
+}
+
+/// Luma table at the given quality.
+pub fn luma_table(quality: u8) -> [u16; 64] {
+    scale_table(&ANNEX_K_LUMA, quality)
+}
+
+/// Chroma table at the given quality.
+pub fn chroma_table(quality: u8) -> [u16; 64] {
+    scale_table(&ANNEX_K_CHROMA, quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_reference() {
+        assert_eq!(luma_table(50), ANNEX_K_LUMA);
+        assert_eq!(chroma_table(50), ANNEX_K_CHROMA);
+    }
+
+    #[test]
+    fn quality_100_is_all_ones() {
+        assert!(luma_table(100).iter().all(|&q| q == 1));
+    }
+
+    #[test]
+    fn low_quality_is_coarse() {
+        let q10 = luma_table(10);
+        assert!(q10[0] > ANNEX_K_LUMA[0] * 2);
+        assert!(q10.iter().all(|&q| (1..=255).contains(&q)));
+    }
+
+    #[test]
+    fn monotone_in_quality() {
+        // Higher quality never yields a coarser step anywhere.
+        let q30 = luma_table(30);
+        let q80 = luma_table(80);
+        for i in 0..64 {
+            assert!(q80[i] <= q30[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn quality_clamped() {
+        assert_eq!(luma_table(0), luma_table(1));
+        // 255-clamp applies at very low quality.
+        assert!(luma_table(1).iter().all(|&q| q <= 255));
+    }
+}

@@ -1,0 +1,534 @@
+//! Scan decode and bit-exact scan re-encode, resumable at MCU
+//! boundaries.
+//!
+//! [`decode_scan`] turns the entropy-coded segment into coefficient
+//! planes and can snapshot [`Handover`] state before any MCU — the
+//! "Huffman handover words" of paper §3.4. [`encode_scan`] regenerates
+//! the scan bytes for any MCU range from such a snapshot. The invariant
+//! the Lepton codec is built on:
+//!
+//! > decoding a scan, then re-encoding every MCU range [mᵢ, mᵢ₊₁) from
+//! > its snapshot and concatenating the outputs, reproduces the original
+//! > entropy-coded bytes exactly.
+
+use crate::bitio::{PadState, ScanReader, ScanWriter};
+use crate::coeffs::CoefPlanes;
+use crate::error::JpegError;
+use crate::huffman::HuffTable;
+use crate::parser::ParsedJpeg;
+use crate::types::ZIGZAG;
+
+/// Resume state at an MCU boundary ("Huffman handover word", App. A.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Handover {
+    /// High bits of the byte straddling the boundary (low bits zero).
+    pub partial: u8,
+    /// How many bits of that byte were produced by earlier MCUs (0..=7).
+    pub bits_used: u8,
+    /// Previous DC value per frame component (JPEG codes DC as deltas).
+    pub prev_dc: [i16; 4],
+    /// Index of the next MCU to code.
+    pub mcu: u32,
+    /// Restart markers consumed/emitted before this MCU.
+    pub rst_so_far: u32,
+    /// Decode-side only: file offset of the straddling byte.
+    pub byte_offset: usize,
+}
+
+impl Handover {
+    /// The state at the very start of a scan.
+    pub fn start_of_scan(scan_offset: usize) -> Self {
+        Handover {
+            partial: 0,
+            bits_used: 0,
+            prev_dc: [0; 4],
+            mcu: 0,
+            rst_so_far: 0,
+            byte_offset: scan_offset,
+        }
+    }
+}
+
+/// Per-category bit counts observed while decoding (drives the Fig. 4
+/// component-breakdown experiment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Bits spent on DC codes + magnitudes.
+    pub dc_bits: u64,
+    /// Bits spent on 7x1/1x7 edge AC coefficients.
+    pub edge_bits: u64,
+    /// Bits spent on interior 7x7 AC coefficients.
+    pub ac77_bits: u64,
+    /// Pad bits, restart markers, stuffing overhead.
+    pub other_bits: u64,
+}
+
+impl ScanStats {
+    /// Total accounted bits.
+    pub fn total_bits(&self) -> u64 {
+        self.dc_bits + self.edge_bits + self.ac77_bits + self.other_bits
+    }
+}
+
+/// Result of decoding a scan.
+#[derive(Clone, Debug)]
+pub struct ScanData {
+    /// Quantized coefficients per component (DC stored absolute).
+    pub coefs: CoefPlanes,
+    /// Observed pad-bit convention.
+    pub pad: PadState,
+    /// Restart markers actually present in the file (App. A.3: may be
+    /// fewer than the restart interval implies).
+    pub rst_count: u32,
+    /// Offset just past the last entropy-coded byte; `data[scan_end..]`
+    /// is the trailing section (EOI and any garbage) stored verbatim.
+    pub scan_end: usize,
+    /// Per-category bit statistics.
+    pub stats: ScanStats,
+}
+
+#[inline]
+fn extend(v: u32, s: u8) -> i32 {
+    // T.81 F.2.2.1 EXTEND: map magnitude bits to a signed value.
+    if s == 0 {
+        0
+    } else if (v as i32) < (1 << (s - 1)) {
+        v as i32 - (1 << s) + 1
+    } else {
+        v as i32
+    }
+}
+
+/// Magnitude category: number of bits needed for |v| (T.81 F.1.2.1.2).
+#[inline]
+fn category(v: i32) -> u8 {
+    (32 - v.unsigned_abs().leading_zeros()) as u8
+}
+
+#[inline]
+fn is_edge_zigzag(k: usize) -> bool {
+    // Zigzag index k maps to raster r; row 0 or column 0 (excluding DC)
+    // are the 7x1/1x7 "edge" coefficients.
+    let r = ZIGZAG[k];
+    r / 8 == 0 || r % 8 == 0
+}
+
+struct BlockDecode<'t> {
+    dc: &'t HuffTable,
+    ac: &'t HuffTable,
+}
+
+impl BlockDecode<'_> {
+    /// Decode one block into `out` (raster order, absolute DC).
+    fn decode(
+        &self,
+        r: &mut ScanReader,
+        prev_dc: &mut i16,
+        out: &mut [i16; 64],
+        stats: &mut ScanStats,
+    ) -> Result<(), JpegError> {
+        let start_bits = r.bit_offset();
+        let s = self.dc.decode(|| r.read_bit())??;
+        if s > 11 {
+            return Err(JpegError::DcOutOfRange);
+        }
+        let bits = r.read_bits(s)?;
+        let diff = extend(bits, s);
+        let dc = *prev_dc as i32 + diff;
+        if !(-32768..=32767).contains(&dc) {
+            return Err(JpegError::DcOutOfRange);
+        }
+        *prev_dc = dc as i16;
+        out[0] = dc as i16;
+        stats.dc_bits += (r.bit_offset() - start_bits) as u64;
+
+        let mut k = 1usize;
+        while k <= 63 {
+            let sym_start = r.bit_offset();
+            let sym = self.ac.decode(|| r.read_bit())??;
+            let run = (sym >> 4) as usize;
+            let size = sym & 0x0F;
+            if size == 0 {
+                let spent = (r.bit_offset() - sym_start) as u64;
+                if is_edge_zigzag(k.min(63)) {
+                    stats.edge_bits += spent;
+                } else {
+                    stats.ac77_bits += spent;
+                }
+                if run == 15 {
+                    k += 16; // ZRL
+                    continue;
+                }
+                if run != 0 {
+                    // EOBn only exists in progressive mode.
+                    return Err(JpegError::BadScanCode);
+                }
+                break; // EOB
+            }
+            k += run;
+            if k > 63 {
+                return Err(JpegError::AcOutOfRange);
+            }
+            if size > 10 {
+                return Err(JpegError::AcOutOfRange);
+            }
+            let bits = r.read_bits(size)?;
+            out[ZIGZAG[k]] = extend(bits, size) as i16;
+            let spent = (r.bit_offset() - sym_start) as u64;
+            if is_edge_zigzag(k) {
+                stats.edge_bits += spent;
+            } else {
+                stats.ac77_bits += spent;
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Decode the entropy-coded scan of `parsed` (from `data`), snapshotting
+/// [`Handover`] state before each MCU index listed in `snapshot_at`
+/// (which must be sorted ascending, values ≤ MCU count).
+pub fn decode_scan(
+    data: &[u8],
+    parsed: &ParsedJpeg,
+    snapshot_at: &[u32],
+) -> Result<(ScanData, Vec<Handover>), JpegError> {
+    debug_assert!(snapshot_at.windows(2).all(|w| w[0] <= w[1]));
+    let frame = &parsed.frame;
+    let mut coefs = CoefPlanes::for_frame(frame);
+    let mut reader = ScanReader::new(data, parsed.header_len);
+    let mut stats = ScanStats::default();
+    let mut prev_dc = [0i16; 4];
+    let mut rst_count = 0u32;
+    let mut snapshots = Vec::with_capacity(snapshot_at.len());
+    let mut snap_iter = snapshot_at.iter().peekable();
+
+    let mcu_count = frame.mcu_count() as u32;
+    let interval = parsed.restart_interval as u32;
+
+    // Pre-resolve table references per scan component.
+    let decoders: Vec<BlockDecode> = parsed
+        .scan
+        .components
+        .iter()
+        .map(|sc| {
+            Ok(BlockDecode {
+                dc: parsed.dc_tables[sc.dc_table as usize]
+                    .as_ref()
+                    .ok_or(JpegError::BadHuffman("missing DC table"))?,
+                ac: parsed.ac_tables[sc.ac_table as usize]
+                    .as_ref()
+                    .ok_or(JpegError::BadHuffman("missing AC table"))?,
+            })
+        })
+        .collect::<Result<_, JpegError>>()?;
+
+    for mcu in 0..mcu_count {
+        // Snapshot before restart handling: a segment starting here is
+        // responsible for emitting the restart marker itself.
+        while snap_iter.peek() == Some(&&mcu) {
+            let p = reader.position();
+            snapshots.push(Handover {
+                partial: p.partial,
+                bits_used: p.bits_used,
+                prev_dc,
+                mcu,
+                rst_so_far: rst_count,
+                byte_offset: p.byte,
+            });
+            snap_iter.next();
+        }
+        if interval > 0 && mcu > 0 && mcu % interval == 0 {
+            let before = reader.bit_offset();
+            if reader.try_restart((rst_count % 8) as u8)? {
+                rst_count += 1;
+                prev_dc = [0; 4];
+                stats.other_bits += (reader.bit_offset() - before) as u64;
+            }
+            // Missing restart: zero-run corruption (App. A.3) — continue
+            // decoding without reset; the stored RST count reproduces
+            // this on re-encode.
+        }
+        let (mx, my) = (
+            (mcu % frame.mcus_x as u32) as usize,
+            (mcu / frame.mcus_x as u32) as usize,
+        );
+        for (si, sc) in parsed.scan.components.iter().enumerate() {
+            let comp = &frame.components[sc.comp_index];
+            let (ch, cv) = (comp.h as usize, comp.v as usize);
+            for by in 0..cv {
+                for bx in 0..ch {
+                    let (gx, gy) = (mx * ch + bx, my * cv + by);
+                    let plane = &mut coefs.planes[sc.comp_index];
+                    let mut block = [0i16; 64];
+                    decoders[si].decode(
+                        &mut reader,
+                        &mut prev_dc[sc.comp_index],
+                        &mut block,
+                        &mut stats,
+                    )?;
+                    *plane.block_mut(gx, gy) = block;
+                }
+            }
+        }
+    }
+    // Final snapshots exactly at mcu_count are permitted (end state).
+    while snap_iter.peek() == Some(&&mcu_count) {
+        let p = reader.position();
+        snapshots.push(Handover {
+            partial: p.partial,
+            bits_used: p.bits_used,
+            prev_dc,
+            mcu: mcu_count,
+            rst_so_far: rst_count,
+            byte_offset: p.byte,
+        });
+        snap_iter.next();
+    }
+
+    let before = reader.bit_offset();
+    reader.align()?;
+    stats.other_bits += (reader.bit_offset() - before) as u64;
+    if reader.pads == PadState::Mixed {
+        return Err(JpegError::MixedPadBits);
+    }
+    Ok((
+        ScanData {
+            coefs,
+            pad: reader.pads,
+            rst_count,
+            scan_end: reader.end_offset(),
+            stats,
+        },
+        snapshots,
+    ))
+}
+
+/// Huffman encoder for single blocks, usable standalone by the Lepton
+/// decoder pipeline (arithmetic-decode a block, immediately Huffman-
+/// encode it into the output stream).
+pub struct BlockHuffEncoder<'t> {
+    dc: &'t HuffTable,
+    ac: &'t HuffTable,
+}
+
+impl<'t> BlockHuffEncoder<'t> {
+    /// Pair a DC and an AC table.
+    pub fn new(dc: &'t HuffTable, ac: &'t HuffTable) -> Self {
+        BlockHuffEncoder { dc, ac }
+    }
+
+    /// Resolve the tables a scan component uses.
+    pub fn for_component(parsed: &'t ParsedJpeg, scan_comp: usize) -> Result<Self, JpegError> {
+        let sc = &parsed.scan.components[scan_comp];
+        Ok(BlockHuffEncoder {
+            dc: parsed.dc_tables[sc.dc_table as usize]
+                .as_ref()
+                .ok_or(JpegError::BadHuffman("missing DC table"))?,
+            ac: parsed.ac_tables[sc.ac_table as usize]
+                .as_ref()
+                .ok_or(JpegError::BadHuffman("missing AC table"))?,
+        })
+    }
+
+    /// Encode one block (raster order, absolute DC) against `prev_dc`.
+    pub fn encode(
+        &self,
+        w: &mut ScanWriter,
+        block: &[i16; 64],
+        prev_dc: &mut i16,
+    ) -> Result<(), JpegError> {
+        let diff = block[0] as i32 - *prev_dc as i32;
+        *prev_dc = block[0];
+        let s = category(diff);
+        if s > 11 {
+            return Err(JpegError::DcOutOfRange);
+        }
+        let (code, len) = self.dc.encode(s).ok_or(JpegError::BadHuffman("DC symbol uncodable"))?;
+        w.put_bits(code as u32, len);
+        if s > 0 {
+            let v = if diff < 0 { diff + (1 << s) - 1 } else { diff };
+            w.put_bits(v as u32, s);
+        }
+
+        let mut run = 0usize;
+        for k in 1..=63usize {
+            let v = block[ZIGZAG[k]] as i32;
+            if v == 0 {
+                run += 1;
+                continue;
+            }
+            while run > 15 {
+                let (code, len) = self.ac.encode(0xF0).ok_or(JpegError::BadHuffman("ZRL uncodable"))?;
+                w.put_bits(code as u32, len);
+                run -= 16;
+            }
+            let s = category(v);
+            if s > 10 {
+                return Err(JpegError::AcOutOfRange);
+            }
+            let sym = ((run as u8) << 4) | s;
+            let (code, len) = self
+                .ac
+                .encode(sym)
+                .ok_or(JpegError::BadHuffman("AC symbol uncodable"))?;
+            w.put_bits(code as u32, len);
+            let bits = if v < 0 { v + (1 << s) - 1 } else { v };
+            w.put_bits(bits as u32, s);
+            run = 0;
+        }
+        if run > 0 {
+            let (code, len) = self.ac.encode(0x00).ok_or(JpegError::BadHuffman("EOB uncodable"))?;
+            w.put_bits(code as u32, len);
+        }
+        Ok(())
+    }
+}
+
+/// Parameters for scan re-encoding.
+#[derive(Clone, Copy, Debug)]
+pub struct EncodeParams {
+    /// Pad bit to use at byte-alignment points.
+    pub pad_bit: bool,
+    /// Total restart markers present in the original file; insertion
+    /// stops after this many (App. A.3 zero-run fix).
+    pub rst_limit: u32,
+}
+
+/// Re-encode MCUs `[handover.mcu, to_mcu)` starting from `handover`.
+///
+/// Returns the completed output bytes (the partial byte at the segment's
+/// end is carried in the returned [`Handover`], not the bytes) and the
+/// end-state handover. When `last_segment` is true the final partial
+/// byte is flushed with padding instead.
+pub fn encode_scan(
+    coefs: &CoefPlanes,
+    parsed: &ParsedJpeg,
+    params: &EncodeParams,
+    handover: &Handover,
+    to_mcu: u32,
+    last_segment: bool,
+) -> Result<(Vec<u8>, Handover), JpegError> {
+    let frame = &parsed.frame;
+    let mut w = ScanWriter::resume(handover.partial, handover.bits_used);
+    let mut prev_dc = handover.prev_dc;
+    let mut rst = handover.rst_so_far;
+    let interval = parsed.restart_interval as u32;
+
+    let encoders: Vec<BlockHuffEncoder> = (0..parsed.scan.components.len())
+        .map(|si| BlockHuffEncoder::for_component(parsed, si))
+        .collect::<Result<_, JpegError>>()?;
+
+    for mcu in handover.mcu..to_mcu {
+        if interval > 0 && mcu > 0 && mcu % interval == 0 && rst < params.rst_limit {
+            w.align(params.pad_bit);
+            w.write_rst((rst % 8) as u8);
+            rst += 1;
+            prev_dc = [0; 4];
+        }
+        let (mx, my) = (
+            (mcu % frame.mcus_x as u32) as usize,
+            (mcu / frame.mcus_x as u32) as usize,
+        );
+        for (si, sc) in parsed.scan.components.iter().enumerate() {
+            let comp = &frame.components[sc.comp_index];
+            let (ch, cv) = (comp.h as usize, comp.v as usize);
+            for by in 0..cv {
+                for bx in 0..ch {
+                    let (gx, gy) = (mx * ch + bx, my * cv + by);
+                    let block = coefs.planes[sc.comp_index].block(gx, gy);
+                    encoders[si].encode(&mut w, block, &mut prev_dc[sc.comp_index])?;
+                }
+            }
+        }
+    }
+
+    if last_segment {
+        let bytes = w.finish_scan(params.pad_bit);
+        let end = Handover {
+            partial: 0,
+            bits_used: 0,
+            prev_dc,
+            mcu: to_mcu,
+            rst_so_far: rst,
+            byte_offset: 0,
+        };
+        Ok((bytes, end))
+    } else {
+        let (partial, bits_used) = w.partial_state();
+        let bytes = w.finish_segment();
+        let end = Handover {
+            partial,
+            bits_used,
+            prev_dc,
+            mcu: to_mcu,
+            rst_so_far: rst,
+            byte_offset: 0,
+        };
+        Ok((bytes, end))
+    }
+}
+
+/// Convenience: re-encode the whole scan in one segment.
+pub fn encode_scan_whole(
+    coefs: &CoefPlanes,
+    parsed: &ParsedJpeg,
+    params: &EncodeParams,
+) -> Result<Vec<u8>, JpegError> {
+    let start = Handover::start_of_scan(parsed.header_len);
+    let mcus = parsed.frame.mcu_count() as u32;
+    Ok(encode_scan(coefs, parsed, params, &start, mcus, true)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_matches_spec() {
+        // T.81 Table F.1 examples.
+        assert_eq!(extend(0, 0), 0);
+        assert_eq!(extend(0, 1), -1);
+        assert_eq!(extend(1, 1), 1);
+        assert_eq!(extend(0b00, 2), -3);
+        assert_eq!(extend(0b01, 2), -2);
+        assert_eq!(extend(0b10, 2), 2);
+        assert_eq!(extend(0b11, 2), 3);
+        assert_eq!(extend(0, 10), -1023);
+        assert_eq!(extend(1023, 10), 1023);
+    }
+
+    #[test]
+    fn category_matches_spec() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(4), 3);
+        assert_eq!(category(-1023), 10);
+        assert_eq!(category(1024), 11);
+        assert_eq!(category(-2047), 11);
+    }
+
+    #[test]
+    fn extend_category_inverse() {
+        for v in -2047i32..=2047 {
+            let s = category(v);
+            let bits = if v < 0 { v + (1 << s) - 1 } else { v } as u32;
+            assert_eq!(extend(bits, s), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn edge_zigzag_classification() {
+        // Zigzag 1 is raster 1 (row 0) → edge; zigzag 4 is raster 9 → 7x7.
+        assert!(is_edge_zigzag(1));
+        assert!(is_edge_zigzag(2)); // raster 8, column 0
+        assert!(!is_edge_zigzag(4)); // raster 9
+        // Count: 14 edge positions among 1..=63.
+        let edges = (1..64).filter(|&k| is_edge_zigzag(k)).count();
+        assert_eq!(edges, 14);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the JPEG bit layer and Huffman substrate.
+//!
+//! These are the invariants byte-exact round trips stand on: the scan
+//! writer must invert the scan reader for *any* bit sequence (including
+//! 0xFF stuffing and either pad-bit convention), resumable writers must
+//! concatenate seamlessly at arbitrary split points (the Huffman
+//! handover mechanism, §3.4), and Huffman tables built from arbitrary
+//! frequencies must stay prefix-free and invertible.
+
+use lepton_jpeg::bitio::{ScanReader, ScanWriter};
+use lepton_jpeg::huffman::HuffTable;
+use proptest::prelude::*;
+
+/// Arbitrary (value, bit-count) items, 1..=16 bits each.
+fn bit_items() -> impl Strategy<Value = Vec<(u32, u8)>> {
+    proptest::collection::vec(
+        (any::<u32>(), 1u8..=16).prop_map(|(v, n)| (v & ((1u32 << n) - 1), n)),
+        0..2000,
+    )
+}
+
+proptest! {
+    #[test]
+    fn scan_writer_reader_roundtrip(items in bit_items(), pad in any::<bool>()) {
+        let mut w = ScanWriter::new();
+        for &(v, n) in &items {
+            w.put_bits(v, n);
+        }
+        let bytes = w.finish_scan(pad);
+
+        let mut r = ScanReader::new(&bytes, 0);
+        for &(v, n) in &items {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    /// 0xFF bytes in the scan must always be stuffed with 0x00 so they
+    /// can never alias a marker, no matter the bit pattern.
+    #[test]
+    fn stuffing_leaves_no_bare_markers(items in bit_items(), pad in any::<bool>()) {
+        let mut w = ScanWriter::new();
+        for &(v, n) in &items {
+            w.put_bits(v, n);
+        }
+        let bytes = w.finish_scan(pad);
+        for pair in bytes.windows(2) {
+            if pair[0] == 0xFF {
+                prop_assert_eq!(pair[1], 0x00, "unstuffed 0xFF inside scan data");
+            }
+        }
+        // A trailing 0xFF would be ambiguous with a following marker.
+        if let Some(&last) = bytes.last() {
+            prop_assert_ne!(last, 0xFF);
+        }
+    }
+
+    /// Splitting the bit stream at any item boundary and resuming a
+    /// second writer from the partial-byte state must reproduce the
+    /// unsplit encoding byte-for-byte — the handover-word property that
+    /// lets chunks and threads write independently (§3.4).
+    #[test]
+    fn resumed_writer_concatenates_exactly(
+        items in bit_items(),
+        split_frac in 0.0f64..1.0,
+        pad in any::<bool>(),
+    ) {
+        let split = ((items.len() as f64) * split_frac) as usize;
+
+        // Whole-stream reference.
+        let mut whole = ScanWriter::new();
+        for &(v, n) in &items {
+            whole.put_bits(v, n);
+        }
+        let reference = whole.finish_scan(pad);
+
+        // First half: emit whole bytes, capture the straddling state.
+        let mut first = ScanWriter::new();
+        for &(v, n) in &items[..split] {
+            first.put_bits(v, n);
+        }
+        let (partial, bits_used) = first.partial_state();
+        let mut out = first.finish_segment();
+
+        // Second half resumes mid-byte: `finish_segment` withheld the
+        // straddling byte, so the resumed writer owns and emits it.
+        let mut second = ScanWriter::resume(partial, bits_used);
+        for &(v, n) in &items[split..] {
+            second.put_bits(v, n);
+        }
+        out.extend(second.finish_scan(pad));
+
+        prop_assert_eq!(out, reference);
+    }
+
+    /// Tables built from arbitrary frequency histograms must encode
+    /// every present symbol, decode it back, and keep all code lengths
+    /// within JPEG's 16-bit limit.
+    #[test]
+    fn optimal_huffman_is_invertible(
+        freqs_sparse in proptest::collection::btree_map(any::<u8>(), 1u32..100_000, 1..64)
+    ) {
+        let mut freqs = [0u32; 256];
+        for (&sym, &f) in &freqs_sparse {
+            freqs[sym as usize] = f;
+        }
+        let table = HuffTable::optimal(&freqs).expect("non-empty histogram builds");
+
+        for (&sym, _) in &freqs_sparse {
+            let (code, len) = table.encode(sym).expect("present symbol has a code");
+            prop_assert!((1..=16).contains(&len), "len {len}");
+
+            // Feed the code back bit-by-bit; it must decode to `sym`.
+            let mut bits: Vec<bool> =
+                (0..len).rev().map(|i| (code >> i) & 1 == 1).collect();
+            bits.reverse(); // pop from the back
+            let decoded = table
+                .decode(|| -> Result<bool, ()> { Ok(bits.pop().expect("enough bits")) })
+                .unwrap()
+                .expect("valid code decodes");
+            prop_assert_eq!(decoded, sym);
+            prop_assert!(bits.is_empty(), "decode consumed exactly the code");
+        }
+    }
+
+    /// DHT round trip: serializing a table and re-parsing its (bits,
+    /// values) arrays reproduces the same codes.
+    #[test]
+    fn dht_fragment_reproduces_table(
+        freqs_sparse in proptest::collection::btree_map(any::<u8>(), 1u32..10_000, 1..32)
+    ) {
+        let mut freqs = [0u32; 256];
+        for (&sym, &f) in &freqs_sparse {
+            freqs[sym as usize] = f;
+        }
+        let table = HuffTable::optimal(&freqs).unwrap();
+        let frag = table.to_dht_fragment();
+        // Fragment layout: 16 length counts then the values.
+        prop_assert!(frag.len() >= 16);
+        let mut bits = [0u8; 17];
+        bits[1..17].copy_from_slice(&frag[..16]);
+        let values = frag[16..].to_vec();
+        let reparsed = HuffTable::new(bits, values).expect("fragment is valid");
+        for (&sym, _) in &freqs_sparse {
+            prop_assert_eq!(reparsed.encode(sym), table.encode(sym));
+        }
+    }
+
+    /// The marker parser must never panic on arbitrary bytes — the
+    /// §6.7 "fuzzing found bugs in parser handling of corrupt input"
+    /// lesson, kept fixed forever.
+    #[test]
+    fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = lepton_jpeg::parser::parse(&data);
+    }
+
+    /// Same, but starting from valid-looking SOI/marker scaffolding,
+    /// which reaches deeper parser states than pure noise.
+    #[test]
+    fn parser_never_panics_on_marker_soup(
+        body in proptest::collection::vec(any::<u8>(), 0..2048),
+        markers in proptest::collection::vec(0xC0u8..=0xFE, 1..8),
+    ) {
+        let mut data = vec![0xFF, 0xD8];
+        for (i, m) in markers.iter().enumerate() {
+            data.push(0xFF);
+            data.push(*m);
+            let take = body.len() * (i + 1) / (markers.len() + 1);
+            data.extend_from_slice(&body[..take.min(body.len())]);
+        }
+        let _ = lepton_jpeg::parser::parse(&data);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// read_bits/position agree with bit-at-a-time reads across stuffed
+    /// bytes and arbitrary starting offsets.
+    #[test]
+    fn read_bits_equals_bit_loop(items in bit_items(), pad in any::<bool>()) {
+        let mut w = ScanWriter::new();
+        for &(v, n) in &items {
+            w.put_bits(v, n);
+        }
+        let bytes = w.finish_scan(pad);
+
+        let mut a = ScanReader::new(&bytes, 0);
+        let mut b = ScanReader::new(&bytes, 0);
+        for &(_, n) in &items {
+            let fast = a.read_bits(n).unwrap();
+            let mut slow = 0u32;
+            for _ in 0..n {
+                slow = (slow << 1) | b.read_bit().unwrap() as u32;
+            }
+            prop_assert_eq!(fast, slow);
+            prop_assert_eq!(a.position().byte, b.position().byte);
+            prop_assert_eq!(a.position().bits_used, b.position().bits_used);
+        }
+    }
+}

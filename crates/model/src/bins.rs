@@ -1,0 +1,173 @@
+//! Bounds-checked statistic-bin storage.
+//!
+//! The paper's §6.1 incident — a reversed multidimensional index that
+//! compiled fine and silently produced nondeterministic output under one
+//! compiler — led the authors to wrap every bin array in a class that
+//! enforces bounds checks, at a measured ~10% cost they chose to keep.
+//! [`BinGrid`] is that abstraction: a flat `Vec<Branch>` with explicit
+//! dimensions, where every lookup asserts each coordinate against its
+//! axis (not just the flattened offset, which is what the reversed index
+//! defeated).
+
+use lepton_arith::Branch;
+
+/// A dense N-dimensional grid of adaptive bins with per-axis checking.
+#[derive(Clone, Debug)]
+pub struct BinGrid {
+    dims: Vec<usize>,
+    bins: Vec<Branch>,
+}
+
+impl BinGrid {
+    /// Allocate a grid with the given dimensions, all bins fresh (50-50).
+    pub fn new(dims: &[usize]) -> Self {
+        let n: usize = dims.iter().product();
+        assert!(n > 0, "empty bin grid");
+        BinGrid {
+            dims: dims.to_vec(),
+            bins: vec![Branch::new(); n],
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Always false; grids are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn flatten(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "bin index rank {} != grid rank {}",
+            idx.len(),
+            self.dims.len()
+        );
+        let mut off = 0usize;
+        for (i, (&x, &d)) in idx.iter().zip(self.dims.iter()).enumerate() {
+            assert!(x < d, "bin axis {i} out of bounds: {x} >= {d}");
+            off = off * d + x;
+        }
+        off
+    }
+
+    /// Mutable bin at the given coordinates (asserts each axis).
+    #[inline]
+    pub fn at(&mut self, idx: &[usize]) -> &mut Branch {
+        let off = self.flatten(idx);
+        &mut self.bins[off]
+    }
+
+    /// Read-only bin access (for inspection/tests).
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> &Branch {
+        let off = self.flatten(idx);
+        &self.bins[off]
+    }
+
+    /// Mutable slice over the last axis, with all leading axes fixed by
+    /// `prefix` (each checked). This is how callers obtain the per-
+    /// position bin rows for Exp-Golomb coding.
+    #[inline]
+    pub fn row(&mut self, prefix: &[usize]) -> &mut [Branch] {
+        assert_eq!(
+            prefix.len() + 1,
+            self.dims.len(),
+            "row prefix rank {} != grid rank {} - 1",
+            prefix.len(),
+            self.dims.len()
+        );
+        let mut off = 0usize;
+        for (i, (&x, &d)) in prefix.iter().zip(self.dims.iter()).enumerate() {
+            assert!(x < d, "bin axis {i} out of bounds: {x} >= {d}");
+            off = off * d + x;
+        }
+        let last = *self.dims.last().expect("non-empty dims");
+        let start = off * last;
+        &mut self.bins[start..start + last]
+    }
+
+    /// Count of bins that have adapted away from the 50-50 prior
+    /// (instrumentation: how much of the model a file actually touches).
+    pub fn touched(&self) -> usize {
+        self.bins.iter().filter(|b| !b.is_fresh()).count()
+    }
+}
+
+/// `⌊log₁.₅₉(x)⌋` bucket clamped to 0..=9, the paper's non-zero-count
+/// context (App. A.2.1). `x = 0` maps to bucket 0.
+#[inline]
+pub fn log159_bucket(x: u32) -> usize {
+    // Thresholds: 1.59^b for b = 1..=9, precomputed and rounded.
+    const THRESH: [u32; 9] = [2, 3, 5, 7, 11, 17, 26, 41, 65];
+    THRESH.iter().take_while(|&&t| x >= t).count()
+}
+
+/// Magnitude bucket: bit length of `x` clamped to `0..=max` (used for
+/// the weighted-neighbor-average context).
+#[inline]
+pub fn magnitude_bucket(x: u32, max: usize) -> usize {
+    ((32 - x.leading_zeros()) as usize).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_independence() {
+        let mut g = BinGrid::new(&[3, 4, 5]);
+        assert_eq!(g.len(), 60);
+        g.at(&[2, 3, 4]).record(true);
+        g.at(&[0, 0, 0]).record(false);
+        assert_eq!(g.touched(), 2);
+        assert!(g.get(&[1, 1, 1]).is_fresh());
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 1 out of bounds")]
+    fn per_axis_bounds_checked() {
+        // The §6.1 bug: swapped indices that still land in the flat
+        // allocation. Per-axis checks catch it.
+        let mut g = BinGrid::new(&[10, 2]);
+        let _ = g.at(&[1, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn rank_checked() {
+        let mut g = BinGrid::new(&[4, 4]);
+        let _ = g.at(&[1]);
+    }
+
+    #[test]
+    fn log159_buckets() {
+        assert_eq!(log159_bucket(0), 0);
+        assert_eq!(log159_bucket(1), 0);
+        assert_eq!(log159_bucket(2), 1);
+        assert_eq!(log159_bucket(3), 2);
+        assert_eq!(log159_bucket(4), 2);
+        assert_eq!(log159_bucket(5), 3);
+        assert_eq!(log159_bucket(10), 4);
+        assert_eq!(log159_bucket(11), 5);
+        assert_eq!(log159_bucket(49), 8);
+        assert_eq!(log159_bucket(65), 9);
+        assert_eq!(log159_bucket(1000), 9);
+    }
+
+    #[test]
+    fn magnitude_buckets() {
+        assert_eq!(magnitude_bucket(0, 11), 0);
+        assert_eq!(magnitude_bucket(1, 11), 1);
+        assert_eq!(magnitude_bucket(2, 11), 2);
+        assert_eq!(magnitude_bucket(3, 11), 2);
+        assert_eq!(magnitude_bucket(4, 11), 3);
+        assert_eq!(magnitude_bucket(1023, 11), 10);
+        assert_eq!(magnitude_bucket(u32::MAX, 11), 11);
+    }
+}

@@ -1,0 +1,653 @@
+//! The per-component block codec: ties bins, binarization, and
+//! predictors together in the paper's coding order (nonzeros → 7x7 →
+//! edges → DC).
+//!
+//! One [`ComponentModel`] holds the adaptive state for one component
+//! class (luma or chroma) of one *thread segment* — the paper's threads
+//! each start from fresh 50-50 bins and adapt independently (§3.4),
+//! which is why `new()` is cheap and explicit.
+
+use crate::bins::{log159_bucket, magnitude_bucket, BinGrid};
+use crate::coef_coder::{decode_tree, decode_value, encode_tree, encode_value};
+use crate::config::{DcMode, EdgeMode, ModelConfig, ScanOrder};
+use crate::context::{
+    ac_only_pixels, count_nz77, count_nz_col, count_nz_row, dequantize, lakhani_col, lakhani_row,
+    predict_dc_first_cut, predict_dc_gradient, predict_dc_neighbor_avg, BlockNeighbors,
+    DcPrediction, INTERIOR_RASTER, INTERIOR_ZZ,
+};
+use lepton_arith::{BoolDecoder, BoolEncoder, ByteSource};
+use lepton_jpeg::CoefBlock;
+
+/// Maximum Exp-Golomb exponent for AC coefficients (baseline range
+/// ±1023, with headroom to ±2047).
+const AC_MAX_EXP: usize = 11;
+/// Maximum exponent for the DC delta (±8191 headroom).
+const DC_MAX_EXP: usize = 13;
+
+#[inline]
+fn sign_ctx(v: i32) -> usize {
+    match v.signum() {
+        -1 => 0,
+        0 => 1,
+        _ => 2,
+    }
+}
+
+/// Compressed-output attribution by coefficient category (drives the
+/// Fig. 4 breakdown). Byte counts are measured from encoder output
+/// deltas; per-block boundaries smear by at most the coder's carry lag,
+/// which telescopes away in aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategoryBytes {
+    /// Bytes spent on nonzero-count structure.
+    pub nz: u64,
+    /// Bytes spent on interior 7x7 coefficients.
+    pub ac77: u64,
+    /// Bytes spent on 7x1/1x7 edge coefficients.
+    pub edge: u64,
+    /// Bytes spent on DC deltas.
+    pub dc: u64,
+}
+
+impl CategoryBytes {
+    /// Total attributed bytes.
+    pub fn total(&self) -> u64 {
+        self.nz + self.ac77 + self.edge + self.dc
+    }
+
+    /// Accumulate another tally.
+    pub fn add(&mut self, other: &CategoryBytes) {
+        self.nz += other.nz;
+        self.ac77 += other.ac77;
+        self.edge += other.edge;
+        self.dc += other.dc;
+    }
+}
+
+/// Adaptive model state for one component class within one thread
+/// segment.
+pub struct ComponentModel {
+    cfg: ModelConfig,
+    /// Output-byte attribution accumulated across encoded blocks.
+    stats: CategoryBytes,
+    /// 7x7 nonzero count: [neighbor-count bucket][6-bit tree].
+    nz77: BinGrid,
+    /// Edge-strip nonzero count: [row/col][nz77 bucket][3-bit tree].
+    nz_edge: BinGrid,
+    /// 7x7 exponent unary bits: [coef][pred bucket][remaining bucket][pos].
+    exp77: BinGrid,
+    /// 7x7 sign: [coef][neighbor sign ctx].
+    sign77: BinGrid,
+    /// 7x7 residual bits: [coef][pos].
+    resid77: BinGrid,
+    /// Edge exponent: [edge coef 0..14][pred bucket][remaining 0..8][pos].
+    exp_edge: BinGrid,
+    /// Edge sign: [edge coef][pred sign ctx].
+    sign_edge: BinGrid,
+    /// Edge residual: [edge coef][pos].
+    resid_edge: BinGrid,
+    /// DC delta exponent: [confidence bucket][pos].
+    exp_dc: BinGrid,
+    /// DC sign: [pred sign ctx].
+    sign_dc: BinGrid,
+    /// DC residual bits: [pos].
+    resid_dc: BinGrid,
+}
+
+impl ComponentModel {
+    /// Fresh model, all bins at 50-50 (the per-thread starting state).
+    pub fn new(cfg: ModelConfig) -> Self {
+        ComponentModel {
+            cfg,
+            stats: CategoryBytes::default(),
+            nz77: BinGrid::new(&[10, 64]),
+            nz_edge: BinGrid::new(&[2, 10, 8]),
+            exp77: BinGrid::new(&[49, 12, 10, AC_MAX_EXP]),
+            sign77: BinGrid::new(&[49, 3]),
+            resid77: BinGrid::new(&[49, AC_MAX_EXP]),
+            exp_edge: BinGrid::new(&[14, 12, 8, AC_MAX_EXP]),
+            sign_edge: BinGrid::new(&[14, 3]),
+            resid_edge: BinGrid::new(&[14, AC_MAX_EXP]),
+            exp_dc: BinGrid::new(&[13, DC_MAX_EXP]),
+            sign_dc: BinGrid::new(&[3]),
+            resid_dc: BinGrid::new(&[DC_MAX_EXP]),
+        }
+    }
+
+    /// Total statistic bins allocated (for the §3.2 comparison: the
+    /// paper's model uses 721,564; ours is the same order of magnitude).
+    pub fn bin_count(&self) -> usize {
+        self.nz77.len()
+            + self.nz_edge.len()
+            + self.exp77.len()
+            + self.sign77.len()
+            + self.resid77.len()
+            + self.exp_edge.len()
+            + self.sign_edge.len()
+            + self.resid_edge.len()
+            + self.exp_dc.len()
+            + self.sign_dc.len()
+            + self.resid_dc.len()
+    }
+
+    /// Bins that have adapted away from the prior.
+    pub fn bins_touched(&self) -> usize {
+        self.nz77.touched()
+            + self.nz_edge.touched()
+            + self.exp77.touched()
+            + self.sign77.touched()
+            + self.resid77.touched()
+            + self.exp_edge.touched()
+            + self.sign_edge.touched()
+            + self.resid_edge.touched()
+            + self.exp_dc.touched()
+            + self.sign_dc.touched()
+            + self.resid_dc.touched()
+    }
+
+    /// Output attribution accumulated so far (encode side only).
+    pub fn stats(&self) -> CategoryBytes {
+        self.stats
+    }
+
+    fn interior_order(&self) -> &'static [usize; 49] {
+        match self.cfg.scan_order {
+            ScanOrder::Zigzag => &INTERIOR_ZZ,
+            ScanOrder::Raster => &INTERIOR_RASTER,
+        }
+    }
+
+    fn dc_prediction(&self, block: &CoefBlock, nbr: &BlockNeighbors) -> DcPrediction {
+        let mut pred = match self.cfg.dc_mode {
+            DcMode::Gradient => {
+                let ac_px = ac_only_pixels(block, nbr.quant);
+                predict_dc_gradient(&ac_px, nbr.above_edges, nbr.left_edges, nbr.quant)
+            }
+            DcMode::FirstCut => {
+                let ac_px = ac_only_pixels(block, nbr.quant);
+                predict_dc_first_cut(&ac_px, nbr.above_edges, nbr.left_edges, nbr.quant)
+            }
+            DcMode::NeighborAverage => predict_dc_neighbor_avg(nbr.above, nbr.left),
+        };
+        // Keep the delta within the Exp-Golomb range even for adversarial
+        // neighbor content.
+        pred.value = pred.value.clamp(-2047, 2047);
+        pred
+    }
+
+    /// Encode one block (must contain in-range baseline coefficients).
+    pub fn encode_block(
+        &mut self,
+        enc: &mut BoolEncoder,
+        block: &CoefBlock,
+        nbr: &BlockNeighbors,
+    ) {
+        // 1. Interior nonzero count.
+        let mark = enc.bytes_so_far() as u64;
+        let nz = count_nz77(block);
+        let nz_bucket = log159_bucket(nbr.nz_context());
+        encode_tree(enc, nz, 6, self.nz77.row(&[nz_bucket]));
+        self.stats.nz += enc.bytes_so_far() as u64 - mark;
+        let mark = enc.bytes_so_far() as u64;
+
+        // 2. Interior coefficients until the count is exhausted.
+        let order = self.interior_order();
+        let mut remaining = nz;
+        for (ki, &r) in order.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let v = block[r] as i32;
+            let pb = magnitude_bucket(nbr.weighted_abs(r), AC_MAX_EXP);
+            let nzb = log159_bucket(remaining);
+            let sc = sign_ctx(nbr.weighted_signed(r));
+            encode_value(
+                enc,
+                v,
+                AC_MAX_EXP,
+                self.exp77.row(&[ki, pb, nzb]),
+                self.sign77.at(&[ki, sc]),
+                self.resid77.row(&[ki]),
+            );
+            if v != 0 {
+                remaining -= 1;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "nonzero count mismatch");
+        self.stats.ac77 += enc.bytes_so_far() as u64 - mark;
+        let mark = enc.bytes_so_far() as u64;
+
+        // 3. Edge strips (row then column).
+        let cur_deq = dequantize(block, nbr.quant);
+        let above_deq = nbr.above.map(|a| dequantize(a, nbr.quant));
+        let left_deq = nbr.left.map(|l| dequantize(l, nbr.quant));
+        let nz77b = log159_bucket(nz);
+
+        let nz_row = count_nz_row(block);
+        encode_tree(enc, nz_row, 3, self.nz_edge.row(&[0, nz77b]));
+        let mut rem = nz_row as usize;
+        for u in 1..8usize {
+            if rem == 0 {
+                break;
+            }
+            let v = block[u] as i32;
+            let (pb, sc) = self.edge_ctx_row(u, &cur_deq, above_deq.as_ref(), nbr);
+            let idx = u - 1;
+            encode_value(
+                enc,
+                v,
+                AC_MAX_EXP,
+                self.exp_edge.row(&[idx, pb, rem]),
+                self.sign_edge.at(&[idx, sc]),
+                self.resid_edge.row(&[idx]),
+            );
+            if v != 0 {
+                rem -= 1;
+            }
+        }
+
+        let nz_col = count_nz_col(block);
+        encode_tree(enc, nz_col, 3, self.nz_edge.row(&[1, nz77b]));
+        let mut rem = nz_col as usize;
+        for vv in 1..8usize {
+            if rem == 0 {
+                break;
+            }
+            let v = block[vv * 8] as i32;
+            let (pb, sc) = self.edge_ctx_col(vv, &cur_deq, left_deq.as_ref(), nbr);
+            let idx = 7 + (vv - 1);
+            encode_value(
+                enc,
+                v,
+                AC_MAX_EXP,
+                self.exp_edge.row(&[idx, pb, rem]),
+                self.sign_edge.at(&[idx, sc]),
+                self.resid_edge.row(&[idx]),
+            );
+            if v != 0 {
+                rem -= 1;
+            }
+        }
+
+        self.stats.edge += enc.bytes_so_far() as u64 - mark;
+        let mark = enc.bytes_so_far() as u64;
+
+        // 4. DC, last, as a delta from the prediction.
+        let pred = self.dc_prediction(block, nbr);
+        let delta = block[0] as i32 - pred.value;
+        encode_value(
+            enc,
+            delta,
+            DC_MAX_EXP,
+            self.exp_dc.row(&[pred.confidence]),
+            self.sign_dc.at(&[pred.sign_ctx]),
+            self.resid_dc.row(&[]),
+        );
+        self.stats.dc += enc.bytes_so_far() as u64 - mark;
+    }
+
+    /// Decode one block. Inverse of [`Self::encode_block`]; adversarial
+    /// input produces garbage coefficients but never panics.
+    pub fn decode_block<S: ByteSource>(
+        &mut self,
+        dec: &mut BoolDecoder<S>,
+        nbr: &BlockNeighbors,
+    ) -> CoefBlock {
+        let mut block: CoefBlock = [0; 64];
+
+        let nz_bucket = log159_bucket(nbr.nz_context());
+        let nz = decode_tree(dec, 6, self.nz77.row(&[nz_bucket])).min(49);
+
+        let order = self.interior_order();
+        let mut remaining = nz;
+        for (ki, &r) in order.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let pb = magnitude_bucket(nbr.weighted_abs(r), AC_MAX_EXP);
+            let nzb = log159_bucket(remaining);
+            let sc = sign_ctx(nbr.weighted_signed(r));
+            let v = decode_value(
+                dec,
+                AC_MAX_EXP,
+                self.exp77.row(&[ki, pb, nzb]),
+                self.sign77.at(&[ki, sc]),
+                self.resid77.row(&[ki]),
+            );
+            block[r] = v as i16;
+            if v != 0 {
+                remaining -= 1;
+            }
+        }
+
+        let cur_deq_snapshot = dequantize(&block, nbr.quant);
+        let above_deq = nbr.above.map(|a| dequantize(a, nbr.quant));
+        let left_deq = nbr.left.map(|l| dequantize(l, nbr.quant));
+        let nz77b = log159_bucket(nz);
+
+        let nz_row = decode_tree(dec, 3, self.nz_edge.row(&[0, nz77b]));
+        let mut rem = nz_row as usize;
+        for u in 1..8usize {
+            if rem == 0 {
+                break;
+            }
+            let (pb, sc) = self.edge_ctx_row(u, &cur_deq_snapshot, above_deq.as_ref(), nbr);
+            let idx = u - 1;
+            let v = decode_value(
+                dec,
+                AC_MAX_EXP,
+                self.exp_edge.row(&[idx, pb, rem]),
+                self.sign_edge.at(&[idx, sc]),
+                self.resid_edge.row(&[idx]),
+            );
+            block[u] = v as i16;
+            if v != 0 {
+                rem -= 1;
+            }
+        }
+
+        let nz_col = decode_tree(dec, 3, self.nz_edge.row(&[1, nz77b]));
+        let mut rem = nz_col as usize;
+        for vv in 1..8usize {
+            if rem == 0 {
+                break;
+            }
+            let (pb, sc) = self.edge_ctx_col(vv, &cur_deq_snapshot, left_deq.as_ref(), nbr);
+            let idx = 7 + (vv - 1);
+            let v = decode_value(
+                dec,
+                AC_MAX_EXP,
+                self.exp_edge.row(&[idx, pb, rem]),
+                self.sign_edge.at(&[idx, sc]),
+                self.resid_edge.row(&[idx]),
+            );
+            block[vv * 8] = v as i16;
+            if v != 0 {
+                rem -= 1;
+            }
+        }
+
+        let pred = self.dc_prediction(&block, nbr);
+        let delta = decode_value(
+            dec,
+            DC_MAX_EXP,
+            self.exp_dc.row(&[pred.confidence]),
+            self.sign_dc.at(&[pred.sign_ctx]),
+            self.resid_dc.row(&[]),
+        );
+        block[0] = (pred.value + delta).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        block
+    }
+
+    /// Context (prediction bucket, sign context) for a top-row edge
+    /// coefficient. The Lakhani formula only reads interior positions of
+    /// the current block, so passing a fully-populated block on encode
+    /// and an interior-only block on decode yields identical results.
+    fn edge_ctx_row(
+        &self,
+        u: usize,
+        cur_deq: &[i32; 64],
+        above_deq: Option<&[i32; 64]>,
+        nbr: &BlockNeighbors,
+    ) -> (usize, usize) {
+        match self.cfg.edge_mode {
+            EdgeMode::Lakhani => match above_deq {
+                Some(a) => {
+                    let p = lakhani_row(a, cur_deq, u, nbr.quant);
+                    (magnitude_bucket(p.unsigned_abs(), AC_MAX_EXP), sign_ctx(p))
+                }
+                None => (0, 1),
+            },
+            EdgeMode::Averaged => (
+                magnitude_bucket(nbr.weighted_abs(u), AC_MAX_EXP),
+                sign_ctx(nbr.weighted_signed(u)),
+            ),
+        }
+    }
+
+    /// Context for a left-column edge coefficient.
+    fn edge_ctx_col(
+        &self,
+        v: usize,
+        cur_deq: &[i32; 64],
+        left_deq: Option<&[i32; 64]>,
+        nbr: &BlockNeighbors,
+    ) -> (usize, usize) {
+        match self.cfg.edge_mode {
+            EdgeMode::Lakhani => match left_deq {
+                Some(l) => {
+                    let p = lakhani_col(l, cur_deq, v, nbr.quant);
+                    (magnitude_bucket(p.unsigned_abs(), AC_MAX_EXP), sign_ctx(p))
+                }
+                None => (0, 1),
+            },
+            EdgeMode::Averaged => (
+                magnitude_bucket(nbr.weighted_abs(v * 8), AC_MAX_EXP),
+                sign_ctx(nbr.weighted_signed(v * 8)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{block_edges, EdgeCache};
+    use lepton_arith::SliceSource;
+    use lepton_jpeg::coeffs::Plane;
+
+    /// Encode an entire plane the way the core codec does (row-by-row
+    /// with an edge cache), then decode and compare.
+    fn roundtrip_plane(plane: &Plane, quant: &[u16; 64], cfg: ModelConfig) -> usize {
+        let mut enc = BoolEncoder::new();
+        let mut model = ComponentModel::new(cfg);
+        let mut cache = EdgeCache::new(plane.blocks_w);
+        for by in 0..plane.blocks_h {
+            if by > 0 {
+                cache.next_row();
+            }
+            for bx in 0..plane.blocks_w {
+                let nbr = BlockNeighbors {
+                    above: (by > 0).then(|| plane.block(bx, by - 1)),
+                    left: (bx > 0).then(|| plane.block(bx - 1, by)),
+                    above_left: (bx > 0 && by > 0).then(|| plane.block(bx - 1, by - 1)),
+                    above_edges: cache.above(bx),
+                    left_edges: cache.left(bx),
+                    quant,
+                };
+                model.encode_block(&mut enc, plane.block(bx, by), &nbr);
+                cache.push(bx, block_edges(plane.block(bx, by), quant));
+            }
+        }
+        let bytes = enc.finish();
+        let nbytes = bytes.len();
+
+        let mut dec = BoolDecoder::new(SliceSource::new(&bytes));
+        let mut model = ComponentModel::new(cfg);
+        let mut cache = EdgeCache::new(plane.blocks_w);
+        let mut out = Plane::new(plane.blocks_w, plane.blocks_h);
+        for by in 0..plane.blocks_h {
+            if by > 0 {
+                cache.next_row();
+            }
+            for bx in 0..plane.blocks_w {
+                let block = {
+                    let nbr = BlockNeighbors {
+                        above: (by > 0).then(|| out.block(bx, by - 1)),
+                        left: (bx > 0).then(|| out.block(bx - 1, by)),
+                        above_left: (bx > 0 && by > 0).then(|| out.block(bx - 1, by - 1)),
+                        above_edges: cache.above(bx),
+                        left_edges: cache.left(bx),
+                        quant,
+                    };
+                    model.decode_block(&mut dec, &nbr)
+                };
+                cache.push(bx, block_edges(&block, quant));
+                *out.block_mut(bx, by) = block;
+            }
+        }
+        assert_eq!(out.raw(), plane.raw(), "plane mismatch");
+        nbytes
+    }
+
+    fn synthetic_plane(w: usize, h: usize, seed: u64) -> Plane {
+        let mut plane = Plane::new(w, h);
+        let mut x = seed.max(1);
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for by in 0..h {
+            for bx in 0..w {
+                let b = plane.block_mut(bx, by);
+                // Smooth DC field plus sparse ACs, like real photos.
+                b[0] = (((bx * 13 + by * 7) % 200) as i16) - 100;
+                for k in 1..64 {
+                    let r = rand();
+                    if r % 7 == 0 {
+                        let mag = (r >> 8) % 32;
+                        let sign = if (r >> 16) & 1 == 1 { -1 } else { 1 };
+                        b[k] = (mag as i16 + 1) * sign;
+                    }
+                }
+            }
+        }
+        plane
+    }
+
+    #[test]
+    fn roundtrip_default_config() {
+        let plane = synthetic_plane(6, 4, 42);
+        let quant = [8u16; 64];
+        roundtrip_plane(&plane, &quant, ModelConfig::default());
+    }
+
+    #[test]
+    fn roundtrip_all_ablation_configs() {
+        let plane = synthetic_plane(5, 5, 7);
+        let quant = [6u16; 64];
+        for edge in [EdgeMode::Lakhani, EdgeMode::Averaged] {
+            for dc in [DcMode::Gradient, DcMode::FirstCut, DcMode::NeighborAverage] {
+                for so in [ScanOrder::Zigzag, ScanOrder::Raster] {
+                    let cfg = ModelConfig {
+                        edge_mode: edge,
+                        dc_mode: dc,
+                        scan_order: so,
+                    };
+                    roundtrip_plane(&plane, &quant, cfg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_extreme_values() {
+        let mut plane = Plane::new(3, 3);
+        let quant = [1u16; 64];
+        for by in 0..3 {
+            for bx in 0..3 {
+                let b = plane.block_mut(bx, by);
+                for k in 0..64 {
+                    b[k] = match (bx + by + k) % 5 {
+                        0 => 1023,
+                        1 => -1023,
+                        2 => 0,
+                        3 => 1,
+                        _ => -512,
+                    };
+                }
+                b[0] = if (bx + by) % 2 == 0 { 2047 } else { -2047 };
+            }
+        }
+        roundtrip_plane(&plane, &quant, ModelConfig::default());
+    }
+
+    #[test]
+    fn roundtrip_all_zero_plane() {
+        let plane = Plane::new(8, 2);
+        let quant = [16u16; 64];
+        let bytes = roundtrip_plane(&plane, &quant, ModelConfig::default());
+        // 16 all-zero blocks should compress to a handful of bytes.
+        assert!(bytes < 64, "got {bytes}");
+    }
+
+    #[test]
+    fn roundtrip_single_block() {
+        let mut plane = Plane::new(1, 1);
+        plane.block_mut(0, 0)[0] = -300;
+        plane.block_mut(0, 0)[9] = 4;
+        plane.block_mut(0, 0)[1] = -2;
+        plane.block_mut(0, 0)[8] = 1;
+        let quant = [4u16; 64];
+        roundtrip_plane(&plane, &quant, ModelConfig::default());
+    }
+
+    #[test]
+    fn smooth_content_compresses_better_than_noise() {
+        let quant = [8u16; 64];
+        // Smooth: sparse, correlated coefficients.
+        let smooth = synthetic_plane(8, 8, 3);
+        // Noisy: dense random coefficients.
+        let mut noisy = Plane::new(8, 8);
+        let mut x = 99u64;
+        for by in 0..8 {
+            for bx in 0..8 {
+                let b = noisy.block_mut(bx, by);
+                for k in 0..64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    b[k] = ((x % 100) as i16) - 50;
+                }
+            }
+        }
+        let s = roundtrip_plane(&smooth, &quant, ModelConfig::default());
+        let n = roundtrip_plane(&noisy, &quant, ModelConfig::default());
+        assert!(s < n, "smooth {s} vs noisy {n}");
+    }
+
+    #[test]
+    fn model_size_is_paper_order_of_magnitude() {
+        let m = ComponentModel::new(ModelConfig::default());
+        // Paper: 721,564 bins across the model. One component class
+        // should be within (coarsely) the same order.
+        assert!(m.bin_count() > 50_000, "bins: {}", m.bin_count());
+        assert!(m.bin_count() < 1_000_000, "bins: {}", m.bin_count());
+        assert_eq!(m.bins_touched(), 0);
+    }
+
+    #[test]
+    fn decoding_garbage_never_panics() {
+        // Adversarial compressed stream: decode must produce *something*
+        // for every prefix without panicking (§6.7 fuzzing regression).
+        let quant = [3u16; 64];
+        let mut x = 0xDEAD_BEEFu64;
+        for trial in 0..20 {
+            let garbage: Vec<u8> = (0..200)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x >> (trial % 8)) as u8
+                })
+                .collect();
+            let mut dec = BoolDecoder::new(SliceSource::new(&garbage));
+            let mut model = ComponentModel::new(ModelConfig::default());
+            let mut prev: Option<CoefBlock> = None;
+            for _ in 0..8 {
+                let nbr = BlockNeighbors {
+                    above: None,
+                    left: prev.as_ref(),
+                    above_left: None,
+                    above_edges: None,
+                    left_edges: None,
+                    quant: &quant,
+                };
+                let b = model.decode_block(&mut dec, &nbr);
+                prev = Some(b);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Model configuration: the paper's design choices as ablation knobs.
+//!
+//! §4.3 quantifies three of Lepton's modeling decisions against simpler
+//! alternatives; this enum set lets the `tab_ablations` experiment
+//! reproduce those comparisons with everything else held fixed.
+
+/// How 7x1/1x7 edge coefficients are predicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeMode {
+    /// Lakhani DCT-continuity prediction from the adjacent block's full
+    /// row/column (the paper's choice; §4.3 reports 78.7% ratio on edge
+    /// coefficients).
+    Lakhani,
+    /// The same weighted neighbor-coefficient average used for 7x7
+    /// coefficients ("baseline PackJPG" treatment; 82.5%).
+    Averaged,
+}
+
+/// How the DC coefficient is predicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcMode {
+    /// Gradient continuation between neighbor border pixels and the
+    /// block's own AC-only reconstruction (the paper's choice; 59.9%).
+    Gradient,
+    /// First-cut scheme from App. A.2.3: minimize pairwise border pixel
+    /// differences, averaging the median 8 of 16 pairs (~30% better than
+    /// baseline JPEG).
+    FirstCut,
+    /// PackJPG-style: predict DC from the average of the above/left
+    /// DC values (79.4%).
+    NeighborAverage,
+}
+
+/// Interior coefficient transmission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanOrder {
+    /// Zigzag (paper: 0.2% better than raster).
+    Zigzag,
+    /// Raster order ablation.
+    Raster,
+}
+
+/// Complete model configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Edge-coefficient predictor.
+    pub edge_mode: EdgeMode,
+    /// DC predictor.
+    pub dc_mode: DcMode,
+    /// Interior scan order.
+    pub scan_order: ScanOrder,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            edge_mode: EdgeMode::Lakhani,
+            dc_mode: DcMode::Gradient,
+            scan_order: ScanOrder::Zigzag,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The configuration approximating 2007-era PackJPG's per-block
+    /// treatment (used as the ablation baseline in §4.3).
+    pub fn packjpg_like() -> Self {
+        ModelConfig {
+            edge_mode: EdgeMode::Averaged,
+            dc_mode: DcMode::NeighborAverage,
+            scan_order: ScanOrder::Zigzag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_config() {
+        let c = ModelConfig::default();
+        assert_eq!(c.edge_mode, EdgeMode::Lakhani);
+        assert_eq!(c.dc_mode, DcMode::Gradient);
+        assert_eq!(c.scan_order, ScanOrder::Zigzag);
+    }
+
+    #[test]
+    fn ablation_differs() {
+        assert_ne!(ModelConfig::default(), ModelConfig::packjpg_like());
+    }
+}

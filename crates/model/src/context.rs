@@ -1,0 +1,625 @@
+//! Neighbor context and the three predictors (App. A.2).
+//!
+//! All prediction math is integer/fixed-point so encode and decode (and
+//! any platform, any thread count) compute bit-identical contexts — the
+//! determinism requirement of §5.2 built in by construction.
+
+use lepton_jpeg::dct::{idct_i32, BASIS_FIX, SCALE_BITS};
+use lepton_jpeg::CoefBlock;
+use lepton_jpeg::{ZIGZAG, ZIGZAG_INV};
+
+/// Raster indices of the 49 interior ("7x7") coefficients in zigzag
+/// transmission order.
+pub const INTERIOR_ZZ: [usize; 49] = {
+    let mut out = [0usize; 49];
+    let mut n = 0;
+    let mut k = 1;
+    while k < 64 {
+        let r = ZIGZAG[k];
+        if r / 8 != 0 && r % 8 != 0 {
+            out[n] = r;
+            n += 1;
+        }
+        k += 1;
+    }
+    assert!(n == 49);
+    out
+};
+
+/// Raster indices of the interior coefficients in raster order (the
+/// §4.3 scan-order ablation).
+pub const INTERIOR_RASTER: [usize; 49] = {
+    let mut out = [0usize; 49];
+    let mut n = 0;
+    let mut r = 0;
+    while r < 64 {
+        if r / 8 != 0 && r % 8 != 0 {
+            out[n] = r;
+            n += 1;
+        }
+        r += 1;
+    }
+    out
+};
+
+/// Count of non-zero interior coefficients (0..=49).
+#[inline]
+pub fn count_nz77(block: &CoefBlock) -> u32 {
+    let mut n = 0;
+    for r in 1..64 {
+        if r / 8 != 0 && r % 8 != 0 && block[r] != 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Count of non-zero coefficients in the top edge row (u = 1..=7).
+#[inline]
+pub fn count_nz_row(block: &CoefBlock) -> u32 {
+    (1..8).filter(|&u| block[u] != 0).count() as u32
+}
+
+/// Count of non-zero coefficients in the left edge column (v = 1..=7).
+#[inline]
+pub fn count_nz_col(block: &CoefBlock) -> u32 {
+    (1..8).filter(|&v| block[v * 8] != 0).count() as u32
+}
+
+/// Pixel rows/columns of a fully decoded block that later neighbors
+/// need: rows 6–7 (bottom) and columns 6–7 (right), fixed-point scaled
+/// by `2^SCALE_BITS`, no +128 level shift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockEdges {
+    /// `rows[0]` = pixel row 6, `rows[1]` = pixel row 7 (x = 0..8).
+    pub rows: [[i64; 8]; 2],
+    /// `cols[0]` = pixel column 6, `cols[1]` = pixel column 7 (y = 0..8).
+    pub cols: [[i64; 8]; 2],
+}
+
+/// Dequantize a block into i32 raster coefficients.
+#[inline]
+pub fn dequantize(block: &CoefBlock, quant: &[u16; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        out[i] = block[i] as i32 * quant[i] as i32;
+    }
+    out
+}
+
+/// Full IDCT of a block, extracting the edges later blocks will consult.
+pub fn block_edges(block: &CoefBlock, quant: &[u16; 64]) -> BlockEdges {
+    let deq = dequantize(block, quant);
+    let px = idct_i32(&deq);
+    let mut rows = [[0i64; 8]; 2];
+    let mut cols = [[0i64; 8]; 2];
+    for x in 0..8 {
+        rows[0][x] = px[6 * 8 + x];
+        rows[1][x] = px[7 * 8 + x];
+    }
+    for y in 0..8 {
+        cols[0][y] = px[y * 8 + 6];
+        cols[1][y] = px[y * 8 + 7];
+    }
+    BlockEdges { rows, cols }
+}
+
+/// Rolling cache of [`BlockEdges`] for one component plane, maintained
+/// row-by-row by the codec driver. Holds two block rows — exactly the
+/// "row-by-row" working set the paper's memory budget relies on (§1).
+#[derive(Clone, Debug)]
+pub struct EdgeCache {
+    blocks_w: usize,
+    above: Vec<Option<BlockEdges>>,
+    current: Vec<Option<BlockEdges>>,
+}
+
+impl EdgeCache {
+    /// Cache for a plane `blocks_w` blocks wide.
+    pub fn new(blocks_w: usize) -> Self {
+        EdgeCache {
+            blocks_w,
+            above: vec![None; blocks_w],
+            current: vec![None; blocks_w],
+        }
+    }
+
+    /// Advance to the next block row.
+    pub fn next_row(&mut self) {
+        std::mem::swap(&mut self.above, &mut self.current);
+        self.current.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Record a just-coded block's edges.
+    pub fn push(&mut self, bx: usize, edges: BlockEdges) {
+        self.current[bx] = Some(edges);
+    }
+
+    /// Edges of the block above (bx, by-1), if cached.
+    pub fn above(&self, bx: usize) -> Option<&BlockEdges> {
+        self.above.get(bx).and_then(|e| e.as_ref())
+    }
+
+    /// Edges of the block to the left (bx-1, by), if cached.
+    pub fn left(&self, bx: usize) -> Option<&BlockEdges> {
+        if bx == 0 {
+            None
+        } else {
+            self.current.get(bx - 1).and_then(|e| e.as_ref())
+        }
+    }
+
+    /// Plane width in blocks.
+    pub fn blocks_w(&self) -> usize {
+        self.blocks_w
+    }
+}
+
+/// Everything the model consults about a block's surroundings.
+pub struct BlockNeighbors<'a> {
+    /// Above block's quantized coefficients.
+    pub above: Option<&'a CoefBlock>,
+    /// Left block's quantized coefficients.
+    pub left: Option<&'a CoefBlock>,
+    /// Above-left block's quantized coefficients.
+    pub above_left: Option<&'a CoefBlock>,
+    /// Above block's bottom pixel rows (from the [`EdgeCache`]).
+    pub above_edges: Option<&'a BlockEdges>,
+    /// Left block's right pixel columns.
+    pub left_edges: Option<&'a BlockEdges>,
+    /// Quantization table for this component (raster order).
+    pub quant: &'a [u16; 64],
+}
+
+impl BlockNeighbors<'_> {
+    /// The weighted neighbor magnitude `⌊(13|A| + 13|L| + 6|AL|)/32⌋`
+    /// used as the 7x7 bin context (§3.3).
+    #[inline]
+    pub fn weighted_abs(&self, raster: usize) -> u32 {
+        let a = self.above.map_or(0, |b| b[raster].unsigned_abs() as u32);
+        let l = self.left.map_or(0, |b| b[raster].unsigned_abs() as u32);
+        let al = self.above_left.map_or(0, |b| b[raster].unsigned_abs() as u32);
+        (13 * a + 13 * l + 6 * al) / 32
+    }
+
+    /// Signed weighted neighbor average (sign context).
+    #[inline]
+    pub fn weighted_signed(&self, raster: usize) -> i32 {
+        let a = self.above.map_or(0, |b| b[raster] as i32);
+        let l = self.left.map_or(0, |b| b[raster] as i32);
+        let al = self.above_left.map_or(0, |b| b[raster] as i32);
+        (13 * a + 13 * l + 6 * al) / 32
+    }
+
+    /// Neighbor non-zero-count context `(nA + nL) / 2` (App. A.2.1).
+    pub fn nz_context(&self) -> u32 {
+        match (self.above, self.left) {
+            (Some(a), Some(l)) => (count_nz77(a) + count_nz77(l)) / 2,
+            (Some(a), None) => count_nz77(a),
+            (None, Some(l)) => count_nz77(l),
+            (None, None) => 0,
+        }
+    }
+}
+
+/// Lakhani prediction of a top-row coefficient `F(u,0)` (raster `u`)
+/// from the above block and the current interior (App. A.2.2).
+///
+/// Derived from pixel continuity `P_above(x,7) ≈ P(x,0)`:
+/// `F̄(u,0) = (Σ_v M[7][v]·A(u,v) − Σ_{v≥1} M[0][v]·F(u,v)) / M[0][0]`,
+/// all in dequantized units. Returns the *quantized* prediction.
+pub fn lakhani_row(
+    above_deq: &[i32; 64],
+    cur_deq: &[i32; 64],
+    u: usize,
+    quant: &[u16; 64],
+) -> i32 {
+    debug_assert!((1..8).contains(&u));
+    let mut num = 0i64;
+    for v in 0..8 {
+        num += BASIS_FIX[7][v] as i64 * above_deq[v * 8 + u] as i64;
+    }
+    for v in 1..8 {
+        num -= BASIS_FIX[0][v] as i64 * cur_deq[v * 8 + u] as i64;
+    }
+    let pred_deq = num / BASIS_FIX[0][0] as i64;
+    let q = quant[u] as i64;
+    (div_round(pred_deq, q)) as i32
+}
+
+/// Lakhani prediction of a left-column coefficient `F(0,v)` (raster
+/// `v*8`) from the left block and the current interior.
+pub fn lakhani_col(
+    left_deq: &[i32; 64],
+    cur_deq: &[i32; 64],
+    v: usize,
+    quant: &[u16; 64],
+) -> i32 {
+    debug_assert!((1..8).contains(&v));
+    let mut num = 0i64;
+    for u in 0..8 {
+        num += BASIS_FIX[7][u] as i64 * left_deq[v * 8 + u] as i64;
+    }
+    for u in 1..8 {
+        num -= BASIS_FIX[0][u] as i64 * cur_deq[v * 8 + u] as i64;
+    }
+    let pred_deq = num / BASIS_FIX[0][0] as i64;
+    let q = quant[v * 8] as i64;
+    (div_round(pred_deq, q)) as i32
+}
+
+#[inline]
+fn div_round(n: i64, d: i64) -> i64 {
+    debug_assert!(d > 0);
+    if n >= 0 {
+        (n + d / 2) / d
+    } else {
+        (n - d / 2) / d
+    }
+}
+
+/// Per-pixel DC contribution of one dequantized DC unit in the
+/// fixed-point IDCT: `(2896 · 2896) >> 13`.
+const DC_PIXEL_GAIN: i64 = ((2896i64 * 2896) >> SCALE_BITS) as i64;
+
+/// Outcome of DC prediction: the predicted quantized DC value and a
+/// confidence bucket derived from prediction spread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DcPrediction {
+    /// Predicted quantized DC coefficient.
+    pub value: i32,
+    /// Spread bucket (0..=12): 0 = no information, higher = predictions
+    /// disagree more.
+    pub confidence: usize,
+    /// Sign context (0 negative, 1 zero, 2 positive).
+    pub sign_ctx: usize,
+}
+
+/// AC-only pixel reconstruction of the current block (DC forced to 0),
+/// needed by the gradient predictor. Returns the full 64 scaled pixels.
+pub fn ac_only_pixels(cur: &CoefBlock, quant: &[u16; 64]) -> [i64; 64] {
+    let mut deq = dequantize(cur, quant);
+    deq[0] = 0;
+    idct_i32(&deq)
+}
+
+/// Gradient-continuation DC prediction (App. A.2.3, Figure 17 right).
+///
+/// For each of up to 16 border pixel pairs, solve for the DC pixel
+/// offset that makes the neighbor's border gradient continue smoothly
+/// into the block's own (AC-only) gradient, then average.
+pub fn predict_dc_gradient(
+    ac_px: &[i64; 64],
+    above_edges: Option<&BlockEdges>,
+    left_edges: Option<&BlockEdges>,
+    quant: &[u16; 64],
+) -> DcPrediction {
+    let mut preds: Vec<i64> = Vec::with_capacity(16);
+    if let Some(a) = above_edges {
+        for x in 0..8 {
+            let a1 = a.rows[0][x]; // row 6
+            let a0 = a.rows[1][x]; // row 7 (adjacent)
+            let r0 = ac_px[x]; // row 0
+            let r1 = ac_px[8 + x]; // row 1
+            // Solve 3(r0+dc) = 3a0 − a1 + (r1+dc) … wait: r1 also shifts
+            // by dc, so: 3(r0+dc) = 3a0 − a1 + (r1+dc) ⇒
+            // 2dc = 3a0 − a1 + r1 − 3r0.
+            preds.push((3 * a0 - a1 + r1 - 3 * r0) / 2);
+        }
+    }
+    if let Some(l) = left_edges {
+        for y in 0..8 {
+            let l1 = l.cols[0][y]; // col 6
+            let l0 = l.cols[1][y]; // col 7 (adjacent)
+            let c0 = ac_px[y * 8]; // col 0
+            let c1 = ac_px[y * 8 + 1]; // col 1
+            preds.push((3 * l0 - l1 + c1 - 3 * c0) / 2);
+        }
+    }
+    finish_dc_prediction(&preds, quant)
+}
+
+/// First-cut DC prediction (App. A.2.3, Figure 17 left): per-pair DC
+/// that equalizes the border pixels, median-8 averaged.
+pub fn predict_dc_first_cut(
+    ac_px: &[i64; 64],
+    above_edges: Option<&BlockEdges>,
+    left_edges: Option<&BlockEdges>,
+    quant: &[u16; 64],
+) -> DcPrediction {
+    let mut preds: Vec<i64> = Vec::with_capacity(16);
+    if let Some(a) = above_edges {
+        for x in 0..8 {
+            preds.push(a.rows[1][x] - ac_px[x]);
+        }
+    }
+    if let Some(l) = left_edges {
+        for y in 0..8 {
+            preds.push(l.cols[1][y] - ac_px[y * 8]);
+        }
+    }
+    if preds.len() >= 8 {
+        // Discard outliers: keep the median 8.
+        preds.sort_unstable();
+        let start = (preds.len() - 8) / 2;
+        let kept: Vec<i64> = preds[start..start + 8].to_vec();
+        finish_dc_prediction(&kept, quant)
+    } else {
+        finish_dc_prediction(&preds, quant)
+    }
+}
+
+/// PackJPG-style DC prediction: average of neighbor DC values.
+pub fn predict_dc_neighbor_avg(
+    above: Option<&CoefBlock>,
+    left: Option<&CoefBlock>,
+) -> DcPrediction {
+    let value = match (above, left) {
+        (Some(a), Some(l)) => (a[0] as i32 + l[0] as i32) / 2,
+        (Some(a), None) => a[0] as i32,
+        (None, Some(l)) => l[0] as i32,
+        (None, None) => 0,
+    };
+    DcPrediction {
+        value,
+        confidence: if above.is_some() || left.is_some() { 6 } else { 0 },
+        sign_ctx: sign_ctx(value),
+    }
+}
+
+fn sign_ctx(v: i32) -> usize {
+    match v.signum() {
+        -1 => 0,
+        0 => 1,
+        _ => 2,
+    }
+}
+
+fn finish_dc_prediction(preds: &[i64], quant: &[u16; 64]) -> DcPrediction {
+    if preds.is_empty() {
+        return DcPrediction {
+            value: 0,
+            confidence: 0,
+            sign_ctx: 1,
+        };
+    }
+    let sum: i64 = preds.iter().sum();
+    let avg = sum / preds.len() as i64;
+    // Convert a scaled pixel offset into a quantized DC value.
+    let q0 = quant[0] as i64;
+    let value = div_round(avg, DC_PIXEL_GAIN * q0) as i32;
+    let spread = (preds.iter().max().unwrap() - preds.iter().min().unwrap()) as u64;
+    // Bucket the spread in quantized-DC units.
+    let spread_q = spread / (DC_PIXEL_GAIN * q0).max(1) as u64;
+    let confidence = (64 - (spread_q + 1).leading_zeros() as usize).min(12);
+    DcPrediction {
+        value,
+        confidence,
+        sign_ctx: sign_ctx(value),
+    }
+}
+
+/// Re-export used by the interior ablation.
+pub fn zigzag_position(raster: usize) -> usize {
+    ZIGZAG_INV[raster]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_tables_are_disjoint_from_edges() {
+        for &r in &INTERIOR_ZZ {
+            assert!(r / 8 != 0 && r % 8 != 0);
+        }
+        for &r in &INTERIOR_RASTER {
+            assert!(r / 8 != 0 && r % 8 != 0);
+        }
+        let mut zz = INTERIOR_ZZ;
+        let mut ra = INTERIOR_RASTER;
+        zz.sort_unstable();
+        ra.sort_unstable();
+        assert_eq!(zz, ra, "same set, different order");
+    }
+
+    #[test]
+    fn counts() {
+        let mut b: CoefBlock = [0; 64];
+        b[0] = 100; // DC: not counted anywhere
+        b[1] = 5; // row edge
+        b[8] = -3; // col edge
+        b[9] = 7; // interior
+        b[63] = -1; // interior
+        assert_eq!(count_nz77(&b), 2);
+        assert_eq!(count_nz_row(&b), 1);
+        assert_eq!(count_nz_col(&b), 1);
+    }
+
+    #[test]
+    fn weighted_abs_mixes_neighbors() {
+        let mut a: CoefBlock = [0; 64];
+        let mut l: CoefBlock = [0; 64];
+        let mut al: CoefBlock = [0; 64];
+        a[9] = 10;
+        l[9] = -10;
+        al[9] = 16;
+        let q = [1u16; 64];
+        let nbr = BlockNeighbors {
+            above: Some(&a),
+            left: Some(&l),
+            above_left: Some(&al),
+            above_edges: None,
+            left_edges: None,
+            quant: &q,
+        };
+        // (13*10 + 13*10 + 6*16)/32 = (130+130+96)/32 = 11
+        assert_eq!(nbr.weighted_abs(9), 11);
+        // signed: (130 - 130 + 96)/32 = 3
+        assert_eq!(nbr.weighted_signed(9), 3);
+    }
+
+    #[test]
+    fn lakhani_exact_for_continuous_flat_field() {
+        // Two blocks of identical constant brightness: every predicted
+        // edge coefficient should be 0 (no variation to continue).
+        let q = [4u16; 64];
+        let mut above: CoefBlock = [0; 64];
+        above[0] = 50;
+        let mut cur: CoefBlock = [0; 64];
+        cur[0] = 50;
+        let a_deq = dequantize(&above, &q);
+        let c_deq = dequantize(&cur, &q);
+        for u in 1..8 {
+            assert_eq!(lakhani_row(&a_deq, &c_deq, u, &q), 0, "u={u}");
+        }
+        for v in 1..8 {
+            assert_eq!(lakhani_col(&a_deq, &c_deq, v, &q), 0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn lakhani_predicts_vertical_gradient() {
+        // A smooth vertical ramp spanning two vertically adjacent
+        // blocks: continuity should predict a nonzero F(0,1) (the first
+        // vertical AC) with the right sign for the lower block.
+        // Build pixel blocks, FDCT them, quantize with q=1.
+        let q = [1u16; 64];
+        let mut top_px = [0f32; 64];
+        let mut bot_px = [0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                top_px[y * 8 + x] = (y as f32) * 4.0 - 64.0;
+                bot_px[y * 8 + x] = ((y + 8) as f32) * 4.0 - 64.0;
+            }
+        }
+        let to_block = |px: &[f32; 64]| -> CoefBlock {
+            let f = lepton_jpeg::dct::fdct_f32(px);
+            let mut b = [0i16; 64];
+            for i in 0..64 {
+                b[i] = f[i].round() as i16;
+            }
+            b
+        };
+        let top = to_block(&top_px);
+        let bot = to_block(&bot_px);
+        let t_deq = dequantize(&top, &q);
+        let mut b_deq = dequantize(&bot, &q);
+        // Zero out the column 0 coefficients being predicted (they are
+        // unknown at prediction time); interior stays.
+        for v in 1..8 {
+            b_deq[v * 8] = 0;
+        }
+        let pred = lakhani_col; // predicting F(0,v) uses the LEFT block…
+        let _ = pred;
+        // For a vertical gradient the relevant continuity is top→bottom,
+        // i.e. the ROW prediction of the bottom block.
+        let mut b_deq2 = dequantize(&bot, &q);
+        for u in 1..8 {
+            b_deq2[u] = 0;
+        }
+        let got = lakhani_row(&t_deq, &b_deq2, 1, &q);
+        let actual = bot[1] as i32;
+        // Horizontal variation is zero in this image, so row-edge coefs
+        // are 0 and prediction should agree.
+        assert_eq!(got, actual);
+        let _ = b_deq;
+    }
+
+    #[test]
+    fn gradient_dc_exact_on_linear_ramp() {
+        // Pixels follow p(x,y) = 3y; the block below continues it.
+        // The gradient predictor should recover the DC (within rounding).
+        let q = [2u16; 64];
+        let mut top_px = [0f32; 64];
+        let mut bot_px = [0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                top_px[y * 8 + x] = (y as f32) * 3.0;
+                bot_px[y * 8 + x] = ((y + 8) as f32) * 3.0;
+            }
+        }
+        let to_block = |px: &[f32; 64], q: &[u16; 64]| -> CoefBlock {
+            let f = lepton_jpeg::dct::fdct_f32(px);
+            let mut b = [0i16; 64];
+            for i in 0..64 {
+                b[i] = (f[i] / q[i] as f32).round() as i16;
+            }
+            b
+        };
+        let top = to_block(&top_px, &q);
+        let bot = to_block(&bot_px, &q);
+        let edges = block_edges(&top, &q);
+        let ac_px = ac_only_pixels(&bot, &q);
+        let pred = predict_dc_gradient(&ac_px, Some(&edges), None, &q);
+        let actual = bot[0] as i32;
+        assert!(
+            (pred.value - actual).abs() <= 1,
+            "pred {} vs actual {}",
+            pred.value,
+            actual
+        );
+    }
+
+    #[test]
+    fn dc_prediction_no_neighbors() {
+        let q = [8u16; 64];
+        let blk: CoefBlock = [0; 64];
+        let ac_px = ac_only_pixels(&blk, &q);
+        let p = predict_dc_gradient(&ac_px, None, None, &q);
+        assert_eq!(p.value, 0);
+        assert_eq!(p.confidence, 0);
+    }
+
+    #[test]
+    fn first_cut_discards_outliers() {
+        // 15 agreeing pairs + 1 wild outlier: median-8 average should
+        // sit near the consensus.
+        let q = [1u16; 64];
+        let mut above = BlockEdges {
+            rows: [[1000; 8]; 2],
+            cols: [[0; 8]; 2],
+        };
+        let left = BlockEdges {
+            rows: [[0; 8]; 2],
+            cols: [[1000; 8]; 2],
+        };
+        above.rows[1][0] = 1_000_000; // outlier pair
+        let ac_px = [0i64; 64];
+        let p = predict_dc_first_cut(&ac_px, Some(&above), Some(&left), &q);
+        let consensus = div_round(1000, DC_PIXEL_GAIN) as i32;
+        assert!((p.value - consensus).abs() <= 1, "value {}", p.value);
+    }
+
+    #[test]
+    fn neighbor_avg_dc() {
+        let mut a: CoefBlock = [0; 64];
+        let mut l: CoefBlock = [0; 64];
+        a[0] = 100;
+        l[0] = 50;
+        let p = predict_dc_neighbor_avg(Some(&a), Some(&l));
+        assert_eq!(p.value, 75);
+        let p = predict_dc_neighbor_avg(None, Some(&l));
+        assert_eq!(p.value, 50);
+        let p = predict_dc_neighbor_avg(None, None);
+        assert_eq!(p.value, 0);
+    }
+
+    #[test]
+    fn edge_cache_rolls_rows() {
+        let mut c = EdgeCache::new(3);
+        let e = BlockEdges {
+            rows: [[1; 8]; 2],
+            cols: [[2; 8]; 2],
+        };
+        c.push(0, e);
+        c.push(1, e);
+        assert!(c.above(0).is_none());
+        assert!(c.left(1).is_some());
+        assert!(c.left(0).is_none());
+        c.next_row();
+        assert!(c.above(0).is_some());
+        assert!(c.above(2).is_none());
+        assert!(c.left(1).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Blocking client for the conversion service.
+//!
+//! One conversion per connection, exactly as the blockserver does it
+//! (§5.5): connect, write op + payload, half-close, read status +
+//! payload to EOF.
+
+use crate::endpoint::Endpoint;
+use crate::protocol::{read_bounded, Op, StatsReply, Status};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Errors a conversion client can see.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The service answered, but with a non-OK status.
+    Refused(Status),
+    /// The service's response did not parse.
+    Garbled(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Refused(s) => write!(f, "refused: {s:?}"),
+            ClientError::Garbled(w) => write!(f, "garbled response: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True when the failure was a socket timeout — the §6.6 "decode
+    /// exceeded the timeout window" condition the caller must queue
+    /// for automated investigation.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            ClientError::Refused(Status::Timeout) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Maximum response size a client will buffer (a decompressed chunk
+/// plus headroom).
+const MAX_RESPONSE: usize = 64 << 20;
+
+/// Issue one request and read the full response.
+pub fn convert(
+    ep: &Endpoint,
+    op: Op,
+    payload: &[u8],
+    timeout: Duration,
+) -> Result<(Status, Vec<u8>), ClientError> {
+    let mut conn = ep.connect(Some(timeout))?;
+    conn.write_all(&[op.to_wire()])?;
+    conn.write_all(payload)?;
+    conn.flush()?;
+    conn.shutdown_write()?;
+
+    let mut status_byte = [0u8; 1];
+    let mut got = 0;
+    while got < 1 {
+        match conn.read(&mut status_byte)? {
+            0 => return Err(ClientError::Garbled("empty response")),
+            n => got += n,
+        }
+    }
+    let status =
+        Status::from_wire(status_byte[0]).ok_or(ClientError::Garbled("unknown status byte"))?;
+    let body = read_bounded(&mut conn, MAX_RESPONSE)?;
+    Ok((status, body))
+}
+
+/// Compress a JPEG via the service; `Ok` payload is the container.
+pub fn compress(ep: &Endpoint, jpeg: &[u8], timeout: Duration) -> Result<Vec<u8>, ClientError> {
+    match convert(ep, Op::Compress, jpeg, timeout)? {
+        (Status::Ok, body) => Ok(body),
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Decompress a Lepton container via the service.
+pub fn decompress(
+    ep: &Endpoint,
+    container: &[u8],
+    timeout: Duration,
+) -> Result<Vec<u8>, ClientError> {
+    match convert(ep, Op::Decompress, container, timeout)? {
+        (Status::Ok, body) => Ok(body),
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Liveness probe.
+pub fn ping(ep: &Endpoint, timeout: Duration) -> Result<(), ClientError> {
+    match convert(ep, Op::Ping, &[], timeout)? {
+        (Status::Ok, _) => Ok(()),
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Load probe: the number the outsourcing router compares (§5.5).
+pub fn probe(ep: &Endpoint, timeout: Duration) -> Result<StatsReply, ClientError> {
+    match convert(ep, Op::Stats, &[], timeout)? {
+        (Status::Ok, body) => {
+            StatsReply::from_wire(&body).ok_or(ClientError::Garbled("stats reply size"))
+        }
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}

@@ -1,0 +1,104 @@
+//! Concurrent-conversion accounting.
+//!
+//! The outsourcing decision in the paper hinges on one number: how
+//! many Lepton conversions are running on this machine *right now*
+//! (§5.5: "Lepton will outsource any compression operations that occur
+//! on machines that have more than three conversions happening at a
+//! time"). [`ConcurrencyGauge`] tracks that number with an RAII lease,
+//! plus the high-water mark the Figure 9 experiment plots.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live counter of in-flight conversions with a high-water mark.
+#[derive(Debug, Default)]
+pub struct ConcurrencyGauge {
+    active: AtomicU32,
+    high_water: AtomicU32,
+    total: AtomicU64,
+}
+
+impl ConcurrencyGauge {
+    /// New gauge at zero.
+    pub fn new() -> Arc<ConcurrencyGauge> {
+        Arc::new(ConcurrencyGauge::default())
+    }
+
+    /// Begin a conversion; the returned lease decrements on drop.
+    pub fn acquire(self: &Arc<Self>) -> Lease {
+        let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.high_water.fetch_max(now, Ordering::SeqCst);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        Lease {
+            gauge: Arc::clone(self),
+        }
+    }
+
+    /// Conversions in flight right now.
+    pub fn active(&self) -> u32 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Most conversions ever in flight at once.
+    pub fn high_water(&self) -> u32 {
+        self.high_water.load(Ordering::SeqCst)
+    }
+
+    /// Conversions started since creation.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII lease on the gauge; dropping it ends the conversion.
+#[derive(Debug)]
+pub struct Lease {
+    gauge: Arc<ConcurrencyGauge>,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.gauge.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_raii_tracks_active() {
+        let g = ConcurrencyGauge::new();
+        assert_eq!(g.active(), 0);
+        {
+            let _a = g.acquire();
+            let _b = g.acquire();
+            assert_eq!(g.active(), 2);
+            assert_eq!(g.high_water(), 2);
+        }
+        assert_eq!(g.active(), 0);
+        assert_eq!(g.high_water(), 2, "high water survives drops");
+        assert_eq!(g.total(), 2);
+    }
+
+    #[test]
+    fn high_water_is_monotonic_under_threads() {
+        let g = ConcurrencyGauge::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let _l = g.acquire();
+                    std::hint::black_box(&g);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.active(), 0);
+        assert!(g.high_water() >= 1 && g.high_water() <= 8);
+        assert_eq!(g.total(), 800);
+    }
+}

@@ -1,0 +1,52 @@
+//! # lepton-server — the blockserver conversion service
+//!
+//! The paper's production Lepton is not a library call: it is a
+//! process that "operates by listening on a Unix-domain socket for
+//! files", and when the local machine is overloaded the blockserver
+//! "will make a TCP connection to a machine tagged for outsourcing"
+//! instead (§5.5). This crate is that service layer, transport and
+//! all:
+//!
+//! * [`protocol`] — the one-conversion-per-connection wire protocol
+//!   (op byte, payload, half-close; status byte, payload, close), with
+//!   the §6.2 exit-code taxonomy on rejections.
+//! * [`endpoint`] — Unix-domain socket and TCP transports behind one
+//!   [`endpoint::Endpoint`] type.
+//! * [`server`] — one handler per connection with a bounded
+//!   connection cap (conversions oversubscribe the machine exactly as
+//!   the paper's blockservers did — that is what makes outsourcing
+//!   necessary), per-IO timeouts, bounded request sizes,
+//!   shutoff-switch file (§5.7), graceful drain on shutdown.
+//! * [`client`] — blocking one-shot conversion client with timeout
+//!   classification for the §6.6 "exceeded the timeout window" path.
+//! * [`router`] — outsourcing: power-of-two-choices selection over a
+//!   dedicated cluster ("To dedicated") or the blockserver fleet
+//!   itself ("To self"), with local fallback (§5.5, Fig. 9/10).
+//!
+//! ```no_run
+//! use lepton_server::{serve, Endpoint, ServiceConfig};
+//! use std::time::Duration;
+//!
+//! let ep = Endpoint::uds("/tmp/lepton.sock");
+//! let handle = serve(&ep, ServiceConfig::default()).unwrap();
+//! let jpeg = std::fs::read("photo.jpg").unwrap();
+//! let lepton =
+//!     lepton_server::client::compress(handle.endpoint(), &jpeg, Duration::from_secs(30))
+//!         .unwrap();
+//! assert!(lepton.len() < jpeg.len());
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod endpoint;
+pub mod gauge;
+pub mod protocol;
+pub mod router;
+pub mod server;
+
+pub use client::ClientError;
+pub use endpoint::{Conn, Endpoint, Listener};
+pub use gauge::ConcurrencyGauge;
+pub use protocol::{Op, StatsReply, Status};
+pub use router::{Destination, Router, RouterMetrics, Strategy};
+pub use server::{serve, ServiceConfig, ServiceHandle, ServiceMetrics};

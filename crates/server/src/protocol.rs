@@ -1,0 +1,350 @@
+//! The conversion-service wire protocol.
+//!
+//! The paper's production deployment is deliberately minimal (§5.5):
+//! a blockserver connects to a local Lepton process over a Unix-domain
+//! socket (or, when outsourcing, to a remote machine over TCP), writes
+//! the file, and half-closes; the service writes the converted bytes
+//! back and closes. "The file is complete once the socket is shut down
+//! for writing."
+//!
+//! We keep exactly that shape and add the two bytes the paper leaves
+//! implicit: a leading *op* byte on the request (so one port serves
+//! compress, decompress, and load probes) and a leading *status* byte
+//! on the response (so a client can tell a converted payload from a
+//! rejection without sniffing magic numbers).
+//!
+//! ```text
+//! request  = op:u8  payload:*    EOF(shutdown write)
+//! response = status:u8 payload:* EOF(close)
+//! ```
+//!
+//! Rejection statuses carry the §6.2 exit-code taxonomy so the caller
+//! can account for them exactly like the production exit-code table.
+
+use lepton_core::ExitCode;
+use std::io::{self, Read, Write};
+
+/// Request operation, the first byte on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// JPEG in, Lepton container out.
+    Compress,
+    /// Lepton container in, original JPEG bytes out.
+    Decompress,
+    /// No payload; empty OK response. Liveness probe.
+    Ping,
+    /// No payload; returns a [`StatsReply`]. Load probe used by the
+    /// power-of-two-choices outsourcing router.
+    Stats,
+}
+
+impl Op {
+    /// Wire encoding.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Op::Compress => b'C',
+            Op::Decompress => b'D',
+            Op::Ping => b'P',
+            Op::Stats => b'S',
+        }
+    }
+
+    /// Decode a wire byte.
+    pub fn from_wire(b: u8) -> Option<Op> {
+        match b {
+            b'C' => Some(Op::Compress),
+            b'D' => Some(Op::Decompress),
+            b'P' => Some(Op::Ping),
+            b'S' => Some(Op::Stats),
+            _ => None,
+        }
+    }
+}
+
+/// Response status, the first byte on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Conversion succeeded; payload follows.
+    Ok,
+    /// Request malformed (unknown op, empty compress body, …).
+    BadRequest,
+    /// Request exceeded the service's size budget.
+    TooLarge,
+    /// The shutoff switch is engaged; caller should fall back to
+    /// Deflate (§5.7).
+    Shutdown,
+    /// The conversion exceeded the request timeout (§6.6).
+    Timeout,
+    /// The input was rejected; carries the exit-code taxonomy row.
+    Rejected(ExitCode),
+}
+
+/// Offset added to [`ExitCode`] indices in the wire encoding, leaving
+/// room for protocol-level statuses below it.
+const REJECT_BASE: u8 = 0x10;
+
+fn exit_code_index(code: ExitCode) -> u8 {
+    EXIT_CODES.iter().position(|c| *c == code).unwrap_or(0) as u8
+}
+
+/// All exit codes, in the paper's table order (§6.2); the wire index.
+pub const EXIT_CODES: [ExitCode; 16] = [
+    ExitCode::Success,
+    ExitCode::Progressive,
+    ExitCode::UnsupportedJpeg,
+    ExitCode::NotAnImage,
+    ExitCode::FourColorCmyk,
+    ExitCode::MemDecodeLimit,
+    ExitCode::MemEncodeLimit,
+    ExitCode::ServerShutdown,
+    ExitCode::Impossible,
+    ExitCode::AbortSignal,
+    ExitCode::Timeout,
+    ExitCode::ChromaSubsampleBig,
+    ExitCode::AcOutOfRange,
+    ExitCode::RoundtripFailed,
+    ExitCode::OomKill,
+    ExitCode::OperatorInterrupt,
+];
+
+impl Status {
+    /// Wire encoding.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::BadRequest => 1,
+            Status::TooLarge => 2,
+            Status::Shutdown => 3,
+            Status::Timeout => 4,
+            Status::Rejected(code) => REJECT_BASE + exit_code_index(code),
+        }
+    }
+
+    /// Decode a wire byte.
+    pub fn from_wire(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::BadRequest),
+            2 => Some(Status::TooLarge),
+            3 => Some(Status::Shutdown),
+            4 => Some(Status::Timeout),
+            b if b >= REJECT_BASE => EXIT_CODES
+                .get((b - REJECT_BASE) as usize)
+                .map(|c| Status::Rejected(*c)),
+            _ => None,
+        }
+    }
+
+    /// True for `Ok`.
+    pub fn is_ok(self) -> bool {
+        self == Status::Ok
+    }
+}
+
+/// The reply payload of [`Op::Stats`]: a fixed 24-byte little-endian
+/// record. This is what an outsourcing router compares when it has two
+/// random choices in hand (§5.5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Conversions in flight right now.
+    pub active: u32,
+    /// Most conversions ever in flight at once.
+    pub high_water: u32,
+    /// The server's configured busy threshold (outsource if exceeded).
+    pub busy_threshold: u32,
+    /// Conversions served since start.
+    pub total_served: u64,
+    /// Conversions rejected or failed since start.
+    pub total_failed: u32,
+}
+
+impl StatsReply {
+    /// Serialized size in bytes.
+    pub const WIRE_LEN: usize = 24;
+
+    /// Encode to the fixed wire record.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..4].copy_from_slice(&self.active.to_le_bytes());
+        out[4..8].copy_from_slice(&self.high_water.to_le_bytes());
+        out[8..12].copy_from_slice(&self.busy_threshold.to_le_bytes());
+        out[12..20].copy_from_slice(&self.total_served.to_le_bytes());
+        out[20..24].copy_from_slice(&self.total_failed.to_le_bytes());
+        out
+    }
+
+    /// Decode the fixed wire record.
+    pub fn from_wire(b: &[u8]) -> Option<StatsReply> {
+        if b.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let le32 = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().unwrap());
+        let le64 = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        Some(StatsReply {
+            active: le32(0),
+            high_water: le32(4),
+            busy_threshold: le32(8),
+            total_served: le64(12),
+            total_failed: le32(20),
+        })
+    }
+
+    /// Is this server over its busy threshold (the outsourcing
+    /// trigger, §5.5: "more than three conversions happening at a
+    /// time")?
+    pub fn is_busy(&self) -> bool {
+        self.active > self.busy_threshold
+    }
+}
+
+/// Read a request (op byte + payload-until-EOF) from a stream whose
+/// peer half-closes to mark the end, enforcing `max_payload`.
+///
+/// Returns `Ok(None)` if the peer closed before sending an op byte.
+pub fn read_request<R: Read>(
+    stream: &mut R,
+    max_payload: usize,
+) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut op = [0u8; 1];
+    let mut got = 0;
+    while got < 1 {
+        match stream.read(&mut op)? {
+            0 => return Ok(None),
+            n => got += n,
+        }
+    }
+    let payload = read_bounded(stream, max_payload)?;
+    Ok(Some((op[0], payload)))
+}
+
+/// Read until EOF but never buffer more than `max` bytes; a payload
+/// exceeding the bound is an `InvalidData` error (the SECCOMP-era
+/// discipline: input size is policed before it becomes memory, §5.1).
+pub fn read_bounded<R: Read>(stream: &mut R, max: usize) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 64 << 10];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(buf);
+        }
+        if buf.len() + n > max {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request exceeds size budget",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Write a response: status byte then payload. The caller closes (or
+/// drops) the stream to mark completion.
+pub fn write_response<W: Write>(stream: &mut W, status: Status, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&[status.to_wire()])?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_wire_roundtrip() {
+        for op in [Op::Compress, Op::Decompress, Op::Ping, Op::Stats] {
+            assert_eq!(Op::from_wire(op.to_wire()), Some(op));
+        }
+        assert_eq!(Op::from_wire(b'X'), None);
+        assert_eq!(Op::from_wire(0), None);
+    }
+
+    #[test]
+    fn status_wire_roundtrip() {
+        let mut statuses = vec![
+            Status::Ok,
+            Status::BadRequest,
+            Status::TooLarge,
+            Status::Shutdown,
+            Status::Timeout,
+        ];
+        statuses.extend(EXIT_CODES.iter().map(|c| Status::Rejected(*c)));
+        for s in statuses {
+            assert_eq!(Status::from_wire(s.to_wire()), Some(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn status_wire_rejects_gaps_and_overflow() {
+        assert_eq!(Status::from_wire(5), None);
+        assert_eq!(Status::from_wire(0x0f), None);
+        assert_eq!(Status::from_wire(REJECT_BASE + EXIT_CODES.len() as u8), None);
+        assert_eq!(Status::from_wire(0xff), None);
+    }
+
+    #[test]
+    fn exit_codes_map_to_distinct_wire_bytes() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in EXIT_CODES {
+            assert!(seen.insert(Status::Rejected(c).to_wire()));
+        }
+        assert_eq!(seen.len(), EXIT_CODES.len());
+    }
+
+    #[test]
+    fn stats_reply_roundtrip() {
+        let s = StatsReply {
+            active: 7,
+            high_water: 19,
+            busy_threshold: 3,
+            total_served: 1 << 40,
+            total_failed: 12,
+        };
+        assert_eq!(StatsReply::from_wire(&s.to_wire()), Some(s));
+        assert_eq!(StatsReply::from_wire(&[0u8; 23]), None);
+        assert_eq!(StatsReply::from_wire(&[0u8; 25]), None);
+    }
+
+    #[test]
+    fn busy_is_strictly_greater_than_threshold() {
+        let mut s = StatsReply {
+            busy_threshold: 3,
+            ..Default::default()
+        };
+        s.active = 3;
+        assert!(!s.is_busy(), "paper outsources on *more than* three");
+        s.active = 4;
+        assert!(s.is_busy());
+    }
+
+    #[test]
+    fn read_request_parses_op_and_body() {
+        let mut wire: &[u8] = b"Chello";
+        let (op, body) = read_request(&mut wire, 1 << 20).unwrap().unwrap();
+        assert_eq!(op, b'C');
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn read_request_empty_stream_is_none() {
+        let mut wire: &[u8] = b"";
+        assert!(read_request(&mut wire, 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_bounded_enforces_budget() {
+        let big = vec![0u8; 4096];
+        let mut s: &[u8] = &big;
+        assert!(read_bounded(&mut s, 4095).is_err());
+        let mut s: &[u8] = &big;
+        assert_eq!(read_bounded(&mut s, 4096).unwrap().len(), 4096);
+    }
+
+    #[test]
+    fn write_response_prefixes_status() {
+        let mut out = Vec::new();
+        write_response(&mut out, Status::Rejected(ExitCode::Progressive), b"p").unwrap();
+        assert_eq!(out[0], Status::Rejected(ExitCode::Progressive).to_wire());
+        assert_eq!(&out[1..], b"p");
+    }
+}

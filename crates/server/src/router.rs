@@ -1,0 +1,260 @@
+//! Outsourcing: route conversions away from overloaded machines.
+//!
+//! A blockserver has 16 cores and two simultaneous Lepton conversions
+//! can saturate it, but load balancers assign requests randomly, so a
+//! machine routinely ends up with many conversions at once at peak
+//! (§5.5). The fix, "inspired by the power of two random choices"
+//! [Mitzenmacher et al.]: when the local gauge exceeds a threshold,
+//! pick two random candidate machines, probe both, and send the
+//! conversion to the less-loaded one.
+//!
+//! Two candidate pools were deployed (§5.5.1): a **dedicated** cluster
+//! reserved for Lepton (best p99, easy to provision) and the
+//! blockserver fleet itself (**to-self**, which also rebalances p50
+//! because there are fewer hotspots). `Control` never outsources.
+
+use crate::client::{self, ClientError};
+use crate::endpoint::Endpoint;
+use crate::protocol::Op;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Candidate-selection strategy from the paper's experiment (Fig. 9/10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Never outsource (the paper's "Control" line).
+    Control,
+    /// Outsource to other blockservers ("To self").
+    ToSelf,
+    /// Outsource to a dedicated Lepton cluster ("To dedicated").
+    ToDedicated,
+}
+
+/// Where a conversion ended up running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// Ran on the local service.
+    Local,
+    /// Ran on the named remote after a two-choice probe.
+    Outsourced(Endpoint),
+}
+
+/// Router counters (drives the Fig. 9/10-style accounting).
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Conversions served locally.
+    pub local: AtomicU64,
+    /// Conversions outsourced.
+    pub outsourced: AtomicU64,
+    /// Outsourcing attempts that fell back to local (remote down/busy).
+    pub fallbacks: AtomicU64,
+}
+
+/// Routes conversions between a local service and outsourcing pools.
+pub struct Router {
+    local: Endpoint,
+    fleet: Vec<Endpoint>,
+    dedicated: Vec<Endpoint>,
+    strategy: Strategy,
+    /// Outsource when the local `active` exceeds this (paper: 3 or 4).
+    threshold: u32,
+    timeout: Duration,
+    rng: Mutex<StdRng>,
+    /// Conversions this router has dispatched locally and not yet
+    /// completed. The service's gauge only counts conversions that
+    /// have *started*; a blockserver deciding where to run the next
+    /// one must also count the ones it just put in flight, or a burst
+    /// outruns every probe.
+    local_inflight: AtomicU64,
+    /// Counters.
+    pub metrics: RouterMetrics,
+}
+
+impl Router {
+    /// New router. `fleet` are peer blockservers (for [`Strategy::ToSelf`]),
+    /// `dedicated` is the reserved cluster (for [`Strategy::ToDedicated`]).
+    pub fn new(
+        local: Endpoint,
+        fleet: Vec<Endpoint>,
+        dedicated: Vec<Endpoint>,
+        strategy: Strategy,
+        threshold: u32,
+        timeout: Duration,
+    ) -> Router {
+        Router {
+            local,
+            fleet,
+            dedicated,
+            strategy,
+            threshold,
+            timeout,
+            rng: Mutex::new(StdRng::seed_from_u64(0x6c65_7074_6f6e)),
+            local_inflight: AtomicU64::new(0),
+            metrics: RouterMetrics::default(),
+        }
+    }
+
+    /// Candidate pool for the current strategy.
+    fn pool(&self) -> &[Endpoint] {
+        match self.strategy {
+            Strategy::Control => &[],
+            Strategy::ToSelf => &self.fleet,
+            Strategy::ToDedicated => &self.dedicated,
+        }
+    }
+
+    /// Should a conversion leave the local machine, given that
+    /// `others` conversions were already in flight locally when it
+    /// arrived?
+    ///
+    /// Local load is the larger of what the service's gauge reports
+    /// (conversions that have started, possibly from other routers)
+    /// and this router's own in-flight count — taking the max avoids
+    /// double-counting our own started work. The probe is skipped when
+    /// our own count already settles the question.
+    fn should_outsource(&self, others: u32) -> bool {
+        if self.strategy == Strategy::Control || self.pool().is_empty() {
+            return false;
+        }
+        if others > self.threshold {
+            return true;
+        }
+        match client::probe(&self.local, self.timeout) {
+            Ok(stats) => stats.active.max(others) > self.threshold,
+            Err(_) => false, // can't even probe local; just run local
+        }
+    }
+
+    /// Power-of-two-choices pick from the pool: sample two distinct
+    /// candidates, probe both, take the lighter. A single-machine pool
+    /// degenerates to that machine.
+    fn pick_remote(&self) -> Option<Endpoint> {
+        let pool = self.pool();
+        let (a, b) = {
+            let mut rng = self.rng.lock();
+            let mut it = pool.choose_multiple(&mut *rng, 2);
+            (it.next().cloned(), it.next().cloned())
+        };
+        let a = a?;
+        let Some(b) = b else {
+            return Some(a); // pool of one
+        };
+        let load_a = client::probe(&a, self.timeout).map(|s| s.active);
+        let load_b = client::probe(&b, self.timeout).map(|s| s.active);
+        match (load_a, load_b) {
+            (Ok(la), Ok(lb)) => Some(if la <= lb { a } else { b }),
+            (Ok(_), Err(_)) => Some(a),
+            (Err(_), Ok(_)) => Some(b),
+            (Err(_), Err(_)) => None,
+        }
+    }
+
+    /// Run one conversion, outsourcing if the local machine is over
+    /// threshold. Remote failure falls back to local — a conversion
+    /// must never be lost to a routing optimization.
+    pub fn convert(&self, op: Op, payload: &[u8]) -> Result<(Vec<u8>, Destination), ClientError> {
+        // Reserve the local slot *first*: the conversion counts as
+        // "happening" the moment it arrives, so a simultaneous burst
+        // can't outrun the load signal (every probe would still read
+        // zero while all eight conversions are milliseconds from
+        // starting).
+        let others = self.local_inflight.fetch_add(1, Ordering::SeqCst) as u32;
+        if self.should_outsource(others) {
+            self.local_inflight.fetch_sub(1, Ordering::SeqCst); // not running here
+            if let Some(remote) = self.pick_remote() {
+                match client::convert(&remote, op, payload, self.timeout) {
+                    Ok((status, body)) if status.is_ok() => {
+                        self.metrics.outsourced.fetch_add(1, Ordering::Relaxed);
+                        return Ok((body, Destination::Outsourced(remote)));
+                    }
+                    Ok((status, _)) => {
+                        // A *rejection* is authoritative — the input is
+                        // bad everywhere; don't burn local CPU retrying.
+                        self.metrics.outsourced.fetch_add(1, Ordering::Relaxed);
+                        return Err(ClientError::Refused(status));
+                    }
+                    Err(_) => {
+                        self.metrics.fallbacks.fetch_add(1, Ordering::Relaxed);
+                        // fall through to local
+                    }
+                }
+            }
+            self.local_inflight.fetch_add(1, Ordering::SeqCst); // running here after all
+        }
+        let result = client::convert(&self.local, op, payload, self.timeout);
+        self.local_inflight.fetch_sub(1, Ordering::SeqCst);
+        let (status, body) = result?;
+        if !status.is_ok() {
+            return Err(ClientError::Refused(status));
+        }
+        self.metrics.local.fetch_add(1, Ordering::Relaxed);
+        Ok((body, Destination::Local))
+    }
+
+    /// Compress via the routing policy.
+    pub fn compress(&self, jpeg: &[u8]) -> Result<(Vec<u8>, Destination), ClientError> {
+        self.convert(Op::Compress, jpeg)
+    }
+
+    /// Decompress via the routing policy.
+    pub fn decompress(&self, container: &[u8]) -> Result<(Vec<u8>, Destination), ClientError> {
+        self.convert(Op::Decompress, container)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_strategy_has_empty_pool() {
+        let r = Router::new(
+            Endpoint::uds("/tmp/nonexistent-lepton.sock"),
+            vec![Endpoint::uds("/tmp/a.sock")],
+            vec![Endpoint::uds("/tmp/b.sock")],
+            Strategy::Control,
+            3,
+            Duration::from_millis(100),
+        );
+        assert!(r.pool().is_empty());
+        assert!(!r.should_outsource(0));
+    }
+
+    #[test]
+    fn pool_selection_follows_strategy() {
+        let fleet = vec![Endpoint::uds("/tmp/f.sock")];
+        let dedicated = vec![Endpoint::uds("/tmp/d.sock")];
+        let mk = |s| {
+            Router::new(
+                Endpoint::uds("/tmp/l.sock"),
+                fleet.clone(),
+                dedicated.clone(),
+                s,
+                3,
+                Duration::from_millis(100),
+            )
+        };
+        assert_eq!(mk(Strategy::ToSelf).pool(), &fleet[..]);
+        assert_eq!(mk(Strategy::ToDedicated).pool(), &dedicated[..]);
+    }
+
+    #[test]
+    fn pick_remote_with_unreachable_pool_is_none() {
+        let r = Router::new(
+            Endpoint::uds("/tmp/l.sock"),
+            vec![
+                Endpoint::uds("/tmp/gone-1.sock"),
+                Endpoint::uds("/tmp/gone-2.sock"),
+            ],
+            vec![],
+            Strategy::ToSelf,
+            3,
+            Duration::from_millis(50),
+        );
+        assert_eq!(r.pick_remote(), None);
+    }
+}

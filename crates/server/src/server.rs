@@ -1,0 +1,290 @@
+//! The conversion service: one handler per connection behind a socket.
+//!
+//! Mirrors the production deployment's shape (§5.5): each connection
+//! carries exactly one conversion, conversions genuinely oversubscribe
+//! the machine (that is what makes outsourcing necessary — Fig. 9), the
+//! concurrency gauge sees every conversion in flight, and load probes
+//! answer immediately rather than queueing behind conversions. The
+//! shutoff switch is a file whose existence is checked before
+//! compressing anything new (§5.7); decodes are never refused —
+//! durability of reads trumps everything. Connection count is capped
+//! (the §5.1 bounded-resources discipline); past the cap, new
+//! connections wait in the accept backlog.
+
+use crate::endpoint::{Conn, Endpoint, Listener};
+use crate::gauge::ConcurrencyGauge;
+use crate::protocol::{read_request, write_response, Op, StatsReply, Status};
+use lepton_core::{CompressOptions, ExitCode};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Lepton compression options (verification stays on: the
+    /// admission rule is not negotiable, §5.7).
+    pub compress: CompressOptions,
+    /// Maximum simultaneous connections; beyond this, clients wait in
+    /// the accept backlog. Conversions are allowed to oversubscribe
+    /// the CPU — the paper's blockservers routinely ran 15 at once at
+    /// peak (§5.5) — but never unboundedly.
+    pub max_connections: usize,
+    /// Advertised busy threshold: a router outsources when `active >
+    /// busy_threshold` (the paper deployed 3 and 4).
+    pub busy_threshold: u32,
+    /// Per-connection socket IO timeout.
+    pub io_timeout: Duration,
+    /// Largest accepted request payload. Conversions are per-chunk, so
+    /// the default is comfortably above 4 MiB.
+    pub max_request_bytes: usize,
+    /// Shutoff-switch file (§5.7): when this path exists, compression
+    /// requests are refused with [`Status::Shutdown`] within one
+    /// request of the file appearing. Decompression continues.
+    pub shutoff_file: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            compress: CompressOptions::default(),
+            max_connections: 64,
+            busy_threshold: 3,
+            io_timeout: Duration::from_secs(30),
+            max_request_bytes: 24 << 20,
+            shutoff_file: None,
+        }
+    }
+}
+
+/// Counters exported by [`ServiceHandle::stats`] and the `Stats` op.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Successful conversions (compress + decompress).
+    pub served: AtomicU64,
+    /// Failed or rejected conversions.
+    pub failed: AtomicU32,
+    /// Compression requests refused because the shutoff switch was on.
+    pub shutoff_refusals: AtomicU32,
+}
+
+/// A running conversion service. Dropping the handle shuts it down.
+pub struct ServiceHandle {
+    endpoint: Endpoint,
+    gauge: Arc<ConcurrencyGauge>,
+    metrics: Arc<ServiceMetrics>,
+    cfg: ServiceConfig,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Start a conversion service on `endpoint`.
+///
+/// Binds the listener and returns once the service is accepting. TCP
+/// endpoints may use port 0; the handle reports the actual bound
+/// endpoint.
+pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
+    let listener = Listener::bind(endpoint)?;
+    let bound = listener.endpoint()?;
+    let gauge = ConcurrencyGauge::new();
+    let metrics = Arc::new(ServiceMetrics::default());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Connection permits: a bounded channel used as a semaphore. The
+    // acceptor blocks pushing a token at the cap, which turns overload
+    // into accept-backlog backpressure instead of unbounded threads.
+    let (permit_tx, permit_rx) = crossbeam::channel::bounded::<()>(cfg.max_connections.max(1));
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let cfg = cfg.clone();
+        let gauge = Arc::clone(&gauge);
+        let metrics = Arc::clone(&metrics);
+        std::thread::spawn(move || {
+            // Handler threads signal completion through this guard so
+            // shutdown can drain them all.
+            let wg = crossbeam::sync::WaitGroup::new();
+            loop {
+                match listener.accept() {
+                    Ok(conn) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break; // the wake-up connection from shutdown()
+                        }
+                        let _ = conn.set_io_timeout(Some(cfg.io_timeout));
+                        if permit_tx.send(()).is_err() {
+                            break;
+                        }
+                        let permit_rx = permit_rx.clone();
+                        let cfg = cfg.clone();
+                        let gauge = Arc::clone(&gauge);
+                        let metrics = Arc::clone(&metrics);
+                        let guard = wg.clone();
+                        std::thread::spawn(move || {
+                            handle_connection(conn, &cfg, &gauge, &metrics);
+                            let _ = permit_rx.try_recv(); // release the permit
+                            drop(guard);
+                        });
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Drain: every in-flight conversion completes before the
+            // acceptor thread (and with it `shutdown()`) returns.
+            wg.wait();
+        })
+    };
+
+    Ok(ServiceHandle {
+        endpoint: bound,
+        gauge,
+        metrics,
+        cfg,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+impl ServiceHandle {
+    /// The endpoint the service is bound to (real port for TCP :0).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Live concurrency gauge.
+    pub fn gauge(&self) -> &Arc<ConcurrencyGauge> {
+        &self.gauge
+    }
+
+    /// The same snapshot the wire `Stats` op returns.
+    pub fn stats(&self) -> StatsReply {
+        StatsReply {
+            active: self.gauge.active(),
+            high_water: self.gauge.high_water(),
+            busy_threshold: self.cfg.busy_threshold,
+            total_served: self.metrics.served.load(Ordering::Relaxed),
+            total_failed: self.metrics.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Raw metric counters.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// Stop accepting, drain in-flight conversions, and join.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a wake-up connection.
+        let _ = self.endpoint.connect(Some(Duration::from_millis(200)));
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+fn shutoff_engaged(cfg: &ServiceConfig) -> bool {
+    cfg.shutoff_file.as_deref().is_some_and(|p| p.exists())
+}
+
+fn handle_connection(
+    mut conn: Conn,
+    cfg: &ServiceConfig,
+    gauge: &Arc<ConcurrencyGauge>,
+    metrics: &Arc<ServiceMetrics>,
+) {
+    let (op_byte, payload) = match read_request(&mut conn, cfg.max_request_bytes) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // peer hung up before sending anything
+        Err(e) => {
+            let status = if e.kind() == std::io::ErrorKind::InvalidData {
+                Status::TooLarge
+            } else {
+                // Socket timeout mid-request: the §6.6 regime. The
+                // peer may already be gone; best-effort response.
+                Status::Timeout
+            };
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut conn, status, &[]);
+            return;
+        }
+    };
+
+    let Some(op) = Op::from_wire(op_byte) else {
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = write_response(&mut conn, Status::BadRequest, &[]);
+        return;
+    };
+
+    match op {
+        Op::Ping => {
+            let _ = write_response(&mut conn, Status::Ok, &[]);
+        }
+        Op::Stats => {
+            let reply = StatsReply {
+                active: gauge.active(),
+                high_water: gauge.high_water(),
+                busy_threshold: cfg.busy_threshold,
+                total_served: metrics.served.load(Ordering::Relaxed),
+                total_failed: metrics.failed.load(Ordering::Relaxed),
+            };
+            let _ = write_response(&mut conn, Status::Ok, &reply.to_wire());
+        }
+        Op::Compress => {
+            if shutoff_engaged(cfg) {
+                metrics.shutoff_refusals.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut conn, Status::Shutdown, &[]);
+                return;
+            }
+            let _lease = gauge.acquire();
+            match lepton_core::compress(&payload, &cfg.compress) {
+                Ok(lepton) => {
+                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(&mut conn, Status::Ok, &lepton);
+                }
+                Err(e) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let code = ExitCode::classify(&e);
+                    let _ = write_response(&mut conn, Status::Rejected(code), &[]);
+                }
+            }
+        }
+        Op::Decompress => {
+            // No shutoff check: reads must keep working (§5.7).
+            let _lease = gauge.acquire();
+            match lepton_core::decompress(&payload) {
+                Ok(jpeg) => {
+                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    // Stream the status byte first so the client's
+                    // time-to-first-byte does not wait on big writes.
+                    let _ = conn.write_all(&[Status::Ok.to_wire()]);
+                    let _ = conn.write_all(&jpeg);
+                    let _ = conn.flush();
+                }
+                Err(e) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let code = ExitCode::classify(&e);
+                    let _ = write_response(&mut conn, Status::Rejected(code), &[]);
+                }
+            }
+        }
+    }
+}

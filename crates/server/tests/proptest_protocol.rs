@@ -1,0 +1,89 @@
+//! Property tests for the wire protocol: every decoder total over
+//! arbitrary bytes, every encoder inverted by its decoder.
+
+use lepton_server::protocol::{
+    read_bounded, read_request, Op, StatsReply, Status, EXIT_CODES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// `from_wire` is total over all 256 byte values and inverts
+    /// `to_wire` exactly on the valid set.
+    #[test]
+    fn op_decode_total_and_consistent(b in any::<u8>()) {
+        if let Some(op) = Op::from_wire(b) {
+            prop_assert_eq!(op.to_wire(), b);
+        }
+    }
+
+    #[test]
+    fn status_decode_total_and_consistent(b in any::<u8>()) {
+        if let Some(status) = Status::from_wire(b) {
+            prop_assert_eq!(status.to_wire(), b);
+        }
+    }
+
+    #[test]
+    fn stats_reply_roundtrip(
+        active in any::<u32>(),
+        high_water in any::<u32>(),
+        busy_threshold in any::<u32>(),
+        total_served in any::<u64>(),
+        total_failed in any::<u32>(),
+    ) {
+        let s = StatsReply {
+            active,
+            high_water,
+            busy_threshold,
+            total_served,
+            total_failed,
+        };
+        prop_assert_eq!(StatsReply::from_wire(&s.to_wire()), Some(s));
+    }
+
+    /// Stats parsing is length-strict: any length but the canonical one
+    /// returns None (a truncated probe must not yield a bogus load of 0
+    /// and attract all the traffic).
+    #[test]
+    fn stats_reply_rejects_wrong_lengths(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let parsed = StatsReply::from_wire(&bytes);
+        prop_assert_eq!(parsed.is_some(), bytes.len() == StatsReply::WIRE_LEN);
+    }
+
+    /// Request framing: op byte + arbitrary payload + EOF parses back
+    /// to exactly that pair for any payload within budget.
+    #[test]
+    fn request_framing_roundtrip(op in any::<u8>(), payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut wire = Vec::with_capacity(1 + payload.len());
+        wire.push(op);
+        wire.extend_from_slice(&payload);
+        let mut r: &[u8] = &wire;
+        let (got_op, got_payload) = read_request(&mut r, 4096).unwrap().unwrap();
+        prop_assert_eq!(got_op, op);
+        prop_assert_eq!(got_payload, payload);
+    }
+
+    /// The size budget is exact: budget-sized payloads pass, one byte
+    /// more fails.
+    #[test]
+    fn read_bounded_budget_is_exact(n in 0usize..2048) {
+        let data = vec![0xABu8; n];
+        let mut r: &[u8] = &data;
+        prop_assert_eq!(read_bounded(&mut r, n).unwrap().len(), n);
+        if n > 0 {
+            let mut r: &[u8] = &data;
+            prop_assert!(read_bounded(&mut r, n - 1).is_err());
+        }
+    }
+}
+
+#[test]
+fn every_exit_code_has_a_wire_status() {
+    // Protects the wire table against someone adding an ExitCode
+    // variant without extending EXIT_CODES.
+    for code in EXIT_CODES {
+        let status = Status::Rejected(code);
+        let b = status.to_wire();
+        assert_eq!(Status::from_wire(b), Some(status));
+    }
+}

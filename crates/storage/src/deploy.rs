@@ -1,0 +1,421 @@
+//! Format evolution, build qualification, and the deployment tool —
+//! the machinery behind the paper's fourth alarm (§6.7, "Accidental
+//! deployment of incompatible old version").
+//!
+//! Lepton's file format evolved in production: "When features were
+//! added, an older decoder may not be able to decode a newer file.
+//! When Lepton's format was made stricter, an older encoder may
+//! produce files that are rejected by a newer decoder." Builds were
+//! *qualified* (a billion-file round-trip run) and — the footgun —
+//! stayed eligible for deployment forever; an empty field in the
+//! deployment tool defaulted to the very first qualified build, which
+//! could neither decode newer files nor produce files newer decoders
+//! accepted. Availability dropped to 99.7%, and 18 files ultimately
+//! had to be re-encoded by a repair scan.
+//!
+//! This module models exactly that: [`VersionedCodec`] puts real
+//! version bytes on real containers, [`QualificationRegistry`] keeps
+//! the eternally-qualified build list with the dangerous default, and
+//! [`repair_scan`] is the clean-up pass. The incident itself is a test.
+
+use lepton_core::{CompressOptions, LeptonError};
+
+/// Byte offset of the version field in the container (App. A.1: magic
+/// is 2 bytes, version is the third byte).
+const VERSION_OFFSET: usize = 2;
+
+/// The version the in-tree codec natively reads and writes.
+pub const NATIVE_VERSION: u8 = 1;
+
+/// A build of the Lepton software, identified the way the deployment
+/// tool identifies it (by hash) and characterized by the two axes of
+/// format compatibility the paper describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Build {
+    /// Deployment-tool identifier.
+    pub hash: String,
+    /// The format version this build *writes* (and the newest it
+    /// reads): features added ⇒ higher version.
+    pub writes_version: u8,
+    /// The oldest format version this build still accepts: format
+    /// made stricter ⇒ higher floor.
+    pub accepts_from: u8,
+}
+
+impl Build {
+    /// Can this build decode a file written at `file_version`?
+    pub fn can_decode(&self, file_version: u8) -> bool {
+        (self.accepts_from..=self.writes_version).contains(&file_version)
+    }
+}
+
+/// A codec bound to a [`Build`]: compresses with the build's version
+/// stamp and refuses files outside the build's acceptance window —
+/// using the real codec and real containers underneath.
+#[derive(Clone, Debug)]
+pub struct VersionedCodec {
+    /// The build this codec ships in.
+    pub build: Build,
+    opts: CompressOptions,
+}
+
+impl VersionedCodec {
+    /// Codec for a build, with the given compression options.
+    pub fn new(build: Build, opts: CompressOptions) -> Self {
+        VersionedCodec { build, opts }
+    }
+
+    /// Compress; the container carries this build's format version.
+    pub fn compress(&self, jpeg: &[u8]) -> Result<Vec<u8>, LeptonError> {
+        let mut container = lepton_core::compress(jpeg, &self.opts)?;
+        container[VERSION_OFFSET] = self.build.writes_version;
+        Ok(container)
+    }
+
+    /// Decompress, enforcing the build's acceptance window first — the
+    /// check the incident tripped in both directions.
+    pub fn decompress(&self, container: &[u8]) -> Result<Vec<u8>, LeptonError> {
+        let v = *container
+            .get(VERSION_OFFSET)
+            .ok_or(LeptonError::BadMagic)?;
+        if !self.build.can_decode(v) {
+            return Err(LeptonError::UnsupportedVersion(v));
+        }
+        // Within the window the payload is native; restore the native
+        // stamp and decode for real.
+        let mut native = container.to_vec();
+        native[VERSION_OFFSET] = NATIVE_VERSION;
+        lepton_core::decompress(&native)
+    }
+
+    /// The version this codec stamps on new files.
+    pub fn writes_version(&self) -> u8 {
+        self.build.writes_version
+    }
+}
+
+/// The qualified-build list behind the deployment tool.
+///
+/// Historical practice per the paper: a build, once qualified, stays
+/// eligible forever, and the tool's *default* (used when the operator
+/// leaves the hash field blank) was "set when Lepton was first
+/// deployed and never updated".
+#[derive(Clone, Debug, Default)]
+pub struct QualificationRegistry {
+    builds: Vec<Build>,
+}
+
+/// Outcome of a deployment request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeployOutcome {
+    /// The named (or defaulted) build is being deployed.
+    Deployed(Build),
+    /// No such qualified build.
+    UnknownHash(String),
+}
+
+impl QualificationRegistry {
+    /// Register a build that passed qualification. The first build
+    /// registered becomes the tool's eternal default.
+    pub fn qualify(&mut self, build: Build) {
+        self.builds.push(build);
+    }
+
+    /// All qualified builds, oldest first.
+    pub fn qualified(&self) -> &[Build] {
+        &self.builds
+    }
+
+    /// The newest qualified build — what operators *intend* to deploy.
+    pub fn newest(&self) -> Option<&Build> {
+        self.builds.last()
+    }
+
+    /// The deployment tool: deploy by hash, or — if the operator
+    /// leaves the field blank — the internal default, which is the
+    /// *first* qualified build (the §6.7 footgun, reproduced
+    /// deliberately; see [`QualificationRegistry::deploy_safe`]).
+    pub fn deploy(&self, hash: Option<&str>) -> DeployOutcome {
+        match hash {
+            Some(h) => match self.builds.iter().find(|b| b.hash == h) {
+                Some(b) => DeployOutcome::Deployed(b.clone()),
+                None => DeployOutcome::UnknownHash(h.to_string()),
+            },
+            None => match self.builds.first() {
+                Some(b) => DeployOutcome::Deployed(b.clone()),
+                None => DeployOutcome::UnknownHash("<no qualified builds>".into()),
+            },
+        }
+    }
+
+    /// The post-incident fix: builds whose acceptance window cannot
+    /// read files written by the newest build are no longer eligible,
+    /// and the default is the newest build, not the oldest.
+    pub fn deploy_safe(&self, hash: Option<&str>) -> DeployOutcome {
+        let Some(newest) = self.newest() else {
+            return DeployOutcome::UnknownHash("<no qualified builds>".into());
+        };
+        let eligible = |b: &Build| b.can_decode(newest.writes_version);
+        match hash {
+            Some(h) => match self.builds.iter().find(|b| b.hash == h) {
+                Some(b) if eligible(b) => DeployOutcome::Deployed(b.clone()),
+                Some(b) => DeployOutcome::UnknownHash(format!(
+                    "{} is qualified but format-incompatible (reads {}..={}, fleet writes {})",
+                    b.hash, b.accepts_from, b.writes_version, newest.writes_version
+                )),
+                None => DeployOutcome::UnknownHash(h.to_string()),
+            },
+            None => DeployOutcome::Deployed(newest.clone()),
+        }
+    }
+}
+
+/// One stored file in the mixed-version fleet model: the container and
+/// the version it was written at.
+#[derive(Clone, Debug)]
+pub struct VersionedChunk {
+    /// The Lepton container (version byte included).
+    pub container: Vec<u8>,
+    /// Version stamp, for scan selection.
+    pub version: u8,
+}
+
+/// Re-encode every chunk outside `current`'s acceptance window into
+/// `current`'s format — the paper's repair: "We performed a scan over
+/// all these files, decoding and then re-encoding them if necessary
+/// into the current version of the Lepton file format."
+///
+/// `originals` supplies the pre-compression bytes for chunks the
+/// current build cannot read (in production this was the other, still-
+/// compatible blockservers decoding them). Returns how many chunks
+/// were re-encoded.
+pub fn repair_scan(
+    chunks: &mut [VersionedChunk],
+    current: &VersionedCodec,
+    originals: &dyn Fn(usize) -> Option<Vec<u8>>,
+) -> Result<usize, LeptonError> {
+    let mut repaired = 0;
+    for (i, chunk) in chunks.iter_mut().enumerate() {
+        if current.build.can_decode(chunk.version) {
+            continue;
+        }
+        let jpeg = originals(i).ok_or(LeptonError::Internal("no source for repair"))?;
+        chunk.container = current.compress(&jpeg)?;
+        chunk.version = current.writes_version();
+        repaired += 1;
+    }
+    Ok(repaired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec {
+            min_dim: 48,
+            max_dim: 112,
+            ..Default::default()
+        }
+    }
+
+    /// v1: the first qualified build. v2 added features (writes 2,
+    /// still reads 1). v3 made the format stricter (writes 3, refuses
+    /// anything below 2).
+    fn builds() -> (Build, Build, Build) {
+        (
+            Build {
+                hash: "a1b2c3".into(),
+                writes_version: 1,
+                accepts_from: 1,
+            },
+            Build {
+                hash: "d4e5f6".into(),
+                writes_version: 2,
+                accepts_from: 1,
+            },
+            Build {
+                hash: "090807".into(),
+                writes_version: 3,
+                accepts_from: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn acceptance_windows_match_the_papers_two_failure_modes() {
+        let (v1, v2, v3) = builds();
+        // Features added: old decoder rejects newer file.
+        assert!(!v1.can_decode(2));
+        assert!(v2.can_decode(1), "newer build reads older file");
+        // Format stricter: newer decoder rejects oldest files.
+        assert!(!v3.can_decode(1));
+        assert!(v3.can_decode(2));
+    }
+
+    #[test]
+    fn versioned_codec_roundtrips_within_window() {
+        let (_, v2, _) = builds();
+        let codec = VersionedCodec::new(v2, CompressOptions::default());
+        let jpeg = clean_jpeg(&spec(), 1);
+        let container = codec.compress(&jpeg).unwrap();
+        assert_eq!(container[VERSION_OFFSET], 2, "stamped with build version");
+        assert_eq!(codec.decompress(&container).unwrap(), jpeg);
+    }
+
+    #[test]
+    fn old_build_rejects_new_file_with_version_error() {
+        let (v1, v2, _) = builds();
+        let new_codec = VersionedCodec::new(v2, CompressOptions::default());
+        let old_codec = VersionedCodec::new(v1, CompressOptions::default());
+        let jpeg = clean_jpeg(&spec(), 2);
+        let new_file = new_codec.compress(&jpeg).unwrap();
+        match old_codec.decompress(&new_file) {
+            Err(LeptonError::UnsupportedVersion(2)) => {}
+            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_build_rejects_oldest_files() {
+        let (v1, _, v3) = builds();
+        let oldest = VersionedCodec::new(v1, CompressOptions::default());
+        let strict = VersionedCodec::new(v3, CompressOptions::default());
+        let jpeg = clean_jpeg(&spec(), 3);
+        let old_file = oldest.compress(&jpeg).unwrap();
+        assert!(matches!(
+            strict.decompress(&old_file),
+            Err(LeptonError::UnsupportedVersion(1))
+        ));
+    }
+
+    #[test]
+    fn blank_hash_deploys_the_first_qualified_build() {
+        let (v1, v2, v3) = builds();
+        let mut reg = QualificationRegistry::default();
+        reg.qualify(v1.clone());
+        reg.qualify(v2);
+        reg.qualify(v3.clone());
+        assert_eq!(reg.newest(), Some(&v3));
+        // The footgun: the operator leaves the field blank.
+        assert_eq!(reg.deploy(None), DeployOutcome::Deployed(v1));
+    }
+
+    #[test]
+    fn safe_tool_defaults_to_newest_and_blocks_incompatible() {
+        let (v1, v2, v3) = builds();
+        let mut reg = QualificationRegistry::default();
+        reg.qualify(v1.clone());
+        reg.qualify(v2.clone());
+        reg.qualify(v3.clone());
+        assert_eq!(reg.deploy_safe(None), DeployOutcome::Deployed(v3.clone()));
+        // v1 cannot read what the fleet now writes (v3): not eligible,
+        // even though it is still "qualified".
+        assert!(matches!(
+            reg.deploy_safe(Some("a1b2c3")),
+            DeployOutcome::UnknownHash(_)
+        ));
+        // v2 reads 1..=2 but the fleet writes 3: also blocked.
+        assert!(matches!(
+            reg.deploy_safe(Some("d4e5f6")),
+            DeployOutcome::UnknownHash(_)
+        ));
+        assert_eq!(
+            reg.deploy_safe(Some("090807")),
+            DeployOutcome::Deployed(v3)
+        );
+    }
+
+    #[test]
+    fn unknown_hash_is_reported_not_defaulted() {
+        let (v1, ..) = builds();
+        let mut reg = QualificationRegistry::default();
+        reg.qualify(v1);
+        assert!(matches!(
+            reg.deploy(Some("nope")),
+            DeployOutcome::UnknownHash(_)
+        ));
+    }
+
+    /// The full §6.7 incident, on real containers: a mixed fleet where
+    /// some blockservers run the accidentally-deployed first build.
+    /// Availability drops below 100% in both directions; the repair
+    /// scan re-encodes the stranded files and restores full service.
+    #[test]
+    fn december_twelfth_incident_reproduction() {
+        let (v1, v2, _) = builds();
+        let mut reg = QualificationRegistry::default();
+        reg.qualify(v1.clone());
+        reg.qualify(v2.clone());
+
+        // The fleet was on v2; the blank deploy field put v1 on some
+        // blockservers.
+        let DeployOutcome::Deployed(accidental) = reg.deploy(None) else {
+            panic!("deploy must succeed");
+        };
+        assert_eq!(accidental, v1, "the tool's default is the oldest build");
+        let modern = VersionedCodec::new(v2, CompressOptions::default());
+        let stale = VersionedCodec::new(accidental, CompressOptions::default());
+
+        // Uploads land on both kinds of servers while the bad config
+        // is live.
+        let jpegs: Vec<Vec<u8>> = (0..12).map(|s| clean_jpeg(&spec(), 100 + s)).collect();
+        let mut chunks: Vec<VersionedChunk> = Vec::new();
+        for (i, jpeg) in jpegs.iter().enumerate() {
+            let codec = if i % 3 == 0 { &stale } else { &modern };
+            chunks.push(VersionedChunk {
+                container: codec.compress(jpeg).unwrap(),
+                version: codec.writes_version(),
+            });
+        }
+
+        // First warning sign: availability below 100% — v2-written
+        // files fail on v1 servers ("unable to decode some newly
+        // compressed images").
+        let served_by_stale = chunks
+            .iter()
+            .filter(|c| stale.decompress(&c.container).is_ok())
+            .count();
+        assert!(served_by_stale < chunks.len(), "stale servers NACK new files");
+
+        // Second alarm: healthy servers cannot decode some files the
+        // misconfigured servers *wrote* — here, v1 files under a
+        // hypothetical strict build; with v2 they still decode, which
+        // is why only 18 of billions of files needed repair. What v2
+        // can't avoid is files being stamped v1 during the window:
+        let stranded: Vec<usize> = chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.version != modern.writes_version())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!stranded.is_empty());
+
+        // Repair: scan, decode with a compatible reader, re-encode
+        // into the current format.
+        let originals = |i: usize| Some(jpegs[i].clone());
+        let strict_current = VersionedCodec::new(
+            Build {
+                hash: "current".into(),
+                writes_version: 2,
+                accepts_from: 2, // format made stricter going forward
+            },
+            CompressOptions::default(),
+        );
+        let repaired = repair_scan(&mut chunks, &strict_current, &originals).unwrap();
+        assert_eq!(repaired, stranded.len(), "exactly the stranded files");
+
+        // Full service restored: every chunk decodes on the current
+        // build and round-trips to its original bytes.
+        for (chunk, jpeg) in chunks.iter().zip(&jpegs) {
+            assert_eq!(&strict_current.decompress(&chunk.container).unwrap(), jpeg);
+        }
+
+        // And the registry gets the post-incident behavior.
+        assert!(matches!(
+            reg.deploy_safe(Some("a1b2c3")),
+            DeployOutcome::UnknownHash(_)
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for format-evolution machinery (§6.7): acceptance
+//! windows must be exact for arbitrary version pairs, and the
+//! deployment registry must never deploy a build that cannot read
+//! what the fleet writes — for any registry contents.
+
+use lepton_core::{CompressOptions, LeptonError};
+use lepton_storage::deploy::{Build, DeployOutcome, QualificationRegistry, VersionedCodec};
+use proptest::prelude::*;
+
+fn arb_build(tag: usize) -> impl Strategy<Value = Build> {
+    (1u8..=40, 0u8..=10).prop_map(move |(writes, back)| Build {
+        hash: format!("build-{tag}-{writes}-{back}"),
+        writes_version: writes,
+        accepts_from: writes.saturating_sub(back).max(1),
+    })
+}
+
+proptest! {
+    /// `can_decode` is exactly the closed interval
+    /// `[accepts_from, writes_version]` for any build and version.
+    #[test]
+    fn acceptance_window_is_exact(build in arb_build(0), v in 0u8..=50) {
+        let expected = v >= build.accepts_from && v <= build.writes_version;
+        prop_assert_eq!(build.can_decode(v), expected);
+    }
+
+    /// For any pair of builds, the two §6.7 failure modes fall out of
+    /// the window arithmetic: a strictly older build cannot read a
+    /// strictly newer file, and a stricter build refuses files below
+    /// its floor.
+    #[test]
+    fn failure_modes_are_window_arithmetic(old in arb_build(1), new in arb_build(2)) {
+        if new.writes_version > old.writes_version {
+            prop_assert!(!old.can_decode(new.writes_version));
+        }
+        if old.writes_version < new.accepts_from {
+            prop_assert!(!new.can_decode(old.writes_version));
+        }
+    }
+
+    /// `deploy_safe` never hands out a build that cannot decode what
+    /// the newest build writes, no matter what got qualified or which
+    /// hash the operator asks for.
+    #[test]
+    fn deploy_safe_never_deploys_incompatible(
+        builds in proptest::collection::vec(arb_build(3), 1..8),
+        pick in any::<u8>(),
+    ) {
+        let mut reg = QualificationRegistry::default();
+        for b in &builds {
+            reg.qualify(b.clone());
+        }
+        let newest_writes = reg.newest().unwrap().writes_version;
+
+        // Blank field: must yield the newest build.
+        if let DeployOutcome::Deployed(b) = reg.deploy_safe(None) {
+            prop_assert_eq!(b.writes_version, newest_writes);
+        } else {
+            prop_assert!(false, "non-empty registry must default-deploy");
+        }
+
+        // Named request: whatever comes back can read the fleet's files.
+        let hash = &builds[(pick as usize) % builds.len()].hash;
+        if let DeployOutcome::Deployed(b) = reg.deploy_safe(Some(hash)) {
+            prop_assert!(b.can_decode(newest_writes));
+        }
+    }
+
+    /// The historical tool's blank-field default is always the first
+    /// qualified build — the reproduced footgun, pinned as a property
+    /// so nobody "fixes" the historical model by accident.
+    #[test]
+    fn legacy_default_is_first_qualified(builds in proptest::collection::vec(arb_build(4), 1..8)) {
+        let mut reg = QualificationRegistry::default();
+        for b in &builds {
+            reg.qualify(b.clone());
+        }
+        if let DeployOutcome::Deployed(b) = reg.deploy(None) {
+            prop_assert_eq!(&b.hash, &builds[0].hash);
+        } else {
+            prop_assert!(false);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On real containers: a codec accepts exactly the stamps in its
+    /// window, and within-window decodes are byte-exact.
+    #[test]
+    fn versioned_codec_enforces_window_on_real_containers(
+        seed in any::<u64>(),
+        writes in 2u8..=6,
+        stamp in 1u8..=8,
+    ) {
+        let build = Build {
+            hash: "probe".into(),
+            writes_version: writes,
+            accepts_from: 2,
+        };
+        let codec = VersionedCodec::new(build.clone(), CompressOptions::default());
+        let jpeg = lepton_corpus::builder::clean_jpeg(
+            &lepton_corpus::builder::CorpusSpec {
+                min_dim: 48,
+                max_dim: 96,
+                ..Default::default()
+            },
+            seed,
+        );
+        let mut container = codec.compress(&jpeg).unwrap();
+        prop_assert_eq!(container[2], writes);
+
+        container[2] = stamp;
+        match codec.decompress(&container) {
+            Ok(out) => {
+                prop_assert!(build.can_decode(stamp));
+                prop_assert_eq!(out, jpeg);
+            }
+            Err(LeptonError::UnsupportedVersion(v)) => {
+                prop_assert_eq!(v, stamp);
+                prop_assert!(!build.can_decode(stamp));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The production service layer over real sockets (§5.5): a local
+//! blockserver conversion service on a Unix-domain socket, a dedicated
+//! outsourcing cluster on TCP, and a router that sheds load with
+//! power-of-two choices when the local machine is saturated.
+//!
+//! Run with: `cargo run --release --example conversion_service`
+
+use lepton::corpus::builder::{clean_jpeg, CorpusSpec};
+use lepton::server::{client, serve, Destination, Endpoint, Router, ServiceConfig, Strategy};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn main() {
+    // The local blockserver's Lepton process: listening on a UDS, as
+    // in production ("Lepton operates by listening on a Unix-domain
+    // socket for files").
+    let sock = std::env::temp_dir().join(format!("lepton-example-{}.sock", std::process::id()));
+    let local = serve(
+        &Endpoint::uds(&sock),
+        ServiceConfig {
+            max_connections: 16,
+            busy_threshold: 1, // tiny threshold so the demo outsources
+            ..Default::default()
+        },
+    )
+    .expect("bind local service");
+    println!("local service:     {}", local.endpoint());
+
+    // The dedicated outsourcing cluster: two machines on TCP ("the
+    // blockserver instead will make a TCP connection to a machine
+    // tagged for outsourcing").
+    let dedicated: Vec<_> = (0..2)
+        .map(|i| {
+            let h = serve(
+                &Endpoint::tcp("127.0.0.1:0").expect("loopback"),
+                ServiceConfig::default(),
+            )
+            .expect("bind dedicated service");
+            println!("dedicated node {i}:  {}", h.endpoint());
+            h
+        })
+        .collect();
+
+    let router = Router::new(
+        local.endpoint().clone(),
+        vec![],
+        dedicated.iter().map(|h| h.endpoint().clone()).collect(),
+        Strategy::ToDedicated,
+        1,
+        TIMEOUT,
+    );
+
+    // A burst of photo uploads: more simultaneous conversions than the
+    // local machine wants to run (the Thursday-peak regime of Fig. 9).
+    let spec = CorpusSpec {
+        min_dim: 320,
+        max_dim: 512,
+        ..Default::default()
+    };
+    let photos: Vec<Vec<u8>> = (0..8).map(|s| clean_jpeg(&spec, 1000 + s)).collect();
+
+    println!("\nconverting {} uploads through the router...", photos.len());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let router = &router;
+        for (i, jpeg) in photos.iter().enumerate() {
+            scope.spawn(move || {
+                let (lepton, dest) = router.compress(jpeg).expect("conversion");
+                let back = lepton::codec::decompress(&lepton).expect("decode");
+                assert_eq!(&back, jpeg, "byte-exact through the wire");
+                let where_ = match dest {
+                    Destination::Local => "local".to_string(),
+                    Destination::Outsourced(ep) => format!("outsourced -> {ep}"),
+                };
+                println!(
+                    "  upload {i}: {:>7} -> {:>7} bytes  [{where_}]",
+                    jpeg.len(),
+                    lepton.len()
+                );
+            });
+        }
+    });
+    println!("burst done in {:?}", start.elapsed());
+
+    // Where did the work land?
+    println!(
+        "\nrouting: {} local, {} outsourced, {} fallbacks",
+        router.metrics.local.load(Ordering::Relaxed),
+        router.metrics.outsourced.load(Ordering::Relaxed),
+        router.metrics.fallbacks.load(Ordering::Relaxed),
+    );
+    for (i, h) in dedicated.iter().enumerate() {
+        let s = h.stats();
+        println!(
+            "dedicated node {i}: served {} (high water {})",
+            s.total_served, s.high_water
+        );
+    }
+    let s = local.stats();
+    println!("local:            served {} (high water {})", s.total_served, s.high_water);
+
+    // Load probes are first-class protocol citizens (the power-of-two
+    // router uses them); so is liveness.
+    client::ping(local.endpoint(), TIMEOUT).expect("ping");
+    let probe = client::probe(local.endpoint(), TIMEOUT).expect("stats probe");
+    println!(
+        "probe: active={} busy_threshold={} — busy: {}",
+        probe.active,
+        probe.busy_threshold,
+        probe.is_busy()
+    );
+
+    local.shutdown();
+    for h in dedicated {
+        h.shutdown();
+    }
+    println!("all services drained and stopped ✓");
+}

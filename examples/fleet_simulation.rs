@@ -1,0 +1,53 @@
+//! Operate the fleet: run the deployment simulator with and without
+//! outsourcing and print the §5.5 comparison, then the backfill power
+//! economics of §5.6.1.
+//!
+//! Run with: `cargo run --release --example fleet_simulation`
+
+use lepton::cluster::backfill::{simulate_backfill, BackfillConfig, Economics};
+use lepton::cluster::workload::DAY;
+use lepton::cluster::{ClusterConfig, ClusterSim, OutsourcePolicy, WorkloadConfig};
+
+fn main() {
+    println!("== outsourcing (paper §5.5) ==");
+    for (name, policy) in [
+        ("Control", OutsourcePolicy::None),
+        ("To self", OutsourcePolicy::ToSelf),
+        ("To dedicated", OutsourcePolicy::ToDedicated),
+    ] {
+        let cfg = ClusterConfig {
+            policy,
+            horizon: DAY / 2.0,
+            blockservers: 24,
+        dedicated: 10,
+            workload: WorkloadConfig {
+                base_encode_rate: 9.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut r = ClusterSim::new(cfg).run();
+        println!(
+            "{:<14} p50 {:>5.2}s  p99 {:>5.2}s  outsourced {:>6}  completed {}",
+            name,
+            r.latency.percentile(50.0),
+            r.latency.percentile(99.0),
+            r.outsourced,
+            r.completed
+        );
+    }
+
+    println!("\n== backfill economics (paper §5.6.1) ==");
+    let cfg = BackfillConfig::default();
+    let eco = Economics::from_config(&cfg);
+    println!("conversions per kWh: {:.0}", eco.conversions_per_kwh);
+    println!("GiB saved per kWh:   {:.1}", eco.gib_saved_per_kwh());
+    println!(
+        "break-even electricity price vs $0.15/GiB-yr storage: ${:.2}/kWh",
+        eco.breakeven_kwh_price(0.15, 1.0)
+    );
+    let samples = simulate_backfill(&cfg, 24.0, 100.0, 100.0);
+    let peak = samples.iter().map(|s| s.power_kw).fold(0.0, f64::max);
+    let conv = samples.iter().map(|s| s.conversions_per_sec).fold(0.0, f64::max);
+    println!("fleet peak: {peak:.0} kW, {conv:.0} conversions/s (paper: 278 kW, 5583/s)");
+}

@@ -1,0 +1,116 @@
+//! Format evolution and the §6.7 "accidental deployment of an
+//! incompatible old version" incident, on real containers.
+//!
+//! Lepton's format changed over its deployment: features were added
+//! (old decoders reject newer files) and the format was made stricter
+//! (new decoders reject the oldest files). Builds stay "qualified"
+//! forever, and the deployment tool's blank-field default was the
+//! *first* qualified build — until that combination broke availability
+//! on Dec 12, 2016. This example replays the incident and the repair.
+//!
+//! Run with: `cargo run --release --example format_migration`
+
+use lepton::codec::CompressOptions;
+use lepton::corpus::builder::{clean_jpeg, CorpusSpec};
+use lepton::storage::deploy::{
+    repair_scan, Build, DeployOutcome, QualificationRegistry, VersionedChunk, VersionedCodec,
+};
+
+fn main() {
+    // Three generations of the software, each qualified over a corpus
+    // before release (§5.7).
+    let mut registry = QualificationRegistry::default();
+    registry.qualify(Build {
+        hash: "v1-initial".into(),
+        writes_version: 1,
+        accepts_from: 1,
+    });
+    registry.qualify(Build {
+        hash: "v2-features".into(),
+        writes_version: 2,
+        accepts_from: 1,
+    });
+    println!("qualified builds: {:?}", registry.qualified().len());
+
+    // The fleet runs v2. A new team member deploys with the hash field
+    // left blank; the tool's internal default is the first qualified
+    // build.
+    let DeployOutcome::Deployed(accidental) = registry.deploy(None) else {
+        panic!("deploy must resolve")
+    };
+    println!("blank-field deploy resolves to: {} (!!)", accidental.hash);
+
+    let modern = VersionedCodec::new(
+        registry.qualified()[1].clone(),
+        CompressOptions::default(),
+    );
+    let stale = VersionedCodec::new(accidental, CompressOptions::default());
+
+    // Billions of files were uploaded during the two-hour window; here,
+    // a dozen, striped across good and bad blockservers.
+    let spec = CorpusSpec {
+        min_dim: 96,
+        max_dim: 200,
+        ..Default::default()
+    };
+    let photos: Vec<Vec<u8>> = (0..12).map(|s| clean_jpeg(&spec, 7000 + s)).collect();
+    let mut stored: Vec<VersionedChunk> = photos
+        .iter()
+        .enumerate()
+        .map(|(i, jpeg)| {
+            let codec = if i % 3 == 0 { &stale } else { &modern };
+            VersionedChunk {
+                container: codec.compress(jpeg).expect("clean JPEG compresses"),
+                version: codec.writes_version(),
+            }
+        })
+        .collect();
+
+    // First warning sign: availability drops — v1 servers can't decode
+    // v2 files.
+    let ok_on_stale = stored
+        .iter()
+        .filter(|c| stale.decompress(&c.container).is_ok())
+        .count();
+    println!(
+        "availability on mis-deployed servers: {}/{} ({:.1}%)",
+        ok_on_stale,
+        stored.len(),
+        100.0 * ok_on_stale as f64 / stored.len() as f64
+    );
+
+    // Operators roll back, then run the repair scan: every file written
+    // at a version the go-forward build refuses is decoded by a
+    // compatible reader and re-encoded into the current format.
+    let current = VersionedCodec::new(
+        Build {
+            hash: "v2-strict".into(),
+            writes_version: 2,
+            accepts_from: 2,
+        },
+        CompressOptions::default(),
+    );
+    let originals = |i: usize| Some(photos[i].clone());
+    let repaired = repair_scan(&mut stored, &current, &originals).expect("repair");
+    println!("repair scan re-encoded {repaired} files (paper: 18)");
+
+    for (chunk, jpeg) in stored.iter().zip(&photos) {
+        assert_eq!(
+            &current.decompress(&chunk.container).expect("post-repair decode"),
+            jpeg,
+            "byte-exact after migration"
+        );
+    }
+    println!("all files decode byte-exactly on the current build ✓");
+
+    // The post-incident tool: blank field = newest build, and
+    // format-incompatible builds are no longer eligible at all.
+    match registry.deploy_safe(None) {
+        DeployOutcome::Deployed(b) => println!("safe tool default: {}", b.hash),
+        DeployOutcome::UnknownHash(e) => println!("safe tool refused: {e}"),
+    }
+    match registry.deploy_safe(Some("v1-initial")) {
+        DeployOutcome::Deployed(b) => println!("safe tool deployed: {}", b.hash),
+        DeployOutcome::UnknownHash(e) => println!("safe tool refused: {e}"),
+    }
+}

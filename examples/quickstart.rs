@@ -1,0 +1,42 @@
+//! Quickstart: compress a JPEG with Lepton, verify the byte-exact
+//! round trip, and inspect the savings.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lepton::codec::{compress_with_stats, decompress, CompressOptions};
+use lepton::corpus::builder::{clean_jpeg, CorpusSpec};
+
+fn main() {
+    // Synthesize a camera-like JPEG (stand-in for a user photo).
+    let spec = CorpusSpec {
+        min_dim: 256,
+        max_dim: 512,
+        ..Default::default()
+    };
+    let jpeg = clean_jpeg(&spec, 42);
+    println!("input JPEG: {} bytes", jpeg.len());
+
+    // Compress. `verify: true` (default) runs the production admission
+    // rule: the container is decompressed and compared before returning.
+    let (lepton, stats) = compress_with_stats(&jpeg, &CompressOptions::default())
+        .expect("baseline JPEG compresses");
+    println!(
+        "lepton container: {} bytes ({:.1}% savings, {} thread segments)",
+        lepton.len(),
+        100.0 * (1.0 - lepton.len() as f64 / jpeg.len() as f64),
+        stats.segments
+    );
+
+    // Decompress: bytes are identical to the original file.
+    let restored = decompress(&lepton).expect("admitted containers decode");
+    assert_eq!(restored, jpeg);
+    println!("round trip: byte-exact ✓");
+
+    // Component breakdown (the paper's Figure 4 view).
+    println!(
+        "input scan bits: 7x7={}k edge={}k dc={}k",
+        stats.scan_in.ac77_bits / 8192,
+        stats.scan_in.edge_bits / 8192,
+        stats.scan_in.dc_bits / 8192,
+    );
+}

@@ -1,0 +1,62 @@
+//! Distribution across independent chunks + streaming decode: split a
+//! JPEG at hard 64 KiB boundaries, compress each chunk independently,
+//! then decode an arbitrary middle chunk by itself and stream another —
+//! the §3.4 serving path.
+//!
+//! Run with: `cargo run --release --example streaming_chunks`
+
+use lepton::codec::{compress_chunked, decompress, decompress_streaming, CompressOptions};
+use lepton::codec::DecompressOptions;
+use lepton::corpus::builder::{clean_jpeg, CorpusSpec};
+
+fn main() {
+    let spec = CorpusSpec {
+        min_dim: 640,
+        max_dim: 768,
+        ..Default::default()
+    };
+    let jpeg = clean_jpeg(&spec, 99);
+    let chunk_size = 64 << 10;
+    println!("JPEG of {} bytes, chunked at {} KiB", jpeg.len(), chunk_size >> 10);
+
+    let chunks = compress_chunked(&jpeg, chunk_size, &CompressOptions::default())
+        .expect("chunked compression");
+    println!("{} independent Lepton containers:", chunks.len());
+    for (i, c) in chunks.iter().enumerate() {
+        let orig = (jpeg.len() - i * chunk_size).min(chunk_size);
+        println!(
+            "  chunk {i}: {:>7} -> {:>7} bytes ({:.1}% savings)",
+            orig,
+            c.len(),
+            100.0 * (1.0 - c.len() as f64 / orig as f64)
+        );
+    }
+
+    // Serve only the middle chunk — no other chunk needed (the paper's
+    // "decompress any substring" requirement).
+    let mid = chunks.len() / 2;
+    let part = decompress(&chunks[mid]).expect("independent decode");
+    let start = mid * chunk_size;
+    let end = ((mid + 1) * chunk_size).min(jpeg.len());
+    assert_eq!(part, jpeg[start..end]);
+    println!("middle chunk decoded independently ✓");
+
+    // Stream the first chunk: fragments arrive in order, early.
+    let mut fragments = 0usize;
+    let mut received = Vec::new();
+    decompress_streaming(&chunks[0], &DecompressOptions::default(), &mut |b: &[u8]| {
+        fragments += 1;
+        received.extend_from_slice(b);
+    })
+    .expect("streaming decode");
+    assert_eq!(received, jpeg[..chunk_size.min(jpeg.len())]);
+    println!("chunk 0 streamed in {fragments} fragments ✓");
+
+    // Reassemble everything.
+    let mut whole = Vec::new();
+    for c in &chunks {
+        whole.extend(decompress(c).expect("decode"));
+    }
+    assert_eq!(whole, jpeg);
+    println!("full reassembly byte-exact ✓");
+}
