@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn bit_roundtrip() {
         let mut w = BitWriter::new();
-        let bits = [true, false, false, true, true, true, false, true, true, false];
+        let bits = [
+            true, false, false, true, true, true, false, true, true, false,
+        ];
         for &b in &bits {
             w.put_bit(b);
         }

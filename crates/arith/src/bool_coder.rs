@@ -322,7 +322,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let bits: Vec<bool> = (0..50_000).map(|_| next() % 10 == 0).collect();

@@ -25,13 +25,13 @@ proptest! {
         items in proptest::collection::vec((any::<bool>(), 0usize..16), 0..2048)
     ) {
         let mut enc = BoolEncoder::new();
-        let mut bins = vec![Branch::new(); 16];
+        let mut bins = [Branch::new(); 16];
         for &(bit, ctx) in &items {
             enc.put(bit, &mut bins[ctx]);
         }
         let bytes = enc.finish();
         let mut dec = BoolDecoder::new(SliceSource::new(&bytes));
-        let mut bins = vec![Branch::new(); 16];
+        let mut bins = [Branch::new(); 16];
         for &(bit, ctx) in &items {
             prop_assert_eq!(dec.get(&mut bins[ctx]), bit);
         }

@@ -70,7 +70,8 @@ impl Mixer {
     }
 
     fn ctxs(&self, node: usize) -> (usize, usize, usize) {
-        let o2h = ((self.h2 as usize).wrapping_mul(0x9E3779B1) >> (32 - O2_BITS)) & ((1 << O2_BITS) - 1);
+        let o2h =
+            ((self.h2 as usize).wrapping_mul(0x9E3779B1) >> (32 - O2_BITS)) & ((1 << O2_BITS) - 1);
         (node, self.h1 as usize * 256 + node, o2h * 256 + node)
     }
 
@@ -97,7 +98,7 @@ impl Mixer {
     }
 
     fn push_byte(&mut self, byte: u8) {
-        self.h2 = ((self.h2 << 8) | self.h1 as u16) & 0xFFFF;
+        self.h2 = (self.h2 << 8) | self.h1 as u16;
         self.h1 = byte;
     }
 }

@@ -54,10 +54,7 @@ pub mod tag {
 
 /// Wrap a transform attempt in the standard fallback container: if
 /// `attempt` fails (unsupported input), store Deflate of the original.
-pub fn encode_with_fallback(
-    data: &[u8],
-    attempt: impl FnOnce() -> Option<Vec<u8>>,
-) -> Vec<u8> {
+pub fn encode_with_fallback(data: &[u8], attempt: impl FnOnce() -> Option<Vec<u8>>) -> Vec<u8> {
     match attempt() {
         Some(mut payload) => {
             let mut out = vec![tag::TRANSFORMED];
@@ -217,10 +214,8 @@ mod tests {
         let data = b"some non-jpeg bytes".repeat(10);
         let enc = encode_with_fallback(&data, || None);
         assert_eq!(enc[0], tag::FALLBACK);
-        let dec = decode_with_fallback(&enc, data.len(), |_| {
-            Err(CodecError::Internal("unused"))
-        })
-        .unwrap();
+        let dec = decode_with_fallback(&enc, data.len(), |_| Err(CodecError::Internal("unused")))
+            .unwrap();
         assert_eq!(dec, data);
     }
 

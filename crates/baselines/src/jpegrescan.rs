@@ -34,10 +34,7 @@ fn tally(
             prev_dc = [0; 4];
             rst += 1;
         }
-        let (mx, my) = (
-            (mcu as usize) % frame.mcus_x,
-            (mcu as usize) / frame.mcus_x,
-        );
+        let (mx, my) = ((mcu as usize) % frame.mcus_x, (mcu as usize) / frame.mcus_x);
         for sc in &parsed.scan.components {
             let comp = &frame.components[sc.comp_index];
             for by in 0..comp.v as usize {
@@ -74,7 +71,11 @@ fn tally(
 }
 
 /// Swap in optimal tables for every table id the scan references.
-fn optimized_tables(parsed: &ParsedJpeg, planes: &CoefPlanes, rst_limit: u32) -> Option<ParsedJpeg> {
+fn optimized_tables(
+    parsed: &ParsedJpeg,
+    planes: &CoefPlanes,
+    rst_limit: u32,
+) -> Option<ParsedJpeg> {
     let (dc_freq, ac_freq) = tally(parsed, planes, rst_limit);
     let mut out = parsed.clone();
     for sc in &parsed.scan.components {
@@ -100,15 +101,21 @@ fn serialize_tables(parsed: &ParsedJpeg) -> Vec<u8> {
         let d = sc.dc_table as usize;
         if !seen_dc[d] {
             seen_dc[d] = true;
-            let frag = parsed.dc_tables[d].as_ref().expect("present").to_dht_fragment();
-            out.push(0x00 | d as u8);
+            let frag = parsed.dc_tables[d]
+                .as_ref()
+                .expect("present")
+                .to_dht_fragment();
+            out.push(d as u8);
             out.extend_from_slice(&(frag.len() as u16).to_le_bytes());
             out.extend_from_slice(&frag);
         }
         let a = sc.ac_table as usize;
         if !seen_ac[a] {
             seen_ac[a] = true;
-            let frag = parsed.ac_tables[a].as_ref().expect("present").to_dht_fragment();
+            let frag = parsed.ac_tables[a]
+                .as_ref()
+                .expect("present")
+                .to_dht_fragment();
             out.push(0x10 | a as u8);
             out.extend_from_slice(&(frag.len() as u16).to_le_bytes());
             out.extend_from_slice(&frag);

@@ -3,9 +3,7 @@
 
 use crate::cm::{cm_compress, cm_decompress};
 use crate::codec::{decode_with_fallback, encode_with_fallback, tag, Codec, CodecError};
-use lepton_core::{
-    compress, decompress, CompressOptions, ThreadPolicy,
-};
+use lepton_core::{compress, decompress, CompressOptions, ThreadPolicy};
 
 /// Lepton (this paper) behind the common codec interface. Non-JPEG
 /// inputs fall back to Deflate exactly as production does (§5.7).
@@ -57,7 +55,9 @@ impl Codec for LeptonCodec {
     }
 
     fn encode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
-        Ok(encode_with_fallback(data, || compress(data, &self.opts).ok()))
+        Ok(encode_with_fallback(data, || {
+            compress(data, &self.opts).ok()
+        }))
     }
 
     fn decode(&self, data: &[u8], size_hint: usize) -> Result<Vec<u8>, CodecError> {
@@ -121,9 +121,7 @@ impl Codec for PaqCodec {
             let (&sub, rest) = payload.split_first().ok_or(CodecError::Corrupt)?;
             match sub {
                 SUB_JPEG => decompress(rest).map_err(|_| CodecError::Corrupt),
-                SUB_CM => {
-                    cm_decompress(rest, size_hint.max(1 << 24)).ok_or(CodecError::Corrupt)
-                }
+                SUB_CM => cm_decompress(rest, size_hint.max(1 << 24)).ok_or(CodecError::Corrupt),
                 _ => Err(CodecError::Corrupt),
             }
         })

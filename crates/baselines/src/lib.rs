@@ -46,7 +46,10 @@ impl Codec for DeflateCodec {
     }
 
     fn encode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
-        Ok(lepton_deflate::zlib_compress(data, lepton_deflate::Level::Default))
+        Ok(lepton_deflate::zlib_compress(
+            data,
+            lepton_deflate::Level::Default,
+        ))
     }
 
     fn decode(&self, data: &[u8], size_hint: usize) -> Result<Vec<u8>, CodecError> {
@@ -60,13 +63,13 @@ pub fn all_codecs() -> Vec<Box<dyn Codec>> {
     vec![
         Box::new(LeptonCodec::multithreaded()),
         Box::new(LeptonCodec::one_way()),
-        Box::new(PackJpgCodec::default()),
+        Box::new(PackJpgCodec),
         Box::new(PaqCodec::default()),
-        Box::new(JpegRescanCodec::default()),
-        Box::new(MozArithCodec::default()),
+        Box::new(JpegRescanCodec),
+        Box::new(MozArithCodec),
         Box::new(DeflateCodec),
-        Box::new(LzFastCodec::default()),
-        Box::new(RangeLzCodec::default()),
+        Box::new(LzFastCodec),
+        Box::new(RangeLzCodec),
     ]
 }
 

@@ -363,7 +363,9 @@ mod tests {
         e.truncate(4);
         // Either errors or yields wrong bytes; must not panic.
         let _ = c.decode(&e, data.len());
-        assert!(LzFastCodec.decode(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F], 10).is_err());
+        assert!(LzFastCodec
+            .decode(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F], 10)
+            .is_err());
     }
 
     #[test]

@@ -36,9 +36,9 @@ struct SmallModel {
     dc_exp: Vec<Branch>,   // [5 prev-diff ctx][13]
     dc_sign: Vec<Branch>,  // [5]
     dc_resid: Vec<Branch>, // [13]
-    eob: Vec<Branch>,  // [NBANDS]
-    exp: Vec<Branch>,  // [NBANDS][11]
-    sign: Branch,      // shared: the spec codes AC signs near 50-50
+    eob: Vec<Branch>,      // [NBANDS]
+    exp: Vec<Branch>,      // [NBANDS][11]
+    sign: Branch,          // shared: the spec codes AC signs near 50-50
 }
 
 impl SmallModel {

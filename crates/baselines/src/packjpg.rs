@@ -196,8 +196,16 @@ fn encode_global(planes: &CoefPlanes) -> Vec<u8> {
         for by in 0..plane.blocks_h {
             for bx in 0..plane.blocks_w {
                 let n = count_ac(plane.block(bx, by));
-                let na = if by > 0 { remaining[(by - 1) * plane.blocks_w + bx] } else { 0 };
-                let nl = if bx > 0 { remaining[by * plane.blocks_w + bx - 1] } else { 0 };
+                let na = if by > 0 {
+                    remaining[(by - 1) * plane.blocks_w + bx]
+                } else {
+                    0
+                };
+                let nl = if bx > 0 {
+                    remaining[by * plane.blocks_w + bx - 1]
+                } else {
+                    0
+                };
                 let ctx = nz_bucket((na + nl) / 2);
                 code_tree(&mut enc, n, 6, &mut m.nz[ctx * 64..(ctx + 1) * 64]);
                 remaining[by * plane.blocks_w + bx] = n;
@@ -213,9 +221,17 @@ fn encode_global(planes: &CoefPlanes) -> Vec<u8> {
                         continue;
                     }
                     let v = plane.block(bx, by)[r] as i32;
-                    let a = if by > 0 { plane.block(bx, by - 1)[r] as i32 } else { 0 };
-                    let l = if bx > 0 { plane.block(bx - 1, by)[r] as i32 } else { 0 };
-                    let nb = bucket(((a.unsigned_abs() + l.unsigned_abs()) / 2) as u32);
+                    let a = if by > 0 {
+                        plane.block(bx, by - 1)[r] as i32
+                    } else {
+                        0
+                    };
+                    let l = if bx > 0 {
+                        plane.block(bx - 1, by)[r] as i32
+                    } else {
+                        0
+                    };
+                    let nb = bucket((a.unsigned_abs() + l.unsigned_abs()) / 2);
                     let sctx = sign3((a + l) / 2);
                     let base = ((k - 1) * 12 + nb) * AC_EXP;
                     code_value(
@@ -272,8 +288,16 @@ fn decode_global(
         let mut remaining = vec![0u32; plane.blocks_w * plane.blocks_h];
         for by in 0..plane.blocks_h {
             for bx in 0..plane.blocks_w {
-                let na = if by > 0 { remaining[(by - 1) * plane.blocks_w + bx] } else { 0 };
-                let nl = if bx > 0 { remaining[by * plane.blocks_w + bx - 1] } else { 0 };
+                let na = if by > 0 {
+                    remaining[(by - 1) * plane.blocks_w + bx]
+                } else {
+                    0
+                };
+                let nl = if bx > 0 {
+                    remaining[by * plane.blocks_w + bx - 1]
+                } else {
+                    0
+                };
                 let ctx = nz_bucket((na + nl) / 2);
                 let n = read_tree(&mut dec, 6, &mut m.nz[ctx * 64..(ctx + 1) * 64]);
                 remaining[by * plane.blocks_w + bx] = n.min(63);
@@ -287,9 +311,17 @@ fn decode_global(
                     if *rem == 0 {
                         continue;
                     }
-                    let a = if by > 0 { plane.block(bx, by - 1)[r] as i32 } else { 0 };
-                    let l = if bx > 0 { plane.block(bx - 1, by)[r] as i32 } else { 0 };
-                    let nb = bucket(((a.unsigned_abs() + l.unsigned_abs()) / 2) as u32);
+                    let a = if by > 0 {
+                        plane.block(bx, by - 1)[r] as i32
+                    } else {
+                        0
+                    };
+                    let l = if bx > 0 {
+                        plane.block(bx - 1, by)[r] as i32
+                    } else {
+                        0
+                    };
+                    let nb = bucket((a.unsigned_abs() + l.unsigned_abs()) / 2);
                     let sctx = sign3((a + l) / 2);
                     let base = ((k - 1) * 12 + nb) * AC_EXP;
                     let v = read_value(

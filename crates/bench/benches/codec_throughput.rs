@@ -26,7 +26,10 @@ fn bench_roundtrip(c: &mut Criterion) {
                 }
             })
         });
-        let encs: Vec<Vec<u8>> = files.iter().map(|f| compress(f, &opts).expect("enc")).collect();
+        let encs: Vec<Vec<u8>> = files
+            .iter()
+            .map(|f| compress(f, &opts).expect("enc"))
+            .collect();
         g.bench_with_input(BenchmarkId::new("decode", threads), &threads, |b, _| {
             b.iter(|| {
                 for e in &encs {

@@ -9,7 +9,9 @@ use lepton_jpeg::scan::{decode_scan, encode_scan_whole, EncodeParams};
 fn bench_range_coder(c: &mut Criterion) {
     let mut g = c.benchmark_group("range_coder");
     g.sample_size(20);
-    let bits: Vec<bool> = (0..100_000).map(|i| (i * 2654435761u64) % 7 == 0).collect();
+    let bits: Vec<bool> = (0..100_000)
+        .map(|i| (i * 2654435761u64).is_multiple_of(7))
+        .collect();
     g.throughput(Throughput::Elements(bits.len() as u64));
     g.bench_function("encode_100k_bits", |b| {
         b.iter(|| {

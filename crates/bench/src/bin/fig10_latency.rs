@@ -25,7 +25,7 @@ fn main() {
                 outsource_threshold: threshold,
                 horizon: DAY,
                 blockservers: 24,
-        dedicated: 10,
+                dedicated: 10,
                 workload: lepton_cluster::WorkloadConfig {
                     base_encode_rate: 13.0,
                     ..Default::default()

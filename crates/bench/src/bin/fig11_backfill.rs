@@ -5,7 +5,10 @@ use lepton_bench::{bar, header};
 use lepton_cluster::backfill::{simulate_backfill, BackfillConfig, Economics};
 
 fn main() {
-    header("Figure 11", "datacenter power and conversions/s, with outage");
+    header(
+        "Figure 11",
+        "datacenter power and conversions/s, with outage",
+    );
     let cfg = BackfillConfig::default();
     let samples = simulate_backfill(&cfg, 30.0, 20.0, 23.0);
     println!("{:>6} {:>10} {:>12}", "hour", "power kW", "conv/s");
@@ -28,9 +31,18 @@ fn main() {
 
     let eco = Economics::from_config(&cfg);
     println!("\n§5.6.1 economics:");
-    println!("  conversions per kWh:     {:>10.0} (paper: 72,300)", eco.conversions_per_kwh);
-    println!("  GiB saved per kWh:       {:>10.1} (paper: 24)", eco.gib_saved_per_kwh());
+    println!(
+        "  conversions per kWh:     {:>10.0} (paper: 72,300)",
+        eco.conversions_per_kwh
+    );
+    println!(
+        "  GiB saved per kWh:       {:>10.1} (paper: 24)",
+        eco.gib_saved_per_kwh()
+    );
     let (images, tib) = eco.per_machine_year(&cfg);
-    println!("  images per machine-year: {:>10.2e} (paper: 1.815e8)", images);
+    println!(
+        "  images per machine-year: {:>10.2e} (paper: 1.815e8)",
+        images
+    );
     println!("  TiB saved per machine-yr:{:>10.1} (paper: 58.8)", tib);
 }

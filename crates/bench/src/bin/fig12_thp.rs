@@ -25,7 +25,10 @@ fn main() {
     };
     let mut on = ClusterSim::new(mk(0.4)).run();
     let mut off = ClusterSim::new(mk(0.0)).run();
-    println!("{:<6} {:>22} {:>22}", "hour", "THP on p50/p95/p99", "THP off p50/p95/p99");
+    println!(
+        "{:<6} {:>22} {:>22}",
+        "hour", "THP on p50/p95/p99", "THP off p50/p95/p99"
+    );
     for h in 0..12usize {
         let q = |r: &mut lepton_cluster::TimeSeries, p: f64| r.percentile_series(p)[h];
         println!(
@@ -44,5 +47,9 @@ fn main() {
         on.latency.percentile(99.0),
         off.latency.percentile(99.0)
     );
-    println!("overall p50: THP on {:.2}s vs off {:.2}s", on.latency.percentile(50.0), off.latency.percentile(50.0));
+    println!(
+        "overall p50: THP on {:.2}s vs off {:.2}s",
+        on.latency.percentile(50.0),
+        off.latency.percentile(50.0)
+    );
 }

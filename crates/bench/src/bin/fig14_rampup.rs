@@ -6,7 +6,10 @@ use lepton_cluster::workload::{WorkloadConfig, WorkloadPhase, DAY};
 use lepton_cluster::{ClusterConfig, ClusterSim, OutsourcePolicy};
 
 fn main() {
-    header("Figure 14", "latency percentiles over ramp-up (no outsourcing)");
+    header(
+        "Figure 14",
+        "latency percentiles over ramp-up (no outsourcing)",
+    );
     println!(
         "{:>7} {:>8} {:>8} {:>8} {:>8}",
         "month", "p50", "p75", "p95", "p99 (s)"

@@ -7,8 +7,11 @@ use lepton_core::{compress, decompress_streaming, CompressOptions, DecompressOpt
 use std::time::Instant;
 
 fn main() {
-    header("Figure 1", "savings vs decompression speed, JPEG-aware codecs");
-    let files = bench_corpus(bench_file_count(24), 640, 0xF16_1);
+    header(
+        "Figure 1",
+        "savings vs decompression speed, JPEG-aware codecs",
+    );
+    let files = bench_corpus(bench_file_count(24), 640, 0xF161);
     let codecs: Vec<Box<dyn Codec>> = vec![
         Box::new(LeptonCodec::multithreaded()),
         Box::new(PackJpgCodec),

@@ -5,8 +5,11 @@ use lepton_baselines::all_codecs;
 use lepton_bench::{bench_file_count, header, mbps, mixed_corpus, percentile, timed};
 
 fn main() {
-    header("Figure 2", "savings and speed of all codecs, rejects included");
-    let corpus = mixed_corpus(bench_file_count(30), 0xF16_2);
+    header(
+        "Figure 2",
+        "savings and speed of all codecs, rejects included",
+    );
+    let corpus = mixed_corpus(bench_file_count(30), 0xF162);
     let total_in: usize = corpus.files.iter().map(|f| f.data.len()).sum();
     println!(
         "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",

@@ -8,8 +8,11 @@ use lepton_bench::{bench_corpus, bench_file_count, header, percentile, TrackingA
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
 fn main() {
-    header("Figure 3", "peak memory per codec (MiB), p50/p99 across files");
-    let files = bench_corpus(bench_file_count(16), 512, 0xF16_3);
+    header(
+        "Figure 3",
+        "peak memory per codec (MiB), p50/p99 across files",
+    );
+    let files = bench_corpus(bench_file_count(16), 512, 0xF163);
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>10}",
         "codec", "enc p50", "enc p99", "dec p50", "dec p99"
@@ -20,11 +23,13 @@ fn main() {
         for f in &files {
             ALLOC.reset_peak();
             let enc = c.encode(f).expect("encode");
-            enc_peaks.push((ALLOC.peak() - ALLOC.live().min(ALLOC.peak())) as f64 / (1 << 20) as f64);
+            enc_peaks
+                .push((ALLOC.peak() - ALLOC.live().min(ALLOC.peak())) as f64 / (1 << 20) as f64);
             ALLOC.reset_peak();
             let out = c.decode(&enc, f.len()).expect("decode");
             assert_eq!(out, *f);
-            dec_peaks.push((ALLOC.peak() - ALLOC.live().min(ALLOC.peak())) as f64 / (1 << 20) as f64);
+            dec_peaks
+                .push((ALLOC.peak() - ALLOC.live().min(ALLOC.peak())) as f64 / (1 << 20) as f64);
         }
         println!(
             "{:<22} {:>9.1}M {:>9.1}M {:>9.1}M {:>9.1}M",

@@ -5,8 +5,11 @@ use lepton_bench::{bench_corpus, bench_file_count, header};
 use lepton_core::{compress_with_stats, CompressOptions};
 
 fn main() {
-    header("Figure 4", "compression ratio by component (paper: 77.3% total)");
-    let files = bench_corpus(bench_file_count(24), 512, 0xF16_4);
+    header(
+        "Figure 4",
+        "compression ratio by component (paper: 77.3% total)",
+    );
+    let files = bench_corpus(bench_file_count(24), 512, 0xF164);
     let mut rows: Vec<[f64; 8]> = Vec::new(); // in/out per category + totals
     for f in &files {
         let Ok((_, s)) = compress_with_stats(f, &CompressOptions::default()) else {
@@ -22,7 +25,9 @@ fn main() {
         let out77 = (s.scan_out.ac77 + s.scan_out.nz) as f64;
         let out_edge = s.scan_out.edge as f64;
         let out_dc = s.scan_out.dc as f64;
-        rows.push([hdr_in, hdr_out, in77, out77, in_edge, out_edge, in_dc, out_dc]);
+        rows.push([
+            hdr_in, hdr_out, in77, out77, in_edge, out_edge, in_dc, out_dc,
+        ]);
     }
     let total_in: f64 = rows.iter().map(|r| r[0] + r[2] + r[4] + r[6]).sum();
     let stats = |rows: &[[f64; 8]], i: usize, o: usize| -> (f64, f64, f64) {
@@ -32,10 +37,7 @@ fn main() {
             .map(|r| 100.0 * r[o] / r[i])
             .collect();
         let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
-        let sd = (ratios
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
+        let sd = (ratios.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
             / (ratios.len().max(2) - 1) as f64)
             .sqrt();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));

@@ -6,7 +6,10 @@ use lepton_cluster::workload::WEEK;
 use lepton_cluster::{ClusterConfig, ClusterSim};
 
 fn main() {
-    header("Figure 5", "weekly coding-event rhythm (decodes vs encodes)");
+    header(
+        "Figure 5",
+        "weekly coding-event rhythm (decodes vs encodes)",
+    );
     let cfg = ClusterConfig {
         horizon: WEEK,
         blockservers: 40,
@@ -14,7 +17,10 @@ fn main() {
     };
     let r = ClusterSim::new(cfg).run();
     // Daily totals.
-    println!("{:<10} {:>9} {:>9} {:>7}", "day", "encodes", "decodes", "ratio");
+    println!(
+        "{:<10} {:>9} {:>9} {:>7}",
+        "day", "encodes", "decodes", "ratio"
+    );
     let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
     for d in 0..7usize {
         let e: usize = r.encodes[d * 24..(d + 1) * 24].iter().sum();

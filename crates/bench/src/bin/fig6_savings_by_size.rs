@@ -18,7 +18,10 @@ fn main() {
         };
         let jpg = clean_jpeg(&spec, seed);
         if let Ok(out) = compress(&jpg, &CompressOptions::default()) {
-            points.push((jpg.len(), 100.0 * (1.0 - out.len() as f64 / jpg.len() as f64)));
+            points.push((
+                jpg.len(),
+                100.0 * (1.0 - out.len() as f64 / jpg.len() as f64),
+            ));
         }
     }
     points.sort_by_key(|p| p.0);
@@ -28,7 +31,13 @@ fn main() {
         let lo = chunk.first().expect("nonempty").0;
         let hi = chunk.last().expect("nonempty").0;
         let mean: f64 = chunk.iter().map(|p| p.1).sum::<f64>() / chunk.len() as f64;
-        println!("{:>5}-{:<6}KB {:>7} {:>7.1}%", lo / 1024, hi / 1024, chunk.len(), mean);
+        println!(
+            "{:>5}-{:<6}KB {:>7} {:>7.1}%",
+            lo / 1024,
+            hi / 1024,
+            chunk.len(),
+            mean
+        );
     }
     println!("\npaper shape: a flat band (~20-25%) across sizes, no size trend.");
 }

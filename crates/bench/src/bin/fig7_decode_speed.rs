@@ -5,7 +5,10 @@ use lepton_core::{compress, decompress, CompressOptions, ThreadPolicy};
 use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
 
 fn main() {
-    header("Figure 7", "decode speed vs file size, by thread-segment count");
+    header(
+        "Figure 7",
+        "decode speed vs file size, by thread-segment count",
+    );
     println!(
         "{:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
         "size KB", "(files)", "1 thr", "2 thr", "4 thr", "8 thr"
@@ -16,7 +19,9 @@ fn main() {
             max_dim: dim + 32,
             ..Default::default()
         };
-        let files: Vec<Vec<u8>> = (0..4u64).map(|s| clean_jpeg(&spec, s + dim as u64)).collect();
+        let files: Vec<Vec<u8>> = (0..4u64)
+            .map(|s| clean_jpeg(&spec, s + dim as u64))
+            .collect();
         let bytes: usize = files.iter().map(|f| f.len()).sum();
         print!("{:>9} {:>9} |", bytes / 1024 / files.len(), files.len());
         for threads in [1usize, 2, 4, 8] {
@@ -25,7 +30,10 @@ fn main() {
                 verify: false,
                 ..Default::default()
             };
-            let encs: Vec<Vec<u8>> = files.iter().map(|f| compress(f, &opts).expect("enc")).collect();
+            let encs: Vec<Vec<u8>> = files
+                .iter()
+                .map(|f| compress(f, &opts).expect("enc"))
+                .collect();
             // Warm, then measure.
             for e in &encs {
                 let _ = decompress(e).expect("dec");

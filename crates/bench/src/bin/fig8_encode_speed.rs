@@ -6,7 +6,10 @@ use lepton_core::{compress, CompressOptions, ThreadPolicy};
 use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
 
 fn main() {
-    header("Figure 8", "encode speed vs file size, by thread-segment count");
+    header(
+        "Figure 8",
+        "encode speed vs file size, by thread-segment count",
+    );
     println!(
         "{:>9} | {:>9} {:>9} {:>9} {:>9}",
         "size KB", "1 thr", "2 thr", "4 thr", "8 thr"
@@ -17,7 +20,9 @@ fn main() {
             max_dim: dim + 32,
             ..Default::default()
         };
-        let files: Vec<Vec<u8>> = (0..3u64).map(|s| clean_jpeg(&spec, s + dim as u64)).collect();
+        let files: Vec<Vec<u8>> = (0..3u64)
+            .map(|s| clean_jpeg(&spec, s + dim as u64))
+            .collect();
         let bytes: usize = files.iter().map(|f| f.len()).sum();
         print!("{:>9} |", bytes / 1024 / files.len());
         for threads in [1usize, 2, 4, 8] {

@@ -2,11 +2,14 @@
 //! outsourcing strategy (threshold 4, like the paper's Sept. 15 plot).
 
 use lepton_bench::{bar, header};
-use lepton_cluster::{ClusterConfig, ClusterSim, OutsourcePolicy};
 use lepton_cluster::workload::DAY;
+use lepton_cluster::{ClusterConfig, ClusterSim, OutsourcePolicy};
 
 fn main() {
-    header("Figure 9", "p99 concurrent conversions per machine, by strategy");
+    header(
+        "Figure 9",
+        "p99 concurrent conversions per machine, by strategy",
+    );
     let mk = |policy| ClusterConfig {
         policy,
         outsource_threshold: 4,
@@ -29,7 +32,10 @@ fn main() {
         let series = r.concurrency.percentile_series(99.0);
         results.push((name, series, r.outsourced));
     }
-    println!("{:<6} {:>9} {:>9} {:>13}", "hour", "control", "to self", "to dedicated");
+    println!(
+        "{:<6} {:>9} {:>9} {:>13}",
+        "hour", "control", "to self", "to dedicated"
+    );
     for h in 0..24 {
         println!(
             "{:<6} {:>9.1} {:>9.1} {:>13.1}  {}",

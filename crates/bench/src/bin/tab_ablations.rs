@@ -42,13 +42,22 @@ fn run(files: &[Vec<u8>], cfg: ModelConfig) -> (f64, f64, f64, f64) {
 }
 
 fn main() {
-    header("§4.3 ablations", "edge prediction, DC prediction, scan order");
+    header(
+        "§4.3 ablations",
+        "edge prediction, DC prediction, scan order",
+    );
     let files = bench_corpus(bench_file_count(16), 448, 0xAB1);
 
     let base = ModelConfig::default();
     println!("--- edge predictor (paper: Lakhani 78.7% vs averaged 82.5%) ---");
-    for (name, mode) in [("Lakhani", EdgeMode::Lakhani), ("Averaged", EdgeMode::Averaged)] {
-        let cfg = ModelConfig { edge_mode: mode, ..base };
+    for (name, mode) in [
+        ("Lakhani", EdgeMode::Lakhani),
+        ("Averaged", EdgeMode::Averaged),
+    ] {
+        let cfg = ModelConfig {
+            edge_mode: mode,
+            ..base
+        };
         let (edge, _, total, _) = run(&files, cfg);
         println!("{name:<18} edge ratio {edge:>6.1}%   total savings {total:>5.1}%");
     }
@@ -59,7 +68,10 @@ fn main() {
         ("First-cut", DcMode::FirstCut),
         ("Neighbor avg", DcMode::NeighborAverage),
     ] {
-        let cfg = ModelConfig { dc_mode: mode, ..base };
+        let cfg = ModelConfig {
+            dc_mode: mode,
+            ..base
+        };
         let (_, dc, total, _) = run(&files, cfg);
         println!("{name:<18} DC ratio {dc:>6.1}%   total savings {total:>5.1}%");
     }
@@ -69,7 +81,10 @@ fn main() {
         ("Zigzag", lepton_model::config::ScanOrder::Zigzag),
         ("Raster", lepton_model::config::ScanOrder::Raster),
     ] {
-        let cfg = ModelConfig { scan_order: order, ..base };
+        let cfg = ModelConfig {
+            scan_order: order,
+            ..base
+        };
         let (_, _, total, secs) = run(&files, cfg);
         println!("{name:<18} total savings {total:>5.1}%   encode {secs:>5.2}s");
     }

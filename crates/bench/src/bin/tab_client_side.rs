@@ -16,7 +16,11 @@ fn main() {
         "Table §7",
         "codec placement: wire bytes and conversion CPU, server-side vs client-side",
     );
-    for (label, ratio) in [("weekend (1.0)", 1.0), ("weekday (1.5)", 1.5), ("peak (2.0)", 2.0)] {
+    for (label, ratio) in [
+        ("weekend (1.0)", 1.0),
+        ("weekday (1.5)", 1.5),
+        ("peak (2.0)", 2.0),
+    ] {
         let model = PlacementModel {
             download_ratio: ratio,
             ..Default::default()

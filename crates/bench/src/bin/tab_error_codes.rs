@@ -20,10 +20,15 @@ fn main() {
         *counts.entry(label).or_default() += 1;
     }
     let mut rows: Vec<(&str, usize)> = counts.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     println!("{:<26} {:>9} {:>9}", "exit code", "count", "share");
     for (label, n) in rows {
-        println!("{:<26} {:>9} {:>8.3}%", label, n, 100.0 * n as f64 / total as f64);
+        println!(
+            "{:<26} {:>9} {:>8.3}%",
+            label,
+            n,
+            100.0 * n as f64 / total as f64
+        );
     }
     println!("\npaper: Success 94.069%, Progressive 3.043%, Unsupported 1.535%,");
     println!("Not an image 0.801%, 4-color CMYK 0.478%, long tail < 0.1%.");

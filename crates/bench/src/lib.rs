@@ -35,7 +35,8 @@ impl TrackingAlloc {
 
     /// Reset the peak to the current live size.
     pub fn reset_peak(&self) {
-        self.peak.store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Peak bytes since the last reset.

@@ -135,7 +135,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, UsageError>
         .map_err(|_| UsageError(format!("{flag}: bad value {v:?}")))
 }
 
-/// Parse a full argv (excluding argv[0]).
+/// Parse a full argv (excluding `argv[0]`).
 pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
     let mut it = args.iter().copied();
     let Some(cmd) = it.next() else {
@@ -219,7 +219,9 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 }
             }
             if uds.is_none() == tcp.is_none() {
-                return Err(UsageError("serve needs exactly one of --uds / --tcp".into()));
+                return Err(UsageError(
+                    "serve needs exactly one of --uds / --tcp".into(),
+                ));
             }
             Ok(Command::Serve {
                 uds,
@@ -344,7 +346,9 @@ mod tests {
         assert!(parse(&["serve"]).is_err());
         assert!(parse(&["serve", "--uds", "/s", "--tcp", "127.0.0.1:1"]).is_err());
         let Command::Serve {
-            max_conns, threshold, ..
+            max_conns,
+            threshold,
+            ..
         } = parse(&["serve", "--uds", "/tmp/s.sock"]).unwrap()
         else {
             panic!()

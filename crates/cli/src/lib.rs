@@ -222,7 +222,11 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
                     100.0 * *n as f64 / total
                 )?;
             }
-            writeln!(log, "  compression ratio on verified: {:.1}%", 100.0 * q.ratio())?;
+            writeln!(
+                log,
+                "  compression ratio on verified: {:.1}%",
+                100.0 * q.ratio()
+            )?;
             writeln!(log, "  alarms: {}", q.alarms)?;
             if q.qualified() {
                 writeln!(log, "build QUALIFIED")?;
@@ -259,16 +263,14 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
             }
         }
         Command::ErrorCodes => {
-            writeln!(log, "{:<24} {:>9} {:>12}", "class", "wire byte", "process exit")?;
+            writeln!(
+                log,
+                "{:<24} {:>9} {:>12}",
+                "class", "wire byte", "process exit"
+            )?;
             for (i, code) in EXIT_CODES.iter().enumerate() {
                 let process = process_exit_code(*code);
-                writeln!(
-                    log,
-                    "{:<24} {:>9} {:>12}",
-                    code.label(),
-                    16 + i,
-                    process
-                )?;
+                writeln!(log, "{:<24} {:>9} {:>12}", code.label(), 16 + i, process)?;
             }
             Ok(0)
         }
@@ -354,20 +356,17 @@ mod tests {
     #[test]
     fn derive_output_swaps_extension() {
         let i = Input::Path("a/b/photo.jpg".into());
-        assert_eq!(derive_output(&i, "lep"), Some(PathBuf::from("a/b/photo.lep")));
+        assert_eq!(
+            derive_output(&i, "lep"),
+            Some(PathBuf::from("a/b/photo.lep"))
+        );
         assert_eq!(derive_output(&Input::Stdin, "lep"), None);
     }
 
     #[test]
     fn qualify_command_runs_clean() {
         let mut log = Vec::new();
-        let code = run(
-            Command::Qualify {
-                count: 6,
-                seed: 42,
-            },
-            &mut log,
-        );
+        let code = run(Command::Qualify { count: 6, seed: 42 }, &mut log);
         let text = String::from_utf8(log).unwrap();
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("QUALIFIED"), "{text}");

@@ -34,7 +34,11 @@ fn compress_then_decompress_files_roundtrip() {
         .args(["compress", jpg.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lep = dir.join("photo.lep");
     assert!(lep.exists(), "derived output name");
     assert!(std::fs::metadata(&lep).unwrap().len() < original.len() as u64);
@@ -48,7 +52,11 @@ fn compress_then_decompress_files_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(std::fs::read(&restored).unwrap(), original, "byte-exact");
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -64,12 +72,7 @@ fn stdin_stdout_pipeline_roundtrips() {
         .stderr(Stdio::null())
         .spawn()
         .unwrap();
-    compress
-        .stdin
-        .take()
-        .unwrap()
-        .write_all(&original)
-        .unwrap();
+    compress.stdin.take().unwrap().write_all(&original).unwrap();
     let lepton = compress.wait_with_output().unwrap();
     assert!(lepton.status.success());
     assert!(!lepton.stdout.is_empty());
@@ -103,7 +106,12 @@ fn not_an_image_yields_taxonomy_exit_code() {
         .output()
         .unwrap();
     // "Not an image" is taxonomy index 3 ⇒ process exit 19.
-    assert_eq!(out.status.code(), Some(19), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(19),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("Not an image"));
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -121,7 +129,11 @@ fn qualify_smoke_run_qualifies() {
         .args(["qualify", "--count", "8", "--seed", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("QUALIFIED"));
 }
 

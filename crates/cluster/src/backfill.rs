@@ -45,7 +45,7 @@ impl Default for BackfillConfig {
             watts_per_machine: 288.0,
             image_bytes: 1.5e6,
             savings: 0.2269,
-            seed: 0xBACF_111,
+            seed: 0x0BAC_F111,
         }
     }
 }
@@ -89,7 +89,10 @@ pub fn simulate_backfill(
             let busy = (cfg.machines_per_room as f64 * demand) as usize
                 + rng.gen_range(0..cfg.machines_per_room / 16 + 1);
             let committed = reserved[room] + provisioning[room].len();
-            let free = cfg.machines_per_room.saturating_sub(busy).saturating_sub(committed);
+            let free = cfg
+                .machines_per_room
+                .saturating_sub(busy)
+                .saturating_sub(committed);
             if in_outage {
                 // Outage: release everything immediately.
                 reserved[room] = 0;

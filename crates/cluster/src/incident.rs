@@ -102,8 +102,8 @@ impl SafetyNetScenario {
             let failed_over = minute >= self.failover_minute;
             // The switch is hit at `shutoff_at`; propagation rounds the
             // sub-minute 29 s into the same minute.
-            let shutoff = minute >= shutoff_at
-                || (minute + 1 == shutoff_at && self.shutoff_seconds <= 0.0);
+            let shutoff =
+                minute >= shutoff_at || (minute + 1 == shutoff_at && self.shutoff_seconds <= 0.0);
 
             let capacity = if failed_over {
                 self.proxy_capacity_total * self.failover_capacity_fraction
@@ -126,8 +126,7 @@ impl SafetyNetScenario {
             // untouched; the overall number dilutes the camera failure
             // by the photo share of traffic.
             let camera_availability = if shutoff { 1.0 } else { put_success };
-            let upload_availability =
-                1.0 - self.camera_fraction * (1.0 - camera_availability);
+            let upload_availability = 1.0 - self.camera_fraction * (1.0 - camera_availability);
 
             worst_upload = worst_upload.min(upload_availability);
             worst_camera = worst_camera.min(camera_availability);

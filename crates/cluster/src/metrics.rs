@@ -72,11 +72,7 @@ impl Percentiles {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
             / (self.samples.len() - 1) as f64;
         var.sqrt()
     }

@@ -187,16 +187,28 @@ impl ClusterSim {
         let mut queue: BinaryHeap<Reverse<(u64, u64, EventBox)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |q: &mut BinaryHeap<Reverse<(u64, u64, EventBox)>>,
-                        seq: &mut u64,
-                        t: f64,
-                        e: Event,
-                        job: Option<Job>| {
+                    seq: &mut u64,
+                    t: f64,
+                    e: Event,
+                    job: Option<Job>| {
             *seq += 1;
             q.push(Reverse((time_key(t), *seq, EventBox { t, e, job })));
         };
 
-        push(&mut queue, &mut seq, 0.0, Event::Arrival(JobKind::LeptonEncode), None);
-        push(&mut queue, &mut seq, 0.3, Event::Arrival(JobKind::LeptonDecode), None);
+        push(
+            &mut queue,
+            &mut seq,
+            0.0,
+            Event::Arrival(JobKind::LeptonEncode),
+            None,
+        );
+        push(
+            &mut queue,
+            &mut seq,
+            0.3,
+            Event::Arrival(JobKind::LeptonDecode),
+            None,
+        );
         push(&mut queue, &mut seq, 1.0, Event::Sample, None);
 
         let hours = (cfg.horizon / 3600.0).ceil() as usize;
@@ -251,32 +263,31 @@ impl ClusterSim {
                     // Load balancer: uniform random blockserver.
                     let home = rng.gen_range(0..servers.len());
                     let mut overhead = 1.0;
-                    let (pool_is_dedicated, target) = if servers[home].lepton_active
-                        >= cfg.outsource_threshold
-                    {
-                        match cfg.policy {
-                            OutsourcePolicy::None => (false, home),
-                            OutsourcePolicy::ToSelf => {
-                                report.outsourced += 1;
-                                overhead += cfg.outsource_overhead;
-                                // Random other blockserver (the paper's
-                                // two-random-choices intuition).
-                                let alt = rng.gen_range(0..servers.len());
-                                (false, alt)
+                    let (pool_is_dedicated, target) =
+                        if servers[home].lepton_active >= cfg.outsource_threshold {
+                            match cfg.policy {
+                                OutsourcePolicy::None => (false, home),
+                                OutsourcePolicy::ToSelf => {
+                                    report.outsourced += 1;
+                                    overhead += cfg.outsource_overhead;
+                                    // Random other blockserver (the paper's
+                                    // two-random-choices intuition).
+                                    let alt = rng.gen_range(0..servers.len());
+                                    (false, alt)
+                                }
+                                OutsourcePolicy::ToDedicated => {
+                                    report.outsourced += 1;
+                                    overhead += cfg.outsource_overhead;
+                                    // Least-loaded dedicated machine.
+                                    let alt = (0..dedicated.len())
+                                        .min_by_key(|&i| dedicated[i].lepton_active)
+                                        .unwrap_or(0);
+                                    (true, alt)
+                                }
                             }
-                            OutsourcePolicy::ToDedicated => {
-                                report.outsourced += 1;
-                                overhead += cfg.outsource_overhead;
-                                // Least-loaded dedicated machine.
-                                let alt = (0..dedicated.len())
-                                    .min_by_key(|&i| dedicated[i].lepton_active)
-                                    .unwrap_or(0);
-                                (true, alt)
-                            }
-                        }
-                    } else {
-                        (false, home)
-                    };
+                        } else {
+                            (false, home)
+                        };
 
                     let server = if pool_is_dedicated {
                         &mut dedicated[target]

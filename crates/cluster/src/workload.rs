@@ -55,6 +55,7 @@ impl WorkloadConfig {
     /// minimum, up to ~4.5 like Fig. 5's "coding events vs weekly min").
     pub fn diurnal_factor(&self, t: f64) -> f64 {
         let tod = (t % DAY) / DAY; // 0..1
+
         // Single broad daytime hump peaking mid-afternoon UTC.
         let hump = (-((tod - 0.65) * (tod - 0.65)) / 0.035).exp();
         1.0 + 2.2 * hump
@@ -82,7 +83,7 @@ impl WorkloadConfig {
     pub fn decode_encode_ratio(&self, t: f64) -> f64 {
         let steady = if self.is_weekend(t) { 1.0 } else { 1.5 };
         match self.phase {
-            WorkloadPhase::Steady => steady * self.lepton_stored_fraction.max(0.0).min(1.0),
+            WorkloadPhase::Steady => steady * self.lepton_stored_fraction.clamp(0.0, 1.0),
             WorkloadPhase::EarlyRollout => {
                 // Only Lepton-stored photos need Lepton decodes.
                 steady * self.lepton_stored_fraction.clamp(0.0, 1.0)
@@ -149,7 +150,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let rate = 4.0;
         let n = 20_000;
-        let total: f64 = (0..n).map(|_| WorkloadConfig::next_gap(&mut rng, rate)).sum();
+        let total: f64 = (0..n)
+            .map(|_| WorkloadConfig::next_gap(&mut rng, rate))
+            .sum();
         let mean = total / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.01, "mean gap {mean}");
     }

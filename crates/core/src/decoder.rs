@@ -71,7 +71,7 @@ impl BlockOp for SegDecoder<'_> {
     fn mcu_start(&mut self, mcu: u32) -> Result<(), LeptonError> {
         if self.interval > 0
             && mcu > 0
-            && mcu % self.interval == 0
+            && mcu.is_multiple_of(self.interval)
             && self.rst_emitted < self.rst_limit
         {
             self.writer.align(self.pad_bit);

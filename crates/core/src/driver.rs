@@ -8,9 +8,9 @@
 //! parameterizing over "where blocks come from" makes that agreement
 //! structural instead of a discipline.
 
-use lepton_model::context::{block_edges, BlockEdges, BlockNeighbors};
 use lepton_jpeg::parser::ParsedJpeg;
 use lepton_jpeg::CoefBlock;
+use lepton_model::context::{block_edges, BlockEdges, BlockNeighbors};
 
 /// Ring buffer of the last `v+1` block rows of one component, tracking
 /// which row each slot currently holds so stale rows never leak across
@@ -130,7 +130,11 @@ pub fn walk_segment<O: BlockOp>(
                     let gy = my * cv + by;
                     let ring = &rings[si];
                     let above = ring.get(gx, gy as isize - 1);
-                    let left = if gx > 0 { ring.get(gx - 1, gy as isize) } else { None };
+                    let left = if gx > 0 {
+                        ring.get(gx - 1, gy as isize)
+                    } else {
+                        None
+                    };
                     let above_left = if gx > 0 {
                         ring.get(gx - 1, gy as isize - 1)
                     } else {

@@ -8,9 +8,7 @@
 
 use crate::driver::{walk_segment, BlockOp};
 use crate::error::LeptonError;
-use crate::format::{
-    write_container, ContainerHeader, SegmentInfo, SerializedHandover,
-};
+use crate::format::{write_container, ContainerHeader, SegmentInfo, SerializedHandover};
 use lepton_arith::BoolEncoder;
 use lepton_jpeg::bitio::PadState;
 use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
@@ -216,12 +214,11 @@ pub fn compress_chunked(
         let m_end = snapshots.partition_point(|h| h.byte_offset < byte_end) as u32;
         let (m_start, m_end) = (m_start.min(mcus), m_end.min(mcus));
 
-        let nseg = opts.threads.segments(byte_end - byte_start, (m_end - m_start).max(1));
+        let nseg = opts
+            .threads
+            .segments(byte_end - byte_start, (m_end - m_start).max(1));
         let bounds = segment_bounds(&parsed, m_start, m_end, nseg);
-        let handovers: Vec<Handover> = bounds
-            .iter()
-            .map(|&m| snapshots[m as usize])
-            .collect();
+        let handovers: Vec<Handover> = bounds.iter().map(|&m| snapshots[m as usize]).collect();
 
         let (bytes, _, _) = build_container(
             jpeg,
@@ -264,7 +261,11 @@ fn segment_bounds(parsed: &ParsedJpeg, from: u32, to: u32, nseg: u32) -> Vec<u32
         let raw = from + span * i / nseg;
         // Snap up to the next row start if that stays in range.
         let snapped = raw.div_ceil(mcus_x) * mcus_x;
-        let b = if snapped > from && snapped < to { snapped } else { raw };
+        let b = if snapped > from && snapped < to {
+            snapped
+        } else {
+            raw
+        };
         let b = b.clamp(from, to);
         if *bounds.last().expect("nonempty") < b {
             bounds.push(b);
@@ -303,8 +304,8 @@ fn build_container(
     debug_assert_eq!(spec.handovers.len(), spec.bounds.len());
 
     // Parallel arithmetic encoding of the segments.
-    let mut results: Vec<Option<Result<(Vec<u8>, CategoryBytes), LeptonError>>> =
-        (0..nseg).map(|_| None).collect();
+    type SegmentResult = Result<(Vec<u8>, CategoryBytes), LeptonError>;
+    let mut results: Vec<Option<SegmentResult>> = (0..nseg).map(|_| None).collect();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (i, slot) in results.iter_mut().enumerate() {
@@ -356,7 +357,11 @@ fn build_container(
     };
     let prepend = if spec.emit_header {
         // The header is emitted separately; strip it from the prefix.
-        prepend[parsed.header_len.saturating_sub(spec.byte_start).min(prepend.len())..].to_vec()
+        prepend[parsed
+            .header_len
+            .saturating_sub(spec.byte_start)
+            .min(prepend.len())..]
+            .to_vec()
     } else {
         prepend
     };

@@ -16,7 +16,10 @@ use crate::error::{ExitCode, LeptonError};
 pub enum Verdict {
     /// Compressed, decompressed, and byte-identical; carries the
     /// compressed size.
-    Verified { compressed: usize },
+    Verified {
+        /// Size of the verified Lepton container in bytes.
+        compressed: usize,
+    },
     /// Rejected up front (not a candidate for Lepton).
     Rejected(ExitCode),
     /// Compression succeeded but a round-trip failed — this is the
@@ -107,7 +110,10 @@ pub fn qualify<'a>(
 /// Cross-check that single-threaded and multi-threaded compression both
 /// round-trip and report their sizes (multithreading trades a little
 /// ratio for speed, §3.4 / Fig. 2).
-pub fn thread_consistency(jpeg: &[u8], opts: &CompressOptions) -> Result<(usize, usize), LeptonError> {
+pub fn thread_consistency(
+    jpeg: &[u8],
+    opts: &CompressOptions,
+) -> Result<(usize, usize), LeptonError> {
     let mut one = opts.clone();
     one.threads = ThreadPolicy::Fixed(1);
     one.verify = true;

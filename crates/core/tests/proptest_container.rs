@@ -54,7 +54,16 @@ fn arb_header() -> impl Strategy<Value = ContainerHeader> {
         proptest::collection::vec(arb_segment(), 0..9),
     )
         .prop_map(
-            |(emit_header, jpeg_header, output_size, pad_bit, rst_count, prepend, append, segments)| {
+            |(
+                emit_header,
+                jpeg_header,
+                output_size,
+                pad_bit,
+                rst_count,
+                prepend,
+                append,
+                segments,
+            )| {
                 ContainerHeader {
                     emit_header,
                     jpeg_header,
@@ -159,7 +168,12 @@ fn container_section_iteration_matches_segments() {
     };
     let data = compress(&jpg, &opts).unwrap();
     let container = read_container(&data).unwrap();
-    let declared: u64 = container.header.segments.iter().map(|s| s.arith_bytes).sum();
+    let declared: u64 = container
+        .header
+        .segments
+        .iter()
+        .map(|s| s.arith_bytes)
+        .sum();
     let mut actual = 0u64;
     for packet in lepton_core::format::packets(container.arith_section) {
         let (_, payload) = packet.expect("well-formed packet stream");

@@ -113,7 +113,7 @@ pub fn clean_jpeg(spec: &CorpusSpec, seed: u64) -> Vec<u8> {
     // Camera-like distribution: most photos 70–95 quality, 4:2:0 most
     // common; fixed-function chips never optimize tables (§1).
     let quality = *[55u8, 65, 75, 80, 85, 90, 92, 95]
-        .get(rng.gen_range(0..8))
+        .get(rng.gen_range(0usize..8))
         .expect("in range");
     let subsampling = match rng.gen_range(0..10) {
         0..=5 => Subsampling::S420,
@@ -175,9 +175,7 @@ fn generate_file(spec: &CorpusSpec, seed: u64, rng: &mut StdRng) -> CorpusFile {
     };
     let data = match kind {
         FileKind::Progressive => corrupt::progressive_lookalike(&clean_jpeg(spec, seed)),
-        FileKind::NotAnImage => {
-            corrupt::soi_prefixed_garbage(rng.gen_range(512..8192), seed)
-        }
+        FileKind::NotAnImage => corrupt::soi_prefixed_garbage(rng.gen_range(512..8192), seed),
         FileKind::Cmyk => corrupt::cmyk_stub(seed),
         FileKind::ZeroRun => corrupt::zero_run_tail(&clean_jpeg(spec, seed), 0.7),
         FileKind::TrailingData => {

@@ -51,7 +51,7 @@ pub fn bit_flips(jpeg: &[u8], n: usize, seed: u64) -> Vec<u8> {
             break;
         }
         let i = rng.gen_range(0..out.len());
-        out[i] ^= 1 << rng.gen_range(0..8);
+        out[i] ^= 1u8 << rng.gen_range(0u32..8);
     }
     out
 }
@@ -77,8 +77,8 @@ pub fn cmyk_stub(seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut v = vec![0xFF, 0xD8];
     v.extend_from_slice(&[
-        0xFF, 0xC0, 0x00, 0x14, 0x08, 0x00, 0x40, 0x00, 0x40, 0x04,
-        0x01, 0x11, 0x00, 0x02, 0x11, 0x00, 0x03, 0x11, 0x00, 0x04, 0x11, 0x00,
+        0xFF, 0xC0, 0x00, 0x14, 0x08, 0x00, 0x40, 0x00, 0x40, 0x04, 0x01, 0x11, 0x00, 0x02, 0x11,
+        0x00, 0x03, 0x11, 0x00, 0x04, 0x11, 0x00,
     ]);
     v.extend((0..rng.gen_range(64..256)).map(|_| rng.gen::<u8>()));
     v

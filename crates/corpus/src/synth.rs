@@ -50,7 +50,12 @@ impl ValueNoise {
         let lw = (w as f32 / cell).ceil() as usize + 2;
         let lh = (h as f32 / cell).ceil() as usize + 2;
         let lattice = (0..lw * lh).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-        ValueNoise { lattice, lw, lh, cell }
+        ValueNoise {
+            lattice,
+            lw,
+            lh,
+            cell,
+        }
     }
 
     fn at(&self, x: f32, y: f32) -> f32 {
@@ -215,7 +220,7 @@ mod tests {
         // Text should have far more extreme pixels than landscape.
         let text = synth_image(SceneKind::TextLike, 128, 128, 3);
         let land = synth_image(SceneKind::Landscape, 128, 128, 3);
-        let extremes = |v: &[u8]| v.iter().filter(|&&p| p < 30 || p > 240).count();
+        let extremes = |v: &[u8]| v.iter().filter(|&&p| !(30..=240).contains(&p)).count();
         assert!(extremes(&text) > extremes(&land) * 2);
     }
 

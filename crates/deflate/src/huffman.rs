@@ -191,10 +191,7 @@ impl Decoder {
 
     /// Decode one symbol, pulling bits (LSB-first stream order) from
     /// `next_bit`.
-    pub fn decode<F: FnMut() -> Option<u32>>(
-        &self,
-        mut next_bit: F,
-    ) -> Result<u16, HuffError> {
+    pub fn decode<F: FnMut() -> Option<u32>>(&self, mut next_bit: F) -> Result<u16, HuffError> {
         let mut code = 0i32;
         let mut first = 0i32;
         let mut index = 0i32;
@@ -266,7 +263,10 @@ mod tests {
         // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4)
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

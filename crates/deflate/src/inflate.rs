@@ -209,7 +209,7 @@ pub fn zlib_decompress(data: &[u8], max_size: usize) -> Result<Vec<u8>, InflateE
     if cmf & 0x0F != 8 {
         return Err(InflateError::BadZlibHeader);
     }
-    if ((cmf as u16) << 8 | flg as u16) % 31 != 0 {
+    if !((cmf as u16) << 8 | flg as u16).is_multiple_of(31) {
         return Err(InflateError::BadZlibHeader);
     }
     if flg & 0x20 != 0 {
@@ -287,6 +287,7 @@ mod tests {
         let mut w = LsbWriter::new();
         w.write_bits(1, 1); // BFINAL
         w.write_bits(0b01, 2); // fixed
+
         // Huffman codes are packed from their MSB, so reverse before the
         // LSB-first writer. Symbol 257 has fixed code 0000001 (7 bits).
         w.write_bits(reverse_bits(0b0000001, 7), 7);

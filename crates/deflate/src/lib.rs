@@ -67,7 +67,11 @@ mod tests {
     fn repetitive() {
         roundtrip(&b"abcabcabc".repeat(500));
         let c = deflate_compress(&b"abcabcabc".repeat(500), Level::Default);
-        assert!(c.len() < 200, "repetitive data should compress, got {}", c.len());
+        assert!(
+            c.len() < 200,
+            "repetitive data should compress, got {}",
+            c.len()
+        );
     }
 
     #[test]
@@ -92,7 +96,11 @@ mod tests {
         roundtrip(&data);
         let c = deflate_compress(&data, Level::Default);
         // Stored-block fallback bounds expansion to ~5 bytes per 64 KiB.
-        assert!(c.len() < data.len() + 64, "expansion bounded, got {}", c.len());
+        assert!(
+            c.len() < data.len() + 64,
+            "expansion bounded, got {}",
+            c.len()
+        );
     }
 
     #[test]
@@ -113,7 +121,7 @@ mod tests {
     fn long_match_at_max_distance() {
         // A repeat exactly 32768 bytes back exercises the window edge.
         let mut data = vec![7u8; 100];
-        data.extend(std::iter::repeat(0u8).take(32768 - 100));
+        data.extend(std::iter::repeat_n(0u8, 32768 - 100));
         data.extend(vec![7u8; 100]);
         roundtrip(&data);
     }
@@ -129,7 +137,10 @@ mod tests {
     fn inflate_respects_size_limit() {
         let data = vec![0u8; 10_000];
         let c = deflate_compress(&data, Level::Default);
-        assert!(matches!(inflate(&c, 100), Err(InflateError::OutputTooLarge)));
+        assert!(matches!(
+            inflate(&c, 100),
+            Err(InflateError::OutputTooLarge)
+        ));
     }
 
     #[test]

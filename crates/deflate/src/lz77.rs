@@ -166,7 +166,7 @@ impl Matcher {
                             }
                         }
                         // Clamp the match to the requested range.
-                        let len = len.min(end - pos).max(0);
+                        let len = len.min(end - pos);
                         if len < MIN_MATCH {
                             out.push(Token::Literal(data[pos]));
                             pos += 1;
@@ -266,7 +266,11 @@ mod tests {
     #[test]
     fn all_configs_roundtrip() {
         let data: Vec<u8> = (0..5000u32).map(|i| ((i * i) >> 3) as u8).collect();
-        for c in [MatcherConfig::FAST, MatcherConfig::DEFAULT, MatcherConfig::BEST] {
+        for c in [
+            MatcherConfig::FAST,
+            MatcherConfig::DEFAULT,
+            MatcherConfig::BEST,
+        ] {
             roundtrip_tokens(&data, c);
         }
     }
@@ -274,7 +278,7 @@ mod tests {
     #[test]
     fn window_boundary() {
         let mut data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
-        data.extend(std::iter::repeat(0).take(WINDOW_SIZE));
+        data.extend(std::iter::repeat_n(0, WINDOW_SIZE));
         data.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
         roundtrip_tokens(&data, MatcherConfig::BEST);
     }

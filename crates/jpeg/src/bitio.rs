@@ -190,8 +190,7 @@ impl<'a> ScanReader<'a> {
                 return Ok(false); // mixed bits: not padding
             };
             let next = p.byte + if cur == 0xFF { 2 } else { 1 };
-            if self.data.get(next) == Some(&0xFF)
-                && self.data.get(next + 1) == Some(&(0xD0 + idx))
+            if self.data.get(next) == Some(&0xFF) && self.data.get(next + 1) == Some(&(0xD0 + idx))
             {
                 // Commit: consume padding and the marker.
                 for _ in 0..padlen {

@@ -35,14 +35,18 @@ impl Plane {
     #[inline]
     pub fn block(&self, bx: usize, by: usize) -> &CoefBlock {
         let off = (by * self.blocks_w + bx) * 64;
-        self.data[off..off + 64].try_into().expect("64 coefficients")
+        self.data[off..off + 64]
+            .try_into()
+            .expect("64 coefficients")
     }
 
     /// Mutably borrow the block at (`bx`, `by`).
     #[inline]
     pub fn block_mut(&mut self, bx: usize, by: usize) -> &mut CoefBlock {
         let off = (by * self.blocks_w + bx) * 64;
-        (&mut self.data[off..off + 64]).try_into().expect("64 coefficients")
+        (&mut self.data[off..off + 64])
+            .try_into()
+            .expect("64 coefficients")
     }
 
     /// Total number of blocks.

@@ -16,9 +16,7 @@
 use crate::coeffs::CoefPlanes;
 use crate::dct::fdct_f32;
 use crate::error::JpegError;
-use crate::huffman::{
-    std_ac_chroma, std_ac_luma, std_dc_chroma, std_dc_luma, HuffTable,
-};
+use crate::huffman::{std_ac_chroma, std_ac_luma, std_dc_chroma, std_dc_luma, HuffTable};
 use crate::parser::parse;
 use crate::quant::{chroma_table, luma_table};
 use crate::scan::{encode_scan_whole, EncodeParams};
@@ -222,6 +220,7 @@ fn push_segment(out: &mut Vec<u8>, marker: u8, payload: &[u8]) {
 }
 
 /// Tally Huffman symbol frequencies for optimal-table construction.
+#[allow(clippy::too_many_arguments)] // one-shot table-builder helper; a params struct would be used once
 fn tally_symbols(
     planes: &CoefPlanes,
     comp_of_plane: &[usize],
@@ -313,9 +312,7 @@ pub fn encode_jpeg(img: &Image, opts: &EncodeOptions) -> Result<Vec<u8>, JpegErr
         push_segment(
             &mut out,
             0xE0,
-            &[
-                b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0,
-            ],
+            &[b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0],
         );
     }
     if let Some(c) = &opts.comment {
@@ -359,41 +356,49 @@ pub fn encode_jpeg(img: &Image, opts: &EncodeOptions) -> Result<Vec<u8>, JpegErr
     let coefs = CoefPlanes { planes };
 
     // Huffman tables: standard or optimal.
-    let (dc0, ac0, dc1, ac1): (HuffTable, HuffTable, HuffTable, HuffTable) =
-        if opts.optimize_tables {
-            let mut dc_freq = [[0u32; 256]; 2];
-            let mut ac_freq = [[0u32; 256]; 2];
-            let layout: Vec<(usize, usize, usize)> = (0..coefs.planes.len())
-                .map(|pi| {
-                    if pi == 0 {
-                        (pi, lh as usize, lv as usize)
-                    } else {
-                        (pi, 1, 1)
-                    }
-                })
-                .collect();
-            let interval = opts.restart_interval as u32;
-            tally_symbols(
-                &coefs,
-                &(0..coefs.planes.len()).collect::<Vec<_>>(),
-                &mut dc_freq,
-                &mut ac_freq,
-                |mcu| interval > 0 && mcu > 0 && mcu % interval == 0,
-                &layout,
-                mcus_x,
-                mcu_count,
-            );
-            let dc0 = HuffTable::optimal(&dc_freq[0])?;
-            let ac0 = HuffTable::optimal(&ac_freq[0])?;
-            let (dc1, ac1) = if is_gray {
-                (std_dc_chroma(), std_ac_chroma())
-            } else {
-                (HuffTable::optimal(&dc_freq[1])?, HuffTable::optimal(&ac_freq[1])?)
-            };
-            (dc0, ac0, dc1, ac1)
+    let (dc0, ac0, dc1, ac1): (HuffTable, HuffTable, HuffTable, HuffTable) = if opts.optimize_tables
+    {
+        let mut dc_freq = [[0u32; 256]; 2];
+        let mut ac_freq = [[0u32; 256]; 2];
+        let layout: Vec<(usize, usize, usize)> = (0..coefs.planes.len())
+            .map(|pi| {
+                if pi == 0 {
+                    (pi, lh as usize, lv as usize)
+                } else {
+                    (pi, 1, 1)
+                }
+            })
+            .collect();
+        let interval = opts.restart_interval as u32;
+        tally_symbols(
+            &coefs,
+            &(0..coefs.planes.len()).collect::<Vec<_>>(),
+            &mut dc_freq,
+            &mut ac_freq,
+            |mcu| interval > 0 && mcu > 0 && mcu % interval == 0,
+            &layout,
+            mcus_x,
+            mcu_count,
+        );
+        let dc0 = HuffTable::optimal(&dc_freq[0])?;
+        let ac0 = HuffTable::optimal(&ac_freq[0])?;
+        let (dc1, ac1) = if is_gray {
+            (std_dc_chroma(), std_ac_chroma())
         } else {
-            (std_dc_luma(), std_ac_luma(), std_dc_chroma(), std_ac_chroma())
+            (
+                HuffTable::optimal(&dc_freq[1])?,
+                HuffTable::optimal(&ac_freq[1])?,
+            )
         };
+        (dc0, ac0, dc1, ac1)
+    } else {
+        (
+            std_dc_luma(),
+            std_ac_luma(),
+            std_dc_chroma(),
+            std_ac_chroma(),
+        )
+    };
 
     // DHT segment(s).
     let mut dht = Vec::new();

@@ -101,7 +101,10 @@ impl HuffTable {
     /// Decode one symbol by pulling bits MSB-first from `next_bit`
     /// (Annex F.2.2.3 DECODE procedure).
     #[inline]
-    pub fn decode<E, F: FnMut() -> Result<bool, E>>(&self, mut next_bit: F) -> Result<Result<u8, JpegError>, E> {
+    pub fn decode<E, F: FnMut() -> Result<bool, E>>(
+        &self,
+        mut next_bit: F,
+    ) -> Result<Result<u8, JpegError>, E> {
         let mut code = 0i32;
         for l in 1..=16usize {
             code = (code << 1) | next_bit()? as i32;
@@ -277,7 +280,12 @@ mod tests {
 
     #[test]
     fn standard_tables_build() {
-        for t in [std_dc_luma(), std_dc_chroma(), std_ac_luma(), std_ac_chroma()] {
+        for t in [
+            std_dc_luma(),
+            std_dc_chroma(),
+            std_ac_luma(),
+            std_ac_chroma(),
+        ] {
             assert!(!t.values.is_empty());
         }
     }
@@ -319,7 +327,10 @@ mod tests {
         let t = std_dc_luma();
         // 16 one-bits is not a valid code in the DC luma table.
         let bits = [1u8; 16];
-        assert_eq!(decode_with_bits(&t, &bits).unwrap_err(), JpegError::BadScanCode);
+        assert_eq!(
+            decode_with_bits(&t, &bits).unwrap_err(),
+            JpegError::BadScanCode
+        );
     }
 
     #[test]
@@ -369,7 +380,12 @@ mod tests {
         freqs[3] = 5;
         freqs[9] = 5;
         let t = HuffTable::optimal(&freqs).unwrap();
-        let max_len = t.values.iter().map(|&s| t.encode(s).unwrap().1).max().unwrap();
+        let max_len = t
+            .values
+            .iter()
+            .map(|&s| t.encode(s).unwrap().1)
+            .max()
+            .unwrap();
         for &s in &t.values {
             let (code, len) = t.encode(s).unwrap();
             if len == max_len {

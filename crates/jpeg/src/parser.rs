@@ -355,9 +355,10 @@ mod tests {
     /// Minimal 1-component 8x8 baseline JPEG header for tests.
     pub(crate) fn tiny_gray_header() -> Vec<u8> {
         let mut v = vec![0xFF, 0xD8]; // SOI
+
         // DQT: all-16 table, id 0.
         v.extend_from_slice(&[0xFF, 0xDB, 0x00, 0x43, 0x00]);
-        v.extend(std::iter::repeat(16u8).take(64));
+        v.extend(std::iter::repeat_n(16u8, 64));
         // DHT DC0: the standard luma DC table.
         let t = crate::huffman::std_dc_luma();
         let frag = t.to_dht_fragment();
@@ -422,8 +423,8 @@ mod tests {
         // SOF with 4 components.
         let mut v = vec![0xFF, 0xD8];
         v.extend_from_slice(&[
-            0xFF, 0xC0, 0x00, 0x14, 0x08, 0x00, 0x08, 0x00, 0x08, 0x04,
-            0x01, 0x11, 0x00, 0x02, 0x11, 0x00, 0x03, 0x11, 0x00, 0x04, 0x11, 0x00,
+            0xFF, 0xC0, 0x00, 0x14, 0x08, 0x00, 0x08, 0x00, 0x08, 0x04, 0x01, 0x11, 0x00, 0x02,
+            0x11, 0x00, 0x03, 0x11, 0x00, 0x04, 0x11, 0x00,
         ]);
         assert_eq!(parse(&v).unwrap_err(), JpegError::FourColor);
     }
@@ -433,7 +434,10 @@ mod tests {
         let mut data = tiny_gray_header();
         let sof = data.windows(2).position(|w| w == [0xFF, 0xC0]).unwrap();
         data[sof + 4] = 12; // precision byte
-        assert_eq!(parse(&data).unwrap_err(), JpegError::UnsupportedPrecision(12));
+        assert_eq!(
+            parse(&data).unwrap_err(),
+            JpegError::UnsupportedPrecision(12)
+        );
     }
 
     #[test]

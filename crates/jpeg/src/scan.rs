@@ -110,7 +110,7 @@ fn is_edge_zigzag(k: usize) -> bool {
     // Zigzag index k maps to raster r; row 0 or column 0 (excluding DC)
     // are the 7x1/1x7 "edge" coefficients.
     let r = ZIGZAG[k];
-    r / 8 == 0 || r % 8 == 0
+    r / 8 == 0 || r.is_multiple_of(8)
 }
 
 struct BlockDecode<'t> {
@@ -345,7 +345,10 @@ impl<'t> BlockHuffEncoder<'t> {
         if s > 11 {
             return Err(JpegError::DcOutOfRange);
         }
-        let (code, len) = self.dc.encode(s).ok_or(JpegError::BadHuffman("DC symbol uncodable"))?;
+        let (code, len) = self
+            .dc
+            .encode(s)
+            .ok_or(JpegError::BadHuffman("DC symbol uncodable"))?;
         w.put_bits(code as u32, len);
         if s > 0 {
             let v = if diff < 0 { diff + (1 << s) - 1 } else { diff };
@@ -360,7 +363,10 @@ impl<'t> BlockHuffEncoder<'t> {
                 continue;
             }
             while run > 15 {
-                let (code, len) = self.ac.encode(0xF0).ok_or(JpegError::BadHuffman("ZRL uncodable"))?;
+                let (code, len) = self
+                    .ac
+                    .encode(0xF0)
+                    .ok_or(JpegError::BadHuffman("ZRL uncodable"))?;
                 w.put_bits(code as u32, len);
                 run -= 16;
             }
@@ -379,7 +385,10 @@ impl<'t> BlockHuffEncoder<'t> {
             run = 0;
         }
         if run > 0 {
-            let (code, len) = self.ac.encode(0x00).ok_or(JpegError::BadHuffman("EOB uncodable"))?;
+            let (code, len) = self
+                .ac
+                .encode(0x00)
+                .ok_or(JpegError::BadHuffman("EOB uncodable"))?;
             w.put_bits(code as u32, len);
         }
         Ok(())
@@ -527,6 +536,7 @@ mod tests {
         assert!(is_edge_zigzag(1));
         assert!(is_edge_zigzag(2)); // raster 8, column 0
         assert!(!is_edge_zigzag(4)); // raster 9
+
         // Count: 14 edge positions among 1..=63.
         let edges = (1..64).filter(|&k| is_edge_zigzag(k)).count();
         assert_eq!(edges, 14);

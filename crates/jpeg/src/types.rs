@@ -3,9 +3,9 @@
 /// Zigzag scan order: `ZIGZAG[k]` is the raster index (row*8+col) of the
 /// k-th coefficient in zigzag order (ITU-T T.81 Figure 5).
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Inverse zigzag: `ZIGZAG_INV[raster] = zigzag position`.
@@ -143,9 +143,30 @@ mod tests {
             width: 64,
             height: 64,
             components: vec![
-                Component { id: 1, h: 2, v: 2, tq: 0, blocks_w: 8, blocks_h: 8 },
-                Component { id: 2, h: 1, v: 1, tq: 1, blocks_w: 4, blocks_h: 4 },
-                Component { id: 3, h: 1, v: 1, tq: 1, blocks_w: 4, blocks_h: 4 },
+                Component {
+                    id: 1,
+                    h: 2,
+                    v: 2,
+                    tq: 0,
+                    blocks_w: 8,
+                    blocks_h: 8,
+                },
+                Component {
+                    id: 2,
+                    h: 1,
+                    v: 1,
+                    tq: 1,
+                    blocks_w: 4,
+                    blocks_h: 4,
+                },
+                Component {
+                    id: 3,
+                    h: 1,
+                    v: 1,
+                    tq: 1,
+                    blocks_w: 4,
+                    blocks_h: 4,
+                },
             ],
             mcus_x: 4,
             mcus_y: 4,

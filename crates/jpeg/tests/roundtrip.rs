@@ -3,8 +3,8 @@
 //! via handover states (paper §3.4).
 
 use lepton_jpeg::encoder::{encode_jpeg, EncodeOptions, Image, PixelData, Subsampling};
-use lepton_jpeg::scan::{decode_scan, encode_scan, encode_scan_whole, EncodeParams, Handover};
 use lepton_jpeg::parser::parse;
+use lepton_jpeg::scan::{decode_scan, encode_scan, encode_scan_whole, EncodeParams};
 
 /// Deterministic pseudo-random bytes (xorshift64*).
 fn prng_bytes(seed: u64, n: usize) -> Vec<u8> {
@@ -126,7 +126,10 @@ fn assert_segmented_roundtrip(jpg: &[u8], nseg: u32) {
         cat.extend(bytes);
     }
     let original_scan = &jpg[parsed.header_len..sd.scan_end];
-    assert_eq!(cat, original_scan, "segmented scan differs ({nseg} segments)");
+    assert_eq!(
+        cat, original_scan,
+        "segmented scan differs ({nseg} segments)"
+    );
 }
 
 #[test]
@@ -331,8 +334,11 @@ fn high_detail_image_roundtrip() {
 #[test]
 fn wide_and_tall_images() {
     for (w, h) in [(8, 256), (256, 8), (1, 64), (64, 1), (9, 9)] {
-        let jpg = encode_jpeg(&photo_like_gray(w, h, (w * h) as u64), &EncodeOptions::default())
-            .unwrap();
+        let jpg = encode_jpeg(
+            &photo_like_gray(w, h, (w * h) as u64),
+            &EncodeOptions::default(),
+        )
+        .unwrap();
         assert_whole_roundtrip(&jpg);
     }
 }

@@ -96,7 +96,11 @@ pub fn encode_tree(enc: &mut BoolEncoder, v: u32, bits: usize, tree: &mut [Branc
 }
 
 /// Decode a value encoded with [`encode_tree`].
-pub fn decode_tree<S: ByteSource>(dec: &mut BoolDecoder<S>, bits: usize, tree: &mut [Branch]) -> u32 {
+pub fn decode_tree<S: ByteSource>(
+    dec: &mut BoolDecoder<S>,
+    bits: usize,
+    tree: &mut [Branch],
+) -> u32 {
     debug_assert!(tree.len() >= (1 << bits));
     let mut node = 1usize;
     let mut v = 0u32;
@@ -165,7 +169,9 @@ mod tests {
     fn skewed_values_compress() {
         // Mostly zeros: adaptive exp bins should drive the cost far
         // below 1 bit per value.
-        let vals: Vec<i32> = (0..10_000).map(|i| if i % 50 == 0 { 3 } else { 0 }).collect();
+        let vals: Vec<i32> = (0..10_000)
+            .map(|i| if i % 50 == 0 { 3 } else { 0 })
+            .collect();
         let mut enc = BoolEncoder::new();
         let mut exp = vec![Branch::new(); 11];
         let mut sign = Branch::new();

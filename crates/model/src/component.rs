@@ -176,12 +176,7 @@ impl ComponentModel {
     }
 
     /// Encode one block (must contain in-range baseline coefficients).
-    pub fn encode_block(
-        &mut self,
-        enc: &mut BoolEncoder,
-        block: &CoefBlock,
-        nbr: &BlockNeighbors,
-    ) {
+    pub fn encode_block(&mut self, enc: &mut BoolEncoder, block: &CoefBlock, nbr: &BlockNeighbors) {
         // 1. Interior nonzero count.
         let mark = enc.bytes_so_far() as u64;
         let nz = count_nz77(block);

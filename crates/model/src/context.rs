@@ -16,7 +16,7 @@ pub const INTERIOR_ZZ: [usize; 49] = {
     let mut k = 1;
     while k < 64 {
         let r = ZIGZAG[k];
-        if r / 8 != 0 && r % 8 != 0 {
+        if r / 8 != 0 && !r.is_multiple_of(8) {
             out[n] = r;
             n += 1;
         }
@@ -178,7 +178,9 @@ impl BlockNeighbors<'_> {
     pub fn weighted_abs(&self, raster: usize) -> u32 {
         let a = self.above.map_or(0, |b| b[raster].unsigned_abs() as u32);
         let l = self.left.map_or(0, |b| b[raster].unsigned_abs() as u32);
-        let al = self.above_left.map_or(0, |b| b[raster].unsigned_abs() as u32);
+        let al = self
+            .above_left
+            .map_or(0, |b| b[raster].unsigned_abs() as u32);
         (13 * a + 13 * l + 6 * al) / 32
     }
 
@@ -208,12 +210,7 @@ impl BlockNeighbors<'_> {
 /// Derived from pixel continuity `P_above(x,7) ≈ P(x,0)`:
 /// `F̄(u,0) = (Σ_v M[7][v]·A(u,v) − Σ_{v≥1} M[0][v]·F(u,v)) / M[0][0]`,
 /// all in dequantized units. Returns the *quantized* prediction.
-pub fn lakhani_row(
-    above_deq: &[i32; 64],
-    cur_deq: &[i32; 64],
-    u: usize,
-    quant: &[u16; 64],
-) -> i32 {
+pub fn lakhani_row(above_deq: &[i32; 64], cur_deq: &[i32; 64], u: usize, quant: &[u16; 64]) -> i32 {
     debug_assert!((1..8).contains(&u));
     let mut num = 0i64;
     for v in 0..8 {
@@ -229,12 +226,7 @@ pub fn lakhani_row(
 
 /// Lakhani prediction of a left-column coefficient `F(0,v)` (raster
 /// `v*8`) from the left block and the current interior.
-pub fn lakhani_col(
-    left_deq: &[i32; 64],
-    cur_deq: &[i32; 64],
-    v: usize,
-    quant: &[u16; 64],
-) -> i32 {
+pub fn lakhani_col(left_deq: &[i32; 64], cur_deq: &[i32; 64], v: usize, quant: &[u16; 64]) -> i32 {
     debug_assert!((1..8).contains(&v));
     let mut num = 0i64;
     for u in 0..8 {
@@ -260,7 +252,7 @@ fn div_round(n: i64, d: i64) -> i64 {
 
 /// Per-pixel DC contribution of one dequantized DC unit in the
 /// fixed-point IDCT: `(2896 · 2896) >> 13`.
-const DC_PIXEL_GAIN: i64 = ((2896i64 * 2896) >> SCALE_BITS) as i64;
+const DC_PIXEL_GAIN: i64 = (2896i64 * 2896) >> SCALE_BITS;
 
 /// Outcome of DC prediction: the predicted quantized DC value and a
 /// confidence bucket derived from prediction spread.
@@ -301,6 +293,7 @@ pub fn predict_dc_gradient(
             let a0 = a.rows[1][x]; // row 7 (adjacent)
             let r0 = ac_px[x]; // row 0
             let r1 = ac_px[8 + x]; // row 1
+
             // Solve 3(r0+dc) = 3a0 − a1 + (r1+dc) … wait: r1 also shifts
             // by dc, so: 3(r0+dc) = 3a0 − a1 + (r1+dc) ⇒
             // 2dc = 3a0 − a1 + r1 − 3r0.
@@ -362,7 +355,11 @@ pub fn predict_dc_neighbor_avg(
     };
     DcPrediction {
         value,
-        confidence: if above.is_some() || left.is_some() { 6 } else { 0 },
+        confidence: if above.is_some() || left.is_some() {
+            6
+        } else {
+            0
+        },
         sign_ctx: sign_ctx(value),
     }
 }

@@ -8,8 +8,8 @@
 //! the index math to prove no input can land outside the grid.
 
 use lepton_arith::{BoolDecoder, BoolEncoder, Branch, SliceSource};
-use lepton_model::coef_coder::{decode_tree, decode_value, encode_tree, encode_value};
 use lepton_model::bins::{log159_bucket, magnitude_bucket, BinGrid};
+use lepton_model::coef_coder::{decode_tree, decode_value, encode_tree, encode_value};
 use proptest::prelude::*;
 
 const MAX_EXP: usize = 11; // JPEG coefficients fit i16 after dequant bounds

@@ -278,7 +278,10 @@ mod tests {
     fn status_wire_rejects_gaps_and_overflow() {
         assert_eq!(Status::from_wire(5), None);
         assert_eq!(Status::from_wire(0x0f), None);
-        assert_eq!(Status::from_wire(REJECT_BASE + EXIT_CODES.len() as u8), None);
+        assert_eq!(
+            Status::from_wire(REJECT_BASE + EXIT_CODES.len() as u8),
+            None
+        );
         assert_eq!(Status::from_wire(0xff), None);
     }
 

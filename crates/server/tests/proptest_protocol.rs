@@ -1,9 +1,7 @@
 //! Property tests for the wire protocol: every decoder total over
 //! arbitrary bytes, every encoder inverted by its decoder.
 
-use lepton_server::protocol::{
-    read_bounded, read_request, Op, StatsReply, Status, EXIT_CODES,
-};
+use lepton_server::protocol::{read_bounded, read_request, Op, StatsReply, Status, EXIT_CODES};
 use proptest::prelude::*;
 
 proptest! {

@@ -4,7 +4,7 @@
 
 use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
 use lepton_server::{
-    client, serve, ClientError, Destination, Endpoint, Op, Router, ServiceConfig, Status, Strategy,
+    client, serve, ClientError, Destination, Endpoint, Router, ServiceConfig, Status, Strategy,
 };
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -149,7 +149,13 @@ fn shutoff_switch_refuses_compress_but_serves_decompress() {
         client::decompress(handle.endpoint(), &lepton, TIMEOUT).unwrap(),
         jpeg
     );
-    assert_eq!(handle.metrics().shutoff_refusals.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(
+        handle
+            .metrics()
+            .shutoff_refusals
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
 
     // Disengage: service resumes within one request.
     std::fs::remove_file(&switch).unwrap();
@@ -278,7 +284,10 @@ fn router_outsources_when_local_is_saturated() {
     assert_eq!(lepton_core::decompress(&lepton).unwrap(), jpeg);
     assert!(dedicated.stats().total_served >= 1);
     assert_eq!(
-        router.metrics.outsourced.load(std::sync::atomic::Ordering::Relaxed),
+        router
+            .metrics
+            .outsourced
+            .load(std::sync::atomic::Ordering::Relaxed),
         1
     );
 

@@ -75,9 +75,7 @@ impl VersionedCodec {
     /// Decompress, enforcing the build's acceptance window first — the
     /// check the incident tripped in both directions.
     pub fn decompress(&self, container: &[u8]) -> Result<Vec<u8>, LeptonError> {
-        let v = *container
-            .get(VERSION_OFFSET)
-            .ok_or(LeptonError::BadMagic)?;
+        let v = *container.get(VERSION_OFFSET).ok_or(LeptonError::BadMagic)?;
         if !self.build.can_decode(v) {
             return Err(LeptonError::UnsupportedVersion(v));
         }
@@ -321,10 +319,7 @@ mod tests {
             reg.deploy_safe(Some("d4e5f6")),
             DeployOutcome::UnknownHash(_)
         ));
-        assert_eq!(
-            reg.deploy_safe(Some("090807")),
-            DeployOutcome::Deployed(v3)
-        );
+        assert_eq!(reg.deploy_safe(Some("090807")), DeployOutcome::Deployed(v3));
     }
 
     #[test]
@@ -377,7 +372,10 @@ mod tests {
             .iter()
             .filter(|c| stale.decompress(&c.container).is_ok())
             .count();
-        assert!(served_by_stale < chunks.len(), "stale servers NACK new files");
+        assert!(
+            served_by_stale < chunks.len(),
+            "stale servers NACK new files"
+        );
 
         // Second alarm: healthy servers cannot decode some files the
         // misconfigured servers *wrote* — here, v1 files under a

@@ -140,7 +140,9 @@ impl BlockStore {
         if self.chunks.read().contains_key(&key) {
             return key; // dedup
         }
-        self.metrics.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
 
         if let Some(net) = self.safety_net.lock().as_mut() {
             net.insert(key, data.to_vec());
@@ -161,7 +163,9 @@ impl BlockStore {
                 Err(e) => {
                     self.record_exit(ExitCode::classify(&e));
                     if matches!(e, LeptonError::RoundtripFailed) {
-                        self.metrics.roundtrip_failures.fetch_add(1, Ordering::Relaxed);
+                        self.metrics
+                            .roundtrip_failures
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     None
                 }
@@ -377,7 +381,10 @@ mod tests {
         assert_ne!(store.format_of(&key), Some(StoredFormat::Lepton));
         assert_eq!(store.get_chunk(&key).unwrap(), jpg);
         // Exit code accounting saw the shutdown.
-        assert!(store.exit_codes.lock().contains_key(&ExitCode::ServerShutdown));
+        assert!(store
+            .exit_codes
+            .lock()
+            .contains_key(&ExitCode::ServerShutdown));
         // And backfill converts it once re-enabled.
         store.set_shutoff(false);
         let (converted, saved) = store.backfill_pass();

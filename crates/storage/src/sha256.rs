@@ -100,6 +100,10 @@ impl Sha256 {
                 let block = self.buf;
                 self.compress(&block);
                 self.buf_len = 0;
+            } else {
+                // Buffer still partial: the tail-copy below must not
+                // run, it would reset `buf_len` and drop these bytes.
+                return;
             }
         }
         while data.len() >= 64 {
@@ -162,7 +166,9 @@ mod tests {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

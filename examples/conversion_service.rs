@@ -61,7 +61,10 @@ fn main() {
     };
     let photos: Vec<Vec<u8>> = (0..8).map(|s| clean_jpeg(&spec, 1000 + s)).collect();
 
-    println!("\nconverting {} uploads through the router...", photos.len());
+    println!(
+        "\nconverting {} uploads through the router...",
+        photos.len()
+    );
     let start = Instant::now();
     std::thread::scope(|scope| {
         let router = &router;
@@ -99,7 +102,10 @@ fn main() {
         );
     }
     let s = local.stats();
-    println!("local:            served {} (high water {})", s.total_served, s.high_water);
+    println!(
+        "local:            served {} (high water {})",
+        s.total_served, s.high_water
+    );
 
     // Load probes are first-class protocol citizens (the power-of-two
     // router uses them); so is liveness.

@@ -19,7 +19,7 @@ fn main() {
             policy,
             horizon: DAY / 2.0,
             blockservers: 24,
-        dedicated: 10,
+            dedicated: 10,
             workload: WorkloadConfig {
                 base_encode_rate: 9.0,
                 ..Default::default()
@@ -48,6 +48,9 @@ fn main() {
     );
     let samples = simulate_backfill(&cfg, 24.0, 100.0, 100.0);
     let peak = samples.iter().map(|s| s.power_kw).fold(0.0, f64::max);
-    let conv = samples.iter().map(|s| s.conversions_per_sec).fold(0.0, f64::max);
+    let conv = samples
+        .iter()
+        .map(|s| s.conversions_per_sec)
+        .fold(0.0, f64::max);
     println!("fleet peak: {peak:.0} kW, {conv:.0} conversions/s (paper: 278 kW, 5583/s)");
 }

@@ -40,10 +40,7 @@ fn main() {
     };
     println!("blank-field deploy resolves to: {} (!!)", accidental.hash);
 
-    let modern = VersionedCodec::new(
-        registry.qualified()[1].clone(),
-        CompressOptions::default(),
-    );
+    let modern = VersionedCodec::new(registry.qualified()[1].clone(), CompressOptions::default());
     let stale = VersionedCodec::new(accidental, CompressOptions::default());
 
     // Billions of files were uploaded during the two-hour window; here,
@@ -96,7 +93,9 @@ fn main() {
 
     for (chunk, jpeg) in stored.iter().zip(&photos) {
         assert_eq!(
-            &current.decompress(&chunk.container).expect("post-repair decode"),
+            &current
+                .decompress(&chunk.container)
+                .expect("post-repair decode"),
             jpeg,
             "byte-exact after migration"
         );

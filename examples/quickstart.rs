@@ -18,8 +18,8 @@ fn main() {
 
     // Compress. `verify: true` (default) runs the production admission
     // rule: the container is decompressed and compared before returning.
-    let (lepton, stats) = compress_with_stats(&jpeg, &CompressOptions::default())
-        .expect("baseline JPEG compresses");
+    let (lepton, stats) =
+        compress_with_stats(&jpeg, &CompressOptions::default()).expect("baseline JPEG compresses");
     println!(
         "lepton container: {} bytes ({:.1}% savings, {} thread segments)",
         lepton.len(),

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example streaming_chunks`
 
-use lepton::codec::{compress_chunked, decompress, decompress_streaming, CompressOptions};
 use lepton::codec::DecompressOptions;
+use lepton::codec::{compress_chunked, decompress, decompress_streaming, CompressOptions};
 use lepton::corpus::builder::{clean_jpeg, CorpusSpec};
 
 fn main() {
@@ -17,7 +17,11 @@ fn main() {
     };
     let jpeg = clean_jpeg(&spec, 99);
     let chunk_size = 64 << 10;
-    println!("JPEG of {} bytes, chunked at {} KiB", jpeg.len(), chunk_size >> 10);
+    println!(
+        "JPEG of {} bytes, chunked at {} KiB",
+        jpeg.len(),
+        chunk_size >> 10
+    );
 
     let chunks = compress_chunked(&jpeg, chunk_size, &CompressOptions::default())
         .expect("chunked compression");
@@ -44,10 +48,14 @@ fn main() {
     // Stream the first chunk: fragments arrive in order, early.
     let mut fragments = 0usize;
     let mut received = Vec::new();
-    decompress_streaming(&chunks[0], &DecompressOptions::default(), &mut |b: &[u8]| {
-        fragments += 1;
-        received.extend_from_slice(b);
-    })
+    decompress_streaming(
+        &chunks[0],
+        &DecompressOptions::default(),
+        &mut |b: &[u8]| {
+            fragments += 1;
+            received.extend_from_slice(b);
+        },
+    )
     .expect("streaming decode");
     assert_eq!(received, jpeg[..chunk_size.min(jpeg.len())]);
     println!("chunk 0 streamed in {fragments} fragments ✓");

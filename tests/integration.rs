@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full paper pipeline exercised
 //! end-to-end through the facade crate.
 
-use lepton::codec::{
-    compress, compress_chunked, decompress, CompressOptions, ThreadPolicy,
-};
+use lepton::codec::{compress, compress_chunked, decompress, CompressOptions, ThreadPolicy};
 use lepton::corpus::builder::{clean_jpeg, CorpusSpec};
 use lepton::corpus::{Corpus, CorpusSpec as Spec2};
 use lepton::storage::{BlockStore, StoredFormat};
@@ -39,7 +37,13 @@ fn corpus_to_storage_to_bytes() {
         );
     }
     // Clean JPEGs landed as Lepton; savings accrued.
-    assert!(store.metrics.lepton_chunks.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    assert!(
+        store
+            .metrics
+            .lepton_chunks
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
     assert!(store.metrics.savings() > 0.05);
 }
 
@@ -82,7 +86,8 @@ fn determinism_across_thread_counts() {
 #[test]
 fn chunked_equals_whole_file() {
     let jpg = clean_jpeg(&spec(512), 6);
-    let whole = decompress(&compress(&jpg, &CompressOptions::default()).expect("whole")).expect("dec");
+    let whole =
+        decompress(&compress(&jpg, &CompressOptions::default()).expect("whole")).expect("dec");
     let chunks = compress_chunked(&jpg, 32 << 10, &CompressOptions::default()).expect("chunked");
     let mut reassembled = Vec::new();
     for c in &chunks {

@@ -38,7 +38,10 @@ fn timed_out_decode_clears_through_requeue_pipeline() {
     let overloaded = serve(&tcp_any(), ServiceConfig::default()).unwrap();
     let err = client::decompress(overloaded.endpoint(), &container, Duration::from_millis(1))
         .expect_err("1 ms deadline must trip");
-    assert!(err.is_timeout(), "classified as the §6.6 condition: {err:?}");
+    assert!(
+        err.is_timeout(),
+        "classified as the §6.6 condition: {err:?}"
+    );
 
     // The pipeline: report, then drain against a healthy cluster.
     let healthy = serve(&tcp_any(), ServiceConfig::default()).unwrap();
@@ -63,10 +66,8 @@ fn timed_out_decode_clears_through_requeue_pipeline() {
 /// Lepton service with no operator action.
 #[test]
 fn shutoff_degrades_to_deflate_then_recovers() {
-    let switch = std::env::temp_dir().join(format!(
-        "lepton-pipeline-shutoff-{}",
-        std::process::id()
-    ));
+    let switch =
+        std::env::temp_dir().join(format!("lepton-pipeline-shutoff-{}", std::process::id()));
     let _ = std::fs::remove_file(&switch);
     let service = serve(
         &tcp_any(),

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of criterion the workspace's `benches/*` use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input),
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs
+//! `sample_size` timed samples after one warm-up call and reports the
+//! median per-iteration time (plus derived throughput) on stdout.
+//! There are no HTML reports, no outlier analysis, and no baseline
+//! comparisons — rerun and diff by eye, or replace this shim with real
+//! criterion when the registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Unit used to convert measured time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Labels a benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name, sample size, and throughput.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration, enabling rate output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Ends the group. (A no-op here; kept for API parity.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{}: no samples", self.name, id.label);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibps = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mibps:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / median.as_secs_f64();
+                format!("  {eps:10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: median {:>12?} over {} samples{rate}",
+            self.name,
+            id.label,
+            median,
+            sorted.len()
+        );
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` (after one warm-up call),
+    /// recording one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Returns its argument unoptimized (mirrors `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group (mirrors
+/// criterion's macro of the same name; only the simple
+/// `criterion_group!(name, fn, ...)` form is supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main()` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("str_id", |b| b.iter(|| 1 + 1));
+        g.bench_function(BenchmarkId::new("param", 8), |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("input", 4), &4u32, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the two pieces the workspace's service layer uses:
+//!
+//! * [`channel::bounded`] — a blocking, cloneable-on-both-ends MPMC
+//!   channel with a fixed capacity, used as a connection-permit
+//!   semaphore. Built on `Mutex<VecDeque>` + `Condvar`; correctness
+//!   over microbenchmark throughput.
+//! * [`sync::WaitGroup`] — clone to register a participant, drop to
+//!   leave, [`wait`](sync::WaitGroup::wait) to block until all other
+//!   participants have left.
+//!
+//! Extend the shim if a future PR needs `select!`, scoped threads, or
+//! the lock-free queues.
+
+/// Multi-producer multi-consumer channels (subset of
+/// `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+        cap: usize,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages;
+    /// sends block while it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::with_capacity(cap),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`. Fails if
+        /// all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.items.len() < self.shared.cap {
+                    st.items.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.not_full.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half; cloneable (MPMC, each message delivered
+    /// to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            match st.items.pop_front() {
+                Some(v) => {
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+/// Thread-coordination utilities (subset of `crossbeam::sync`).
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Blocks one thread until a set of peers has finished.
+    ///
+    /// Each clone registers a participant; dropping a clone
+    /// deregisters it. [`wait`](WaitGroup::wait) consumes this handle
+    /// and blocks until every *other* participant has dropped.
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    impl WaitGroup {
+        /// Creates a group with one participant (this handle).
+        pub fn new() -> Self {
+            WaitGroup {
+                inner: Arc::new(Inner {
+                    count: Mutex::new(1),
+                    zero: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drops this handle and blocks until the participant count
+        /// reaches zero.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self); // removes our own registration
+            let mut n = inner.count.lock().unwrap();
+            while *n > 0 {
+                n = inner.zero.wait(n).unwrap();
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().unwrap() += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut n = self.inner.count.lock().unwrap();
+            *n -= 1;
+            if *n == 0 {
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::sync::WaitGroup;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_channel_as_semaphore() {
+        let (tx, rx) = channel::bounded::<()>(2);
+        tx.send(()).unwrap();
+        tx.send(()).unwrap();
+        assert!(rx.try_recv().is_ok());
+        tx.send(()).unwrap();
+        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_ok());
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_recv() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn waitgroup_waits_for_all_clones() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let guard = wg.clone();
+            let done = Arc::clone(&done);
+            threads.push(std::thread::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(guard);
+            }));
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`, [`any`](arbitrary::any), range and tuple strategies,
+//! [`vec`](collection::vec())/[`btree_map`](collection::btree_map()), [`Just`](strategy::Just),
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the
+//!   ordinary `assert!` panic message (each case is deterministic, so a
+//!   failure reproduces exactly on re-run) but is not minimized.
+//! * **Deterministic seeding.** The RNG seed is derived from the test's
+//!   module path and name, so every run and every machine explores the
+//!   same cases. There is no `PROPTEST_CASES` env or failure
+//!   persistence file.
+//! * **Mild edge biasing** stands in for proptest's sophisticated
+//!   value distribution: integer strategies return boundary values
+//!   (0, 1, MAX) a fraction of the time.
+//!
+//! Only what the workspace uses is implemented; extend the shim if a
+//! future PR needs `prop_filter`, `prop_flat_map`, regex strategies,
+//! etc.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test body.
+///
+/// Maps to a plain `assert!`; the panic aborts the failing case with
+/// the formatted message. No shrinking is attempted.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test body (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test body (plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type. Weighted variants (`3 => strat`) are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+///         prop_assert_eq!(decode(&encode(&bytes)), bytes);
+///     }
+/// }
+/// ```
+///
+/// Each declared function runs `cases` deterministic random cases; the
+/// strategy expressions are re-evaluated per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                // Bodies may early-exit a case with `return Ok(())`
+                // (real proptest runs them in a Result-returning
+                // closure), so ours does too. `prop_assert*` panic
+                // instead of returning Err; Err is therefore unused
+                // but kept for source compatibility.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("proptest case failed: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..17, b in 1u16..=65535, flag in any::<bool>()) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b >= 1);
+            prop_assert_ne!(flag, !flag);
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_parses(x in any::<u32>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples() {
+        let strat = (1u8..=4, 0u32..10).prop_map(|(a, b)| a as u32 * 100 + b);
+        let mut rng = TestRng::deterministic("prop_map_and_tuples");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((100..=499).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_cover_all_arms() {
+        let strat = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn btree_map_sizes() {
+        let strat = crate::collection::btree_map(0u32..1000, any::<bool>(), 0..6);
+        let mut rng = TestRng::deterministic("btree");
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng).len() < 6);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of `rand` the workspace uses: the [`Rng`] and
+//! [`SeedableRng`] traits, [`rngs::StdRng`], and
+//! [`seq::SliceRandom`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic for a given seed on every platform, which
+//! is exactly what the corpus builder and cluster simulator need for
+//! reproducible figures. It does **not** promise the same byte stream
+//! as the real `rand::rngs::StdRng` (ChaCha12); seeds are stable
+//! within this workspace only.
+//!
+//! Only the methods the workspace calls are provided; extend the shim
+//! if a future PR needs more (`thread_rng`, distributions, weighted
+//! choice, ...).
+
+/// Core trait: a source of uniformly random `u64`s plus the derived
+/// sampling helpers the workspace uses.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Extension trait with the typed sampling helpers (`gen`, `gen_range`,
+/// `gen_bool`). Mirrors `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its full uniform range.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable from their full range via [`Rng::gen`]. Mirrors
+/// `rand::distributions::Standard`.
+pub trait Standard {
+    /// Draws one uniformly random value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        std::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// Ranges sampleable via [`Rng::gen_range`]. Mirrors
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics if empty.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+impl_range_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_range_float {
+    // The uniform draw must happen at the target type's own mantissa
+    // width: computing it in f64 and casting down can round up to
+    // exactly 1.0, which would let a half-open range return its
+    // excluded upper bound.
+    ($($t:ty => $shift:expr),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = (rng.next_u64() >> $shift) as $t
+                    * (1.0 / (1u64 << (64 - $shift)) as $t);
+                let v = self.start + (self.end - self.start) * u;
+                // Rounding in the multiply-add can still land exactly on
+                // `end`; fold that sliver back to keep the range half-open.
+                if v < self.end { v } else { self.start }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = (rng.next_u64() >> $shift) as $t
+                    * (1.0 / (1u64 << (64 - $shift)) as $t);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+impl_range_float!(f32 => 40, f64 => 11);
+
+/// RNGs constructible from a seed. Mirrors `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The per-RNG seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the RNG from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Named RNG types. Mirrors `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// Deterministic xoshiro256++ generator standing in for
+    /// `rand::rngs::StdRng`. Same seed ⇒ same stream, on every
+    /// platform, forever — the property the corpus and simulator rely
+    /// on. Not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro requires a nonzero state; remix through SplitMix64
+            // if a caller hands us an all-zero seed.
+            if s == [0; 4] {
+                let mut sm = SplitMix64 { state: 0 };
+                for w in &mut s {
+                    *w = sm.next();
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers. Mirrors `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait for random slice access. Mirrors
+    /// `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Returns an iterator over `amount` distinct random elements
+        /// (fewer if the slice is shorter).
+        fn choose_multiple<R: RngCore>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn choose_multiple<R: RngCore>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(amount.min(self.len()));
+            idx.into_iter()
+                .map(|i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn choose_and_choose_multiple() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = [10, 20, 30, 40];
+        assert!(pool.choose(&mut rng).is_some());
+        let picked: Vec<&i32> = pool.choose_multiple(&mut rng, 2).collect();
+        assert_eq!(picked.len(), 2);
+        assert_ne!(picked[0], picked[1]);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!(empty.choose_multiple(&mut rng, 3).count(), 0);
+    }
+}
