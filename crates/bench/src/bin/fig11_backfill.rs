@@ -1,6 +1,7 @@
 //! Figure 11: backfill fleet power and conversion rate across an
 //! outage, plus the §5.6.1 economics.
 
+use lepton_bench::json::{emit, Json};
 use lepton_bench::{bar, header};
 use lepton_cluster::backfill::{simulate_backfill, BackfillConfig, Economics};
 
@@ -45,4 +46,15 @@ fn main() {
         images
     );
     println!("  TiB saved per machine-yr:{:>10.1} (paper: 58.8)", tib);
+    emit(
+        "fig11_backfill",
+        [
+            ("peak_power_kw", Json::from(peak)),
+            ("outage_power_kw", Json::from(during)),
+            ("conversions_per_kwh", Json::from(eco.conversions_per_kwh)),
+            ("gib_saved_per_kwh", Json::from(eco.gib_saved_per_kwh())),
+            ("images_per_machine_year", Json::from(images)),
+            ("tib_saved_per_machine_year", Json::from(tib)),
+        ],
+    );
 }

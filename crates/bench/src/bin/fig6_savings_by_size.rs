@@ -1,5 +1,6 @@
 //! Figure 6: compression savings vs file size (uniformity claim).
 
+use lepton_bench::json::{emit, Json};
 use lepton_bench::{bench_file_count, header};
 use lepton_core::{compress, CompressOptions};
 use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
@@ -27,6 +28,7 @@ fn main() {
     points.sort_by_key(|p| p.0);
     // Bucket by size decile and show mean savings per bucket.
     println!("{:>12} {:>10} {:>8}", "size bucket", "files", "savings");
+    let mut buckets = Vec::new();
     for chunk in points.chunks(points.len().div_ceil(8).max(1)) {
         let lo = chunk.first().expect("nonempty").0;
         let hi = chunk.last().expect("nonempty").0;
@@ -38,6 +40,21 @@ fn main() {
             chunk.len(),
             mean
         );
+        buckets.push(Json::obj([
+            ("lo_bytes", Json::from(lo)),
+            ("hi_bytes", Json::from(hi)),
+            ("files", Json::from(chunk.len())),
+            ("savings_pct", Json::from(mean)),
+        ]));
     }
     println!("\npaper shape: a flat band (~20-25%) across sizes, no size trend.");
+    let overall: f64 = points.iter().map(|p| p.1).sum::<f64>() / points.len().max(1) as f64;
+    emit(
+        "fig6_savings_by_size",
+        [
+            ("files", Json::from(points.len())),
+            ("mean_savings_pct", Json::from(overall)),
+            ("buckets", Json::Arr(buckets)),
+        ],
+    );
 }

@@ -1,6 +1,7 @@
 //! Figure 7: decompression speed vs input size for 1/2/4/8 threads.
 
-use lepton_bench::{header, mbps, timed};
+use lepton_bench::json::{emit, Json};
+use lepton_bench::{bench_file_count, header, mbps, timed};
 use lepton_core::{compress, decompress, CompressOptions, ThreadPolicy};
 use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
 
@@ -13,7 +14,11 @@ fn main() {
         "{:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
         "size KB", "(files)", "1 thr", "2 thr", "4 thr", "8 thr"
     );
-    for dim in [128usize, 256, 448, 640, 832] {
+    // Quick mode (`LEPTON_BENCH_FILES`) bounds how many size points run.
+    let dims = [128usize, 256, 448, 640, 832];
+    let take = bench_file_count(dims.len()).min(dims.len());
+    let mut rows = Vec::new();
+    for &dim in &dims[..take] {
         let spec = CorpusSpec {
             min_dim: dim,
             max_dim: dim + 32,
@@ -24,6 +29,7 @@ fn main() {
             .collect();
         let bytes: usize = files.iter().map(|f| f.len()).sum();
         print!("{:>9} {:>9} |", bytes / 1024 / files.len(), files.len());
+        let mut by_threads = Vec::new();
         for threads in [1usize, 2, 4, 8] {
             let opts = CompressOptions {
                 threads: ThreadPolicy::Fixed(threads),
@@ -45,9 +51,18 @@ fn main() {
                 }
             });
             print!(" {:>7.0}Mb", mbps(bytes, secs));
+            by_threads.push(Json::obj([
+                ("threads", Json::from(threads)),
+                ("mbps", Json::from(mbps(bytes, secs))),
+            ]));
         }
         println!();
+        rows.push(Json::obj([
+            ("mean_kb", Json::from(bytes / 1024 / files.len())),
+            ("decode", Json::Arr(by_threads)),
+        ]));
     }
     println!("\npaper shape: more threads decode faster; small files gain less");
     println!("(thread cutoffs by size are visible in production scatter).");
+    emit("fig7_decode_speed", [("rows", Json::Arr(rows))]);
 }

@@ -1,7 +1,8 @@
 //! Figure 8: compression speed vs size by thread count — encode gains
 //! saturate because the JPEG Huffman decode stays serial (§5.4).
 
-use lepton_bench::{header, mbps, timed};
+use lepton_bench::json::{emit, Json};
+use lepton_bench::{bench_file_count, header, mbps, timed};
 use lepton_core::{compress, CompressOptions, ThreadPolicy};
 use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
 
@@ -14,7 +15,11 @@ fn main() {
         "{:>9} | {:>9} {:>9} {:>9} {:>9}",
         "size KB", "1 thr", "2 thr", "4 thr", "8 thr"
     );
-    for dim in [128usize, 256, 448, 640] {
+    // Quick mode (`LEPTON_BENCH_FILES`) bounds how many size points run.
+    let dims = [128usize, 256, 448, 640];
+    let take = bench_file_count(dims.len()).min(dims.len());
+    let mut rows = Vec::new();
+    for &dim in &dims[..take] {
         let spec = CorpusSpec {
             min_dim: dim,
             max_dim: dim + 32,
@@ -25,6 +30,7 @@ fn main() {
             .collect();
         let bytes: usize = files.iter().map(|f| f.len()).sum();
         print!("{:>9} |", bytes / 1024 / files.len());
+        let mut by_threads = Vec::new();
         for threads in [1usize, 2, 4, 8] {
             let opts = CompressOptions {
                 threads: ThreadPolicy::Fixed(threads),
@@ -40,9 +46,18 @@ fn main() {
                 }
             });
             print!(" {:>7.0}Mb", mbps(bytes, secs));
+            by_threads.push(Json::obj([
+                ("threads", Json::from(threads)),
+                ("mbps", Json::from(mbps(bytes, secs))),
+            ]));
         }
         println!();
+        rows.push(Json::obj([
+            ("mean_kb", Json::from(bytes / 1024 / files.len())),
+            ("encode", Json::Arr(by_threads)),
+        ]));
     }
     println!("\npaper shape: encode speedup flattens past 4 threads — the serial");
     println!("JPEG Huffman decode becomes the bottleneck.");
+    emit("fig8_encode_speed", [("rows", Json::Arr(rows))]);
 }

@@ -6,6 +6,8 @@
 //! corpus construction at benchmark scale, timing helpers, and simple
 //! text "plots".
 
+pub mod json;
+
 use lepton_corpus::{Corpus, CorpusSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,7 +75,11 @@ unsafe impl GlobalAlloc for TrackingAlloc {
     }
 }
 
-/// Corpus sizes for harness runs, overridable via `LEPTON_BENCH_FILES`.
+/// Iteration budget for harness runs, overridable via
+/// `LEPTON_BENCH_FILES`. Most harnesses spend it as a corpus file
+/// count; `fig7`/`fig8` spend it as a bound on how many size points
+/// run — either way, a small value (CI smoke uses 3) means a quick
+/// pass and the unset default means the full run.
 pub fn bench_file_count(default: usize) -> usize {
     std::env::var("LEPTON_BENCH_FILES")
         .ok()

@@ -56,6 +56,10 @@ pub enum Command {
     },
     /// `lepton errorcodes` — print the §6.2 taxonomy and wire bytes.
     ErrorCodes,
+    /// `lepton store <put|get|backfill|stat> --root DIR ...` — operate
+    /// on a sharded, content-addressed blockstore with transparent
+    /// compress-on-write.
+    Store(StoreCommand),
     /// `lepton corpus --out DIR [--count N] [--seed S] [--dirty]` —
     /// write a synthetic corpus to disk.
     Corpus {
@@ -72,6 +76,54 @@ pub enum Command {
     Help,
     /// `lepton --version`.
     Version,
+}
+
+/// The `lepton store` subcommands. Every variant carries the store
+/// root plus the shard/cache geometry to open it with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreCommand {
+    /// `store put --root DIR <file...>`: store each file as one block;
+    /// prints `<hex-digest>  <path>` per file.
+    Put {
+        /// Store root directory.
+        root: PathBuf,
+        /// Files to store.
+        files: Vec<PathBuf>,
+        /// Shard count (`--shards N`).
+        shards: usize,
+        /// `--no-compress`: store raw (the shutoff switch; backfill
+        /// can convert later).
+        compress: bool,
+    },
+    /// `store get --root DIR <hex-digest> [out|-]`: fetch a block's
+    /// original bytes.
+    Get {
+        /// Store root directory.
+        root: PathBuf,
+        /// 64-char hex content address.
+        digest: String,
+        /// Output path, `-`/absent for stdout.
+        output: Output,
+        /// Shard count (`--shards N`).
+        shards: usize,
+    },
+    /// `store backfill --root DIR [--parallelism N]`: convert eligible
+    /// blocks to Lepton in place.
+    Backfill {
+        /// Store root directory.
+        root: PathBuf,
+        /// Worker threads.
+        parallelism: usize,
+        /// Shard count (`--shards N`).
+        shards: usize,
+    },
+    /// `store stat --root DIR`: walk the store and summarize it.
+    Stat {
+        /// Store root directory.
+        root: PathBuf,
+        /// Shard count (`--shards N`).
+        shards: usize,
+    },
 }
 
 /// An input source.
@@ -232,6 +284,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             })
         }
         "errorcodes" => Ok(Command::ErrorCodes),
+        "store" => parse_store(&mut it),
         "corpus" => {
             let mut out = None;
             let mut count = 50usize;
@@ -258,6 +311,70 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
     }
 }
 
+/// Default shard count for `lepton store` (matches
+/// `StoreConfig::default()`).
+pub const DEFAULT_SHARDS: usize = 16;
+
+fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, UsageError> {
+    let Some(sub) = it.next() else {
+        return Err(UsageError(
+            "store needs a subcommand: put | get | backfill | stat".into(),
+        ));
+    };
+    let mut root = None;
+    let mut shards = DEFAULT_SHARDS;
+    let mut parallelism = 4usize;
+    let mut compress = true;
+    let mut positional: Vec<&str> = Vec::new();
+    while let Some(a) = it.next() {
+        match a {
+            "--root" => root = Some(PathBuf::from(want_value(a, it)?)),
+            "--shards" => shards = parse_num(a, want_value(a, it)?)?,
+            "--parallelism" => parallelism = parse_num(a, want_value(a, it)?)?,
+            "--no-compress" => compress = false,
+            _ if a.starts_with("--") => return Err(UsageError(format!("unknown flag {a}"))),
+            _ => positional.push(a),
+        }
+    }
+    let root = root.ok_or_else(|| UsageError(format!("store {sub} needs --root DIR")))?;
+    if shards == 0 {
+        return Err(UsageError("--shards must be at least 1".into()));
+    }
+    match sub {
+        "put" => {
+            if positional.is_empty() {
+                return Err(UsageError("store put needs at least one file".into()));
+            }
+            Ok(Command::Store(StoreCommand::Put {
+                root,
+                files: positional.iter().map(PathBuf::from).collect(),
+                shards,
+                compress,
+            }))
+        }
+        "get" => {
+            let digest = positional
+                .first()
+                .ok_or_else(|| UsageError("store get needs a hex digest".into()))?
+                .to_string();
+            let output = positional.get(1).map_or(Output::Stdout, |a| parse_out(a));
+            Ok(Command::Store(StoreCommand::Get {
+                root,
+                digest,
+                output,
+                shards,
+            }))
+        }
+        "backfill" => Ok(Command::Store(StoreCommand::Backfill {
+            root,
+            parallelism,
+            shards,
+        })),
+        "stat" => Ok(Command::Store(StoreCommand::Stat { root, shards })),
+        other => Err(UsageError(format!("unknown store subcommand {other:?}"))),
+    }
+}
+
 /// The `--help` text.
 pub const HELP: &str = "\
 lepton — transparent, lossless JPEG recompression (NSDI '17 reproduction)
@@ -270,6 +387,10 @@ USAGE:
   lepton serve      (--uds PATH | --tcp ADDR) [--max-conns N]
                     [--threshold T] [--shutoff FILE]
   lepton corpus     --out DIR [--count N] [--seed S] [--dirty]
+  lepton store put      --root DIR <file...> [--shards N] [--no-compress]
+  lepton store get      --root DIR <hex-digest> [out|-] [--shards N]
+  lepton store backfill --root DIR [--parallelism N] [--shards N]
+  lepton store stat     --root DIR [--shards N]
   lepton errorcodes
   lepton help | version
 
@@ -367,6 +488,65 @@ mod tests {
         };
         assert!(dirty);
         assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn store_subcommands_parse() {
+        let c = parse(&[
+            "store", "put", "--root", "/s", "a.jpg", "b.jpg", "--shards", "4",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Store(StoreCommand::Put {
+                root: "/s".into(),
+                files: vec!["a.jpg".into(), "b.jpg".into()],
+                shards: 4,
+                compress: true,
+            })
+        );
+        let c = parse(&["store", "put", "--root", "/s", "a", "--no-compress"]).unwrap();
+        let Command::Store(StoreCommand::Put { compress, .. }) = c else {
+            panic!()
+        };
+        assert!(!compress);
+        let c = parse(&["store", "get", "--root", "/s", &"ab".repeat(32), "-"]).unwrap();
+        let Command::Store(StoreCommand::Get { output, .. }) = c else {
+            panic!()
+        };
+        assert_eq!(output, Output::Stdout);
+        let c = parse(&["store", "backfill", "--root", "/s", "--parallelism", "8"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Store(StoreCommand::Backfill {
+                root: "/s".into(),
+                parallelism: 8,
+                shards: DEFAULT_SHARDS,
+            })
+        );
+        assert_eq!(
+            parse(&["store", "stat", "--root", "/s"]).unwrap(),
+            Command::Store(StoreCommand::Stat {
+                root: "/s".into(),
+                shards: DEFAULT_SHARDS,
+            })
+        );
+    }
+
+    #[test]
+    fn store_usage_errors() {
+        assert!(parse(&["store"]).is_err());
+        assert!(parse(&["store", "frobnicate", "--root", "/s"]).is_err());
+        assert!(
+            parse(&["store", "put", "--root", "/s"]).is_err(),
+            "needs files"
+        );
+        assert!(parse(&["store", "put", "a.jpg"]).is_err(), "needs --root");
+        assert!(
+            parse(&["store", "get", "--root", "/s"]).is_err(),
+            "needs digest"
+        );
+        assert!(parse(&["store", "stat", "--root", "/s", "--shards", "0"]).is_err());
     }
 
     #[test]

@@ -14,11 +14,12 @@
 
 pub mod args;
 
-use args::{Command, Input, Output};
+use args::{Command, Input, Output, StoreCommand};
 use lepton_core::verify::{qualify, verify_roundtrip, Verdict};
 use lepton_core::{CompressOptions, ExitCode, ThreadPolicy};
 use lepton_corpus::builder::{Corpus, CorpusSpec, FileKind};
 use lepton_server::protocol::EXIT_CODES;
+use lepton_storage::blockstore::{hex, parse_hex, ShardedStore, StoreConfig};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -274,6 +275,7 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
             }
             Ok(0)
         }
+        Command::Store(store_cmd) => run_store(store_cmd, log),
         Command::Corpus {
             out,
             count,
@@ -305,6 +307,120 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
                 written,
                 pretty(&out)
             )?;
+            Ok(0)
+        }
+    }
+}
+
+fn open_store(root: &Path, shards: usize, compress: bool) -> std::io::Result<ShardedStore> {
+    ShardedStore::open(
+        root,
+        StoreConfig {
+            shards,
+            compress_on_write: compress,
+            ..Default::default()
+        },
+    )
+}
+
+/// The `lepton store` family: a durable sharded blockstore on disk.
+fn run_store(cmd: StoreCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std::error::Error>> {
+    match cmd {
+        StoreCommand::Put {
+            root,
+            files,
+            shards,
+            compress,
+        } => {
+            let store = open_store(&root, shards, compress)?;
+            for path in &files {
+                let data = std::fs::read(path)?;
+                let key = store.put(&data)?;
+                writeln!(log, "{}  {}", hex(&key), pretty(path))?;
+            }
+            let m = &store.metrics;
+            use std::sync::atomic::Ordering::Relaxed;
+            let new_blocks = m.lepton_blocks.load(Relaxed) + m.raw_blocks.load(Relaxed);
+            writeln!(
+                log,
+                "put {} files: {} new blocks ({} lepton, {} raw, {} deduped), {} -> {} bytes",
+                files.len(),
+                new_blocks,
+                m.lepton_blocks.load(Relaxed),
+                m.raw_blocks.load(Relaxed),
+                files.len() as u64 - new_blocks,
+                m.bytes_in.load(Relaxed),
+                m.bytes_stored.load(Relaxed),
+            )?;
+            Ok(0)
+        }
+        StoreCommand::Get {
+            root,
+            digest,
+            output,
+            shards,
+        } => {
+            let store = open_store(&root, shards, true)?;
+            let key = parse_hex(&digest)
+                .ok_or_else(|| args::UsageError(format!("bad digest {digest:?}")))?;
+            match store.get(&key)? {
+                Some(bytes) => {
+                    // `Derived` has no input name to derive from here;
+                    // treat it as stdout like the parser's default.
+                    match &output {
+                        Output::Path(p) => {
+                            std::fs::write(p, &bytes)?;
+                            writeln!(log, "{} -> {} ({} bytes)", digest, pretty(p), bytes.len())?;
+                        }
+                        Output::Stdout | Output::Derived => {
+                            std::io::stdout().lock().write_all(&bytes)?;
+                        }
+                    }
+                    Ok(0)
+                }
+                None => {
+                    writeln!(log, "lepton: no block {digest} in {}", pretty(&root))?;
+                    Ok(1)
+                }
+            }
+        }
+        StoreCommand::Backfill {
+            root,
+            parallelism,
+            shards,
+        } => {
+            let store = open_store(&root, shards, true)?;
+            let report = store.backfill(parallelism)?;
+            writeln!(
+                log,
+                "backfill: scanned {}, converted {}, skipped {} ({} -> {} bytes, {:.1}% saved) \
+                 in {:.2}s ({:.1} conv/s)",
+                report.scanned,
+                report.converted,
+                report.skipped,
+                report.bytes_before,
+                report.bytes_after,
+                100.0 * report.savings(),
+                report.secs,
+                report.conversions_per_sec(),
+            )?;
+            Ok(0)
+        }
+        StoreCommand::Stat { root, shards } => {
+            let store = open_store(&root, shards, true)?;
+            let s = store.stat()?;
+            writeln!(
+                log,
+                "store {} ({} shards):",
+                pretty(&root),
+                store.shard_count()
+            )?;
+            writeln!(log, "  blocks:        {:>12}", s.blocks)?;
+            writeln!(log, "    lepton:      {:>12}", s.lepton_blocks)?;
+            writeln!(log, "    raw:         {:>12}", s.raw_blocks)?;
+            writeln!(log, "  logical bytes: {:>12}", s.logical_bytes)?;
+            writeln!(log, "  stored bytes:  {:>12}", s.stored_bytes)?;
+            writeln!(log, "  savings:       {:>11.1}%", 100.0 * s.savings())?;
             Ok(0)
         }
     }
@@ -424,6 +540,81 @@ mod tests {
         let n = std::fs::read_dir(&dir).unwrap().count();
         assert_eq!(n, 5);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_put_backfill_stat_flow() {
+        let base = std::env::temp_dir().join(format!("lepton-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let jpg_path = base.join("photo.jpg");
+        std::fs::write(
+            &jpg_path,
+            lepton_corpus::builder::clean_jpeg(
+                &CorpusSpec {
+                    min_dim: 64,
+                    max_dim: 128,
+                    ..Default::default()
+                },
+                9,
+            ),
+        )
+        .unwrap();
+        let root = base.join("store");
+
+        // Put raw (shutoff), then backfill converts it.
+        let mut log = Vec::new();
+        let code = run(
+            Command::Store(StoreCommand::Put {
+                root: root.clone(),
+                files: vec![jpg_path.clone()],
+                shards: 4,
+                compress: false,
+            }),
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("1 raw"), "{text}");
+
+        let mut log = Vec::new();
+        let code = run(
+            Command::Store(StoreCommand::Backfill {
+                root: root.clone(),
+                parallelism: 2,
+                shards: 4,
+            }),
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("converted 1"), "{text}");
+
+        let mut log = Vec::new();
+        let code = run(
+            Command::Store(StoreCommand::Stat {
+                root: root.clone(),
+                shards: 4,
+            }),
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("lepton:                 1"), "{text}");
+
+        // Get of a missing digest exits 1 without panicking.
+        let mut log = Vec::new();
+        let code = run(
+            Command::Store(StoreCommand::Get {
+                root,
+                digest: "00".repeat(32),
+                output: Output::Path(base.join("out.bin")),
+                shards: 4,
+            }),
+            &mut log,
+        );
+        assert_eq!(code, 1);
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

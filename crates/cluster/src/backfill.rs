@@ -50,6 +50,64 @@ impl Default for BackfillConfig {
     }
 }
 
+/// Rates measured on a real store by a real backfill run (the
+/// `lepton-storage` driver or the `fig13_blockstore` harness), used to
+/// replace the paper's constants with our own hardware's numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredBackfill {
+    /// Conversions per second achieved by one worker thread.
+    pub conversions_per_worker: f64,
+    /// Mean original block size, bytes.
+    pub image_bytes: f64,
+    /// Savings fraction achieved on converted blocks (0..1).
+    pub savings: f64,
+}
+
+impl MeasuredBackfill {
+    /// Derive from a backfill run's counters: `converted` blocks,
+    /// their total `bytes_before`/`bytes_after` at rest, wall-clock
+    /// `secs`, and the `parallelism` that ran it.
+    pub fn from_run(
+        converted: u64,
+        bytes_before: u64,
+        bytes_after: u64,
+        secs: f64,
+        parallelism: usize,
+    ) -> Self {
+        let workers = parallelism.max(1) as f64;
+        MeasuredBackfill {
+            conversions_per_worker: if secs > 0.0 {
+                converted as f64 / secs / workers
+            } else {
+                0.0
+            },
+            image_bytes: if converted > 0 {
+                bytes_before as f64 / converted as f64
+            } else {
+                0.0
+            },
+            savings: if bytes_before > 0 {
+                1.0 - bytes_after as f64 / bytes_before as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl BackfillConfig {
+    /// Recalibrate the fleet model with measured rates: a machine is
+    /// modeled as `workers_per_machine` backfill threads running at
+    /// the measured per-worker speed, on the measured corpus shape.
+    /// Everything else (rooms, thresholds, power) is left alone.
+    pub fn with_measured(mut self, m: &MeasuredBackfill, workers_per_machine: usize) -> Self {
+        self.conversions_per_machine = m.conversions_per_worker * workers_per_machine as f64;
+        self.image_bytes = m.image_bytes;
+        self.savings = m.savings;
+        self
+    }
+}
+
 /// One sample of the backfill fleet state.
 #[derive(Clone, Copy, Debug)]
 pub struct BackfillSample {
@@ -222,6 +280,28 @@ mod tests {
         let (images, tib) = eco.per_machine_year(&cfg);
         assert!((150e6..220e6).contains(&images), "{images}");
         assert!((45.0..75.0).contains(&tib), "{tib}");
+    }
+
+    #[test]
+    fn measured_rates_recalibrate_the_model() {
+        // 120 blocks of ~1 MiB converted in 10 s by 4 workers at 23%
+        // savings.
+        let m = MeasuredBackfill::from_run(120, 120 << 20, 97_000_000, 10.0, 4);
+        assert!((m.conversions_per_worker - 3.0).abs() < 1e-9);
+        assert!((m.image_bytes - (1 << 20) as f64).abs() < 1.0);
+        assert!((0.20..0.26).contains(&m.savings), "{}", m.savings);
+
+        let cfg = BackfillConfig::default().with_measured(&m, 8);
+        assert!((cfg.conversions_per_machine - 24.0).abs() < 1e-9);
+        let eco = Economics::from_config(&cfg);
+        assert!(eco.conversions_per_kwh > 0.0);
+        assert!(eco.gib_saved_per_kwh() > 0.0);
+
+        // Degenerate runs don't divide by zero.
+        let zero = MeasuredBackfill::from_run(0, 0, 0, 0.0, 0);
+        assert_eq!(zero.conversions_per_worker, 0.0);
+        assert_eq!(zero.image_bytes, 0.0);
+        assert_eq!(zero.savings, 0.0);
     }
 
     #[test]

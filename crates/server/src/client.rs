@@ -5,7 +5,7 @@
 //! payload to EOF.
 
 use crate::endpoint::Endpoint;
-use crate::protocol::{read_bounded, Op, StatsReply, Status};
+use crate::protocol::{read_bounded, BlockStatReply, Op, StatsReply, Status};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -118,6 +118,40 @@ pub fn probe(ep: &Endpoint, timeout: Duration) -> Result<StatsReply, ClientError
     match convert(ep, Op::Stats, &[], timeout)? {
         (Status::Ok, body) => {
             StatsReply::from_wire(&body).ok_or(ClientError::Garbled("stats reply size"))
+        }
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Store a block in the service's blockstore; returns its 32-byte
+/// content address (the SHA-256 of `data`).
+pub fn block_put(ep: &Endpoint, data: &[u8], timeout: Duration) -> Result<[u8; 32], ClientError> {
+    match convert(ep, Op::BlockPut, data, timeout)? {
+        (Status::Ok, body) => <[u8; 32]>::try_from(body.as_slice())
+            .map_err(|_| ClientError::Garbled("block address size")),
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Fetch a block's original bytes by content address. `Ok(None)` means
+/// the service has no block at that address.
+pub fn block_get(
+    ep: &Endpoint,
+    key: &[u8; 32],
+    timeout: Duration,
+) -> Result<Option<Vec<u8>>, ClientError> {
+    match convert(ep, Op::BlockGet, key, timeout)? {
+        (Status::Ok, body) => Ok(Some(body)),
+        (Status::NotFound, _) => Ok(None),
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Summarize the service's blockstore.
+pub fn block_stat(ep: &Endpoint, timeout: Duration) -> Result<BlockStatReply, ClientError> {
+    match convert(ep, Op::BlockStat, &[], timeout)? {
+        (Status::Ok, body) => {
+            BlockStatReply::from_wire(&body).ok_or(ClientError::Garbled("block stat reply size"))
         }
         (status, _) => Err(ClientError::Refused(status)),
     }

@@ -18,7 +18,8 @@
 //!   necessary), per-IO timeouts, bounded request sizes,
 //!   shutoff-switch file (§5.7), graceful drain on shutdown.
 //! * [`client`] — blocking one-shot conversion client with timeout
-//!   classification for the §6.6 "exceeded the timeout window" path.
+//!   classification for the §6.6 "exceeded the timeout window" path,
+//!   plus blockstore access (`block_put`/`block_get`/`block_stat`).
 //! * [`router`] — outsourcing: power-of-two-choices selection over a
 //!   dedicated cluster ("To dedicated") or the blockserver fleet
 //!   itself ("To self"), with local fallback (§5.5, Fig. 9/10).
@@ -47,6 +48,6 @@ pub mod server;
 pub use client::ClientError;
 pub use endpoint::{Conn, Endpoint, Listener};
 pub use gauge::ConcurrencyGauge;
-pub use protocol::{Op, StatsReply, Status};
+pub use protocol::{BlockStatReply, Op, StatsReply, Status};
 pub use router::{Destination, Router, RouterMetrics, Strategy};
 pub use server::{serve, ServiceConfig, ServiceHandle, ServiceMetrics};

@@ -36,6 +36,15 @@ pub enum Op {
     /// No payload; returns a [`StatsReply`]. Load probe used by the
     /// power-of-two-choices outsourcing router.
     Stats,
+    /// Block bytes in, 32-byte content address out: store a block in
+    /// the service's blockstore (compress-on-write is transparent —
+    /// the address is the SHA-256 of what was sent).
+    BlockPut,
+    /// 32-byte content address in, original block bytes out.
+    BlockGet,
+    /// No payload; returns a [`BlockStatReply`] summarizing the
+    /// service's blockstore.
+    BlockStat,
 }
 
 impl Op {
@@ -46,6 +55,9 @@ impl Op {
             Op::Decompress => b'D',
             Op::Ping => b'P',
             Op::Stats => b'S',
+            Op::BlockPut => b'B',
+            Op::BlockGet => b'G',
+            Op::BlockStat => b'T',
         }
     }
 
@@ -56,6 +68,9 @@ impl Op {
             b'D' => Some(Op::Decompress),
             b'P' => Some(Op::Ping),
             b'S' => Some(Op::Stats),
+            b'B' => Some(Op::BlockPut),
+            b'G' => Some(Op::BlockGet),
+            b'T' => Some(Op::BlockStat),
             _ => None,
         }
     }
@@ -75,6 +90,12 @@ pub enum Status {
     Shutdown,
     /// The conversion exceeded the request timeout (§6.6).
     Timeout,
+    /// Blockstore read: no block at the requested address.
+    NotFound,
+    /// Server-side storage failure (I/O error, or a block whose
+    /// on-disk record failed its integrity check — corrupted blocks
+    /// are refused, never served).
+    StorageFailed,
     /// The input was rejected; carries the exit-code taxonomy row.
     Rejected(ExitCode),
 }
@@ -116,6 +137,8 @@ impl Status {
             Status::TooLarge => 2,
             Status::Shutdown => 3,
             Status::Timeout => 4,
+            Status::NotFound => 5,
+            Status::StorageFailed => 6,
             Status::Rejected(code) => REJECT_BASE + exit_code_index(code),
         }
     }
@@ -128,6 +151,8 @@ impl Status {
             2 => Some(Status::TooLarge),
             3 => Some(Status::Shutdown),
             4 => Some(Status::Timeout),
+            5 => Some(Status::NotFound),
+            6 => Some(Status::StorageFailed),
             b if b >= REJECT_BASE => EXIT_CODES
                 .get((b - REJECT_BASE) as usize)
                 .map(|c| Status::Rejected(*c)),
@@ -197,6 +222,77 @@ impl StatsReply {
     }
 }
 
+/// The reply payload of [`Op::BlockStat`]: a fixed 56-byte
+/// little-endian record summarizing the service's blockstore.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStatReply {
+    /// Blocks at rest.
+    pub blocks: u64,
+    /// Of which Lepton-compressed.
+    pub lepton_blocks: u64,
+    /// Of which raw.
+    pub raw_blocks: u64,
+    /// Sum of original (logical) block sizes.
+    pub logical_bytes: u64,
+    /// Sum of at-rest payload sizes.
+    pub stored_bytes: u64,
+    /// Decoded-block cache hits so far.
+    pub cache_hits: u64,
+    /// Decoded-block cache misses so far.
+    pub cache_misses: u64,
+}
+
+impl BlockStatReply {
+    /// Serialized size in bytes.
+    pub const WIRE_LEN: usize = 56;
+
+    /// Encode to the fixed wire record.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        for (i, v) in [
+            self.blocks,
+            self.lepton_blocks,
+            self.raw_blocks,
+            self.logical_bytes,
+            self.stored_bytes,
+            self.cache_hits,
+            self.cache_misses,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode the fixed wire record.
+    pub fn from_wire(b: &[u8]) -> Option<BlockStatReply> {
+        if b.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let le64 = |i: usize| u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap());
+        Some(BlockStatReply {
+            blocks: le64(0),
+            lepton_blocks: le64(1),
+            raw_blocks: le64(2),
+            logical_bytes: le64(3),
+            stored_bytes: le64(4),
+            cache_hits: le64(5),
+            cache_misses: le64(6),
+        })
+    }
+
+    /// Storage savings fraction (0..1) over the whole store.
+    pub fn savings(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+}
+
 /// Read a request (op byte + payload-until-EOF) from a stream whose
 /// peer half-closes to mark the end, enforcing `max_payload`.
 ///
@@ -252,7 +348,15 @@ mod tests {
 
     #[test]
     fn op_wire_roundtrip() {
-        for op in [Op::Compress, Op::Decompress, Op::Ping, Op::Stats] {
+        for op in [
+            Op::Compress,
+            Op::Decompress,
+            Op::Ping,
+            Op::Stats,
+            Op::BlockPut,
+            Op::BlockGet,
+            Op::BlockStat,
+        ] {
             assert_eq!(Op::from_wire(op.to_wire()), Some(op));
         }
         assert_eq!(Op::from_wire(b'X'), None);
@@ -267,6 +371,8 @@ mod tests {
             Status::TooLarge,
             Status::Shutdown,
             Status::Timeout,
+            Status::NotFound,
+            Status::StorageFailed,
         ];
         statuses.extend(EXIT_CODES.iter().map(|c| Status::Rejected(*c)));
         for s in statuses {
@@ -276,7 +382,7 @@ mod tests {
 
     #[test]
     fn status_wire_rejects_gaps_and_overflow() {
-        assert_eq!(Status::from_wire(5), None);
+        assert_eq!(Status::from_wire(7), None);
         assert_eq!(Status::from_wire(0x0f), None);
         assert_eq!(
             Status::from_wire(REJECT_BASE + EXIT_CODES.len() as u8),
@@ -306,6 +412,22 @@ mod tests {
         assert_eq!(StatsReply::from_wire(&s.to_wire()), Some(s));
         assert_eq!(StatsReply::from_wire(&[0u8; 23]), None);
         assert_eq!(StatsReply::from_wire(&[0u8; 25]), None);
+    }
+
+    #[test]
+    fn block_stat_reply_roundtrip() {
+        let s = BlockStatReply {
+            blocks: 12,
+            lepton_blocks: 9,
+            raw_blocks: 3,
+            logical_bytes: 1 << 33,
+            stored_bytes: 3 << 30,
+            cache_hits: 77,
+            cache_misses: 13,
+        };
+        assert_eq!(BlockStatReply::from_wire(&s.to_wire()), Some(s));
+        assert_eq!(BlockStatReply::from_wire(&[0u8; 55]), None);
+        assert!(s.savings() > 0.5);
     }
 
     #[test]

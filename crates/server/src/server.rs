@@ -13,8 +13,9 @@
 
 use crate::endpoint::{Conn, Endpoint, Listener};
 use crate::gauge::ConcurrencyGauge;
-use crate::protocol::{read_request, write_response, Op, StatsReply, Status};
+use crate::protocol::{read_request, write_response, BlockStatReply, Op, StatsReply, Status};
 use lepton_core::{CompressOptions, ExitCode};
+use lepton_storage::blockstore::{ShardedStore, StoreError};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -45,6 +46,11 @@ pub struct ServiceConfig {
     /// requests are refused with [`Status::Shutdown`] within one
     /// request of the file appearing. Decompression continues.
     pub shutoff_file: Option<PathBuf>,
+    /// Blockstore served by the `BlockPut`/`BlockGet`/`BlockStat` ops;
+    /// when absent those ops answer [`Status::BadRequest`]. Shared so
+    /// the process hosting the service can also touch the store
+    /// directly (e.g. a backfill worker).
+    pub blockstore: Option<Arc<ShardedStore>>,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +62,7 @@ impl Default for ServiceConfig {
             io_timeout: Duration::from_secs(30),
             max_request_bytes: 24 << 20,
             shutoff_file: None,
+            blockstore: None,
         }
     }
 }
@@ -286,5 +293,95 @@ fn handle_connection(
                 }
             }
         }
+        Op::BlockPut | Op::BlockGet | Op::BlockStat => {
+            let Some(store) = cfg.blockstore.as_deref() else {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut conn, Status::BadRequest, &[]);
+                return;
+            };
+            handle_block_op(op, store, &payload, &mut conn, cfg, gauge, metrics);
+        }
+    }
+}
+
+/// The blockstore ops. Put and get count against the conversion gauge
+/// — they may run the codec — and their failures against the same
+/// metrics the conversion path uses.
+fn handle_block_op(
+    op: Op,
+    store: &ShardedStore,
+    payload: &[u8],
+    conn: &mut Conn,
+    cfg: &ServiceConfig,
+    gauge: &Arc<ConcurrencyGauge>,
+    metrics: &Arc<ServiceMetrics>,
+) {
+    match op {
+        Op::BlockPut => {
+            let _lease = gauge.acquire();
+            // The §5.7 shutoff switch gates the codec here too — but
+            // blockstore writes are never *refused*: the block lands
+            // raw and a later backfill converts it. Durability first.
+            let result = if shutoff_engaged(cfg) {
+                metrics.shutoff_refusals.fetch_add(1, Ordering::Relaxed);
+                store.put_raw(payload)
+            } else {
+                store.put(payload)
+            };
+            match result {
+                Ok(key) => {
+                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(conn, Status::Ok, &key);
+                }
+                Err(_) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(conn, Status::StorageFailed, &[]);
+                }
+            }
+        }
+        Op::BlockGet => {
+            let Ok(key) = <[u8; 32]>::try_from(payload) else {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(conn, Status::BadRequest, &[]);
+                return;
+            };
+            let _lease = gauge.acquire();
+            match store.get(&key) {
+                Ok(Some(bytes)) => {
+                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.write_all(&[Status::Ok.to_wire()]);
+                    let _ = conn.write_all(&bytes);
+                    let _ = conn.flush();
+                }
+                Ok(None) => {
+                    let _ = write_response(conn, Status::NotFound, &[]);
+                }
+                // Corrupt blocks are refused, never served (nor are
+                // I/O failures dressed up as data).
+                Err(StoreError::Corrupt(_) | StoreError::Io(_)) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(conn, Status::StorageFailed, &[]);
+                }
+            }
+        }
+        Op::BlockStat => match store.stat() {
+            Ok(stats) => {
+                let reply = BlockStatReply {
+                    blocks: stats.blocks,
+                    lepton_blocks: stats.lepton_blocks,
+                    raw_blocks: stats.raw_blocks,
+                    logical_bytes: stats.logical_bytes,
+                    stored_bytes: stats.stored_bytes,
+                    cache_hits: stats.cache_hits,
+                    cache_misses: stats.cache_misses,
+                };
+                let _ = write_response(conn, Status::Ok, &reply.to_wire());
+            }
+            Err(_) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(conn, Status::StorageFailed, &[]);
+            }
+        },
+        _ => unreachable!("only block ops are routed here"),
     }
 }

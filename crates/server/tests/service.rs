@@ -392,3 +392,108 @@ fn queued_conversions_drain_on_shutdown() {
     assert_eq!(handle.stats().total_served, 4);
     handle.shutdown();
 }
+
+#[test]
+fn blockstore_ops_over_the_socket() {
+    use lepton_storage::blockstore::{ShardedStore, StoreConfig};
+
+    let root = std::env::temp_dir().join(format!("lepton-svc-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(ShardedStore::open(&root, StoreConfig::default()).unwrap());
+    let cfg = ServiceConfig {
+        blockstore: Some(Arc::clone(&store)),
+        ..Default::default()
+    };
+    let handle = serve(&Endpoint::uds(temp_sock("bs")), cfg).unwrap();
+    let ep = handle.endpoint();
+
+    // JPEG block: stored transparently, address is the content hash.
+    let jpeg = clean_jpeg(&spec(), 31);
+    let key = client::block_put(ep, &jpeg, TIMEOUT).unwrap();
+    assert_eq!(client::block_get(ep, &key, TIMEOUT).unwrap().unwrap(), jpeg);
+
+    // Non-JPEG block round-trips too.
+    let blob = b"opaque user bytes".repeat(100);
+    let bkey = client::block_put(ep, &blob, TIMEOUT).unwrap();
+    assert_eq!(
+        client::block_get(ep, &bkey, TIMEOUT).unwrap().unwrap(),
+        blob
+    );
+
+    // Missing address is NotFound, surfaced as Ok(None).
+    assert_eq!(client::block_get(ep, &[0u8; 32], TIMEOUT).unwrap(), None);
+
+    // Stat reflects both blocks and the compression that happened.
+    let stat = client::block_stat(ep, TIMEOUT).unwrap();
+    assert_eq!(stat.blocks, 2);
+    assert_eq!(stat.lepton_blocks, 1);
+    assert!(stat.stored_bytes < stat.logical_bytes, "{stat:?}");
+
+    // The service shares the store with its host process.
+    assert!(store.contains(&key));
+
+    // Malformed get (wrong key size) is a BadRequest, not a hang. The
+    // typed client cannot send one, so speak wire bytes directly.
+    let mut conn = ep.connect(Some(TIMEOUT)).unwrap();
+    conn.write_all(b"Gshort").unwrap();
+    conn.shutdown_write().unwrap();
+    let mut resp = Vec::new();
+    conn.read_to_end(&mut resp).unwrap();
+    assert_eq!(Status::from_wire(resp[0]), Some(Status::BadRequest));
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn shutoff_switch_lands_block_puts_raw() {
+    use lepton_storage::blockstore::{ShardedStore, StoreConfig};
+    use lepton_storage::StoredFormat;
+
+    let root = std::env::temp_dir().join(format!("lepton-svc-shutoff-bs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let switch = std::env::temp_dir().join(format!("lepton-svc-bs-switch-{}", std::process::id()));
+    let _ = std::fs::remove_file(&switch);
+    let store = Arc::new(ShardedStore::open(&root, StoreConfig::default()).unwrap());
+    let cfg = ServiceConfig {
+        blockstore: Some(Arc::clone(&store)),
+        shutoff_file: Some(switch.clone()),
+        ..Default::default()
+    };
+    let handle = serve(&Endpoint::uds(temp_sock("bs-off")), cfg).unwrap();
+    let ep = handle.endpoint();
+    let jpeg = clean_jpeg(&spec(), 41);
+
+    // Switch engaged: the put is accepted (durability first) but the
+    // codec must not run — the block lands raw.
+    std::fs::write(&switch, b"on").unwrap();
+    let key = client::block_put(ep, &jpeg, TIMEOUT).unwrap();
+    assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Raw));
+    assert_eq!(client::block_get(ep, &key, TIMEOUT).unwrap().unwrap(), jpeg);
+
+    // Switch released: backfill converts the stranded block in place.
+    std::fs::remove_file(&switch).unwrap();
+    let report = store.backfill(2).unwrap();
+    assert_eq!(report.converted, 1);
+    assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Lepton));
+    assert_eq!(client::block_get(ep, &key, TIMEOUT).unwrap().unwrap(), jpeg);
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn block_ops_without_store_are_bad_requests() {
+    let handle = serve(
+        &Endpoint::uds(temp_sock("nostore")),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    match client::block_put(handle.endpoint(), b"data", TIMEOUT) {
+        Err(ClientError::Refused(Status::BadRequest)) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    match client::block_stat(handle.endpoint(), TIMEOUT) {
+        Err(ClientError::Refused(Status::BadRequest)) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,955 @@
+//! The sharded, disk-backed blockstore: transparent compress-on-write
+//! behind a content address.
+//!
+//! [`BlockStore`](crate::BlockStore) models the paper's blockserver in
+//! memory; this module is the durable version a service actually runs
+//! on. Blocks live as files in N shard directories, each shard with
+//! its own lock, so concurrent `put`/`get` from many threads contend
+//! only when they land on the same shard. The write path is the
+//! paper's admission rule made literal (§5.7): a JPEG-looking block is
+//! Lepton-compressed, the result is decoded again and compared
+//! byte-for-byte against the original, and only then committed — on
+//! any mismatch the original bytes are stored instead and the failure
+//! is counted. The address is always the SHA-256 of the *original*
+//! content, so callers never observe the encoding.
+//!
+//! Reads decode behind a bounded, sharded LRU of recently decoded
+//! blocks (hot reads skip the codec entirely), and every cold read is
+//! hash-checked against its address before it is served — a corrupted
+//! block surfaces as [`StoreError::Corrupt`], never as wrong bytes.
+//! [`ShardedStore::backfill`] is the §5.6 worker loop: walk the store,
+//! convert eligible blocks in place, report rates the cluster model
+//! can be calibrated with.
+
+use crate::sha256::{sha256, Digest};
+use crate::StoredFormat;
+use lepton_core::CompressOptions;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Magic prefixing every on-disk block record.
+const RECORD_MAGIC: [u8; 4] = *b"LBS1";
+
+/// Record header: magic, format byte, original length (LE u64).
+const HEADER_LEN: usize = 4 + 1 + 8;
+
+/// Errors the disk-backed store can report.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The on-disk record is damaged: bad header, an undecodable
+    /// payload, or decoded bytes whose SHA-256 no longer matches the
+    /// block's address. Corrupted blocks are **never served**.
+    Corrupt(Digest),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::Corrupt(key) => {
+                write!(f, "corrupt block {}", hex(key))
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Configuration for a [`ShardedStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Shard count: independent locks and directories. More shards ⇒
+    /// less lock contention under concurrent load.
+    pub shards: usize,
+    /// Total decoded-block cache budget in bytes, split evenly across
+    /// shards. `0` disables the cache (every read decodes).
+    pub cache_bytes: usize,
+    /// Codec options for the write path. `verify` is forced on at
+    /// admission regardless of what is set here.
+    pub compress: CompressOptions,
+    /// When `false`, `put` skips the codec and stores bytes raw — the
+    /// shutoff switch (§5.7) and the way tests/benches populate a
+    /// store that `backfill` then converts.
+    pub compress_on_write: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            cache_bytes: 64 << 20,
+            compress: CompressOptions::default(),
+            compress_on_write: true,
+        }
+    }
+}
+
+/// Counters exported by the disk store. All are monotonic operation
+/// counters for *this handle's lifetime*; the authoritative at-rest
+/// picture of a store (which may outlive many handles) comes from
+/// [`ShardedStore::stat`], which walks the disk.
+#[derive(Debug, Default)]
+pub struct ShardedMetrics {
+    /// Blocks this handle admitted in Lepton form at `put`.
+    pub lepton_blocks: AtomicU64,
+    /// Blocks this handle stored raw (non-JPEG, shutoff, or failed
+    /// admission).
+    pub raw_blocks: AtomicU64,
+    /// Original bytes ingested by `put`.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes written at `put` (headers excluded).
+    pub bytes_stored: AtomicU64,
+    /// Round-trip mismatches at admission (fell back to raw).
+    pub roundtrip_failures: AtomicU64,
+    /// Blocks converted to Lepton in place by `backfill`.
+    pub backfill_conversions: AtomicU64,
+    /// Reads served from the decoded-block cache.
+    pub cache_hits: AtomicU64,
+    /// Reads that had to touch disk (and the codec, for Lepton blocks).
+    pub cache_misses: AtomicU64,
+    /// Corrupt records detected (and refused) by the read path —
+    /// damaged headers and failed hash checks alike.
+    pub corrupt_blocks: AtomicU64,
+}
+
+/// Point-in-time summary of a store, as `stat` reports it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Blocks at rest.
+    pub blocks: u64,
+    /// Of which Lepton-compressed.
+    pub lepton_blocks: u64,
+    /// Of which raw.
+    pub raw_blocks: u64,
+    /// Sum of original (logical) block sizes.
+    pub logical_bytes: u64,
+    /// Sum of at-rest payload sizes.
+    pub stored_bytes: u64,
+    /// Cache hits so far.
+    pub cache_hits: u64,
+    /// Cache misses so far.
+    pub cache_misses: u64,
+}
+
+impl StoreStats {
+    /// Storage savings fraction (0..1) over the whole store.
+    pub fn savings(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+}
+
+/// Outcome of one [`ShardedStore::backfill`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackfillReport {
+    /// Blocks examined (everything not already Lepton).
+    pub scanned: u64,
+    /// Blocks converted to Lepton in place.
+    pub converted: u64,
+    /// Blocks that failed admission and were left as they were.
+    pub skipped: u64,
+    /// At-rest bytes before conversion of the converted blocks.
+    pub bytes_before: u64,
+    /// At-rest bytes after conversion of the converted blocks.
+    pub bytes_after: u64,
+    /// Wall-clock seconds for the whole pass.
+    pub secs: f64,
+}
+
+impl BackfillReport {
+    /// Conversions per second across the pass (0 when nothing ran).
+    pub fn conversions_per_sec(&self) -> f64 {
+        if self.secs <= 0.0 {
+            0.0
+        } else {
+            self.converted as f64 / self.secs
+        }
+    }
+
+    /// Savings fraction achieved on the converted blocks.
+    pub fn savings(&self) -> f64 {
+        if self.bytes_before == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_after as f64 / self.bytes_before as f64
+        }
+    }
+}
+
+/// A bounded LRU of decoded blocks; one per shard, behind the shard's
+/// own lock.
+struct ShardCache {
+    /// Decoded block + its recency stamp.
+    map: HashMap<Digest, (Vec<u8>, u64)>,
+    /// Recency index: stamp → key; the smallest stamp is the LRU entry.
+    by_stamp: BTreeMap<u64, Digest>,
+    total: usize,
+    cap: usize,
+    tick: u64,
+}
+
+impl ShardCache {
+    fn new(cap: usize) -> Self {
+        ShardCache {
+            map: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            total: 0,
+            cap,
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &Digest) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (data, stamp) = self.map.get_mut(key)?;
+        self.by_stamp.remove(&*stamp);
+        *stamp = tick;
+        self.by_stamp.insert(tick, *key);
+        Some(data.clone())
+    }
+
+    fn insert(&mut self, key: Digest, data: Vec<u8>) {
+        if data.len() > self.cap {
+            return; // would evict the whole cache for one block
+        }
+        if let Some((old, stamp)) = self.map.remove(&key) {
+            self.total -= old.len();
+            self.by_stamp.remove(&stamp);
+        }
+        while self.total + data.len() > self.cap {
+            let Some((&oldest, _)) = self.by_stamp.iter().next() else {
+                break;
+            };
+            let victim = self.by_stamp.remove(&oldest).expect("indexed");
+            let (evicted, _) = self.map.remove(&victim).expect("in map");
+            self.total -= evicted.len();
+        }
+        self.tick += 1;
+        self.total += data.len();
+        self.by_stamp.insert(self.tick, key);
+        self.map.insert(key, (data, self.tick));
+    }
+
+    /// Drop a key (used when a block is detected corrupt or rewritten).
+    fn remove(&mut self, key: &Digest) {
+        if let Some((data, stamp)) = self.map.remove(key) {
+            self.total -= data.len();
+            self.by_stamp.remove(&stamp);
+        }
+    }
+}
+
+struct Shard {
+    dir: PathBuf,
+    /// Serializes writes within the shard (reads go lock-free to the
+    /// filesystem; rename makes block files appear atomically).
+    write_lock: Mutex<()>,
+    cache: Mutex<ShardCache>,
+}
+
+/// The durable, sharded, content-addressed blockstore.
+pub struct ShardedStore {
+    root: PathBuf,
+    shards: Vec<Shard>,
+    cfg: StoreConfig,
+    tmp_counter: AtomicU64,
+    /// Operation counters.
+    pub metrics: ShardedMetrics,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("root", &self.root)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// Lowercase hex of a digest (the on-disk file name).
+pub fn hex(d: &Digest) -> String {
+    let mut s = String::with_capacity(64);
+    for b in d {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Parse a 64-char lowercase/uppercase hex digest.
+pub fn parse_hex(s: &str) -> Option<Digest> {
+    let s = s.trim();
+    if s.len() != 64 {
+        return None;
+    }
+    let mut d = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        d[i] = ((hi << 4) | lo) as u8;
+    }
+    Some(d)
+}
+
+/// Cheap JPEG sniff: SOI marker followed by another marker byte. The
+/// codec is the real gatekeeper; this only avoids paying a full parse
+/// for blocks that obviously are not JPEGs.
+fn looks_like_jpeg(data: &[u8]) -> bool {
+    data.len() > 3 && data[0] == 0xFF && data[1] == 0xD8 && data[2] == 0xFF
+}
+
+impl ShardedStore {
+    /// Open (creating if necessary) a store rooted at `root` with the
+    /// given configuration. Shard directories are `root/shard-NNN`;
+    /// opening an existing store with a different shard count is
+    /// rejected, because block placement depends on it.
+    pub fn open(root: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<Self> {
+        let root = root.into();
+        assert!(cfg.shards > 0, "at least one shard");
+        std::fs::create_dir_all(&root)?;
+        // Refuse to misplace blocks: a store remembers its geometry.
+        let geometry = root.join("GEOMETRY");
+        match std::fs::read_to_string(&geometry) {
+            Ok(existing) => {
+                let on_disk: usize = existing.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "unreadable GEOMETRY file")
+                })?;
+                if on_disk != cfg.shards {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "store has {on_disk} shards, asked to open with {}",
+                            cfg.shards
+                        ),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                std::fs::write(&geometry, format!("{}\n", cfg.shards))?;
+            }
+            Err(e) => return Err(e),
+        }
+        let per_shard_cache = cfg.cache_bytes / cfg.shards;
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let dir = root.join(format!("shard-{i:03}"));
+            std::fs::create_dir_all(&dir)?;
+            shards.push(Shard {
+                dir,
+                write_lock: Mutex::new(()),
+                cache: Mutex::new(ShardCache::new(per_shard_cache)),
+            });
+        }
+        Ok(ShardedStore {
+            root,
+            shards,
+            cfg,
+            tmp_counter: AtomicU64::new(0),
+            metrics: ShardedMetrics::default(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &Digest) -> &Shard {
+        let idx = u16::from_be_bytes([key[0], key[1]]) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    fn block_path(&self, key: &Digest) -> PathBuf {
+        self.shard_of(key).dir.join(hex(key))
+    }
+
+    /// Store a block; returns the SHA-256 of `data`, under which the
+    /// original bytes are retrievable forever after — whatever encoding
+    /// won at admission.
+    pub fn put(&self, data: &[u8]) -> Result<Digest, StoreError> {
+        self.put_with(data, true)
+    }
+
+    /// Store a block without running the codec — the per-request
+    /// shutoff path (§5.7): writes are never refused, they just land
+    /// raw, and a later [`ShardedStore::backfill`] converts them.
+    pub fn put_raw(&self, data: &[u8]) -> Result<Digest, StoreError> {
+        self.put_with(data, false)
+    }
+
+    fn put_with(&self, data: &[u8], compress: bool) -> Result<Digest, StoreError> {
+        let key = sha256(data);
+        let path = self.block_path(&key);
+        if path.exists() {
+            return Ok(key); // content-addressed dedup
+        }
+
+        // Encode outside the shard lock: the codec is the expensive
+        // part and needs no coordination.
+        let compress = compress && self.cfg.compress_on_write;
+        let (format, payload) = if compress && looks_like_jpeg(data) {
+            match self.try_admit(data) {
+                Some(lepton) => (StoredFormat::Lepton, lepton),
+                None => (StoredFormat::Raw, data.to_vec()),
+            }
+        } else {
+            (StoredFormat::Raw, data.to_vec())
+        };
+
+        let shard = self.shard_of(&key);
+        let guard = shard.write_lock.lock();
+        if path.exists() {
+            return Ok(key); // raced with another writer of the same content
+        }
+        self.write_record(shard, &path, format, data.len() as u64, &payload)?;
+        drop(guard);
+
+        self.metrics
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .bytes_stored
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        match format {
+            StoredFormat::Lepton => &self.metrics.lepton_blocks,
+            _ => &self.metrics.raw_blocks,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        Ok(key)
+    }
+
+    /// The commit gate: compress, then prove the round trip against
+    /// the caller's exact bytes before anything is admitted. `None`
+    /// means "store the original" — never an error to the caller.
+    fn try_admit(&self, data: &[u8]) -> Option<Vec<u8>> {
+        let mut opts = self.cfg.compress.clone();
+        opts.verify = true;
+        let lepton = lepton_core::compress(data, &opts).ok()?;
+        // compress() already verified internally, but the blockstore
+        // commit gate trusts nothing it did not check itself (§5.6
+        // "double-checks the result").
+        if lepton_core::decompress(&lepton).as_deref() == Ok(data) {
+            if lepton.len() < data.len() {
+                return Some(lepton);
+            }
+            return None; // compression won nothing; raw is simpler
+        }
+        self.metrics
+            .roundtrip_failures
+            .fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Write a block record atomically: temp file in the shard dir,
+    /// then rename into place. Callers hold the shard write lock.
+    fn write_record(
+        &self,
+        shard: &Shard,
+        path: &Path,
+        format: StoredFormat,
+        original_len: u64,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let tmp = shard.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&RECORD_MAGIC)?;
+        f.write_all(&[format_byte(format)])?;
+        f.write_all(&original_len.to_le_bytes())?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Retrieve a block's original bytes. `Ok(None)` means the key is
+    /// not in the store; a damaged record is [`StoreError::Corrupt`].
+    pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
+        let shard = self.shard_of(key);
+        if let Some(hit) = shard.cache.lock().get(key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(hit));
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let (format, original_len, payload) = match self.read_record(key)? {
+            Some(rec) => rec,
+            None => return Ok(None),
+        };
+        let decoded = match format {
+            StoredFormat::Lepton => match lepton_core::decompress(&payload) {
+                Ok(jpeg) => jpeg,
+                Err(_) => return Err(self.corrupt(shard, key)),
+            },
+            StoredFormat::Deflate => {
+                match lepton_deflate::zlib_decompress(&payload, original_len as usize) {
+                    Ok(bytes) => bytes,
+                    Err(_) => return Err(self.corrupt(shard, key)),
+                }
+            }
+            StoredFormat::Raw => payload,
+        };
+        // The read-path integrity gate: what we serve must hash to the
+        // address it was stored under.
+        if decoded.len() as u64 != original_len || sha256(&decoded) != *key {
+            return Err(self.corrupt(shard, key));
+        }
+        if self.cfg.cache_bytes > 0 {
+            shard.cache.lock().insert(*key, decoded.clone());
+        }
+        Ok(Some(decoded))
+    }
+
+    fn corrupt(&self, shard: &Shard, key: &Digest) -> StoreError {
+        self.metrics.corrupt_blocks.fetch_add(1, Ordering::Relaxed);
+        shard.cache.lock().remove(key);
+        StoreError::Corrupt(*key)
+    }
+
+    /// Open a record and parse its header. A truncated or unparseable
+    /// header is corruption (counted, cache purged); a genuine I/O
+    /// failure is [`StoreError::Io`], never misreported as damage.
+    fn open_record(
+        &self,
+        key: &Digest,
+    ) -> Result<Option<(StoredFormat, u64, std::fs::File)>, StoreError> {
+        let path = self.block_path(key);
+        let mut f = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut header = [0u8; HEADER_LEN];
+        if let Err(e) = f.read_exact(&mut header) {
+            return if e.kind() == io::ErrorKind::UnexpectedEof {
+                Err(self.corrupt(self.shard_of(key), key)) // truncated record
+            } else {
+                Err(e.into())
+            };
+        }
+        if header[..4] != RECORD_MAGIC {
+            return Err(self.corrupt(self.shard_of(key), key));
+        }
+        let Some(format) = parse_format(header[4]) else {
+            return Err(self.corrupt(self.shard_of(key), key));
+        };
+        let original_len = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
+        Ok(Some((format, original_len, f)))
+    }
+
+    /// Header-only read: format, original length, and at-rest payload
+    /// size (from file metadata — the payload bytes are not touched).
+    fn read_header(&self, key: &Digest) -> Result<Option<(StoredFormat, u64, u64)>, StoreError> {
+        let Some((format, original_len, f)) = self.open_record(key)? else {
+            return Ok(None);
+        };
+        let total = f.metadata().map_err(StoreError::Io)?.len();
+        Ok(Some((
+            format,
+            original_len,
+            total.saturating_sub(HEADER_LEN as u64),
+        )))
+    }
+
+    fn read_record(
+        &self,
+        key: &Digest,
+    ) -> Result<Option<(StoredFormat, u64, Vec<u8>)>, StoreError> {
+        let Some((format, original_len, mut f)) = self.open_record(key)? else {
+            return Ok(None);
+        };
+        let mut payload = Vec::new();
+        f.read_to_end(&mut payload)?;
+        Ok(Some((format, original_len, payload)))
+    }
+
+    /// Whether `key` is present (no decode, no cache effects).
+    pub fn contains(&self, key: &Digest) -> bool {
+        self.block_path(key).exists()
+    }
+
+    /// How a block is encoded at rest, if present (header-only read).
+    pub fn format_of(&self, key: &Digest) -> Result<Option<StoredFormat>, StoreError> {
+        Ok(self.read_header(key)?.map(|(f, _, _)| f))
+    }
+
+    /// At-rest payload size of a block, if present (header-only read).
+    pub fn stored_size(&self, key: &Digest) -> Result<Option<usize>, StoreError> {
+        Ok(self.read_header(key)?.map(|(_, _, p)| p as usize))
+    }
+
+    /// Every block address in the store, in shard order. Temp files
+    /// and unparseable names are skipped.
+    pub fn keys(&self) -> io::Result<Vec<Digest>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for entry in std::fs::read_dir(&shard.dir)? {
+                let entry = entry?;
+                if let Some(name) = entry.file_name().to_str() {
+                    if let Some(d) = parse_hex(name) {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Walk the store and summarize it. Header-only reads — payload
+    /// bytes are never touched. Records with damaged headers are
+    /// skipped (they are already counted in `metrics.corrupt_blocks`);
+    /// genuine I/O failures still abort the walk.
+    pub fn stat(&self) -> Result<StoreStats, StoreError> {
+        let mut stats = StoreStats {
+            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.metrics.cache_misses.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for key in self.keys()? {
+            let (format, original_len, payload_len) = match self.read_header(&key) {
+                Ok(Some(rec)) => rec,
+                Ok(None) | Err(StoreError::Corrupt(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            stats.blocks += 1;
+            stats.logical_bytes += original_len;
+            stats.stored_bytes += payload_len;
+            match format {
+                StoredFormat::Lepton => stats.lepton_blocks += 1,
+                _ => stats.raw_blocks += 1,
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Convert one existing block to Lepton in place if it qualifies.
+    /// Returns `(bytes_before, bytes_after)` when converted.
+    fn backfill_one(&self, key: &Digest) -> Result<Option<(u64, u64)>, StoreError> {
+        let Some((format, _, before)) = self.read_header(key)? else {
+            return Ok(None);
+        };
+        if format == StoredFormat::Lepton {
+            return Ok(None);
+        }
+        // Full read path (hash check included): never convert bytes we
+        // cannot prove are the original content.
+        let Some(original) = self.get(key)? else {
+            return Ok(None);
+        };
+        if !looks_like_jpeg(&original) {
+            return Ok(None);
+        }
+        let Some(lepton) = self.try_admit(&original) else {
+            return Ok(None);
+        };
+        if lepton.len() as u64 >= before {
+            return Ok(None);
+        }
+        let shard = self.shard_of(key);
+        let after = lepton.len() as u64;
+        {
+            let _guard = shard.write_lock.lock();
+            self.write_record(
+                shard,
+                &self.block_path(key),
+                StoredFormat::Lepton,
+                original.len() as u64,
+                &lepton,
+            )?;
+        }
+        // The cached decode stays valid (content is unchanged). The
+        // put-path counters are not touched — this handle may never
+        // have put the block — only the monotonic conversion count;
+        // at-rest truth comes from `stat()`.
+        self.metrics
+            .backfill_conversions
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Some((before, after)))
+    }
+
+    /// The backfill driver (§5.6): walk the store with `parallelism`
+    /// worker threads, converting every eligible block in place. Safe
+    /// to run while `put`/`get` traffic continues.
+    pub fn backfill(&self, parallelism: usize) -> Result<BackfillReport, StoreError> {
+        let parallelism = parallelism.max(1);
+        let todo: Vec<Digest> = {
+            let mut v = Vec::new();
+            for key in self.keys()? {
+                if self.format_of(&key)? != Some(StoredFormat::Lepton) {
+                    v.push(key);
+                }
+            }
+            v
+        };
+        let t0 = Instant::now();
+        let next = AtomicUsize::new(0);
+        let converted = AtomicU64::new(0);
+        let skipped = AtomicU64::new(0);
+        let bytes_before = AtomicU64::new(0);
+        let bytes_after = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..parallelism {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = todo.get(i) else { break };
+                    match self.backfill_one(key) {
+                        Ok(Some((before, after))) => {
+                            converted.fetch_add(1, Ordering::Relaxed);
+                            bytes_before.fetch_add(before, Ordering::Relaxed);
+                            bytes_after.fetch_add(after, Ordering::Relaxed);
+                        }
+                        // Corrupt or ineligible blocks are left alone;
+                        // backfill is an optimization pass, not repair.
+                        Ok(None) | Err(_) => {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        Ok(BackfillReport {
+            scanned: todo.len() as u64,
+            converted: converted.into_inner(),
+            skipped: skipped.into_inner(),
+            bytes_before: bytes_before.into_inner(),
+            bytes_after: bytes_after.into_inner(),
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+fn format_byte(f: StoredFormat) -> u8 {
+    match f {
+        StoredFormat::Lepton => b'L',
+        StoredFormat::Deflate => b'Z',
+        StoredFormat::Raw => b'R',
+    }
+}
+
+fn parse_format(b: u8) -> Option<StoredFormat> {
+    match b {
+        b'L' => Some(StoredFormat::Lepton),
+        b'Z' => Some(StoredFormat::Deflate),
+        b'R' => Some(StoredFormat::Raw),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec {
+            min_dim: 64,
+            max_dim: 144,
+            ..Default::default()
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("lepton-blockstore-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn jpeg_put_is_transparent_and_compressed() {
+        let root = temp_root("basic");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let jpg = clean_jpeg(&spec(), 1);
+        let key = store.put(&jpg).unwrap();
+        assert_eq!(key, sha256(&jpg), "addressed by original content");
+        assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Lepton));
+        assert!(store.stored_size(&key).unwrap().unwrap() < jpg.len());
+        assert_eq!(store.get(&key).unwrap().unwrap(), jpg);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn non_jpeg_stored_raw_and_roundtrips() {
+        let root = temp_root("raw");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let data = b"plain bytes, not an image".repeat(50);
+        let key = store.put(&data).unwrap();
+        assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Raw));
+        assert_eq!(store.get(&key).unwrap().unwrap(), data);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cache_serves_hot_reads() {
+        let root = temp_root("cache");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let jpg = clean_jpeg(&spec(), 2);
+        let key = store.put(&jpg).unwrap();
+        assert_eq!(store.get(&key).unwrap().unwrap(), jpg); // cold: decode + fill
+        assert_eq!(store.get(&key).unwrap().unwrap(), jpg); // hot
+        assert_eq!(store.metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(store.metrics.cache_misses.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_budget() {
+        let mut cache = ShardCache::new(100);
+        cache.insert([1; 32], vec![0; 40]);
+        cache.insert([2; 32], vec![0; 40]);
+        assert!(cache.get(&[1; 32]).is_some()); // touch 1: now 2 is LRU
+        cache.insert([3; 32], vec![0; 40]); // evicts 2
+        assert!(cache.get(&[2; 32]).is_none());
+        assert!(cache.get(&[1; 32]).is_some());
+        assert!(cache.get(&[3; 32]).is_some());
+        // An over-budget block is refused, not cached at everyone
+        // else's expense.
+        cache.insert([4; 32], vec![0; 101]);
+        assert!(cache.get(&[4; 32]).is_none());
+    }
+
+    #[test]
+    fn store_persists_across_reopen() {
+        let root = temp_root("reopen");
+        let jpg = clean_jpeg(&spec(), 3);
+        let key = {
+            let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+            store.put(&jpg).unwrap()
+        };
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        assert!(store.contains(&key));
+        assert_eq!(store.get(&key).unwrap().unwrap(), jpg);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_with_wrong_shard_count_is_refused() {
+        let root = temp_root("geometry");
+        drop(ShardedStore::open(&root, StoreConfig::default()).unwrap());
+        let wrong = StoreConfig {
+            shards: 3,
+            ..Default::default()
+        };
+        assert!(ShardedStore::open(&root, wrong).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn shutoff_then_backfill_converts_in_place() {
+        let root = temp_root("backfill");
+        let cfg = StoreConfig {
+            compress_on_write: false,
+            ..Default::default()
+        };
+        let store = ShardedStore::open(&root, cfg).unwrap();
+        let jpgs: Vec<Vec<u8>> = (0..4).map(|s| clean_jpeg(&spec(), 10 + s)).collect();
+        let mut keys = Vec::new();
+        for j in &jpgs {
+            keys.push(store.put(j).unwrap());
+        }
+        // Plus one non-JPEG that backfill must leave alone.
+        let other = store.put(b"not an image at all").unwrap();
+        for k in &keys {
+            assert_eq!(store.format_of(k).unwrap(), Some(StoredFormat::Raw));
+        }
+        let report = store.backfill(2).unwrap();
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.converted, 4, "{report:?}");
+        assert!(report.savings() > 0.0);
+        for (k, j) in keys.iter().zip(&jpgs) {
+            assert_eq!(store.format_of(k).unwrap(), Some(StoredFormat::Lepton));
+            assert_eq!(store.get(k).unwrap().unwrap(), *j);
+        }
+        assert_eq!(store.format_of(&other).unwrap(), Some(StoredFormat::Raw));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn backfill_from_fresh_handle_keeps_counters_sane() {
+        // A backfill run in a process that never put the blocks (the
+        // CLI pattern: put in one invocation, backfill in another)
+        // must not wrap the put-path counters.
+        let root = temp_root("fresh-backfill");
+        {
+            let cfg = StoreConfig {
+                compress_on_write: false,
+                ..Default::default()
+            };
+            let store = ShardedStore::open(&root, cfg).unwrap();
+            store.put(&clean_jpeg(&spec(), 21)).unwrap();
+        }
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let report = store.backfill(2).unwrap();
+        assert_eq!(report.converted, 1);
+        let m = &store.metrics;
+        assert_eq!(m.backfill_conversions.load(Ordering::Relaxed), 1);
+        assert_eq!(m.raw_blocks.load(Ordering::Relaxed), 0, "no wraparound");
+        assert!(m.bytes_stored.load(Ordering::Relaxed) < u64::MAX / 2);
+        // The disk walk is the authority on at-rest state.
+        let s = store.stat().unwrap();
+        assert_eq!(s.lepton_blocks, 1);
+        assert_eq!(s.raw_blocks, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn put_raw_skips_the_codec() {
+        let root = temp_root("putraw");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let jpg = clean_jpeg(&spec(), 22);
+        let key = store.put_raw(&jpg).unwrap();
+        assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Raw));
+        assert_eq!(store.get(&key).unwrap().unwrap(), jpg);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn hex_digest_roundtrip() {
+        let d = sha256(b"abc");
+        assert_eq!(parse_hex(&hex(&d)), Some(d));
+        assert_eq!(parse_hex("zz"), None);
+        assert_eq!(parse_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    fn blocks_spread_across_shard_directories() {
+        let root = temp_root("spread");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        for i in 0..64u64 {
+            store.put(format!("block {i}").as_bytes()).unwrap();
+        }
+        let used = (0..store.shard_count())
+            .filter(|i| {
+                std::fs::read_dir(root.join(format!("shard-{i:03}")))
+                    .map(|d| d.count() > 0)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(used > store.shard_count() / 2, "only {used} shards used");
+        assert_eq!(store.keys().unwrap().len(), 64);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

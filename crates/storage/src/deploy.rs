@@ -44,6 +44,7 @@ pub struct Build {
 
 impl Build {
     /// Can this build decode a file written at `file_version`?
+    #[must_use]
     pub fn can_decode(&self, file_version: u8) -> bool {
         (self.accepts_from..=self.writes_version).contains(&file_version)
     }
@@ -98,16 +99,23 @@ impl VersionedCodec {
 /// eligible forever, and the tool's *default* (used when the operator
 /// leaves the hash field blank) was "set when Lepton was first
 /// deployed and never updated".
+///
+/// **Warning:** [`QualificationRegistry::deploy`] reproduces that
+/// dangerous default on purpose; use
+/// [`QualificationRegistry::deploy_safe`] anywhere correctness
+/// matters.
 #[derive(Clone, Debug, Default)]
 pub struct QualificationRegistry {
     builds: Vec<Build>,
 }
 
-/// Outcome of a deployment request.
+/// Outcome of a deployment request. Borrows the registry's build —
+/// deployment is a *selection*, not a transfer; callers clone only if
+/// they actually ship the build somewhere.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DeployOutcome {
+pub enum DeployOutcome<'a> {
     /// The named (or defaulted) build is being deployed.
-    Deployed(Build),
+    Deployed(&'a Build),
     /// No such qualified build.
     UnknownHash(String),
 }
@@ -120,11 +128,13 @@ impl QualificationRegistry {
     }
 
     /// All qualified builds, oldest first.
+    #[must_use]
     pub fn qualified(&self) -> &[Build] {
         &self.builds
     }
 
     /// The newest qualified build — what operators *intend* to deploy.
+    #[must_use]
     pub fn newest(&self) -> Option<&Build> {
         self.builds.last()
     }
@@ -133,14 +143,20 @@ impl QualificationRegistry {
     /// leaves the field blank — the internal default, which is the
     /// *first* qualified build (the §6.7 footgun, reproduced
     /// deliberately; see [`QualificationRegistry::deploy_safe`]).
-    pub fn deploy(&self, hash: Option<&str>) -> DeployOutcome {
+    ///
+    /// **Warning:** the blank-field default is the dangerous historical
+    /// behavior: the build it hands back may be unable to decode what
+    /// the fleet currently writes. Inspect the outcome — ignoring it is
+    /// exactly how the December 12th incident happened.
+    #[must_use = "the blank-field default may select an incompatible build; check the outcome"]
+    pub fn deploy(&self, hash: Option<&str>) -> DeployOutcome<'_> {
         match hash {
             Some(h) => match self.builds.iter().find(|b| b.hash == h) {
-                Some(b) => DeployOutcome::Deployed(b.clone()),
+                Some(b) => DeployOutcome::Deployed(b),
                 None => DeployOutcome::UnknownHash(h.to_string()),
             },
             None => match self.builds.first() {
-                Some(b) => DeployOutcome::Deployed(b.clone()),
+                Some(b) => DeployOutcome::Deployed(b),
                 None => DeployOutcome::UnknownHash("<no qualified builds>".into()),
             },
         }
@@ -149,21 +165,22 @@ impl QualificationRegistry {
     /// The post-incident fix: builds whose acceptance window cannot
     /// read files written by the newest build are no longer eligible,
     /// and the default is the newest build, not the oldest.
-    pub fn deploy_safe(&self, hash: Option<&str>) -> DeployOutcome {
+    #[must_use = "deployment may be refused; check the outcome"]
+    pub fn deploy_safe(&self, hash: Option<&str>) -> DeployOutcome<'_> {
         let Some(newest) = self.newest() else {
             return DeployOutcome::UnknownHash("<no qualified builds>".into());
         };
         let eligible = |b: &Build| b.can_decode(newest.writes_version);
         match hash {
             Some(h) => match self.builds.iter().find(|b| b.hash == h) {
-                Some(b) if eligible(b) => DeployOutcome::Deployed(b.clone()),
+                Some(b) if eligible(b) => DeployOutcome::Deployed(b),
                 Some(b) => DeployOutcome::UnknownHash(format!(
                     "{} is qualified but format-incompatible (reads {}..={}, fleet writes {})",
                     b.hash, b.accepts_from, b.writes_version, newest.writes_version
                 )),
                 None => DeployOutcome::UnknownHash(h.to_string()),
             },
-            None => DeployOutcome::Deployed(newest.clone()),
+            None => DeployOutcome::Deployed(newest),
         }
     }
 }
@@ -297,7 +314,7 @@ mod tests {
         reg.qualify(v3.clone());
         assert_eq!(reg.newest(), Some(&v3));
         // The footgun: the operator leaves the field blank.
-        assert_eq!(reg.deploy(None), DeployOutcome::Deployed(v1));
+        assert_eq!(reg.deploy(None), DeployOutcome::Deployed(&v1));
     }
 
     #[test]
@@ -307,7 +324,7 @@ mod tests {
         reg.qualify(v1.clone());
         reg.qualify(v2.clone());
         reg.qualify(v3.clone());
-        assert_eq!(reg.deploy_safe(None), DeployOutcome::Deployed(v3.clone()));
+        assert_eq!(reg.deploy_safe(None), DeployOutcome::Deployed(&v3));
         // v1 cannot read what the fleet now writes (v3): not eligible,
         // even though it is still "qualified".
         assert!(matches!(
@@ -319,7 +336,10 @@ mod tests {
             reg.deploy_safe(Some("d4e5f6")),
             DeployOutcome::UnknownHash(_)
         ));
-        assert_eq!(reg.deploy_safe(Some("090807")), DeployOutcome::Deployed(v3));
+        assert_eq!(
+            reg.deploy_safe(Some("090807")),
+            DeployOutcome::Deployed(&v3)
+        );
     }
 
     #[test]
@@ -349,9 +369,9 @@ mod tests {
         let DeployOutcome::Deployed(accidental) = reg.deploy(None) else {
             panic!("deploy must succeed");
         };
-        assert_eq!(accidental, v1, "the tool's default is the oldest build");
+        assert_eq!(accidental, &v1, "the tool's default is the oldest build");
         let modern = VersionedCodec::new(v2, CompressOptions::default());
-        let stale = VersionedCodec::new(accidental, CompressOptions::default());
+        let stale = VersionedCodec::new(accidental.clone(), CompressOptions::default());
 
         // Uploads land on both kinds of servers while the bad config
         // is live.

@@ -11,7 +11,13 @@
 //! Operational controls from the paper are modeled too: the `/dev/shm`
 //! shutoff switch (§5.7), the safety-net double-write (§5.7/§6.5), and
 //! per-operation accounting that the cluster simulator consumes.
+//!
+//! Two stores live here: [`BlockStore`] is the in-memory model used by
+//! the simulators and tests, and [`blockstore::ShardedStore`] is the
+//! durable, sharded, disk-backed store the `lepton store` CLI and the
+//! conversion service run on.
 
+pub mod blockstore;
 pub mod deploy;
 pub mod sha256;
 

@@ -41,7 +41,7 @@ fn main() {
     println!("blank-field deploy resolves to: {} (!!)", accidental.hash);
 
     let modern = VersionedCodec::new(registry.qualified()[1].clone(), CompressOptions::default());
-    let stale = VersionedCodec::new(accidental, CompressOptions::default());
+    let stale = VersionedCodec::new(accidental.clone(), CompressOptions::default());
 
     // Billions of files were uploaded during the two-hour window; here,
     // a dozen, striped across good and bad blockservers.
