@@ -56,10 +56,14 @@ pub enum Command {
     },
     /// `lepton errorcodes` — print the §6.2 taxonomy and wire bytes.
     ErrorCodes,
-    /// `lepton store <put|get|backfill|stat> --root DIR ...` — operate
-    /// on a sharded, content-addressed blockstore with transparent
-    /// compress-on-write.
+    /// `lepton store <put|get|backfill|scrub|stat> --root DIR ...` —
+    /// operate on a sharded, content-addressed blockstore with
+    /// transparent compress-on-write.
     Store(StoreCommand),
+    /// `lepton fleet <serve|put|get|stat|rebalance> ...` — operate a
+    /// replicated fleet of blockserver nodes through the
+    /// consistent-hash gateway.
+    Fleet(FleetCommand),
     /// `lepton corpus --out DIR [--count N] [--seed S] [--dirty]` —
     /// write a synthetic corpus to disk.
     Corpus {
@@ -117,12 +121,87 @@ pub enum StoreCommand {
         /// Shard count (`--shards N`).
         shards: usize,
     },
+    /// `store scrub --root DIR [--parallelism N] [--quarantine]`:
+    /// hash-check every block at rest; exits 1 if any block is
+    /// damaged. With `--quarantine`, damaged records are moved aside
+    /// so a re-`put` of the true content (e.g. from a replica) lands
+    /// instead of deduping against the bad file.
+    Scrub {
+        /// Store root directory.
+        root: PathBuf,
+        /// Worker threads.
+        parallelism: usize,
+        /// Shard count (`--shards N`).
+        shards: usize,
+        /// Quarantine the damage found (`--quarantine`).
+        quarantine: bool,
+    },
     /// `store stat --root DIR`: walk the store and summarize it.
     Stat {
         /// Store root directory.
         root: PathBuf,
         /// Shard count (`--shards N`).
         shards: usize,
+    },
+}
+
+/// The `lepton fleet` subcommands. All but `serve` act through the
+/// consistent-hash gateway, configured from a manifest file (one
+/// `name endpoint` line per node) so every invocation agrees on
+/// placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetCommand {
+    /// `fleet serve --root DIR [--nodes N] [--shards S]
+    /// [--no-compress]`: run N complete blockserver nodes in this
+    /// process, each with a store under `DIR/node-NNN`, and write the
+    /// manifest to `DIR/FLEET`.
+    Serve {
+        /// Fleet root directory.
+        root: PathBuf,
+        /// Node count.
+        nodes: usize,
+        /// Shards per node store.
+        shards: usize,
+        /// `--no-compress`: nodes store raw (backfill converts later).
+        compress: bool,
+    },
+    /// `fleet put --manifest FILE <file...> [--replicas R]`: store
+    /// each file as one replicated block.
+    Put {
+        /// Manifest file.
+        manifest: PathBuf,
+        /// Files to store.
+        files: Vec<PathBuf>,
+        /// Replication factor.
+        replicas: usize,
+    },
+    /// `fleet get --manifest FILE <hex-digest> [out|-] [--replicas R]`:
+    /// fetch a block through failover.
+    Get {
+        /// Manifest file.
+        manifest: PathBuf,
+        /// 64-char hex content address.
+        digest: String,
+        /// Output path, `-`/absent for stdout.
+        output: Output,
+        /// Replication factor.
+        replicas: usize,
+    },
+    /// `fleet stat --manifest FILE [--replicas R]`: aggregate
+    /// per-node blockstore stats and health.
+    Stat {
+        /// Manifest file.
+        manifest: PathBuf,
+        /// Replication factor.
+        replicas: usize,
+    },
+    /// `fleet rebalance --manifest FILE [--replicas R]`: stream
+    /// blocks whose replica set changed onto their new owners.
+    Rebalance {
+        /// Manifest file.
+        manifest: PathBuf,
+        /// Replication factor.
+        replicas: usize,
     },
 }
 
@@ -285,6 +364,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
         }
         "errorcodes" => Ok(Command::ErrorCodes),
         "store" => parse_store(&mut it),
+        "fleet" => parse_fleet(&mut it),
         "corpus" => {
             let mut out = None;
             let mut count = 50usize;
@@ -318,13 +398,14 @@ pub const DEFAULT_SHARDS: usize = 16;
 fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, UsageError> {
     let Some(sub) = it.next() else {
         return Err(UsageError(
-            "store needs a subcommand: put | get | backfill | stat".into(),
+            "store needs a subcommand: put | get | backfill | scrub | stat".into(),
         ));
     };
     let mut root = None;
     let mut shards = DEFAULT_SHARDS;
     let mut parallelism = 4usize;
     let mut compress = true;
+    let mut quarantine = false;
     let mut positional: Vec<&str> = Vec::new();
     while let Some(a) = it.next() {
         match a {
@@ -332,6 +413,7 @@ fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
             "--shards" => shards = parse_num(a, want_value(a, it)?)?,
             "--parallelism" => parallelism = parse_num(a, want_value(a, it)?)?,
             "--no-compress" => compress = false,
+            "--quarantine" => quarantine = true,
             _ if a.starts_with("--") => return Err(UsageError(format!("unknown flag {a}"))),
             _ => positional.push(a),
         }
@@ -370,8 +452,97 @@ fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
             parallelism,
             shards,
         })),
+        "scrub" => Ok(Command::Store(StoreCommand::Scrub {
+            root,
+            parallelism,
+            shards,
+            quarantine,
+        })),
         "stat" => Ok(Command::Store(StoreCommand::Stat { root, shards })),
         other => Err(UsageError(format!("unknown store subcommand {other:?}"))),
+    }
+}
+
+/// Default replication factor for `lepton fleet` (matches
+/// `FleetConfig::default()`).
+pub const DEFAULT_REPLICAS: usize = 2;
+
+fn parse_fleet<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, UsageError> {
+    let Some(sub) = it.next() else {
+        return Err(UsageError(
+            "fleet needs a subcommand: serve | put | get | stat | rebalance".into(),
+        ));
+    };
+    let mut root = None;
+    let mut manifest = None;
+    let mut nodes = 3usize;
+    let mut shards = DEFAULT_SHARDS;
+    let mut replicas = DEFAULT_REPLICAS;
+    let mut compress = true;
+    let mut positional: Vec<&str> = Vec::new();
+    while let Some(a) = it.next() {
+        match a {
+            "--root" => root = Some(PathBuf::from(want_value(a, it)?)),
+            "--manifest" => manifest = Some(PathBuf::from(want_value(a, it)?)),
+            "--nodes" => nodes = parse_num(a, want_value(a, it)?)?,
+            "--shards" => shards = parse_num(a, want_value(a, it)?)?,
+            "--replicas" => replicas = parse_num(a, want_value(a, it)?)?,
+            "--no-compress" => compress = false,
+            _ if a.starts_with("--") => return Err(UsageError(format!("unknown flag {a}"))),
+            _ => positional.push(a),
+        }
+    }
+    if replicas == 0 {
+        return Err(UsageError("--replicas must be at least 1".into()));
+    }
+    let want_manifest = |manifest: Option<PathBuf>| {
+        manifest.ok_or_else(|| UsageError(format!("fleet {sub} needs --manifest FILE")))
+    };
+    match sub {
+        "serve" => {
+            let root = root.ok_or_else(|| UsageError("fleet serve needs --root DIR".into()))?;
+            if nodes == 0 || shards == 0 {
+                return Err(UsageError("--nodes/--shards must be at least 1".into()));
+            }
+            Ok(Command::Fleet(FleetCommand::Serve {
+                root,
+                nodes,
+                shards,
+                compress,
+            }))
+        }
+        "put" => {
+            if positional.is_empty() {
+                return Err(UsageError("fleet put needs at least one file".into()));
+            }
+            Ok(Command::Fleet(FleetCommand::Put {
+                manifest: want_manifest(manifest)?,
+                files: positional.iter().map(PathBuf::from).collect(),
+                replicas,
+            }))
+        }
+        "get" => {
+            let digest = positional
+                .first()
+                .ok_or_else(|| UsageError("fleet get needs a hex digest".into()))?
+                .to_string();
+            let output = positional.get(1).map_or(Output::Stdout, |a| parse_out(a));
+            Ok(Command::Fleet(FleetCommand::Get {
+                manifest: want_manifest(manifest)?,
+                digest,
+                output,
+                replicas,
+            }))
+        }
+        "stat" => Ok(Command::Fleet(FleetCommand::Stat {
+            manifest: want_manifest(manifest)?,
+            replicas,
+        })),
+        "rebalance" => Ok(Command::Fleet(FleetCommand::Rebalance {
+            manifest: want_manifest(manifest)?,
+            replicas,
+        })),
+        other => Err(UsageError(format!("unknown fleet subcommand {other:?}"))),
     }
 }
 
@@ -390,7 +561,13 @@ USAGE:
   lepton store put      --root DIR <file...> [--shards N] [--no-compress]
   lepton store get      --root DIR <hex-digest> [out|-] [--shards N]
   lepton store backfill --root DIR [--parallelism N] [--shards N]
+  lepton store scrub    --root DIR [--parallelism N] [--shards N] [--quarantine]
   lepton store stat     --root DIR [--shards N]
+  lepton fleet serve    --root DIR [--nodes N] [--shards S] [--no-compress]
+  lepton fleet put      --manifest FILE <file...> [--replicas R]
+  lepton fleet get      --manifest FILE <hex-digest> [out|-] [--replicas R]
+  lepton fleet stat     --manifest FILE [--replicas R]
+  lepton fleet rebalance --manifest FILE [--replicas R]
   lepton errorcodes
   lepton help | version
 
@@ -531,6 +708,94 @@ mod tests {
                 shards: DEFAULT_SHARDS,
             })
         );
+    }
+
+    #[test]
+    fn store_scrub_parses() {
+        assert_eq!(
+            parse(&["store", "scrub", "--root", "/s", "--parallelism", "2"]).unwrap(),
+            Command::Store(StoreCommand::Scrub {
+                root: "/s".into(),
+                parallelism: 2,
+                shards: DEFAULT_SHARDS,
+                quarantine: false,
+            })
+        );
+        let Command::Store(StoreCommand::Scrub { quarantine, .. }) =
+            parse(&["store", "scrub", "--root", "/s", "--quarantine"]).unwrap()
+        else {
+            panic!()
+        };
+        assert!(quarantine);
+    }
+
+    #[test]
+    fn fleet_subcommands_parse() {
+        assert_eq!(
+            parse(&["fleet", "serve", "--root", "/f", "--nodes", "5"]).unwrap(),
+            Command::Fleet(FleetCommand::Serve {
+                root: "/f".into(),
+                nodes: 5,
+                shards: DEFAULT_SHARDS,
+                compress: true,
+            })
+        );
+        assert_eq!(
+            parse(&["fleet", "put", "--manifest", "/f/FLEET", "a.jpg", "b.jpg"]).unwrap(),
+            Command::Fleet(FleetCommand::Put {
+                manifest: "/f/FLEET".into(),
+                files: vec!["a.jpg".into(), "b.jpg".into()],
+                replicas: DEFAULT_REPLICAS,
+            })
+        );
+        let c = parse(&[
+            "fleet",
+            "get",
+            "--manifest",
+            "/f/FLEET",
+            &"cd".repeat(32),
+            "-",
+            "--replicas",
+            "3",
+        ])
+        .unwrap();
+        let Command::Fleet(FleetCommand::Get {
+            output, replicas, ..
+        }) = c
+        else {
+            panic!()
+        };
+        assert_eq!(output, Output::Stdout);
+        assert_eq!(replicas, 3);
+        assert_eq!(
+            parse(&["fleet", "stat", "--manifest", "/f/FLEET"]).unwrap(),
+            Command::Fleet(FleetCommand::Stat {
+                manifest: "/f/FLEET".into(),
+                replicas: DEFAULT_REPLICAS,
+            })
+        );
+        assert_eq!(
+            parse(&["fleet", "rebalance", "--manifest", "/f/FLEET"]).unwrap(),
+            Command::Fleet(FleetCommand::Rebalance {
+                manifest: "/f/FLEET".into(),
+                replicas: DEFAULT_REPLICAS,
+            })
+        );
+    }
+
+    #[test]
+    fn fleet_usage_errors() {
+        assert!(parse(&["fleet"]).is_err());
+        assert!(parse(&["fleet", "scale-to-the-moon"]).is_err());
+        assert!(parse(&["fleet", "serve"]).is_err(), "needs --root");
+        assert!(parse(&["fleet", "serve", "--root", "/f", "--nodes", "0"]).is_err());
+        assert!(parse(&["fleet", "put", "a.jpg"]).is_err(), "needs manifest");
+        assert!(
+            parse(&["fleet", "put", "--manifest", "/m"]).is_err(),
+            "needs files"
+        );
+        assert!(parse(&["fleet", "get", "--manifest", "/m"]).is_err());
+        assert!(parse(&["fleet", "stat", "--manifest", "/m", "--replicas", "0"]).is_err());
     }
 
     #[test]

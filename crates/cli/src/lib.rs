@@ -14,10 +14,11 @@
 
 pub mod args;
 
-use args::{Command, Input, Output, StoreCommand};
+use args::{Command, FleetCommand, Input, Output, StoreCommand};
 use lepton_core::verify::{qualify, verify_roundtrip, Verdict};
 use lepton_core::{CompressOptions, ExitCode, ThreadPolicy};
 use lepton_corpus::builder::{Corpus, CorpusSpec, FileKind};
+use lepton_fleet::{manifest_path, read_manifest, FleetConfig, FleetGateway, LocalFleet};
 use lepton_server::protocol::EXIT_CODES;
 use lepton_storage::blockstore::{hex, parse_hex, ShardedStore, StoreConfig};
 use std::io::{Read, Write};
@@ -276,6 +277,7 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
             Ok(0)
         }
         Command::Store(store_cmd) => run_store(store_cmd, log),
+        Command::Fleet(fleet_cmd) => run_fleet(fleet_cmd, log),
         Command::Corpus {
             out,
             count,
@@ -406,6 +408,40 @@ fn run_store(cmd: StoreCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             )?;
             Ok(0)
         }
+        StoreCommand::Scrub {
+            root,
+            parallelism,
+            shards,
+            quarantine,
+        } => {
+            let store = open_store(&root, shards, true)?;
+            let report = store.scrub(parallelism)?;
+            writeln!(
+                log,
+                "scrub: scanned {}, corrupt {} in {:.2}s",
+                report.scanned, report.corrupt, report.secs
+            )?;
+            for key in &report.corrupt_keys {
+                if quarantine {
+                    let moved = store.quarantine(key)?;
+                    writeln!(
+                        log,
+                        "  corrupt {} {}",
+                        hex(key),
+                        if moved {
+                            "(quarantined — a re-put of the true content will land)"
+                        } else {
+                            "(already quarantined)"
+                        }
+                    )?;
+                } else {
+                    writeln!(log, "  corrupt {}", hex(key))?;
+                }
+            }
+            // Damage is an operator-actionable failure: nonzero exit
+            // so cron/CI notices.
+            Ok(if report.corrupt == 0 { 0 } else { 1 })
+        }
         StoreCommand::Stat { root, shards } => {
             let store = open_store(&root, shards, true)?;
             let s = store.stat()?;
@@ -422,6 +458,164 @@ fn run_store(cmd: StoreCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             writeln!(log, "  stored bytes:  {:>12}", s.stored_bytes)?;
             writeln!(log, "  savings:       {:>11.1}%", 100.0 * s.savings())?;
             Ok(0)
+        }
+    }
+}
+
+/// Build a gateway from a manifest file.
+fn open_gateway(
+    manifest: &Path,
+    replicas: usize,
+) -> Result<FleetGateway, Box<dyn std::error::Error>> {
+    let members = read_manifest(manifest)?;
+    let cfg = FleetConfig {
+        replicas,
+        ..Default::default()
+    };
+    Ok(FleetGateway::new(members, cfg))
+}
+
+/// The `lepton fleet` family: a replicated fleet of blockserver nodes
+/// behind the consistent-hash gateway.
+fn run_fleet(cmd: FleetCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std::error::Error>> {
+    match cmd {
+        FleetCommand::Serve {
+            root,
+            nodes,
+            shards,
+            compress,
+        } => {
+            std::fs::create_dir_all(&root)?;
+            let store_cfg = StoreConfig {
+                shards,
+                compress_on_write: compress,
+                ..Default::default()
+            };
+            let fleet = LocalFleet::spawn(
+                &root,
+                nodes,
+                &store_cfg,
+                &lepton_server::ServiceConfig::default(),
+            )?;
+            let manifest = manifest_path(&root);
+            fleet.write_manifest(&manifest)?;
+            writeln!(
+                log,
+                "fleet of {nodes} nodes; manifest {}",
+                pretty(&manifest)
+            )?;
+            for (name, ep) in fleet.members() {
+                writeln!(log, "  {name} {ep}")?;
+            }
+            log.flush()?;
+            // Serve until killed, like the production fleet (§5.5).
+            loop {
+                std::thread::park();
+            }
+        }
+        FleetCommand::Put {
+            manifest,
+            files,
+            replicas,
+        } => {
+            let gw = open_gateway(&manifest, replicas)?;
+            for path in &files {
+                let data = std::fs::read(path)?;
+                let key = gw.put(&data)?;
+                writeln!(log, "{}  {}", hex(&key), pretty(path))?;
+            }
+            use std::sync::atomic::Ordering::Relaxed;
+            let partial = gw.metrics.partial_writes.load(Relaxed);
+            writeln!(
+                log,
+                "put {} blocks x{} replicas ({} partial writes)",
+                files.len(),
+                replicas,
+                partial
+            )?;
+            // Partial writes delivered the bytes but not the promised
+            // durability; surface that to scripts.
+            Ok(if partial == 0 { 0 } else { 1 })
+        }
+        FleetCommand::Get {
+            manifest,
+            digest,
+            output,
+            replicas,
+        } => {
+            let gw = open_gateway(&manifest, replicas)?;
+            let key = parse_hex(&digest)
+                .ok_or_else(|| args::UsageError(format!("bad digest {digest:?}")))?;
+            match gw.get(&key)? {
+                Some(bytes) => {
+                    match &output {
+                        Output::Path(p) => {
+                            std::fs::write(p, &bytes)?;
+                            writeln!(log, "{} -> {} ({} bytes)", digest, pretty(p), bytes.len())?;
+                        }
+                        Output::Stdout | Output::Derived => {
+                            std::io::stdout().lock().write_all(&bytes)?;
+                        }
+                    }
+                    Ok(0)
+                }
+                None => {
+                    writeln!(log, "lepton: no block {digest} in the fleet")?;
+                    Ok(1)
+                }
+            }
+        }
+        FleetCommand::Stat { manifest, replicas } => {
+            let gw = open_gateway(&manifest, replicas)?;
+            let s = gw.stat();
+            writeln!(
+                log,
+                "fleet of {} nodes ({} reachable), R={}:",
+                s.nodes.len(),
+                s.reachable,
+                replicas
+            )?;
+            for row in &s.nodes {
+                match &row.stats {
+                    Some(b) => writeln!(
+                        log,
+                        "  {:<10} {:>8} blocks {:>12} -> {:>12} bytes  failures {}",
+                        row.name,
+                        b.blocks,
+                        b.logical_bytes,
+                        b.stored_bytes,
+                        row.health.consecutive_failures,
+                    )?,
+                    None => writeln!(
+                        log,
+                        "  {:<10} unreachable{}",
+                        row.name,
+                        if row.health.ejected { " (ejected)" } else { "" }
+                    )?,
+                }
+            }
+            writeln!(log, "  copies:        {:>12}", s.copies)?;
+            writeln!(log, "    lepton:      {:>12}", s.lepton_copies)?;
+            writeln!(log, "  logical bytes: {:>12}", s.logical_bytes)?;
+            writeln!(log, "  stored bytes:  {:>12}", s.stored_bytes)?;
+            writeln!(log, "  savings:       {:>11.1}%", 100.0 * s.savings())?;
+            Ok(0)
+        }
+        FleetCommand::Rebalance { manifest, replicas } => {
+            let gw = open_gateway(&manifest, replicas)?;
+            let report = lepton_fleet::rebalance(&gw);
+            writeln!(
+                log,
+                "rebalance: {} keys, moved {} blocks ({} bytes), {} failed, \
+                 {} nodes unreachable, in {:.2}s",
+                report.keys,
+                report.blocks_moved,
+                report.bytes_moved,
+                report.failed,
+                report.unreachable_nodes,
+                report.secs,
+            )?;
+            Ok(if report.clean() { 0 } else { 1 })
         }
     }
 }
@@ -614,6 +808,179 @@ mod tests {
             &mut log,
         );
         assert_eq!(code, 1);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn store_scrub_reports_damage_with_exit_one() {
+        let base = std::env::temp_dir().join(format!("lepton-cli-scrub-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let root = base.join("store");
+        let store = ShardedStore::open(
+            &root,
+            StoreConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let key = store.put(b"block that will rot on disk").unwrap();
+        drop(store);
+
+        let mut log = Vec::new();
+        let cmd = Command::Store(StoreCommand::Scrub {
+            root: root.clone(),
+            parallelism: 2,
+            shards: 4,
+            quarantine: false,
+        });
+        assert_eq!(run(cmd.clone(), &mut log), 0, "clean store scrubs clean");
+
+        // Damage the record, scrub again: exit 1 and the key named.
+        let path = (0..4)
+            .map(|i| root.join(format!("shard-{i:03}")).join(hex(&key)))
+            .find(|p| p.exists())
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut log = Vec::new();
+        assert_eq!(run(cmd, &mut log), 1);
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("corrupt 1"), "{text}");
+        assert!(text.contains(&hex(&key)), "{text}");
+
+        // The operator remedy: --quarantine moves the damage aside,
+        // after which re-putting the true content actually heals.
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Store(StoreCommand::Scrub {
+                    root: root.clone(),
+                    parallelism: 2,
+                    shards: 4,
+                    quarantine: true,
+                }),
+                &mut log,
+            ),
+            1,
+            "damage was still present this pass"
+        );
+        let src = base.join("block.bin");
+        std::fs::write(&src, b"block that will rot on disk").unwrap();
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Store(StoreCommand::Put {
+                    root: root.clone(),
+                    files: vec![src],
+                    shards: 4,
+                    compress: true,
+                }),
+                &mut log,
+            ),
+            0
+        );
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Store(StoreCommand::Scrub {
+                    root,
+                    parallelism: 2,
+                    shards: 4,
+                    quarantine: false,
+                }),
+                &mut log,
+            ),
+            0,
+            "healed: {}",
+            String::from_utf8_lossy(&log)
+        );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn fleet_put_get_stat_rebalance_flow() {
+        use lepton_fleet::LocalFleet;
+        let base = std::env::temp_dir().join(format!("lepton-cli-fleet-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let fleet = LocalFleet::spawn(
+            &base.join("nodes"),
+            3,
+            &StoreConfig {
+                shards: 4,
+                ..Default::default()
+            },
+            &lepton_server::ServiceConfig::default(),
+        )
+        .unwrap();
+        let manifest = base.join("FLEET");
+        fleet.write_manifest(&manifest).unwrap();
+
+        let file = base.join("payload.bin");
+        std::fs::write(&file, b"fleet cli round trip payload").unwrap();
+        let key = lepton_storage::sha256::sha256(b"fleet cli round trip payload");
+
+        let mut log = Vec::new();
+        let code = run(
+            Command::Fleet(FleetCommand::Put {
+                manifest: manifest.clone(),
+                files: vec![file.clone()],
+                replicas: 2,
+            }),
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains(&hex(&key)), "{text}");
+
+        let out = base.join("fetched.bin");
+        let mut log = Vec::new();
+        let code = run(
+            Command::Fleet(FleetCommand::Get {
+                manifest: manifest.clone(),
+                digest: hex(&key),
+                output: Output::Path(out.clone()),
+                replicas: 2,
+            }),
+            &mut log,
+        );
+        assert_eq!(code, 0);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            b"fleet cli round trip payload"
+        );
+
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Fleet(FleetCommand::Stat {
+                    manifest: manifest.clone(),
+                    replicas: 2,
+                }),
+                &mut log,
+            ),
+            0
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("3 reachable"), "{text}");
+
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Fleet(FleetCommand::Rebalance {
+                    manifest,
+                    replicas: 2,
+                }),
+                &mut log,
+            ),
+            0
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("moved 0 blocks"), "{text}");
         std::fs::remove_dir_all(&base).unwrap();
     }
 

@@ -1,0 +1,177 @@
+//! Fleet-scale projection from measured gateway rates.
+//!
+//! The Fig. 11 economics (§5.6.1) price the *backfill* fleet:
+//! conversions per kWh, GiB saved per kWh. A replicated serving fleet
+//! has the same shape with two twists — every logical block is stored
+//! R times (so each admitted block saves `R × bytes × savings` across
+//! the fleet versus replicated raw storage), and capacity scales with
+//! node count until replication fan-out eats it. This module takes
+//! rates measured on a real gateway (the `fig15_fleet` harness) and
+//! projects them onto fleets of arbitrary size, reusing [`Economics`]
+//! so the serving fleet and the backfill fleet are priced in the same
+//! units.
+
+use crate::backfill::Economics;
+
+/// Rates measured on a live gateway run.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredFleet {
+    /// Replicated `put`s per second *per node* the measured fleet
+    /// sustained (gateway throughput / node count).
+    pub puts_per_sec_per_node: f64,
+    /// `get`s per second per node on the same corpus.
+    pub gets_per_sec_per_node: f64,
+    /// Replication factor the measurement ran with.
+    pub replicas: usize,
+    /// Mean logical block size, bytes.
+    pub block_bytes: f64,
+    /// At-rest savings fraction achieved by compression (0..1).
+    pub savings: f64,
+}
+
+impl MeasuredFleet {
+    /// Derive from one harness run: `puts`/`gets` operations completed
+    /// in `put_secs`/`get_secs` on a fleet of `nodes`, moving
+    /// `logical_bytes` of distinct content at `savings`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_run(
+        puts: u64,
+        put_secs: f64,
+        gets: u64,
+        get_secs: f64,
+        nodes: usize,
+        replicas: usize,
+        logical_bytes: u64,
+        savings: f64,
+    ) -> Self {
+        let nodes = nodes.max(1) as f64;
+        let rate = |ops: u64, secs: f64| {
+            if secs > 0.0 {
+                ops as f64 / secs / nodes
+            } else {
+                0.0
+            }
+        };
+        MeasuredFleet {
+            puts_per_sec_per_node: rate(puts, put_secs),
+            gets_per_sec_per_node: rate(gets, get_secs),
+            replicas: replicas.max(1),
+            block_bytes: if puts > 0 {
+                logical_bytes as f64 / puts as f64
+            } else {
+                0.0
+            },
+            savings,
+        }
+    }
+
+    /// Bytes at rest per logical byte ingested: R copies, each
+    /// compressed. `< 1.0` means compression beats the replication
+    /// overhead of one extra copy.
+    pub fn stored_per_logical_byte(&self) -> f64 {
+        self.replicas as f64 * (1.0 - self.savings)
+    }
+
+    /// Price the serving fleet in the §5.6.1 units: conversions per
+    /// kWh (here: replicated ingests per kWh at `watts_per_node`) and
+    /// bytes saved per ingest versus replicated raw storage.
+    pub fn economics(&self, watts_per_node: f64) -> Economics {
+        Economics {
+            conversions_per_kwh: if watts_per_node > 0.0 {
+                self.puts_per_sec_per_node * 3600.0 / (watts_per_node / 1000.0)
+            } else {
+                0.0
+            },
+            // Each ingest stores R copies; each copy saves
+            // `block_bytes × savings` versus its raw replica.
+            bytes_saved_per_conversion: self.replicas as f64 * self.block_bytes * self.savings,
+        }
+    }
+
+    /// Project capacity onto a fleet of `nodes`: sustained replicated
+    /// puts/s and gets/s. Linear in node count — the consistent-hash
+    /// gateway has no central coordinator to saturate — and honest
+    /// about replication: each put costs R node-writes, which the
+    /// per-node rate already absorbed.
+    pub fn capacity(&self, nodes: usize) -> FleetCapacity {
+        let n = nodes as f64;
+        FleetCapacity {
+            nodes,
+            puts_per_sec: self.puts_per_sec_per_node * n,
+            gets_per_sec: self.gets_per_sec_per_node * n,
+            logical_bytes_per_sec: self.puts_per_sec_per_node * n * self.block_bytes,
+        }
+    }
+}
+
+/// Projected throughput of a fleet of a given size.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetCapacity {
+    /// Node count.
+    pub nodes: usize,
+    /// Replicated ingests per second.
+    pub puts_per_sec: f64,
+    /// Failover-capable reads per second.
+    pub gets_per_sec: f64,
+    /// Logical ingest bandwidth, bytes per second.
+    pub logical_bytes_per_sec: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured() -> MeasuredFleet {
+        // 300 puts in 10 s and 900 gets in 3 s on 3 nodes, R=2,
+        // 1 MiB mean blocks at 22% savings.
+        MeasuredFleet::from_run(300, 10.0, 900, 3.0, 3, 2, 300 << 20, 0.22)
+    }
+
+    #[test]
+    fn from_run_normalizes_per_node() {
+        let m = measured();
+        assert!((m.puts_per_sec_per_node - 10.0).abs() < 1e-9);
+        assert!((m.gets_per_sec_per_node - 100.0).abs() < 1e-9);
+        assert!((m.block_bytes - (1 << 20) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn replication_overhead_is_visible() {
+        let m = measured();
+        // 2 copies at 78% of size each: 1.56 bytes stored per logical
+        // byte — cheaper than 2.0 (replicated raw), dearer than 1.0.
+        let spl = m.stored_per_logical_byte();
+        assert!((spl - 1.56).abs() < 1e-9, "{spl}");
+    }
+
+    #[test]
+    fn economics_price_the_replicated_savings() {
+        let m = measured();
+        let eco = m.economics(288.0);
+        assert!(eco.conversions_per_kwh > 0.0);
+        // Per ingest: 2 copies × 1 MiB × 22% saved.
+        let expect = 2.0 * (1 << 20) as f64 * 0.22;
+        assert!((eco.bytes_saved_per_conversion - expect).abs() < 1.0);
+        assert!(eco.gib_saved_per_kwh() > 0.0);
+    }
+
+    #[test]
+    fn capacity_scales_linearly() {
+        let m = measured();
+        let c3 = m.capacity(3);
+        let c9 = m.capacity(9);
+        assert!((c9.puts_per_sec / c3.puts_per_sec - 3.0).abs() < 1e-9);
+        assert!((c9.gets_per_sec / c3.gets_per_sec - 3.0).abs() < 1e-9);
+        assert!(c9.logical_bytes_per_sec > c3.logical_bytes_per_sec);
+    }
+
+    #[test]
+    fn degenerate_runs_do_not_divide_by_zero() {
+        let z = MeasuredFleet::from_run(0, 0.0, 0, 0.0, 0, 0, 0, 0.0);
+        assert_eq!(z.puts_per_sec_per_node, 0.0);
+        assert_eq!(z.gets_per_sec_per_node, 0.0);
+        assert_eq!(z.block_bytes, 0.0);
+        assert_eq!(z.replicas, 1, "clamped");
+        assert_eq!(z.economics(0.0).conversions_per_kwh, 0.0);
+    }
+}

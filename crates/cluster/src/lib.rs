@@ -18,12 +18,16 @@
 //!   scans, worker verification loops, and the power model (§5.6);
 //! * [`anomaly`] — injectable pathologies: THP stalls (§6.3), decode
 //!   timeouts (§6.6), unhealthy hosts;
+//! * [`fleet`] — projection of measured replicated-gateway rates
+//!   (the `fig15_fleet` harness) onto fleets of arbitrary size, priced
+//!   in the same §5.6.1 units as the backfill economics;
 //! * [`metrics`] — percentile/timeseries accumulators used by every
 //!   figure harness.
 
 pub mod anomaly;
 pub mod backfill;
 pub mod bandwidth;
+pub mod fleet;
 pub mod incident;
 pub mod metrics;
 pub mod sim;

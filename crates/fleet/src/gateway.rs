@@ -1,0 +1,484 @@
+//! The fleet gateway: N live blockserver nodes acting as one store.
+//!
+//! A [`FleetGateway`] fronts a set of conversion services (each
+//! running the `BlockPut`/`BlockGet`/`BlockStat`/`BlockList` ops over
+//! the UDS/TCP wire protocol) and gives callers the single-store
+//! surface the paper's blockserver clients saw, with the fleet
+//! mechanics hidden behind it:
+//!
+//! * **Placement** — the [`Ring`] maps a block digest to an R-node
+//!   replica set; every gateway with the same seed and membership
+//!   agrees without coordination.
+//! * **Writes** — `put` writes to all R replicas in ring order and
+//!   succeeds once the first (acting primary) acks; fewer than R acks
+//!   is counted as a partial write for the rebalance/repair machinery
+//!   to close later.
+//! * **Reads** — `get` tries replicas in ring order and fails over on
+//!   error or timeout; when a later replica serves the block, the
+//!   copies observed missing or damaged on earlier replicas are
+//!   **read-repaired** in-line (the server quarantines damaged
+//!   records on read precisely so this repair `put` can land).
+//! * **Health** — consecutive failures eject a node (probation
+//!   re-probes let it back in), so a dead machine costs one timeout,
+//!   not one per request.
+//!
+//! Every cross-node call goes through the bounded
+//! [`retry_with_backoff`] helper, and every served payload is
+//! re-hashed against its address at the gateway — a fleet must not
+//! amplify a single node's corruption.
+
+use crate::health::{HealthPolicy, HealthSnapshot, NodeHealth};
+use crate::ring::{Ring, DEFAULT_SEED, DEFAULT_VNODES};
+use lepton_server::client::{self, retry_with_backoff, ClientError, RetryPolicy};
+use lepton_server::protocol::BlockStatReply;
+use lepton_server::Endpoint;
+use lepton_storage::sha256::{sha256, Digest};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Gateway configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Replication factor R: copies per block (paper-style fleets ran
+    /// replicated block storage; we default to 2).
+    pub replicas: usize,
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+    /// Ring seed — all gateways of one fleet must agree.
+    pub seed: u64,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+    /// Retry policy for cross-node requests (the failover path).
+    pub retry: RetryPolicy,
+    /// Ejection policy.
+    pub health: HealthPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas: 2,
+            vnodes: DEFAULT_VNODES,
+            seed: DEFAULT_SEED,
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy {
+                attempts: 2,
+                initial_backoff: Duration::from_millis(20),
+                multiplier: 2,
+                max_backoff: Duration::from_millis(200),
+            },
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+/// One member of the fleet.
+pub struct FleetNode {
+    name: String,
+    endpoint: Endpoint,
+    health: NodeHealth,
+}
+
+impl FleetNode {
+    /// Node name (the ring identity).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Where the node's service listens.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Health snapshot.
+    pub fn health(&self) -> HealthSnapshot {
+        self.health.snapshot()
+    }
+}
+
+/// Gateway counters.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Successful `put`s.
+    pub puts: AtomicU64,
+    /// Successful `get`s (served bytes or authoritative not-found).
+    pub gets: AtomicU64,
+    /// `put`s acked by fewer than R replicas.
+    pub partial_writes: AtomicU64,
+    /// `get`s served after at least one earlier replica was attempted
+    /// and failed to deliver (skipping an ejected node is routing, not
+    /// failover).
+    pub failovers: AtomicU64,
+    /// Copies re-written onto replicas observed missing or damaged.
+    pub read_repairs: AtomicU64,
+    /// Node ejection events.
+    pub ejections: AtomicU64,
+}
+
+/// Errors the gateway can return.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The gateway has no member nodes.
+    NoNodes,
+    /// Every replica in the set failed the operation; carries the last
+    /// per-node error for diagnosis.
+    AllReplicasFailed {
+        /// The block being read or written.
+        key: Digest,
+        /// The final node's error.
+        last: ClientError,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoNodes => write!(f, "fleet has no nodes"),
+            FleetError::AllReplicasFailed { key, last } => {
+                write!(
+                    f,
+                    "all replicas failed for {}: {last}",
+                    lepton_storage::blockstore::hex(key)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Outcome of one replica read attempt, driving failover and repair.
+enum ReadOutcome {
+    /// Node answered: no such block. A healthy target for repair.
+    Missing,
+    /// Node is up but could not serve the block (damaged record,
+    /// storage failure). The server quarantined damage, so a repair
+    /// put can land.
+    Damaged,
+    /// Node unreachable or timing out — no point sending it a repair.
+    Down,
+    /// Node skipped because its health state refuses traffic.
+    Skipped,
+}
+
+/// Per-node rows of a [`FleetGateway::stat`] aggregation.
+#[derive(Clone, Debug)]
+pub struct NodeStat {
+    /// Node name.
+    pub name: String,
+    /// Did the node answer the stat probe?
+    pub reachable: bool,
+    /// Health snapshot at aggregation time.
+    pub health: HealthSnapshot,
+    /// The node's own blockstore summary, when reachable.
+    pub stats: Option<BlockStatReply>,
+}
+
+/// Fleet-wide aggregation of per-node blockstore stats.
+#[derive(Clone, Debug, Default)]
+pub struct FleetStat {
+    /// Per-node rows, in membership order.
+    pub nodes: Vec<NodeStat>,
+    /// Copies at rest across the fleet (each block counts once per
+    /// replica).
+    pub copies: u64,
+    /// Of which Lepton-compressed.
+    pub lepton_copies: u64,
+    /// Sum of logical bytes across all copies.
+    pub logical_bytes: u64,
+    /// Sum of at-rest payload bytes across all copies.
+    pub stored_bytes: u64,
+    /// Nodes that answered.
+    pub reachable: usize,
+}
+
+impl FleetStat {
+    /// Fleet-wide savings fraction (0..1) across all copies.
+    pub fn savings(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+}
+
+/// The consistent-hash gateway over live blockserver nodes.
+pub struct FleetGateway {
+    nodes: Vec<FleetNode>,
+    ring: Ring,
+    cfg: FleetConfig,
+    /// Counters.
+    pub metrics: FleetMetrics,
+}
+
+impl std::fmt::Debug for FleetGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetGateway")
+            .field("nodes", &self.nodes.len())
+            .field("replicas", &self.cfg.replicas)
+            .finish()
+    }
+}
+
+impl FleetGateway {
+    /// Build a gateway over `members` (name, endpoint) with `cfg`.
+    pub fn new(members: Vec<(String, Endpoint)>, cfg: FleetConfig) -> FleetGateway {
+        let ring = Ring::new(members.iter().map(|(n, _)| n.clone()), cfg.vnodes, cfg.seed);
+        let nodes = members
+            .into_iter()
+            .map(|(name, endpoint)| FleetNode {
+                name,
+                endpoint,
+                health: NodeHealth::new(cfg.health),
+            })
+            .collect();
+        FleetGateway {
+            nodes,
+            ring,
+            cfg,
+            metrics: FleetMetrics::default(),
+        }
+    }
+
+    /// The member nodes, in membership order.
+    pub fn nodes(&self) -> &[FleetNode] {
+        &self.nodes
+    }
+
+    /// The placement ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The gateway's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// The replica set (node indices, primary first) for a key.
+    pub fn replica_set(&self, key: &Digest) -> Vec<usize> {
+        self.ring.replica_set(key, self.cfg.replicas)
+    }
+
+    fn record_outcome(&self, idx: usize, ok: bool) {
+        if ok {
+            self.nodes[idx].health.record_success();
+        } else if self.nodes[idx].health.record_failure() {
+            self.metrics.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Store a block on its replica set. Succeeds once the first
+    /// replica (the acting primary) acks; replicas that could not be
+    /// written are left to read-repair/rebalance and counted as a
+    /// partial write.
+    pub fn put(&self, data: &[u8]) -> Result<Digest, FleetError> {
+        let key = sha256(data);
+        let members = self.replica_set(&key);
+        if members.is_empty() {
+            return Err(FleetError::NoNodes);
+        }
+        let mut acks = 0usize;
+        let mut last: Option<ClientError> = None;
+        for &m in &members {
+            let node = &self.nodes[m];
+            if !node.health.admit() {
+                continue;
+            }
+            match retry_with_backoff(&self.cfg.retry, |_| {
+                client::block_put(&node.endpoint, data, self.cfg.timeout)
+            }) {
+                Ok(acked) if acked == key => {
+                    self.record_outcome(m, true);
+                    acks += 1;
+                }
+                Ok(_) => {
+                    // A node that acks the wrong address is broken.
+                    self.record_outcome(m, false);
+                    last = Some(ClientError::Garbled("put acked a different address"));
+                }
+                Err(e) => {
+                    self.record_outcome(m, false);
+                    last = Some(e);
+                }
+            }
+        }
+        if acks == 0 {
+            return Err(FleetError::AllReplicasFailed {
+                key,
+                last: last.unwrap_or(ClientError::Garbled("all replicas ejected")),
+            });
+        }
+        if acks < members.len() {
+            self.metrics.partial_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(key)
+    }
+
+    /// Fetch a block, failing over across the replica set and
+    /// read-repairing copies observed missing or damaged. `Ok(None)`
+    /// only when *every* replica authoritatively answered "not found";
+    /// a set where some replica failed is an error, because the block
+    /// may exist on the unreachable copy.
+    pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, FleetError> {
+        let members = self.replica_set(key);
+        if members.is_empty() {
+            return Err(FleetError::NoNodes);
+        }
+        let mut outcomes: Vec<(usize, ReadOutcome)> = Vec::with_capacity(members.len());
+        let mut last: Option<ClientError> = None;
+        for &m in &members {
+            let node = &self.nodes[m];
+            if !node.health.admit() {
+                outcomes.push((m, ReadOutcome::Skipped));
+                continue;
+            }
+            match retry_with_backoff(&self.cfg.retry, |_| {
+                client::block_get(&node.endpoint, key, self.cfg.timeout)
+            }) {
+                Ok(Some(bytes)) => {
+                    if sha256(&bytes) != *key {
+                        // Never let one node's corruption exit the
+                        // gateway; treat as a damaged replica.
+                        self.record_outcome(m, false);
+                        outcomes.push((m, ReadOutcome::Damaged));
+                        last = Some(ClientError::Garbled("replica served wrong bytes"));
+                        continue;
+                    }
+                    self.record_outcome(m, true);
+                    // A failover is a serve after an earlier replica
+                    // was *attempted* and did not deliver; skipping an
+                    // already-ejected node is routing, not failover —
+                    // a healthy converged fleet must read as zero.
+                    if outcomes
+                        .iter()
+                        .any(|(_, o)| !matches!(o, ReadOutcome::Skipped))
+                    {
+                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.repair(key, &bytes, &outcomes);
+                    self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(bytes));
+                }
+                Ok(None) => {
+                    self.record_outcome(m, true); // the node answered
+                    outcomes.push((m, ReadOutcome::Missing));
+                }
+                Err(e) => {
+                    let outcome = if e.is_transient() {
+                        ReadOutcome::Down
+                    } else {
+                        ReadOutcome::Damaged
+                    };
+                    self.record_outcome(m, false);
+                    outcomes.push((m, outcome));
+                    last = Some(e);
+                }
+            }
+        }
+        if outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, ReadOutcome::Missing))
+        {
+            self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        Err(FleetError::AllReplicasFailed {
+            key: *key,
+            last: last.unwrap_or(ClientError::Garbled("all replicas ejected")),
+        })
+    }
+
+    /// Re-write `data` onto replicas that answered "missing" or
+    /// "damaged" while a later replica had the block. Best-effort and
+    /// single-shot: a repair that fails will be retried by the next
+    /// read or by a rebalance pass.
+    ///
+    /// A "damaged" replica's repair is verified with a follow-up read:
+    /// the server quarantines *corrupt* records (so the put lands),
+    /// but a record failing with an I/O error is still in place and
+    /// the put silently dedups against it — the ack alone does not
+    /// prove the copy was fixed, and `read_repairs` must never count
+    /// repairs that did not happen. A failed repair is simply left for
+    /// the next read or rebalance pass: it does not charge the node's
+    /// health (the node just answered the read that got us here).
+    fn repair(&self, key: &Digest, data: &[u8], outcomes: &[(usize, ReadOutcome)]) {
+        for (m, outcome) in outcomes {
+            let must_verify = match outcome {
+                ReadOutcome::Missing => false,
+                ReadOutcome::Damaged => true,
+                ReadOutcome::Down | ReadOutcome::Skipped => continue,
+            };
+            let node = &self.nodes[*m];
+            let repaired = match retry_with_backoff(&self.cfg.retry, |_| {
+                client::block_put(&node.endpoint, data, self.cfg.timeout)
+            }) {
+                Ok(acked) if acked == *key => {
+                    !must_verify
+                        || matches!(
+                            retry_with_backoff(&self.cfg.retry, |_| {
+                                client::block_get(&node.endpoint, key, self.cfg.timeout)
+                            }),
+                            Ok(Some(bytes)) if sha256(&bytes) == *key
+                        )
+                }
+                _ => false,
+            };
+            if repaired {
+                self.record_outcome(*m, true);
+                self.metrics.read_repairs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Aggregate blockstore stats across the whole fleet. Health
+    /// state is reported but not modified — a stats sweep must never
+    /// eject anyone.
+    pub fn stat(&self) -> FleetStat {
+        let mut out = FleetStat::default();
+        for node in &self.nodes {
+            let reply = client::block_stat(&node.endpoint, self.cfg.timeout).ok();
+            let row = NodeStat {
+                name: node.name.clone(),
+                reachable: reply.is_some(),
+                health: node.health.snapshot(),
+                stats: reply,
+            };
+            if let Some(s) = &row.stats {
+                out.copies += s.blocks;
+                out.lepton_copies += s.lepton_blocks;
+                out.logical_bytes += s.logical_bytes;
+                out.stored_bytes += s.stored_bytes;
+                out.reachable += 1;
+            }
+            out.nodes.push(row);
+        }
+        out
+    }
+
+    /// List the block addresses a member node holds (the rebalance
+    /// driver's walk).
+    pub fn list_node(&self, idx: usize) -> Result<Vec<Digest>, ClientError> {
+        retry_with_backoff(&self.cfg.retry, |_| {
+            client::block_list(&self.nodes[idx].endpoint, self.cfg.timeout)
+        })
+    }
+
+    /// Fetch a block directly from one member (no failover, no
+    /// repair) — the rebalance driver's read side.
+    pub fn fetch_from(&self, idx: usize, key: &Digest) -> Result<Option<Vec<u8>>, ClientError> {
+        retry_with_backoff(&self.cfg.retry, |_| {
+            client::block_get(&self.nodes[idx].endpoint, key, self.cfg.timeout)
+        })
+    }
+
+    /// Write a block directly to one member — the rebalance driver's
+    /// write side.
+    pub fn put_to(&self, idx: usize, data: &[u8]) -> Result<Digest, ClientError> {
+        retry_with_backoff(&self.cfg.retry, |_| {
+            client::block_put(&self.nodes[idx].endpoint, data, self.cfg.timeout)
+        })
+    }
+}

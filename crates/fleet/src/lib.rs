@@ -1,0 +1,52 @@
+//! # lepton-fleet — N blockservers acting as one store
+//!
+//! The paper's Lepton never ran on one machine: it served a fleet of
+//! blockservers behind load balancers, and the interesting systems
+//! problems — routing (§5.5), fleet-wide backfill (§5.6), surviving
+//! bad hosts (§6.6) — were fleet problems. This crate is that layer
+//! for the block storage path: it makes N live conversion services
+//! (each exposing the blockstore ops over the UDS/TCP wire protocol)
+//! behave as a single replicated, self-healing store.
+//!
+//! * [`ring`] — the seeded consistent-hash ring: virtual nodes,
+//!   deterministic placement by block digest, ~K/N key movement on
+//!   membership change.
+//! * [`health`] — per-node circuit breaker: consecutive-failure
+//!   ejection, probation re-probes.
+//! * [`gateway`] — [`FleetGateway`]: replicated `put` (R copies,
+//!   success on primary ack, partial writes counted), failover `get`
+//!   with in-line read-repair, fleet-wide `stat`.
+//! * [`mod@rebalance`] — after a topology change, stream only the
+//!   blocks whose replica set changed onto their new owners.
+//! * [`local`] — [`LocalFleet`]: N complete nodes in one process, plus
+//!   the manifest format every fleet tool shares.
+//!
+//! ```no_run
+//! use lepton_fleet::{FleetConfig, FleetGateway, LocalFleet};
+//! use lepton_server::ServiceConfig;
+//! use lepton_storage::blockstore::StoreConfig;
+//! use std::path::Path;
+//!
+//! let fleet = LocalFleet::spawn(
+//!     Path::new("/tmp/fleet"),
+//!     3,
+//!     &StoreConfig::default(),
+//!     &ServiceConfig::default(),
+//! )
+//! .unwrap();
+//! let gw = FleetGateway::new(fleet.members().to_vec(), FleetConfig::default());
+//! let key = gw.put(b"a block").unwrap(); // lands on 2 of the 3 nodes
+//! assert_eq!(gw.get(&key).unwrap().unwrap(), b"a block");
+//! ```
+
+pub mod gateway;
+pub mod health;
+pub mod local;
+pub mod rebalance;
+pub mod ring;
+
+pub use gateway::{FleetConfig, FleetError, FleetGateway, FleetMetrics, FleetStat, NodeStat};
+pub use health::{HealthPolicy, HealthSnapshot, NodeHealth};
+pub use local::{manifest_path, parse_manifest, read_manifest, LocalFleet};
+pub use rebalance::{rebalance, RebalanceReport};
+pub use ring::Ring;

@@ -1,0 +1,204 @@
+//! Spawning and describing fleets of local blockserver nodes.
+//!
+//! [`LocalFleet`] runs N complete conversion services in one process —
+//! each with its own [`ShardedStore`] under `root/node-NNN` and its
+//! own TCP endpoint — which is how `lepton fleet serve`, the failover
+//! tests, and the `fig15_fleet` harness stand up a fleet without a
+//! cluster. The **manifest** (one `name endpoint` line per node) is
+//! the fleet's only shared configuration: any process that can read it
+//! can build an agreeing [`FleetGateway`](crate::FleetGateway).
+
+use lepton_server::{serve, Endpoint, ServiceConfig, ServiceHandle};
+use lepton_storage::blockstore::{ShardedStore, StoreConfig};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Conventional manifest file name inside a fleet root.
+pub const MANIFEST_FILE: &str = "FLEET";
+
+/// N in-process blockserver nodes with their own stores and sockets.
+pub struct LocalFleet {
+    members: Vec<(String, Endpoint)>,
+    handles: Vec<Option<ServiceHandle>>,
+    stores: Vec<Arc<ShardedStore>>,
+}
+
+impl LocalFleet {
+    /// Spawn `count` nodes under `root`. Each node `i` serves a store
+    /// at `root/node-{i:03}` on an ephemeral local TCP port;
+    /// `store_cfg` and `service_cfg` act as templates (the blockstore
+    /// field of `service_cfg` is replaced per node).
+    pub fn spawn(
+        root: &Path,
+        count: usize,
+        store_cfg: &StoreConfig,
+        service_cfg: &ServiceConfig,
+    ) -> io::Result<LocalFleet> {
+        let mut members = Vec::with_capacity(count);
+        let mut handles = Vec::with_capacity(count);
+        let mut stores = Vec::with_capacity(count);
+        for i in 0..count {
+            let name = node_name(i);
+            let store = Arc::new(ShardedStore::open(root.join(&name), store_cfg.clone())?);
+            let cfg = ServiceConfig {
+                blockstore: Some(Arc::clone(&store)),
+                ..service_cfg.clone()
+            };
+            let handle = serve(&Endpoint::tcp("127.0.0.1:0")?, cfg)?;
+            members.push((name, handle.endpoint().clone()));
+            handles.push(Some(handle));
+            stores.push(store);
+        }
+        Ok(LocalFleet {
+            members,
+            handles,
+            stores,
+        })
+    }
+
+    /// The members as (name, endpoint) — what a gateway is built from.
+    pub fn members(&self) -> &[(String, Endpoint)] {
+        &self.members
+    }
+
+    /// Node `idx`'s store (e.g. to damage a replica in a test).
+    pub fn store(&self, idx: usize) -> &Arc<ShardedStore> {
+        &self.stores[idx]
+    }
+
+    /// Kill node `idx`: stop its service and drop its listener. The
+    /// store directory stays on disk; the fleet's point is surviving
+    /// exactly this.
+    pub fn kill(&mut self, idx: usize) {
+        if let Some(handle) = self.handles[idx].take() {
+            handle.shutdown();
+        }
+    }
+
+    /// Is node `idx` still serving?
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.handles[idx].is_some()
+    }
+
+    /// The manifest text for this fleet.
+    pub fn manifest(&self) -> String {
+        let mut out = String::new();
+        for (name, ep) in &self.members {
+            out.push_str(&format!("{name} {ep}\n"));
+        }
+        out
+    }
+
+    /// Write the manifest to `path` atomically (temp file + rename),
+    /// so a concurrent `fleet put`/`get` never reads a half-written
+    /// membership.
+    pub fn write_manifest(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.manifest().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Conventional node name for index `i`.
+pub fn node_name(i: usize) -> String {
+    format!("node-{i:03}")
+}
+
+/// Parse manifest text: one `name endpoint` pair per line, `#`
+/// comments and blank lines ignored.
+pub fn parse_manifest(text: &str) -> io::Result<Vec<(String, Endpoint)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, ep)) = line.split_once(char::is_whitespace) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("manifest line {}: expected `name endpoint`", lineno + 1),
+            ));
+        };
+        let endpoint: Endpoint = ep.trim().parse()?;
+        // Names are ring identities; a duplicate is a configuration
+        // error that must surface here, not as a panic in Ring::new.
+        if out.iter().any(|(n, _)| n == name) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("manifest line {}: duplicate node name {name:?}", lineno + 1),
+            ));
+        }
+        // Two names for one endpoint is worse than a duplicate name:
+        // the ring would count one physical service as two members, so
+        // an R=2 replica set could be both aliases of the same machine
+        // — replication satisfied on paper, voided in reality.
+        if out.iter().any(|(_, e)| *e == endpoint) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "manifest line {}: endpoint {endpoint} already bound to another node",
+                    lineno + 1
+                ),
+            ));
+        }
+        out.push((name.to_string(), endpoint));
+    }
+    if out.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "manifest names no nodes",
+        ));
+    }
+    Ok(out)
+}
+
+/// Read and parse a manifest file.
+pub fn read_manifest(path: &Path) -> io::Result<Vec<(String, Endpoint)>> {
+    parse_manifest(&std::fs::read_to_string(path)?)
+}
+
+/// Where a fleet root keeps its manifest
+/// (`root/FLEET`).
+pub fn manifest_path(root: &Path) -> PathBuf {
+    root.join(MANIFEST_FILE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let text = "\
+# a fleet of two
+node-000 tcp:127.0.0.1:9001
+node-001 uds:/tmp/node1.sock
+
+";
+        let members = parse_manifest(text).unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].0, "node-000");
+        assert_eq!(members[0].1.to_string(), "tcp:127.0.0.1:9001");
+        assert_eq!(members[1].1, Endpoint::uds("/tmp/node1.sock"));
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(parse_manifest("").is_err(), "no nodes");
+        assert!(parse_manifest("just-a-name\n").is_err());
+        assert!(parse_manifest("n0 carrier-pigeon:coop\n").is_err());
+        assert!(
+            parse_manifest("n0 tcp:127.0.0.1:1\nn0 tcp:127.0.0.1:2\n").is_err(),
+            "duplicate names are a parse error, not a downstream panic"
+        );
+        assert!(
+            parse_manifest("n0 tcp:127.0.0.1:1\nn1 tcp:127.0.0.1:1\n").is_err(),
+            "two names for one endpoint would fake replication"
+        );
+    }
+}

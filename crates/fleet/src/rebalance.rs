@@ -1,0 +1,115 @@
+//! The rebalance driver: make at-rest placement match the ring.
+//!
+//! After a topology change (node added, node replaced), some blocks'
+//! replica sets differ from where their copies physically sit. The
+//! driver walks every reachable node's block list, computes each
+//! block's *current* replica set on the gateway's ring, and streams
+//! exactly the copies that are missing from their owners — blocks
+//! whose replica set did not change are never touched, so the work is
+//! ~`K·R/N` block transfers per node added, not a reshuffle. The same
+//! pass doubles as anti-entropy: copies lost to partial writes or
+//! quarantined damage are restored from a surviving replica.
+//!
+//! Copies on nodes that are *no longer* in a block's replica set are
+//! left in place deliberately: they are a safety net until the new
+//! owners confirm their copies, and a separate garbage-collection
+//! sweep (future work) can reclaim them with the replica sets as the
+//! authority.
+
+use crate::gateway::FleetGateway;
+use lepton_storage::sha256::Digest;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Outcome of one rebalance pass.
+#[derive(Clone, Debug, Default)]
+pub struct RebalanceReport {
+    /// Distinct blocks seen across the fleet.
+    pub keys: u64,
+    /// Copies streamed onto new owners.
+    pub blocks_moved: u64,
+    /// Logical bytes streamed.
+    pub bytes_moved: u64,
+    /// Copies that could not be placed (all sources or the target
+    /// failed); re-run the pass after the fleet heals.
+    pub failed: u64,
+    /// Nodes whose block list could not be read — their copies are
+    /// invisible to this pass.
+    pub unreachable_nodes: u64,
+    /// Wall-clock seconds for the pass.
+    pub secs: f64,
+}
+
+impl RebalanceReport {
+    /// Did the pass complete with full visibility and no failures?
+    pub fn clean(&self) -> bool {
+        self.failed == 0 && self.unreachable_nodes == 0
+    }
+}
+
+/// Run one rebalance pass over `gateway`'s current topology.
+pub fn rebalance(gateway: &FleetGateway) -> RebalanceReport {
+    let t0 = Instant::now();
+    let mut report = RebalanceReport::default();
+
+    // Who holds what, by listing every node. BTreeMap keeps the walk
+    // deterministic for a given fleet state.
+    let mut holders: BTreeMap<Digest, Vec<usize>> = BTreeMap::new();
+    for idx in 0..gateway.nodes().len() {
+        match gateway.list_node(idx) {
+            Ok(keys) => {
+                for key in keys {
+                    holders.entry(key).or_default().push(idx);
+                }
+            }
+            Err(_) => report.unreachable_nodes += 1,
+        }
+    }
+    report.keys = holders.len() as u64;
+
+    for (key, holding) in &holders {
+        let want = gateway.replica_set(key);
+        let missing: Vec<usize> = want
+            .iter()
+            .copied()
+            .filter(|t| !holding.contains(t))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        // Fetch once per key, from a surviving holder (prefer one that
+        // is also a current owner: it is the most likely to be healthy
+        // and warm), then stream to every missing owner.
+        let mut sources: Vec<usize> = holding
+            .iter()
+            .copied()
+            .filter(|s| want.contains(s))
+            .collect();
+        sources.extend(holding.iter().copied().filter(|s| !want.contains(s)));
+        // Re-hash before streaming: the driver must not amplify one
+        // node's corruption onto fresh owners (the same gate the
+        // gateway's get applies).
+        let bytes = sources.into_iter().find_map(|src| {
+            gateway
+                .fetch_from(src, key)
+                .ok()
+                .flatten()
+                .filter(|b| lepton_storage::sha256::sha256(b) == *key)
+        });
+        let Some(bytes) = bytes else {
+            report.failed += missing.len() as u64;
+            continue;
+        };
+        for target in missing {
+            match gateway.put_to(target, &bytes) {
+                Ok(acked) if acked == *key => {
+                    report.blocks_moved += 1;
+                    report.bytes_moved += bytes.len() as u64;
+                }
+                _ => report.failed += 1,
+            }
+        }
+    }
+    report.secs = t0.elapsed().as_secs_f64();
+    report
+}

@@ -1,0 +1,255 @@
+//! End-to-end fleet behavior over real sockets: a 3-node, R=2 fleet
+//! must survive the death of one node (every block written before the
+//! kill stays readable through the gateway), read-repair must restore
+//! damaged and missing copies onto healthy nodes, and a rebalance
+//! after the topology change must re-establish full replication.
+
+use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+use lepton_fleet::{rebalance, FleetConfig, FleetGateway, HealthPolicy, LocalFleet};
+use lepton_server::client::RetryPolicy;
+use lepton_server::ServiceConfig;
+use lepton_storage::blockstore::{hex, StoreConfig};
+use lepton_storage::sha256::Digest;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("lepton-fleet-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn payloads() -> Vec<Vec<u8>> {
+    let spec = CorpusSpec {
+        min_dim: 48,
+        max_dim: 96,
+        ..Default::default()
+    };
+    let mut out: Vec<Vec<u8>> = (0..3u64).map(|s| clean_jpeg(&spec, s)).collect();
+    for i in 0..5u64 {
+        out.push(
+            format!("incompressible-ish blob {i} ")
+                .into_bytes()
+                .repeat(40 + i as usize * 17),
+        );
+    }
+    out
+}
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        replicas: 2,
+        timeout: Duration::from_secs(30),
+        retry: RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_millis(5),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(20),
+        },
+        health: HealthPolicy {
+            eject_after: 2,
+            // Long enough that a test never sees a surprise re-probe.
+            probation: Duration::from_secs(120),
+        },
+        ..Default::default()
+    }
+}
+
+/// Copies of `key` across the fleet's live stores.
+fn live_copies(fleet: &LocalFleet, key: &Digest) -> usize {
+    (0..fleet.members().len())
+        .filter(|&i| fleet.is_alive(i) && fleet.store(i).contains(key))
+        .count()
+}
+
+#[test]
+fn three_node_fleet_survives_one_death_and_rebalances() {
+    let root = temp_root("kill");
+    let mut fleet = LocalFleet::spawn(
+        &root,
+        3,
+        &StoreConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .unwrap();
+    let gw = FleetGateway::new(fleet.members().to_vec(), fleet_cfg());
+
+    // Write the corpus through the gateway; every block must land on
+    // exactly R=2 of the 3 nodes.
+    let blocks = payloads();
+    let keys: Vec<Digest> = blocks.iter().map(|b| gw.put(b).unwrap()).collect();
+    assert_eq!(gw.metrics.partial_writes.load(Ordering::Relaxed), 0);
+    for key in &keys {
+        assert_eq!(live_copies(&fleet, key), 2, "block {}", hex(key));
+    }
+
+    // Kill node 0. Every block written before the kill must still be
+    // readable through the gateway — blocks with a replica on node 0
+    // fail over to the surviving copy.
+    fleet.kill(0);
+    for (key, expect) in keys.iter().zip(&blocks) {
+        let got = gw.get(key).unwrap().expect("block readable after kill");
+        assert_eq!(&got, expect, "byte-exact through failover");
+    }
+    let dead_primaries = keys.iter().filter(|k| gw.replica_set(k)[0] == 0).count();
+    assert!(dead_primaries > 0, "seed luck: node 0 owned nothing");
+    // Failovers are counted only while the dead node is still being
+    // *attempted*; after `eject_after` failures it is skipped, which
+    // is routing, not failover.
+    let failovers = gw.metrics.failovers.load(Ordering::Relaxed);
+    let expected = dead_primaries.min(fleet_cfg().health.eject_after as usize) as u64;
+    assert_eq!(
+        failovers, expected,
+        "{dead_primaries} dead-primary keys, eject_after 2"
+    );
+    // Two consecutive failures eject the dead node; later reads skip
+    // it without paying the connect error.
+    assert!(gw.metrics.ejections.load(Ordering::Relaxed) >= 1);
+    assert!(gw.nodes()[0].health().ejected);
+
+    // Writes keep working against the degraded fleet; ones whose
+    // replica set includes the dead node are counted partial.
+    let extra = b"written while one node is down".to_vec();
+    let extra_key = gw.put(&extra).unwrap();
+    assert_eq!(gw.get(&extra_key).unwrap().unwrap(), extra);
+
+    // Topology change: a gateway over the two survivors. The ring
+    // gives every block both surviving nodes as its replica set, and
+    // the rebalance driver streams exactly the missing copies.
+    let survivors: Vec<_> = fleet.members()[1..].to_vec();
+    let gw2 = FleetGateway::new(survivors, fleet_cfg());
+    let report = rebalance(&gw2);
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.keys as usize, keys.len() + 1);
+    assert!(report.blocks_moved > 0, "someone must have been missing");
+    for key in keys.iter().chain([&extra_key]) {
+        assert_eq!(
+            live_copies(&fleet, key),
+            2,
+            "block {} not re-replicated",
+            hex(key)
+        );
+    }
+    // A second pass finds nothing to do — the driver is idempotent.
+    let again = rebalance(&gw2);
+    assert_eq!(again.blocks_moved, 0, "{again:?}");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn damaged_replica_is_read_repaired_onto_the_healthy_node() {
+    let root = temp_root("repair");
+    let fleet = LocalFleet::spawn(
+        &root,
+        3,
+        &StoreConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .unwrap();
+    let gw = FleetGateway::new(fleet.members().to_vec(), fleet_cfg());
+
+    let block = b"a block whose primary copy is about to rot".to_vec();
+    let key = gw.put(&block).unwrap();
+    let members = gw.replica_set(&key);
+
+    // Damage the primary's on-disk record.
+    let primary_store = fleet.store(members[0]);
+    let path = (0..primary_store.shard_count())
+        .map(|i| {
+            primary_store
+                .root()
+                .join(format!("shard-{i:03}"))
+                .join(hex(&key))
+        })
+        .find(|p| p.exists())
+        .expect("record on disk");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    let scrub = primary_store.scrub(1).unwrap();
+    assert_eq!(scrub.corrupt, 1, "the damage is real");
+
+    // The gateway serves the true bytes from the replica, and the
+    // primary's copy is repaired in-line (the server quarantined the
+    // damaged record, so the repair put landed).
+    let got = gw.get(&key).unwrap().expect("present");
+    assert_eq!(got, block, "corruption must not exit the gateway");
+    assert_eq!(gw.metrics.failovers.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics.read_repairs.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        primary_store.get(&key).unwrap().as_deref(),
+        Some(block.as_slice()),
+        "primary's copy restored"
+    );
+    assert_eq!(primary_store.scrub(1).unwrap().corrupt, 0, "store healed");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn missing_copy_from_partial_write_is_read_repaired() {
+    let root = temp_root("partial");
+    let mut fleet = LocalFleet::spawn(
+        &root,
+        3,
+        &StoreConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .unwrap();
+    let gw = FleetGateway::new(fleet.members().to_vec(), fleet_cfg());
+
+    // Kill the *primary* of this block's replica set, then write it:
+    // the put acks on the secondary only (a partial write).
+    let block = (0..200u64)
+        .map(|i| format!("partial-write probe {i};"))
+        .collect::<String>()
+        .into_bytes();
+    let key = lepton_storage::sha256::sha256(&block);
+    let members = gw.replica_set(&key);
+    fleet.kill(members[0]);
+    assert_eq!(gw.put(&block).unwrap(), key);
+    assert_eq!(gw.metrics.partial_writes.load(Ordering::Relaxed), 1);
+    assert_eq!(live_copies(&fleet, &key), 1);
+
+    // Revive the fleet: fresh services over the same store
+    // directories. The primary is back but *empty* for this block; a
+    // read starts there, sees "missing", fails over to the secondary,
+    // and repairs the hole it observed on the way.
+    drop(fleet);
+    let fleet2 = LocalFleet::spawn(
+        &root,
+        3,
+        &StoreConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .unwrap();
+    let gw2 = FleetGateway::new(fleet2.members().to_vec(), fleet_cfg());
+    let got = gw2.get(&key).unwrap().expect("present");
+    assert_eq!(got, block);
+    // Whichever order the replicas answered, the missing copy is now
+    // restored: both members of the set hold it.
+    assert_eq!(
+        gw2.metrics.read_repairs.load(Ordering::Relaxed),
+        1,
+        "the empty secondary was repaired in-line"
+    );
+    assert_eq!(live_copies(&fleet2, &key), 2);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -1,0 +1,131 @@
+//! Property tests for the consistent-hash ring: placement must be
+//! deterministic and balanced, and membership changes must move only
+//! ~K/N of the keys — the whole point of consistent hashing is that a
+//! topology change is an incremental event, not a reshuffle.
+
+use lepton_fleet::Ring;
+use lepton_storage::sha256::{sha256, Digest};
+use proptest::prelude::*;
+
+const KEYS: usize = 1000;
+
+fn keys(salt: u64) -> Vec<Digest> {
+    (0..KEYS as u64)
+        .map(|i| sha256(format!("block-{salt}-{i}").as_bytes()))
+        .collect()
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("node-{i:03}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two rings built from the same membership, vnodes, and seed
+    /// agree on every replica set — gateway instances coordinate
+    /// through configuration alone.
+    #[test]
+    fn placement_is_deterministic(
+        nodes in 2usize..9,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let a = Ring::new(names(nodes), 64, seed);
+        let b = Ring::new(names(nodes), 64, seed);
+        for k in keys(salt) {
+            prop_assert_eq!(a.replica_set(&k, 2), b.replica_set(&k, 2));
+        }
+    }
+
+    /// With 128 vnodes, primary placement over 1k keys is balanced
+    /// within a stated bound: no node holds more than twice the fair
+    /// share, none less than a quarter of it.
+    #[test]
+    fn placement_is_balanced(
+        nodes in 2usize..7,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let ring = Ring::new(names(nodes), 128, seed);
+        let mut counts = vec![0usize; nodes];
+        for k in keys(salt) {
+            counts[ring.primary(&k).expect("non-empty ring")] += 1;
+        }
+        let fair = KEYS as f64 / nodes as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) < fair * 2.0,
+                "node {i} holds {c} of {KEYS} keys (fair {fair:.0}) — hot spot"
+            );
+            prop_assert!(
+                (c as f64) > fair * 0.25,
+                "node {i} holds {c} of {KEYS} keys (fair {fair:.0}) — starved"
+            );
+        }
+    }
+
+    /// Adding one node moves only ~K/(N+1) primaries (we allow 2.5x
+    /// slack for vnode placement noise), and every key that moved,
+    /// moved *to the new node* — existing nodes never trade keys among
+    /// themselves on a join.
+    #[test]
+    fn adding_a_node_moves_about_k_over_n(
+        nodes in 2usize..7,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let old = Ring::new(names(nodes), 128, seed);
+        let new = old.with_nodes(names(nodes + 1));
+        let ks = keys(salt);
+        let mut moved = 0usize;
+        for k in &ks {
+            let before = old.replica_names(k, 1);
+            let after = new.replica_names(k, 1);
+            if before != after {
+                moved += 1;
+                prop_assert_eq!(
+                    after[0],
+                    format!("node-{:03}", nodes).as_str(),
+                    "a moved key must land on the joining node"
+                );
+            }
+        }
+        let ideal = KEYS as f64 / (nodes + 1) as f64;
+        prop_assert!(moved > 0, "the new node took nothing");
+        prop_assert!(
+            (moved as f64) < ideal * 2.5,
+            "moved {moved} of {KEYS} keys for 1 join (ideal {ideal:.0}) — reshuffle"
+        );
+    }
+
+    /// Removing one node disturbs exactly the keys whose replica set
+    /// contained it: everyone else's replica set is untouched.
+    #[test]
+    fn removing_a_node_only_disturbs_its_keys(
+        nodes in 3usize..8,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let old = Ring::new(names(nodes), 128, seed);
+        let survivors: Vec<String> = names(nodes - 1);
+        let gone = format!("node-{:03}", nodes - 1);
+        let new = old.with_nodes(survivors);
+        for k in keys(salt) {
+            let before = old.replica_names(&k, 2);
+            let after = new.replica_names(&k, 2);
+            if before.contains(&gone.as_str()) {
+                // The survivor of the old pair must still be in the
+                // new set — only the lost copy is re-homed.
+                for name in before.iter().filter(|n| **n != gone) {
+                    prop_assert!(
+                        after.contains(name),
+                        "surviving replica {name} evicted by an unrelated removal"
+                    );
+                }
+            } else {
+                prop_assert_eq!(before, after, "untouched key moved on node removal");
+            }
+        }
+    }
+}

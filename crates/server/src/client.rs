@@ -52,6 +52,88 @@ impl ClientError {
             _ => false,
         }
     }
+
+    /// True when retrying the same request could plausibly succeed:
+    /// transport failures and timeouts. A non-timeout refusal is
+    /// authoritative (the input is bad everywhere — §5.5's router
+    /// never re-runs a rejection), a garbled reply means a protocol
+    /// mismatch no retry will fix, and an `InvalidData` I/O error is
+    /// the size-budget gate (`read_bounded`) — deterministic, so
+    /// retrying it only burns backoff sleeps.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(e) => e.kind() != io::ErrorKind::InvalidData,
+            _ => self.is_timeout(),
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for one-shot requests. Every caller of
+/// this crate used to hand-roll single attempts; the fleet gateway's
+/// failover path needs disciplined retries, so the policy lives here
+/// where any client can use it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub initial_backoff: Duration,
+    /// Each subsequent backoff multiplies by this (exponential).
+    pub multiplier: u32,
+    /// Backoff ceiling, whatever the exponent says.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(50),
+            multiplier: 2,
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+            multiplier: 1,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The sleep after failed attempt number `attempt` (0-based):
+    /// `initial * multiplier^attempt`, capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = self.multiplier.max(1).saturating_pow(attempt).min(1 << 20);
+        (self.initial_backoff * factor).min(self.max_backoff)
+    }
+}
+
+/// Run `op` up to `policy.attempts` times, sleeping the policy's
+/// backoff between attempts. Only [transient](ClientError::is_transient)
+/// errors are retried — a refusal or garbled reply returns
+/// immediately. `op` receives the 0-based attempt number.
+pub fn retry_with_backoff<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                std::thread::sleep(policy.backoff_for(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Maximum response size a client will buffer (a decompressed chunk
@@ -154,5 +236,119 @@ pub fn block_stat(ep: &Endpoint, timeout: Duration) -> Result<BlockStatReply, Cl
             BlockStatReply::from_wire(&body).ok_or(ClientError::Garbled("block stat reply size"))
         }
         (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// List every block address in the service's blockstore. The reply is
+/// concatenated 32-byte digests; anything else is garbled.
+pub fn block_list(ep: &Endpoint, timeout: Duration) -> Result<Vec<[u8; 32]>, ClientError> {
+    match convert(ep, Op::BlockList, &[], timeout)? {
+        (Status::Ok, body) => {
+            if body.len() % 32 != 0 {
+                return Err(ClientError::Garbled("block list reply size"));
+            }
+            Ok(body
+                .chunks_exact(32)
+                .map(|c| <[u8; 32]>::try_from(c).expect("32-byte chunks"))
+                .collect())
+        }
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io_err() -> ClientError {
+        ClientError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "down"))
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(io_err().is_transient());
+        assert!(ClientError::Refused(Status::Timeout).is_transient());
+        assert!(!ClientError::Refused(Status::BadRequest).is_transient());
+        assert!(!ClientError::Garbled("x").is_transient());
+        // The response-size budget is deterministic; retrying it is
+        // pure backoff waste.
+        let too_big = ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, "over budget"));
+        assert!(!too_big.is_transient());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(55),
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(55), "capped");
+        assert_eq!(p.backoff_for(31), Duration::from_millis(55), "no overflow");
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let p = RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            multiplier: 1,
+            max_backoff: Duration::from_millis(1),
+        };
+        let mut seen = Vec::new();
+        let out = retry_with_backoff(&p, |attempt| {
+            seen.push(attempt);
+            if attempt < 2 {
+                Err(io_err())
+            } else {
+                Ok("served")
+            }
+        });
+        assert_eq!(out.unwrap(), "served");
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_is_bounded() {
+        let p = RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            multiplier: 1,
+            max_backoff: Duration::from_millis(1),
+        };
+        let mut calls = 0u32;
+        let out: Result<(), _> = retry_with_backoff(&p, |_| {
+            calls += 1;
+            Err(io_err())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3, "attempts include the first");
+    }
+
+    #[test]
+    fn refusals_are_not_retried() {
+        let mut calls = 0u32;
+        let out: Result<(), _> = retry_with_backoff(&RetryPolicy::default(), |_| {
+            calls += 1;
+            Err(ClientError::Refused(Status::BadRequest))
+        });
+        assert!(matches!(out, Err(ClientError::Refused(Status::BadRequest))));
+        assert_eq!(calls, 1, "a rejection is authoritative");
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts, 1);
+        let mut calls = 0u32;
+        let _: Result<(), _> = retry_with_backoff(&p, |_| {
+            calls += 1;
+            Err(io_err())
+        });
+        assert_eq!(calls, 1);
     }
 }

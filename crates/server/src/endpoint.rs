@@ -30,6 +30,29 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
+impl std::str::FromStr for Endpoint {
+    type Err = io::Error;
+
+    /// Parse the [`Display`](std::fmt::Display) form back:
+    /// `uds:/path/to.sock` or `tcp:127.0.0.1:9000`. This is the format
+    /// fleet manifest files store endpoints in.
+    fn from_str(s: &str) -> io::Result<Endpoint> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            if path.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty path"));
+            }
+            return Ok(Endpoint::uds(path));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Endpoint::tcp(addr);
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("endpoint {s:?} is neither uds: nor tcp:"),
+        ))
+    }
+}
+
 impl Endpoint {
     /// A UDS endpoint at `path`.
     pub fn uds(path: impl Into<PathBuf>) -> Endpoint {
@@ -247,5 +270,17 @@ mod tests {
         assert!(Endpoint::uds("/tmp/x.sock").to_string().starts_with("uds:"));
         let e = Endpoint::tcp("127.0.0.1:9000").unwrap();
         assert_eq!(e.to_string(), "tcp:127.0.0.1:9000");
+    }
+
+    #[test]
+    fn endpoint_display_roundtrips_through_parse() {
+        for ep in [
+            Endpoint::uds("/tmp/x.sock"),
+            Endpoint::tcp("127.0.0.1:9000").unwrap(),
+        ] {
+            assert_eq!(ep.to_string().parse::<Endpoint>().unwrap(), ep);
+        }
+        assert!("uds:".parse::<Endpoint>().is_err());
+        assert!("smoke-signal:hill".parse::<Endpoint>().is_err());
     }
 }

@@ -45,7 +45,7 @@ pub mod protocol;
 pub mod router;
 pub mod server;
 
-pub use client::ClientError;
+pub use client::{retry_with_backoff, ClientError, RetryPolicy};
 pub use endpoint::{Conn, Endpoint, Listener};
 pub use gauge::ConcurrencyGauge;
 pub use protocol::{BlockStatReply, Op, StatsReply, Status};

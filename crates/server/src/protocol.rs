@@ -45,6 +45,17 @@ pub enum Op {
     /// No payload; returns a [`BlockStatReply`] summarizing the
     /// service's blockstore.
     BlockStat,
+    /// No payload; returns every block address in the service's
+    /// blockstore as concatenated 32-byte digests. What a fleet
+    /// rebalance driver walks to find blocks whose replica set
+    /// changed.
+    ///
+    /// The reply is a single unpaginated body, so a client's response
+    /// budget caps how many keys it can list (the default 64 MiB
+    /// buffers ~2M addresses). Stores beyond that need a paginated
+    /// listing op — future work; until then the client surfaces the
+    /// overflow as a non-transient `InvalidData` error.
+    BlockList,
 }
 
 impl Op {
@@ -58,6 +69,7 @@ impl Op {
             Op::BlockPut => b'B',
             Op::BlockGet => b'G',
             Op::BlockStat => b'T',
+            Op::BlockList => b'L',
         }
     }
 
@@ -71,6 +83,7 @@ impl Op {
             b'B' => Some(Op::BlockPut),
             b'G' => Some(Op::BlockGet),
             b'T' => Some(Op::BlockStat),
+            b'L' => Some(Op::BlockList),
             _ => None,
         }
     }
@@ -356,6 +369,7 @@ mod tests {
             Op::BlockPut,
             Op::BlockGet,
             Op::BlockStat,
+            Op::BlockList,
         ] {
             assert_eq!(Op::from_wire(op.to_wire()), Some(op));
         }

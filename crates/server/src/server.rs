@@ -293,7 +293,7 @@ fn handle_connection(
                 }
             }
         }
-        Op::BlockPut | Op::BlockGet | Op::BlockStat => {
+        Op::BlockPut | Op::BlockGet | Op::BlockStat | Op::BlockList => {
             let Some(store) = cfg.blockstore.as_deref() else {
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
                 let _ = write_response(&mut conn, Status::BadRequest, &[]);
@@ -356,14 +356,35 @@ fn handle_block_op(
                 Ok(None) => {
                     let _ = write_response(conn, Status::NotFound, &[]);
                 }
-                // Corrupt blocks are refused, never served (nor are
-                // I/O failures dressed up as data).
-                Err(StoreError::Corrupt(_) | StoreError::Io(_)) => {
+                // A damaged record is refused, never served — and
+                // quarantined, so a replica's read-repair `put` of the
+                // true content can land instead of deduping against
+                // the bad file.
+                Err(StoreError::Corrupt(_)) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = store.quarantine(&key);
+                    let _ = write_response(conn, Status::StorageFailed, &[]);
+                }
+                // I/O failures are never dressed up as data either.
+                Err(StoreError::Io(_)) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = write_response(conn, Status::StorageFailed, &[]);
                 }
             }
         }
+        Op::BlockList => match store.keys() {
+            Ok(keys) => {
+                let mut body = Vec::with_capacity(keys.len() * 32);
+                for k in &keys {
+                    body.extend_from_slice(k);
+                }
+                let _ = write_response(conn, Status::Ok, &body);
+            }
+            Err(_) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(conn, Status::StorageFailed, &[]);
+            }
+        },
         Op::BlockStat => match store.stat() {
             Ok(stats) => {
                 let reply = BlockStatReply {

@@ -191,6 +191,20 @@ impl BackfillReport {
     }
 }
 
+/// Outcome of one [`ShardedStore::scrub`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// Blocks examined.
+    pub scanned: u64,
+    /// Blocks whose at-rest record failed its integrity check.
+    pub corrupt: u64,
+    /// Addresses of the damaged blocks (what an operator — or the
+    /// fleet's read-repair — would fetch from a healthy replica).
+    pub corrupt_keys: Vec<Digest>,
+    /// Wall-clock seconds for the whole pass.
+    pub secs: f64,
+}
+
 /// A bounded LRU of decoded blocks; one per shard, behind the shard's
 /// own lock.
 struct ShardCache {
@@ -383,6 +397,13 @@ impl ShardedStore {
         self.shard_of(key).dir.join(hex(key))
     }
 
+    /// Where a quarantined record sits: a tombstone name every walk
+    /// skips, so the damaged bytes stay for forensics without being
+    /// servable.
+    fn quarantine_path(&self, key: &Digest) -> PathBuf {
+        self.shard_of(key).dir.join(format!("{}.corrupt", hex(key)))
+    }
+
     /// Store a block; returns the SHA-256 of `data`, under which the
     /// original bytes are retrievable forever after — whatever encoding
     /// won at admission.
@@ -422,6 +443,10 @@ impl ShardedStore {
             return Ok(key); // raced with another writer of the same content
         }
         self.write_record(shard, &path, format, data.len() as u64, &payload)?;
+        // A fresh, verified record supersedes any quarantined one: the
+        // tombstone must not keep reporting damage that has been
+        // repaired.
+        let _ = std::fs::remove_file(self.quarantine_path(&key));
         drop(guard);
 
         self.metrics
@@ -497,8 +522,33 @@ impl ShardedStore {
 
         let (format, original_len, payload) = match self.read_record(key)? {
             Some(rec) => rec,
+            // A quarantined block is *damaged*, not absent: reporting
+            // it as a miss would let a caller (or a fleet's replica
+            // quorum) conclude the block never existed. The damage was
+            // already counted when it was quarantined.
+            None if self.quarantine_path(key).exists() => return Err(StoreError::Corrupt(*key)),
             None => return Ok(None),
         };
+        let decoded = self.decode_and_verify(key, format, original_len, payload)?;
+        if self.cfg.cache_bytes > 0 {
+            shard.cache.lock().insert(*key, decoded.clone());
+        }
+        Ok(Some(decoded))
+    }
+
+    /// The integrity gate shared by the serving read path and the
+    /// scrub: decode a record's payload and prove the result hashes to
+    /// the address it was stored under. Damage is counted and the
+    /// cache purged (via `corrupt`); what this returns is safe to
+    /// serve.
+    fn decode_and_verify(
+        &self,
+        key: &Digest,
+        format: StoredFormat,
+        original_len: u64,
+        payload: Vec<u8>,
+    ) -> Result<Vec<u8>, StoreError> {
+        let shard = self.shard_of(key);
         let decoded = match format {
             StoredFormat::Lepton => match lepton_core::decompress(&payload) {
                 Ok(jpeg) => jpeg,
@@ -512,15 +562,10 @@ impl ShardedStore {
             }
             StoredFormat::Raw => payload,
         };
-        // The read-path integrity gate: what we serve must hash to the
-        // address it was stored under.
         if decoded.len() as u64 != original_len || sha256(&decoded) != *key {
             return Err(self.corrupt(shard, key));
         }
-        if self.cfg.cache_bytes > 0 {
-            shard.cache.lock().insert(*key, decoded.clone());
-        }
-        Ok(Some(decoded))
+        Ok(decoded)
     }
 
     fn corrupt(&self, shard: &Shard, key: &Digest) -> StoreError {
@@ -643,6 +688,105 @@ impl ShardedStore {
             }
         }
         Ok(stats)
+    }
+
+    /// Hash-check one block *at rest*: open the record, decode the
+    /// payload, and compare the SHA-256 against the address — the full
+    /// cold-read gate, deliberately bypassing the decoded-block cache
+    /// (a scrub that answered from cache would never see disk damage).
+    /// `Ok(true)` means intact, `Ok(false)` means damaged (counted in
+    /// `metrics.corrupt_blocks`, cache entry purged); a block that
+    /// vanished mid-walk reads as intact.
+    pub fn check_block(&self, key: &Digest) -> Result<bool, StoreError> {
+        let (format, original_len, payload) = match self.read_record(key) {
+            Ok(Some(rec)) => rec,
+            Ok(None) => return Ok(true),
+            Err(StoreError::Corrupt(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        match self.decode_and_verify(key, format, original_len, payload) {
+            Ok(_) => Ok(true),
+            Err(StoreError::Corrupt(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Quarantined blocks still awaiting repair: a `<hex>.corrupt`
+    /// tombstone with no replacement record. These are damage an
+    /// operator must still act on, even though `keys()` no longer
+    /// lists them.
+    fn quarantined_keys(&self) -> io::Result<Vec<Digest>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for entry in std::fs::read_dir(&shard.dir)? {
+                let name = entry?.file_name();
+                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".corrupt")) else {
+                    continue;
+                };
+                if let Some(key) = parse_hex(stem) {
+                    if !self.block_path(&key).exists() {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Walk the store with `parallelism` workers, hash-checking every
+    /// block at rest (§5.6's triple-verify discipline as an operator
+    /// tool). Read-only: damaged blocks are reported, not touched —
+    /// pair with [`ShardedStore::quarantine`] or the fleet's
+    /// read-repair to act on the findings. Quarantined blocks whose
+    /// replacement has not arrived yet are reported as corrupt too;
+    /// damage must stay visible until it is actually repaired.
+    pub fn scrub(&self, parallelism: usize) -> Result<ScrubReport, StoreError> {
+        let todo = self.keys()?;
+        let quarantined = self.quarantined_keys()?;
+        let quarantined_count = quarantined.len() as u64;
+        let t0 = Instant::now();
+        let next = AtomicUsize::new(0);
+        let corrupt = Mutex::new(quarantined);
+        std::thread::scope(|scope| {
+            for _ in 0..parallelism.max(1) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = todo.get(i) else { break };
+                    // I/O errors are folded into "damaged" for the
+                    // report: either way the block is unreadable here.
+                    if !self.check_block(key).unwrap_or(false) {
+                        corrupt.lock().push(*key);
+                    }
+                });
+            }
+        });
+        let corrupt_keys = corrupt.into_inner();
+        Ok(ScrubReport {
+            scanned: todo.len() as u64 + quarantined_count,
+            corrupt: corrupt_keys.len() as u64,
+            corrupt_keys,
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Move a damaged record aside (renamed to `<hex>.corrupt`, a name
+    /// the store's walks skip) so a subsequent `put` of the true
+    /// content can land — content-addressed dedup would otherwise see
+    /// the damaged file and refuse to rewrite it. Returns whether a
+    /// record was actually quarantined. The serving path calls this
+    /// when a read trips the integrity gate, which is what lets a
+    /// fleet's read-repair overwrite a bad replica.
+    pub fn quarantine(&self, key: &Digest) -> Result<bool, StoreError> {
+        let shard = self.shard_of(key);
+        let path = self.block_path(key);
+        let _guard = shard.write_lock.lock();
+        shard.cache.lock().remove(key);
+        let dest = self.quarantine_path(key);
+        match std::fs::rename(&path, &dest) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Convert one existing block to Lepton in place if it qualifies.
@@ -923,6 +1067,76 @@ mod tests {
         let key = store.put_raw(&jpg).unwrap();
         assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Raw));
         assert_eq!(store.get(&key).unwrap().unwrap(), jpg);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scrub_reports_damage_and_quarantine_clears_it() {
+        let root = temp_root("scrub");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let jpg = clean_jpeg(&spec(), 31);
+        let good = store.put(&jpg).unwrap();
+        let bad = store.put(b"soon to be damaged payload bytes").unwrap();
+
+        let clean = store.scrub(2).unwrap();
+        assert_eq!(clean.scanned, 2);
+        assert_eq!(clean.corrupt, 0, "{clean:?}");
+
+        // Flip a payload byte of the raw block on disk.
+        let path = store.block_path(&bad);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = store.scrub(2).unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.corrupt, 1, "{report:?}");
+        assert_eq!(report.corrupt_keys, vec![bad]);
+        // Scrub is read-only: the damaged record is still in place…
+        assert!(store.contains(&bad));
+        assert!(matches!(store.get(&bad), Err(StoreError::Corrupt(_))));
+
+        // …until quarantine moves it aside, after which a put of the
+        // true content lands instead of hitting the dedup short-cut.
+        assert!(store.quarantine(&bad).unwrap());
+        assert!(!store.contains(&bad));
+        assert!(!store.quarantine(&bad).unwrap(), "already moved");
+        // Quarantined is damaged, not absent: a read must keep saying
+        // Corrupt (never an authoritative miss), and a scrub must keep
+        // reporting the block until the repair actually lands.
+        assert!(matches!(store.get(&bad), Err(StoreError::Corrupt(_))));
+        let pending = store.scrub(1).unwrap();
+        assert_eq!(pending.corrupt, 1, "{pending:?}");
+        assert_eq!(pending.corrupt_keys, vec![bad]);
+        let again = store.put(b"soon to be damaged payload bytes").unwrap();
+        assert_eq!(again, bad);
+        assert_eq!(
+            store.get(&bad).unwrap().unwrap(),
+            b"soon to be damaged payload bytes"
+        );
+        let healed = store.scrub(1).unwrap();
+        assert_eq!(healed.corrupt, 0);
+        // The intact block was never disturbed.
+        assert_eq!(store.get(&good).unwrap().unwrap(), jpg);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scrub_bypasses_the_read_cache() {
+        let root = temp_root("scrub-cache");
+        let store = ShardedStore::open(&root, StoreConfig::default()).unwrap();
+        let key = store.put(b"cached and then damaged").unwrap();
+        // Warm the cache, then damage the disk record behind it.
+        assert!(store.get(&key).unwrap().is_some());
+        let path = store.block_path(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        // A cached read would still succeed; the scrub must not.
+        let report = store.scrub(1).unwrap();
+        assert_eq!(report.corrupt, 1, "scrub answered from cache");
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -17,6 +17,9 @@
 //! * [`baselines`] — the comparison codecs from the paper's evaluation.
 //! * [`storage`] — a content-addressed 4-MiB-chunk block store with
 //!   transparent Lepton recompression and round-trip admission control.
+//! * [`fleet`] — the replicated block fleet: a seeded consistent-hash
+//!   gateway over live blockserver nodes with failover, read-repair,
+//!   health ejection, and a rebalance driver.
 //! * [`cluster`] — the deployment simulator (outsourcing, backfill,
 //!   anomalies) behind the paper's §5–§6 figures.
 //! * [`corpus`] — deterministic synthetic JPEG corpus generation.
@@ -33,6 +36,7 @@ pub use lepton_cluster as cluster;
 pub use lepton_core as codec;
 pub use lepton_corpus as corpus;
 pub use lepton_deflate as deflate;
+pub use lepton_fleet as fleet;
 pub use lepton_jpeg as jpeg;
 pub use lepton_model as model;
 pub use lepton_server as server;
