@@ -20,6 +20,55 @@ const TOP: u32 = 1 << 24;
 pub trait ByteSource {
     /// Produce the next byte of the compressed stream (0 past the end).
     fn next_byte(&mut self) -> u8;
+
+    /// Fill `out` with the next bytes of the stream, zero-filling past
+    /// the end. The decoder calls this once per refill window instead of
+    /// once per byte, so a boxed/dyn source pays one indirect call per
+    /// block rather than per byte. Implementors with contiguous backing
+    /// should override with a bulk copy.
+    #[inline]
+    fn read_block(&mut self, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            *b = self.next_byte();
+        }
+    }
+}
+
+impl<S: ByteSource + ?Sized> ByteSource for &mut S {
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        (**self).next_byte()
+    }
+
+    #[inline]
+    fn read_block(&mut self, out: &mut [u8]) {
+        (**self).read_block(out)
+    }
+}
+
+impl ByteSource for Box<dyn ByteSource + '_> {
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        (**self).next_byte()
+    }
+
+    #[inline]
+    fn read_block(&mut self, out: &mut [u8]) {
+        (**self).read_block(out)
+    }
+}
+
+/// Shared bulk-copy implementation for slice-backed sources. Advances
+/// `pos` only to `data.len()`: zero-fill reads never move the cursor, so
+/// the consumption counter stays exact and cannot grow without bound on
+/// adversarial streams that drain far past the end.
+#[inline]
+fn read_block_from_slice(data: &[u8], pos: &mut usize, out: &mut [u8]) {
+    let avail = data.len() - *pos;
+    let n = avail.min(out.len());
+    out[..n].copy_from_slice(&data[*pos..*pos + n]);
+    out[n..].fill(0);
+    *pos += n;
 }
 
 /// A [`ByteSource`] over an in-memory slice.
@@ -35,19 +84,28 @@ impl<'a> SliceSource<'a> {
         SliceSource { data, pos: 0 }
     }
 
-    /// Number of bytes consumed so far (including zero-fill reads capped
-    /// at the slice length).
+    /// Number of bytes consumed so far. Zero-fill reads past the end do
+    /// not advance the cursor, so this is always `<= data.len()`.
     pub fn consumed(&self) -> usize {
-        self.pos.min(self.data.len())
+        self.pos
     }
 }
 
 impl ByteSource for SliceSource<'_> {
     #[inline]
     fn next_byte(&mut self) -> u8 {
-        let b = self.data.get(self.pos).copied().unwrap_or(0);
-        self.pos += 1;
-        b
+        match self.data.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                b
+            }
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn read_block(&mut self, out: &mut [u8]) {
+        read_block_from_slice(self.data, &mut self.pos, out);
     }
 }
 
@@ -63,14 +121,34 @@ impl VecSource {
     pub fn new(data: Vec<u8>) -> Self {
         VecSource { data, pos: 0 }
     }
+
+    /// Number of bytes consumed so far. Zero-fill reads past the end do
+    /// not advance the cursor, so this is always `<= data.len()`.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Recover the backing buffer (e.g. to recycle its allocation).
+    pub fn into_inner(self) -> Vec<u8> {
+        self.data
+    }
 }
 
 impl ByteSource for VecSource {
     #[inline]
     fn next_byte(&mut self) -> u8 {
-        let b = self.data.get(self.pos).copied().unwrap_or(0);
-        self.pos += 1;
-        b
+        match self.data.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                b
+            }
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn read_block(&mut self, out: &mut [u8]) {
+        read_block_from_slice(&self.data, &mut self.pos, out);
     }
 }
 
@@ -98,12 +176,21 @@ impl Default for BoolEncoder {
 impl BoolEncoder {
     /// New encoder with an empty output buffer.
     pub fn new() -> Self {
+        Self::with_buffer(Vec::new())
+    }
+
+    /// New encoder writing into `buf` (cleared, capacity retained). This
+    /// is the arena-reuse entry point: a pooled worker hands the same
+    /// buffer to every job it runs, so steady-state encoding does no
+    /// output-buffer reallocation at all.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
         BoolEncoder {
             low: 0,
             range: u32::MAX,
             cache: 0,
             cache_size: 1,
-            out: Vec::new(),
+            out: buf,
         }
     }
 
@@ -187,30 +274,56 @@ impl BoolEncoder {
     }
 }
 
+/// Refill-window size for [`BoolDecoder`]'s internal byte buffer. One
+/// [`ByteSource::read_block`] call per window keeps the per-byte cost of
+/// renormalization at an array load — no per-byte trait hop even for
+/// boxed sources.
+const REFILL: usize = 64;
+
 /// Binary range decoder, mirroring [`BoolEncoder`].
+///
+/// Input bytes are pulled through a 64-byte window filled by
+/// [`ByteSource::read_block`], so the source (and up to one window of
+/// prefetch) may run ahead of the bytes the coder has actually folded
+/// into `code`.
 #[derive(Clone, Debug)]
 pub struct BoolDecoder<S: ByteSource> {
     code: u32,
     range: u32,
+    buf: [u8; REFILL],
+    buf_pos: usize,
     src: S,
 }
 
 impl<S: ByteSource> BoolDecoder<S> {
     /// Initialize from a byte source (consumes the 5-byte preamble the
     /// encoder's flush produced).
-    pub fn new(mut src: S) -> Self {
-        let mut code = 0u32;
+    pub fn new(src: S) -> Self {
+        let mut dec = BoolDecoder {
+            code: 0,
+            range: u32::MAX,
+            buf: [0; REFILL],
+            buf_pos: REFILL,
+            src,
+        };
         // The first emitted byte is always the initial cache (0); skip it
         // and load the next four, exactly inverse to the encoder flush.
-        src.next_byte();
+        dec.next_byte();
         for _ in 0..4 {
-            code = (code << 8) | src.next_byte() as u32;
+            dec.code = (dec.code << 8) | dec.next_byte() as u32;
         }
-        BoolDecoder {
-            code,
-            range: u32::MAX,
-            src,
+        dec
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        if self.buf_pos == REFILL {
+            self.src.read_block(&mut self.buf);
+            self.buf_pos = 0;
         }
+        let b = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        b
     }
 
     /// Decode one bit with the probability in `branch`, then adapt it.
@@ -234,7 +347,7 @@ impl<S: ByteSource> BoolDecoder<S> {
         }
         while self.range < TOP {
             self.range <<= 8;
-            self.code = (self.code << 8) | self.src.next_byte() as u32;
+            self.code = (self.code << 8) | self.next_byte() as u32;
         }
         bit
     }
@@ -255,7 +368,9 @@ impl<S: ByteSource> BoolDecoder<S> {
         v
     }
 
-    /// Access the underlying source (e.g. to query consumption).
+    /// Access the underlying source. Note the decoder prefetches up to
+    /// one refill window, so a consumption counter on the source runs
+    /// ahead of the bytes actually folded into the coder state.
     pub fn source(&self) -> &S {
         &self.src
     }

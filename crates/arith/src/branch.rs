@@ -5,6 +5,55 @@
 //! counts into the probability fed to the range coder. The paper (§3.2)
 //! describes 721,564 such bins, "each initialized to a 50-50 probability
 //! of zeros vs. ones" and adapted independently as the file is coded.
+//!
+//! The coder queries the probability once per coded bit, so that query
+//! must not divide: the 16-bit probability is *cached in the bin* and
+//! refreshed on [`Branch::record`] from a 256×256 compile-time lookup
+//! table ([`PROB_LUT`]). Query = one in-struct load; record = one table
+//! load plus a store. The table is the rounded-division formula
+//! evaluated for every reachable `(false_count, true_count)` pair —
+//! equivalence is enforced exhaustively by the tests below.
+
+/// Rounded-division probability for a `(c0, c1)` count pair, in 16-bit
+/// fixed point, clamped to `1..=65535` so neither symbol ever becomes
+/// impossible. This is the reference formula; the hot path reads
+/// [`PROB_LUT`] instead.
+#[inline]
+pub const fn prob_from_counts(c0: u8, c1: u8) -> u16 {
+    let c0 = c0 as u32;
+    let c1 = c1 as u32;
+    // Counts are >= 1 in every reachable state, so the denominator is
+    // >= 2. (The table contains arbitrary-but-harmless values for the
+    // unreachable zero-count rows.)
+    let denom = if c0 + c1 == 0 { 1 } else { c0 + c1 };
+    let p = (c0 * 65536 + denom / 2) / denom;
+    if p < 1 {
+        1
+    } else if p > 65535 {
+        65535
+    } else {
+        p as u16
+    }
+}
+
+/// `PROB_LUT[c0 * 256 + c1]` = `prob_from_counts(c0, c1)`: the cached
+/// probability for every count pair, computed at compile time.
+pub static PROB_LUT: [u16; 65536] = {
+    let mut t = [0u16; 65536];
+    let mut c0 = 0usize;
+    while c0 < 256 {
+        let mut c1 = 0usize;
+        while c1 < 256 {
+            t[c0 * 256 + c1] = prob_from_counts(c0 as u8, c1 as u8);
+            c1 += 1;
+        }
+        c0 += 1;
+    }
+    t
+};
+
+/// The fresh-bin probability (`prob_from_counts(1, 1)` = exactly 1/2).
+const FRESH_PROB: u16 = prob_from_counts(1, 1);
 
 /// One adaptive statistic bin.
 ///
@@ -16,6 +65,10 @@
 pub struct Branch {
     /// `counts[0]` tracks `false` bits, `counts[1]` tracks `true` bits.
     counts: [u8; 2],
+    /// Cached `prob_from_counts(counts[0], counts[1])`, maintained as an
+    /// invariant by [`Branch::record`]. Keeping it inside the bin means
+    /// the coder's query hits the same cache line as the counts.
+    prob: u16,
 }
 
 impl Default for Branch {
@@ -28,18 +81,18 @@ impl Branch {
     /// A fresh bin with a 50-50 prior (one observation of each symbol).
     #[inline]
     pub const fn new() -> Self {
-        Branch { counts: [1, 1] }
+        Branch {
+            counts: [1, 1],
+            prob: FRESH_PROB,
+        }
     }
 
     /// Probability that the next bit is `false`, in 16-bit fixed point,
-    /// clamped to `1..=65535` so neither symbol ever becomes impossible.
+    /// clamped to `1..=65535`. A load, not a division — the value is
+    /// maintained by [`Branch::record`].
     #[inline]
     pub fn prob_false(&self) -> u16 {
-        let c0 = self.counts[0] as u32;
-        let c1 = self.counts[1] as u32;
-        // Rounded division; counts are >= 1 so the denominator is >= 2.
-        let p = (c0 * 65536 + (c0 + c1) / 2) / (c0 + c1);
-        p.clamp(1, 65535) as u16
+        self.prob
     }
 
     /// Record an observed bit and adapt the probability.
@@ -53,6 +106,7 @@ impl Branch {
             self.counts[1] = (self.counts[1] >> 1) | 1;
         }
         self.counts[idx] += 1;
+        self.prob = PROB_LUT[self.counts[0] as usize * 256 + self.counts[1] as usize];
     }
 
     /// Raw `(false_count, true_count)` pair, for tests and debugging.
@@ -133,5 +187,69 @@ mod tests {
             b.record(true);
         }
         assert!(b.prob_false() < 32768, "renormalization lets it flip");
+    }
+
+    /// Reference formula, written independently of `prob_from_counts`
+    /// (the exact expression the pre-LUT hot path computed per bit).
+    fn reference_prob(c0: u32, c1: u32) -> u16 {
+        let p = (c0 * 65536 + (c0 + c1) / 2) / (c0 + c1);
+        p.clamp(1, 65535) as u16
+    }
+
+    /// The LUT matches the rounded-division formula for every reachable
+    /// count pair (both counts >= 1).
+    #[test]
+    fn lut_matches_division_exhaustively() {
+        for c0 in 1..=255u32 {
+            for c1 in 1..=255u32 {
+                assert_eq!(
+                    PROB_LUT[(c0 * 256 + c1) as usize],
+                    reference_prob(c0, c1),
+                    "counts ({c0}, {c1})"
+                );
+            }
+        }
+    }
+
+    /// `record` keeps the cached probability equal to the formula from
+    /// *every* reachable state — including through the saturation /
+    /// renormalization path (counts at 255).
+    #[test]
+    fn record_preserves_cache_from_every_state() {
+        for c0 in 1..=255u8 {
+            for c1 in 1..=255u8 {
+                for bit in [false, true] {
+                    let mut b = Branch {
+                        counts: [c0, c1],
+                        prob: prob_from_counts(c0, c1),
+                    };
+                    b.record(bit);
+                    let (n0, n1) = b.counts();
+                    // The cache invariant holds after the update…
+                    assert_eq!(
+                        b.prob_false(),
+                        reference_prob(n0 as u32, n1 as u32),
+                        "after record({bit}) from ({c0}, {c1})"
+                    );
+                    // …and the renormalization arithmetic matches the
+                    // documented scheme.
+                    let (e0, e1) = if (bit && c1 == 255) || (!bit && c0 == 255) {
+                        let h0 = (c0 >> 1) | 1;
+                        let h1 = (c1 >> 1) | 1;
+                        if bit {
+                            (h0, h1 + 1)
+                        } else {
+                            (h0 + 1, h1)
+                        }
+                    } else if bit {
+                        (c0, c1 + 1)
+                    } else {
+                        (c0 + 1, c1)
+                    };
+                    assert_eq!((n0, n1), (e0, e1), "counts after record");
+                    assert!(n0 >= 1 && n1 >= 1, "counts never reach zero");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,158 @@
+//! Codec hot-path benchmarks: engine-backed encode/decode throughput
+//! plus a bare range-coder bit pump.
+//!
+//! This is the regression harness for the pooled-engine / reusable-
+//! arena / branch-free-inner-loop work: `lepton/decode/1` is the fig7
+//! single-thread decode number in criterion form, and `coder/bits`
+//! isolates the per-bit cost of the `Branch` + `BoolCoder` pair (the
+//! probability query must stay a load, not a division).
+//!
+//! Quick mode: `LEPTON_BENCH_FILES` bounds the corpus (CI smoke uses
+//! 3); `LEPTON_BENCH_JSON` additionally appends one machine-readable
+//! record (median throughputs) for the perf-trajectory artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lepton_arith::{BoolDecoder, BoolEncoder, Branch, SliceSource};
+use lepton_bench::json::{emit, Json};
+use lepton_bench::{bench_corpus, bench_file_count, mbps, timed};
+use lepton_core::{CompressOptions, Engine, ThreadPolicy};
+
+/// Median of repeated timings of `f`, in seconds.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm up (fills engine arenas, touches the LUT)
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let (_, secs) = timed(&mut f);
+            secs
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    times[times.len() / 2]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let quick = bench_file_count(6);
+    let files = bench_corpus(quick.clamp(1, 12), 384, 0xC0DE);
+    let bytes: usize = files.iter().map(|f| f.len()).sum();
+    let samples = if quick <= 3 { 3 } else { 10 };
+    let engine = Engine::global();
+    let mut record: Vec<(&str, Json)> = Vec::new();
+
+    let mut g = c.benchmark_group("lepton");
+    g.sample_size(samples);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    for threads in [1usize, 8] {
+        let opts = CompressOptions {
+            threads: ThreadPolicy::Fixed(threads),
+            verify: false,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("encode", threads), &threads, |b, _| {
+            b.iter(|| {
+                for f in &files {
+                    std::hint::black_box(engine.compress(f, &opts).expect("enc"));
+                }
+            })
+        });
+        let encs: Vec<Vec<u8>> = files
+            .iter()
+            .map(|f| engine.compress(f, &opts).expect("enc"))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("decode", threads), &threads, |b, _| {
+            b.iter(|| {
+                for e in &encs {
+                    std::hint::black_box(engine.decompress(e).expect("dec"));
+                }
+            })
+        });
+
+        // Median throughputs for the JSON trajectory record.
+        let enc_secs = median_secs(samples, || {
+            for f in &files {
+                std::hint::black_box(engine.compress(f, &opts).expect("enc"));
+            }
+        });
+        let dec_secs = median_secs(samples, || {
+            for e in &encs {
+                std::hint::black_box(engine.decompress(e).expect("dec"));
+            }
+        });
+        record.push((
+            if threads == 1 {
+                "encode_1thr_mbps"
+            } else {
+                "encode_8thr_mbps"
+            },
+            Json::from(mbps(bytes, enc_secs)),
+        ));
+        record.push((
+            if threads == 1 {
+                "decode_1thr_mbps"
+            } else {
+                "decode_8thr_mbps"
+            },
+            Json::from(mbps(bytes, dec_secs)),
+        ));
+    }
+    g.finish();
+
+    // Bare coder: pump a deterministic skewed bit pattern through one
+    // adaptive bin — per-bit cost of Branch::prob_false + record plus
+    // range-coder normalization, nothing else.
+    const NBITS: usize = 200_000;
+    let bits: Vec<bool> = {
+        let mut x = 0x1357_9BDF_2468_ACE0u64;
+        (0..NBITS)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x.is_multiple_of(5)
+            })
+            .collect()
+    };
+    let mut g = c.benchmark_group("coder");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(NBITS as u64 * 2)); // enc + dec
+    g.bench_function("bits", |b| {
+        b.iter(|| {
+            let mut enc = BoolEncoder::new();
+            let mut bin = Branch::new();
+            for &bit in &bits {
+                enc.put(bit, &mut bin);
+            }
+            let bytes = enc.finish();
+            let mut dec = BoolDecoder::new(SliceSource::new(&bytes));
+            let mut bin = Branch::new();
+            for _ in 0..NBITS {
+                std::hint::black_box(dec.get(&mut bin));
+            }
+            std::hint::black_box(bytes.len())
+        })
+    });
+    g.finish();
+    let coder_secs = median_secs(samples, || {
+        let mut enc = BoolEncoder::new();
+        let mut bin = Branch::new();
+        for &bit in &bits {
+            enc.put(bit, &mut bin);
+        }
+        let bytes = enc.finish();
+        let mut dec = BoolDecoder::new(SliceSource::new(&bytes));
+        let mut bin = Branch::new();
+        for _ in 0..NBITS {
+            std::hint::black_box(dec.get(&mut bin));
+        }
+    });
+    record.push((
+        "coder_mbits_per_sec",
+        Json::from((NBITS * 2) as f64 / coder_secs.max(1e-9) / 1e6),
+    ));
+    record.push(("corpus_bytes", Json::from(bytes)));
+    record.push(("engine_workers", Json::from(engine.workers())));
+
+    emit("bench_codec", record);
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -8,8 +8,15 @@
 //! the caller's sink in order as they are produced, so the first bytes
 //! of the file leave the decoder long before the last segment finishes
 //! (time-to-first-byte, §1).
+//!
+//! Segment jobs run on the pre-spawned [`Engine`] pool with per-worker
+//! model arenas (reset, not reallocated, between jobs). The
+//! single-segment case — most small files — runs inline on the calling
+//! thread and pushes bytes straight into the sink: no queue handoff, no
+//! channel, and streaming latency identical to the multithreaded path.
 
 use crate::driver::{walk_segment, BlockOp};
+use crate::engine::{Engine, EnvJob, Scratch};
 use crate::error::LeptonError;
 use crate::format::{packets, read_container, ContainerHeader, SegmentInfo};
 use lepton_arith::{BoolDecoder, VecSource};
@@ -19,19 +26,50 @@ use lepton_jpeg::scan::BlockHuffEncoder;
 use lepton_jpeg::CoefBlock;
 use lepton_model::context::BlockNeighbors;
 use lepton_model::{ComponentModel, ModelConfig};
-use std::sync::mpsc::SyncSender;
+use std::sync::mpsc::Sender;
 
 /// Drain threshold: how many completed bytes accumulate before a chunk
 /// is forwarded to the output channel.
 const DRAIN_BYTES: usize = 32 << 10;
 
+/// Where one segment's produced bytes go. Pooled segments send through
+/// an *unbounded* channel to the in-order drain — a producer job must
+/// never block holding a shared pool worker (a stalled consumer would
+/// then starve unrelated codec calls), so buffering is bounded by the
+/// in-flight file's output instead of a channel cap. The inline
+/// single-segment path writes straight into the caller's sink.
+trait SegSink {
+    /// Forward `bytes`; `false` means the consumer is gone and the
+    /// producer should finish quietly without sending more.
+    fn send(&mut self, bytes: Vec<u8>) -> bool;
+}
+
+impl SegSink for Sender<Vec<u8>> {
+    fn send(&mut self, bytes: Vec<u8>) -> bool {
+        Sender::send(self, bytes).is_ok()
+    }
+}
+
+/// Inline path: no channel, no buffering beyond the scan writer.
+struct DirectSink<'s> {
+    sink: &'s mut dyn FnMut(&[u8]),
+}
+
+impl SegSink for DirectSink<'_> {
+    fn send(&mut self, bytes: Vec<u8>) -> bool {
+        (self.sink)(&bytes);
+        true
+    }
+}
+
 /// Decode one thread segment: model-decode each block and Huffman-encode
 /// it into the resumable scan writer, draining output incrementally.
-struct SegDecoder<'a> {
+/// The model pair is borrowed from the executing worker's arena.
+struct SegDecoder<'a, T: SegSink> {
     parsed: &'a ParsedJpeg,
     huff: Vec<BlockHuffEncoder<'a>>,
     dec: BoolDecoder<VecSource>,
-    models: [ComponentModel; 2],
+    models: &'a mut [ComponentModel; 2],
     writer: ScanWriter,
     prev_dc: [i16; 4],
     rst_emitted: u32,
@@ -41,12 +79,12 @@ struct SegDecoder<'a> {
     /// Output budget (exact bytes this segment owes).
     budget: usize,
     sent: usize,
-    tx: SyncSender<Vec<u8>>,
+    tx: T,
     /// Receiver disappeared; stop sending but finish quietly.
     receiver_gone: bool,
 }
 
-impl SegDecoder<'_> {
+impl<T: SegSink> SegDecoder<'_, T> {
     fn drain(&mut self, force: bool) {
         if self.receiver_gone || (!force && self.writer.pending_len() < DRAIN_BYTES) {
             return;
@@ -59,13 +97,13 @@ impl SegDecoder<'_> {
             return;
         }
         self.sent += bytes.len();
-        if self.tx.send(bytes).is_err() {
+        if !self.tx.send(bytes) {
             self.receiver_gone = true;
         }
     }
 }
 
-impl BlockOp for SegDecoder<'_> {
+impl<T: SegSink> BlockOp for SegDecoder<'_, T> {
     type Error = LeptonError;
 
     fn mcu_start(&mut self, mcu: u32) -> Result<(), LeptonError> {
@@ -114,22 +152,44 @@ pub struct DecompressOptions {
 }
 
 /// Decompress a Lepton container into the exact original bytes of the
-/// chunk it covers.
+/// chunk it covers (on the shared [`Engine::global`] pool).
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LeptonError> {
-    decompress_opts(data, &DecompressOptions::default())
+    decompress_on(Engine::global(), data, &DecompressOptions::default())
 }
 
 /// Decompress with explicit options.
 pub fn decompress_opts(data: &[u8], opts: &DecompressOptions) -> Result<Vec<u8>, LeptonError> {
+    decompress_on(Engine::global(), data, opts)
+}
+
+/// Engine-backed decompression, shared by the free functions and
+/// [`Engine::decompress`].
+pub(crate) fn decompress_on(
+    engine: &Engine,
+    data: &[u8],
+    opts: &DecompressOptions,
+) -> Result<Vec<u8>, LeptonError> {
     let container = read_container(data)?;
     let mut out = Vec::with_capacity(container.header.output_size as usize);
-    decompress_streaming(data, opts, &mut |bytes: &[u8]| out.extend_from_slice(bytes))?;
+    decompress_streaming_on(engine, data, opts, &mut |bytes: &[u8]| {
+        out.extend_from_slice(bytes)
+    })?;
     Ok(out)
 }
 
 /// Streaming decompression: `sink` receives output fragments strictly in
 /// file order, starting before the whole container is decoded.
 pub fn decompress_streaming(
+    data: &[u8],
+    opts: &DecompressOptions,
+    sink: &mut dyn FnMut(&[u8]),
+) -> Result<(), LeptonError> {
+    decompress_streaming_on(Engine::global(), data, opts, sink)
+}
+
+/// Engine-backed streaming decompression.
+pub(crate) fn decompress_streaming_on(
+    engine: &Engine,
     data: &[u8],
     opts: &DecompressOptions,
     sink: &mut dyn FnMut(&[u8]),
@@ -176,7 +236,7 @@ pub fn decompress_streaming(
         streams[sid].extend_from_slice(payload);
     }
 
-    produced += decode_segments(&parsed, header, streams, opts, sink)?;
+    produced += decode_segments(engine, &parsed, header, streams, opts, sink)?;
 
     produced += header.append.len();
     sink(&header.append);
@@ -186,9 +246,57 @@ pub fn decompress_streaming(
     Ok(())
 }
 
-/// Run all segment decoders concurrently; forward their outputs to
+/// Decode one segment with the executor's arena, forwarding produced
+/// bytes through `tx`. Returns the bytes sent.
+#[allow(clippy::too_many_arguments)]
+fn decode_segment_job<T: SegSink>(
+    scratch: &mut Scratch,
+    parsed: &ParsedJpeg,
+    header: &ContainerHeader,
+    seg: &SegmentInfo,
+    stream: Vec<u8>,
+    model_cfg: ModelConfig,
+    tx: T,
+) -> Result<usize, LeptonError> {
+    let pad_bit = header.pad_bit != 0; // "unknown" defaults to 1s
+    let huff: Vec<BlockHuffEncoder> = (0..parsed.scan.components.len())
+        .map(|si| BlockHuffEncoder::for_component(parsed, si))
+        .collect::<Result<_, _>>()
+        .map_err(LeptonError::Jpeg)?;
+    let handover = seg.handover.to_handover(seg.mcu_start);
+    let mut op = SegDecoder {
+        parsed,
+        huff,
+        dec: BoolDecoder::new(VecSource::new(stream)),
+        models: scratch.models_mut(model_cfg),
+        writer: ScanWriter::resume(handover.partial, handover.bits_used),
+        prev_dc: handover.prev_dc,
+        rst_emitted: handover.rst_so_far,
+        rst_limit: header.rst_count,
+        pad_bit,
+        interval: parsed.restart_interval as u32,
+        budget: seg.out_bytes as usize,
+        sent: 0,
+        tx,
+        receiver_gone: false,
+    };
+    walk_segment(parsed, seg.mcu_start, seg.mcu_end, &mut op)?;
+    // Final flush with padding; truncation caps the tail
+    // spill-over of non-final chunks.
+    op.writer.align(pad_bit);
+    op.drain(true);
+    if !op.receiver_gone && op.sent != op.budget {
+        return Err(LeptonError::CorruptContainer(
+            "segment produced wrong byte count",
+        ));
+    }
+    Ok(op.sent)
+}
+
+/// Run all segment decoders on the engine; forward their outputs to
 /// `sink` in segment order. Returns bytes forwarded.
 fn decode_segments(
+    engine: &Engine,
     parsed: &ParsedJpeg,
     header: &ContainerHeader,
     streams: Vec<Vec<u8>>,
@@ -199,67 +307,59 @@ fn decode_segments(
     if nseg == 0 {
         return Ok(0);
     }
-    let pad_bit = header.pad_bit != 0; // "unknown" defaults to 1s
-    let interval = parsed.restart_interval as u32;
+    let model_cfg = opts.model;
+
+    if nseg == 1 {
+        // Inline fast path: decode on the calling thread with a pooled
+        // arena, pushing bytes straight into the sink.
+        let stream = streams.into_iter().next().expect("one segment");
+        let seg = &header.segments[0];
+        return engine.run_inline(|scratch| {
+            decode_segment_job(
+                scratch,
+                parsed,
+                header,
+                seg,
+                stream,
+                model_cfg,
+                DirectSink { sink },
+            )
+        });
+    }
+
+    // Multi-segment: queue jobs to the pool and drain the channels in
+    // segment order. Channels are unbounded so producer jobs finish
+    // regardless of how fast the caller's sink consumes — a job
+    // blocked on a send would sit on a shared global-engine worker and
+    // starve unrelated codec calls. The engine still starts jobs in
+    // submission (= segment) order, so the segment the drain waits on
+    // is always running or finished and out-of-order buffering stays
+    // within the in-flight output.
+    let mut results: Vec<Option<Result<usize, LeptonError>>> = (0..nseg).map(|_| None).collect();
+    let mut receivers = Vec::with_capacity(nseg);
+    let mut jobs: Vec<EnvJob<'_>> = Vec::with_capacity(nseg);
+    for ((i, stream), slot) in streams.into_iter().enumerate().zip(results.iter_mut()) {
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        receivers.push(rx);
+        let seg: &SegmentInfo = &header.segments[i];
+        jobs.push(Box::new(move |scratch: &mut Scratch| {
+            *slot = Some(decode_segment_job(
+                scratch, parsed, header, seg, stream, model_cfg, tx,
+            ));
+        }));
+    }
+
+    let guard = engine.submit(jobs);
     let mut forwarded = 0usize;
-
-    std::thread::scope(|scope| -> Result<(), LeptonError> {
-        let mut receivers = Vec::with_capacity(nseg);
-        let mut handles = Vec::with_capacity(nseg);
-        for (i, stream) in streams.into_iter().enumerate() {
-            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(64);
-            receivers.push(rx);
-            let seg: &SegmentInfo = &header.segments[i];
-            let model_cfg = opts.model;
-            handles.push(scope.spawn(move || -> Result<(), LeptonError> {
-                let huff: Vec<BlockHuffEncoder> = (0..parsed.scan.components.len())
-                    .map(|si| BlockHuffEncoder::for_component(parsed, si))
-                    .collect::<Result<_, _>>()
-                    .map_err(LeptonError::Jpeg)?;
-                let handover = seg.handover.to_handover(seg.mcu_start);
-                let mut op = SegDecoder {
-                    parsed,
-                    huff,
-                    dec: BoolDecoder::new(VecSource::new(stream)),
-                    models: [
-                        ComponentModel::new(model_cfg),
-                        ComponentModel::new(model_cfg),
-                    ],
-                    writer: ScanWriter::resume(handover.partial, handover.bits_used),
-                    prev_dc: handover.prev_dc,
-                    rst_emitted: handover.rst_so_far,
-                    rst_limit: header.rst_count,
-                    pad_bit,
-                    interval,
-                    budget: seg.out_bytes as usize,
-                    sent: 0,
-                    tx,
-                    receiver_gone: false,
-                };
-                walk_segment(parsed, seg.mcu_start, seg.mcu_end, &mut op)?;
-                // Final flush with padding; truncation caps the tail
-                // spill-over of non-final chunks.
-                op.writer.align(pad_bit);
-                op.drain(true);
-                if !op.receiver_gone && op.sent != op.budget {
-                    return Err(LeptonError::CorruptContainer(
-                        "segment produced wrong byte count",
-                    ));
-                }
-                Ok(())
-            }));
+    for rx in receivers {
+        for chunk in rx {
+            forwarded += chunk.len();
+            sink(&chunk);
         }
-
-        for rx in receivers {
-            for chunk in rx {
-                forwarded += chunk.len();
-                sink(&chunk);
-            }
-        }
-        for h in handles {
-            h.join().expect("segment decoder panicked")?;
-        }
-        Ok(())
-    })?;
+    }
+    guard.join();
+    for slot in results {
+        slot.expect("filled")?;
+    }
     Ok(forwarded)
 }

@@ -10,7 +10,18 @@
 
 use lepton_jpeg::parser::ParsedJpeg;
 use lepton_jpeg::CoefBlock;
-use lepton_model::context::{block_edges, BlockEdges, BlockNeighbors};
+use lepton_model::context::{block_edges_deq, dequantize, BlockEdges, BlockNeighbors};
+
+/// Everything the walk caches about one already-coded block: its
+/// quantized coefficients, its dequantized coefficients (the Lakhani
+/// edge predictor consults neighbors in dequantized units — caching
+/// them here means each block is dequantized once, not re-dequantized
+/// by every later neighbor), and its border pixels.
+struct CodedBlock {
+    coefs: CoefBlock,
+    deq: [i32; 64],
+    edges: BlockEdges,
+}
 
 /// Ring buffer of the last `v+1` block rows of one component, tracking
 /// which row each slot currently holds so stale rows never leak across
@@ -18,7 +29,7 @@ use lepton_model::context::{block_edges, BlockEdges, BlockNeighbors};
 struct RowRing {
     depth: usize,
     blocks_w: usize,
-    rows: Vec<Vec<Option<(CoefBlock, BlockEdges)>>>,
+    rows: Vec<Vec<Option<CodedBlock>>>,
     row_ids: Vec<isize>,
 }
 
@@ -28,12 +39,14 @@ impl RowRing {
         RowRing {
             depth,
             blocks_w,
-            rows: (0..depth).map(|_| vec![None; blocks_w]).collect(),
+            rows: (0..depth)
+                .map(|_| (0..blocks_w).map(|_| None).collect())
+                .collect(),
             row_ids: vec![-1; depth],
         }
     }
 
-    fn get(&self, bx: usize, gy: isize) -> Option<&(CoefBlock, BlockEdges)> {
+    fn get(&self, bx: usize, gy: isize) -> Option<&CodedBlock> {
         if gy < 0 || bx >= self.blocks_w {
             return None;
         }
@@ -44,7 +57,7 @@ impl RowRing {
         self.rows[slot][bx].as_ref()
     }
 
-    fn put(&mut self, bx: usize, gy: usize, entry: (CoefBlock, BlockEdges)) {
+    fn put(&mut self, bx: usize, gy: usize, entry: CodedBlock) {
         let slot = gy % self.depth;
         if self.row_ids[slot] != gy as isize {
             self.rows[slot].iter_mut().for_each(|e| *e = None);
@@ -142,17 +155,28 @@ pub fn walk_segment<O: BlockOp>(
                     };
                     let block = {
                         let nbr = BlockNeighbors {
-                            above: above.map(|e| &e.0),
-                            left: left.map(|e| &e.0),
-                            above_left: above_left.map(|e| &e.0),
-                            above_edges: above.map(|e| &e.1),
-                            left_edges: left.map(|e| &e.1),
+                            above: above.map(|e| &e.coefs),
+                            left: left.map(|e| &e.coefs),
+                            above_left: above_left.map(|e| &e.coefs),
+                            above_deq: above.map(|e| &e.deq),
+                            left_deq: left.map(|e| &e.deq),
+                            above_edges: above.map(|e| &e.edges),
+                            left_edges: left.map(|e| &e.edges),
                             quant: &quants[si],
                         };
                         op.block(si, class, gx, gy, &nbr)?
                     };
-                    let edges = block_edges(&block, &quants[si]);
-                    rings[si].put(gx, gy, (block, edges));
+                    let deq = dequantize(&block, &quants[si]);
+                    let edges = block_edges_deq(&deq);
+                    rings[si].put(
+                        gx,
+                        gy,
+                        CodedBlock {
+                            coefs: block,
+                            deq,
+                            edges,
+                        },
+                    );
                 }
             }
         }

@@ -5,14 +5,21 @@
 //! arithmetic side: the scan is decoded once into coefficient planes
 //! with handover snapshots, then each thread segment is arithmetically
 //! encoded concurrently with its own fresh model.
+//!
+//! Parallelism and scratch memory come from the pre-spawned
+//! [`Engine`](crate::Engine) pool (§5.1): segment jobs are queued to
+//! resident workers whose model arenas and output buffers are reset —
+//! not reallocated — between jobs, and the single-segment case runs
+//! inline on the calling thread.
 
 use crate::driver::{walk_segment, BlockOp};
+use crate::engine::{Engine, EnvJob, Scratch};
 use crate::error::LeptonError;
 use crate::format::{write_container, ContainerHeader, SegmentInfo, SerializedHandover};
 use lepton_arith::BoolEncoder;
 use lepton_jpeg::bitio::PadState;
 use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
-use lepton_jpeg::scan::{decode_scan, Handover, ScanStats};
+use lepton_jpeg::scan::{decode_scan_into, Handover, ScanStats};
 use lepton_jpeg::{CoefPlanes, JpegError};
 use lepton_model::component::CategoryBytes;
 use lepton_model::context::BlockNeighbors;
@@ -96,12 +103,13 @@ pub struct CompressStats {
     pub segments: u32,
 }
 
-/// The arithmetic-encoding side of one thread segment.
+/// The arithmetic-encoding side of one thread segment. The model pair
+/// is borrowed from the executing worker's arena.
 struct SegEncoder<'a> {
     planes: &'a CoefPlanes,
     parsed: &'a ParsedJpeg,
     enc: BoolEncoder,
-    models: [ComponentModel; 2],
+    models: &'a mut [ComponentModel; 2],
 }
 
 impl BlockOp for SegEncoder<'_> {
@@ -122,14 +130,24 @@ impl BlockOp for SegEncoder<'_> {
     }
 }
 
-/// Compress a whole JPEG file into a single Lepton container.
+/// Compress a whole JPEG file into a single Lepton container (on the
+/// shared [`Engine::global`] pool).
 pub fn compress(jpeg: &[u8], opts: &CompressOptions) -> Result<Vec<u8>, LeptonError> {
-    let (out, _) = compress_with_stats(jpeg, opts)?;
-    Ok(out)
+    Engine::global().compress(jpeg, opts)
 }
 
-/// Compress and report instrumentation.
+/// Compress and report instrumentation (on the shared engine).
 pub fn compress_with_stats(
+    jpeg: &[u8],
+    opts: &CompressOptions,
+) -> Result<(Vec<u8>, CompressStats), LeptonError> {
+    compress_on(Engine::global(), jpeg, opts)
+}
+
+/// Engine-backed compression pipeline shared by the free functions and
+/// [`Engine::compress`].
+pub(crate) fn compress_on(
+    engine: &Engine,
     jpeg: &[u8],
     opts: &CompressOptions,
 ) -> Result<(Vec<u8>, CompressStats), LeptonError> {
@@ -141,8 +159,9 @@ pub fn compress_with_stats(
     let nseg = opts.threads.segments(jpeg.len(), mcus);
     let bounds = segment_bounds(&parsed, 0, mcus, nseg);
 
-    let (scan_data, snapshots) = decode_scan(jpeg, &parsed, &bounds)?;
+    let (scan_data, snapshots) = decode_scan_into(jpeg, &parsed, &bounds, engine.planes_seed())?;
     let container = build_container(
+        engine,
         jpeg,
         &parsed,
         &scan_data.coefs,
@@ -158,8 +177,9 @@ pub fn compress_with_stats(
             rst_count: scan_data.rst_count,
         },
         opts,
-    )?;
-    let (bytes, scan_out, header_out) = container;
+    );
+    engine.checkin_planes(scan_data.coefs);
+    let (bytes, scan_out, header_out) = container?;
 
     let stats = CompressStats {
         input_bytes: jpeg.len(),
@@ -172,7 +192,11 @@ pub fn compress_with_stats(
     };
 
     if opts.verify {
-        let round = crate::decoder::decompress(&bytes)?;
+        let round = crate::decoder::decompress_on(
+            engine,
+            &bytes,
+            &crate::decoder::DecompressOptions { model: opts.model },
+        )?;
         if round != jpeg {
             return Err(LeptonError::RoundtripFailed);
         }
@@ -184,6 +208,17 @@ pub fn compress_with_stats(
 /// `chunk_size` original bytes each (the paper's 4-MiB blocks, §3.4).
 /// Each container decompresses independently to its exact byte range.
 pub fn compress_chunked(
+    jpeg: &[u8],
+    chunk_size: usize,
+    opts: &CompressOptions,
+) -> Result<Vec<Vec<u8>>, LeptonError> {
+    compress_chunked_on(Engine::global(), jpeg, chunk_size, opts)
+}
+
+/// Engine-backed chunked compression, shared by [`compress_chunked`]
+/// and [`Engine::compress_chunked`].
+pub(crate) fn compress_chunked_on(
+    engine: &Engine,
     jpeg: &[u8],
     chunk_size: usize,
     opts: &CompressOptions,
@@ -200,7 +235,7 @@ pub fn compress_chunked(
     // Snapshot every MCU so chunk boundaries can be resolved to MCU
     // indices by byte offset.
     let all: Vec<u32> = (0..=mcus).collect();
-    let (scan_data, snapshots) = decode_scan(jpeg, &parsed, &all)?;
+    let (scan_data, snapshots) = decode_scan_into(jpeg, &parsed, &all, engine.planes_seed())?;
 
     let n_chunks = jpeg.len().div_ceil(chunk_size).max(1);
     let mut out = Vec::with_capacity(n_chunks);
@@ -221,6 +256,7 @@ pub fn compress_chunked(
         let handovers: Vec<Handover> = bounds.iter().map(|&m| snapshots[m as usize]).collect();
 
         let (bytes, _, _) = build_container(
+            engine,
             jpeg,
             &parsed,
             &scan_data.coefs,
@@ -238,13 +274,18 @@ pub fn compress_chunked(
             opts,
         )?;
         if opts.verify {
-            let round = crate::decoder::decompress(&bytes)?;
+            let round = crate::decoder::decompress_on(
+                engine,
+                &bytes,
+                &crate::decoder::DecompressOptions { model: opts.model },
+            )?;
             if round != jpeg[byte_start..byte_end] {
                 return Err(LeptonError::RoundtripFailed);
             }
         }
         out.push(bytes);
     }
+    engine.checkin_planes(scan_data.coefs);
     Ok(out)
 }
 
@@ -291,9 +332,42 @@ struct ChunkSpec<'a> {
     rst_count: u32,
 }
 
+/// Outcome of one segment-encoding job.
+type SegmentResult = Result<(Vec<u8>, CategoryBytes), LeptonError>;
+
+/// Arithmetic-encode one thread segment using the executor's arena:
+/// the model pair is reset (not reallocated) and the output stream is
+/// built in the arena's resident buffer, with only an exact-size copy
+/// escaping the job.
+fn encode_segment_job(
+    scratch: &mut Scratch,
+    planes: &CoefPlanes,
+    parsed: &ParsedJpeg,
+    bounds: &[u32],
+    i: usize,
+    model_cfg: ModelConfig,
+    slot: &mut Option<SegmentResult>,
+) {
+    let enc = BoolEncoder::with_buffer(std::mem::take(&mut scratch.arith_buf));
+    let mut op = SegEncoder {
+        planes,
+        parsed,
+        enc,
+        models: scratch.models_mut(model_cfg),
+    };
+    let r = walk_segment(parsed, bounds[i], bounds[i + 1], &mut op);
+    let mut cat = op.models[0].stats();
+    cat.add(&op.models[1].stats());
+    let SegEncoder { enc, .. } = op; // release the arena borrow
+    let stream = enc.finish();
+    *slot = Some(r.map(|()| (stream.clone(), cat)));
+    scratch.arith_buf = stream; // hand the capacity back to the arena
+}
+
 /// Encode all segments of one chunk and assemble its container.
 /// Returns (container bytes, model output attribution, header blob size).
 fn build_container(
+    engine: &Engine,
     jpeg: &[u8],
     parsed: &ParsedJpeg,
     planes: &CoefPlanes,
@@ -303,36 +377,31 @@ fn build_container(
     let nseg = spec.bounds.len() - 1;
     debug_assert_eq!(spec.handovers.len(), spec.bounds.len());
 
-    // Parallel arithmetic encoding of the segments.
-    type SegmentResult = Result<(Vec<u8>, CategoryBytes), LeptonError>;
+    // Parallel arithmetic encoding of the segments on the engine pool.
+    // One segment (the common small-file case) runs inline — no queue
+    // handoff; multi-segment batches are queued and the caller helps.
     let mut results: Vec<Option<SegmentResult>> = (0..nseg).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, slot) in results.iter_mut().enumerate() {
-            let bounds = spec.bounds;
-            let model_cfg = opts.model;
-            handles.push(s.spawn(move || {
-                let mut op = SegEncoder {
-                    planes,
-                    parsed,
-                    enc: BoolEncoder::new(),
-                    models: [
-                        ComponentModel::new(model_cfg),
-                        ComponentModel::new(model_cfg),
-                    ],
-                };
-                let r = walk_segment(parsed, bounds[i], bounds[i + 1], &mut op);
-                *slot = Some(r.map(|()| {
-                    let mut cat = op.models[0].stats();
-                    cat.add(&op.models[1].stats());
-                    (op.enc.finish(), cat)
-                }));
-            }));
-        }
-        for h in handles {
-            h.join().expect("segment encoder panicked");
-        }
-    });
+    let model_cfg = opts.model;
+    if nseg == 1 {
+        let slot = &mut results[0];
+        engine.run_inline(|scratch| {
+            encode_segment_job(scratch, planes, parsed, spec.bounds, 0, model_cfg, slot);
+        });
+    } else {
+        let bounds = spec.bounds;
+        let jobs: Vec<EnvJob<'_>> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move |scratch: &mut Scratch| {
+                    encode_segment_job(scratch, planes, parsed, bounds, i, model_cfg, slot);
+                }) as EnvJob<'_>
+            })
+            .collect();
+        let guard = engine.submit(jobs);
+        guard.participate();
+        guard.join();
+    }
 
     let mut streams = Vec::with_capacity(nseg);
     let mut cat_total = CategoryBytes::default();

@@ -1,0 +1,503 @@
+//! The reusable codec engine: pre-spawned workers, per-worker arenas.
+//!
+//! The paper's production story (§5.1) is that time-to-first-byte was
+//! won by *not doing work per request*: Lepton pre-allocates a ~200-MiB
+//! arena and pre-spawns its threads, so a request only resets state
+//! that already exists. This module is that discipline for the
+//! reproduction:
+//!
+//! * [`Engine`] owns a pool of pre-spawned workers. Each worker holds a
+//!   private scratch arena — a resident [`ComponentModel`] pair
+//!   (~100k statistic bins each) and a segment output buffer — that is
+//!   **reset, never reallocated** between jobs. Determinism (§5.2)
+//!   requires a reset arena to be indistinguishable from a fresh one;
+//!   `core/tests/engine_reuse.rs` enforces that byte-for-byte.
+//! * Segment jobs from `compress`/`decompress` are queued to the pool
+//!   instead of spawning `std::thread::scope` threads per call. Batches
+//!   are FIFO: segment jobs start in segment order, which is what lets
+//!   the decode path bound its in-order drain buffers.
+//! * Single-segment work runs inline on the calling thread with a
+//!   checked-out arena — the common small-file path pays no handoff.
+//! * Coefficient planes for the encoder's serial JPEG decode come from
+//!   a bounded plane pool ([`CoefPlanes`] reuse) rather than a fresh
+//!   multi-megabyte allocation per file.
+//!
+//! The module-level entry points `lepton_core::compress` /
+//! `lepton_core::decompress` route through [`Engine::global`], so every
+//! caller in the tree — the request server, the blockstore commit gate,
+//! the fleet's replicated blockservers — shares one engine and its warm
+//! arenas.
+
+use crate::error::LeptonError;
+use lepton_jpeg::CoefPlanes;
+use lepton_model::{ComponentModel, ModelConfig};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased job: runs on some executor with that executor's
+/// scratch arena. See the safety contract on [`Engine::submit`].
+type Job = Box<dyn FnOnce(&mut Scratch) + Send + 'static>;
+
+/// A borrowed-environment job as submitted by the encoder/decoder
+/// (erased to [`Job`] inside [`Engine::submit`]).
+pub(crate) type EnvJob<'env> = Box<dyn FnOnce(&mut Scratch) + Send + 'env>;
+
+/// Per-executor scratch arena. Workers own one for their lifetime;
+/// calling threads check one out of a small shared pool for inline
+/// execution. Everything here is reset between jobs, not reallocated.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Resident per-class model pair (luma, chroma), reset per job.
+    models: Option<[ComponentModel; 2]>,
+    /// Resident arithmetic output buffer (encode side). Jobs take it,
+    /// encode into it, and put it back so its capacity survives.
+    pub(crate) arith_buf: Vec<u8>,
+}
+
+impl Scratch {
+    /// The model pair, reset to the fresh 50-50 state under `cfg`.
+    /// First use allocates; every later job reuses the arena.
+    pub(crate) fn models_mut(&mut self, cfg: ModelConfig) -> &mut [ComponentModel; 2] {
+        if let Some(pair) = &mut self.models {
+            pair[0].reset(cfg);
+            pair[1].reset(cfg);
+        } else {
+            self.models = Some([ComponentModel::new(cfg), ComponentModel::new(cfg)]);
+        }
+        self.models.as_mut().expect("just ensured")
+    }
+}
+
+/// One submitted batch of jobs and its completion bookkeeping.
+struct Batch {
+    /// Jobs not yet started, in submission (= segment) order.
+    jobs: Mutex<VecDeque<Job>>,
+    /// Jobs not yet *finished* (started or not).
+    pending: Mutex<usize>,
+    done_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    fn new(n: usize) -> Self {
+        Batch {
+            jobs: Mutex::new(VecDeque::with_capacity(n)),
+            pending: Mutex::new(n),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    /// Run one job and account for its completion, panic or not.
+    fn execute(&self, job: Job, scratch: &mut Scratch) {
+        let r = catch_unwind(AssertUnwindSafe(|| job(scratch)));
+        if r.is_err() {
+            self.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut p = self.pending.lock().expect("batch lock");
+        *p -= 1;
+        if *p == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Block until every job has finished.
+    fn wait(&self) {
+        let mut p = self.pending.lock().expect("batch lock");
+        while *p > 0 {
+            p = self.done_cv.wait(p).expect("batch lock");
+        }
+    }
+}
+
+/// Guard for a submitted batch. **Always joins**: both [`join`] and
+/// `Drop` block until every job of the batch has finished running, which
+/// is what makes the lifetime erasure in [`Engine::submit`] sound even
+/// when the caller unwinds mid-drain.
+pub(crate) struct BatchGuard<'e> {
+    batch: Arc<Batch>,
+    engine: &'e Engine,
+}
+
+impl BatchGuard<'_> {
+    /// Help execute this batch's jobs on the calling thread (with a
+    /// checked-out arena) until none remain unstarted. Used by the
+    /// encode path; the decode path does *not* participate — its caller
+    /// is the in-order drain, and running a producer inline would stall
+    /// the drain and buffer whole segment outputs needlessly.
+    pub(crate) fn participate(&self) {
+        loop {
+            let job = self.batch.jobs.lock().expect("batch lock").pop_front();
+            match job {
+                Some(job) => {
+                    let mut scratch = self.engine.checkout_scratch();
+                    self.batch.execute(job, &mut scratch);
+                    self.engine.checkin_scratch(scratch);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Wait for completion and propagate any job panic (mirrors the
+    /// `join().expect(..)` of the scoped-thread implementation this
+    /// pool replaces).
+    pub(crate) fn join(self) {
+        self.batch.wait();
+        if self.batch.panicked.load(Ordering::Relaxed) {
+            panic!("codec engine job panicked");
+        }
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        // Unwind path: jobs may still be running against borrowed data;
+        // block until they are done. Receivers the unwinding caller
+        // dropped make producer jobs finish early (`receiver_gone`), so
+        // this terminates. No re-panic here — `join` reports it.
+        self.batch.wait();
+    }
+}
+
+struct QueueState {
+    /// One entry per unstarted job; entries of one batch are adjacent
+    /// and FIFO, so workers start segment 0 before segment 1.
+    entries: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    /// Spare arenas for calling threads (inline fast path and encode
+    /// participation). Workers keep their own arena thread-locally and
+    /// never touch this.
+    scratch_pool: Mutex<Vec<Scratch>>,
+    /// Recycled coefficient-plane storage for the encoder's serial scan
+    /// decode (multi-MiB per file; §5.1 pre-allocation in spirit).
+    plane_pool: Mutex<Vec<CoefPlanes>>,
+}
+
+/// A pre-spawned codec worker pool with reusable arenas.
+///
+/// Most callers want [`Engine::global`]; dedicated engines are for
+/// tests and for embedders that need isolated thread budgets.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    scratch_cap: usize,
+}
+
+/// Upper bound on pooled `CoefPlanes` buffers (largest-file bytes are
+/// retained, so keep the pool shallow).
+const PLANE_POOL_CAP: usize = 4;
+
+impl Engine {
+    /// Spawn an engine with `workers` pre-started worker threads
+    /// (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                entries: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            scratch_pool: Mutex::new(Vec::new()),
+            plane_pool: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lepton-engine-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            handles,
+            workers,
+            scratch_cap: workers * 2 + 2,
+        }
+    }
+
+    /// The process-wide shared engine. Sized from available parallelism
+    /// (capped at 16, overridable via `LEPTON_ENGINE_THREADS`), spawned
+    /// on first use, and kept warm for the life of the process — the
+    /// server, blockstore, and fleet paths all compress and decompress
+    /// through this one pool.
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("LEPTON_ENGINE_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(16)
+                });
+            Engine::new(workers)
+        })
+    }
+
+    /// Number of pre-spawned workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Compress a whole JPEG file into a single Lepton container using
+    /// this engine's pool.
+    pub fn compress(
+        &self,
+        jpeg: &[u8],
+        opts: &crate::encoder::CompressOptions,
+    ) -> Result<Vec<u8>, LeptonError> {
+        crate::encoder::compress_on(self, jpeg, opts).map(|(bytes, _)| bytes)
+    }
+
+    /// Compress and report instrumentation.
+    pub fn compress_with_stats(
+        &self,
+        jpeg: &[u8],
+        opts: &crate::encoder::CompressOptions,
+    ) -> Result<(Vec<u8>, crate::encoder::CompressStats), LeptonError> {
+        crate::encoder::compress_on(self, jpeg, opts)
+    }
+
+    /// Compress into independent per-chunk containers (paper §3.4).
+    pub fn compress_chunked(
+        &self,
+        jpeg: &[u8],
+        chunk_size: usize,
+        opts: &crate::encoder::CompressOptions,
+    ) -> Result<Vec<Vec<u8>>, LeptonError> {
+        crate::encoder::compress_chunked_on(self, jpeg, chunk_size, opts)
+    }
+
+    /// Decompress a Lepton container using this engine's pool.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, LeptonError> {
+        crate::decoder::decompress_on(self, data, &crate::decoder::DecompressOptions::default())
+    }
+
+    /// Decompress with explicit options.
+    pub fn decompress_opts(
+        &self,
+        data: &[u8],
+        opts: &crate::decoder::DecompressOptions,
+    ) -> Result<Vec<u8>, LeptonError> {
+        crate::decoder::decompress_on(self, data, opts)
+    }
+
+    /// Streaming decompression in file order (see
+    /// [`crate::decompress_streaming`]).
+    pub fn decompress_streaming(
+        &self,
+        data: &[u8],
+        opts: &crate::decoder::DecompressOptions,
+        sink: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), LeptonError> {
+        crate::decoder::decompress_streaming_on(self, data, opts, sink)
+    }
+
+    /// Submit a batch of jobs to the pool.
+    ///
+    /// SAFETY CONTRACT (why the lifetime erasure is sound): the returned
+    /// [`BatchGuard`] blocks until every job has finished — in `join`,
+    /// or in `Drop` if the caller unwinds — and jobs only run before
+    /// that point. Borrowed state captured by the jobs therefore
+    /// strictly outlives every use. Callers must keep the guard on the
+    /// stack (never `mem::forget` it).
+    pub(crate) fn submit<'env, 'e>(&'e self, jobs: Vec<EnvJob<'env>>) -> BatchGuard<'e> {
+        let n = jobs.len();
+        let batch = Arc::new(Batch::new(n));
+        {
+            let mut bj = batch.jobs.lock().expect("batch lock");
+            for job in jobs {
+                // SAFETY: see the contract above — the guard joins
+                // before returning control past 'env.
+                let job: Job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce(&mut Scratch) + Send + 'env>,
+                        Box<dyn FnOnce(&mut Scratch) + Send + 'static>,
+                    >(job)
+                };
+                bj.push_back(job);
+            }
+        }
+        {
+            let mut q = self.shared.queue.lock().expect("engine queue");
+            for _ in 0..n {
+                q.entries.push_back(Arc::clone(&batch));
+            }
+        }
+        if n == 1 {
+            self.shared.work_cv.notify_one();
+        } else {
+            self.shared.work_cv.notify_all();
+        }
+        BatchGuard {
+            batch,
+            engine: self,
+        }
+    }
+
+    /// Run one closure inline on the calling thread with a pooled
+    /// arena — the single-segment fast path (no queueing, no handoff).
+    pub(crate) fn run_inline<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
+        let mut scratch = self.checkout_scratch();
+        let r = f(&mut scratch);
+        self.checkin_scratch(scratch);
+        r
+    }
+
+    fn checkout_scratch(&self) -> Scratch {
+        self.shared
+            .scratch_pool
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn checkin_scratch(&self, scratch: Scratch) {
+        let mut pool = self.shared.scratch_pool.lock().expect("scratch pool");
+        if pool.len() < self.scratch_cap {
+            pool.push(scratch);
+        }
+    }
+
+    /// Check out recycled coefficient-plane storage (encode path).
+    pub(crate) fn checkout_planes(&self) -> Option<CoefPlanes> {
+        self.shared.plane_pool.lock().expect("plane pool").pop()
+    }
+
+    /// Return plane storage to the pool for the next file.
+    pub(crate) fn checkin_planes(&self, planes: CoefPlanes) {
+        let mut pool = self.shared.plane_pool.lock().expect("plane pool");
+        if pool.len() < PLANE_POOL_CAP {
+            pool.push(planes);
+        }
+    }
+
+    /// Plane storage for the next file: recycled when available (the
+    /// scan decoder reshapes and zeroes it), empty otherwise.
+    pub(crate) fn planes_seed(&self) -> CoefPlanes {
+        self.checkout_planes().unwrap_or_else(CoefPlanes::empty)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("engine queue");
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    // The per-worker arena: lives as long as the worker, reset per job.
+    let mut scratch = Scratch::default();
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("engine queue");
+            loop {
+                if let Some(b) = q.entries.pop_front() {
+                    break b;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_cv.wait(q).expect("engine queue");
+            }
+        };
+        // Each queue entry is a token for at most one job; a caller
+        // participating in its own batch may have emptied it already.
+        let job = batch.jobs.lock().expect("batch lock").pop_front();
+        if let Some(job) = job {
+            batch.execute(job, &mut scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn batch_runs_all_jobs_and_joins() {
+        let engine = Engine::new(3);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<EnvJob<'_>> = (0..16)
+            .map(|_| {
+                Box::new(|_: &mut Scratch| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as EnvJob<'_>
+            })
+            .collect();
+        let guard = engine.submit(jobs);
+        guard.participate();
+        guard.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn inline_fast_path_reuses_scratch() {
+        let engine = Engine::new(1);
+        let cap = engine.run_inline(|s| {
+            s.arith_buf.reserve(4096);
+            s.arith_buf.capacity()
+        });
+        // The same arena comes back out of the pool.
+        let cap2 = engine.run_inline(|s| s.arith_buf.capacity());
+        assert_eq!(cap, cap2);
+    }
+
+    #[test]
+    #[should_panic(expected = "codec engine job panicked")]
+    fn job_panic_propagates_to_join() {
+        let engine = Engine::new(2);
+        let jobs: Vec<EnvJob<'_>> = vec![
+            Box::new(|_: &mut Scratch| {}),
+            Box::new(|_: &mut Scratch| panic!("boom")),
+        ];
+        let guard = engine.submit(jobs);
+        guard.join();
+    }
+
+    #[test]
+    fn workers_drain_without_participation() {
+        let engine = Engine::new(2);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<EnvJob<'_>> = (0..8)
+            .map(|_| {
+                Box::new(|_: &mut Scratch| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as EnvJob<'_>
+            })
+            .collect();
+        engine.submit(jobs).join();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let engine = Engine::new(4);
+        drop(engine); // must not hang
+    }
+}

@@ -15,6 +15,10 @@
 //!   others, via Huffman handover words.
 //! * [`decompress_streaming`] — output bytes are pushed to a sink in
 //!   file order while later thread segments are still decoding.
+//! * [`Engine`] — the pre-spawned worker pool with reusable model
+//!   arenas behind all of the above (§5.1). The free functions run on
+//!   [`Engine::global`]; embedders needing an isolated thread budget
+//!   can construct their own and call the same entry points on it.
 //! * [`verify`] — round-trip verification and build qualification.
 //!
 //! ```
@@ -42,6 +46,7 @@
 mod decoder;
 mod driver;
 mod encoder;
+pub mod engine;
 mod error;
 pub mod format;
 pub mod security;
@@ -52,4 +57,5 @@ pub use driver::{walk_segment, BlockOp};
 pub use encoder::{
     compress, compress_chunked, compress_with_stats, CompressOptions, CompressStats, ThreadPolicy,
 };
+pub use engine::Engine;
 pub use error::{ExitCode, LeptonError};

@@ -7,6 +7,12 @@
 //! cluster. The **manifest** (one `name endpoint` line per node) is
 //! the fleet's only shared configuration: any process that can read it
 //! can build an agreeing [`FleetGateway`](crate::FleetGateway).
+//!
+//! All codec work across every node — blockstore admission gates and
+//! reads alike — runs on the process-wide `lepton_core::Engine` pool
+//! (pre-spawned workers, reusable model arenas; §5.1), so an N-node
+//! local fleet shares one warm set of codec threads instead of
+//! spawning per request.
 
 use lepton_server::{serve, Endpoint, ServiceConfig, ServiceHandle};
 use lepton_storage::blockstore::{ShardedStore, StoreConfig};

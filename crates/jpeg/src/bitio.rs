@@ -296,12 +296,26 @@ impl ScanWriter {
         }
     }
 
-    /// Write the low `n` bits of `v`, MSB-first.
+    /// Write the low `n` bits of `v`, MSB-first. Bytewise: the pending
+    /// partial byte and the new bits are merged left-justified into one
+    /// 64-bit window and emitted a byte at a time — this is the Huffman
+    /// re-encode's inner loop, so it must not pay a shift/branch per bit.
+    #[inline]
     pub fn put_bits(&mut self, v: u32, n: u8) {
         debug_assert!(n <= 26);
-        for i in (0..n).rev() {
-            self.put_bit((v >> i) & 1 == 1);
+        if n == 0 {
+            return;
         }
+        let v = v & (u32::MAX >> (32 - n as u32));
+        let mut total = self.nbits as u32 + n as u32; // <= 33
+        let mut buf = ((self.acc as u64) << 56) | ((v as u64) << (64 - total));
+        while total >= 8 {
+            self.push_byte((buf >> 56) as u8);
+            buf <<= 8;
+            total -= 8;
+        }
+        self.acc = (buf >> 56) as u8;
+        self.nbits = total as u8;
     }
 
     /// Pad with `pad_bit` to the next byte boundary.

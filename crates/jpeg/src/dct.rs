@@ -37,23 +37,98 @@ pub const BASIS_FIX: [[i32; 8]; 8] = [
 /// by `2^SCALE_BITS` — callers keep the extra precision (the DC predictor
 /// compares sub-pixel gradients).
 pub fn idct_i32(coefs: &[i32; 64]) -> [i64; 64] {
-    // Rows of `tmp`: tmp[v][x] = Σ_u M[x][u] · F[v][u]
-    let mut tmp = [0i64; 64];
-    for v in 0..8 {
-        for x in 0..8 {
-            let mut acc = 0i64;
-            for u in 0..8 {
-                acc += BASIS_FIX[x][u] as i64 * coefs[v * 8 + u] as i64;
-            }
-            tmp[v * 8 + x] = acc;
-        }
-    }
+    let (tmp, live, n_live) = idct_pass1(coefs);
     // out[y][x] = Σ_v M[y][v] · tmp[v][x], renormalizing one scale factor.
     let mut out = [0i64; 64];
     for y in 0..8 {
         for x in 0..8 {
             let mut acc = 0i64;
-            for v in 0..8 {
+            for &v in &live[..n_live] {
+                acc += BASIS_FIX[y][v] as i64 * tmp[v * 8 + x];
+            }
+            out[y * 8 + x] = acc >> SCALE_BITS;
+        }
+    }
+    out
+}
+
+/// Horizontal (pass-1) half of the separable IDCT, sparsity-aware:
+/// baseline photo blocks carry a handful of low-frequency coefficients,
+/// so whole coefficient rows are zero and contribute nothing to either
+/// pass. Returns `tmp[v][x] = Σ_u M[x][u] · F[v][u]` plus the list of
+/// live (nonzero) coefficient rows; skipping dead rows is exact and
+/// cuts the per-block cost by the block's sparsity factor. This runs
+/// twice per block inside the codec's neighbor-context path
+/// (`block_edges`, DC prediction), which is why it is shared by the
+/// full and border-only transforms below.
+#[inline]
+fn idct_pass1(coefs: &[i32; 64]) -> ([i64; 64], [usize; 8], usize) {
+    let mut tmp = [0i64; 64];
+    let mut live = [0usize; 8];
+    let mut n_live = 0usize;
+    for v in 0..8 {
+        let o = v * 8;
+        let any = coefs[o]
+            | coefs[o + 1]
+            | coefs[o + 2]
+            | coefs[o + 3]
+            | coefs[o + 4]
+            | coefs[o + 5]
+            | coefs[o + 6]
+            | coefs[o + 7];
+        if any == 0 {
+            continue;
+        }
+        for x in 0..8 {
+            let mut acc = 0i64;
+            for u in 0..8 {
+                acc += BASIS_FIX[x][u] as i64 * coefs[o + u] as i64;
+            }
+            tmp[o + x] = acc;
+        }
+        live[n_live] = v;
+        n_live += 1;
+    }
+    (tmp, live, n_live)
+}
+
+/// Partial inverse DCT producing only the **top-left border** pixels —
+/// rows 0–1 (all x) and columns 0–1 (all y) — with every other output
+/// slot zero. The borders match [`idct_i32`] exactly.
+///
+/// The DC predictors (App. A.2.3) consult exactly these 28 pixels of
+/// the current block, and they run once per coded block; computing the
+/// other 36 outputs is pure waste there.
+pub fn idct_i32_border_tl(coefs: &[i32; 64]) -> [i64; 64] {
+    let (tmp, live, n_live) = idct_pass1(coefs);
+    let mut out = [0i64; 64];
+    for y in 0..8 {
+        let xs: std::ops::Range<usize> = if y < 2 { 0..8 } else { 0..2 };
+        for x in xs {
+            let mut acc = 0i64;
+            for &v in &live[..n_live] {
+                acc += BASIS_FIX[y][v] as i64 * tmp[v * 8 + x];
+            }
+            out[y * 8 + x] = acc >> SCALE_BITS;
+        }
+    }
+    out
+}
+
+/// Partial inverse DCT producing only the **bottom-right border**
+/// pixels — rows 6–7 (all x) and columns 6–7 (all y) — with every other
+/// output slot zero. The borders match [`idct_i32`] exactly.
+///
+/// These are the 28 pixels later neighbors consult through the edge
+/// cache (`block_edges`), computed once per coded block.
+pub fn idct_i32_border_br(coefs: &[i32; 64]) -> [i64; 64] {
+    let (tmp, live, n_live) = idct_pass1(coefs);
+    let mut out = [0i64; 64];
+    for y in 0..8 {
+        let xs: std::ops::Range<usize> = if y >= 6 { 0..8 } else { 6..8 };
+        for x in xs {
+            let mut acc = 0i64;
+            for &v in &live[..n_live] {
                 acc += BASIS_FIX[y][v] as i64 * tmp[v * 8 + x];
             }
             out[y * 8 + x] = acc >> SCALE_BITS;
@@ -141,6 +216,44 @@ mod tests {
                     })
                     .sum();
                 assert!(s.abs() < 1e-3, "u1={u1} u2={u2}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn border_transforms_match_full_idct() {
+        // Deterministic pseudo-random coefficient patterns, including
+        // fully dense, fully zero, and sparse-rows cases.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for trial in 0..50 {
+            let mut coefs = [0i32; 64];
+            for (k, c) in coefs.iter_mut().enumerate() {
+                let r = rand();
+                // Trial 0: all zero. Densities vary with the trial.
+                if trial > 0 && r % (trial as u64 + 1) == 0 {
+                    *c = ((r >> 16) % 2047) as i32 - 1023;
+                    let _ = k;
+                }
+            }
+            let full = idct_i32(&coefs);
+            let tl = idct_i32_border_tl(&coefs);
+            let br = idct_i32_border_br(&coefs);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let i = y * 8 + x;
+                    if y < 2 || x < 2 {
+                        assert_eq!(tl[i], full[i], "tl ({x},{y}) trial {trial}");
+                    }
+                    if y >= 6 || x >= 6 {
+                        assert_eq!(br[i], full[i], "br ({x},{y}) trial {trial}");
+                    }
+                }
             }
         }
     }

@@ -194,9 +194,22 @@ pub fn decode_scan(
     parsed: &ParsedJpeg,
     snapshot_at: &[u32],
 ) -> Result<(ScanData, Vec<Handover>), JpegError> {
+    decode_scan_into(data, parsed, snapshot_at, CoefPlanes::empty())
+}
+
+/// [`decode_scan`] writing into caller-provided plane storage — the
+/// arena-reuse entry point (`coefs` is reshaped for the frame and
+/// zeroed, keeping its allocations). The planes come back inside the
+/// returned [`ScanData`].
+pub fn decode_scan_into(
+    data: &[u8],
+    parsed: &ParsedJpeg,
+    snapshot_at: &[u32],
+    mut coefs: CoefPlanes,
+) -> Result<(ScanData, Vec<Handover>), JpegError> {
     debug_assert!(snapshot_at.windows(2).all(|w| w[0] <= w[1]));
     let frame = &parsed.frame;
-    let mut coefs = CoefPlanes::for_frame(frame);
+    coefs.reset_for_frame(frame);
     let mut reader = ScanReader::new(data, parsed.header_len);
     let mut stats = ScanStats::default();
     let mut prev_dc = [0i16; 4];

@@ -8,6 +8,21 @@
 //! dimensions, where every lookup asserts each coordinate against its
 //! axis (not just the flattened offset, which is what the reversed index
 //! defeated).
+//!
+//! Two generations of accessors coexist:
+//!
+//! * the original slice-indexed [`BinGrid::at`] / [`BinGrid::row`]
+//!   (rank-checked, coordinate slice walked per call) — kept for tests
+//!   and generic tooling;
+//! * typed fixed-arity accessors ([`BinGrid::at1`]/[`BinGrid::at2`],
+//!   [`BinGrid::row0`]–[`BinGrid::row3`]) used by the codec hot path.
+//!   They keep the §6.1 *per-axis* bounds checks — that is the check
+//!   that caught the reversed index, and the paper's lesson we refuse
+//!   to unlearn — but drop what the incident does **not** require: the
+//!   runtime rank assert (arity is now in the signature, so a rank
+//!   mismatch is a compile-visible bug and only `debug_assert`ed), the
+//!   temporary coordinate slice, and the per-call walk over `dims`.
+//!   Offsets come from precomputed strides instead.
 
 use lepton_arith::Branch;
 
@@ -15,6 +30,10 @@ use lepton_arith::Branch;
 #[derive(Clone, Debug)]
 pub struct BinGrid {
     dims: Vec<usize>,
+    /// `strides[i]` = number of bins spanned by one step along axis `i`
+    /// (`strides[last] == 1`). Precomputed so hot-path offset math is a
+    /// few multiplies instead of a walk over `dims`.
+    strides: Vec<usize>,
     bins: Vec<Branch>,
 }
 
@@ -23,8 +42,13 @@ impl BinGrid {
     pub fn new(dims: &[usize]) -> Self {
         let n: usize = dims.iter().product();
         assert!(n > 0, "empty bin grid");
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
         BinGrid {
             dims: dims.to_vec(),
+            strides,
             bins: vec![Branch::new(); n],
         }
     }
@@ -37,6 +61,13 @@ impl BinGrid {
     /// Always false; grids are non-empty by construction.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Reset every bin to the fresh 50-50 prior without reallocating —
+    /// the arena-reuse path: a pooled model is reset between jobs
+    /// instead of being rebuilt allocation by allocation.
+    pub fn reset(&mut self) {
+        self.bins.fill(Branch::new());
     }
 
     #[inline]
@@ -56,6 +87,16 @@ impl BinGrid {
         off
     }
 
+    #[inline]
+    #[track_caller]
+    fn check_axis(&self, axis: usize, x: usize) {
+        assert!(
+            x < self.dims[axis],
+            "bin axis {axis} out of bounds: {x} >= {}",
+            self.dims[axis]
+        );
+    }
+
     /// Mutable bin at the given coordinates (asserts each axis).
     #[inline]
     pub fn at(&mut self, idx: &[usize]) -> &mut Branch {
@@ -70,9 +111,68 @@ impl BinGrid {
         &self.bins[off]
     }
 
+    /// Mutable bin of a rank-1 grid (per-axis checked, stride-free).
+    #[inline]
+    pub fn at1(&mut self, a: usize) -> &mut Branch {
+        debug_assert_eq!(self.dims.len(), 1, "at1 on rank-{} grid", self.dims.len());
+        self.check_axis(0, a);
+        &mut self.bins[a]
+    }
+
+    /// Mutable bin of a rank-2 grid (per-axis checked, strided offset).
+    #[inline]
+    pub fn at2(&mut self, a: usize, b: usize) -> &mut Branch {
+        debug_assert_eq!(self.dims.len(), 2, "at2 on rank-{} grid", self.dims.len());
+        self.check_axis(0, a);
+        self.check_axis(1, b);
+        let off = a * self.strides[0] + b;
+        &mut self.bins[off]
+    }
+
+    /// The whole bin row of a rank-1 grid.
+    #[inline]
+    pub fn row0(&mut self) -> &mut [Branch] {
+        debug_assert_eq!(self.dims.len(), 1, "row0 on rank-{} grid", self.dims.len());
+        &mut self.bins
+    }
+
+    /// Last-axis row of a rank-2 grid with the leading axis fixed
+    /// (per-axis checked, strided offset).
+    #[inline]
+    pub fn row1(&mut self, a: usize) -> &mut [Branch] {
+        debug_assert_eq!(self.dims.len(), 2, "row1 on rank-{} grid", self.dims.len());
+        self.check_axis(0, a);
+        let start = a * self.strides[0];
+        let len = self.strides[0];
+        &mut self.bins[start..start + len]
+    }
+
+    /// Last-axis row of a rank-3 grid with both leading axes fixed.
+    #[inline]
+    pub fn row2(&mut self, a: usize, b: usize) -> &mut [Branch] {
+        debug_assert_eq!(self.dims.len(), 3, "row2 on rank-{} grid", self.dims.len());
+        self.check_axis(0, a);
+        self.check_axis(1, b);
+        let start = a * self.strides[0] + b * self.strides[1];
+        let len = self.strides[1];
+        &mut self.bins[start..start + len]
+    }
+
+    /// Last-axis row of a rank-4 grid with the three leading axes fixed.
+    #[inline]
+    pub fn row3(&mut self, a: usize, b: usize, c: usize) -> &mut [Branch] {
+        debug_assert_eq!(self.dims.len(), 4, "row3 on rank-{} grid", self.dims.len());
+        self.check_axis(0, a);
+        self.check_axis(1, b);
+        self.check_axis(2, c);
+        let start = a * self.strides[0] + b * self.strides[1] + c * self.strides[2];
+        let len = self.strides[2];
+        &mut self.bins[start..start + len]
+    }
+
     /// Mutable slice over the last axis, with all leading axes fixed by
-    /// `prefix` (each checked). This is how callers obtain the per-
-    /// position bin rows for Exp-Golomb coding.
+    /// `prefix` (each checked). Generic-rank counterpart of
+    /// [`row1`](Self::row1)–[`row3`](Self::row3).
     #[inline]
     pub fn row(&mut self, prefix: &[usize]) -> &mut [Branch] {
         assert_eq!(
@@ -139,10 +239,79 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "axis 1 out of bounds")]
+    fn typed_accessors_keep_per_axis_checks() {
+        // Same reversed-index scenario through the strided fast path:
+        // the offset 1*2 + 9 = 11 is inside the 20-bin allocation, so
+        // only the per-axis check can catch it.
+        let mut g = BinGrid::new(&[10, 2]);
+        let _ = g.at2(1, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 0 out of bounds")]
+    fn typed_rows_keep_per_axis_checks() {
+        let mut g = BinGrid::new(&[4, 3, 5]);
+        let _ = g.row2(4, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "rank")]
     fn rank_checked() {
         let mut g = BinGrid::new(&[4, 4]);
         let _ = g.at(&[1]);
+    }
+
+    #[test]
+    fn typed_accessors_match_generic() {
+        let mut g = BinGrid::new(&[3, 4, 5, 6]);
+        // Touch through the typed path, observe through the generic one.
+        g.row3(2, 3, 4)[5].record(true);
+        assert!(!g.get(&[2, 3, 4, 5]).is_fresh());
+        assert_eq!(g.touched(), 1);
+
+        let mut g2 = BinGrid::new(&[7, 3]);
+        g2.at2(6, 2).record(false);
+        assert!(!g2.get(&[6, 2]).is_fresh());
+        g2.row1(5)[1].record(true);
+        assert!(!g2.get(&[5, 1]).is_fresh());
+
+        let mut g1 = BinGrid::new(&[9]);
+        g1.at1(8).record(true);
+        assert!(!g1.get(&[8]).is_fresh());
+        g1.row0()[0].record(true);
+        assert!(!g1.get(&[0]).is_fresh());
+
+        let mut g3 = BinGrid::new(&[2, 5, 4]);
+        g3.row2(1, 4)[3].record(true);
+        assert!(!g3.get(&[1, 4, 3]).is_fresh());
+    }
+
+    #[test]
+    fn rows_cover_exactly_the_last_axis() {
+        let mut g = BinGrid::new(&[2, 3, 4, 5]);
+        assert_eq!(g.row3(1, 2, 3).len(), 5);
+        let mut g = BinGrid::new(&[2, 3, 4]);
+        assert_eq!(g.row2(1, 2).len(), 4);
+        let mut g = BinGrid::new(&[2, 3]);
+        assert_eq!(g.row1(1).len(), 3);
+        let mut g = BinGrid::new(&[13]);
+        assert_eq!(g.row0().len(), 13);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut g = BinGrid::new(&[4, 4]);
+        for a in 0..4 {
+            for b in 0..4 {
+                g.at2(a, b).record(a % 2 == 0);
+            }
+        }
+        assert_eq!(g.touched(), 16);
+        g.reset();
+        assert_eq!(g.touched(), 0);
+        assert_eq!(g.len(), 16);
+        assert_eq!(*g.get(&[3, 3]), Branch::new());
     }
 
     #[test]

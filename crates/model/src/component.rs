@@ -11,7 +11,7 @@ use crate::bins::{log159_bucket, magnitude_bucket, BinGrid};
 use crate::coef_coder::{decode_tree, decode_value, encode_tree, encode_value};
 use crate::config::{DcMode, EdgeMode, ModelConfig, ScanOrder};
 use crate::context::{
-    ac_only_pixels, count_nz77, count_nz_col, count_nz_row, dequantize, lakhani_col, lakhani_row,
+    ac_border_pixels, count_nz77, count_nz_col, count_nz_row, dequantize, lakhani_col, lakhani_row,
     predict_dc_first_cut, predict_dc_gradient, predict_dc_neighbor_avg, BlockNeighbors,
     DcPrediction, INTERIOR_RASTER, INTERIOR_ZZ,
 };
@@ -114,6 +114,30 @@ impl ComponentModel {
         }
     }
 
+    /// Reset to the per-thread starting state — every bin back at the
+    /// 50-50 prior, attribution cleared, configuration replaced — while
+    /// keeping every allocation. This is the engine's arena-reuse hook
+    /// (paper §5.1: pre-allocated memory, pre-spawned threads): a pooled
+    /// worker resets its resident model between jobs instead of paying
+    /// the ~100k-bin allocation per segment per file. Determinism (§5.2)
+    /// requires a reset model to be *indistinguishable* from a fresh
+    /// one, which the engine-reuse tests enforce byte-for-byte.
+    pub fn reset(&mut self, cfg: ModelConfig) {
+        self.cfg = cfg;
+        self.stats = CategoryBytes::default();
+        self.nz77.reset();
+        self.nz_edge.reset();
+        self.exp77.reset();
+        self.sign77.reset();
+        self.resid77.reset();
+        self.exp_edge.reset();
+        self.sign_edge.reset();
+        self.resid_edge.reset();
+        self.exp_dc.reset();
+        self.sign_dc.reset();
+        self.resid_dc.reset();
+    }
+
     /// Total statistic bins allocated (for the §3.2 comparison: the
     /// paper's model uses 721,564; ours is the same order of magnitude).
     pub fn bin_count(&self) -> usize {
@@ -160,11 +184,11 @@ impl ComponentModel {
     fn dc_prediction(&self, block: &CoefBlock, nbr: &BlockNeighbors) -> DcPrediction {
         let mut pred = match self.cfg.dc_mode {
             DcMode::Gradient => {
-                let ac_px = ac_only_pixels(block, nbr.quant);
+                let ac_px = ac_border_pixels(block, nbr.quant);
                 predict_dc_gradient(&ac_px, nbr.above_edges, nbr.left_edges, nbr.quant)
             }
             DcMode::FirstCut => {
-                let ac_px = ac_only_pixels(block, nbr.quant);
+                let ac_px = ac_border_pixels(block, nbr.quant);
                 predict_dc_first_cut(&ac_px, nbr.above_edges, nbr.left_edges, nbr.quant)
             }
             DcMode::NeighborAverage => predict_dc_neighbor_avg(nbr.above, nbr.left),
@@ -181,7 +205,7 @@ impl ComponentModel {
         let mark = enc.bytes_so_far() as u64;
         let nz = count_nz77(block);
         let nz_bucket = log159_bucket(nbr.nz_context());
-        encode_tree(enc, nz, 6, self.nz77.row(&[nz_bucket]));
+        encode_tree(enc, nz, 6, self.nz77.row1(nz_bucket));
         self.stats.nz += enc.bytes_so_far() as u64 - mark;
         let mark = enc.bytes_so_far() as u64;
 
@@ -200,9 +224,9 @@ impl ComponentModel {
                 enc,
                 v,
                 AC_MAX_EXP,
-                self.exp77.row(&[ki, pb, nzb]),
-                self.sign77.at(&[ki, sc]),
-                self.resid77.row(&[ki]),
+                self.exp77.row3(ki, pb, nzb),
+                self.sign77.at2(ki, sc),
+                self.resid77.row1(ki),
             );
             if v != 0 {
                 remaining -= 1;
@@ -214,27 +238,29 @@ impl ComponentModel {
 
         // 3. Edge strips (row then column).
         let cur_deq = dequantize(block, nbr.quant);
-        let above_deq = nbr.above.map(|a| dequantize(a, nbr.quant));
-        let left_deq = nbr.left.map(|l| dequantize(l, nbr.quant));
+        let above_store = nbr.neighbor_deq_fallback(nbr.above, nbr.above_deq);
+        let above_deq = nbr.above_deq.or(above_store.as_ref());
+        let left_store = nbr.neighbor_deq_fallback(nbr.left, nbr.left_deq);
+        let left_deq = nbr.left_deq.or(left_store.as_ref());
         let nz77b = log159_bucket(nz);
 
         let nz_row = count_nz_row(block);
-        encode_tree(enc, nz_row, 3, self.nz_edge.row(&[0, nz77b]));
+        encode_tree(enc, nz_row, 3, self.nz_edge.row2(0, nz77b));
         let mut rem = nz_row as usize;
         for u in 1..8usize {
             if rem == 0 {
                 break;
             }
             let v = block[u] as i32;
-            let (pb, sc) = self.edge_ctx_row(u, &cur_deq, above_deq.as_ref(), nbr);
+            let (pb, sc) = self.edge_ctx_row(u, &cur_deq, above_deq, nbr);
             let idx = u - 1;
             encode_value(
                 enc,
                 v,
                 AC_MAX_EXP,
-                self.exp_edge.row(&[idx, pb, rem]),
-                self.sign_edge.at(&[idx, sc]),
-                self.resid_edge.row(&[idx]),
+                self.exp_edge.row3(idx, pb, rem),
+                self.sign_edge.at2(idx, sc),
+                self.resid_edge.row1(idx),
             );
             if v != 0 {
                 rem -= 1;
@@ -242,22 +268,22 @@ impl ComponentModel {
         }
 
         let nz_col = count_nz_col(block);
-        encode_tree(enc, nz_col, 3, self.nz_edge.row(&[1, nz77b]));
+        encode_tree(enc, nz_col, 3, self.nz_edge.row2(1, nz77b));
         let mut rem = nz_col as usize;
         for vv in 1..8usize {
             if rem == 0 {
                 break;
             }
             let v = block[vv * 8] as i32;
-            let (pb, sc) = self.edge_ctx_col(vv, &cur_deq, left_deq.as_ref(), nbr);
+            let (pb, sc) = self.edge_ctx_col(vv, &cur_deq, left_deq, nbr);
             let idx = 7 + (vv - 1);
             encode_value(
                 enc,
                 v,
                 AC_MAX_EXP,
-                self.exp_edge.row(&[idx, pb, rem]),
-                self.sign_edge.at(&[idx, sc]),
-                self.resid_edge.row(&[idx]),
+                self.exp_edge.row3(idx, pb, rem),
+                self.sign_edge.at2(idx, sc),
+                self.resid_edge.row1(idx),
             );
             if v != 0 {
                 rem -= 1;
@@ -274,9 +300,9 @@ impl ComponentModel {
             enc,
             delta,
             DC_MAX_EXP,
-            self.exp_dc.row(&[pred.confidence]),
-            self.sign_dc.at(&[pred.sign_ctx]),
-            self.resid_dc.row(&[]),
+            self.exp_dc.row1(pred.confidence),
+            self.sign_dc.at1(pred.sign_ctx),
+            self.resid_dc.row0(),
         );
         self.stats.dc += enc.bytes_so_far() as u64 - mark;
     }
@@ -291,7 +317,7 @@ impl ComponentModel {
         let mut block: CoefBlock = [0; 64];
 
         let nz_bucket = log159_bucket(nbr.nz_context());
-        let nz = decode_tree(dec, 6, self.nz77.row(&[nz_bucket])).min(49);
+        let nz = decode_tree(dec, 6, self.nz77.row1(nz_bucket)).min(49);
 
         let order = self.interior_order();
         let mut remaining = nz;
@@ -305,9 +331,9 @@ impl ComponentModel {
             let v = decode_value(
                 dec,
                 AC_MAX_EXP,
-                self.exp77.row(&[ki, pb, nzb]),
-                self.sign77.at(&[ki, sc]),
-                self.resid77.row(&[ki]),
+                self.exp77.row3(ki, pb, nzb),
+                self.sign77.at2(ki, sc),
+                self.resid77.row1(ki),
             );
             block[r] = v as i16;
             if v != 0 {
@@ -316,24 +342,26 @@ impl ComponentModel {
         }
 
         let cur_deq_snapshot = dequantize(&block, nbr.quant);
-        let above_deq = nbr.above.map(|a| dequantize(a, nbr.quant));
-        let left_deq = nbr.left.map(|l| dequantize(l, nbr.quant));
+        let above_store = nbr.neighbor_deq_fallback(nbr.above, nbr.above_deq);
+        let above_deq = nbr.above_deq.or(above_store.as_ref());
+        let left_store = nbr.neighbor_deq_fallback(nbr.left, nbr.left_deq);
+        let left_deq = nbr.left_deq.or(left_store.as_ref());
         let nz77b = log159_bucket(nz);
 
-        let nz_row = decode_tree(dec, 3, self.nz_edge.row(&[0, nz77b]));
+        let nz_row = decode_tree(dec, 3, self.nz_edge.row2(0, nz77b));
         let mut rem = nz_row as usize;
         for u in 1..8usize {
             if rem == 0 {
                 break;
             }
-            let (pb, sc) = self.edge_ctx_row(u, &cur_deq_snapshot, above_deq.as_ref(), nbr);
+            let (pb, sc) = self.edge_ctx_row(u, &cur_deq_snapshot, above_deq, nbr);
             let idx = u - 1;
             let v = decode_value(
                 dec,
                 AC_MAX_EXP,
-                self.exp_edge.row(&[idx, pb, rem]),
-                self.sign_edge.at(&[idx, sc]),
-                self.resid_edge.row(&[idx]),
+                self.exp_edge.row3(idx, pb, rem),
+                self.sign_edge.at2(idx, sc),
+                self.resid_edge.row1(idx),
             );
             block[u] = v as i16;
             if v != 0 {
@@ -341,20 +369,20 @@ impl ComponentModel {
             }
         }
 
-        let nz_col = decode_tree(dec, 3, self.nz_edge.row(&[1, nz77b]));
+        let nz_col = decode_tree(dec, 3, self.nz_edge.row2(1, nz77b));
         let mut rem = nz_col as usize;
         for vv in 1..8usize {
             if rem == 0 {
                 break;
             }
-            let (pb, sc) = self.edge_ctx_col(vv, &cur_deq_snapshot, left_deq.as_ref(), nbr);
+            let (pb, sc) = self.edge_ctx_col(vv, &cur_deq_snapshot, left_deq, nbr);
             let idx = 7 + (vv - 1);
             let v = decode_value(
                 dec,
                 AC_MAX_EXP,
-                self.exp_edge.row(&[idx, pb, rem]),
-                self.sign_edge.at(&[idx, sc]),
-                self.resid_edge.row(&[idx]),
+                self.exp_edge.row3(idx, pb, rem),
+                self.sign_edge.at2(idx, sc),
+                self.resid_edge.row1(idx),
             );
             block[vv * 8] = v as i16;
             if v != 0 {
@@ -366,9 +394,9 @@ impl ComponentModel {
         let delta = decode_value(
             dec,
             DC_MAX_EXP,
-            self.exp_dc.row(&[pred.confidence]),
-            self.sign_dc.at(&[pred.sign_ctx]),
-            self.resid_dc.row(&[]),
+            self.exp_dc.row1(pred.confidence),
+            self.sign_dc.at1(pred.sign_ctx),
+            self.resid_dc.row0(),
         );
         block[0] = (pred.value + delta).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
         block
@@ -446,6 +474,8 @@ mod tests {
                     above: (by > 0).then(|| plane.block(bx, by - 1)),
                     left: (bx > 0).then(|| plane.block(bx - 1, by)),
                     above_left: (bx > 0 && by > 0).then(|| plane.block(bx - 1, by - 1)),
+                    above_deq: None,
+                    left_deq: None,
                     above_edges: cache.above(bx),
                     left_edges: cache.left(bx),
                     quant,
@@ -471,6 +501,8 @@ mod tests {
                         above: (by > 0).then(|| out.block(bx, by - 1)),
                         left: (bx > 0).then(|| out.block(bx - 1, by)),
                         above_left: (bx > 0 && by > 0).then(|| out.block(bx - 1, by - 1)),
+                        above_deq: None,
+                        left_deq: None,
                         above_edges: cache.above(bx),
                         left_edges: cache.left(bx),
                         quant,
@@ -614,6 +646,52 @@ mod tests {
     }
 
     #[test]
+    fn reset_model_is_indistinguishable_from_fresh() {
+        let plane = synthetic_plane(4, 3, 11);
+        let quant = [5u16; 64];
+        // Encode once with a fresh model to get the reference bytes.
+        let encode_plane = |model: &mut ComponentModel| -> Vec<u8> {
+            let mut enc = BoolEncoder::new();
+            let mut cache = EdgeCache::new(plane.blocks_w);
+            for by in 0..plane.blocks_h {
+                if by > 0 {
+                    cache.next_row();
+                }
+                for bx in 0..plane.blocks_w {
+                    let nbr = BlockNeighbors {
+                        above: (by > 0).then(|| plane.block(bx, by - 1)),
+                        left: (bx > 0).then(|| plane.block(bx - 1, by)),
+                        above_left: (bx > 0 && by > 0).then(|| plane.block(bx - 1, by - 1)),
+                        above_deq: None,
+                        left_deq: None,
+                        above_edges: cache.above(bx),
+                        left_edges: cache.left(bx),
+                        quant: &quant,
+                    };
+                    model.encode_block(&mut enc, plane.block(bx, by), &nbr);
+                    cache.push(bx, block_edges(plane.block(bx, by), &quant));
+                }
+            }
+            enc.finish()
+        };
+        let mut fresh = ComponentModel::new(ModelConfig::default());
+        let reference = encode_plane(&mut fresh);
+        assert!(fresh.bins_touched() > 0);
+
+        // Dirty the same model heavily, reset under a *different*
+        // config, then reset back: output must be byte-identical.
+        let _ = encode_plane(&mut fresh);
+        fresh.reset(ModelConfig {
+            scan_order: ScanOrder::Raster,
+            ..Default::default()
+        });
+        assert_eq!(fresh.bins_touched(), 0);
+        assert_eq!(fresh.stats(), CategoryBytes::default());
+        fresh.reset(ModelConfig::default());
+        assert_eq!(encode_plane(&mut fresh), reference);
+    }
+
+    #[test]
     fn decoding_garbage_never_panics() {
         // Adversarial compressed stream: decode must produce *something*
         // for every prefix without panicking (§6.7 fuzzing regression).
@@ -636,6 +714,8 @@ mod tests {
                     above: None,
                     left: prev.as_ref(),
                     above_left: None,
+                    above_deq: None,
+                    left_deq: None,
                     above_edges: None,
                     left_edges: None,
                     quant: &quant,

@@ -4,7 +4,7 @@
 //! any platform, any thread count) compute bit-identical contexts — the
 //! determinism requirement of §5.2 built in by construction.
 
-use lepton_jpeg::dct::{idct_i32, BASIS_FIX, SCALE_BITS};
+use lepton_jpeg::dct::{idct_i32, idct_i32_border_br, idct_i32_border_tl, BASIS_FIX, SCALE_BITS};
 use lepton_jpeg::CoefBlock;
 use lepton_jpeg::{ZIGZAG, ZIGZAG_INV};
 
@@ -87,10 +87,17 @@ pub fn dequantize(block: &CoefBlock, quant: &[u16; 64]) -> [i32; 64] {
     out
 }
 
-/// Full IDCT of a block, extracting the edges later blocks will consult.
+/// IDCT of a block, extracting the edges later blocks will consult.
 pub fn block_edges(block: &CoefBlock, quant: &[u16; 64]) -> BlockEdges {
-    let deq = dequantize(block, quant);
-    let px = idct_i32(&deq);
+    block_edges_deq(&dequantize(block, quant))
+}
+
+/// [`block_edges`] from an already-dequantized block — the hot-path
+/// variant for callers (the segment driver) that cache dequantized
+/// coefficients anyway. Only the border outputs of the IDCT are
+/// computed; they match the full transform exactly.
+pub fn block_edges_deq(deq: &[i32; 64]) -> BlockEdges {
+    let px = idct_i32_border_br(deq);
     let mut rows = [[0i64; 8]; 2];
     let mut cols = [[0i64; 8]; 2];
     for x in 0..8 {
@@ -163,6 +170,12 @@ pub struct BlockNeighbors<'a> {
     pub left: Option<&'a CoefBlock>,
     /// Above-left block's quantized coefficients.
     pub above_left: Option<&'a CoefBlock>,
+    /// Above block's *dequantized* coefficients, when the caller caches
+    /// them (the segment driver does). `None` makes the model
+    /// dequantize on demand — same result, more work per block.
+    pub above_deq: Option<&'a [i32; 64]>,
+    /// Left block's dequantized coefficients (see `above_deq`).
+    pub left_deq: Option<&'a [i32; 64]>,
     /// Above block's bottom pixel rows (from the [`EdgeCache`]).
     pub above_edges: Option<&'a BlockEdges>,
     /// Left block's right pixel columns.
@@ -172,6 +185,22 @@ pub struct BlockNeighbors<'a> {
 }
 
 impl BlockNeighbors<'_> {
+    /// Dequantize `block` locally when the caller did not provide a
+    /// cached dequantization (`cached`), e.g. in tests; returns the
+    /// owned fallback storage (`None` when a cache exists or there is
+    /// no neighbor).
+    #[inline]
+    pub fn neighbor_deq_fallback(
+        &self,
+        block: Option<&CoefBlock>,
+        cached: Option<&[i32; 64]>,
+    ) -> Option<[i32; 64]> {
+        match (cached, block) {
+            (None, Some(b)) => Some(dequantize(b, self.quant)),
+            _ => None,
+        }
+    }
+
     /// The weighted neighbor magnitude `⌊(13|A| + 13|L| + 6|AL|)/32⌋`
     /// used as the 7x7 bin context (§3.3).
     #[inline]
@@ -275,6 +304,16 @@ pub fn ac_only_pixels(cur: &CoefBlock, quant: &[u16; 64]) -> [i64; 64] {
     idct_i32(&deq)
 }
 
+/// AC-only reconstruction of just the top-left border pixels (rows 0–1
+/// and columns 0–1; other slots zero) — exactly the pixels the DC
+/// predictors read. Hot-path variant of [`ac_only_pixels`]: border
+/// values match it bit-for-bit.
+pub fn ac_border_pixels(cur: &CoefBlock, quant: &[u16; 64]) -> [i64; 64] {
+    let mut deq = dequantize(cur, quant);
+    deq[0] = 0;
+    idct_i32_border_tl(&deq)
+}
+
 /// Gradient-continuation DC prediction (App. A.2.3, Figure 17 right).
 ///
 /// For each of up to 16 border pixel pairs, solve for the DC pixel
@@ -286,7 +325,10 @@ pub fn predict_dc_gradient(
     left_edges: Option<&BlockEdges>,
     quant: &[u16; 64],
 ) -> DcPrediction {
-    let mut preds: Vec<i64> = Vec::with_capacity(16);
+    // Fixed-capacity prediction list: this runs per block on the codec
+    // hot path, so no heap allocation.
+    let mut preds = [0i64; 16];
+    let mut n = 0usize;
     if let Some(a) = above_edges {
         for x in 0..8 {
             let a1 = a.rows[0][x]; // row 6
@@ -297,7 +339,8 @@ pub fn predict_dc_gradient(
             // Solve 3(r0+dc) = 3a0 − a1 + (r1+dc) … wait: r1 also shifts
             // by dc, so: 3(r0+dc) = 3a0 − a1 + (r1+dc) ⇒
             // 2dc = 3a0 − a1 + r1 − 3r0.
-            preds.push((3 * a0 - a1 + r1 - 3 * r0) / 2);
+            preds[n] = (3 * a0 - a1 + r1 - 3 * r0) / 2;
+            n += 1;
         }
     }
     if let Some(l) = left_edges {
@@ -306,10 +349,11 @@ pub fn predict_dc_gradient(
             let l0 = l.cols[1][y]; // col 7 (adjacent)
             let c0 = ac_px[y * 8]; // col 0
             let c1 = ac_px[y * 8 + 1]; // col 1
-            preds.push((3 * l0 - l1 + c1 - 3 * c0) / 2);
+            preds[n] = (3 * l0 - l1 + c1 - 3 * c0) / 2;
+            n += 1;
         }
     }
-    finish_dc_prediction(&preds, quant)
+    finish_dc_prediction(&preds[..n], quant)
 }
 
 /// First-cut DC prediction (App. A.2.3, Figure 17 left): per-pair DC
@@ -320,25 +364,28 @@ pub fn predict_dc_first_cut(
     left_edges: Option<&BlockEdges>,
     quant: &[u16; 64],
 ) -> DcPrediction {
-    let mut preds: Vec<i64> = Vec::with_capacity(16);
+    // Fixed-capacity prediction list (hot path: no heap allocation).
+    let mut preds = [0i64; 16];
+    let mut n = 0usize;
     if let Some(a) = above_edges {
         for x in 0..8 {
-            preds.push(a.rows[1][x] - ac_px[x]);
+            preds[n] = a.rows[1][x] - ac_px[x];
+            n += 1;
         }
     }
     if let Some(l) = left_edges {
         for y in 0..8 {
-            preds.push(l.cols[1][y] - ac_px[y * 8]);
+            preds[n] = l.cols[1][y] - ac_px[y * 8];
+            n += 1;
         }
     }
-    if preds.len() >= 8 {
+    if n >= 8 {
         // Discard outliers: keep the median 8.
-        preds.sort_unstable();
-        let start = (preds.len() - 8) / 2;
-        let kept: Vec<i64> = preds[start..start + 8].to_vec();
-        finish_dc_prediction(&kept, quant)
+        preds[..n].sort_unstable();
+        let start = (n - 8) / 2;
+        finish_dc_prediction(&preds[start..start + 8], quant)
     } else {
-        finish_dc_prediction(&preds, quant)
+        finish_dc_prediction(&preds[..n], quant)
     }
 }
 
@@ -446,6 +493,8 @@ mod tests {
             above: Some(&a),
             left: Some(&l),
             above_left: Some(&al),
+            above_deq: None,
+            left_deq: None,
             above_edges: None,
             left_edges: None,
             quant: &q,

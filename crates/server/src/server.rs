@@ -262,7 +262,7 @@ fn handle_connection(
                 return;
             }
             let _lease = gauge.acquire();
-            match lepton_core::compress(&payload, &cfg.compress) {
+            match lepton_core::Engine::global().compress(&payload, &cfg.compress) {
                 Ok(lepton) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
                     let _ = write_response(&mut conn, Status::Ok, &lepton);
@@ -277,7 +277,10 @@ fn handle_connection(
         Op::Decompress => {
             // No shutoff check: reads must keep working (§5.7).
             let _lease = gauge.acquire();
-            match lepton_core::decompress(&payload) {
+            let dec_opts = lepton_core::DecompressOptions {
+                model: cfg.compress.model,
+            };
+            match lepton_core::Engine::global().decompress_opts(&payload, &dec_opts) {
                 Ok(jpeg) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
                     // Stream the status byte first so the client's

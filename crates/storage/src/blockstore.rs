@@ -469,11 +469,17 @@ impl ShardedStore {
     fn try_admit(&self, data: &[u8]) -> Option<Vec<u8>> {
         let mut opts = self.cfg.compress.clone();
         opts.verify = true;
-        let lepton = lepton_core::compress(data, &opts).ok()?;
+        let lepton = lepton_core::Engine::global().compress(data, &opts).ok()?;
         // compress() already verified internally, but the blockstore
         // commit gate trusts nothing it did not check itself (§5.6
-        // "double-checks the result").
-        if lepton_core::decompress(&lepton).as_deref() == Ok(data) {
+        // "double-checks the result"). The check must decode with the
+        // store's own model config — the container does not carry it.
+        let dec_opts = lepton_core::DecompressOptions { model: opts.model };
+        if lepton_core::Engine::global()
+            .decompress_opts(&lepton, &dec_opts)
+            .as_deref()
+            == Ok(data)
+        {
             if lepton.len() < data.len() {
                 return Some(lepton);
             }
@@ -550,10 +556,16 @@ impl ShardedStore {
     ) -> Result<Vec<u8>, StoreError> {
         let shard = self.shard_of(key);
         let decoded = match format {
-            StoredFormat::Lepton => match lepton_core::decompress(&payload) {
-                Ok(jpeg) => jpeg,
-                Err(_) => return Err(self.corrupt(shard, key)),
-            },
+            StoredFormat::Lepton => {
+                // Same model config the admission gate wrote with.
+                let dec_opts = lepton_core::DecompressOptions {
+                    model: self.cfg.compress.model,
+                };
+                match lepton_core::Engine::global().decompress_opts(&payload, &dec_opts) {
+                    Ok(jpeg) => jpeg,
+                    Err(_) => return Err(self.corrupt(shard, key)),
+                }
+            }
             StoredFormat::Deflate => {
                 match lepton_deflate::zlib_decompress(&payload, original_len as usize) {
                     Ok(bytes) => bytes,

@@ -210,7 +210,7 @@ impl BlockStore {
     fn try_lepton(&self, data: &[u8]) -> Result<Vec<u8>, LeptonError> {
         let mut opts = self.opts.clone();
         opts.verify = true; // non-negotiable for admission
-        lepton_core::compress(data, &opts)
+        lepton_core::Engine::global().compress(data, &opts)
     }
 
     /// Retrieve a chunk's original bytes.
@@ -221,8 +221,18 @@ impl BlockStore {
             StoredFormat::Lepton => {
                 self.metrics.lepton_decodes.fetch_add(1, Ordering::Relaxed);
                 // Decode failures of admitted chunks would be the
-                // paper's page-a-human alarm; surface as None.
-                lepton_core::decompress(&c.payload).ok()
+                // paper's page-a-human alarm; surface as None. Decode
+                // with the store's own model config: the container does
+                // not negotiate the model, so a store running an
+                // ablation model must read with the same one it wrote.
+                lepton_core::Engine::global()
+                    .decompress_opts(
+                        &c.payload,
+                        &lepton_core::DecompressOptions {
+                            model: self.opts.model,
+                        },
+                    )
+                    .ok()
             }
             StoredFormat::Deflate => {
                 lepton_deflate::zlib_decompress(&c.payload, c.original_len).ok()
