@@ -208,12 +208,12 @@ impl BoolEncoder {
     pub fn put_with_prob(&mut self, bit: bool, prob_false: u16) {
         debug_assert!(prob_false >= 1);
         let bound = (self.range >> 16) * prob_false as u32;
-        if !bit {
-            self.range = bound;
-        } else {
-            self.low += bound as u64;
-            self.range -= bound;
-        }
+        // Branchless select: the bit values of real coefficient streams
+        // are poorly predicted, and a mispredict costs more than the
+        // extra ALU ops. `mask` is all-ones when `bit` is set.
+        let mask = (bit as u32).wrapping_neg();
+        self.low += (bound & mask) as u64;
+        self.range = bound ^ ((bound ^ (self.range - bound)) & mask);
         while self.range < TOP {
             self.range <<= 8;
             self.shift_low();
@@ -339,12 +339,11 @@ impl<S: ByteSource> BoolDecoder<S> {
     pub fn get_with_prob(&mut self, prob_false: u16) -> bool {
         let bound = (self.range >> 16) * prob_false as u32;
         let bit = self.code >= bound;
-        if !bit {
-            self.range = bound;
-        } else {
-            self.code -= bound;
-            self.range -= bound;
-        }
+        // Branchless select (mirrors the encoder): decoded bit values
+        // are data-dependent and mispredict badly.
+        let mask = (bit as u32).wrapping_neg();
+        self.code -= bound & mask;
+        self.range = bound ^ ((bound ^ (self.range - bound)) & mask);
         while self.range < TOP {
             self.range <<= 8;
             self.code = (self.code << 8) | self.next_byte() as u32;

@@ -8,11 +8,13 @@
 //!
 //! The coder queries the probability once per coded bit, so that query
 //! must not divide: the 16-bit probability is *cached in the bin* and
-//! refreshed on [`Branch::record`] from a 256×256 compile-time lookup
-//! table ([`PROB_LUT`]). Query = one in-struct load; record = one table
-//! load plus a store. The table is the rounded-division formula
-//! evaluated for every reachable `(false_count, true_count)` pair —
-//! equivalence is enforced exhaustively by the tests below.
+//! refreshed on [`Branch::record`] via a 4-KiB fixed-point reciprocal
+//! table (one multiply + shift, exact). Query = one in-struct load;
+//! record = one L1-resident table load plus a store. The 256×256
+//! [`PROB_LUT`] pair table remains as the compile-time oracle: both it
+//! and the reciprocal path equal the rounded-division formula for
+//! every reachable `(false_count, true_count)` pair — enforced
+//! exhaustively by the tests below.
 
 /// Rounded-division probability for a `(c0, c1)` count pair, in 16-bit
 /// fixed point, clamped to `1..=65535` so neither symbol ever becomes
@@ -38,6 +40,11 @@ pub const fn prob_from_counts(c0: u8, c1: u8) -> u16 {
 
 /// `PROB_LUT[c0 * 256 + c1]` = `prob_from_counts(c0, c1)`: the cached
 /// probability for every count pair, computed at compile time.
+///
+/// Kept as the oracle the tests pin against; the hot path now uses the
+/// 4-KiB `RECIP_40` reciprocal table instead — the 128-KiB pair table
+/// spills past L1 under real bin-access patterns, while the
+/// per-denominator reciprocals stay resident.
 pub static PROB_LUT: [u16; 65536] = {
     let mut t = [0u16; 65536];
     let mut c0 = 0usize;
@@ -51,6 +58,36 @@ pub static PROB_LUT: [u16; 65536] = {
     }
     t
 };
+
+/// `RECIP_40[d]` = `⌊2^40 / d⌋ + 1`: fixed-point reciprocals turning the
+/// probability division into a multiply + shift. Exact for every
+/// reachable `(c0, c1)` pair — numerators are below 2^24, far inside
+/// the Granlund–Montgomery exactness bound for a 40-bit reciprocal of
+/// divisors ≤ 510 — and the [`PROB_LUT`] equivalence test re-proves it
+/// exhaustively.
+static RECIP_40: [u64; 511] = {
+    let mut t = [0u64; 511];
+    let mut d = 1usize;
+    while d < 511 {
+        t[d] = (1u64 << 40) / d as u64 + 1;
+        d += 1;
+    }
+    t
+};
+
+/// Rounded-division probability via [`RECIP_40`] — bit-identical to
+/// [`prob_from_counts`] for all reachable count pairs (`c0, c1 ≥ 1`).
+#[inline]
+fn prob_recip(c0: u8, c1: u8) -> u16 {
+    let d = c0 as u32 + c1 as u32;
+    let n = ((c0 as u32) << 16) + (d >> 1);
+    let p = ((n as u64 * RECIP_40[d as usize]) >> 40) as u32;
+    // Reachable states never clamp — p ∈ [255, 65280] for all
+    // (c0, c1) ≥ 1, re-proven exhaustively by the equivalence test —
+    // so the reference formula's clamp reduces to a debug assertion.
+    debug_assert!((1..=65535).contains(&p));
+    p as u16
+}
 
 /// The fresh-bin probability (`prob_from_counts(1, 1)` = exactly 1/2).
 const FRESH_PROB: u16 = prob_from_counts(1, 1);
@@ -106,7 +143,7 @@ impl Branch {
             self.counts[1] = (self.counts[1] >> 1) | 1;
         }
         self.counts[idx] += 1;
-        self.prob = PROB_LUT[self.counts[0] as usize * 256 + self.counts[1] as usize];
+        self.prob = prob_recip(self.counts[0], self.counts[1]);
     }
 
     /// Raw `(false_count, true_count)` pair, for tests and debugging.
@@ -205,6 +242,21 @@ mod tests {
                 assert_eq!(
                     PROB_LUT[(c0 * 256 + c1) as usize],
                     reference_prob(c0, c1),
+                    "counts ({c0}, {c1})"
+                );
+            }
+        }
+    }
+
+    /// The reciprocal-multiply hot path is exact — equal to the rounded
+    /// division (and hence the LUT) for every reachable count pair.
+    #[test]
+    fn reciprocal_matches_division_exhaustively() {
+        for c0 in 1..=255u8 {
+            for c1 in 1..=255u8 {
+                assert_eq!(
+                    prob_recip(c0, c1),
+                    reference_prob(c0 as u32, c1 as u32),
                     "counts ({c0}, {c1})"
                 );
             }

@@ -16,6 +16,8 @@ use lepton_arith::{BoolDecoder, BoolEncoder, Branch, SliceSource};
 use lepton_bench::json::{emit, Json};
 use lepton_bench::{bench_corpus, bench_file_count, mbps, timed};
 use lepton_core::{CompressOptions, Engine, ThreadPolicy};
+use lepton_corpus::builder::{clean_jpeg, CorpusSpec};
+use lepton_jpeg::scan::decode_scan;
 
 /// Median of repeated timings of `f`, in seconds.
 fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -92,6 +94,52 @@ fn bench_codec(c: &mut Criterion) {
                 "decode_8thr_mbps"
             },
             Json::from(mbps(bytes, dec_secs)),
+        ));
+    }
+    g.finish();
+
+    // Serial Huffman scan decode in isolation — the encode-side
+    // bottleneck of Fig. 8. Same size points as the fig8 harness
+    // (2/28/96 KB means), so the two trajectories line up: when this
+    // number moves and fig8 encode doesn't, the bottleneck has shifted
+    // to the arithmetic side.
+    let mut g = c.benchmark_group("scan_decode");
+    g.sample_size(samples);
+    for &dim in &[128usize, 256, 448] {
+        let spec = CorpusSpec {
+            min_dim: dim,
+            max_dim: dim + 32,
+            ..Default::default()
+        };
+        let sfiles: Vec<Vec<u8>> = (0..3u64)
+            .map(|s| clean_jpeg(&spec, s + dim as u64))
+            .collect();
+        let sbytes: usize = sfiles.iter().map(|f| f.len()).sum();
+        let parsed: Vec<_> = sfiles
+            .iter()
+            .map(|f| lepton_jpeg::parse(f).expect("parse"))
+            .collect();
+        let kb = sbytes / 1024 / sfiles.len();
+        g.throughput(Throughput::Bytes(sbytes as u64));
+        g.bench_with_input(BenchmarkId::new("decode", kb), &kb, |b, _| {
+            b.iter(|| {
+                for (f, p) in sfiles.iter().zip(&parsed) {
+                    std::hint::black_box(decode_scan(f, p, &[]).expect("scan decode"));
+                }
+            })
+        });
+        let secs = median_secs(samples, || {
+            for (f, p) in sfiles.iter().zip(&parsed) {
+                std::hint::black_box(decode_scan(f, p, &[]).expect("scan decode"));
+            }
+        });
+        record.push((
+            match dim {
+                128 => "scan_decode_2kb_mbps",
+                256 => "scan_decode_28kb_mbps",
+                _ => "scan_decode_96kb_mbps",
+            },
+            Json::from(mbps(sbytes, secs)),
         ));
     }
     g.finish();

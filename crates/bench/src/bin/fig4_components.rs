@@ -17,7 +17,11 @@ fn main() {
         };
         let hdr_in = s.header_in as f64;
         let hdr_out = s.header_out as f64;
-        let in77 = s.scan_in.ac77_bits as f64 / 8.0;
+        // EOB/ZRL bits describe which coefficients exist — the input-side
+        // counterpart of the model's nz-structure bytes, so both land in
+        // the 7x7 bucket (they are attributed explicitly by the decoder
+        // now, not folded into a positional bucket).
+        let in77 = (s.scan_in.ac77_bits + s.scan_in.zero_run_bits) as f64 / 8.0;
         let in_edge = s.scan_in.edge_bits as f64 / 8.0;
         let in_dc = s.scan_in.dc_bits as f64 / 8.0;
         // Model nz structure bytes are part of the 7x7 story (they encode

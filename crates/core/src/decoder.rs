@@ -22,7 +22,7 @@ use crate::format::{packets, read_container, ContainerHeader, SegmentInfo};
 use lepton_arith::{BoolDecoder, VecSource};
 use lepton_jpeg::bitio::ScanWriter;
 use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
-use lepton_jpeg::scan::BlockHuffEncoder;
+use lepton_jpeg::scan::ScanEncoders;
 use lepton_jpeg::CoefBlock;
 use lepton_model::context::BlockNeighbors;
 use lepton_model::{ComponentModel, ModelConfig};
@@ -67,7 +67,9 @@ impl SegSink for DirectSink<'_> {
 /// The model pair is borrowed from the executing worker's arena.
 struct SegDecoder<'a, T: SegSink> {
     parsed: &'a ParsedJpeg,
-    huff: Vec<BlockHuffEncoder<'a>>,
+    /// Per-component Huffman encoders, resolved once per container
+    /// (not per segment job) and shared by every segment.
+    huff: &'a ScanEncoders<'a>,
     dec: BoolDecoder<VecSource>,
     models: &'a mut [ComponentModel; 2],
     writer: ScanWriter,
@@ -130,7 +132,8 @@ impl<T: SegSink> BlockOp for SegDecoder<'_, T> {
     ) -> Result<CoefBlock, LeptonError> {
         let block = self.models[class].decode_block(&mut self.dec, nbr);
         let comp_index = self.parsed.scan.components[scan_idx].comp_index;
-        self.huff[scan_idx]
+        self.huff
+            .component(scan_idx)
             .encode(&mut self.writer, &block, &mut self.prev_dc[comp_index])
             .map_err(LeptonError::Jpeg)?;
         Ok(block)
@@ -252,6 +255,7 @@ pub(crate) fn decompress_streaming_on(
 fn decode_segment_job<T: SegSink>(
     scratch: &mut Scratch,
     parsed: &ParsedJpeg,
+    huff: &ScanEncoders<'_>,
     header: &ContainerHeader,
     seg: &SegmentInfo,
     stream: Vec<u8>,
@@ -259,10 +263,6 @@ fn decode_segment_job<T: SegSink>(
     tx: T,
 ) -> Result<usize, LeptonError> {
     let pad_bit = header.pad_bit != 0; // "unknown" defaults to 1s
-    let huff: Vec<BlockHuffEncoder> = (0..parsed.scan.components.len())
-        .map(|si| BlockHuffEncoder::for_component(parsed, si))
-        .collect::<Result<_, _>>()
-        .map_err(LeptonError::Jpeg)?;
     let handover = seg.handover.to_handover(seg.mcu_start);
     let mut op = SegDecoder {
         parsed,
@@ -308,6 +308,9 @@ fn decode_segments(
         return Ok(0);
     }
     let model_cfg = opts.model;
+    // Huffman table refs resolve once per container; every segment job
+    // shares them instead of rebuilding the per-component Vec.
+    let huff = ScanEncoders::resolve(parsed).map_err(LeptonError::Jpeg)?;
 
     if nseg == 1 {
         // Inline fast path: decode on the calling thread with a pooled
@@ -318,6 +321,7 @@ fn decode_segments(
             decode_segment_job(
                 scratch,
                 parsed,
+                &huff,
                 header,
                 seg,
                 stream,
@@ -342,9 +346,10 @@ fn decode_segments(
         let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
         receivers.push(rx);
         let seg: &SegmentInfo = &header.segments[i];
+        let huff = &huff;
         jobs.push(Box::new(move |scratch: &mut Scratch| {
             *slot = Some(decode_segment_job(
-                scratch, parsed, header, seg, stream, model_cfg, tx,
+                scratch, parsed, huff, header, seg, stream, model_cfg, tx,
             ));
         }));
     }

@@ -10,7 +10,7 @@
 
 use lepton_jpeg::parser::ParsedJpeg;
 use lepton_jpeg::CoefBlock;
-use lepton_model::context::{block_edges_deq, dequantize, BlockEdges, BlockNeighbors};
+use lepton_model::context::{block_edges_deq, count_nz77, dequantize, BlockEdges, BlockNeighbors};
 
 /// Everything the walk caches about one already-coded block: its
 /// quantized coefficients, its dequantized coefficients (the Lakhani
@@ -21,6 +21,10 @@ struct CodedBlock {
     coefs: CoefBlock,
     deq: [i32; 64],
     edges: BlockEdges,
+    /// Interior nonzero count, computed once when the block was coded
+    /// (later neighbors consult it via `BlockNeighbors::nz_context`
+    /// instead of recounting 49 coefficients per neighbor).
+    nz77: u32,
 }
 
 /// Ring buffer of the last `v+1` block rows of one component, tracking
@@ -162,12 +166,15 @@ pub fn walk_segment<O: BlockOp>(
                             left_deq: left.map(|e| &e.deq),
                             above_edges: above.map(|e| &e.edges),
                             left_edges: left.map(|e| &e.edges),
+                            above_nz77: above.map(|e| e.nz77),
+                            left_nz77: left.map(|e| e.nz77),
                             quant: &quants[si],
                         };
                         op.block(si, class, gx, gy, &nbr)?
                     };
                     let deq = dequantize(&block, &quants[si]);
                     let edges = block_edges_deq(&deq);
+                    let nz77 = count_nz77(&block);
                     rings[si].put(
                         gx,
                         gy,
@@ -175,6 +182,7 @@ pub fn walk_segment<O: BlockOp>(
                             coefs: block,
                             deq,
                             edges,
+                            nz77,
                         },
                     );
                 }

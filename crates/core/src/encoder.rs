@@ -19,7 +19,7 @@ use crate::format::{write_container, ContainerHeader, SegmentInfo, SerializedHan
 use lepton_arith::BoolEncoder;
 use lepton_jpeg::bitio::PadState;
 use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
-use lepton_jpeg::scan::{decode_scan_into, Handover, ScanStats};
+use lepton_jpeg::scan::{decode_scan_into, Handover, ScanDecoder, ScanStats};
 use lepton_jpeg::{CoefPlanes, JpegError};
 use lepton_model::component::CategoryBytes;
 use lepton_model::context::BlockNeighbors;
@@ -159,34 +159,44 @@ pub(crate) fn compress_on(
     let nseg = opts.threads.segments(jpeg.len(), mcus);
     let bounds = segment_bounds(&parsed, 0, mcus, nseg);
 
-    let (scan_data, snapshots) = decode_scan_into(jpeg, &parsed, &bounds, engine.planes_seed())?;
-    let container = build_container(
-        engine,
-        jpeg,
-        &parsed,
-        &scan_data.coefs,
-        &ChunkSpec {
-            byte_start: 0,
-            byte_end: jpeg.len(),
-            emit_header: true,
-            bounds: &bounds,
-            handovers: &snapshots,
-            final_chunk: true,
-            scan_end: scan_data.scan_end,
-            pad: scan_data.pad,
-            rst_count: scan_data.rst_count,
-        },
-        opts,
-    );
-    engine.checkin_planes(scan_data.coefs);
-    let (bytes, scan_out, header_out) = container?;
+    let (bytes, scan_in, scan_out, header_out) = if bounds.len() - 1 > 1 {
+        // Multi-segment: pipeline the serial Huffman scan decode with
+        // the per-segment arithmetic encoding (§3.4 / Fig. 8).
+        compress_pipelined(engine, jpeg, &parsed, &bounds, opts)?
+    } else {
+        // Single segment: decode fully, then encode inline with a
+        // pooled arena (no handoff — the common small-file path).
+        let (scan_data, snapshots) =
+            decode_scan_into(jpeg, &parsed, &bounds, engine.planes_seed())?;
+        let container = build_container(
+            engine,
+            jpeg,
+            &parsed,
+            &scan_data.coefs,
+            &ChunkSpec {
+                byte_start: 0,
+                byte_end: jpeg.len(),
+                emit_header: true,
+                bounds: &bounds,
+                handovers: &snapshots,
+                final_chunk: true,
+                scan_end: scan_data.scan_end,
+                pad: scan_data.pad,
+                rst_count: scan_data.rst_count,
+            },
+            opts,
+        );
+        engine.checkin_planes(scan_data.coefs);
+        let (bytes, scan_out, header_out) = container?;
+        (bytes, scan_data.stats, scan_out, header_out)
+    };
 
     let stats = CompressStats {
         input_bytes: jpeg.len(),
         output_bytes: bytes.len(),
         header_in: parsed.header_len,
         header_out,
-        scan_in: scan_data.stats,
+        scan_in,
         scan_out,
         segments: nseg,
     };
@@ -202,6 +212,124 @@ pub(crate) fn compress_on(
         }
     }
     Ok((bytes, stats))
+}
+
+/// Shared handle to the coefficient planes for the pipelined encode:
+/// the serial scan decoder keeps writing later segments while encode
+/// jobs read earlier, already-final ones.
+///
+/// The [`UnsafeCell`](std::cell::UnsafeCell) matters for soundness, not
+/// just the raw pointers: both the decoder's `&mut CoefPlanes` and the
+/// jobs' `&CoefPlanes` derive from the cell's `get()` pointer, so the
+/// aliasing model judges them per *accessed location* instead of
+/// treating the writer's reborrow as invalidating every concurrent
+/// reader of the allocation.
+///
+/// SAFETY (why `Sync` and the concurrent access are sound):
+///
+/// * **Disjointness.** Every (component, block) cell belongs to exactly
+///   one MCU, and segment boundaries are MCU indices. A segment-`i`
+///   encode job reads only blocks of MCUs `[bounds[i], bounds[i+1])`;
+///   by the time it is dispatched the decoder has fully written that
+///   range and only ever writes MCUs `≥ bounds[i+1]` afterwards. Writer
+///   and readers never touch the same memory concurrently.
+/// * **Happens-before.** Job dispatch goes through the engine's queue
+///   mutex ([`BatchGuard::push`]), so the decoder's writes to a
+///   segment's range are visible to the worker that picks the job up;
+///   the batch guard's join (mutex + condvar) orders every job's reads
+///   before the caller takes the planes back out of the cell.
+/// * **Liveness.** The planes outlive the batch: the guard always joins
+///   (normally or in `Drop` on unwind) before `compress_pipelined`
+///   returns, and the plane geometry is fixed before the first job is
+///   pushed (`reset_for_frame` runs up front; nothing reallocates the
+///   plane storage afterwards).
+struct PlanesCell(std::cell::UnsafeCell<CoefPlanes>);
+// SAFETY: see above — disjoint access windows with mutex-established
+// ordering make the concurrent reader/writer shares race-free.
+unsafe impl Sync for PlanesCell {}
+
+/// Multi-segment compression with the scan decode and the arithmetic
+/// encoding overlapped: the moment segment *i*'s end snapshot is taken,
+/// its encode job is pushed to the engine pool, and the serial Huffman
+/// decode moves on to segment *i+1* (the encode-side analogue of the
+/// paper's decode pipeline, §3.4). FIFO collection of the segment
+/// streams keeps the container byte-identical to the
+/// decode-all-then-fan-out path.
+fn compress_pipelined(
+    engine: &Engine,
+    jpeg: &[u8],
+    parsed: &ParsedJpeg,
+    bounds: &[u32],
+    opts: &CompressOptions,
+) -> Result<(Vec<u8>, ScanStats, CategoryBytes, usize), LeptonError> {
+    let nseg = bounds.len() - 1;
+    let model_cfg = opts.model;
+    let mut planes = engine.planes_seed();
+    planes.reset_for_frame(&parsed.frame);
+    let planes_cell = PlanesCell(std::cell::UnsafeCell::new(planes));
+
+    let mut results: Vec<Option<SegmentResult>> = (0..nseg).map(|_| None).collect();
+    let mut handovers: Vec<Handover> = Vec::with_capacity(nseg + 1);
+
+    let end = {
+        let guard = engine.open_batch();
+        let mut slots = results.iter_mut();
+        // Decode serially, dispatching each segment as it completes.
+        // Any error still drains the batch (below) before propagating,
+        // so in-flight jobs never outlive the borrows they capture.
+        let run = (|| -> Result<lepton_jpeg::scan::ScanEnd, LeptonError> {
+            let mut dec = ScanDecoder::new(jpeg, parsed)?;
+            for (i, slot) in (0..nseg).zip(&mut slots) {
+                handovers.push(dec.handover());
+                {
+                    // SAFETY: exclusive write access to MCUs ≥
+                    // bounds[i] — no job for this or any later MCU
+                    // range has been pushed yet, and earlier jobs only
+                    // read blocks below their (smaller) end bound.
+                    let planes_mut = unsafe { &mut *planes_cell.0.get() };
+                    dec.decode_to(bounds[i + 1], planes_mut)?;
+                }
+                let cell = &planes_cell;
+                guard.push(Box::new(move |scratch: &mut Scratch| {
+                    // SAFETY: shared read access to MCUs < bounds[i+1],
+                    // all final (and published via the queue mutex)
+                    // before this job was pushed.
+                    let planes = unsafe { &*cell.0.get() };
+                    encode_segment_job(scratch, planes, parsed, bounds, i, model_cfg, slot);
+                }));
+            }
+            handovers.push(dec.handover());
+            Ok(dec.finish()?)
+        })();
+        // Decode finished (or failed): help drain the remaining encode
+        // jobs, then wait for stragglers on other workers.
+        guard.participate();
+        guard.join();
+        run?
+    };
+
+    let planes = planes_cell.0.into_inner();
+    let (streams, cat_total) = collect_segment_results(results)?;
+    let assembled = assemble_container(
+        jpeg,
+        parsed,
+        &ChunkSpec {
+            byte_start: 0,
+            byte_end: jpeg.len(),
+            emit_header: true,
+            bounds,
+            handovers: &handovers,
+            final_chunk: true,
+            scan_end: end.scan_end,
+            pad: end.pad,
+            rst_count: end.rst_count,
+        },
+        streams,
+        cat_total,
+    );
+    engine.checkin_planes(planes);
+    let (bytes, scan_out, header_out) = assembled?;
+    Ok((bytes, end.stats, scan_out, header_out))
 }
 
 /// Compress a JPEG into independent per-chunk containers of at most
@@ -375,7 +503,6 @@ fn build_container(
     opts: &CompressOptions,
 ) -> Result<(Vec<u8>, CategoryBytes, usize), LeptonError> {
     let nseg = spec.bounds.len() - 1;
-    debug_assert_eq!(spec.handovers.len(), spec.bounds.len());
 
     // Parallel arithmetic encoding of the segments on the engine pool.
     // One segment (the common small-file case) runs inline — no queue
@@ -403,13 +530,39 @@ fn build_container(
         guard.join();
     }
 
-    let mut streams = Vec::with_capacity(nseg);
+    let (streams, cat_total) = collect_segment_results(results)?;
+    assemble_container(jpeg, parsed, spec, streams, cat_total)
+}
+
+/// Drain per-segment result slots into FIFO stream order, surfacing the
+/// first segment error.
+fn collect_segment_results(
+    results: Vec<Option<SegmentResult>>,
+) -> Result<(Vec<Vec<u8>>, CategoryBytes), LeptonError> {
+    let mut streams = Vec::with_capacity(results.len());
     let mut cat_total = CategoryBytes::default();
     for slot in results {
         let (stream, cat) = slot.expect("filled")?;
         cat_total.add(&cat);
         streams.push(stream);
     }
+    Ok((streams, cat_total))
+}
+
+/// Assemble one chunk's container from already-encoded segment streams.
+/// Streams arrive in segment (FIFO) order, which is what keeps the
+/// container byte-identical no matter how the segment jobs were
+/// scheduled — batched up front or pipelined behind the scan decode.
+fn assemble_container(
+    jpeg: &[u8],
+    parsed: &ParsedJpeg,
+    spec: &ChunkSpec<'_>,
+    streams: Vec<Vec<u8>>,
+    cat_total: CategoryBytes,
+) -> Result<(Vec<u8>, CategoryBytes, usize), LeptonError> {
+    let nseg = spec.bounds.len() - 1;
+    debug_assert_eq!(spec.handovers.len(), spec.bounds.len());
+    debug_assert_eq!(streams.len(), nseg);
 
     // Byte-range bookkeeping.
     let first_mcu_byte = spec.handovers[0].byte_offset.max(spec.byte_start);

@@ -123,6 +123,37 @@ pub(crate) struct BatchGuard<'e> {
 }
 
 impl BatchGuard<'_> {
+    /// Add one job to an open batch (see [`Engine::open_batch`]).
+    /// Jobs start in push (= segment) order, exactly like a one-shot
+    /// [`Engine::submit`] batch.
+    ///
+    /// SAFETY CONTRACT: identical to [`Engine::submit`] — the guard
+    /// joins (in [`BatchGuard::join`] or `Drop`) before control returns
+    /// past `'env`, so borrowed job state strictly outlives every use.
+    /// Callers must not read state mutably borrowed by a pushed job
+    /// until after `join`.
+    pub(crate) fn push<'env>(&self, job: EnvJob<'env>) {
+        // SAFETY: see the contract above.
+        let job: Job = unsafe {
+            std::mem::transmute::<
+                Box<dyn FnOnce(&mut Scratch) + Send + 'env>,
+                Box<dyn FnOnce(&mut Scratch) + Send + 'static>,
+            >(job)
+        };
+        {
+            // Account the job before making it runnable so `pending`
+            // can never underflow.
+            let mut p = self.batch.pending.lock().expect("batch lock");
+            *p += 1;
+        }
+        self.batch.jobs.lock().expect("batch lock").push_back(job);
+        {
+            let mut q = self.engine.shared.queue.lock().expect("engine queue");
+            q.entries.push_back(Arc::clone(&self.batch));
+        }
+        self.engine.shared.work_cv.notify_one();
+    }
+
     /// Help execute this batch's jobs on the calling thread (with a
     /// checked-out arena) until none remain unstarted. Used by the
     /// encode path; the decode path does *not* participate — its caller
@@ -351,6 +382,18 @@ impl Engine {
         }
     }
 
+    /// Open an empty batch that accepts jobs incrementally via
+    /// [`BatchGuard::push`] — the pipelined-encode entry point, where
+    /// segment jobs become ready one at a time as the serial scan
+    /// decode passes their end boundary. Same FIFO start order and same
+    /// always-joins guard discipline as [`Engine::submit`].
+    pub(crate) fn open_batch(&self) -> BatchGuard<'_> {
+        BatchGuard {
+            batch: Arc::new(Batch::new(0)),
+            engine: self,
+        }
+    }
+
     /// Run one closure inline on the calling thread with a pooled
     /// arena — the single-segment fast path (no queueing, no handoff).
     pub(crate) fn run_inline<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
@@ -466,6 +509,32 @@ mod tests {
         // The same arena comes back out of the pool.
         let cap2 = engine.run_inline(|s| s.arith_buf.capacity());
         assert_eq!(cap, cap2);
+    }
+
+    #[test]
+    fn open_batch_runs_incremental_pushes_in_order() {
+        let engine = Engine::new(2);
+        let log = Mutex::new(Vec::new());
+        let guard = engine.open_batch();
+        for i in 0..12 {
+            let log = &log;
+            guard.push(Box::new(move |_: &mut Scratch| {
+                log.lock().expect("log").push(i);
+            }));
+        }
+        guard.participate();
+        guard.join();
+        let mut got = log.into_inner().expect("log");
+        // All jobs ran exactly once (start order is FIFO; completion
+        // order may interleave across workers).
+        got.sort_unstable();
+        assert_eq!(got, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn open_batch_join_on_empty_batch_returns() {
+        let engine = Engine::new(1);
+        engine.open_batch().join(); // must not hang
     }
 
     #[test]

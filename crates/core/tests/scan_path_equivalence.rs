@@ -1,0 +1,64 @@
+//! The windowed lookahead scan decoder and the Annex F reference
+//! decoder must be interchangeable end-to-end: compressing the same
+//! corpus through either path yields byte-identical Lepton containers
+//! (same coefficients, same handover snapshots, same segment streams).
+//!
+//! This is the whole-system counterpart of the per-symbol equivalence
+//! proptests in `lepton_jpeg` — it drives the real encoder, including
+//! the pipelined multi-segment path, with the decoder implementation
+//! toggled process-wide.
+
+use lepton_core::{CompressOptions, Engine, ThreadPolicy};
+use lepton_corpus::{Corpus, CorpusSpec};
+use lepton_jpeg::scan::set_reference_scan_decode;
+
+fn corpus() -> Vec<Vec<u8>> {
+    Corpus::generate(&CorpusSpec {
+        count: 6,
+        min_dim: 96,
+        max_dim: 320,
+        clean_fraction: 1.0,
+        seed: 0x5CA_DEC0,
+    })
+    .files
+    .into_iter()
+    .map(|f| f.data)
+    .collect()
+}
+
+#[test]
+fn reference_and_fast_paths_produce_identical_containers() {
+    let engine = Engine::new(2);
+    let files = corpus();
+    // Fixed thread counts cover the inline single-segment path and the
+    // pipelined multi-segment path (where the fast serial decode races
+    // ahead of the arithmetic-encode jobs).
+    for threads in [1usize, 3] {
+        let opts = CompressOptions {
+            threads: ThreadPolicy::Fixed(threads),
+            verify: true,
+            ..Default::default()
+        };
+
+        set_reference_scan_decode(false);
+        let fast: Vec<Vec<u8>> = files
+            .iter()
+            .map(|f| engine.compress(f, &opts).expect("fast-path compress"))
+            .collect();
+
+        set_reference_scan_decode(true);
+        let reference: Vec<Vec<u8>> = files
+            .iter()
+            .map(|f| engine.compress(f, &opts).expect("reference compress"))
+            .collect();
+        set_reference_scan_decode(false);
+
+        for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+            assert_eq!(a, b, "container diverged for file {i} at {threads} threads");
+        }
+        // And the containers round-trip to the original bytes.
+        for (f, c) in files.iter().zip(&fast) {
+            assert_eq!(&engine.decompress(c).expect("decompress"), f);
+        }
+    }
+}

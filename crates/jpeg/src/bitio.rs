@@ -66,6 +66,22 @@ pub struct BitPos {
 ///
 /// `data` is the whole buffer; reading starts at `start` and stops when a
 /// non-stuffing marker is reached or `data` ends.
+///
+/// Two read paths share one consumed-position state:
+///
+/// * the **reference path** ([`Self::read_bit`]/[`Self::read_bits`]) pays
+///   a bounds check and a marker check per bit — it is the Annex F
+///   semantics oracle and the only path that runs near the end of the
+///   scan, where truncation errors must be exact;
+/// * the **windowed path** ([`Self::ensure_bits`]/[`Self::peek_bits`]/
+///   [`Self::consume_bits`]) prefetches up to 64 destuffed entropy bits
+///   into a bit window refilled in bulk (eight bytes at a time when no
+///   `0xFF` is near), which is what the table-driven Huffman decode runs
+///   on.
+///
+/// The window only ever holds bits that the reference path would also
+/// return, so the two paths can be mixed freely; `pos`/`bits_used`
+/// remain the authority for [`Self::position`] snapshots either way.
 #[derive(Clone, Debug)]
 pub struct ScanReader<'a> {
     data: &'a [u8],
@@ -74,8 +90,24 @@ pub struct ScanReader<'a> {
     /// Bits consumed of `data[pos]` (0..=8; 8 means "advance before next
     /// read").
     bits_used: u8,
+    /// Prefetched entropy bits, left-justified (bit 63 is next).
+    win: u64,
+    /// Valid bits in `win`. Invariant: `(bits_used + win_len) % 8 == 0`
+    /// whenever `win_len > 0` (the window always ends on a byte
+    /// boundary), so an empty window implies `bits_used % 8 == 0`.
+    win_len: u8,
+    /// Byte offset where the next window refill continues (meaningful
+    /// only while `win_len > 0`; re-anchored from `pos` otherwise).
+    fetch_pos: usize,
     /// Pad-bit consistency across align events.
     pub pads: PadState,
+}
+
+/// True if any byte of `x` is `0xFF` (zero-byte trick on `!x`).
+#[inline]
+fn contains_ff(x: u64) -> bool {
+    let y = !x;
+    y.wrapping_sub(0x0101_0101_0101_0101) & !y & 0x8080_8080_8080_8080 != 0
 }
 
 impl<'a> ScanReader<'a> {
@@ -85,6 +117,9 @@ impl<'a> ScanReader<'a> {
             data,
             pos: start,
             bits_used: 0,
+            win: 0,
+            win_len: 0,
+            fetch_pos: start,
             pads: PadState::Unknown,
         }
     }
@@ -103,9 +138,148 @@ impl<'a> ScanReader<'a> {
         Ok(())
     }
 
+    /// Discard prefetched window bits (they can be refetched). Called
+    /// before any operation that repositions the reader directly.
+    #[inline]
+    fn drop_window(&mut self) {
+        // Refill ORs bytes in below `win_len`, so the invalidated bits
+        // must be cleared, not just marked invalid.
+        self.win = 0;
+        self.win_len = 0;
+    }
+
+    /// Refill the bit window as far as the stream allows. Never errors:
+    /// a marker or end-of-data simply stops the fill, and the caller
+    /// falls back to the reference path for exact error semantics.
+    fn refill(&mut self) {
+        if self.win_len == 0 {
+            // Re-anchor the fetch cursor at the (normalized) consumed
+            // position and load the rest of the current partial byte.
+            let mut p = self.pos;
+            let mut used = self.bits_used;
+            if used == 8 {
+                let Some(&b) = self.data.get(p) else { return };
+                p += if b == 0xFF { 2 } else { 1 };
+                used = 0;
+            }
+            if used > 0 {
+                let Some(&b) = self.data.get(p) else { return };
+                if b == 0xFF && self.data.get(p + 1) != Some(&0x00) {
+                    // Partially consumed marker byte: unreachable via
+                    // the read paths, but never serve marker bits.
+                    return;
+                }
+                self.win = (((b as u64) << used) & 0xFF) << 56;
+                self.win_len = 8 - used;
+                self.fetch_pos = p + if b == 0xFF { 2 } else { 1 };
+            } else {
+                self.fetch_pos = p;
+            }
+        }
+        while self.win_len <= 56 {
+            let fp = self.fetch_pos;
+            // Bulk path: when the next eight bytes are plain entropy
+            // data (no 0xFF anywhere), splice in whole bytes at once.
+            if fp + 8 <= self.data.len() {
+                let chunk = u64::from_be_bytes(self.data[fp..fp + 8].try_into().expect("8 bytes"));
+                if !contains_ff(chunk) {
+                    let take = (64 - self.win_len as usize) / 8;
+                    let bits = (take * 8) as u32;
+                    self.win |= (chunk >> (64 - bits)) << (64 - bits - self.win_len as u32);
+                    self.win_len += bits as u8;
+                    self.fetch_pos = fp + take;
+                    continue;
+                }
+            }
+            // Bytewise path: stuffing and marker detection.
+            let Some(&b) = self.data.get(fp) else { break };
+            if b == 0xFF {
+                if self.data.get(fp + 1) == Some(&0x00) {
+                    self.win |= 0xFFu64 << (56 - self.win_len);
+                    self.win_len += 8;
+                    self.fetch_pos = fp + 2;
+                } else {
+                    break; // marker: no more entropy data
+                }
+            } else {
+                self.win |= (b as u64) << (56 - self.win_len);
+                self.win_len += 8;
+                self.fetch_pos = fp + 1;
+            }
+        }
+    }
+
+    /// Make at least `n` bits (n ≤ 57) peekable. Returns `false` when
+    /// the scan is too close to a marker or the end of the buffer — the
+    /// caller must then use the reference per-bit path, whose truncation
+    /// errors are the specified behavior.
+    #[inline]
+    pub fn ensure_bits(&mut self, n: u8) -> bool {
+        debug_assert!(n <= 57);
+        if self.win_len >= n {
+            return true;
+        }
+        self.refill();
+        self.win_len >= n
+    }
+
+    /// The next `n` bits (1 ≤ n ≤ 32), MSB-first, without consuming.
+    /// Requires `ensure_bits(n)` to have returned `true`.
+    #[inline]
+    pub fn peek_bits(&self, n: u8) -> u32 {
+        debug_assert!((1..=32).contains(&n) && n <= self.win_len);
+        (self.win >> (64 - n as u32)) as u32
+    }
+
+    /// Consume `n` previously peeked bits, keeping the exact consumed
+    /// position (`pos`/`bits_used`) in sync across stuffing bytes.
+    #[inline]
+    pub fn consume_bits(&mut self, n: u8) {
+        debug_assert!(n <= self.win_len);
+        self.win <<= n as u32;
+        self.win_len -= n;
+        self.bits_used += n;
+        while self.bits_used >= 8 {
+            let b = self.data[self.pos];
+            self.pos += if b == 0xFF { 2 } else { 1 };
+            self.bits_used -= 8;
+        }
+    }
+
+    /// Valid bits currently in the window (for instrumentation/tests).
+    pub fn window_len(&self) -> u8 {
+        self.win_len
+    }
+
+    /// Read `n` bits MSB-first through the window when possible, with
+    /// the reference per-bit path as the near-end fallback (identical
+    /// values and identical errors).
+    #[inline]
+    pub fn read_bits_fast(&mut self, n: u8) -> Result<u32, JpegError> {
+        // Same contract as the `read_bits` fallback (n ≤ 16): keeping
+        // the two limits equal means the permitted range cannot depend
+        // on how close the reader is to the end of the scan.
+        debug_assert!(n <= 16);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.ensure_bits(n) {
+            let v = self.peek_bits(n);
+            self.consume_bits(n);
+            Ok(v)
+        } else {
+            self.read_bits(n)
+        }
+    }
+
     /// Read one bit of entropy data.
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool, JpegError> {
+        if self.win_len > 0 {
+            let bit = self.win >> 63 == 1;
+            self.consume_bits(1);
+            return Ok(bit);
+        }
         if self.bits_used == 8 {
             self.advance()?;
         }
@@ -152,6 +326,9 @@ impl<'a> ScanReader<'a> {
 
     /// Consume padding up to the next byte boundary, recording pad bits.
     pub fn align(&mut self) -> Result<(), JpegError> {
+        // Byte-boundary bookkeeping below relies on `bits_used` reaching
+        // 8, which the windowed path never lets happen — shed prefetch.
+        self.drop_window();
         if self.bits_used == 8 {
             self.advance()?;
             return Ok(());
@@ -175,6 +352,9 @@ impl<'a> ScanReader<'a> {
     /// corrupted files round-trip (paper App. A.3).
     pub fn try_restart(&mut self, idx: u8) -> Result<bool, JpegError> {
         debug_assert!(idx < 8);
+        // The commit path repositions `pos` directly; prefetched bits
+        // would go stale. Dropping them loses nothing.
+        self.drop_window();
         let p = self.position();
         // Check pad bits of the current partial byte are all identical.
         if p.bits_used > 0 {
@@ -553,6 +733,54 @@ mod tests {
         w.write_rst(5);
         w.put_bits(0x11, 8);
         assert_eq!(w.finish_scan(true), vec![0xAB, 0xFF, 0xD5, 0x11]);
+    }
+
+    #[test]
+    fn window_peek_consume_matches_read_bits() {
+        // Mixed stuffing and plain bytes: the windowed primitives must
+        // return the same bit values as the per-bit reference, at the
+        // same positions.
+        let data = [0xAB, 0xFF, 0x00, 0x12, 0xFF, 0x00, 0x34, 0x56, 0x77, 0x99];
+        let mut fast = ScanReader::new(&data, 0);
+        let mut reference = ScanReader::new(&data, 0);
+        for &n in &[3u8, 8, 13, 1, 16, 7, 9] {
+            assert!(fast.ensure_bits(n));
+            let peeked = fast.peek_bits(n);
+            fast.consume_bits(n);
+            assert_eq!(peeked, reference.read_bits(n).unwrap(), "n={n}");
+            assert_eq!(fast.position(), reference.position(), "n={n}");
+            assert_eq!(fast.bit_offset(), reference.bit_offset(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn window_stops_at_marker_and_end() {
+        // Marker two bytes in: at most 16 bits are ever available.
+        let data = [0xAB, 0xCD, 0xFF, 0xD9];
+        let mut r = ScanReader::new(&data, 0);
+        assert!(r.ensure_bits(16));
+        assert!(!r.ensure_bits(17));
+        assert_eq!(r.window_len(), 16);
+        r.consume_bits(16);
+        assert!(!r.ensure_bits(1));
+        assert!(
+            r.read_bit().is_err(),
+            "marker = truncated, like the reference"
+        );
+    }
+
+    #[test]
+    fn read_bit_drains_window_first() {
+        let data = [0b1010_0101u8, 0x3C];
+        let mut r = ScanReader::new(&data, 0);
+        assert!(r.ensure_bits(16));
+        // Interleave windowed and per-bit reads.
+        assert_eq!(r.peek_bits(2), 0b10);
+        r.consume_bits(2);
+        assert!(r.read_bit().unwrap());
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits_fast(4).unwrap(), 0b0101);
+        assert_eq!(r.read_bits(8).unwrap(), 0x3C);
     }
 
     #[test]

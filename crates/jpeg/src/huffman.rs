@@ -8,7 +8,11 @@
 //! code point), used by the JPEGrescan-class baseline and the pixel
 //! encoder's optimized mode.
 
+use crate::bitio::ScanReader;
 use crate::error::JpegError;
+
+/// Codes of at most this length resolve in one first-level LUT probe.
+pub const LOOKAHEAD_BITS: u8 = 8;
 
 /// A JPEG Huffman table with encode and decode structures built.
 #[derive(Clone, Debug)]
@@ -27,6 +31,11 @@ pub struct HuffTable {
     maxcode: [i32; 17],
     /// Decode: index into `values` of first code of each length.
     valptr: [usize; 17],
+    /// Decode: first-level lookahead LUT indexed by the next
+    /// [`LOOKAHEAD_BITS`] peeked bits. Entry `(len << 8) | symbol` for
+    /// codes of `len ≤ LOOKAHEAD_BITS`; `0` = longer code (or invalid
+    /// prefix), resolved by the Annex F `maxcode` walk.
+    lookup: [u16; 1 << LOOKAHEAD_BITS],
 }
 
 impl HuffTable {
@@ -50,6 +59,7 @@ impl HuffTable {
         let mut maxcode = [-1i32; 17];
         let mut valptr = [0usize; 17];
 
+        let mut lookup = [0u16; 1 << LOOKAHEAD_BITS];
         let mut k = 0usize; // index into values
         let mut next_code = 0u32;
         for l in 1..=16usize {
@@ -65,6 +75,14 @@ impl HuffTable {
                 }
                 code[sym] = next_code as u16;
                 code_size[sym] = l as u8;
+                if l <= LOOKAHEAD_BITS as usize {
+                    // Every LOOKAHEAD_BITS-wide window starting with
+                    // this code resolves to (symbol, length) directly.
+                    let pad = LOOKAHEAD_BITS as usize - l;
+                    let base = (next_code as usize) << pad;
+                    let entry = ((l as u16) << 8) | sym as u16;
+                    lookup[base..base + (1 << pad)].fill(entry);
+                }
                 next_code += 1;
                 k += 1;
             }
@@ -83,6 +101,7 @@ impl HuffTable {
             mincode,
             maxcode,
             valptr,
+            lookup,
         })
     }
 
@@ -114,6 +133,53 @@ impl HuffTable {
             }
         }
         Ok(Err(JpegError::BadScanCode))
+    }
+
+    /// Decode one symbol from `r` using the lookahead tables: one
+    /// first-level LUT probe resolves codes of ≤ [`LOOKAHEAD_BITS`]
+    /// bits; longer codes fall through to the Annex F `maxcode` walk on
+    /// the same 16-bit peek. Near the end of the scan (fewer than 16
+    /// peekable bits) the reference per-bit DECODE runs instead, so
+    /// truncation errors are bit-for-bit those of [`Self::decode`].
+    #[inline]
+    pub fn decode_symbol(&self, r: &mut ScanReader) -> Result<u8, JpegError> {
+        if r.ensure_bits(16) {
+            match self.peek_decode(r.peek_bits(16)) {
+                Some((sym, len)) => {
+                    r.consume_bits(len);
+                    Ok(sym)
+                }
+                None => {
+                    // Not a code at any length — the reference path
+                    // consumes all 16 bits before reporting this.
+                    r.consume_bits(16);
+                    Err(JpegError::BadScanCode)
+                }
+            }
+        } else {
+            self.decode(|| r.read_bit())?
+        }
+    }
+
+    /// Resolve the code at the head of `peek16` (the next 16 peeked
+    /// bits) to `(symbol, code_length)` without consuming anything —
+    /// `None` when no code of any length matches. Pure function: the
+    /// caller fuses this with the magnitude-bits read so one bit-window
+    /// transaction covers the whole coefficient.
+    #[inline]
+    pub fn peek_decode(&self, peek16: u32) -> Option<(u8, u8)> {
+        let entry = self.lookup[(peek16 >> (16 - LOOKAHEAD_BITS as u32)) as usize];
+        if entry != 0 {
+            return Some((entry as u8, (entry >> 8) as u8));
+        }
+        for l in (LOOKAHEAD_BITS as usize + 1)..=16 {
+            let code = (peek16 >> (16 - l)) as i32;
+            if self.maxcode[l] >= 0 && code <= self.maxcode[l] {
+                let idx = self.valptr[l] + (code - self.mincode[l]) as usize;
+                return Some((self.values[idx], l as u8));
+            }
+        }
+        None
     }
 
     /// Serialize as a DHT payload fragment: 16 `bits` bytes then values

@@ -52,5 +52,5 @@ pub mod types;
 pub use coeffs::{CoefBlock, CoefPlanes};
 pub use error::JpegError;
 pub use parser::{parse, ParsedJpeg};
-pub use scan::{decode_scan, encode_scan, Handover, ScanData};
+pub use scan::{decode_scan, encode_scan, Handover, ScanData, ScanDecoder, ScanEncoders};
 pub use types::{Component, FrameInfo, ScanInfo, ZIGZAG, ZIGZAG_INV};

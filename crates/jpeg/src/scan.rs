@@ -12,11 +12,32 @@
 //! > entropy-coded bytes exactly.
 
 use crate::bitio::{PadState, ScanReader, ScanWriter};
-use crate::coeffs::CoefPlanes;
+use crate::coeffs::{CoefBlock, CoefPlanes};
 use crate::error::JpegError;
 use crate::huffman::HuffTable;
 use crate::parser::ParsedJpeg;
 use crate::types::ZIGZAG;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Force the reference per-bit scan-decode path process-wide.
+///
+/// Testing hook: the windowed lookahead decoder and the Annex F
+/// reference decoder must produce identical coefficients, positions,
+/// statistics, and errors — flipping this mid-flight only changes
+/// speed, never output. The equivalence suites compress the same corpus
+/// under both settings and compare containers byte-for-byte.
+static REFERENCE_DECODE: AtomicBool = AtomicBool::new(false);
+
+/// Select the scan-decode implementation: `true` pins the reference
+/// per-bit path, `false` (default) uses the windowed lookahead decoder.
+pub fn set_reference_scan_decode(on: bool) {
+    REFERENCE_DECODE.store(on, Ordering::Relaxed);
+}
+
+/// Is the reference per-bit scan-decode path currently forced?
+pub fn reference_scan_decode() -> bool {
+    REFERENCE_DECODE.load(Ordering::Relaxed)
+}
 
 /// Resume state at an MCU boundary ("Huffman handover word", App. A.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,14 +80,24 @@ pub struct ScanStats {
     pub edge_bits: u64,
     /// Bits spent on interior 7x7 AC coefficients.
     pub ac77_bits: u64,
+    /// Bits spent on EOB and ZRL symbols — the zero-run *structure* of
+    /// the AC coefficients. Attributed explicitly: these symbols sit at
+    /// a zigzag position but describe a run, so folding them into the
+    /// positional edge/7x7 buckets misclassified them (the old
+    /// `is_edge_zigzag(k.min(63))` clamp was papering over exactly
+    /// that). On the Lepton output side this category corresponds to
+    /// the model's nonzero-structure bytes.
+    pub zero_run_bits: u64,
     /// Pad bits, restart markers, stuffing overhead.
     pub other_bits: u64,
 }
 
 impl ScanStats {
-    /// Total accounted bits.
+    /// Total accounted bits. Invariant (pinned by a regression test):
+    /// after a full scan decode this equals the scan's exact bit length,
+    /// `(scan_end - header_len) * 8`, stuffing and markers included.
     pub fn total_bits(&self) -> u64 {
-        self.dc_bits + self.edge_bits + self.ac77_bits + self.other_bits
+        self.dc_bits + self.edge_bits + self.ac77_bits + self.zero_run_bits + self.other_bits
     }
 }
 
@@ -108,9 +139,19 @@ fn category(v: i32) -> u8 {
 #[inline]
 fn is_edge_zigzag(k: usize) -> bool {
     // Zigzag index k maps to raster r; row 0 or column 0 (excluding DC)
-    // are the 7x1/1x7 "edge" coefficients.
-    let r = ZIGZAG[k];
-    r / 8 == 0 || r.is_multiple_of(8)
+    // are the 7x1/1x7 "edge" coefficients. Flattened to a const table —
+    // this classifies every nonzero AC coefficient on the hot path.
+    const EDGE: [bool; 64] = {
+        let mut t = [false; 64];
+        let mut k = 0;
+        while k < 64 {
+            let r = ZIGZAG[k];
+            t[k] = r / 8 == 0 || r.is_multiple_of(8);
+            k += 1;
+        }
+        t
+    };
+    EDGE[k]
 }
 
 struct BlockDecode<'t> {
@@ -119,12 +160,18 @@ struct BlockDecode<'t> {
 }
 
 impl BlockDecode<'_> {
-    /// Decode one block into `out` (raster order, absolute DC).
-    fn decode(
+    /// Decode one block into `out` (raster order, absolute DC) — the
+    /// Annex F reference path, one bounds/marker-checked bit at a time.
+    ///
+    /// `out` must arrive zeroed: only the DC value and nonzero AC
+    /// coefficients are written, which is what lets the scan decoder
+    /// target pre-zeroed plane storage directly instead of staging
+    /// through a per-block temporary.
+    fn decode_ref(
         &self,
         r: &mut ScanReader,
         prev_dc: &mut i16,
-        out: &mut [i16; 64],
+        out: &mut CoefBlock,
         stats: &mut ScanStats,
     ) -> Result<(), JpegError> {
         let start_bits = r.bit_offset();
@@ -149,12 +196,7 @@ impl BlockDecode<'_> {
             let run = (sym >> 4) as usize;
             let size = sym & 0x0F;
             if size == 0 {
-                let spent = (r.bit_offset() - sym_start) as u64;
-                if is_edge_zigzag(k.min(63)) {
-                    stats.edge_bits += spent;
-                } else {
-                    stats.ac77_bits += spent;
-                }
+                stats.zero_run_bits += (r.bit_offset() - sym_start) as u64;
                 if run == 15 {
                     k += 16; // ZRL
                     continue;
@@ -184,6 +226,281 @@ impl BlockDecode<'_> {
         }
         Ok(())
     }
+
+    /// [`Self::decode_ref`] on the windowed lookahead path: each
+    /// coefficient is one bit-window transaction — a 27-bit peek covers
+    /// the longest code (16) plus the widest magnitude (11), so symbol
+    /// and magnitude resolve from one refill check and one consume.
+    /// Whenever the window cannot cover a step (end of scan, restart
+    /// padding ahead), the per-bit primitives take over, so values,
+    /// positions, statistics, and errors match the reference exactly.
+    fn decode_fast(
+        &self,
+        r: &mut ScanReader,
+        prev_dc: &mut i16,
+        out: &mut CoefBlock,
+        stats: &mut ScanStats,
+    ) -> Result<(), JpegError> {
+        let start_bits = r.bit_offset();
+        // DC: code ≤ 16 bits + magnitude ≤ 11 bits.
+        let (s, bits) = if r.ensure_bits(27) {
+            let w = r.peek_bits(27);
+            match self.dc.peek_decode(w >> 11) {
+                Some((sym, len)) => {
+                    if sym > 11 {
+                        r.consume_bits(len);
+                        return Err(JpegError::DcOutOfRange);
+                    }
+                    let bits = (w >> (27 - len as u32 - sym as u32)) & ((1u32 << sym) - 1);
+                    r.consume_bits(len + sym);
+                    (sym, bits)
+                }
+                None => {
+                    r.consume_bits(16); // the reference consumes 16 bits
+                    return Err(JpegError::BadScanCode);
+                }
+            }
+        } else {
+            let s = self.dc.decode_symbol(r)?;
+            if s > 11 {
+                return Err(JpegError::DcOutOfRange);
+            }
+            (s, r.read_bits_fast(s)?)
+        };
+        let diff = extend(bits, s);
+        let dc = *prev_dc as i32 + diff;
+        if !(-32768..=32767).contains(&dc) {
+            return Err(JpegError::DcOutOfRange);
+        }
+        *prev_dc = dc as i16;
+        out[0] = dc as i16;
+        stats.dc_bits += (r.bit_offset() - start_bits) as u64;
+
+        let mut k = 1usize;
+        while k <= 63 {
+            let sym_start = r.bit_offset();
+            // AC: code ≤ 16 bits + magnitude ≤ 10 bits.
+            let (sym, prefetched) = if r.ensure_bits(26) {
+                let w = r.peek_bits(26);
+                match self.ac.peek_decode(w >> 10) {
+                    Some((sym, len)) => (sym, Some((w, len))),
+                    None => {
+                        r.consume_bits(16);
+                        return Err(JpegError::BadScanCode);
+                    }
+                }
+            } else {
+                (self.ac.decode_symbol(r)?, None)
+            };
+            let run = (sym >> 4) as usize;
+            let size = sym & 0x0F;
+            if size == 0 {
+                if let Some((_, len)) = prefetched {
+                    r.consume_bits(len);
+                }
+                stats.zero_run_bits += (r.bit_offset() - sym_start) as u64;
+                if run == 15 {
+                    k += 16; // ZRL
+                    continue;
+                }
+                if run != 0 {
+                    // EOBn only exists in progressive mode.
+                    return Err(JpegError::BadScanCode);
+                }
+                break; // EOB
+            }
+            k += run;
+            if k > 63 {
+                if let Some((_, len)) = prefetched {
+                    r.consume_bits(len);
+                }
+                return Err(JpegError::AcOutOfRange);
+            }
+            if size > 10 {
+                if let Some((_, len)) = prefetched {
+                    r.consume_bits(len);
+                }
+                return Err(JpegError::AcOutOfRange);
+            }
+            let bits = match prefetched {
+                Some((w, len)) => {
+                    let bits = (w >> (26 - len as u32 - size as u32)) & ((1u32 << size) - 1);
+                    r.consume_bits(len + size);
+                    bits
+                }
+                None => r.read_bits_fast(size)?,
+            };
+            out[ZIGZAG[k]] = extend(bits, size) as i16;
+            let spent = (r.bit_offset() - sym_start) as u64;
+            if is_edge_zigzag(k) {
+                stats.edge_bits += spent;
+            } else {
+                stats.ac77_bits += spent;
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+}
+
+/// End-of-scan summary returned by [`ScanDecoder::finish`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScanEnd {
+    /// Observed pad-bit convention.
+    pub pad: PadState,
+    /// Restart markers actually present in the file.
+    pub rst_count: u32,
+    /// Offset just past the last entropy-coded byte.
+    pub scan_end: usize,
+    /// Per-category bit statistics for the whole scan.
+    pub stats: ScanStats,
+}
+
+/// Stepwise scan decoder: decode MCU ranges on demand, snapshot
+/// [`Handover`] state at any boundary in between.
+///
+/// This is the primitive the pipelined Lepton encoder drives — it
+/// decodes segment *i*'s MCUs, takes the end snapshot, hands segment
+/// *i* to the arithmetic-encode pool, and keeps decoding segment *i+1*
+/// while that job runs. [`decode_scan`]/[`decode_scan_into`] are thin
+/// drivers over this type.
+pub struct ScanDecoder<'a> {
+    reader: ScanReader<'a>,
+    parsed: &'a ParsedJpeg,
+    decoders: Vec<BlockDecode<'a>>,
+    prev_dc: [i16; 4],
+    rst_count: u32,
+    stats: ScanStats,
+    /// Next MCU to decode.
+    mcu: u32,
+    interval: u32,
+    fast: bool,
+}
+
+impl<'a> ScanDecoder<'a> {
+    /// Start decoding the entropy-coded scan of `parsed` (from `data`).
+    /// Huffman table references are resolved once here, not per block
+    /// or per segment.
+    pub fn new(data: &'a [u8], parsed: &'a ParsedJpeg) -> Result<Self, JpegError> {
+        let decoders: Vec<BlockDecode> = parsed
+            .scan
+            .components
+            .iter()
+            .map(|sc| {
+                Ok(BlockDecode {
+                    dc: parsed.dc_tables[sc.dc_table as usize]
+                        .as_ref()
+                        .ok_or(JpegError::BadHuffman("missing DC table"))?,
+                    ac: parsed.ac_tables[sc.ac_table as usize]
+                        .as_ref()
+                        .ok_or(JpegError::BadHuffman("missing AC table"))?,
+                })
+            })
+            .collect::<Result<_, JpegError>>()?;
+        Ok(ScanDecoder {
+            reader: ScanReader::new(data, parsed.header_len),
+            parsed,
+            decoders,
+            prev_dc: [0; 4],
+            rst_count: 0,
+            stats: ScanStats::default(),
+            mcu: 0,
+            interval: parsed.restart_interval as u32,
+            fast: !reference_scan_decode(),
+        })
+    }
+
+    /// The next MCU to decode.
+    pub fn mcu(&self) -> u32 {
+        self.mcu
+    }
+
+    /// Handover snapshot at the current MCU boundary. Taken *before*
+    /// any restart handling at this MCU: a segment resuming here is
+    /// responsible for emitting the restart marker itself.
+    pub fn handover(&self) -> Handover {
+        let p = self.reader.position();
+        Handover {
+            partial: p.partial,
+            bits_used: p.bits_used,
+            prev_dc: self.prev_dc,
+            mcu: self.mcu,
+            rst_so_far: self.rst_count,
+            byte_offset: p.byte,
+        }
+    }
+
+    /// Decode MCUs `[self.mcu(), to_mcu)` into `coefs` (which must be
+    /// shaped for the frame and zeroed where not yet decoded; see
+    /// [`CoefPlanes::reset_for_frame`]). A no-op when `to_mcu` is not
+    /// ahead of the current position.
+    pub fn decode_to(&mut self, to_mcu: u32, coefs: &mut CoefPlanes) -> Result<(), JpegError> {
+        debug_assert!(to_mcu <= self.parsed.frame.mcu_count() as u32);
+        let frame = &self.parsed.frame;
+        while self.mcu < to_mcu {
+            let mcu = self.mcu;
+            if self.interval > 0 && mcu > 0 && mcu.is_multiple_of(self.interval) {
+                let before = self.reader.bit_offset();
+                if self.reader.try_restart((self.rst_count % 8) as u8)? {
+                    self.rst_count += 1;
+                    self.prev_dc = [0; 4];
+                    self.stats.other_bits += (self.reader.bit_offset() - before) as u64;
+                }
+                // Missing restart: zero-run corruption (App. A.3) —
+                // continue decoding without reset; the stored RST count
+                // reproduces this on re-encode.
+            }
+            let (mx, my) = (
+                (mcu % frame.mcus_x as u32) as usize,
+                (mcu / frame.mcus_x as u32) as usize,
+            );
+            for (si, sc) in self.parsed.scan.components.iter().enumerate() {
+                let comp = &frame.components[sc.comp_index];
+                let (ch, cv) = (comp.h as usize, comp.v as usize);
+                for by in 0..cv {
+                    for bx in 0..ch {
+                        let (gx, gy) = (mx * ch + bx, my * cv + by);
+                        let plane = &mut coefs.planes[sc.comp_index];
+                        let out = plane.block_mut(gx, gy);
+                        if self.fast {
+                            self.decoders[si].decode_fast(
+                                &mut self.reader,
+                                &mut self.prev_dc[sc.comp_index],
+                                out,
+                                &mut self.stats,
+                            )?;
+                        } else {
+                            self.decoders[si].decode_ref(
+                                &mut self.reader,
+                                &mut self.prev_dc[sc.comp_index],
+                                out,
+                                &mut self.stats,
+                            )?;
+                        }
+                    }
+                }
+            }
+            self.mcu += 1;
+        }
+        Ok(())
+    }
+
+    /// Consume the final padding, validate pad-bit consistency, and
+    /// report where the scan ended. Call after decoding every MCU.
+    pub fn finish(mut self) -> Result<ScanEnd, JpegError> {
+        let before = self.reader.bit_offset();
+        self.reader.align()?;
+        self.stats.other_bits += (self.reader.bit_offset() - before) as u64;
+        if self.reader.pads == PadState::Mixed {
+            return Err(JpegError::MixedPadBits);
+        }
+        Ok(ScanEnd {
+            pad: self.reader.pads,
+            rst_count: self.rst_count,
+            scan_end: self.reader.end_offset(),
+            stats: self.stats,
+        })
+    }
 }
 
 /// Decode the entropy-coded scan of `parsed` (from `data`), snapshotting
@@ -208,111 +525,27 @@ pub fn decode_scan_into(
     mut coefs: CoefPlanes,
 ) -> Result<(ScanData, Vec<Handover>), JpegError> {
     debug_assert!(snapshot_at.windows(2).all(|w| w[0] <= w[1]));
-    let frame = &parsed.frame;
-    coefs.reset_for_frame(frame);
-    let mut reader = ScanReader::new(data, parsed.header_len);
-    let mut stats = ScanStats::default();
-    let mut prev_dc = [0i16; 4];
-    let mut rst_count = 0u32;
+    coefs.reset_for_frame(&parsed.frame);
+    let mcu_count = parsed.frame.mcu_count() as u32;
+
+    let mut dec = ScanDecoder::new(data, parsed)?;
     let mut snapshots = Vec::with_capacity(snapshot_at.len());
-    let mut snap_iter = snapshot_at.iter().peekable();
-
-    let mcu_count = frame.mcu_count() as u32;
-    let interval = parsed.restart_interval as u32;
-
-    // Pre-resolve table references per scan component.
-    let decoders: Vec<BlockDecode> = parsed
-        .scan
-        .components
-        .iter()
-        .map(|sc| {
-            Ok(BlockDecode {
-                dc: parsed.dc_tables[sc.dc_table as usize]
-                    .as_ref()
-                    .ok_or(JpegError::BadHuffman("missing DC table"))?,
-                ac: parsed.ac_tables[sc.ac_table as usize]
-                    .as_ref()
-                    .ok_or(JpegError::BadHuffman("missing AC table"))?,
-            })
-        })
-        .collect::<Result<_, JpegError>>()?;
-
-    for mcu in 0..mcu_count {
-        // Snapshot before restart handling: a segment starting here is
-        // responsible for emitting the restart marker itself.
-        while snap_iter.peek() == Some(&&mcu) {
-            let p = reader.position();
-            snapshots.push(Handover {
-                partial: p.partial,
-                bits_used: p.bits_used,
-                prev_dc,
-                mcu,
-                rst_so_far: rst_count,
-                byte_offset: p.byte,
-            });
-            snap_iter.next();
-        }
-        if interval > 0 && mcu > 0 && mcu % interval == 0 {
-            let before = reader.bit_offset();
-            if reader.try_restart((rst_count % 8) as u8)? {
-                rst_count += 1;
-                prev_dc = [0; 4];
-                stats.other_bits += (reader.bit_offset() - before) as u64;
-            }
-            // Missing restart: zero-run corruption (App. A.3) — continue
-            // decoding without reset; the stored RST count reproduces
-            // this on re-encode.
-        }
-        let (mx, my) = (
-            (mcu % frame.mcus_x as u32) as usize,
-            (mcu / frame.mcus_x as u32) as usize,
-        );
-        for (si, sc) in parsed.scan.components.iter().enumerate() {
-            let comp = &frame.components[sc.comp_index];
-            let (ch, cv) = (comp.h as usize, comp.v as usize);
-            for by in 0..cv {
-                for bx in 0..ch {
-                    let (gx, gy) = (mx * ch + bx, my * cv + by);
-                    let plane = &mut coefs.planes[sc.comp_index];
-                    let mut block = [0i16; 64];
-                    decoders[si].decode(
-                        &mut reader,
-                        &mut prev_dc[sc.comp_index],
-                        &mut block,
-                        &mut stats,
-                    )?;
-                    *plane.block_mut(gx, gy) = block;
-                }
-            }
-        }
+    for &target in snapshot_at {
+        // Snapshot before restart handling at the boundary: a segment
+        // starting there is responsible for emitting the restart
+        // marker itself (duplicate targets re-snapshot the same state).
+        dec.decode_to(target.min(mcu_count), &mut coefs)?;
+        snapshots.push(dec.handover());
     }
-    // Final snapshots exactly at mcu_count are permitted (end state).
-    while snap_iter.peek() == Some(&&mcu_count) {
-        let p = reader.position();
-        snapshots.push(Handover {
-            partial: p.partial,
-            bits_used: p.bits_used,
-            prev_dc,
-            mcu: mcu_count,
-            rst_so_far: rst_count,
-            byte_offset: p.byte,
-        });
-        snap_iter.next();
-    }
-
-    let before = reader.bit_offset();
-    reader.align()?;
-    stats.other_bits += (reader.bit_offset() - before) as u64;
-    if reader.pads == PadState::Mixed {
-        return Err(JpegError::MixedPadBits);
-    }
+    dec.decode_to(mcu_count, &mut coefs)?;
+    let end = dec.finish()?;
     Ok((
         ScanData {
             coefs,
-            pad: reader.pads,
-            rst_count,
-            scan_end: reader.end_offset(),
-            stats,
+            pad: end.pad,
+            rst_count: end.rst_count,
+            scan_end: end.scan_end,
+            stats: end.stats,
         },
         snapshots,
     ))
@@ -408,6 +641,33 @@ impl<'t> BlockHuffEncoder<'t> {
     }
 }
 
+/// Pre-resolved [`BlockHuffEncoder`]s for every scan component.
+///
+/// Resolve once per job, not per segment: re-encoding a scan as N
+/// segments (or streaming it segment-by-segment) used to rebuild this
+/// `Vec` — walking the table options and re-checking presence — on
+/// every [`encode_scan`] call.
+pub struct ScanEncoders<'t> {
+    comps: Vec<BlockHuffEncoder<'t>>,
+}
+
+impl<'t> ScanEncoders<'t> {
+    /// Resolve the DC/AC tables of every scan component of `parsed`.
+    pub fn resolve(parsed: &'t ParsedJpeg) -> Result<Self, JpegError> {
+        Ok(ScanEncoders {
+            comps: (0..parsed.scan.components.len())
+                .map(|si| BlockHuffEncoder::for_component(parsed, si))
+                .collect::<Result<_, JpegError>>()?,
+        })
+    }
+
+    /// The encoder for scan component `si`.
+    #[inline]
+    pub fn component(&self, si: usize) -> &BlockHuffEncoder<'t> {
+        &self.comps[si]
+    }
+}
+
 /// Parameters for scan re-encoding.
 #[derive(Clone, Copy, Debug)]
 pub struct EncodeParams {
@@ -432,15 +692,35 @@ pub fn encode_scan(
     to_mcu: u32,
     last_segment: bool,
 ) -> Result<(Vec<u8>, Handover), JpegError> {
+    let encoders = ScanEncoders::resolve(parsed)?;
+    encode_scan_prepared(
+        coefs,
+        parsed,
+        &encoders,
+        params,
+        handover,
+        to_mcu,
+        last_segment,
+    )
+}
+
+/// [`encode_scan`] with the per-component Huffman encoders already
+/// resolved — the per-segment entry point (resolve once per job via
+/// [`ScanEncoders::resolve`], then call this for every segment).
+pub fn encode_scan_prepared(
+    coefs: &CoefPlanes,
+    parsed: &ParsedJpeg,
+    encoders: &ScanEncoders<'_>,
+    params: &EncodeParams,
+    handover: &Handover,
+    to_mcu: u32,
+    last_segment: bool,
+) -> Result<(Vec<u8>, Handover), JpegError> {
     let frame = &parsed.frame;
     let mut w = ScanWriter::resume(handover.partial, handover.bits_used);
     let mut prev_dc = handover.prev_dc;
     let mut rst = handover.rst_so_far;
     let interval = parsed.restart_interval as u32;
-
-    let encoders: Vec<BlockHuffEncoder> = (0..parsed.scan.components.len())
-        .map(|si| BlockHuffEncoder::for_component(parsed, si))
-        .collect::<Result<_, JpegError>>()?;
 
     for mcu in handover.mcu..to_mcu {
         if interval > 0 && mcu > 0 && mcu % interval == 0 && rst < params.rst_limit {
@@ -460,7 +740,9 @@ pub fn encode_scan(
                 for bx in 0..ch {
                     let (gx, gy) = (mx * ch + bx, my * cv + by);
                     let block = coefs.planes[sc.comp_index].block(gx, gy);
-                    encoders[si].encode(&mut w, block, &mut prev_dc[sc.comp_index])?;
+                    encoders
+                        .component(si)
+                        .encode(&mut w, block, &mut prev_dc[sc.comp_index])?;
                 }
             }
         }
@@ -553,5 +835,84 @@ mod tests {
         // Count: 14 edge positions among 1..=63.
         let edges = (1..64).filter(|&k| is_edge_zigzag(k)).count();
         assert_eq!(edges, 14);
+    }
+}
+
+#[cfg(test)]
+mod path_equivalence_tests {
+    use super::*;
+    use crate::encoder::{encode_jpeg, EncodeOptions, Image, PixelData};
+
+    fn gray_jpeg(w: usize, h: usize, restart_interval: u16) -> Vec<u8> {
+        let data: Vec<u8> = (0..w * h)
+            .map(|i| (((i % w) * 2 + (i / w) * 3) % 256) as u8)
+            .collect();
+        let img = Image {
+            width: w,
+            height: h,
+            data: PixelData::Gray(data),
+        };
+        encode_jpeg(
+            &img,
+            &EncodeOptions {
+                restart_interval,
+                ..Default::default()
+            },
+        )
+        .expect("encode")
+    }
+
+    /// The windowed decoder must track the reference decoder's exact
+    /// handover state across every MCU boundary — including restart
+    /// markers, where the prefetch window is dropped and re-anchored
+    /// (a stale-window bit leaking through here once decoded garbage
+    /// right after the first RST).
+    #[test]
+    fn fast_and_reference_agree_at_every_boundary() {
+        for interval in [0u16, 3] {
+            let jpg = gray_jpeg(64, 16, interval);
+            let parsed = crate::parse(&jpg).expect("parse");
+            let mcus = parsed.frame.mcu_count() as u32;
+            let mut cref = CoefPlanes::for_frame(&parsed.frame);
+            let mut cfast = CoefPlanes::for_frame(&parsed.frame);
+            let mut dref = ScanDecoder::new(&jpg, &parsed).unwrap();
+            dref.fast = false;
+            let mut dfast = ScanDecoder::new(&jpg, &parsed).unwrap();
+            dfast.fast = true;
+            for m in 1..=mcus {
+                dref.decode_to(m, &mut cref).expect("reference decode");
+                dfast.decode_to(m, &mut cfast).expect("fast decode");
+                assert_eq!(
+                    dref.handover(),
+                    dfast.handover(),
+                    "diverged at mcu {m} (interval {interval})"
+                );
+            }
+            assert_eq!(cref, cfast);
+            let eref = dref.finish().unwrap();
+            let efast = dfast.finish().unwrap();
+            assert_eq!(eref.pad, efast.pad);
+            assert_eq!(eref.rst_count, efast.rst_count);
+            assert_eq!(eref.scan_end, efast.scan_end);
+            assert_eq!(eref.stats, efast.stats);
+        }
+    }
+
+    /// `total_bits` must pin to the scan's actual bit length — every
+    /// consumed bit is attributed to exactly one category (the EOB/ZRL
+    /// bits now explicitly, not folded into a positional bucket).
+    #[test]
+    fn stats_total_bits_pin_scan_length() {
+        for interval in [0u16, 4] {
+            let jpg = gray_jpeg(96, 32, interval);
+            let parsed = crate::parse(&jpg).expect("parse");
+            let (sd, _) = decode_scan(&jpg, &parsed, &[]).expect("decode");
+            assert_eq!(
+                sd.stats.total_bits(),
+                ((sd.scan_end - parsed.header_len) * 8) as u64,
+                "stats must account for every scan bit (interval {interval})"
+            );
+            assert!(sd.stats.zero_run_bits > 0, "EOB bits must be attributed");
+        }
     }
 }

@@ -4,7 +4,9 @@
 
 use lepton_jpeg::encoder::{encode_jpeg, EncodeOptions, Image, PixelData, Subsampling};
 use lepton_jpeg::parser::parse;
-use lepton_jpeg::scan::{decode_scan, encode_scan, encode_scan_whole, EncodeParams};
+use lepton_jpeg::scan::{
+    decode_scan, encode_scan_prepared, encode_scan_whole, EncodeParams, ScanEncoders,
+};
 
 /// Deterministic pseudo-random bytes (xorshift64*).
 fn prng_bytes(seed: u64, n: usize) -> Vec<u8> {
@@ -101,12 +103,17 @@ fn assert_segmented_roundtrip(jpg: &[u8], nseg: u32) {
         rst_limit: sd.rst_count,
     };
 
+    // Resolve the Huffman encoders once for the whole job; every
+    // segment call reuses them (the per-segment rebuild this replaced
+    // walked the table options on each call).
+    let encoders = ScanEncoders::resolve(&parsed).expect("resolve encoders");
     let mut cat = Vec::new();
     for i in 0..nseg as usize {
         let last = i == nseg as usize - 1;
-        let (bytes, end) = encode_scan(
+        let (bytes, end) = encode_scan_prepared(
             &sd.coefs,
             &parsed,
+            &encoders,
             &params,
             &handovers[i],
             bounds[i + 1],

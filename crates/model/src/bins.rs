@@ -201,11 +201,32 @@ impl BinGrid {
 
 /// `⌊log₁.₅₉(x)⌋` bucket clamped to 0..=9, the paper's non-zero-count
 /// context (App. A.2.1). `x = 0` maps to bucket 0.
+///
+/// Called per coded coefficient (the `remaining`-count context), so the
+/// threshold walk is flattened into a direct table probe for the 0..=64
+/// nonzero-count domain; larger inputs take the arithmetic path.
 #[inline]
 pub fn log159_bucket(x: u32) -> usize {
     // Thresholds: 1.59^b for b = 1..=9, precomputed and rounded.
     const THRESH: [u32; 9] = [2, 3, 5, 7, 11, 17, 26, 41, 65];
-    THRESH.iter().take_while(|&&t| x >= t).count()
+    const DIRECT: [u8; 66] = {
+        let mut t = [0u8; 66];
+        let mut x = 0usize;
+        while x < 66 {
+            let mut b = 0u8;
+            while (b as usize) < 9 && x as u32 >= THRESH[b as usize] {
+                b += 1;
+            }
+            t[x] = b;
+            x += 1;
+        }
+        t
+    };
+    if (x as usize) < DIRECT.len() {
+        DIRECT[x as usize] as usize
+    } else {
+        THRESH.iter().take_while(|&&t| x >= t).count()
+    }
 }
 
 /// Magnitude bucket: bit length of `x` clamped to `0..=max` (used for

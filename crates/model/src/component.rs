@@ -12,8 +12,8 @@ use crate::coef_coder::{decode_tree, decode_value, encode_tree, encode_value};
 use crate::config::{DcMode, EdgeMode, ModelConfig, ScanOrder};
 use crate::context::{
     ac_border_pixels, count_nz77, count_nz_col, count_nz_row, dequantize, lakhani_col, lakhani_row,
-    predict_dc_first_cut, predict_dc_gradient, predict_dc_neighbor_avg, BlockNeighbors,
-    DcPrediction, INTERIOR_RASTER, INTERIOR_ZZ,
+    predict_dc_first_cut, predict_dc_gradient, predict_dc_neighbor_avg, weighted_abs_at,
+    weighted_signed_at, BlockNeighbors, DcPrediction, INTERIOR_RASTER, INTERIOR_ZZ,
 };
 use lepton_arith::{BoolDecoder, BoolEncoder, ByteSource};
 use lepton_jpeg::CoefBlock;
@@ -211,15 +211,18 @@ impl ComponentModel {
 
         // 2. Interior coefficients until the count is exhausted.
         let order = self.interior_order();
+        // Resolve the three neighbor options once per block; the
+        // per-coefficient weighted contexts then index directly.
+        let (w_a, w_l, w_al) = nbr.weight_sources();
         let mut remaining = nz;
         for (ki, &r) in order.iter().enumerate() {
             if remaining == 0 {
                 break;
             }
             let v = block[r] as i32;
-            let pb = magnitude_bucket(nbr.weighted_abs(r), AC_MAX_EXP);
+            let pb = magnitude_bucket(weighted_abs_at(w_a, w_l, w_al, r), AC_MAX_EXP);
             let nzb = log159_bucket(remaining);
-            let sc = sign_ctx(nbr.weighted_signed(r));
+            let sc = sign_ctx(weighted_signed_at(w_a, w_l, w_al, r));
             encode_value(
                 enc,
                 v,
@@ -320,14 +323,15 @@ impl ComponentModel {
         let nz = decode_tree(dec, 6, self.nz77.row1(nz_bucket)).min(49);
 
         let order = self.interior_order();
+        let (w_a, w_l, w_al) = nbr.weight_sources();
         let mut remaining = nz;
         for (ki, &r) in order.iter().enumerate() {
             if remaining == 0 {
                 break;
             }
-            let pb = magnitude_bucket(nbr.weighted_abs(r), AC_MAX_EXP);
+            let pb = magnitude_bucket(weighted_abs_at(w_a, w_l, w_al, r), AC_MAX_EXP);
             let nzb = log159_bucket(remaining);
-            let sc = sign_ctx(nbr.weighted_signed(r));
+            let sc = sign_ctx(weighted_signed_at(w_a, w_l, w_al, r));
             let v = decode_value(
                 dec,
                 AC_MAX_EXP,
@@ -478,6 +482,8 @@ mod tests {
                     left_deq: None,
                     above_edges: cache.above(bx),
                     left_edges: cache.left(bx),
+                    above_nz77: None,
+                    left_nz77: None,
                     quant,
                 };
                 model.encode_block(&mut enc, plane.block(bx, by), &nbr);
@@ -505,6 +511,8 @@ mod tests {
                         left_deq: None,
                         above_edges: cache.above(bx),
                         left_edges: cache.left(bx),
+                        above_nz77: None,
+                        left_nz77: None,
                         quant,
                     };
                     model.decode_block(&mut dec, &nbr)
@@ -666,6 +674,8 @@ mod tests {
                         left_deq: None,
                         above_edges: cache.above(bx),
                         left_edges: cache.left(bx),
+                        above_nz77: None,
+                        left_nz77: None,
                         quant: &quant,
                     };
                     model.encode_block(&mut enc, plane.block(bx, by), &nbr);
@@ -718,6 +728,8 @@ mod tests {
                     left_deq: None,
                     above_edges: None,
                     left_edges: None,
+                    above_nz77: None,
+                    left_nz77: None,
                     quant: &quant,
                 };
                 let b = model.decode_block(&mut dec, &nbr);

@@ -46,9 +46,11 @@ pub const INTERIOR_RASTER: [usize; 49] = {
 #[inline]
 pub fn count_nz77(block: &CoefBlock) -> u32 {
     let mut n = 0;
-    for r in 1..64 {
-        if r / 8 != 0 && r % 8 != 0 && block[r] != 0 {
-            n += 1;
+    for v in 1..8 {
+        for u in 1..8 {
+            if block[v * 8 + u] != 0 {
+                n += 1;
+            }
         }
     }
     n
@@ -180,9 +182,22 @@ pub struct BlockNeighbors<'a> {
     pub above_edges: Option<&'a BlockEdges>,
     /// Left block's right pixel columns.
     pub left_edges: Option<&'a BlockEdges>,
+    /// Above block's interior nonzero count, when the caller caches it
+    /// (the segment driver does — the neighbor was counted when it was
+    /// coded). `None` makes [`BlockNeighbors::nz_context`] recount,
+    /// same result.
+    pub above_nz77: Option<u32>,
+    /// Left block's cached interior nonzero count (see `above_nz77`).
+    pub left_nz77: Option<u32>,
     /// Quantization table for this component (raster order).
     pub quant: &'a [u16; 64],
 }
+
+/// All-zero coefficient block standing in for a missing neighbor: the
+/// weighted-context formulas treat absent neighbors as zero, so
+/// resolving the `Option`s once per block beats three `map_or`
+/// branches per coded coefficient.
+static ZERO_BLOCK: CoefBlock = [0i16; 64];
 
 impl BlockNeighbors<'_> {
     /// Dequantize `block` locally when the caller did not provide a
@@ -201,36 +216,72 @@ impl BlockNeighbors<'_> {
         }
     }
 
+    /// The three neighbor blocks with missing ones resolved to the
+    /// all-zero block — hoist this out of per-coefficient loops.
+    #[inline]
+    pub fn weight_sources(&self) -> (&CoefBlock, &CoefBlock, &CoefBlock) {
+        (
+            self.above.unwrap_or(&ZERO_BLOCK),
+            self.left.unwrap_or(&ZERO_BLOCK),
+            self.above_left.unwrap_or(&ZERO_BLOCK),
+        )
+    }
+
     /// The weighted neighbor magnitude `⌊(13|A| + 13|L| + 6|AL|)/32⌋`
     /// used as the 7x7 bin context (§3.3).
     #[inline]
     pub fn weighted_abs(&self, raster: usize) -> u32 {
-        let a = self.above.map_or(0, |b| b[raster].unsigned_abs() as u32);
-        let l = self.left.map_or(0, |b| b[raster].unsigned_abs() as u32);
-        let al = self
-            .above_left
-            .map_or(0, |b| b[raster].unsigned_abs() as u32);
-        (13 * a + 13 * l + 6 * al) / 32
+        let (a, l, al) = self.weight_sources();
+        weighted_abs_at(a, l, al, raster)
     }
 
     /// Signed weighted neighbor average (sign context).
     #[inline]
     pub fn weighted_signed(&self, raster: usize) -> i32 {
-        let a = self.above.map_or(0, |b| b[raster] as i32);
-        let l = self.left.map_or(0, |b| b[raster] as i32);
-        let al = self.above_left.map_or(0, |b| b[raster] as i32);
-        (13 * a + 13 * l + 6 * al) / 32
+        let (a, l, al) = self.weight_sources();
+        weighted_signed_at(a, l, al, raster)
     }
 
     /// Neighbor non-zero-count context `(nA + nL) / 2` (App. A.2.1).
+    /// Uses the driver-cached counts when present; recounts otherwise.
     pub fn nz_context(&self) -> u32 {
-        match (self.above, self.left) {
-            (Some(a), Some(l)) => (count_nz77(a) + count_nz77(l)) / 2,
-            (Some(a), None) => count_nz77(a),
-            (None, Some(l)) => count_nz77(l),
+        let a = match (self.above_nz77, self.above) {
+            (Some(n), _) => Some(n),
+            (None, Some(b)) => Some(count_nz77(b)),
+            (None, None) => None,
+        };
+        let l = match (self.left_nz77, self.left) {
+            (Some(n), _) => Some(n),
+            (None, Some(b)) => Some(count_nz77(b)),
+            (None, None) => None,
+        };
+        match (a, l) {
+            (Some(a), Some(l)) => (a + l) / 2,
+            (Some(a), None) => a,
+            (None, Some(l)) => l,
             (None, None) => 0,
         }
     }
+}
+
+/// [`BlockNeighbors::weighted_abs`] with the neighbor `Option`s already
+/// resolved (see [`BlockNeighbors::weight_sources`]).
+#[inline]
+pub fn weighted_abs_at(a: &CoefBlock, l: &CoefBlock, al: &CoefBlock, raster: usize) -> u32 {
+    let a = a[raster].unsigned_abs() as u32;
+    let l = l[raster].unsigned_abs() as u32;
+    let al = al[raster].unsigned_abs() as u32;
+    (13 * a + 13 * l + 6 * al) / 32
+}
+
+/// [`BlockNeighbors::weighted_signed`] with the neighbor `Option`s
+/// already resolved.
+#[inline]
+pub fn weighted_signed_at(a: &CoefBlock, l: &CoefBlock, al: &CoefBlock, raster: usize) -> i32 {
+    let a = a[raster] as i32;
+    let l = l[raster] as i32;
+    let al = al[raster] as i32;
+    (13 * a + 13 * l + 6 * al) / 32
 }
 
 /// Lakhani prediction of a top-row coefficient `F(u,0)` (raster `u`)
@@ -497,6 +548,8 @@ mod tests {
             left_deq: None,
             above_edges: None,
             left_edges: None,
+            above_nz77: None,
+            left_nz77: None,
             quant: &q,
         };
         // (13*10 + 13*10 + 6*16)/32 = (130+130+96)/32 = 11

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Warn-only perf-trajectory diff for CI bench-smoke.
+
+Compares the fresh quick-mode JSON records (BENCH_smoke.json) against
+the committed dev-box baselines (BENCH_*.json) and emits a GitHub
+Actions `::warning::` annotation for every throughput-like metric that
+regressed by more than the threshold. Never fails the build: shared CI
+runners are a trajectory, not a verdict — the annotations give perf PRs
+feedback for free without making noise block merges.
+
+Usage: bench_diff.py FRESH.json BASELINE.json [BASELINE2.json ...]
+"""
+
+import json
+import sys
+
+# Fractional drop that triggers a warning (0.30 = new < 70% of baseline).
+THRESHOLD = 0.30
+
+# A metric counts as "throughput-like" (higher is better) if its key
+# path contains one of these fragments.
+THROUGHPUT_HINTS = ("mbps", "mbits_per_sec", "per_sec", "throughput")
+
+
+def leaves(node, path=""):
+    """Yield (dotted_path, number) for every numeric leaf."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield from leaves(v, f"{path}.{k}" if path else str(k))
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from leaves(v, f"{path}[{i}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def by_id(records):
+    """Index records by their 'id'; later records win (appended
+    baselines supersede older entries for the same harness)."""
+    out = {}
+    for rec in records:
+        if isinstance(rec, dict) and "id" in rec:
+            out[rec["id"]] = rec
+    return out
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return data if isinstance(data, list) else [data]
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(f"usage: {sys.argv[0]} FRESH.json BASELINE.json...")
+    fresh = by_id(load(sys.argv[1]))
+    baseline = {}
+    for p in sys.argv[2:]:
+        baseline.update(by_id(load(p)))
+
+    compared = warned = 0
+    for rec_id, base_rec in sorted(baseline.items()):
+        fresh_rec = fresh.get(rec_id)
+        if fresh_rec is None:
+            print(f"note: no fresh record for baseline id '{rec_id}'")
+            continue
+        fresh_leaves = dict(leaves(fresh_rec))
+        for path, base_val in leaves(base_rec):
+            if not any(h in path.lower() for h in THROUGHPUT_HINTS):
+                continue
+            new_val = fresh_leaves.get(path)
+            if new_val is None or base_val <= 0:
+                continue
+            compared += 1
+            drop = 1.0 - new_val / base_val
+            if drop > THRESHOLD:
+                warned += 1
+                print(
+                    f"::warning title=bench regression::{rec_id}.{path}: "
+                    f"{new_val:.1f} vs baseline {base_val:.1f} "
+                    f"({drop * 100:.0f}% drop)"
+                )
+    print(f"bench_diff: compared {compared} throughput metrics, "
+          f"{warned} regression warning(s) (warn-only, threshold "
+          f"{THRESHOLD * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()
