@@ -56,6 +56,19 @@ pub enum Command {
     },
     /// `lepton errorcodes` — print the §6.2 taxonomy and wire bytes.
     ErrorCodes,
+    /// `lepton torture [--bases N] [--seeds N] [--seed S]` — run the
+    /// hostile-input torture rig in-process: the seeded mutation
+    /// matrix plus the handcrafted hostile set through compress and
+    /// decompress, asserting the tri-state contract. Nonzero exit on
+    /// any violation (panic, operational-row refusal).
+    Torture {
+        /// Base corpus files to mutate.
+        bases: usize,
+        /// Mutation seeds per kind.
+        seeds: usize,
+        /// Master seed.
+        seed: u64,
+    },
     /// `lepton store <put|get|backfill|scrub|stat> --root DIR ...` —
     /// operate on a sharded, content-addressed blockstore with
     /// transparent compress-on-write.
@@ -363,6 +376,20 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             })
         }
         "errorcodes" => Ok(Command::ErrorCodes),
+        "torture" => {
+            let mut bases = 2usize;
+            let mut seeds = 2usize;
+            let mut seed = 0x7061_7065u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--bases" => bases = parse_num(a, want_value(a, &mut it)?)?,
+                    "--seeds" => seeds = parse_num(a, want_value(a, &mut it)?)?,
+                    "--seed" => seed = parse_num(a, want_value(a, &mut it)?)?,
+                    _ => return Err(UsageError(format!("unknown flag {a}"))),
+                }
+            }
+            Ok(Command::Torture { bases, seeds, seed })
+        }
         "store" => parse_store(&mut it),
         "fleet" => parse_fleet(&mut it),
         "corpus" => {
@@ -569,6 +596,7 @@ USAGE:
   lepton fleet stat     --manifest FILE [--replicas R]
   lepton fleet rebalance --manifest FILE [--replicas R]
   lepton errorcodes
+  lepton torture    [--bases N] [--seeds N] [--seed S]
   lepton help | version
 
 EXIT CODES:

@@ -276,6 +276,84 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
             }
             Ok(0)
         }
+        Command::Torture { bases, seeds, seed } => {
+            use lepton_corpus::rig;
+
+            // The bases: clean corpus files plus their containers, so
+            // the matrix exercises both directions of the codec.
+            let copts = CompressOptions::default();
+            let corpus = Corpus::generate(&CorpusSpec {
+                count: bases.max(1),
+                min_dim: 64,
+                max_dim: 160,
+                clean_fraction: 1.0,
+                seed,
+            });
+            let jpeg_bases: Vec<(String, Vec<u8>)> = corpus
+                .files
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (format!("jpeg{i}"), f.data.clone()))
+                .collect();
+            let container_bases: Vec<(String, Vec<u8>)> = jpeg_bases
+                .iter()
+                .map(|(n, d)| {
+                    (
+                        format!("{n}.lep"),
+                        lepton_core::compress(d, &copts).expect("clean base compresses"),
+                    )
+                })
+                .collect();
+            let mut mseeds = Vec::with_capacity(seeds.max(1));
+            for i in 0..seeds.max(1) as u64 {
+                mseeds.push(seed ^ (0xF00D + i * 0x1111));
+            }
+
+            let mut worst = 0i32;
+            let mut total_violations = 0usize;
+            for (label, bases, op) in [
+                (
+                    "compress",
+                    &jpeg_bases,
+                    Box::new(|input: &[u8]| lepton_core::compress(input, &copts).map(|c| c.len()))
+                        as Box<dyn Fn(&[u8]) -> Result<usize, lepton_core::LeptonError>>,
+                ),
+                (
+                    "decompress",
+                    &container_bases,
+                    Box::new(|input: &[u8]| lepton_core::decompress(input).map(|j| j.len())),
+                ),
+            ] {
+                let named: Vec<(&str, Vec<u8>)> =
+                    bases.iter().map(|(n, d)| (n.as_str(), d.clone())).collect();
+                let mut cases = rig::mutation_matrix(&named, &mseeds);
+                if label == "compress" {
+                    cases.extend(rig::hostile_cases());
+                }
+                let report = rig::run(&cases, op);
+                writeln!(
+                    log,
+                    "{label}: {} cases, {} accepted, {} violations",
+                    report.cases,
+                    report.accepted,
+                    report.violations.len()
+                )?;
+                for (code, n) in &report.rows {
+                    writeln!(log, "  {:<24} {:>7}", code.label(), n)?;
+                }
+                for v in &report.violations {
+                    writeln!(log, "  VIOLATION: {v}")?;
+                }
+                total_violations += report.violations.len();
+            }
+            if total_violations > 0 {
+                writeln!(log, "torture rig FAILED: {total_violations} violations")?;
+                worst = worst.max(process_exit_code(ExitCode::RoundtripFailed));
+            } else {
+                writeln!(log, "torture rig clean")?;
+            }
+            Ok(worst)
+        }
         Command::Store(store_cmd) => run_store(store_cmd, log),
         Command::Fleet(fleet_cmd) => run_fleet(fleet_cmd, log),
         Command::Corpus {
@@ -680,6 +758,22 @@ mod tests {
         let text = String::from_utf8(log).unwrap();
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("QUALIFIED"), "{text}");
+    }
+
+    #[test]
+    fn torture_command_runs_clean() {
+        let mut log = Vec::new();
+        let code = run(
+            Command::Torture {
+                bases: 1,
+                seeds: 1,
+                seed: 7,
+            },
+            &mut log,
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("torture rig clean"), "{text}");
     }
 
     #[test]

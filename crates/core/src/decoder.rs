@@ -19,6 +19,7 @@ use crate::driver::{walk_segment, BlockOp};
 use crate::engine::{Engine, EnvJob, Scratch};
 use crate::error::LeptonError;
 use crate::format::{packets, read_container, ContainerHeader, SegmentInfo};
+use crate::security::{JobMeter, ResourceBudget};
 use lepton_arith::{BoolDecoder, VecSource};
 use lepton_jpeg::bitio::ScanWriter;
 use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
@@ -152,6 +153,12 @@ pub struct DecompressOptions {
     /// not negotiate this; like the paper, model changes are version
     /// bumps, see §6.7).
     pub model: ModelConfig,
+    /// Memory budget the decode job is metered against (§4.2). Every
+    /// sizable arena — output buffer, demuxed arithmetic streams, model
+    /// pairs, driver row rings — charges a [`JobMeter`] opened on this
+    /// budget; a breach returns [`crate::LeptonError::BudgetExceeded`] instead
+    /// of allocating.
+    pub budget: ResourceBudget,
 }
 
 /// Decompress a Lepton container into the exact original bytes of the
@@ -173,7 +180,11 @@ pub(crate) fn decompress_on(
     opts: &DecompressOptions,
 ) -> Result<Vec<u8>, LeptonError> {
     let container = read_container(data)?;
-    let mut out = Vec::with_capacity(container.header.output_size as usize);
+    // The declared output size is untrusted: cap the pre-allocation
+    // hint at the budget. The real charge happens inside the streaming
+    // decode (against the job meter) before any byte is produced.
+    let hint = (container.header.output_size as usize).min(opts.budget.decode_bytes);
+    let mut out = Vec::with_capacity(hint);
     decompress_streaming_on(engine, data, opts, &mut |bytes: &[u8]| {
         out.extend_from_slice(bytes)
     })?;
@@ -200,6 +211,21 @@ pub(crate) fn decompress_streaming_on(
     let container = read_container(data)?;
     let header = &container.header;
 
+    // Open the job's meter. The container's declared output size and
+    // the header blob parts (already decompressed by `read_container`
+    // under its own hard caps) are the first charges: a container that
+    // *claims* an output beyond the budget is refused here, before any
+    // decode work or output allocation.
+    let meter = opts.budget.decode_meter();
+    meter.charge(header.output_size as usize)?;
+    meter.charge(
+        header
+            .jpeg_header
+            .len()
+            .saturating_add(header.prepend.len())
+            .saturating_add(header.append.len()),
+    )?;
+
     // Tables and geometry come from the (possibly non-emitted) header.
     // The decoder streams row-by-row, so no plane-size budget applies.
     let parsed = parse_with_limits(
@@ -217,6 +243,33 @@ pub(crate) fn decompress_streaming_on(
         }
     }
 
+    // Reconcile the segment table with the declared total *before*
+    // decoding. Per-segment `out_bytes` are attacker-declared and cap
+    // each segment's emission; without this check a forged table could
+    // emit (and the whole-buffer path accumulate) far more than the
+    // `output_size` charged against the meter, with the mismatch only
+    // caught after the fact. Honest containers always satisfy the
+    // equality — it is exactly what the final `produced` check demands.
+    let declared_out = if header.emit_header {
+        header.jpeg_header.len()
+    } else {
+        0
+    }
+    .saturating_add(header.prepend.len())
+    .saturating_add(header.append.len())
+    .saturating_add(
+        header
+            .segments
+            .iter()
+            .map(|s| usize::try_from(s.out_bytes).unwrap_or(usize::MAX))
+            .fold(0usize, usize::saturating_add),
+    );
+    if declared_out != header.output_size as usize {
+        return Err(LeptonError::CorruptContainer(
+            "segment output sizes disagree with declared total",
+        ));
+    }
+
     let mut produced = 0usize;
     if header.emit_header {
         produced += header.jpeg_header.len();
@@ -225,8 +278,18 @@ pub(crate) fn decompress_streaming_on(
     produced += header.prepend.len();
     sink(&header.prepend);
 
-    // Demux the interleaved arithmetic section.
+    // Demux the interleaved arithmetic section. The per-segment
+    // `arith_bytes` fields are attacker-declared u64s feeding
+    // `Vec::with_capacity`: charge the meter with the declared total
+    // *before* allocating, so a length-field lie aborts with a typed
+    // budget error instead of an allocation.
     let nseg = header.segments.len();
+    let declared: usize = header
+        .segments
+        .iter()
+        .map(|s| usize::try_from(s.arith_bytes).unwrap_or(usize::MAX))
+        .fold(0usize, usize::saturating_add);
+    meter.charge(declared)?;
     let mut streams: Vec<Vec<u8>> = (0..nseg)
         .map(|i| Vec::with_capacity(header.segments[i].arith_bytes as usize))
         .collect();
@@ -238,8 +301,13 @@ pub(crate) fn decompress_streaming_on(
         }
         streams[sid].extend_from_slice(payload);
     }
+    // Segments may ship more bytes than they declared (the declaration
+    // sized the pre-allocation; the packets are bounded by the input
+    // itself). Charge any excess so the running total stays honest.
+    let actual: usize = streams.iter().map(Vec::len).sum();
+    meter.charge(actual.saturating_sub(declared))?;
 
-    produced += decode_segments(engine, &parsed, header, streams, opts, sink)?;
+    produced += decode_segments(engine, &parsed, header, streams, opts, sink, &meter)?;
 
     produced += header.append.len();
     sink(&header.append);
@@ -261,7 +329,13 @@ fn decode_segment_job<T: SegSink>(
     stream: Vec<u8>,
     model_cfg: ModelConfig,
     tx: T,
+    meter: &JobMeter,
 ) -> Result<usize, LeptonError> {
+    // The per-segment arenas this job is about to touch: a model pair
+    // (reset, not reallocated, but still part of the job's working set
+    // — same constant `decode_working_set` plans with) and the walk's
+    // row rings.
+    meter.charge(2 * 2 * 90_000 + crate::driver::ring_bytes(parsed))?;
     let pad_bit = header.pad_bit != 0; // "unknown" defaults to 1s
     let handover = seg.handover.to_handover(seg.mcu_start);
     let mut op = SegDecoder {
@@ -302,6 +376,7 @@ fn decode_segments(
     streams: Vec<Vec<u8>>,
     opts: &DecompressOptions,
     sink: &mut dyn FnMut(&[u8]),
+    meter: &JobMeter,
 ) -> Result<usize, LeptonError> {
     let nseg = header.segments.len();
     if nseg == 0 {
@@ -327,6 +402,7 @@ fn decode_segments(
                 stream,
                 model_cfg,
                 DirectSink { sink },
+                meter,
             )
         });
     }
@@ -349,7 +425,7 @@ fn decode_segments(
         let huff = &huff;
         jobs.push(Box::new(move |scratch: &mut Scratch| {
             *slot = Some(decode_segment_job(
-                scratch, parsed, huff, header, seg, stream, model_cfg, tx,
+                scratch, parsed, huff, header, seg, stream, model_cfg, tx, meter,
             ));
         }));
     }

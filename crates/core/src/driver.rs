@@ -71,6 +71,22 @@ impl RowRing {
     }
 }
 
+/// Bytes one segment's row rings occupy for `parsed`, as charged to the
+/// job's [`crate::security::JobMeter`]. `walk_segment` builds one
+/// `(v+1)`-row ring of `CodedBlock` slots per scan component; this is
+/// the exact allocation it will make.
+pub(crate) fn ring_bytes(parsed: &ParsedJpeg) -> usize {
+    parsed
+        .scan
+        .components
+        .iter()
+        .map(|sc| {
+            let comp = &parsed.frame.components[sc.comp_index];
+            (comp.v as usize + 1) * comp.blocks_w * std::mem::size_of::<Option<CodedBlock>>()
+        })
+        .sum()
+}
+
 /// Per-block operation: produce (decode) or consume-and-return (encode)
 /// the block at the given position. `class` is 0 for luma, 1 for chroma.
 pub trait BlockOp {

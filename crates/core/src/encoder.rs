@@ -16,6 +16,7 @@ use crate::driver::{walk_segment, BlockOp};
 use crate::engine::{Engine, EnvJob, Scratch};
 use crate::error::LeptonError;
 use crate::format::{write_container, ContainerHeader, SegmentInfo, SerializedHandover};
+use crate::security::{JobMeter, ResourceBudget};
 use lepton_arith::BoolEncoder;
 use lepton_jpeg::bitio::PadState;
 use lepton_jpeg::parser::{parse_with_limits, ParseLimits, ParsedJpeg};
@@ -71,6 +72,12 @@ pub struct CompressOptions {
     /// does; §5.7 "blockservers never admit chunks that fail to
     /// round-trip").
     pub verify: bool,
+    /// Memory budgets the job is metered against: the encode side
+    /// (§6.2, coefficient planes + per-segment models + arithmetic
+    /// streams) for compression itself, and the decode side (§4.2) for
+    /// the verification decode — so a file that could not be *served*
+    /// within budget is already refused at admission.
+    pub budget: ResourceBudget,
 }
 
 impl Default for CompressOptions {
@@ -80,6 +87,7 @@ impl Default for CompressOptions {
             model: ModelConfig::default(),
             limits: ParseLimits::default(),
             verify: true,
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -159,10 +167,17 @@ pub(crate) fn compress_on(
     let nseg = opts.threads.segments(jpeg.len(), mcus);
     let bounds = segment_bounds(&parsed, 0, mcus, nseg);
 
+    // Open the encode meter and charge the coefficient planes — the
+    // encoder's one frame-sized arena (§3.4: "the Lepton encoder must
+    // decode the original JPEG serially" into planes) — before the scan
+    // decode touches them.
+    let meter = opts.budget.encode_meter();
+    meter.charge(plane_bytes(&parsed))?;
+
     let (bytes, scan_in, scan_out, header_out) = if bounds.len() - 1 > 1 {
         // Multi-segment: pipeline the serial Huffman scan decode with
         // the per-segment arithmetic encoding (§3.4 / Fig. 8).
-        compress_pipelined(engine, jpeg, &parsed, &bounds, opts)?
+        compress_pipelined(engine, jpeg, &parsed, &bounds, opts, &meter)?
     } else {
         // Single segment: decode fully, then encode inline with a
         // pooled arena (no handoff — the common small-file path).
@@ -185,6 +200,7 @@ pub(crate) fn compress_on(
                 rst_count: scan_data.rst_count,
             },
             opts,
+            &meter,
         );
         engine.checkin_planes(scan_data.coefs);
         let (bytes, scan_out, header_out) = container?;
@@ -202,16 +218,34 @@ pub(crate) fn compress_on(
     };
 
     if opts.verify {
+        // The verification decode runs under the *decode* budget: a
+        // file that cannot be served within §4.2 limits is refused at
+        // admission time, which is exactly the paper's ">24 MiB mem
+        // decode" encode-side rejection class.
         let round = crate::decoder::decompress_on(
             engine,
             &bytes,
-            &crate::decoder::DecompressOptions { model: opts.model },
+            &crate::decoder::DecompressOptions {
+                model: opts.model,
+                budget: opts.budget,
+            },
         )?;
         if round != jpeg {
             return Err(LeptonError::RoundtripFailed);
         }
     }
     Ok((bytes, stats))
+}
+
+/// Bytes the full coefficient planes for `parsed` occupy (128 bytes per
+/// block: 64 × i16 coefficients).
+fn plane_bytes(parsed: &ParsedJpeg) -> usize {
+    parsed
+        .frame
+        .components
+        .iter()
+        .map(|c| c.blocks_w * c.blocks_h * 128)
+        .fold(0usize, usize::saturating_add)
 }
 
 /// Shared handle to the coefficient planes for the pipelined encode:
@@ -261,6 +295,7 @@ fn compress_pipelined(
     parsed: &ParsedJpeg,
     bounds: &[u32],
     opts: &CompressOptions,
+    meter: &JobMeter,
 ) -> Result<(Vec<u8>, ScanStats, CategoryBytes, usize), LeptonError> {
     let nseg = bounds.len() - 1;
     let model_cfg = opts.model;
@@ -295,7 +330,7 @@ fn compress_pipelined(
                     // all final (and published via the queue mutex)
                     // before this job was pushed.
                     let planes = unsafe { &*cell.0.get() };
-                    encode_segment_job(scratch, planes, parsed, bounds, i, model_cfg, slot);
+                    encode_segment_job(scratch, planes, parsed, bounds, i, model_cfg, slot, meter);
                 }));
             }
             handovers.push(dec.handover());
@@ -360,6 +395,13 @@ pub(crate) fn compress_chunked_on(
     }
     let mcus = parsed.frame.mcu_count() as u32;
 
+    // Charge the planes plus the per-MCU snapshot table this mode keeps
+    // (chunk boundaries resolve to MCU indices by byte offset, so the
+    // table is frame-sized, not segment-sized).
+    let meter = opts.budget.encode_meter();
+    meter.charge(plane_bytes(&parsed))?;
+    meter.charge((mcus as usize + 1).saturating_mul(std::mem::size_of::<Handover>()))?;
+
     // Snapshot every MCU so chunk boundaries can be resolved to MCU
     // indices by byte offset.
     let all: Vec<u32> = (0..=mcus).collect();
@@ -400,12 +442,16 @@ pub(crate) fn compress_chunked_on(
                 rst_count: scan_data.rst_count,
             },
             opts,
+            &meter,
         )?;
         if opts.verify {
             let round = crate::decoder::decompress_on(
                 engine,
                 &bytes,
-                &crate::decoder::DecompressOptions { model: opts.model },
+                &crate::decoder::DecompressOptions {
+                    model: opts.model,
+                    budget: opts.budget,
+                },
             )?;
             if round != jpeg[byte_start..byte_end] {
                 return Err(LeptonError::RoundtripFailed);
@@ -467,6 +513,7 @@ type SegmentResult = Result<(Vec<u8>, CategoryBytes), LeptonError>;
 /// the model pair is reset (not reallocated) and the output stream is
 /// built in the arena's resident buffer, with only an exact-size copy
 /// escaping the job.
+#[allow(clippy::too_many_arguments)]
 fn encode_segment_job(
     scratch: &mut Scratch,
     planes: &CoefPlanes,
@@ -475,7 +522,15 @@ fn encode_segment_job(
     i: usize,
     model_cfg: ModelConfig,
     slot: &mut Option<SegmentResult>,
+    meter: &JobMeter,
 ) {
+    // This segment's share of the working set: a model pair (the same
+    // constant `decode_working_set` plans with — arenas are pooled but
+    // still resident for the job's duration).
+    if let Err(e) = meter.charge(2 * 2 * 90_000) {
+        *slot = Some(Err(e));
+        return;
+    }
     let enc = BoolEncoder::with_buffer(std::mem::take(&mut scratch.arith_buf));
     let mut op = SegEncoder {
         planes,
@@ -488,7 +543,13 @@ fn encode_segment_job(
     cat.add(&op.models[1].stats());
     let SegEncoder { enc, .. } = op; // release the arena borrow
     let stream = enc.finish();
-    *slot = Some(r.map(|()| (stream.clone(), cat)));
+    // The produced arithmetic stream escapes the job (it is copied into
+    // the container), so it counts too.
+    let charged = meter.charge(stream.len());
+    *slot = Some(match (r, charged) {
+        (Err(e), _) | (Ok(()), Err(e)) => Err(e),
+        (Ok(()), Ok(())) => Ok((stream.clone(), cat)),
+    });
     scratch.arith_buf = stream; // hand the capacity back to the arena
 }
 
@@ -501,6 +562,7 @@ fn build_container(
     planes: &CoefPlanes,
     spec: &ChunkSpec<'_>,
     opts: &CompressOptions,
+    meter: &JobMeter,
 ) -> Result<(Vec<u8>, CategoryBytes, usize), LeptonError> {
     let nseg = spec.bounds.len() - 1;
 
@@ -512,7 +574,16 @@ fn build_container(
     if nseg == 1 {
         let slot = &mut results[0];
         engine.run_inline(|scratch| {
-            encode_segment_job(scratch, planes, parsed, spec.bounds, 0, model_cfg, slot);
+            encode_segment_job(
+                scratch,
+                planes,
+                parsed,
+                spec.bounds,
+                0,
+                model_cfg,
+                slot,
+                meter,
+            );
         });
     } else {
         let bounds = spec.bounds;
@@ -521,7 +592,7 @@ fn build_container(
             .enumerate()
             .map(|(i, slot)| {
                 Box::new(move |scratch: &mut Scratch| {
-                    encode_segment_job(scratch, planes, parsed, bounds, i, model_cfg, slot);
+                    encode_segment_job(scratch, planes, parsed, bounds, i, model_cfg, slot, meter);
                 }) as EnvJob<'_>
             })
             .collect();

@@ -18,9 +18,13 @@ pub enum LeptonError {
     /// compressed file did not reproduce the input (§5.7: such files are
     /// never admitted and fall back to Deflate).
     RoundtripFailed,
-    /// A memory budget was exceeded.
-    MemoryLimit {
-        /// Bytes required.
+    /// A [`crate::security::JobMeter`] charge passed the job's budget:
+    /// the enforced analogue of the deployment's per-request memory
+    /// limit (§4.2 decode, §6.2 encode).
+    BudgetExceeded {
+        /// Which budget tripped (and thus the taxonomy row).
+        stage: crate::security::BudgetStage,
+        /// Bytes the job wanted at the point of failure.
         required: usize,
         /// Configured budget.
         limit: usize,
@@ -44,8 +48,15 @@ impl std::fmt::Display for LeptonError {
             LeptonError::UnsupportedVersion(v) => write!(f, "unsupported Lepton version {v}"),
             LeptonError::CorruptContainer(w) => write!(f, "corrupt container: {w}"),
             LeptonError::RoundtripFailed => write!(f, "round-trip verification failed"),
-            LeptonError::MemoryLimit { required, limit } => {
-                write!(f, "memory budget exceeded: need {required}, limit {limit}")
+            LeptonError::BudgetExceeded {
+                stage,
+                required,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "{stage:?} memory budget exceeded: need {required}, limit {limit}"
+                )
             }
             LeptonError::Internal(w) => write!(f, "internal: {w}"),
         }
@@ -93,6 +104,43 @@ pub enum ExitCode {
 }
 
 impl ExitCode {
+    /// Every taxonomy row, in the paper's table order (the same order
+    /// the wire protocol numbers them).
+    pub const ALL: [ExitCode; 16] = [
+        ExitCode::Success,
+        ExitCode::Progressive,
+        ExitCode::UnsupportedJpeg,
+        ExitCode::NotAnImage,
+        ExitCode::FourColorCmyk,
+        ExitCode::MemDecodeLimit,
+        ExitCode::MemEncodeLimit,
+        ExitCode::ServerShutdown,
+        ExitCode::Impossible,
+        ExitCode::AbortSignal,
+        ExitCode::Timeout,
+        ExitCode::ChromaSubsampleBig,
+        ExitCode::AcOutOfRange,
+        ExitCode::RoundtripFailed,
+        ExitCode::OomKill,
+        ExitCode::OperatorInterrupt,
+    ];
+
+    /// True for rows caused by the *operating environment* (signals,
+    /// timeouts, operator action) rather than by input bytes. These are
+    /// the rows the error-taxonomy gate cannot — by construction —
+    /// reach with a crafted file; every other row must be reachable.
+    pub fn is_operational(&self) -> bool {
+        matches!(
+            self,
+            ExitCode::ServerShutdown
+                | ExitCode::Impossible
+                | ExitCode::AbortSignal
+                | ExitCode::Timeout
+                | ExitCode::OomKill
+                | ExitCode::OperatorInterrupt
+        )
+    }
+
     /// Classify an error the way the production deployment's exit codes
     /// did.
     pub fn classify(err: &LeptonError) -> ExitCode {
@@ -107,7 +155,10 @@ impl ExitCode {
                 _ => ExitCode::UnsupportedJpeg,
             },
             LeptonError::RoundtripFailed => ExitCode::RoundtripFailed,
-            LeptonError::MemoryLimit { .. } => ExitCode::MemDecodeLimit,
+            LeptonError::BudgetExceeded { stage, .. } => match stage {
+                crate::security::BudgetStage::Decode => ExitCode::MemDecodeLimit,
+                crate::security::BudgetStage::Encode => ExitCode::MemEncodeLimit,
+            },
             LeptonError::Internal(_) => ExitCode::Impossible,
             _ => ExitCode::UnsupportedJpeg,
         }
@@ -166,6 +217,33 @@ mod tests {
             ExitCode::classify(&LeptonError::Internal("x")),
             ExitCode::Impossible
         );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::BudgetExceeded {
+                stage: crate::security::BudgetStage::Decode,
+                required: 2,
+                limit: 1,
+            }),
+            ExitCode::MemDecodeLimit
+        );
+        assert_eq!(
+            ExitCode::classify(&LeptonError::BudgetExceeded {
+                stage: crate::security::BudgetStage::Encode,
+                required: 2,
+                limit: 1,
+            }),
+            ExitCode::MemEncodeLimit
+        );
+    }
+
+    #[test]
+    fn all_rows_unique_and_partitioned() {
+        let mut seen = std::collections::HashSet::new();
+        for code in ExitCode::ALL {
+            assert!(seen.insert(code), "duplicate row {code:?}");
+        }
+        assert_eq!(seen.len(), 16);
+        let operational = ExitCode::ALL.iter().filter(|c| c.is_operational()).count();
+        assert_eq!(operational, 6, "6 operational rows, 10 input-reachable");
     }
 
     #[test]

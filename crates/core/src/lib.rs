@@ -59,3 +59,4 @@ pub use encoder::{
 };
 pub use engine::Engine;
 pub use error::{ExitCode, LeptonError};
+pub use security::{BudgetStage, JobMeter, ResourceBudget};

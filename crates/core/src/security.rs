@@ -46,6 +46,106 @@ impl ResourceBudget {
     pub fn admits_decode(&self, bytes: usize) -> bool {
         bytes <= self.decode_bytes
     }
+
+    /// Open a metered decode job against this budget.
+    pub fn decode_meter(&self) -> JobMeter {
+        JobMeter::new(BudgetStage::Decode, self.decode_bytes)
+    }
+
+    /// Open a metered encode job against this budget.
+    pub fn encode_meter(&self) -> JobMeter {
+        JobMeter::new(BudgetStage::Encode, self.encode_bytes)
+    }
+}
+
+/// Which budget a [`JobMeter`] enforces — and therefore which §6.2
+/// taxonomy row a breach classifies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BudgetStage {
+    /// Decode-side (">24 MiB mem decode").
+    Decode,
+    /// Encode-side (">178 MiB mem encode").
+    Encode,
+}
+
+/// Per-job byte accounting: the enforcement backstop behind the
+/// header-derived sizing fast path.
+///
+/// Header-derived sizing (`decode_working_set`, the §5.7 admission
+/// pre-check) remains authoritative for *planning*; the meter is what
+/// untrusted payloads cannot argue with. Every arena the engine resets
+/// for a job — model bins, coefficient planes, arithmetic-stream
+/// buffers, driver row rings, demuxed segment streams — calls
+/// [`JobMeter::charge`] with its byte size *before* the allocation
+/// happens. The first charge that would push the running total past the
+/// job's budget returns [`crate::LeptonError::BudgetExceeded`], so an
+/// attacker-declared length field aborts the job with a typed taxonomy
+/// error instead of an allocation.
+///
+/// The counter is atomic so one meter can be shared by reference across
+/// the engine's parallel segment jobs; the whole job shares one budget,
+/// exactly like the deployed per-request limit.
+#[derive(Debug)]
+pub struct JobMeter {
+    stage: BudgetStage,
+    limit: usize,
+    used: std::sync::atomic::AtomicUsize,
+}
+
+impl JobMeter {
+    /// A meter for `stage` with a hard byte `limit`.
+    pub fn new(stage: BudgetStage, limit: usize) -> Self {
+        JobMeter {
+            stage,
+            limit,
+            used: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Which budget this meter enforces.
+    pub fn stage(&self) -> BudgetStage {
+        self.stage
+    }
+
+    /// Bytes charged so far.
+    pub fn used(&self) -> usize {
+        self.used.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The hard limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Charge `bytes` against the job. Returns
+    /// [`crate::LeptonError::BudgetExceeded`] if the running total would pass
+    /// the limit; the total still reflects the attempted charge so the
+    /// error reports how much the job actually wanted.
+    pub fn charge(&self, bytes: usize) -> Result<(), crate::LeptonError> {
+        use std::sync::atomic::Ordering;
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        let required = prev.saturating_add(bytes);
+        if required > self.limit {
+            Err(crate::LeptonError::BudgetExceeded {
+                stage: self.stage,
+                required,
+                limit: self.limit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Return `bytes` to the budget (an arena released mid-job, e.g. a
+    /// pooled plane checked back in before the next stage).
+    pub fn release(&self, bytes: usize) {
+        use std::sync::atomic::Ordering;
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            });
+    }
 }
 
 /// Estimate the decoder's steady-state working set for a frame: ring
@@ -76,6 +176,37 @@ mod tests {
         assert_eq!(b.decode_bytes, 24 << 20);
         assert_eq!(b.encode_bytes, 178 << 20);
         assert_eq!(b.arena_bytes, 200 << 20);
+    }
+
+    #[test]
+    fn meter_trips_exactly_at_limit() {
+        let m = JobMeter::new(BudgetStage::Decode, 100);
+        assert!(m.charge(60).is_ok());
+        assert!(m.charge(40).is_ok(), "charges up to the limit succeed");
+        let err = m.charge(1).unwrap_err();
+        match err {
+            crate::LeptonError::BudgetExceeded {
+                stage,
+                required,
+                limit,
+            } => {
+                assert_eq!(stage, BudgetStage::Decode);
+                assert_eq!(required, 101);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meter_release_refunds() {
+        let m = JobMeter::new(BudgetStage::Encode, 10);
+        assert!(m.charge(10).is_ok());
+        m.release(4);
+        assert_eq!(m.used(), 6);
+        assert!(m.charge(4).is_ok());
+        m.release(usize::MAX); // over-release saturates at zero
+        assert_eq!(m.used(), 0);
     }
 
     #[test]

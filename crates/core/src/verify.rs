@@ -38,7 +38,10 @@ pub fn verify_roundtrip(jpeg: &[u8], opts: &CompressOptions) -> Verdict {
         Ok(x) => x,
         Err(e) => return Verdict::Rejected(ExitCode::classify(&e)),
     };
-    let dopts = DecompressOptions { model: opts.model };
+    let dopts = DecompressOptions {
+        model: opts.model,
+        budget: opts.budget,
+    };
     match decompress_opts(&lepton, &dopts) {
         Ok(out) if out == jpeg => {}
         Ok(_) => return Verdict::Alarm("roundtrip produced different bytes"),
@@ -52,6 +55,23 @@ pub fn verify_roundtrip(jpeg: &[u8], opts: &CompressOptions) -> Verdict {
         },
         _ => Verdict::Alarm("second decode disagreed"),
     }
+}
+
+/// Check that `container` decompresses to exactly `original`: the §5.7
+/// admission predicate as a standalone helper, for callers that already
+/// hold a container (read-repair, backfill audits, the torture rig).
+/// Returns [`LeptonError::RoundtripFailed`] on a byte mismatch and
+/// passes decode errors through.
+pub fn check_roundtrip(
+    original: &[u8],
+    container: &[u8],
+    opts: &DecompressOptions,
+) -> Result<(), LeptonError> {
+    let out = decompress_opts(container, opts)?;
+    if out != original {
+        return Err(LeptonError::RoundtripFailed);
+    }
+    Ok(())
 }
 
 /// Qualification summary over a corpus (the paper's pre-deployment

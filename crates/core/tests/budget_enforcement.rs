@@ -1,0 +1,153 @@
+//! ResourceBudget enforcement at the codec entry points.
+//!
+//! An undersized budget must fail *cleanly* — a typed
+//! `BudgetExceeded` carrying the stage, the required bytes, and the
+//! limit — at every entry point, and the default §4.2/§6.2 budgets
+//! must pass the full clean corpus unchanged (the meter is a backstop
+//! behind header-derived sizing, not a new constraint on real files).
+
+use lepton_core::{
+    compress, compress_chunked, decompress_opts, decompress_streaming, BudgetStage,
+    CompressOptions, DecompressOptions, Engine, LeptonError, ResourceBudget,
+};
+use lepton_corpus::{Corpus, CorpusSpec};
+
+fn corpus() -> Vec<Vec<u8>> {
+    Corpus::generate(&CorpusSpec {
+        count: 4,
+        min_dim: 64,
+        max_dim: 192,
+        clean_fraction: 1.0,
+        seed: 0xB0D6E7,
+    })
+    .files
+    .into_iter()
+    .map(|f| f.data)
+    .collect()
+}
+
+fn starved_encode() -> CompressOptions {
+    CompressOptions {
+        budget: ResourceBudget {
+            encode_bytes: 1 << 10,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn starved_decode() -> DecompressOptions {
+    DecompressOptions {
+        budget: ResourceBudget {
+            decode_bytes: 1 << 10,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn expect_budget(r: Result<impl Sized, LeptonError>, stage: BudgetStage) {
+    match r {
+        Err(LeptonError::BudgetExceeded {
+            stage: s,
+            required,
+            limit,
+        }) => {
+            assert_eq!(s, stage);
+            assert!(
+                required > limit,
+                "error must carry the breach: {required} vs {limit}"
+            );
+        }
+        Err(other) => panic!("expected BudgetExceeded({stage:?}), got {other}"),
+        Ok(_) => panic!("expected BudgetExceeded({stage:?}), got success"),
+    }
+}
+
+#[test]
+fn undersized_encode_budget_fails_cleanly_everywhere() {
+    let jpeg = corpus().remove(0);
+    let opts = starved_encode();
+    expect_budget(compress(&jpeg, &opts), BudgetStage::Encode);
+    expect_budget(compress_chunked(&jpeg, 4096, &opts), BudgetStage::Encode);
+    let engine = Engine::new(2);
+    expect_budget(engine.compress(&jpeg, &opts), BudgetStage::Encode);
+    expect_budget(
+        engine.compress_chunked(&jpeg, 4096, &opts),
+        BudgetStage::Encode,
+    );
+}
+
+#[test]
+fn undersized_decode_budget_fails_cleanly_everywhere() {
+    let jpeg = corpus().remove(0);
+    let container = compress(&jpeg, &CompressOptions::default()).unwrap();
+    let opts = starved_decode();
+    expect_budget(decompress_opts(&container, &opts), BudgetStage::Decode);
+    let mut sunk = 0usize;
+    expect_budget(
+        decompress_streaming(&container, &opts, &mut |b| sunk += b.len()),
+        BudgetStage::Decode,
+    );
+    assert_eq!(sunk, 0, "refusal happens before any output is emitted");
+    let engine = Engine::new(2);
+    expect_budget(
+        engine.decompress_opts(&container, &opts),
+        BudgetStage::Decode,
+    );
+}
+
+#[test]
+fn verification_decode_is_metered_too() {
+    // §5.7 admission asymmetry: compression *verifies* under the decode
+    // budget, so a file that could not later be served within §4.2 is
+    // already refused at admission — as a decode-stage breach.
+    let jpeg = corpus().remove(0);
+    let opts = CompressOptions {
+        budget: ResourceBudget {
+            decode_bytes: 1 << 10,
+            ..Default::default()
+        },
+        verify: true,
+        ..Default::default()
+    };
+    expect_budget(compress(&jpeg, &opts), BudgetStage::Decode);
+}
+
+#[test]
+fn default_budget_passes_the_clean_corpus_unchanged() {
+    // The meter is a backstop: with the paper's real budgets every
+    // clean file compresses, round-trips byte-exactly, and decodes the
+    // same with or without explicit options.
+    let copts = CompressOptions::default();
+    let dopts = DecompressOptions::default();
+    for jpeg in corpus() {
+        let container = compress(&jpeg, &copts).expect("default budget admits clean file");
+        assert_eq!(decompress_opts(&container, &dopts).unwrap(), jpeg);
+        let chunks = compress_chunked(&jpeg, 4096, &copts).unwrap();
+        let mut joined = Vec::new();
+        for chunk in &chunks {
+            joined.extend_from_slice(&decompress_opts(chunk, &dopts).unwrap());
+        }
+        assert_eq!(joined, jpeg, "chunked path unchanged under the meter");
+    }
+}
+
+#[test]
+fn budget_error_reports_honest_numbers() {
+    // The typed error is the operator's §6.2 telemetry row: its
+    // `required` must reflect the real high-water demand, not a
+    // truncated counter.
+    let jpeg = corpus().remove(0);
+    match compress(&jpeg, &starved_encode()) {
+        Err(LeptonError::BudgetExceeded {
+            required, limit, ..
+        }) => {
+            assert_eq!(limit, 1 << 10);
+            // The very first charge (coefficient planes) already dwarfs
+            // the 1 KiB limit for a 64px+ image.
+            assert!(required >= 64 * 64 * 2, "required={required}");
+        }
+        other => panic!("{other:?}"),
+    }
+}

@@ -8,9 +8,10 @@
 //! the pipelined multi-segment path, with the decoder implementation
 //! toggled process-wide.
 
-use lepton_core::{CompressOptions, Engine, ThreadPolicy};
-use lepton_corpus::{Corpus, CorpusSpec};
+use lepton_core::{CompressOptions, Engine, ExitCode, ThreadPolicy};
+use lepton_corpus::{mutate, Corpus, CorpusSpec, MutationKind};
 use lepton_jpeg::scan::set_reference_scan_decode;
+use proptest::prelude::*;
 
 fn corpus() -> Vec<Vec<u8>> {
     Corpus::generate(&CorpusSpec {
@@ -59,6 +60,72 @@ fn reference_and_fast_paths_produce_identical_containers() {
         // And the containers round-trip to the original bytes.
         for (f, c) in files.iter().zip(&fast) {
             assert_eq!(&engine.decompress(c).expect("decompress"), f);
+        }
+    }
+}
+
+/// What one entry-point run did to one input, reduced to what the two
+/// paths must agree on: the surviving bytes after a full round trip
+/// (containers themselves differ across segment counts by design), or
+/// the taxonomy row plus the exact error text of the refusal.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Accepted(Vec<u8>),
+    Refused(ExitCode, String),
+}
+
+fn run_path(engine: &Engine, threads: usize, input: &[u8]) -> Outcome {
+    let opts = CompressOptions {
+        threads: ThreadPolicy::Fixed(threads),
+        verify: true,
+        ..Default::default()
+    };
+    match engine.compress(input, &opts) {
+        Ok(c) => Outcome::Accepted(engine.decompress(&c).expect("verified container decodes")),
+        Err(e) => Outcome::Refused(ExitCode::classify(&e), e.to_string()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pipelined multi-segment path must be observationally
+    /// identical to the inline path on *hostile* inputs too, not just
+    /// on the clean corpus above: the same seeded corruption either
+    /// survives with byte-identical containers through both, or is
+    /// refused with the same classification and message. Splitting
+    /// work across segments must not change which error wins or leak a
+    /// different partial result.
+    #[test]
+    fn corrupted_inputs_classify_identically_across_scan_paths(
+        file_seed in 0u64..4,
+        kind_idx in 0usize..MutationKind::ALL.len(),
+        mut_seed in any::<u64>(),
+    ) {
+        let jpeg = Corpus::generate(&CorpusSpec {
+            count: 1,
+            min_dim: 96,
+            max_dim: 224,
+            clean_fraction: 1.0,
+            seed: 0xE9_01AA ^ file_seed,
+        })
+        .files
+        .remove(0)
+        .data;
+        let hostile = mutate(&jpeg, MutationKind::ALL[kind_idx], mut_seed);
+
+        let engine = Engine::new(3);
+        let inline = run_path(&engine, 1, &hostile);
+        let pipelined = run_path(&engine, 3, &hostile);
+        prop_assert_eq!(&inline, &pipelined);
+
+        // And neither path may route an input-caused refusal onto an
+        // operational taxonomy row.
+        if let Outcome::Refused(code, msg) = &inline {
+            prop_assert!(
+                !code.is_operational(),
+                "input refused onto operational row {:?}: {}", code, msg
+            );
         }
     }
 }

@@ -10,8 +10,12 @@ use rand::{Rng, SeedableRng};
 
 /// Zero-fill the file's tail starting at `from_fraction` of its length
 /// (unsynced-page corruption; wipes any restart markers in the range).
+///
+/// Total for every input: the fraction is clamped to `[0.1, 0.99]`
+/// (NaN lands at the floor), the cut index is clamped to the file
+/// length, and the output always has the input's exact length.
 pub fn zero_run_tail(jpeg: &[u8], from_fraction: f64) -> Vec<u8> {
-    let cut = ((jpeg.len() as f64) * from_fraction.clamp(0.1, 0.99)) as usize;
+    let cut = (((jpeg.len() as f64) * from_fraction.clamp(0.1, 0.99)) as usize).min(jpeg.len());
     let mut out = jpeg.to_vec();
     for b in out[cut..].iter_mut() {
         *b = 0;
@@ -20,9 +24,14 @@ pub fn zero_run_tail(jpeg: &[u8], from_fraction: f64) -> Vec<u8> {
 }
 
 /// Truncate the file at `fraction` of its length.
+///
+/// Total for every input: the fraction is clamped to `[0.05, 0.99]`,
+/// and the cut keeps at least 2 bytes where the input has them (so a
+/// leading SOI survives) without ever exceeding the input length — a
+/// 0- or 1-byte input comes back unchanged instead of panicking.
 pub fn truncate(jpeg: &[u8], fraction: f64) -> Vec<u8> {
     let cut = ((jpeg.len() as f64) * fraction.clamp(0.05, 0.99)) as usize;
-    jpeg[..cut.max(2)].to_vec()
+    jpeg[..cut.max(2).min(jpeg.len())].to_vec()
 }
 
 /// Append "TV-ready interlaced preview" style trailing data (arbitrary
@@ -94,6 +103,203 @@ pub fn soi_prefixed_garbage(n: usize, seed: u64) -> Vec<u8> {
     v
 }
 
+/// One class of hostile mutation the seeded driver can apply.
+///
+/// The kinds cover every byte class an attacker can reach in either a
+/// JPEG or a Lepton container: entropy-coded payload, marker structure,
+/// declared lengths, segment tables, and stream framing. Each mutation
+/// is a total function — any input byte string, including empty, yields
+/// a deterministic output for a given seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Flip bits in the leading 20% of the file (marker/header region).
+    BitFlipHeader,
+    /// Flip bits anywhere (entropy-coded body included).
+    BitFlipBody,
+    /// Flip bits in the trailing 20% (scan tail / container trailer).
+    BitFlipTail,
+    /// Cut the file at a seed-derived fraction.
+    Truncate,
+    /// Zero-fill the tail from a seed-derived fraction (App. A.3).
+    ZeroRunTail,
+    /// Append random non-format bytes (App. A.3 "TV preview" tails).
+    TrailingGarbage,
+    /// Spray `FF 00` stuffed-byte pairs through the body.
+    StuffedMarkerStorm,
+    /// Overwrite random positions with restart markers `FF D0..=D7`,
+    /// desynchronizing any real restart cadence.
+    RstDesync,
+    /// Mutate the payload byte right after a marker's length field —
+    /// header *fields* change while the structure stays parseable.
+    HeaderFieldMutation,
+    /// Lie in a marker segment's 2-byte length field.
+    LengthFieldLie,
+    /// Corrupt the leading fixed-layout region (a Lepton container's
+    /// magic/version/segment table; a JPEG's first marker segment).
+    SegmentTableCorruption,
+    /// Prepend a truncated copy of the stream to itself (nested /
+    /// concatenated streams, App. A.3 thumbnails).
+    NestedStream,
+    /// Concatenate the stream with itself.
+    Concatenated,
+    /// Zero a seed-chosen interior window (unsynced page in the middle).
+    ZeroWindow,
+}
+
+impl MutationKind {
+    /// Every mutation kind, for exhaustive matrix sweeps.
+    pub const ALL: [MutationKind; 14] = [
+        MutationKind::BitFlipHeader,
+        MutationKind::BitFlipBody,
+        MutationKind::BitFlipTail,
+        MutationKind::Truncate,
+        MutationKind::ZeroRunTail,
+        MutationKind::TrailingGarbage,
+        MutationKind::StuffedMarkerStorm,
+        MutationKind::RstDesync,
+        MutationKind::HeaderFieldMutation,
+        MutationKind::LengthFieldLie,
+        MutationKind::SegmentTableCorruption,
+        MutationKind::NestedStream,
+        MutationKind::Concatenated,
+        MutationKind::ZeroWindow,
+    ];
+}
+
+/// Apply `kind` to `data` deterministically from `seed`. Works on any
+/// byte string — JPEG, Lepton container, or garbage — and never panics.
+pub fn mutate(data: &[u8], kind: MutationKind, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (kind as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n = data.len();
+    match kind {
+        MutationKind::BitFlipHeader => flip_in_range(data, 0..(n / 5).max(1).min(n), &mut rng),
+        MutationKind::BitFlipBody => flip_in_range(data, 0..n, &mut rng),
+        MutationKind::BitFlipTail => {
+            flip_in_range(data, n.saturating_sub((n / 5).max(1))..n, &mut rng)
+        }
+        MutationKind::Truncate => truncate(data, rng.gen_range(0.0..1.0)),
+        MutationKind::ZeroRunTail => zero_run_tail(data, rng.gen_range(0.0..1.0)),
+        MutationKind::TrailingGarbage => trailing_data(data, rng.gen_range(1..512), rng.gen()),
+        MutationKind::StuffedMarkerStorm => {
+            let mut out = Vec::with_capacity(n + 64);
+            let mut next = if n == 0 {
+                0
+            } else {
+                rng.gen_range(0..n.max(1))
+            };
+            for (i, &b) in data.iter().enumerate() {
+                out.push(b);
+                if i == next {
+                    out.extend_from_slice(&[0xFF, 0x00]);
+                    next = i + 1 + rng.gen_range(1..64usize);
+                }
+            }
+            out
+        }
+        MutationKind::RstDesync => {
+            let mut out = data.to_vec();
+            for _ in 0..8 {
+                if out.len() < 2 {
+                    break;
+                }
+                let i = rng.gen_range(0..out.len() - 1);
+                out[i] = 0xFF;
+                out[i + 1] = 0xD0 + rng.gen_range(0u8..8);
+            }
+            out
+        }
+        MutationKind::HeaderFieldMutation => {
+            let mut out = data.to_vec();
+            // Find marker-like positions (FF xx with xx a segment
+            // marker) and mutate a byte shortly after each.
+            let mut hits = 0;
+            let mut i = 0;
+            while i + 4 < out.len() && hits < 4 {
+                if out[i] == 0xFF && (0xC0..=0xFE).contains(&out[i + 1]) && out[i + 1] != 0xD8 {
+                    let off = i + 4 + rng.gen_range(0..4usize);
+                    if off < out.len() {
+                        out[off] ^= rng.gen_range(1u8..=255);
+                        hits += 1;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if hits == 0 && !out.is_empty() {
+                let i = rng.gen_range(0..out.len());
+                out[i] ^= rng.gen_range(1u8..=255);
+            }
+            out
+        }
+        MutationKind::LengthFieldLie => {
+            let mut out = data.to_vec();
+            let mut i = 0;
+            while i + 3 < out.len() {
+                if out[i] == 0xFF && (0xC0..=0xFE).contains(&out[i + 1]) && out[i + 1] != 0xD8 {
+                    // Overwrite the 2-byte big-endian length.
+                    let lie: u16 = rng.gen();
+                    out[i + 2] = (lie >> 8) as u8;
+                    out[i + 3] = lie as u8;
+                    break;
+                }
+                i += 1;
+            }
+            if i + 3 >= out.len() && out.len() >= 4 {
+                // No marker found (container bytes): lie in the little-
+                // endian u32 right after magic+version instead.
+                let lie: u32 = rng.gen();
+                let end = 7.min(out.len());
+                out[3..end].copy_from_slice(&lie.to_le_bytes()[..end - 3]);
+            }
+            out
+        }
+        MutationKind::SegmentTableCorruption => {
+            let mut out = data.to_vec();
+            let window = out.len().min(64);
+            for _ in 0..4 {
+                if window == 0 {
+                    break;
+                }
+                let i = rng.gen_range(0..window);
+                out[i] = rng.gen();
+            }
+            out
+        }
+        MutationKind::NestedStream => {
+            let cut = if n == 0 { 0 } else { rng.gen_range(1..=n) };
+            let mut out = data[..cut].to_vec();
+            out.extend_from_slice(data);
+            out
+        }
+        MutationKind::Concatenated => concatenated(data, data),
+        MutationKind::ZeroWindow => {
+            let mut out = data.to_vec();
+            if n > 2 {
+                let start = rng.gen_range(0..n - 1);
+                let len = rng.gen_range(1..(n - start).max(2));
+                for b in out[start..(start + len).min(n)].iter_mut() {
+                    *b = 0;
+                }
+            }
+            out
+        }
+    }
+}
+
+fn flip_in_range(data: &[u8], range: std::ops::Range<usize>, rng: &mut StdRng) -> Vec<u8> {
+    let mut out = data.to_vec();
+    if range.is_empty() || range.end > out.len() {
+        return out;
+    }
+    let flips = rng.gen_range(1..=8usize);
+    for _ in 0..flips {
+        let i = rng.gen_range(range.clone());
+        out[i] ^= 1u8 << rng.gen_range(0u32..8);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +353,56 @@ mod tests {
         let j = fake_jpeg();
         assert_eq!(bit_flips(&j, 5, 42), bit_flips(&j, 5, 42));
         assert_ne!(bit_flips(&j, 5, 42), bit_flips(&j, 5, 43));
+    }
+
+    #[test]
+    fn truncate_boundaries_never_panic_or_empty() {
+        // Tiny inputs, fraction at and below zero: output is the input
+        // itself (never empty, never out of bounds).
+        for input in [&[][..], &[0xFF][..], &[0xFF, 0xD8][..]] {
+            for frac in [-1.0, 0.0, 0.04, f64::NAN, 2.0] {
+                let t = truncate(input, frac);
+                assert!(t.len() <= input.len());
+                if !input.is_empty() {
+                    assert!(!t.is_empty(), "nonempty input must stay nonempty");
+                }
+            }
+        }
+        // Larger inputs keep the 2-byte floor.
+        let j = fake_jpeg();
+        assert_eq!(truncate(&j, -5.0).len(), (j.len() as f64 * 0.05) as usize);
+        assert!(truncate(&j, 0.0).len() >= 2);
+        assert!(truncate(&j, 2.0).len() < j.len());
+    }
+
+    #[test]
+    fn zero_run_tail_boundaries_never_panic() {
+        for input in [&[][..], &[0xAB][..], &[1, 2, 3][..]] {
+            for frac in [-1.0, 0.0, f64::NAN, 0.5, 2.0] {
+                let z = zero_run_tail(input, frac);
+                assert_eq!(z.len(), input.len(), "length always preserved");
+            }
+        }
+        // NaN clamps to the floor: everything from 10% on is zeroed.
+        let j = fake_jpeg();
+        let z = zero_run_tail(&j, f64::NAN);
+        assert_eq!(z.len(), j.len());
+        assert!(z[j.len() - 1] == 0);
+    }
+
+    #[test]
+    fn mutations_are_total_and_deterministic() {
+        let j = fake_jpeg();
+        for kind in MutationKind::ALL {
+            for seed in [0u64, 1, 0xDEAD_BEEF] {
+                let a = mutate(&j, kind, seed);
+                let b = mutate(&j, kind, seed);
+                assert_eq!(a, b, "{kind:?} must be deterministic");
+                // Total on degenerate inputs too.
+                let _ = mutate(&[], kind, seed);
+                let _ = mutate(&[0xFF], kind, seed);
+                let _ = mutate(&[0x00, 0x01], kind, seed);
+            }
+        }
     }
 }

@@ -12,13 +12,23 @@
 //!   distributions modeled on camera output, plus the §6.2 population
 //!   of rejectable files (progressive, CMYK, non-image, oversized);
 //! * [`corrupt`] — the App. A.3 corruption patterns: zero-run tails,
-//!   truncation, trailing TV-preview data, concatenated thumbnails.
+//!   truncation, trailing TV-preview data, concatenated thumbnails —
+//!   plus the seeded [`corrupt::MutationKind`] driver behind the
+//!   torture rig;
+//! * [`hostile`] — handcrafted reachability inputs, one per taxonomy
+//!   error (single-code Huffman tables give bit-level control);
+//! * [`rig`] — the torture-rig harness: mutation matrix × entry point
+//!   under `catch_unwind`, outcomes tallied per §6.2 taxonomy row.
 //!
 //! Every file is reproducible from a `u64` seed.
 
 pub mod builder;
 pub mod corrupt;
+pub mod hostile;
+pub mod rig;
 pub mod synth;
 
 pub use builder::{Corpus, CorpusFile, CorpusSpec, FileKind};
+pub use corrupt::{mutate, MutationKind};
+pub use rig::{hostile_cases, mutation_matrix, probe, RigCase, RigReport};
 pub use synth::{synth_image, SceneKind};

@@ -49,8 +49,6 @@ pub enum JpegError {
         /// Configured cap.
         limit: usize,
     },
-    /// Restart marker sequence was malformed (wrong index order).
-    BadRestart,
     /// Dimensions of zero are not meaningful.
     ZeroDimension,
 }
@@ -76,7 +74,6 @@ impl std::fmt::Display for JpegError {
             JpegError::TooLarge { required, limit } => {
                 write!(f, "image needs {required} bytes, limit {limit}")
             }
-            JpegError::BadRestart => write!(f, "restart marker sequence invalid"),
             JpegError::ZeroDimension => write!(f, "zero image dimension"),
         }
     }

@@ -279,6 +279,7 @@ fn handle_connection(
             let _lease = gauge.acquire();
             let dec_opts = lepton_core::DecompressOptions {
                 model: cfg.compress.model,
+                budget: cfg.compress.budget,
             };
             match lepton_core::Engine::global().decompress_opts(&payload, &dec_opts) {
                 Ok(jpeg) => {
@@ -372,6 +373,13 @@ fn handle_block_op(
                 Err(StoreError::Io(_)) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = write_response(conn, Status::StorageFailed, &[]);
+                }
+                // A budget refusal is a typed rejection, not damage:
+                // no quarantine, and the client learns the taxonomy
+                // row instead of a storage failure.
+                Err(StoreError::Budget { .. }) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(conn, Status::Rejected(ExitCode::MemDecodeLimit), &[]);
                 }
             }
         }

@@ -46,6 +46,16 @@ pub enum StoreError {
     /// payload, or decoded bytes whose SHA-256 no longer matches the
     /// block's address. Corrupted blocks are **never served**.
     Corrupt(Digest),
+    /// Decoding the record would exceed the store's configured decode
+    /// memory budget. The record itself is *not* damaged — it is never
+    /// quarantined for this, and a store with a larger budget can still
+    /// serve it.
+    Budget {
+        /// Bytes the decode wanted.
+        required: usize,
+        /// Configured budget.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -54,6 +64,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "io: {e}"),
             StoreError::Corrupt(key) => {
                 write!(f, "corrupt block {}", hex(key))
+            }
+            StoreError::Budget { required, limit } => {
+                write!(f, "decode budget exceeded: need {required}, limit {limit}")
             }
         }
     }
@@ -122,6 +135,9 @@ pub struct ShardedMetrics {
     /// Corrupt records detected (and refused) by the read path —
     /// damaged headers and failed hash checks alike.
     pub corrupt_blocks: AtomicU64,
+    /// Reads refused because the decode would exceed the memory budget
+    /// (the record is healthy; it is not quarantined).
+    pub budget_rejections: AtomicU64,
 }
 
 /// Point-in-time summary of a store, as `stat` reports it.
@@ -474,7 +490,10 @@ impl ShardedStore {
         // commit gate trusts nothing it did not check itself (§5.6
         // "double-checks the result"). The check must decode with the
         // store's own model config — the container does not carry it.
-        let dec_opts = lepton_core::DecompressOptions { model: opts.model };
+        let dec_opts = lepton_core::DecompressOptions {
+            model: opts.model,
+            budget: opts.budget,
+        };
         if lepton_core::Engine::global()
             .decompress_opts(&lepton, &dec_opts)
             .as_deref()
@@ -560,9 +579,21 @@ impl ShardedStore {
                 // Same model config the admission gate wrote with.
                 let dec_opts = lepton_core::DecompressOptions {
                     model: self.cfg.compress.model,
+                    budget: self.cfg.compress.budget,
                 };
                 match lepton_core::Engine::global().decompress_opts(&payload, &dec_opts) {
                     Ok(jpeg) => jpeg,
+                    // A budget refusal is a *policy* outcome, not
+                    // damage: the record stays healthy and is never
+                    // quarantined for it.
+                    Err(lepton_core::LeptonError::BudgetExceeded {
+                        required, limit, ..
+                    }) => {
+                        self.metrics
+                            .budget_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(StoreError::Budget { required, limit });
+                    }
                     Err(_) => return Err(self.corrupt(shard, key)),
                 }
             }

@@ -230,6 +230,7 @@ impl BlockStore {
                         &c.payload,
                         &lepton_core::DecompressOptions {
                             model: self.opts.model,
+                            budget: self.opts.budget,
                         },
                     )
                     .ok()
