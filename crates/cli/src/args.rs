@@ -41,7 +41,8 @@ pub enum Command {
         seed: u64,
     },
     /// `lepton serve (--uds PATH | --tcp ADDR) [--max-conns N]
-    /// [--threshold T] [--shutoff FILE]` — run the conversion service.
+    /// [--workers N] [--threshold T] [--shutoff FILE]` — run the
+    /// conversion service.
     Serve {
         /// `--uds PATH` listen endpoint.
         uds: Option<PathBuf>,
@@ -49,6 +50,8 @@ pub enum Command {
         tcp: Option<String>,
         /// Maximum simultaneous connections.
         max_conns: usize,
+        /// Conversion worker-pool size (`--workers N`, 0 = auto).
+        workers: usize,
         /// Advertised busy threshold.
         threshold: u32,
         /// Shutoff-switch file.
@@ -188,8 +191,9 @@ pub enum FleetCommand {
         /// Replication factor.
         replicas: usize,
     },
-    /// `fleet get --manifest FILE <hex-digest> [out|-] [--replicas R]`:
-    /// fetch a block through failover.
+    /// `fleet get --manifest FILE <hex-digest> [out|-] [--replicas R]
+    /// [--hedge-ms MS]`: fetch a block through failover, optionally
+    /// hedging to the next replica after MS milliseconds.
     Get {
         /// Manifest file.
         manifest: PathBuf,
@@ -199,6 +203,8 @@ pub enum FleetCommand {
         output: Output,
         /// Replication factor.
         replicas: usize,
+        /// Hedge budget in milliseconds (`--hedge-ms MS`).
+        hedge_ms: Option<u64>,
     },
     /// `fleet stat --manifest FILE [--replicas R]`: aggregate
     /// per-node blockstore stats and health.
@@ -350,6 +356,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             let mut uds = None;
             let mut tcp = None;
             let mut max_conns = 64usize;
+            let mut workers = 0usize;
             let mut threshold = 3u32;
             let mut shutoff = None;
             while let Some(a) = it.next() {
@@ -357,6 +364,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                     "--uds" => uds = Some(PathBuf::from(want_value(a, &mut it)?)),
                     "--tcp" => tcp = Some(want_value(a, &mut it)?.to_string()),
                     "--max-conns" => max_conns = parse_num(a, want_value(a, &mut it)?)?,
+                    "--workers" => workers = parse_num(a, want_value(a, &mut it)?)?,
                     "--threshold" => threshold = parse_num(a, want_value(a, &mut it)?)?,
                     "--shutoff" => shutoff = Some(PathBuf::from(want_value(a, &mut it)?)),
                     _ => return Err(UsageError(format!("unknown flag {a}"))),
@@ -371,6 +379,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 uds,
                 tcp,
                 max_conns,
+                workers,
                 threshold,
                 shutoff,
             })
@@ -506,6 +515,7 @@ fn parse_fleet<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
     let mut shards = DEFAULT_SHARDS;
     let mut replicas = DEFAULT_REPLICAS;
     let mut compress = true;
+    let mut hedge_ms = None;
     let mut positional: Vec<&str> = Vec::new();
     while let Some(a) = it.next() {
         match a {
@@ -515,12 +525,16 @@ fn parse_fleet<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
             "--shards" => shards = parse_num(a, want_value(a, it)?)?,
             "--replicas" => replicas = parse_num(a, want_value(a, it)?)?,
             "--no-compress" => compress = false,
+            "--hedge-ms" => hedge_ms = Some(parse_num(a, want_value(a, it)?)?),
             _ if a.starts_with("--") => return Err(UsageError(format!("unknown flag {a}"))),
             _ => positional.push(a),
         }
     }
     if replicas == 0 {
         return Err(UsageError("--replicas must be at least 1".into()));
+    }
+    if hedge_ms.is_some() && sub != "get" {
+        return Err(UsageError("--hedge-ms only applies to fleet get".into()));
     }
     let want_manifest = |manifest: Option<PathBuf>| {
         manifest.ok_or_else(|| UsageError(format!("fleet {sub} needs --manifest FILE")))
@@ -559,6 +573,7 @@ fn parse_fleet<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
                 digest,
                 output,
                 replicas,
+                hedge_ms,
             }))
         }
         "stat" => Ok(Command::Fleet(FleetCommand::Stat {
@@ -582,7 +597,7 @@ USAGE:
   lepton decompress <in.lep|-> [out.jpg|-]
   lepton verify     <file...>
   lepton qualify    [--count N] [--seed S]
-  lepton serve      (--uds PATH | --tcp ADDR) [--max-conns N]
+  lepton serve      (--uds PATH | --tcp ADDR) [--max-conns N] [--workers N]
                     [--threshold T] [--shutoff FILE]
   lepton corpus     --out DIR [--count N] [--seed S] [--dirty]
   lepton store put      --root DIR <file...> [--shards N] [--no-compress]
@@ -593,6 +608,7 @@ USAGE:
   lepton fleet serve    --root DIR [--nodes N] [--shards S] [--no-compress]
   lepton fleet put      --manifest FILE <file...> [--replicas R]
   lepton fleet get      --manifest FILE <hex-digest> [out|-] [--replicas R]
+                        [--hedge-ms MS]
   lepton fleet stat     --manifest FILE [--replicas R]
   lepton fleet rebalance --manifest FILE [--replicas R]
   lepton errorcodes
@@ -665,6 +681,47 @@ mod tests {
         assert!(parse(&["compress", "a", "--frobnicate"]).is_err());
         assert!(parse(&["transmogrify"]).is_err());
         assert!(parse(&["qualify", "--count", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn serve_worker_pool_flag() {
+        let Command::Serve { workers, .. } =
+            parse(&["serve", "--uds", "/tmp/s.sock", "--workers", "6"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(workers, 6);
+        // Default is 0: size the pool from the machine.
+        let Command::Serve { workers, .. } = parse(&["serve", "--uds", "/tmp/s.sock"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(workers, 0);
+    }
+
+    #[test]
+    fn fleet_get_hedge_budget_flag() {
+        let Command::Fleet(FleetCommand::Get { hedge_ms, .. }) = parse(&[
+            "fleet",
+            "get",
+            "--manifest",
+            "/m",
+            "--hedge-ms",
+            "15",
+            "abc",
+        ])
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(hedge_ms, Some(15));
+        // Absent by default, and meaningless on writes.
+        let Command::Fleet(FleetCommand::Get { hedge_ms, .. }) =
+            parse(&["fleet", "get", "--manifest", "/m", "abc"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(hedge_ms, None);
+        assert!(parse(&["fleet", "put", "--manifest", "/m", "--hedge-ms", "15", "f"]).is_err());
     }
 
     #[test]

@@ -242,6 +242,7 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
             uds,
             tcp,
             max_conns,
+            workers,
             threshold,
             shutoff,
         } => {
@@ -252,6 +253,7 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
             };
             let cfg = lepton_server::ServiceConfig {
                 max_connections: max_conns,
+                conversion_workers: workers,
                 busy_threshold: threshold,
                 shutoff_file: shutoff,
                 ..Default::default()
@@ -540,14 +542,17 @@ fn run_store(cmd: StoreCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
     }
 }
 
-/// Build a gateway from a manifest file.
+/// Build a gateway from a manifest file. `hedge` arms the hedged-read
+/// path: fire the next replica after the budget, first success wins.
 fn open_gateway(
     manifest: &Path,
     replicas: usize,
+    hedge: Option<std::time::Duration>,
 ) -> Result<FleetGateway, Box<dyn std::error::Error>> {
     let members = read_manifest(manifest)?;
     let cfg = FleetConfig {
         replicas,
+        hedge,
         ..Default::default()
     };
     Ok(FleetGateway::new(members, cfg))
@@ -596,7 +601,7 @@ fn run_fleet(cmd: FleetCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             files,
             replicas,
         } => {
-            let gw = open_gateway(&manifest, replicas)?;
+            let gw = open_gateway(&manifest, replicas, None)?;
             for path in &files {
                 let data = std::fs::read(path)?;
                 let key = gw.put(&data)?;
@@ -620,8 +625,10 @@ fn run_fleet(cmd: FleetCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             digest,
             output,
             replicas,
+            hedge_ms,
         } => {
-            let gw = open_gateway(&manifest, replicas)?;
+            let hedge = hedge_ms.map(std::time::Duration::from_millis);
+            let gw = open_gateway(&manifest, replicas, hedge)?;
             let key = parse_hex(&digest)
                 .ok_or_else(|| args::UsageError(format!("bad digest {digest:?}")))?;
             match gw.get(&key)? {
@@ -644,7 +651,7 @@ fn run_fleet(cmd: FleetCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             }
         }
         FleetCommand::Stat { manifest, replicas } => {
-            let gw = open_gateway(&manifest, replicas)?;
+            let gw = open_gateway(&manifest, replicas, None)?;
             let s = gw.stat();
             writeln!(
                 log,
@@ -680,7 +687,7 @@ fn run_fleet(cmd: FleetCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             Ok(0)
         }
         FleetCommand::Rebalance { manifest, replicas } => {
-            let gw = open_gateway(&manifest, replicas)?;
+            let gw = open_gateway(&manifest, replicas, None)?;
             let report = lepton_fleet::rebalance(&gw);
             writeln!(
                 log,
@@ -1039,6 +1046,7 @@ mod tests {
                 digest: hex(&key),
                 output: Output::Path(out.clone()),
                 replicas: 2,
+                hedge_ms: Some(10),
             }),
             &mut log,
         );

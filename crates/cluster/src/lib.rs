@@ -35,4 +35,4 @@ pub mod workload;
 
 pub use metrics::{Percentiles, TimeSeries};
 pub use sim::{ClusterConfig, ClusterSim, JobKind, OutsourcePolicy, SimReport};
-pub use workload::{WorkloadConfig, WorkloadPhase};
+pub use workload::{WorkloadConfig, WorkloadPhase, Zipf};

@@ -108,6 +108,60 @@ impl WorkloadConfig {
     }
 }
 
+/// Zipf-distributed popularity over a fixed catalog of `n` items:
+/// item `k` (0-based, rank `k + 1`) is drawn with probability
+/// proportional to `1 / (k + 1)^s`. Photo access is head-heavy — a
+/// small set of recently shared images absorbs most reads while the
+/// long tail sleeps in cold storage — and a replay trace without that
+/// skew exercises caches and replicas nothing like production does.
+///
+/// Sampling is inverse-CDF over a precomputed table: O(n) to build,
+/// O(log n) per draw, deterministic given the rng.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[k]` = P(item <= k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` items with exponent `s` (1.0 is the classic
+    /// web-object skew; smaller flattens toward uniform).
+    ///
+    /// # Panics
+    /// If `n` is zero.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "a Zipf catalog needs at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one item index in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point: first rank whose cumulative mass covers u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Catalog size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects empty catalogs); here so
+    /// `len` satisfies the usual pairing lint.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +209,47 @@ mod tests {
             .sum();
         let mean = total / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_deterministic() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 1000];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 1 under s=1.0 over 1000 items carries ~13% of the mass
+        // (1/H_1000 ≈ 0.134); the top ten together carry ~39%.
+        let head = counts[0] as f64 / n as f64;
+        assert!((0.10..=0.17).contains(&head), "rank-1 mass {head}");
+        let top10: usize = counts[..10].iter().sum();
+        assert!(
+            top10 as f64 / n as f64 > 0.3,
+            "top-10 mass {}",
+            top10 as f64 / n as f64
+        );
+        // Every draw is in range, and the same seed replays the same
+        // trace.
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_flat_exponent_approaches_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "s=0 must be near-uniform: {max}/{min}");
     }
 
     #[test]

@@ -286,6 +286,23 @@ impl Engine {
         self.workers
     }
 
+    /// Unstarted jobs sitting in the engine's queue right now.
+    ///
+    /// This is the backlog signal the serving layer's admission
+    /// control sheds on: a deep queue means conversions are already
+    /// waiting for workers, so accepting more work would only grow
+    /// latency, not throughput. The number is instantaneously stale by
+    /// construction — callers must treat it as a load gauge, never as
+    /// a capacity reservation.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("engine queue")
+            .entries
+            .len()
+    }
+
     /// Compress a whole JPEG file into a single Lepton container using
     /// this engine's pool.
     pub fn compress(

@@ -17,7 +17,10 @@
 //!   error or timeout; when a later replica serves the block, the
 //!   copies observed missing or damaged on earlier replicas are
 //!   **read-repaired** in-line (the server quarantines damaged
-//!   records on read precisely so this repair `put` can land).
+//!   records on read precisely so this repair `put` can land). With
+//!   [`FleetConfig::hedge`] set, reads are **hedged**: a primary that
+//!   blows the latency budget races the next replica, first verified
+//!   answer wins, and the loser is abandoned without being charged.
 //! * **Health** — consecutive failures eject a node (probation
 //!   re-probes let it back in), so a dead machine costs one timeout,
 //!   not one per request.
@@ -52,6 +55,12 @@ pub struct FleetConfig {
     pub retry: RetryPolicy,
     /// Ejection policy.
     pub health: HealthPolicy,
+    /// Hedged-read latency budget: when set, a `get` whose first
+    /// replica has not answered within this budget fires the same
+    /// read at the next replica and serves whichever answers first
+    /// (the classic tail-taming trade: a little duplicate work for a
+    /// lot of p99). `None` (the default) reads strictly serially.
+    pub hedge: Option<Duration>,
 }
 
 impl Default for FleetConfig {
@@ -68,6 +77,7 @@ impl Default for FleetConfig {
                 max_backoff: Duration::from_millis(200),
             },
             health: HealthPolicy::default(),
+            hedge: None,
         }
     }
 }
@@ -113,6 +123,16 @@ pub struct FleetMetrics {
     pub read_repairs: AtomicU64,
     /// Node ejection events.
     pub ejections: AtomicU64,
+    /// Hedge attempts fired: reads where the first replica had not
+    /// answered within the hedge budget and a second replica was
+    /// asked concurrently.
+    pub hedged_reads: AtomicU64,
+    /// Reads served by a hedge attempt rather than the primary.
+    pub hedge_wins: AtomicU64,
+    /// In-flight attempts abandoned because another attempt served the
+    /// read first. A cancelled loser's outcome is unknown, so it is
+    /// never charged to node health and never counted as a failover.
+    pub hedge_cancellations: AtomicU64,
 }
 
 /// Errors the gateway can return.
@@ -160,6 +180,9 @@ enum ReadOutcome {
     /// Node skipped because its health state refuses traffic.
     Skipped,
 }
+
+/// A hedge attempt's answer: which slot fired it, and what came back.
+type AttemptReply = (usize, Result<Option<Vec<u8>>, ClientError>);
 
 /// Per-node rows of a [`FleetGateway::stat`] aggregation.
 #[derive(Clone, Debug)]
@@ -322,62 +345,100 @@ impl FleetGateway {
     /// only when *every* replica authoritatively answered "not found";
     /// a set where some replica failed is an error, because the block
     /// may exist on the unreachable copy.
+    ///
+    /// When [`FleetConfig::hedge`] is set, the read is hedged: if the
+    /// first replica has not answered within the budget, the same read
+    /// fires at the next replica concurrently and whichever answers
+    /// first is served (verified); the loser is abandoned and counted
+    /// in `hedge_cancellations`.
     pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, FleetError> {
         let members = self.replica_set(key);
         if members.is_empty() {
             return Err(FleetError::NoNodes);
         }
-        let mut outcomes: Vec<(usize, ReadOutcome)> = Vec::with_capacity(members.len());
-        let mut last: Option<ClientError> = None;
-        for &m in &members {
-            let node = &self.nodes[m];
-            if !node.health.admit() {
-                outcomes.push((m, ReadOutcome::Skipped));
-                continue;
-            }
-            match retry_with_backoff(&self.cfg.retry, |_| {
-                client::block_get(&node.endpoint, key, self.cfg.timeout)
-            }) {
-                Ok(Some(bytes)) => {
-                    if sha256(&bytes) != *key {
-                        // Never let one node's corruption exit the
-                        // gateway; treat as a damaged replica.
-                        self.record_outcome(m, false);
-                        outcomes.push((m, ReadOutcome::Damaged));
-                        last = Some(ClientError::Garbled("replica served wrong bytes"));
-                        continue;
-                    }
-                    self.record_outcome(m, true);
-                    // A failover is a serve after an earlier replica
-                    // was *attempted* and did not deliver; skipping an
-                    // already-ejected node is routing, not failover —
-                    // a healthy converged fleet must read as zero.
-                    if outcomes
-                        .iter()
-                        .any(|(_, o)| !matches!(o, ReadOutcome::Skipped))
-                    {
-                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
-                    }
-                    self.repair(key, &bytes, &outcomes);
-                    self.metrics.gets.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Some(bytes));
-                }
-                Ok(None) => {
-                    self.record_outcome(m, true); // the node answered
-                    outcomes.push((m, ReadOutcome::Missing));
-                }
-                Err(e) => {
-                    let outcome = if e.is_transient() {
-                        ReadOutcome::Down
-                    } else {
-                        ReadOutcome::Damaged
-                    };
+        match self.cfg.hedge {
+            Some(budget) if members.len() >= 2 => self.get_hedged(key, &members, budget),
+            _ => self.get_serial(key, &members),
+        }
+    }
+
+    /// One blocking read attempt against node `m` (retry policy and
+    /// all).
+    fn attempt_read(&self, m: usize, key: &Digest) -> Result<Option<Vec<u8>>, ClientError> {
+        retry_with_backoff(&self.cfg.retry, |_| {
+            client::block_get(&self.nodes[m].endpoint, key, self.cfg.timeout)
+        })
+    }
+
+    /// Classify one completed read attempt, recording node health.
+    fn classify_read(
+        &self,
+        m: usize,
+        key: &Digest,
+        result: Result<Option<Vec<u8>>, ClientError>,
+    ) -> Result<Vec<u8>, (ReadOutcome, Option<ClientError>)> {
+        match result {
+            Ok(Some(bytes)) => {
+                if sha256(&bytes) != *key {
+                    // Never let one node's corruption exit the
+                    // gateway; treat as a damaged replica.
                     self.record_outcome(m, false);
-                    outcomes.push((m, outcome));
-                    last = Some(e);
+                    Err((
+                        ReadOutcome::Damaged,
+                        Some(ClientError::Garbled("replica served wrong bytes")),
+                    ))
+                } else {
+                    self.record_outcome(m, true);
+                    Ok(bytes)
                 }
+            }
+            Ok(None) => {
+                self.record_outcome(m, true); // the node answered
+                Err((ReadOutcome::Missing, None))
+            }
+            Err(e) => {
+                let outcome = if e.is_transient() {
+                    ReadOutcome::Down
+                } else {
+                    ReadOutcome::Damaged
+                };
+                self.record_outcome(m, false);
+                Err((outcome, Some(e)))
             }
         }
+    }
+
+    /// Serve verified bytes: count the failover (if any earlier
+    /// replica was *attempted* and did not deliver — skipping an
+    /// already-ejected node is routing, not failover, and a cancelled
+    /// hedge loser never completed, so it is neither), repair the
+    /// replicas known to lack the block, bump the counter.
+    fn serve_read(
+        &self,
+        key: &Digest,
+        bytes: Vec<u8>,
+        outcomes: &[(usize, ReadOutcome)],
+    ) -> Result<Option<Vec<u8>>, FleetError> {
+        if outcomes
+            .iter()
+            .any(|(_, o)| !matches!(o, ReadOutcome::Skipped))
+        {
+            self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        self.repair(key, &bytes, outcomes);
+        self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(bytes))
+    }
+
+    /// The terminal no-serve answer: authoritative not-found only when
+    /// every replica said "missing"; otherwise the error that kept the
+    /// block unreachable.
+    fn exhausted_read(
+        &self,
+        key: &Digest,
+        outcomes: &[(usize, ReadOutcome)],
+        last: Option<ClientError>,
+    ) -> Result<Option<Vec<u8>>, FleetError> {
         if outcomes
             .iter()
             .all(|(_, o)| matches!(o, ReadOutcome::Missing))
@@ -389,6 +450,159 @@ impl FleetGateway {
             key: *key,
             last: last.unwrap_or(ClientError::Garbled("all replicas ejected")),
         })
+    }
+
+    /// Advance through `members` from `*pos`, recording skips for
+    /// nodes whose health refuses traffic, until one admits a request.
+    /// Admission is consulted lazily — exactly once per node per get —
+    /// so a probing node's single probe slot is never consumed by a
+    /// replica that was never actually tried.
+    fn next_admitted(
+        &self,
+        members: &[usize],
+        pos: &mut usize,
+        outcomes: &mut Vec<(usize, ReadOutcome)>,
+    ) -> Option<usize> {
+        while *pos < members.len() {
+            let m = members[*pos];
+            *pos += 1;
+            if self.nodes[m].health.admit() {
+                return Some(m);
+            }
+            outcomes.push((m, ReadOutcome::Skipped));
+        }
+        None
+    }
+
+    /// The strictly serial read path: one replica at a time, in ring
+    /// order.
+    fn get_serial(&self, key: &Digest, members: &[usize]) -> Result<Option<Vec<u8>>, FleetError> {
+        let mut outcomes: Vec<(usize, ReadOutcome)> = Vec::with_capacity(members.len());
+        let mut last: Option<ClientError> = None;
+        let mut pos = 0usize;
+        while let Some(m) = self.next_admitted(members, &mut pos, &mut outcomes) {
+            match self.classify_read(m, key, self.attempt_read(m, key)) {
+                Ok(bytes) => return self.serve_read(key, bytes, &outcomes),
+                Err((outcome, err)) => {
+                    outcomes.push((m, outcome));
+                    if err.is_some() {
+                        last = err;
+                    }
+                }
+            }
+        }
+        self.exhausted_read(key, &outcomes, last)
+    }
+
+    /// The hedged read path: fire the primary, and if it has not
+    /// answered within `budget`, fire the next admitted replica too.
+    /// First verified success wins; any attempt still in flight at
+    /// serve time is abandoned (counted, never charged to health —
+    /// its outcome is unknown, and charging a node for being slower
+    /// than the winner would let one hot request eject a healthy
+    /// node). If both hedge attempts complete without serving, the
+    /// remaining replicas are tried serially, preserving the serial
+    /// path's exhaustion semantics.
+    fn get_hedged(
+        &self,
+        key: &Digest,
+        members: &[usize],
+        budget: Duration,
+    ) -> Result<Option<Vec<u8>>, FleetError> {
+        let mut outcomes: Vec<(usize, ReadOutcome)> = Vec::with_capacity(members.len());
+        let mut last: Option<ClientError> = None;
+        let mut pos = 0usize;
+
+        let (tx, rx) = std::sync::mpsc::channel::<AttemptReply>();
+        let Some(primary) = self.next_admitted(members, &mut pos, &mut outcomes) else {
+            return self.exhausted_read(key, &outcomes, last);
+        };
+        self.spawn_attempt(0, primary, key, tx.clone());
+        let mut fired = vec![primary];
+        let mut pending = 1usize;
+        let mut hedged = false;
+
+        while pending > 0 {
+            let msg = if !hedged {
+                match rx.recv_timeout(budget) {
+                    Ok(msg) => Some(msg),
+                    Err(_) => {
+                        // Budget blown: fire the hedge at the next
+                        // admitted replica (if any remains).
+                        hedged = true;
+                        if let Some(m) = self.next_admitted(members, &mut pos, &mut outcomes) {
+                            self.metrics.hedged_reads.fetch_add(1, Ordering::Relaxed);
+                            self.spawn_attempt(fired.len(), m, key, tx.clone());
+                            fired.push(m);
+                            pending += 1;
+                        }
+                        None
+                    }
+                }
+            } else {
+                // We hold a sender, so recv() cannot disconnect; the
+                // pending counter bounds how many messages exist.
+                rx.recv().ok()
+            };
+            let Some((slot, result)) = msg else { continue };
+            pending -= 1;
+            let m = fired[slot];
+            match self.classify_read(m, key, result) {
+                Ok(bytes) => {
+                    if slot > 0 {
+                        self.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if pending > 0 {
+                        self.metrics
+                            .hedge_cancellations
+                            .fetch_add(pending as u64, Ordering::Relaxed);
+                    }
+                    return self.serve_read(key, bytes, &outcomes);
+                }
+                Err((outcome, err)) => {
+                    outcomes.push((m, outcome));
+                    if err.is_some() {
+                        last = err;
+                    }
+                }
+            }
+        }
+
+        // Both hedge attempts completed without a serve: walk the
+        // remaining replicas serially.
+        while let Some(m) = self.next_admitted(members, &mut pos, &mut outcomes) {
+            match self.classify_read(m, key, self.attempt_read(m, key)) {
+                Ok(bytes) => return self.serve_read(key, bytes, &outcomes),
+                Err((outcome, err)) => {
+                    outcomes.push((m, outcome));
+                    if err.is_some() {
+                        last = err;
+                    }
+                }
+            }
+        }
+        self.exhausted_read(key, &outcomes, last)
+    }
+
+    /// Fire one read attempt on its own thread with fully owned data;
+    /// the result (or nothing, if the gateway stopped listening) comes
+    /// back over the channel tagged with its slot.
+    fn spawn_attempt(
+        &self,
+        slot: usize,
+        m: usize,
+        key: &Digest,
+        tx: std::sync::mpsc::Sender<AttemptReply>,
+    ) {
+        let endpoint = self.nodes[m].endpoint.clone();
+        let key = *key;
+        let timeout = self.cfg.timeout;
+        let retry = self.cfg.retry;
+        std::thread::spawn(move || {
+            let result =
+                retry_with_backoff(&retry, |_| client::block_get(&endpoint, &key, timeout));
+            let _ = tx.send((slot, result));
+        });
     }
 
     /// Re-write `data` onto replicas that answered "missing" or

@@ -15,7 +15,9 @@
 //!   ejection, probation re-probes.
 //! * [`gateway`] — [`FleetGateway`]: replicated `put` (R copies,
 //!   success on primary ack, partial writes counted), failover `get`
-//!   with in-line read-repair, fleet-wide `stat`.
+//!   with in-line read-repair and optional hedging (race the next
+//!   replica after a latency budget — the tail-taming read path the
+//!   `fig10_replay` harness measures), fleet-wide `stat`.
 //! * [`mod@rebalance`] — after a topology change, stream only the
 //!   blocks whose replica set changed onto their new owners.
 //! * [`local`] — [`LocalFleet`]: N complete nodes in one process, plus

@@ -87,6 +87,22 @@ impl LocalFleet {
         self.handles[idx].is_some()
     }
 
+    /// Node `idx`'s live service handle (None once killed) — for
+    /// reading its gauges and metrics, or injecting test conditions.
+    pub fn handle(&self, idx: usize) -> Option<&ServiceHandle> {
+        self.handles[idx].as_ref()
+    }
+
+    /// Make node `idx` serve every conversion and block op `d` slower
+    /// (0 restores full speed): the degraded-host regime of §6.3/§6.6
+    /// — the node is up, answering probes, and slow — which is exactly
+    /// the failure hedged reads exist to hide. No-op on a killed node.
+    pub fn inject_delay(&self, idx: usize, d: std::time::Duration) {
+        if let Some(handle) = &self.handles[idx] {
+            handle.inject_delay(d);
+        }
+    }
+
     /// The manifest text for this fleet.
     pub fn manifest(&self) -> String {
         let mut out = String::new();

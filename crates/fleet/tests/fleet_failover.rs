@@ -253,3 +253,63 @@ fn missing_copy_from_partial_write_is_read_repaired() {
 
     std::fs::remove_dir_all(&root).unwrap();
 }
+
+#[test]
+fn hedged_read_beats_a_slow_replica_without_charging_it() {
+    let root = temp_root("hedge");
+    let fleet = LocalFleet::spawn(
+        &root,
+        3,
+        &StoreConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .unwrap();
+    let cfg = FleetConfig {
+        hedge: Some(Duration::from_millis(50)),
+        ..fleet_cfg()
+    };
+    let gw = FleetGateway::new(fleet.members().to_vec(), cfg);
+
+    let block = payloads().pop().unwrap();
+    let key = gw.put(&block).unwrap();
+    // Turn this key's primary into the degraded-host regime: up,
+    // answering, slow. A serial read would eat the whole delay.
+    let primary = gw.replica_set(&key)[0];
+    fleet.inject_delay(primary, Duration::from_secs(2));
+
+    let t0 = std::time::Instant::now();
+    let got = gw.get(&key).unwrap().expect("present");
+    let elapsed = t0.elapsed();
+    assert_eq!(got, block);
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "hedge must beat the slow primary, took {elapsed:?}"
+    );
+
+    assert_eq!(gw.metrics.hedged_reads.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics.hedge_wins.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        gw.metrics.hedge_cancellations.load(Ordering::Relaxed),
+        1,
+        "the abandoned primary attempt is counted"
+    );
+    // The loser never completed, so nothing failed: no failover, no
+    // health strike, and certainly no ejection for merely being slow.
+    assert_eq!(gw.metrics.failovers.load(Ordering::Relaxed), 0);
+    assert_eq!(gw.metrics.read_repairs.load(Ordering::Relaxed), 0);
+    let snap = gw.nodes()[primary].health();
+    assert!(!snap.ejected);
+    assert_eq!(snap.consecutive_failures, 0);
+
+    // With the delay lifted, hedged reads stay quiet: the primary
+    // answers within budget and no extra hedge fires.
+    fleet.inject_delay(primary, Duration::ZERO);
+    let got = gw.get(&key).unwrap().expect("present");
+    assert_eq!(got, block);
+    assert_eq!(gw.metrics.hedged_reads.load(Ordering::Relaxed), 1);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

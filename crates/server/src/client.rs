@@ -1,11 +1,20 @@
-//! Blocking client for the conversion service.
+//! Blocking clients for the conversion service.
 //!
-//! One conversion per connection, exactly as the blockserver does it
-//! (§5.5): connect, write op + payload, half-close, read status +
-//! payload to EOF.
+//! Two ways to talk to a service:
+//!
+//! * The free functions ([`compress`], [`block_get`], …) speak the
+//!   legacy one-conversion-per-connection protocol, exactly as the
+//!   blockserver does it (§5.5): connect, write op + payload,
+//!   half-close, read status + payload to EOF.
+//! * [`MuxClient`] speaks the framed multiplexed protocol: one
+//!   connection, many pipelined requests, responses correlated by
+//!   frame id and possibly out of order.
 
-use crate::endpoint::Endpoint;
-use crate::protocol::{read_bounded, BlockStatReply, Op, StatsReply, Status};
+use crate::endpoint::{Conn, Endpoint};
+use crate::protocol::{
+    read_bounded, read_frame, write_frame, BlockStatReply, Frame, Op, StatsReply, Status, MUX_MAGIC,
+};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -54,15 +63,20 @@ impl ClientError {
     }
 
     /// True when retrying the same request could plausibly succeed:
-    /// transport failures and timeouts. A non-timeout refusal is
-    /// authoritative (the input is bad everywhere — §5.5's router
-    /// never re-runs a rejection), a garbled reply means a protocol
-    /// mismatch no retry will fix, and an `InvalidData` I/O error is
-    /// the size-budget gate (`read_bounded`) — deterministic, so
-    /// retrying it only burns backoff sleeps.
+    /// transport failures, timeouts, and admission-control sheds
+    /// ([`Status::Overloaded`] is a statement about the *service's*
+    /// moment, not about the request — backing off and retrying,
+    /// ideally elsewhere, is exactly what the shedding node wants).
+    /// A non-timeout refusal is authoritative (the input is bad
+    /// everywhere — §5.5's router never re-runs a rejection), a
+    /// garbled reply means a protocol mismatch no retry will fix, and
+    /// an `InvalidData` I/O error is the size-budget gate
+    /// (`read_bounded`) — deterministic, so retrying it only burns
+    /// backoff sleeps.
     pub fn is_transient(&self) -> bool {
         match self {
             ClientError::Io(e) => e.kind() != io::ErrorKind::InvalidData,
+            ClientError::Refused(Status::Overloaded) => true,
             _ => self.is_timeout(),
         }
     }
@@ -72,6 +86,22 @@ impl ClientError {
 /// this crate used to hand-roll single attempts; the fleet gateway's
 /// failover path needs disciplined retries, so the policy lives here
 /// where any client can use it.
+///
+/// ```
+/// use lepton_server::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let policy = RetryPolicy {
+///     attempts: 4,
+///     initial_backoff: Duration::from_millis(10),
+///     multiplier: 2,
+///     max_backoff: Duration::from_millis(25),
+/// };
+/// assert_eq!(policy.backoff_for(0), Duration::from_millis(10));
+/// assert_eq!(policy.backoff_for(1), Duration::from_millis(20));
+/// assert_eq!(policy.backoff_for(2), Duration::from_millis(25)); // capped
+/// assert_eq!(RetryPolicy::none().attempts, 1); // single shot
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (so `1` means no retry).
@@ -256,6 +286,84 @@ pub fn block_list(ep: &Endpoint, timeout: Duration) -> Result<Vec<[u8; 32]>, Cli
     }
 }
 
+/// A client for the framed multiplexed protocol: one connection, many
+/// pipelined requests in flight, responses correlated by frame id.
+///
+/// [`send`](MuxClient::send) queues a request and returns immediately
+/// with its id; [`recv`](MuxClient::recv) blocks until that id's
+/// response arrives, stashing any other responses that land first
+/// (the server may answer out of order — a `Ping` overtakes a big
+/// compress). [`call`](MuxClient::call) is the one-shot convenience.
+///
+/// The id `u32::MAX` is reserved: the server answers on it when a
+/// protocol-level failure (oversized or truncated frame) makes the
+/// real id unrecoverable, and closes the connection after.
+pub struct MuxClient {
+    conn: Conn,
+    next_id: u32,
+    /// Responses that arrived while waiting for a different id.
+    stashed: HashMap<u32, (Status, Vec<u8>)>,
+}
+
+impl MuxClient {
+    /// Connect and switch the connection into framed mode.
+    pub fn connect(ep: &Endpoint, timeout: Duration) -> Result<MuxClient, ClientError> {
+        let mut conn = ep.connect(Some(timeout))?;
+        conn.write_all(&[MUX_MAGIC])?;
+        conn.flush()?;
+        Ok(MuxClient {
+            conn,
+            next_id: 0,
+            stashed: HashMap::new(),
+        })
+    }
+
+    /// Queue one request; returns the frame id to [`recv`](Self::recv)
+    /// on. Does not wait for the response — that is the point.
+    pub fn send(&mut self, op: Op, payload: &[u8]) -> Result<u32, ClientError> {
+        let id = self.next_id;
+        // Skip the reserved protocol-failure id on wraparound.
+        self.next_id = match self.next_id.wrapping_add(1) {
+            u32::MAX => 0,
+            n => n,
+        };
+        write_frame(&mut self.conn, id, op.to_wire(), payload)?;
+        Ok(id)
+    }
+
+    /// Block until the response for `id` arrives. Responses for other
+    /// ids are stashed for their own `recv` calls.
+    pub fn recv(&mut self, id: u32) -> Result<(Status, Vec<u8>), ClientError> {
+        if let Some(r) = self.stashed.remove(&id) {
+            return Ok(r);
+        }
+        loop {
+            let Frame {
+                id: got,
+                byte,
+                payload,
+            } = read_frame(&mut self.conn, MAX_RESPONSE)?
+                .ok_or(ClientError::Garbled("connection closed mid-pipeline"))?;
+            let status =
+                Status::from_wire(byte).ok_or(ClientError::Garbled("unknown status byte"))?;
+            if got == id {
+                return Ok((status, payload));
+            }
+            if got == u32::MAX {
+                // Protocol-level failure: the connection is done.
+                return Err(ClientError::Refused(status));
+            }
+            self.stashed.insert(got, (status, payload));
+        }
+    }
+
+    /// One request, one response: `send` + `recv`.
+    pub fn call(&mut self, op: Op, payload: &[u8]) -> Result<(Status, Vec<u8>), ClientError> {
+        let id = self.send(op, payload)?;
+        self.recv(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +376,9 @@ mod tests {
     fn transient_classification() {
         assert!(io_err().is_transient());
         assert!(ClientError::Refused(Status::Timeout).is_transient());
+        // A shed is an invitation to retry elsewhere, not a verdict
+        // on the request.
+        assert!(ClientError::Refused(Status::Overloaded).is_transient());
         assert!(!ClientError::Refused(Status::BadRequest).is_transient());
         assert!(!ClientError::Garbled("x").is_transient());
         // The response-size budget is deterministic; retrying it is

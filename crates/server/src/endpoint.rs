@@ -36,6 +36,18 @@ impl std::str::FromStr for Endpoint {
     /// Parse the [`Display`](std::fmt::Display) form back:
     /// `uds:/path/to.sock` or `tcp:127.0.0.1:9000`. This is the format
     /// fleet manifest files store endpoints in.
+    ///
+    /// ```
+    /// use lepton_server::Endpoint;
+    ///
+    /// let ep: Endpoint = "tcp:127.0.0.1:9000".parse().unwrap();
+    /// assert_eq!(ep.to_string(), "tcp:127.0.0.1:9000");
+    /// assert_eq!(
+    ///     "uds:/tmp/lepton.sock".parse::<Endpoint>().unwrap(),
+    ///     Endpoint::uds("/tmp/lepton.sock"),
+    /// );
+    /// assert!("smoke-signal:hilltop".parse::<Endpoint>().is_err());
+    /// ```
     fn from_str(s: &str) -> io::Result<Endpoint> {
         if let Some(path) = s.strip_prefix("uds:") {
             if path.is_empty() {
@@ -115,6 +127,29 @@ impl Conn {
         match self {
             Conn::Uds(s) => s.shutdown(std::net::Shutdown::Write),
             Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// A second handle onto the same socket. The multiplexed server
+    /// splits a connection this way: the driver thread keeps reading
+    /// request frames from one handle while pool workers write
+    /// response frames through the other.
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    /// Close the read side, unblocking any thread sitting in a read on
+    /// this socket (it sees EOF). The write side stays open, so
+    /// responses already executing can still be delivered — this is
+    /// how the server interrupts idle connections at shutdown without
+    /// dropping in-flight work.
+    pub fn shutdown_read(&self) -> io::Result<()> {
+        match self {
+            Conn::Uds(s) => s.shutdown(std::net::Shutdown::Read),
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Read),
         }
     }
 }

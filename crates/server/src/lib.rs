@@ -7,19 +7,26 @@
 //! instead (§5.5). This crate is that service layer, transport and
 //! all:
 //!
-//! * [`protocol`] — the one-conversion-per-connection wire protocol
-//!   (op byte, payload, half-close; status byte, payload, close), with
-//!   the §6.2 exit-code taxonomy on rejections.
+//! * [`protocol`] — the wire protocol in both modes: legacy
+//!   one-conversion-per-connection (op byte, payload, half-close;
+//!   status byte, payload, close) and framed multiplexed (pipelined
+//!   frames, out-of-order responses), with the §6.2 exit-code
+//!   taxonomy on rejections.
 //! * [`endpoint`] — Unix-domain socket and TCP transports behind one
 //!   [`endpoint::Endpoint`] type.
-//! * [`server`] — one handler per connection with a bounded
-//!   connection cap (conversions oversubscribe the machine exactly as
-//!   the paper's blockservers did — that is what makes outsourcing
+//! * [`server`] — the worker-pooled multiplexing core: bounded
+//!   connection cap, bounded job queue, bounded in-flight bytes per
+//!   connection, admission control that sheds compress-side work with
+//!   a fast typed [`Status::Overloaded`] when the codec engine is
+//!   saturated (conversions oversubscribe the machine exactly as the
+//!   paper's blockservers did — that is what makes outsourcing
 //!   necessary), per-IO timeouts, bounded request sizes,
 //!   shutoff-switch file (§5.7), graceful drain on shutdown.
 //! * [`client`] — blocking one-shot conversion client with timeout
 //!   classification for the §6.6 "exceeded the timeout window" path,
-//!   plus blockstore access (`block_put`/`block_get`/`block_stat`).
+//!   blockstore access (`block_put`/`block_get`/`block_stat`), and
+//!   [`client::MuxClient`] for pipelining many requests over one
+//!   connection.
 //! * [`router`] — outsourcing: power-of-two-choices selection over a
 //!   dedicated cluster ("To dedicated") or the blockserver fleet
 //!   itself ("To self"), with local fallback (§5.5, Fig. 9/10).
@@ -45,9 +52,9 @@ pub mod protocol;
 pub mod router;
 pub mod server;
 
-pub use client::{retry_with_backoff, ClientError, RetryPolicy};
+pub use client::{retry_with_backoff, ClientError, MuxClient, RetryPolicy};
 pub use endpoint::{Conn, Endpoint, Listener};
 pub use gauge::ConcurrencyGauge;
-pub use protocol::{BlockStatReply, Op, StatsReply, Status};
+pub use protocol::{BlockStatReply, Frame, Op, StatsReply, Status, MUX_MAGIC};
 pub use router::{Destination, Router, RouterMetrics, Strategy};
 pub use server::{serve, ServiceConfig, ServiceHandle, ServiceMetrics};

@@ -20,6 +20,26 @@
 //!
 //! Rejection statuses carry the §6.2 exit-code taxonomy so the caller
 //! can account for them exactly like the production exit-code table.
+//!
+//! # Framed (multiplexed) mode
+//!
+//! The one-conversion-per-connection shape cannot pipeline: the
+//! request end is marked by half-close, so a second request needs a
+//! second connection. A client that wants pipelining sends the
+//! [`MUX_MAGIC`] byte (`'M'`, unused by any legacy op) as its *first*
+//! byte instead of an op; the connection then switches to a framed
+//! protocol for its whole lifetime:
+//!
+//! ```text
+//! request frame  = id:u32le op:u8     len:u32le payload[len]
+//! response frame = id:u32le status:u8 len:u32le payload[len]
+//! ```
+//!
+//! Frame ids are chosen by the client and echoed back verbatim;
+//! responses may complete **out of order** (the whole point — a small
+//! ping never queues behind a large conversion), so the id is the only
+//! correlation. Legacy clients are untouched: a connection that opens
+//! with any other byte gets the classic half-close protocol.
 
 use lepton_core::ExitCode;
 use std::io::{self, Read, Write};
@@ -109,6 +129,11 @@ pub enum Status {
     /// on-disk record failed its integrity check — corrupted blocks
     /// are refused, never served).
     StorageFailed,
+    /// Admission control shed this request: the conversion backlog is
+    /// past the configured depth and queueing more work would only
+    /// grow latency. Unlike [`Status::Rejected`] this says nothing
+    /// about the input — retry after backoff, ideally elsewhere.
+    Overloaded,
     /// The input was rejected; carries the exit-code taxonomy row.
     Rejected(ExitCode),
 }
@@ -152,6 +177,7 @@ impl Status {
             Status::Timeout => 4,
             Status::NotFound => 5,
             Status::StorageFailed => 6,
+            Status::Overloaded => 7,
             Status::Rejected(code) => REJECT_BASE + exit_code_index(code),
         }
     }
@@ -166,6 +192,7 @@ impl Status {
             4 => Some(Status::Timeout),
             5 => Some(Status::NotFound),
             6 => Some(Status::StorageFailed),
+            7 => Some(Status::Overloaded),
             b if b >= REJECT_BASE => EXIT_CODES
                 .get((b - REJECT_BASE) as usize)
                 .map(|c| Status::Rejected(*c)),
@@ -355,6 +382,72 @@ pub fn write_response<W: Write>(stream: &mut W, status: Status, payload: &[u8]) 
     stream.flush()
 }
 
+/// First byte of a connection that wants the framed multiplexed
+/// protocol instead of the legacy one-conversion-per-connection shape.
+/// Deliberately outside the legacy op alphabet so the two modes cannot
+/// be confused.
+pub const MUX_MAGIC: u8 = b'M';
+
+/// Fixed bytes before a frame's payload: `id:u32le byte:u8 len:u32le`.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// One frame of the multiplexed protocol, either direction: the
+/// client's `byte` is an op, the server's a status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed verbatim on the response.
+    pub id: u32,
+    /// Op byte (requests) or status byte (responses).
+    pub byte: u8,
+    /// The frame body.
+    pub payload: Vec<u8>,
+}
+
+/// Read one frame. `Ok(None)` means the peer closed cleanly at a frame
+/// boundary; a partial header is an `UnexpectedEof` error. A declared
+/// length above `max_payload` is refused (`InvalidData`) *before* any
+/// allocation — the §5.1 discipline: input size is policed before it
+/// becomes memory.
+pub fn read_frame<R: Read>(stream: &mut R, max_payload: usize) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut got = 0;
+    while got < header.len() {
+        match stream.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame-header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let id = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let byte = header[4];
+    let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    if len > max_payload {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds size budget",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(Frame { id, byte, payload }))
+}
+
+/// Write one frame (either direction) and flush it.
+pub fn write_frame<W: Write>(stream: &mut W, id: u32, byte: u8, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0..4].copy_from_slice(&id.to_le_bytes());
+    header[4] = byte;
+    header[5..9].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    stream.write_all(&header)?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +480,7 @@ mod tests {
             Status::Timeout,
             Status::NotFound,
             Status::StorageFailed,
+            Status::Overloaded,
         ];
         statuses.extend(EXIT_CODES.iter().map(|c| Status::Rejected(*c)));
         for s in statuses {
@@ -396,7 +490,7 @@ mod tests {
 
     #[test]
     fn status_wire_rejects_gaps_and_overflow() {
-        assert_eq!(Status::from_wire(7), None);
+        assert_eq!(Status::from_wire(8), None);
         assert_eq!(Status::from_wire(0x0f), None);
         assert_eq!(
             Status::from_wire(REJECT_BASE + EXIT_CODES.len() as u8),
@@ -485,5 +579,47 @@ mod tests {
         write_response(&mut out, Status::Rejected(ExitCode::Progressive), b"p").unwrap();
         assert_eq!(out[0], Status::Rejected(ExitCode::Progressive).to_wire());
         assert_eq!(&out[1..], b"p");
+    }
+
+    #[test]
+    fn mux_magic_is_not_a_legacy_op() {
+        assert_eq!(Op::from_wire(MUX_MAGIC), None, "mode byte must be free");
+    }
+
+    #[test]
+    fn frame_roundtrip_and_clean_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, Op::Compress.to_wire(), b"body").unwrap();
+        write_frame(&mut wire, 8, Status::Ok.to_wire(), &[]).unwrap();
+        let mut r: &[u8] = &wire;
+        let f1 = read_frame(&mut r, 1 << 20).unwrap().unwrap();
+        assert_eq!(
+            (f1.id, f1.byte, f1.payload.as_slice()),
+            (7, b'C', &b"body"[..])
+        );
+        let f2 = read_frame(&mut r, 1 << 20).unwrap().unwrap();
+        assert_eq!((f2.id, f2.byte, f2.payload.len()), (8, 0, 0));
+        assert!(read_frame(&mut r, 1 << 20).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_length_is_policed_before_allocation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b'C', &[0u8; 100]).unwrap();
+        let mut r: &[u8] = &wire;
+        let err = read_frame(&mut r, 99).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b'C', b"abcdef").unwrap();
+        // Header cut short.
+        let mut r: &[u8] = &wire[..4];
+        assert!(read_frame(&mut r, 1 << 20).is_err());
+        // Payload cut short.
+        let mut r: &[u8] = &wire[..FRAME_HEADER_LEN + 2];
+        assert!(read_frame(&mut r, 1 << 20).is_err());
     }
 }

@@ -1,25 +1,57 @@
-//! The conversion service: one handler per connection behind a socket.
+//! The conversion service: a worker-pooled multiplexing core.
 //!
-//! Mirrors the production deployment's shape (§5.5): each connection
-//! carries exactly one conversion, conversions genuinely oversubscribe
-//! the machine (that is what makes outsourcing necessary — Fig. 9), the
-//! concurrency gauge sees every conversion in flight, and load probes
-//! answer immediately rather than queueing behind conversions. The
-//! shutoff switch is a file whose existence is checked before
-//! compressing anything new (§5.7); decodes are never refused —
-//! durability of reads trumps everything. Connection count is capped
-//! (the §5.1 bounded-resources discipline); past the cap, new
-//! connections wait in the accept backlog.
+//! Mirrors the production deployment's shape (§5.5) and adds the
+//! serving discipline a tail-latency SLO demands. Two wire modes share
+//! every handler:
+//!
+//! * **Legacy mode** — one conversion per connection (op byte,
+//!   payload, half-close), exactly as the paper's blockservers spoke.
+//!   A connection that opens with any legacy op byte is served
+//!   entirely by its driver thread, byte-for-byte compatible with
+//!   every pre-existing client.
+//! * **Framed (multiplexed) mode** — a connection that opens with
+//!   [`MUX_MAGIC`] carries pipelined frames: the driver thread keeps
+//!   *decoding the next request frame while previous conversions are
+//!   still running* on the shared worker pool, and responses complete
+//!   out of order, correlated by frame id.
+//!
+//! The resource discipline (§5.1: bound everything *before* it becomes
+//! memory or threads):
+//!
+//! * **Connections** are capped by a permit semaphore; past the cap,
+//!   clients wait in the accept backlog. Driver threads therefore
+//!   never exceed `max_connections` — overload cannot stack threads.
+//! * **Pipelined bytes** are capped per connection: a framed
+//!   connection may have at most `max_inflight_bytes` of request
+//!   payload admitted-but-unanswered; past that the driver stops
+//!   reading, which turns into TCP backpressure on the sender.
+//! * **Conversion jobs** from framed connections flow through one
+//!   bounded job queue into a fixed worker pool.
+//! * **Admission control** sheds compress-side work (`Compress`,
+//!   `BlockPut`) with a fast typed [`Status::Overloaded`] when the job
+//!   queue is full or the codec engine's own queue is already deep —
+//!   the caller falls back (Deflate, another replica) exactly as it
+//!   does for the §5.7 shutoff switch. Decode-side work is **never
+//!   shed**: reads trump everything, so a full queue blocks the driver
+//!   (backpressure) instead of refusing the read.
+//!
+//! The shutoff switch is a file whose existence is checked before
+//! compressing anything new (§5.7); decodes are never refused. Load
+//! probes (`Ping`/`Stats`) are answered inline by the driver, never
+//! queued behind conversions.
 
 use crate::endpoint::{Conn, Endpoint, Listener};
 use crate::gauge::ConcurrencyGauge;
-use crate::protocol::{read_request, write_response, BlockStatReply, Op, StatsReply, Status};
+use crate::protocol::{
+    read_bounded, read_frame, write_frame, write_response, BlockStatReply, Op, StatsReply, Status,
+    MUX_MAGIC,
+};
 use lepton_core::{CompressOptions, ExitCode};
 use lepton_storage::blockstore::{ShardedStore, StoreError};
-use std::io::Write;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -51,6 +83,23 @@ pub struct ServiceConfig {
     /// the process hosting the service can also touch the store
     /// directly (e.g. a backfill worker).
     pub blockstore: Option<Arc<ShardedStore>>,
+    /// Worker threads executing framed-mode conversion jobs. `0`
+    /// (default) sizes the pool from available parallelism, capped at
+    /// 8 — conversions may oversubscribe the codec engine, which is
+    /// what makes outsourcing worthwhile (Fig. 9), but never grow with
+    /// connection count.
+    pub conversion_workers: usize,
+    /// Capacity of the bounded framed-mode job queue. A full queue
+    /// sheds compress-side work ([`Status::Overloaded`]) and
+    /// backpressures decode-side work.
+    pub job_queue_depth: usize,
+    /// Admission control: shed compress-side work while the codec
+    /// engine's own queue is deeper than this many unstarted jobs.
+    pub shed_engine_queue: usize,
+    /// Per-connection cap on pipelined request bytes that are admitted
+    /// but not yet answered; past it the driver stops reading frames
+    /// (TCP backpressure), bounding what one connection can pin.
+    pub max_inflight_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +112,10 @@ impl Default for ServiceConfig {
             max_request_bytes: 24 << 20,
             shutoff_file: None,
             blockstore: None,
+            conversion_workers: 0,
+            job_queue_depth: 128,
+            shed_engine_queue: 512,
+            max_inflight_bytes: 64 << 20,
         }
     }
 }
@@ -76,16 +129,72 @@ pub struct ServiceMetrics {
     pub failed: AtomicU32,
     /// Compression requests refused because the shutoff switch was on.
     pub shutoff_refusals: AtomicU32,
+    /// Requests shed by admission control ([`Status::Overloaded`]) —
+    /// also counted in `failed`.
+    pub shed: AtomicU64,
+}
+
+/// One framed-mode conversion job, queued to the worker pool.
+struct MuxJob {
+    conn: Arc<MuxConn>,
+    id: u32,
+    op: Op,
+    payload: Vec<u8>,
+}
+
+/// The shared half of one framed connection: workers write response
+/// frames through `writer` (one at a time — frames must not
+/// interleave) and return in-flight bytes so the driver can resume
+/// reading.
+struct MuxConn {
+    writer: Mutex<Conn>,
+    inflight_bytes: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl MuxConn {
+    fn respond(&self, id: u32, status: Status, payload: &[u8]) {
+        let mut w = self.writer.lock().expect("mux writer");
+        let _ = write_frame(&mut *w, id, status.to_wire(), payload);
+    }
+
+    fn release(&self, bytes: usize) {
+        let mut inflight = self.inflight_bytes.lock().expect("mux inflight");
+        *inflight -= bytes;
+        self.drained.notify_all();
+    }
+}
+
+/// Everything the acceptor, drivers, and workers share.
+struct Shared {
+    cfg: ServiceConfig,
+    gauge: Arc<ConcurrencyGauge>,
+    conns: Arc<ConcurrencyGauge>,
+    metrics: Arc<ServiceMetrics>,
+    stop: AtomicBool,
+    /// Injected per-conversion delay in ms (0 = none): a test/bench
+    /// hook that makes this node serve slowly, standing in for the
+    /// degraded-host regimes of §6.3/§6.6 without real damage.
+    delay_ms: AtomicU64,
+    /// The single producer handle onto the bounded job queue; taken
+    /// (set to `None`) at shutdown so the worker pool drains and
+    /// exits.
+    job_tx: Mutex<Option<crossbeam::channel::Sender<MuxJob>>>,
+    /// One reader handle per live connection, registered by the
+    /// acceptor. Shutdown closes every read side so idle drivers
+    /// (a mux connection waiting for its next frame can wait forever)
+    /// unblock immediately instead of running out their io timeout;
+    /// write sides stay open, so in-flight responses still land.
+    readers: Mutex<HashMap<u64, Conn>>,
+    next_conn_id: AtomicU64,
 }
 
 /// A running conversion service. Dropping the handle shuts it down.
 pub struct ServiceHandle {
     endpoint: Endpoint,
-    gauge: Arc<ConcurrencyGauge>,
-    metrics: Arc<ServiceMetrics>,
-    cfg: ServiceConfig,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 /// Start a conversion service on `endpoint`.
@@ -96,53 +205,96 @@ pub struct ServiceHandle {
 pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let listener = Listener::bind(endpoint)?;
     let bound = listener.endpoint()?;
-    let gauge = ConcurrencyGauge::new();
-    let metrics = Arc::new(ServiceMetrics::default());
-    let stop = Arc::new(AtomicBool::new(false));
+
+    let worker_count = if cfg.conversion_workers > 0 {
+        cfg.conversion_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    };
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<MuxJob>(cfg.job_queue_depth.max(1));
+
+    let shared = Arc::new(Shared {
+        cfg,
+        gauge: ConcurrencyGauge::new(),
+        conns: ConcurrencyGauge::new(),
+        metrics: Arc::new(ServiceMetrics::default()),
+        stop: AtomicBool::new(false),
+        delay_ms: AtomicU64::new(0),
+        job_tx: Mutex::new(Some(job_tx)),
+        readers: Mutex::new(HashMap::new()),
+        next_conn_id: AtomicU64::new(0),
+    });
+
+    let workers = (0..worker_count)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let job_rx = job_rx.clone();
+            std::thread::Builder::new()
+                .name(format!("lepton-serve-{i}"))
+                .spawn(move || worker_loop(&shared, &job_rx))
+                .expect("spawn service worker")
+        })
+        .collect();
 
     // Connection permits: a bounded channel used as a semaphore. The
     // acceptor blocks pushing a token at the cap, which turns overload
     // into accept-backlog backpressure instead of unbounded threads.
-    let (permit_tx, permit_rx) = crossbeam::channel::bounded::<()>(cfg.max_connections.max(1));
+    let cap = shared.cfg.max_connections.max(1);
+    let (permit_tx, permit_rx) = crossbeam::channel::bounded::<()>(cap);
 
     let acceptor = {
-        let stop = Arc::clone(&stop);
-        let cfg = cfg.clone();
-        let gauge = Arc::clone(&gauge);
-        let metrics = Arc::clone(&metrics);
+        let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
-            // Handler threads signal completion through this guard so
+            // Driver threads signal completion through this guard so
             // shutdown can drain them all.
             let wg = crossbeam::sync::WaitGroup::new();
             loop {
                 match listener.accept() {
                     Ok(conn) => {
-                        if stop.load(Ordering::SeqCst) {
+                        if shared.stop.load(Ordering::SeqCst) {
                             break; // the wake-up connection from shutdown()
                         }
-                        let _ = conn.set_io_timeout(Some(cfg.io_timeout));
+                        let _ = conn.set_io_timeout(Some(shared.cfg.io_timeout));
                         if permit_tx.send(()).is_err() {
                             break;
                         }
                         let permit_rx = permit_rx.clone();
-                        let cfg = cfg.clone();
-                        let gauge = Arc::clone(&gauge);
-                        let metrics = Arc::clone(&metrics);
+                        let shared = Arc::clone(&shared);
                         let guard = wg.clone();
+                        // Register the reader before the driver exists
+                        // so a shutdown sweep can never miss a live
+                        // connection.
+                        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(reader) = conn.try_clone() {
+                            shared
+                                .readers
+                                .lock()
+                                .expect("reader registry")
+                                .insert(conn_id, reader);
+                        }
                         std::thread::spawn(move || {
-                            handle_connection(conn, &cfg, &gauge, &metrics);
+                            let _conn_lease = shared.conns.acquire();
+                            drive_connection(conn, &shared);
+                            shared
+                                .readers
+                                .lock()
+                                .expect("reader registry")
+                                .remove(&conn_id);
                             let _ = permit_rx.try_recv(); // release the permit
                             drop(guard);
                         });
                     }
                     Err(_) => {
-                        if stop.load(Ordering::SeqCst) {
+                        if shared.stop.load(Ordering::SeqCst) {
                             break;
                         }
                     }
                 }
             }
-            // Drain: every in-flight conversion completes before the
+            // Drain: every in-flight driver completes before the
             // acceptor thread (and with it `shutdown()`) returns.
             wg.wait();
         })
@@ -150,11 +302,9 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> std::io::Result<Service
 
     Ok(ServiceHandle {
         endpoint: bound,
-        gauge,
-        metrics,
-        cfg,
-        stop,
+        shared,
         acceptor: Some(acceptor),
+        workers,
     })
 }
 
@@ -164,25 +314,38 @@ impl ServiceHandle {
         &self.endpoint
     }
 
-    /// Live concurrency gauge.
+    /// Live conversion-concurrency gauge (what the outsourcing router
+    /// and the `Stats` op read).
     pub fn gauge(&self) -> &Arc<ConcurrencyGauge> {
-        &self.gauge
+        &self.shared.gauge
+    }
+
+    /// Live connection gauge: one lease per driver thread. Its
+    /// high-water mark can never exceed
+    /// [`ServiceConfig::max_connections`] — the overload tests assert
+    /// exactly that.
+    pub fn connections(&self) -> &Arc<ConcurrencyGauge> {
+        &self.shared.conns
     }
 
     /// The same snapshot the wire `Stats` op returns.
     pub fn stats(&self) -> StatsReply {
-        StatsReply {
-            active: self.gauge.active(),
-            high_water: self.gauge.high_water(),
-            busy_threshold: self.cfg.busy_threshold,
-            total_served: self.metrics.served.load(Ordering::Relaxed),
-            total_failed: self.metrics.failed.load(Ordering::Relaxed),
-        }
+        stats_reply(&self.shared)
     }
 
     /// Raw metric counters.
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
-        &self.metrics
+        &self.shared.metrics
+    }
+
+    /// Make every conversion and block op on this service sleep `d`
+    /// before running (0 disables). A test/bench hook: `fig10_replay`
+    /// uses it to turn one fleet node into the slow replica whose tail
+    /// the hedged-read path must hide, without damaging any data.
+    pub fn inject_delay(&self, d: Duration) {
+        self.shared
+            .delay_ms
+            .store(d.as_millis() as u64, Ordering::SeqCst);
     }
 
     /// Stop accepting, drain in-flight conversions, and join.
@@ -191,11 +354,23 @@ impl ServiceHandle {
     }
 
     fn stop_threads(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a wake-up connection.
         let _ = self.endpoint.connect(Some(Duration::from_millis(200)));
+        // Unblock idle drivers: close every live connection's read
+        // side. Writes stay open, so responses for work already
+        // admitted still go out before the drain below completes.
+        for (_, reader) in self.shared.readers.lock().expect("reader registry").iter() {
+            let _ = reader.shutdown_read();
+        }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        // All drivers are gone; close the job queue. Workers finish
+        // whatever is already queued, then exit.
+        *self.shared.job_tx.lock().expect("job queue") = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -208,102 +383,255 @@ impl Drop for ServiceHandle {
     }
 }
 
+fn stats_reply(shared: &Shared) -> StatsReply {
+    StatsReply {
+        active: shared.gauge.active(),
+        high_water: shared.gauge.high_water(),
+        busy_threshold: shared.cfg.busy_threshold,
+        total_served: shared.metrics.served.load(Ordering::Relaxed),
+        total_failed: shared.metrics.failed.load(Ordering::Relaxed),
+    }
+}
+
 fn shutoff_engaged(cfg: &ServiceConfig) -> bool {
     cfg.shutoff_file.as_deref().is_some_and(|p| p.exists())
 }
 
-fn handle_connection(
-    mut conn: Conn,
-    cfg: &ServiceConfig,
-    gauge: &Arc<ConcurrencyGauge>,
-    metrics: &Arc<ServiceMetrics>,
-) {
-    let (op_byte, payload) = match read_request(&mut conn, cfg.max_request_bytes) {
-        Ok(Some(req)) => req,
-        Ok(None) => return, // peer hung up before sending anything
+/// Should compress-side work be shed right now? The signal is the
+/// codec engine's own backlog: unstarted jobs already waiting for
+/// workers mean added work buys latency, not throughput.
+fn engine_overloaded(shared: &Shared) -> bool {
+    lepton_core::Engine::global().queue_depth() > shared.cfg.shed_engine_queue
+}
+
+/// Drive one accepted connection: sniff the first byte, then speak
+/// whichever protocol the client opened with.
+fn drive_connection(mut conn: Conn, shared: &Arc<Shared>) {
+    let mut first = [0u8; 1];
+    let mut got = 0;
+    while got < 1 {
+        match conn.read(&mut first) {
+            Ok(0) => return, // peer hung up before sending anything
+            Ok(n) => got += n,
+            Err(_) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut conn, Status::Timeout, &[]);
+                return;
+            }
+        }
+    }
+    if first[0] == MUX_MAGIC {
+        drive_mux(conn, shared);
+    } else {
+        drive_legacy(conn, first[0], shared);
+    }
+}
+
+use std::io::Read;
+
+/// The legacy one-conversion-per-connection protocol, unchanged on the
+/// wire: the op byte has been consumed; the payload runs to half-close.
+fn drive_legacy(mut conn: Conn, op_byte: u8, shared: &Arc<Shared>) {
+    let payload = match read_bounded(&mut conn, shared.cfg.max_request_bytes) {
+        Ok(p) => p,
         Err(e) => {
             let status = if e.kind() == std::io::ErrorKind::InvalidData {
                 Status::TooLarge
             } else {
-                // Socket timeout mid-request: the §6.6 regime. The
-                // peer may already be gone; best-effort response.
+                // Socket timeout mid-request: the §6.6 regime (and the
+                // slow-loris defense). The peer may already be gone;
+                // best-effort response.
                 Status::Timeout
             };
-            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
             let _ = write_response(&mut conn, status, &[]);
             return;
         }
     };
-
     let Some(op) = Op::from_wire(op_byte) else {
-        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
         let _ = write_response(&mut conn, Status::BadRequest, &[]);
         return;
     };
+    if sheds(op) && engine_overloaded(shared) {
+        shed(shared);
+        let _ = write_response(&mut conn, Status::Overloaded, &[]);
+        return;
+    }
+    let (status, body) = execute_op(shared, op, &payload);
+    let _ = write_response(&mut conn, status, &body);
+}
 
+/// The framed multiplexed protocol: pipelined requests, out-of-order
+/// responses, bounded in-flight bytes.
+fn drive_mux(conn: Conn, shared: &Arc<Shared>) {
+    let Ok(writer) = conn.try_clone() else {
+        return;
+    };
+    let mux = Arc::new(MuxConn {
+        writer: Mutex::new(writer),
+        inflight_bytes: Mutex::new(0),
+        drained: Condvar::new(),
+    });
+    let mut reader = conn;
+    loop {
+        let frame = match read_frame(&mut reader, shared.cfg.max_request_bytes) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close at a frame boundary
+            Err(e) => {
+                // The frame id is unrecoverable; answer on the
+                // reserved id and close. A well-behaved client treats
+                // a `u32::MAX` response as fatal to the connection.
+                let status = if e.kind() == std::io::ErrorKind::InvalidData {
+                    Status::TooLarge
+                } else {
+                    Status::Timeout
+                };
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                mux.respond(u32::MAX, status, &[]);
+                return;
+            }
+        };
+        let Some(op) = Op::from_wire(frame.byte) else {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            mux.respond(frame.id, Status::BadRequest, &[]);
+            continue;
+        };
+        // Probes are answered inline — they must never queue behind
+        // conversions (that is what makes them useful under load).
+        if matches!(op, Op::Ping | Op::Stats) {
+            let (status, body) = execute_op(shared, op, &frame.payload);
+            mux.respond(frame.id, status, &body);
+            continue;
+        }
+        // Bounded in-flight bytes: stop reading (TCP backpressure)
+        // until enough responses have drained. A payload alone bigger
+        // than the budget still passes when nothing else is in flight,
+        // so the budget can never deadlock a connection.
+        let bytes = frame.payload.len();
+        {
+            let mut inflight = mux.inflight_bytes.lock().expect("mux inflight");
+            while *inflight > 0 && *inflight + bytes > shared.cfg.max_inflight_bytes {
+                inflight = mux.drained.wait(inflight).expect("mux inflight");
+            }
+            *inflight += bytes;
+        }
+        if sheds(op) && engine_overloaded(shared) {
+            shed(shared);
+            mux.respond(frame.id, Status::Overloaded, &[]);
+            mux.release(bytes);
+            continue;
+        }
+        let job = MuxJob {
+            conn: Arc::clone(&mux),
+            id: frame.id,
+            op,
+            payload: frame.payload,
+        };
+        let tx = shared.job_tx.lock().expect("job queue").clone();
+        let Some(tx) = tx else {
+            mux.respond(frame.id, Status::Shutdown, &[]);
+            mux.release(bytes);
+            return;
+        };
+        if sheds(op) {
+            // Compress-side work never waits on a full queue: shed
+            // fast, the caller has a fallback.
+            if let Err(crossbeam::channel::TrySendError::Full(job)) = tx.try_send(job) {
+                shed(shared);
+                mux.respond(frame.id, Status::Overloaded, &[]);
+                mux.release(job.payload.len());
+            }
+        } else {
+            // Decode-side work is never shed (reads trump everything,
+            // §5.7): a full queue blocks the driver instead, which is
+            // backpressure the client can feel.
+            if tx.send(job).is_err() {
+                mux.respond(frame.id, Status::Shutdown, &[]);
+                mux.release(bytes);
+                return;
+            }
+        }
+    }
+}
+
+/// Is `op` compress-side work that admission control may shed? The
+/// §5.7 asymmetry: refused writes have a fallback (Deflate, raw, a
+/// different replica), refused reads are user-visible data loss.
+fn sheds(op: Op) -> bool {
+    matches!(op, Op::Compress | Op::BlockPut)
+}
+
+fn shed(shared: &Shared) {
+    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The framed-mode worker loop: execute conversion jobs, write the
+/// response frame, release the connection's in-flight budget.
+fn worker_loop(shared: &Arc<Shared>, rx: &crossbeam::channel::Receiver<MuxJob>) {
+    while let Ok(job) = rx.recv() {
+        let (status, body) = execute_op(shared, job.op, &job.payload);
+        job.conn.respond(job.id, status, &body);
+        job.conn.release(job.payload.len());
+    }
+}
+
+/// Execute one request and produce its response. Shared by both wire
+/// modes, so legacy and framed clients see identical semantics.
+fn execute_op(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>) {
+    let cfg = &shared.cfg;
+    let metrics = &shared.metrics;
+    if !matches!(op, Op::Ping | Op::Stats) {
+        let delay = shared.delay_ms.load(Ordering::SeqCst);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+    }
     match op {
-        Op::Ping => {
-            let _ = write_response(&mut conn, Status::Ok, &[]);
-        }
-        Op::Stats => {
-            let reply = StatsReply {
-                active: gauge.active(),
-                high_water: gauge.high_water(),
-                busy_threshold: cfg.busy_threshold,
-                total_served: metrics.served.load(Ordering::Relaxed),
-                total_failed: metrics.failed.load(Ordering::Relaxed),
-            };
-            let _ = write_response(&mut conn, Status::Ok, &reply.to_wire());
-        }
+        Op::Ping => (Status::Ok, Vec::new()),
+        Op::Stats => (Status::Ok, stats_reply(shared).to_wire().to_vec()),
         Op::Compress => {
             if shutoff_engaged(cfg) {
                 metrics.shutoff_refusals.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(&mut conn, Status::Shutdown, &[]);
-                return;
+                return (Status::Shutdown, Vec::new());
             }
-            let _lease = gauge.acquire();
-            match lepton_core::Engine::global().compress(&payload, &cfg.compress) {
+            let _lease = shared.gauge.acquire();
+            match lepton_core::Engine::global().compress(payload, &cfg.compress) {
                 Ok(lepton) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_response(&mut conn, Status::Ok, &lepton);
+                    (Status::Ok, lepton)
                 }
                 Err(e) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    let code = ExitCode::classify(&e);
-                    let _ = write_response(&mut conn, Status::Rejected(code), &[]);
+                    (Status::Rejected(ExitCode::classify(&e)), Vec::new())
                 }
             }
         }
         Op::Decompress => {
             // No shutoff check: reads must keep working (§5.7).
-            let _lease = gauge.acquire();
+            let _lease = shared.gauge.acquire();
             let dec_opts = lepton_core::DecompressOptions {
                 model: cfg.compress.model,
                 budget: cfg.compress.budget,
             };
-            match lepton_core::Engine::global().decompress_opts(&payload, &dec_opts) {
+            match lepton_core::Engine::global().decompress_opts(payload, &dec_opts) {
                 Ok(jpeg) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
-                    // Stream the status byte first so the client's
-                    // time-to-first-byte does not wait on big writes.
-                    let _ = conn.write_all(&[Status::Ok.to_wire()]);
-                    let _ = conn.write_all(&jpeg);
-                    let _ = conn.flush();
+                    (Status::Ok, jpeg)
                 }
                 Err(e) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    let code = ExitCode::classify(&e);
-                    let _ = write_response(&mut conn, Status::Rejected(code), &[]);
+                    (Status::Rejected(ExitCode::classify(&e)), Vec::new())
                 }
             }
         }
         Op::BlockPut | Op::BlockGet | Op::BlockStat | Op::BlockList => {
             let Some(store) = cfg.blockstore.as_deref() else {
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(&mut conn, Status::BadRequest, &[]);
-                return;
+                return (Status::BadRequest, Vec::new());
             };
-            handle_block_op(op, store, &payload, &mut conn, cfg, gauge, metrics);
+            execute_block_op(shared, op, store, payload)
         }
     }
 }
@@ -311,18 +639,17 @@ fn handle_connection(
 /// The blockstore ops. Put and get count against the conversion gauge
 /// — they may run the codec — and their failures against the same
 /// metrics the conversion path uses.
-fn handle_block_op(
+fn execute_block_op(
+    shared: &Arc<Shared>,
     op: Op,
     store: &ShardedStore,
     payload: &[u8],
-    conn: &mut Conn,
-    cfg: &ServiceConfig,
-    gauge: &Arc<ConcurrencyGauge>,
-    metrics: &Arc<ServiceMetrics>,
-) {
+) -> (Status, Vec<u8>) {
+    let cfg = &shared.cfg;
+    let metrics = &shared.metrics;
     match op {
         Op::BlockPut => {
-            let _lease = gauge.acquire();
+            let _lease = shared.gauge.acquire();
             // The §5.7 shutoff switch gates the codec here too — but
             // blockstore writes are never *refused*: the block lands
             // raw and a later backfill converts it. Durability first.
@@ -335,31 +662,26 @@ fn handle_block_op(
             match result {
                 Ok(key) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_response(conn, Status::Ok, &key);
+                    (Status::Ok, key.to_vec())
                 }
                 Err(_) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_response(conn, Status::StorageFailed, &[]);
+                    (Status::StorageFailed, Vec::new())
                 }
             }
         }
         Op::BlockGet => {
             let Ok(key) = <[u8; 32]>::try_from(payload) else {
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(conn, Status::BadRequest, &[]);
-                return;
+                return (Status::BadRequest, Vec::new());
             };
-            let _lease = gauge.acquire();
+            let _lease = shared.gauge.acquire();
             match store.get(&key) {
                 Ok(Some(bytes)) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
-                    let _ = conn.write_all(&[Status::Ok.to_wire()]);
-                    let _ = conn.write_all(&bytes);
-                    let _ = conn.flush();
+                    (Status::Ok, bytes)
                 }
-                Ok(None) => {
-                    let _ = write_response(conn, Status::NotFound, &[]);
-                }
+                Ok(None) => (Status::NotFound, Vec::new()),
                 // A damaged record is refused, never served — and
                 // quarantined, so a replica's read-repair `put` of the
                 // true content can land instead of deduping against
@@ -367,19 +689,19 @@ fn handle_block_op(
                 Err(StoreError::Corrupt(_)) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = store.quarantine(&key);
-                    let _ = write_response(conn, Status::StorageFailed, &[]);
+                    (Status::StorageFailed, Vec::new())
                 }
                 // I/O failures are never dressed up as data either.
                 Err(StoreError::Io(_)) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_response(conn, Status::StorageFailed, &[]);
+                    (Status::StorageFailed, Vec::new())
                 }
                 // A budget refusal is a typed rejection, not damage:
                 // no quarantine, and the client learns the taxonomy
                 // row instead of a storage failure.
                 Err(StoreError::Budget { .. }) => {
                     metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_response(conn, Status::Rejected(ExitCode::MemDecodeLimit), &[]);
+                    (Status::Rejected(ExitCode::MemDecodeLimit), Vec::new())
                 }
             }
         }
@@ -389,11 +711,11 @@ fn handle_block_op(
                 for k in &keys {
                     body.extend_from_slice(k);
                 }
-                let _ = write_response(conn, Status::Ok, &body);
+                (Status::Ok, body)
             }
             Err(_) => {
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(conn, Status::StorageFailed, &[]);
+                (Status::StorageFailed, Vec::new())
             }
         },
         Op::BlockStat => match store.stat() {
@@ -407,11 +729,11 @@ fn handle_block_op(
                     cache_hits: stats.cache_hits,
                     cache_misses: stats.cache_misses,
                 };
-                let _ = write_response(conn, Status::Ok, &reply.to_wire());
+                (Status::Ok, reply.to_wire().to_vec())
             }
             Err(_) => {
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(conn, Status::StorageFailed, &[]);
+                (Status::StorageFailed, Vec::new())
             }
         },
         _ => unreachable!("only block ops are routed here"),

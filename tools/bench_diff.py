@@ -3,10 +3,12 @@
 
 Compares the fresh quick-mode JSON records (BENCH_smoke.json) against
 the committed dev-box baselines (BENCH_*.json) and emits a GitHub
-Actions `::warning::` annotation for every throughput-like metric that
-regressed by more than the threshold. Never fails the build: shared CI
-runners are a trajectory, not a verdict — the annotations give perf PRs
-feedback for free without making noise block merges.
+Actions `::warning::` annotation for every metric that regressed by
+more than the threshold — throughput-like metrics (higher is better)
+that dropped, and latency-like metrics (lower is better: p50/p99/p999,
+*_ms) that rose. Never fails the build: shared CI runners are a
+trajectory, not a verdict — the annotations give perf PRs feedback for
+free without making noise block merges.
 
 Usage: bench_diff.py FRESH.json BASELINE.json [BASELINE2.json ...]
 """
@@ -20,6 +22,11 @@ THRESHOLD = 0.30
 # A metric counts as "throughput-like" (higher is better) if its key
 # path contains one of these fragments.
 THROUGHPUT_HINTS = ("mbps", "mbits_per_sec", "per_sec", "throughput")
+
+# A metric counts as "latency-like" (lower is better) if its key path
+# contains one of these fragments. Checked after the throughput hints,
+# so a hypothetical "p99_mbps" stays higher-is-better.
+LATENCY_HINTS = ("p50", "p99", "p999", "latency", "_ms")
 
 
 def leaves(node, path=""):
@@ -66,21 +73,31 @@ def main():
             continue
         fresh_leaves = dict(leaves(fresh_rec))
         for path, base_val in leaves(base_rec):
-            if not any(h in path.lower() for h in THROUGHPUT_HINTS):
+            key = path.lower()
+            if any(h in key for h in THROUGHPUT_HINTS):
+                higher_is_better = True
+            elif any(h in key for h in LATENCY_HINTS):
+                higher_is_better = False
+            else:
                 continue
             new_val = fresh_leaves.get(path)
             if new_val is None or base_val <= 0:
                 continue
             compared += 1
-            drop = 1.0 - new_val / base_val
-            if drop > THRESHOLD:
+            if higher_is_better:
+                regression = 1.0 - new_val / base_val
+                verb = "drop"
+            else:
+                regression = new_val / base_val - 1.0
+                verb = "rise"
+            if regression > THRESHOLD:
                 warned += 1
                 print(
                     f"::warning title=bench regression::{rec_id}.{path}: "
                     f"{new_val:.1f} vs baseline {base_val:.1f} "
-                    f"({drop * 100:.0f}% drop)"
+                    f"({regression * 100:.0f}% {verb})"
                 )
-    print(f"bench_diff: compared {compared} throughput metrics, "
+    print(f"bench_diff: compared {compared} metrics, "
           f"{warned} regression warning(s) (warn-only, threshold "
           f"{THRESHOLD * 100:.0f}%)")
 

@@ -59,6 +59,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full right now; the message is handed back.
+        Full(T),
+        /// Every receiver is gone; the message is handed back.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -93,6 +102,23 @@ pub mod channel {
                     return Ok(());
                 }
                 st = self.shared.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Enqueues `value` only if there is room right now: the
+        /// admission-control primitive — a full queue is an answer
+        /// (shed), not a place to wait.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.items.len() < self.shared.cap {
+                st.items.push_back(value);
+                self.shared.not_empty.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(value))
             }
         }
     }
@@ -266,6 +292,17 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_never_blocks_and_hands_the_message_back() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 
     #[test]
