@@ -1,0 +1,106 @@
+//! Telemetry tax: the whole point of the lock-free registry and the
+//! disarm-able trace spans is that always-on observability costs a
+//! rounding error on the codec hot path. This bench A/Bs the same
+//! encode workload with `lepton_obs` armed and disarmed (via
+//! [`lepton_obs::set_enabled`]) and warns when the armed path is more
+//! than 2% slower — the budget ISSUE 8 commits to.
+//!
+//! Quick mode: `LEPTON_BENCH_FILES` bounds the corpus;
+//! `LEPTON_BENCH_JSON` appends one machine-readable record with the
+//! measured overhead for the perf-trajectory artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lepton_bench::json::{emit, Json};
+use lepton_bench::{bench_corpus, bench_file_count, timed};
+use lepton_core::{CompressOptions, Engine, ThreadPolicy};
+
+/// Overhead fraction above which the bench complains out loud.
+const BUDGET: f64 = 0.02;
+
+/// Paired A/B: each sample times the workload disarmed then armed
+/// back to back, so slow drift (thermal, cache, scheduler) hits both
+/// arms alike; the verdict is the median of per-pair ratios, which a
+/// few noisy pairs cannot drag.
+fn paired_overhead(samples: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
+    f(); // warm up (fills engine arenas, touches the LUT)
+    let mut ratios = Vec::with_capacity(samples);
+    let mut disarmed_total = 0.0;
+    let mut armed_total = 0.0;
+    for _ in 0..samples {
+        lepton_obs::set_enabled(false);
+        let (_, off) = timed(&mut f);
+        lepton_obs::set_enabled(true);
+        let (_, on) = timed(&mut f);
+        ratios.push(on / off.max(1e-12));
+        disarmed_total += off;
+        armed_total += on;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = samples as f64;
+    (
+        armed_total / n,
+        disarmed_total / n,
+        ratios[ratios.len() / 2] - 1.0,
+    )
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let quick = bench_file_count(6);
+    let files = bench_corpus(quick.clamp(1, 12), 384, 0x0B5E);
+    let bytes: usize = files.iter().map(|f| f.len()).sum();
+    let samples = if quick <= 3 { 15 } else { 31 };
+    let engine = Engine::global();
+    let opts = CompressOptions {
+        threads: ThreadPolicy::Fixed(1),
+        verify: false,
+        ..Default::default()
+    };
+    let workload = |files: &[Vec<u8>]| {
+        for f in files {
+            std::hint::black_box(engine.compress(f, &opts).expect("enc"));
+        }
+    };
+
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    for (label, armed) in [("armed", true), ("disarmed", false)] {
+        g.bench_with_input(BenchmarkId::new("encode", label), &armed, |b, &armed| {
+            lepton_obs::set_enabled(armed);
+            b.iter(|| workload(&files));
+            lepton_obs::set_enabled(true);
+        });
+    }
+    g.finish();
+
+    // The A/B verdict.
+    let (armed_secs, disarmed_secs, overhead) = paired_overhead(samples, || workload(&files));
+    lepton_obs::set_enabled(true);
+    println!(
+        "metrics_overhead: armed {:.4}s, disarmed {:.4}s, overhead {:+.2}%",
+        armed_secs,
+        disarmed_secs,
+        overhead * 100.0
+    );
+    if overhead > BUDGET {
+        eprintln!(
+            "WARNING: telemetry overhead {:.2}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+    }
+
+    emit(
+        "metrics_overhead",
+        [
+            ("armed_secs", Json::from(armed_secs)),
+            ("disarmed_secs", Json::from(disarmed_secs)),
+            ("overhead_pct", Json::from(overhead * 100.0)),
+            ("budget_pct", Json::from(BUDGET * 100.0)),
+            ("corpus_bytes", Json::from(bytes)),
+        ],
+    );
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

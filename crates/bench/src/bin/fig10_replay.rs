@@ -41,7 +41,6 @@ use lepton_storage::sha256::Digest;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
-use std::sync::atomic::Ordering::Relaxed;
 use std::time::{Duration, Instant};
 
 /// Replication factor: every block lives on two of the three nodes, so
@@ -167,6 +166,30 @@ fn replay_reads(
     out
 }
 
+/// Flatten a registry snapshot into a JSON object: counters as
+/// numbers, gauges as `{value, high_water}`, histograms as their
+/// count/mean/tail summary — the full telemetry record the replay
+/// leaves behind for `bench_diff.py`.
+fn snapshot_json(snap: &lepton_obs::Snapshot) -> Json {
+    Json::obj(snap.entries.iter().map(|(name, v)| {
+        let value = match v {
+            lepton_obs::MetricValue::Counter(c) => Json::from(*c),
+            lepton_obs::MetricValue::Gauge { value, high_water } => Json::obj([
+                ("value", Json::from(*value)),
+                ("high_water", Json::from(*high_water)),
+            ]),
+            lepton_obs::MetricValue::Histogram(h) => Json::obj([
+                ("count", Json::from(h.count)),
+                ("mean", Json::from(h.mean())),
+                ("p50", Json::from(h.percentile(0.50))),
+                ("p99", Json::from(h.percentile(0.99))),
+                ("p999", Json::from(h.percentile(0.999))),
+            ]),
+        };
+        (name.clone(), value)
+    }))
+}
+
 fn p3(samples: &mut [f64]) -> (f64, f64, f64) {
     (
         percentile(samples, 50.0),
@@ -279,11 +302,11 @@ fn main() {
 
     let shed_total: u64 = (0..NODES)
         .filter_map(|i| fleet.handle(i))
-        .map(|h| h.metrics().shed.load(Relaxed))
+        .map(|h| h.metrics().shed.get())
         .sum();
-    let hedged_reads = gw_hedged.metrics.hedged_reads.load(Relaxed);
-    let hedge_wins = gw_hedged.metrics.hedge_wins.load(Relaxed);
-    let hedge_cancels = gw_hedged.metrics.hedge_cancellations.load(Relaxed);
+    let hedged_reads = gw_hedged.metrics.hedged_reads.get();
+    let hedge_wins = gw_hedged.metrics.hedge_wins.get();
+    let hedge_cancels = gw_hedged.metrics.hedge_cancellations.get();
 
     println!(
         "incident: node {victim} (primary for {:.0}% of segment reads) slowed by {:?} \
@@ -311,8 +334,19 @@ fn main() {
         "\nwrites healthy p50 {w50:.2} ms, p99 {w99:.2} ms; shed {shed_total}; \
          hedged {hedged_reads} reads, {hedge_wins} wins, {hedge_cancels} cancelled losers, \
          {} failovers",
-        gw_hedged.metrics.failovers.load(Relaxed)
+        gw_hedged.metrics.failovers.get()
     );
+    // The §6 health view of the same incident: report each gateway's
+    // watchdog verdict and carry both full telemetry registries into
+    // the JSON record (kept separate — same metric names, two rigs).
+    println!(
+        "health: serial gateway degraded={}, hedged gateway degraded={} \
+         ({} watchdog windows evaluated)",
+        gw.degraded(),
+        gw_hedged.degraded(),
+        gw.watchdog().evaluations() + gw_hedged.watchdog().evaluations()
+    );
+
     let serial_ratio = s99 / h99.max(1e-9);
     let hedged_ratio = g99 / h99.max(1e-9);
     println!(
@@ -368,6 +402,12 @@ fn main() {
             ("shed", Json::from(shed_total)),
             ("serial_p99_over_healthy", Json::from(serial_ratio)),
             ("hedged_p99_over_healthy", Json::from(hedged_ratio)),
+            (
+                "degraded",
+                Json::from(gw.degraded() || gw_hedged.degraded()),
+            ),
+            ("telemetry_serial", snapshot_json(&gw.snapshot())),
+            ("telemetry_hedged", snapshot_json(&gw_hedged.snapshot())),
         ],
     );
 

@@ -187,7 +187,7 @@ fn main() {
     fleet.kill(victim);
     let mut first = lat_ms(&gw, &keys); // discovery + ejection + repair
     let mut after = lat_ms(&gw, &keys); // dead node skipped
-    use std::sync::atomic::Ordering::Relaxed;
+
     let (h50, h99) = (
         percentile(&mut healthy, 50.0),
         percentile(&mut healthy, 99.0),
@@ -205,9 +205,9 @@ fn main() {
     println!("{:>22} {:>9.2} {:>9.2}", "after ejection", a50, a99);
     println!(
         "failovers {}, read repairs {}, ejections {}",
-        gw.metrics.failovers.load(Relaxed),
-        gw.metrics.read_repairs.load(Relaxed),
-        gw.metrics.ejections.load(Relaxed),
+        gw.metrics.failovers.get(),
+        gw.metrics.read_repairs.get(),
+        gw.metrics.ejections.get(),
     );
     let failover = Json::obj([
         ("healthy_p50_ms", Json::from(h50)),
@@ -216,11 +216,8 @@ fn main() {
         ("first_pass_p99_ms", Json::from(f99)),
         ("after_eject_p50_ms", Json::from(a50)),
         ("after_eject_p99_ms", Json::from(a99)),
-        ("failovers", Json::from(gw.metrics.failovers.load(Relaxed))),
-        (
-            "read_repairs",
-            Json::from(gw.metrics.read_repairs.load(Relaxed)),
-        ),
+        ("failovers", Json::from(gw.metrics.failovers.get())),
+        ("read_repairs", Json::from(gw.metrics.read_repairs.get())),
     ]);
     let _ = std::fs::remove_dir_all(&root);
 

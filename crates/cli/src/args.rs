@@ -57,6 +57,20 @@ pub enum Command {
         /// Shutoff-switch file.
         shutoff: Option<PathBuf>,
     },
+    /// `lepton stats (--uds PATH | --tcp ADDR) [--watch]
+    /// [--interval-ms N]` — fetch and render a live service's
+    /// telemetry snapshot (`Stats` v2): counters, gauges, per-op
+    /// latency percentiles, stage traces, and the degraded flag.
+    Stats {
+        /// `--uds PATH` service endpoint.
+        uds: Option<PathBuf>,
+        /// `--tcp ADDR` service endpoint.
+        tcp: Option<String>,
+        /// `--watch`: refresh until interrupted.
+        watch: bool,
+        /// Refresh interval for `--watch`, in milliseconds.
+        interval_ms: u64,
+    },
     /// `lepton errorcodes` — print the §6.2 taxonomy and wire bytes.
     ErrorCodes,
     /// `lepton torture [--bases N] [--seeds N] [--seed S]` — run the
@@ -384,6 +398,32 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 shutoff,
             })
         }
+        "stats" => {
+            let mut uds = None;
+            let mut tcp = None;
+            let mut watch = false;
+            let mut interval_ms = 2000u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--uds" => uds = Some(PathBuf::from(want_value(a, &mut it)?)),
+                    "--tcp" => tcp = Some(want_value(a, &mut it)?.to_string()),
+                    "--watch" => watch = true,
+                    "--interval-ms" => interval_ms = parse_num(a, want_value(a, &mut it)?)?,
+                    _ => return Err(UsageError(format!("unknown flag {a}"))),
+                }
+            }
+            if uds.is_none() == tcp.is_none() {
+                return Err(UsageError(
+                    "stats needs exactly one of --uds / --tcp".into(),
+                ));
+            }
+            Ok(Command::Stats {
+                uds,
+                tcp,
+                watch,
+                interval_ms,
+            })
+        }
         "errorcodes" => Ok(Command::ErrorCodes),
         "torture" => {
             let mut bases = 2usize;
@@ -599,6 +639,7 @@ USAGE:
   lepton qualify    [--count N] [--seed S]
   lepton serve      (--uds PATH | --tcp ADDR) [--max-conns N] [--workers N]
                     [--threshold T] [--shutoff FILE]
+  lepton stats      (--uds PATH | --tcp ADDR) [--watch] [--interval-ms N]
   lepton corpus     --out DIR [--count N] [--seed S] [--dirty]
   lepton store put      --root DIR <file...> [--shards N] [--no-compress]
   lepton store get      --root DIR <hex-digest> [out|-] [--shards N]
@@ -623,6 +664,31 @@ EXIT CODES:
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_stats_with_flags() {
+        let c = parse(&[
+            "stats",
+            "--uds",
+            "/tmp/s.sock",
+            "--watch",
+            "--interval-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                uds: Some("/tmp/s.sock".into()),
+                tcp: None,
+                watch: true,
+                interval_ms: 500,
+            }
+        );
+        // Exactly one endpoint, like serve.
+        assert!(parse(&["stats"]).is_err());
+        assert!(parse(&["stats", "--uds", "/s", "--tcp", "127.0.0.1:1"]).is_err());
+    }
 
     #[test]
     fn parses_compress_with_flags() {

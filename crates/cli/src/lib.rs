@@ -84,6 +84,36 @@ fn write_output(
     }
 }
 
+/// Render a telemetry snapshot (`Stats` v2) as aligned text rows:
+/// counters and gauges print their live values, histograms print
+/// count/mean and the tail percentiles, and the degraded-health flag
+/// leads the listing so an operator's eye lands on it first.
+fn render_snapshot(snap: &lepton_obs::Snapshot, log: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        log,
+        "health: {}",
+        if snap.degraded() { "DEGRADED" } else { "ok" }
+    )?;
+    for (name, value) in &snap.entries {
+        match value {
+            lepton_obs::MetricValue::Counter(v) => writeln!(log, "{name:<36} {v}")?,
+            lepton_obs::MetricValue::Gauge { value, high_water } => {
+                writeln!(log, "{name:<36} {value} (high {high_water})")?
+            }
+            lepton_obs::MetricValue::Histogram(h) => writeln!(
+                log,
+                "{name:<36} n={} mean={:.1} p50={} p99={} p999={}",
+                h.count,
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.percentile(99.9),
+            )?,
+        }
+    }
+    Ok(())
+}
+
 /// Execute a parsed command; returns the process exit code. All
 /// diagnostic output goes to `log` (stderr in `main`), payload bytes
 /// go to real stdout when requested.
@@ -266,6 +296,29 @@ fn run_inner(cmd: Command, log: &mut dyn Write) -> Result<i32, Box<dyn std::erro
                 std::thread::park();
             }
         }
+        Command::Stats {
+            uds,
+            tcp,
+            watch,
+            interval_ms,
+        } => {
+            let endpoint = match (&uds, &tcp) {
+                (Some(path), None) => lepton_server::Endpoint::uds(path),
+                (None, Some(addr)) => lepton_server::Endpoint::tcp(addr.as_str())?,
+                _ => unreachable!("parser enforces exactly one endpoint"),
+            };
+            let timeout = std::time::Duration::from_secs(5);
+            loop {
+                let snap = lepton_server::client::probe_snapshot(&endpoint, timeout)?;
+                render_snapshot(&snap, log)?;
+                if !watch {
+                    return Ok(if snap.degraded() { 1 } else { 0 });
+                }
+                log.flush()?;
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+                writeln!(log)?;
+            }
+        }
         Command::ErrorCodes => {
             writeln!(
                 log,
@@ -421,18 +474,17 @@ fn run_store(cmd: StoreCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
                 writeln!(log, "{}  {}", hex(&key), pretty(path))?;
             }
             let m = &store.metrics;
-            use std::sync::atomic::Ordering::Relaxed;
-            let new_blocks = m.lepton_blocks.load(Relaxed) + m.raw_blocks.load(Relaxed);
+            let new_blocks = m.lepton_blocks.get() + m.raw_blocks.get();
             writeln!(
                 log,
                 "put {} files: {} new blocks ({} lepton, {} raw, {} deduped), {} -> {} bytes",
                 files.len(),
                 new_blocks,
-                m.lepton_blocks.load(Relaxed),
-                m.raw_blocks.load(Relaxed),
+                m.lepton_blocks.get(),
+                m.raw_blocks.get(),
                 files.len() as u64 - new_blocks,
-                m.bytes_in.load(Relaxed),
-                m.bytes_stored.load(Relaxed),
+                m.bytes_in.get(),
+                m.bytes_stored.get(),
             )?;
             Ok(0)
         }
@@ -607,8 +659,7 @@ fn run_fleet(cmd: FleetCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
                 let key = gw.put(&data)?;
                 writeln!(log, "{}  {}", hex(&key), pretty(path))?;
             }
-            use std::sync::atomic::Ordering::Relaxed;
-            let partial = gw.metrics.partial_writes.load(Relaxed);
+            let partial = gw.metrics.partial_writes.get();
             writeln!(
                 log,
                 "put {} blocks x{} replicas ({} partial writes)",

@@ -13,6 +13,12 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Anomaly *detection*, shared with the live stack: the runtime
+/// `Watchdog` in `lepton_obs` feeds compression-ratio and shed-rate
+/// series into these same detectors, so a threshold validated in an
+/// offline incident replay carries over to production unmodified.
+pub use lepton_obs::{MeanShiftDetector, RateDetector};
+
 /// Anomaly configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct AnomalyConfig {

@@ -1,87 +1,9 @@
 //! Percentile and time-series accumulators for the figure harnesses.
 
-/// Exact percentile computation over collected samples (the paper
-/// reports p50/p75/p95/p99 everywhere).
-#[derive(Clone, Debug, Default)]
-pub struct Percentiles {
-    samples: Vec<f64>,
-    sorted: bool,
-}
-
-impl Percentiles {
-    /// New, empty.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Add a sample.
-    pub fn push(&mut self, v: f64) {
-        self.samples.push(v);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True when no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-            self.sorted = true;
-        }
-    }
-
-    /// Percentile `p` in 0..=100 (nearest-rank).
-    pub fn percentile(&mut self, p: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.ensure_sorted();
-        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
-        self.samples[rank.min(self.samples.len() - 1)]
-    }
-
-    /// The (p50, p75, p95, p99) quadruple the paper's figures use.
-    pub fn quad(&mut self) -> (f64, f64, f64, f64) {
-        (
-            self.percentile(50.0),
-            self.percentile(75.0),
-            self.percentile(95.0),
-            self.percentile(99.0),
-        )
-    }
-
-    /// Mean of samples.
-    pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
-    }
-
-    /// Sample standard deviation.
-    pub fn stddev(&self) -> f64 {
-        if self.samples.len() < 2 {
-            return 0.0;
-        }
-        let m = self.mean();
-        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / (self.samples.len() - 1) as f64;
-        var.sqrt()
-    }
-
-    /// Maximum sample.
-    pub fn max(&mut self) -> f64 {
-        self.percentile(100.0)
-    }
-}
+/// The shared offline percentile accumulator, re-exported from the
+/// telemetry crate so figure harnesses and runtime histograms agree
+/// on nearest-rank semantics (see `lepton_obs::percentile`).
+pub use lepton_obs::Percentiles;
 
 /// Fixed-bucket time series (e.g. hourly percentiles over a simulated
 /// day/week/month).
@@ -142,6 +64,35 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The satellite oracle: the offline accumulator and the runtime
+    /// log-bucketed histogram must both reproduce a hand-computed
+    /// nearest-rank table (rank = round(p/100 · (len-1)) over the
+    /// sorted samples). Uses values below 16, where histogram buckets
+    /// are exact, so agreement is required to be bit-perfect.
+    #[test]
+    fn offline_and_runtime_percentiles_agree_with_hand_oracle() {
+        let samples = [9u64, 1, 4, 15, 2, 11, 6, 3, 12]; // 9 samples
+        let mut offline = Percentiles::new();
+        let runtime = lepton_obs::Histogram::new();
+        for &s in &samples {
+            offline.push(s as f64);
+            runtime.record(s);
+        }
+        // sorted: [1,2,3,4,6,9,11,12,15]; rank = round(p/100 * 8).
+        for (p, want) in [
+            (0.0, 1u64), // rank 0
+            (25.0, 3),   // round(2.0) = 2
+            (50.0, 6),   // round(4.0) = 4
+            (75.0, 11),  // round(6.0) = 6
+            (99.0, 15),  // round(7.92) = 8
+            (99.9, 15),  // round(7.99) = 8
+            (100.0, 15), // rank 8
+        ] {
+            assert_eq!(offline.percentile(p), want as f64, "offline p={p}");
+            assert_eq!(runtime.percentile(p), want, "runtime p={p}");
+        }
+    }
 
     #[test]
     fn percentiles_on_known_data() {

@@ -208,6 +208,32 @@ pub(crate) fn decompress_streaming_on(
     opts: &DecompressOptions,
     sink: &mut dyn FnMut(&[u8]),
 ) -> Result<(), LeptonError> {
+    // Stage trace for the whole decode; disarms under an outer span
+    // (e.g. a blockstore read already being traced), whose stages the
+    // marks below then feed.
+    let span = lepton_obs::span_enter("decompress");
+    let mut produced_total = 0u64;
+    let r = decompress_streaming_traced(engine, data, opts, &mut |bytes: &[u8]| {
+        produced_total += bytes.len() as u64;
+        sink(bytes)
+    });
+    match &r {
+        Ok(()) => span.finish("ok", data.len() as u64, produced_total),
+        Err(e) => span.finish(
+            crate::error::ExitCode::classify(e).label(),
+            data.len() as u64,
+            produced_total,
+        ),
+    }
+    r
+}
+
+fn decompress_streaming_traced(
+    engine: &Engine,
+    data: &[u8],
+    opts: &DecompressOptions,
+    sink: &mut dyn FnMut(&[u8]),
+) -> Result<(), LeptonError> {
     let container = read_container(data)?;
     let header = &container.header;
 
@@ -269,6 +295,7 @@ pub(crate) fn decompress_streaming_on(
             "segment output sizes disagree with declared total",
         ));
     }
+    lepton_obs::mark_stage("container_parse");
 
     let mut produced = 0usize;
     if header.emit_header {
@@ -308,6 +335,9 @@ pub(crate) fn decompress_streaming_on(
     meter.charge(actual.saturating_sub(declared))?;
 
     produced += decode_segments(engine, &parsed, header, streams, opts, sink, &meter)?;
+    // Covers the overlapped arithmetic decode + Huffman re-encode
+    // drain (they pipeline; wall time is not separable per sub-stage).
+    lepton_obs::mark_stage("arith_decode");
 
     produced += header.append.len();
     sink(&header.append);

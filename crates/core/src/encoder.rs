@@ -159,7 +159,30 @@ pub(crate) fn compress_on(
     jpeg: &[u8],
     opts: &CompressOptions,
 ) -> Result<(Vec<u8>, CompressStats), LeptonError> {
+    // Stage trace for the whole conversion. If a caller (e.g. the
+    // blockstore's `put` admission gate running under the server's
+    // `block_put` span) already holds a span on this thread, this
+    // guard disarms and the stage marks below land on that outer span.
+    let span = lepton_obs::span_enter("compress");
+    let r = compress_traced(engine, jpeg, opts);
+    match &r {
+        Ok((bytes, _)) => span.finish("ok", jpeg.len() as u64, bytes.len() as u64),
+        Err(e) => span.finish(
+            crate::error::ExitCode::classify(e).label(),
+            jpeg.len() as u64,
+            0,
+        ),
+    }
+    r
+}
+
+fn compress_traced(
+    engine: &Engine,
+    jpeg: &[u8],
+    opts: &CompressOptions,
+) -> Result<(Vec<u8>, CompressStats), LeptonError> {
     let parsed = parse_with_limits(jpeg, &opts.limits)?;
+    lepton_obs::mark_stage("header_parse");
     if parsed.header_len > jpeg.len() {
         return Err(LeptonError::Jpeg(JpegError::Truncated));
     }
@@ -176,13 +199,17 @@ pub(crate) fn compress_on(
 
     let (bytes, scan_in, scan_out, header_out) = if bounds.len() - 1 > 1 {
         // Multi-segment: pipeline the serial Huffman scan decode with
-        // the per-segment arithmetic encoding (§3.4 / Fig. 8).
+        // the per-segment arithmetic encoding (§3.4 / Fig. 8). The two
+        // stages overlap by construction, so the trace charges the
+        // combined wall time to `arith_encode` (there is no serial
+        // scan-decode interval to attribute separately).
         compress_pipelined(engine, jpeg, &parsed, &bounds, opts, &meter)?
     } else {
         // Single segment: decode fully, then encode inline with a
         // pooled arena (no handoff — the common small-file path).
         let (scan_data, snapshots) =
             decode_scan_into(jpeg, &parsed, &bounds, engine.planes_seed())?;
+        lepton_obs::mark_stage("scan_decode");
         let container = build_container(
             engine,
             jpeg,
@@ -206,6 +233,7 @@ pub(crate) fn compress_on(
         let (bytes, scan_out, header_out) = container?;
         (bytes, scan_data.stats, scan_out, header_out)
     };
+    lepton_obs::mark_stage("arith_encode");
 
     let stats = CompressStats {
         input_bytes: jpeg.len(),
@@ -222,14 +250,17 @@ pub(crate) fn compress_on(
         // file that cannot be served within §4.2 limits is refused at
         // admission time, which is exactly the paper's ">24 MiB mem
         // decode" encode-side rejection class.
-        let round = crate::decoder::decompress_on(
-            engine,
-            &bytes,
-            &crate::decoder::DecompressOptions {
-                model: opts.model,
-                budget: opts.budget,
-            },
-        )?;
+        let round = lepton_obs::unmarked(|| {
+            crate::decoder::decompress_on(
+                engine,
+                &bytes,
+                &crate::decoder::DecompressOptions {
+                    model: opts.model,
+                    budget: opts.budget,
+                },
+            )
+        })?;
+        lepton_obs::mark_stage("verify");
         if round != jpeg {
             return Err(LeptonError::RoundtripFailed);
         }

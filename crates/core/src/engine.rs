@@ -31,11 +31,69 @@
 use crate::error::LeptonError;
 use lepton_jpeg::CoefPlanes;
 use lepton_model::{ComponentModel, ModelConfig};
+use lepton_obs::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live engine telemetry: pool load and arena-reuse counters.
+///
+/// Every cell is a `lepton_obs` atomic, so the global engine can hand
+/// the *same* cells to [`Registry::global`] (see [`Engine::global`])
+/// and `Stats` snapshots read the live values — there is no separate
+/// "export" copy to fall out of date.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Unstarted jobs in the queue (refreshed by
+    /// [`Engine::refresh_gauges`]; the high water is updated on every
+    /// refresh, so it undercounts bursts between snapshots).
+    pub queue_depth: Arc<Gauge>,
+    /// Pre-spawned worker threads (constant per engine).
+    pub workers: Arc<Gauge>,
+    /// Total wall time workers (and participating/inline callers)
+    /// spent executing jobs, in microseconds.
+    pub busy_us: Arc<Counter>,
+    /// Pooled jobs executed to completion (panic or not).
+    pub jobs_completed: Arc<Counter>,
+    /// Jobs that panicked (also flagged per batch at `join`).
+    pub jobs_panicked: Arc<Counter>,
+    /// Single-segment fast-path closures run inline on caller threads.
+    pub inline_jobs: Arc<Counter>,
+    /// Times a scratch arena was handed to a job — each handoff resets
+    /// (never reallocates) the arena, which is the §5.1 discipline this
+    /// counter lets operators confirm is actually engaged.
+    pub arena_resets: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// Account one executed pool job.
+    fn record_job(&self, elapsed: Duration, panicked: bool) {
+        self.busy_us.add(elapsed.as_micros() as u64);
+        self.jobs_completed.inc();
+        self.arena_resets.inc();
+        if panicked {
+            self.jobs_panicked.inc();
+        }
+    }
+
+    /// Publish these cells on `registry` under `<prefix>.*` names.
+    pub fn bind_registry(&self, registry: &Registry, prefix: &str) {
+        registry.adopt_gauge(&format!("{prefix}.queue_depth"), &self.queue_depth);
+        registry.adopt_gauge(&format!("{prefix}.workers"), &self.workers);
+        for (name, c) in [
+            ("busy_us", &self.busy_us),
+            ("jobs.completed", &self.jobs_completed),
+            ("jobs.panicked", &self.jobs_panicked),
+            ("inline_jobs", &self.inline_jobs),
+            ("arena_resets", &self.arena_resets),
+        ] {
+            registry.adopt_counter(&format!("{prefix}.{name}"), c);
+        }
+    }
+}
 
 /// A lifetime-erased job: runs on some executor with that executor's
 /// scratch arena. See the safety contract on [`Engine::submit`].
@@ -92,7 +150,8 @@ impl Batch {
     }
 
     /// Run one job and account for its completion, panic or not.
-    fn execute(&self, job: Job, scratch: &mut Scratch) {
+    /// Returns whether the job panicked (for executor-side metrics).
+    fn execute(&self, job: Job, scratch: &mut Scratch) -> bool {
         let r = catch_unwind(AssertUnwindSafe(|| job(scratch)));
         if r.is_err() {
             self.panicked.store(true, Ordering::Relaxed);
@@ -102,6 +161,7 @@ impl Batch {
         if *p == 0 {
             self.done_cv.notify_all();
         }
+        r.is_err()
     }
 
     /// Block until every job has finished.
@@ -165,7 +225,12 @@ impl BatchGuard<'_> {
             match job {
                 Some(job) => {
                     let mut scratch = self.engine.checkout_scratch();
-                    self.batch.execute(job, &mut scratch);
+                    let start = Instant::now();
+                    let panicked = self.batch.execute(job, &mut scratch);
+                    self.engine
+                        .shared
+                        .metrics
+                        .record_job(start.elapsed(), panicked);
                     self.engine.checkin_scratch(scratch);
                 }
                 None => break,
@@ -211,6 +276,8 @@ struct Shared {
     /// Recycled coefficient-plane storage for the encoder's serial scan
     /// decode (multi-MiB per file; §5.1 pre-allocation in spirit).
     plane_pool: Mutex<Vec<CoefPlanes>>,
+    /// Pool load/reuse counters (see [`EngineMetrics`]).
+    metrics: EngineMetrics,
 }
 
 /// A pre-spawned codec worker pool with reusable arenas.
@@ -241,7 +308,9 @@ impl Engine {
             work_cv: Condvar::new(),
             scratch_pool: Mutex::new(Vec::new()),
             plane_pool: Mutex::new(Vec::new()),
+            metrics: EngineMetrics::default(),
         });
+        shared.metrics.workers.set(workers as i64);
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -277,8 +346,27 @@ impl Engine {
                         .unwrap_or(1)
                         .min(16)
                 });
-            Engine::new(workers)
+            let engine = Engine::new(workers);
+            // The shared engine exports its live cells process-wide;
+            // dedicated (test/embedder) engines stay unregistered.
+            engine.metrics().bind_registry(Registry::global(), "engine");
+            engine
         })
+    }
+
+    /// Live pool telemetry (queue depth, busy time, arena reuse).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.shared.metrics
+    }
+
+    /// Re-sample the point-in-time gauges (queue depth) from the live
+    /// structures. Called by snapshot paths just before reading the
+    /// registry, so exported gauges are current without a poller.
+    pub fn refresh_gauges(&self) {
+        self.shared
+            .metrics
+            .queue_depth
+            .set(self.queue_depth() as i64);
     }
 
     /// Number of pre-spawned workers.
@@ -415,7 +503,14 @@ impl Engine {
     /// arena — the single-segment fast path (no queueing, no handoff).
     pub(crate) fn run_inline<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
         let mut scratch = self.checkout_scratch();
+        let start = Instant::now();
         let r = f(&mut scratch);
+        self.shared
+            .metrics
+            .busy_us
+            .add(start.elapsed().as_micros() as u64);
+        self.shared.metrics.inline_jobs.inc();
+        self.shared.metrics.arena_resets.inc();
         self.checkin_scratch(scratch);
         r
     }
@@ -489,7 +584,9 @@ fn worker_loop(shared: Arc<Shared>) {
         // participating in its own batch may have emptied it already.
         let job = batch.jobs.lock().expect("batch lock").pop_front();
         if let Some(job) = job {
-            batch.execute(job, &mut scratch);
+            let start = Instant::now();
+            let panicked = batch.execute(job, &mut scratch);
+            shared.metrics.record_job(start.elapsed(), panicked);
         }
     }
 }

@@ -32,11 +32,12 @@
 
 use crate::health::{HealthPolicy, HealthSnapshot, NodeHealth};
 use crate::ring::{Ring, DEFAULT_SEED, DEFAULT_VNODES};
+use lepton_obs::{Counter, Registry, Watchdog, WatchdogConfig};
 use lepton_server::client::{self, retry_with_backoff, ClientError, RetryPolicy};
 use lepton_server::protocol::BlockStatReply;
 use lepton_server::Endpoint;
 use lepton_storage::sha256::{sha256, Digest};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Gateway configuration.
@@ -61,6 +62,11 @@ pub struct FleetConfig {
     /// (the classic tail-taming trade: a little duplicate work for a
     /// lot of p99). `None` (the default) reads strictly serially.
     pub hedge: Option<Duration>,
+    /// Degraded-health watchdog windows/thresholds: the gateway feeds
+    /// every replica-attempt outcome in, and a window whose error rate
+    /// crosses the threshold (a dead or corrupting replica) latches
+    /// the fleet-level degraded flag.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for FleetConfig {
@@ -78,6 +84,7 @@ impl Default for FleetConfig {
             },
             health: HealthPolicy::default(),
             hedge: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -106,33 +113,54 @@ impl FleetNode {
     }
 }
 
-/// Gateway counters.
+/// Gateway counters. All cells are `lepton_obs` counters registered on
+/// the gateway's [`FleetGateway::registry`] under `fleet.*` names, so
+/// a snapshot exports the same atomics the read/write paths bump.
 #[derive(Debug, Default)]
 pub struct FleetMetrics {
     /// Successful `put`s.
-    pub puts: AtomicU64,
+    pub puts: Arc<Counter>,
     /// Successful `get`s (served bytes or authoritative not-found).
-    pub gets: AtomicU64,
+    pub gets: Arc<Counter>,
     /// `put`s acked by fewer than R replicas.
-    pub partial_writes: AtomicU64,
+    pub partial_writes: Arc<Counter>,
     /// `get`s served after at least one earlier replica was attempted
     /// and failed to deliver (skipping an ejected node is routing, not
     /// failover).
-    pub failovers: AtomicU64,
+    pub failovers: Arc<Counter>,
     /// Copies re-written onto replicas observed missing or damaged.
-    pub read_repairs: AtomicU64,
+    pub read_repairs: Arc<Counter>,
     /// Node ejection events.
-    pub ejections: AtomicU64,
+    pub ejections: Arc<Counter>,
     /// Hedge attempts fired: reads where the first replica had not
     /// answered within the hedge budget and a second replica was
     /// asked concurrently.
-    pub hedged_reads: AtomicU64,
+    pub hedged_reads: Arc<Counter>,
     /// Reads served by a hedge attempt rather than the primary.
-    pub hedge_wins: AtomicU64,
+    pub hedge_wins: Arc<Counter>,
     /// In-flight attempts abandoned because another attempt served the
     /// read first. A cancelled loser's outcome is unknown, so it is
     /// never charged to node health and never counted as a failover.
-    pub hedge_cancellations: AtomicU64,
+    pub hedge_cancellations: Arc<Counter>,
+}
+
+impl FleetMetrics {
+    /// Publish every counter on `registry` as `<prefix>.<field>`.
+    fn bind_registry(&self, registry: &Registry, prefix: &str) {
+        for (name, c) in [
+            ("puts", &self.puts),
+            ("gets", &self.gets),
+            ("partial_writes", &self.partial_writes),
+            ("failovers", &self.failovers),
+            ("read_repairs", &self.read_repairs),
+            ("ejections", &self.ejections),
+            ("hedged_reads", &self.hedged_reads),
+            ("hedge_wins", &self.hedge_wins),
+            ("hedge_cancellations", &self.hedge_cancellations),
+        ] {
+            registry.adopt_counter(&format!("{prefix}.{name}"), c);
+        }
+    }
 }
 
 /// Errors the gateway can return.
@@ -233,6 +261,8 @@ pub struct FleetGateway {
     cfg: FleetConfig,
     /// Counters.
     pub metrics: FleetMetrics,
+    registry: Arc<Registry>,
+    watchdog: Arc<Watchdog>,
 }
 
 impl std::fmt::Debug for FleetGateway {
@@ -256,12 +286,43 @@ impl FleetGateway {
                 health: NodeHealth::new(cfg.health),
             })
             .collect();
+        let registry = Arc::new(Registry::new());
+        let metrics = FleetMetrics::default();
+        metrics.bind_registry(&registry, "fleet");
+        let watchdog = Arc::new(Watchdog::new(cfg.watchdog));
         FleetGateway {
             nodes,
             ring,
             cfg,
-            metrics: FleetMetrics::default(),
+            metrics,
+            registry,
+            watchdog,
         }
+    }
+
+    /// The gateway's metric registry (`fleet.*` counters; a
+    /// [`FleetGateway::snapshot`] adds the live degraded flag).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The gateway-level health watchdog, fed by every replica-attempt
+    /// outcome.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Has the watchdog latched the degraded flag (e.g. a replica dead
+    /// long enough for an evaluation window of elevated errors)?
+    pub fn degraded(&self) -> bool {
+        self.watchdog.degraded()
+    }
+
+    /// Point-in-time export of the gateway's counters plus the
+    /// watchdog gauges (`health.degraded`, `watchdog.*`).
+    pub fn snapshot(&self) -> lepton_obs::Snapshot {
+        self.watchdog.publish(&self.registry);
+        self.registry.snapshot()
     }
 
     /// The member nodes, in membership order.
@@ -288,7 +349,7 @@ impl FleetGateway {
         if ok {
             self.nodes[idx].health.record_success();
         } else if self.nodes[idx].health.record_failure() {
-            self.metrics.ejections.fetch_add(1, Ordering::Relaxed);
+            self.metrics.ejections.inc();
         }
     }
 
@@ -314,15 +375,18 @@ impl FleetGateway {
             }) {
                 Ok(acked) if acked == key => {
                     self.record_outcome(m, true);
+                    self.watchdog.record_event(false, false);
                     acks += 1;
                 }
                 Ok(_) => {
                     // A node that acks the wrong address is broken.
                     self.record_outcome(m, false);
+                    self.watchdog.record_event(false, true);
                     last = Some(ClientError::Garbled("put acked a different address"));
                 }
                 Err(e) => {
                     self.record_outcome(m, false);
+                    self.watchdog.record_event(false, true);
                     last = Some(e);
                 }
             }
@@ -334,9 +398,9 @@ impl FleetGateway {
             });
         }
         if acks < members.len() {
-            self.metrics.partial_writes.fetch_add(1, Ordering::Relaxed);
+            self.metrics.partial_writes.inc();
         }
-        self.metrics.puts.fetch_add(1, Ordering::Relaxed);
+        self.metrics.puts.inc();
         Ok(key)
     }
 
@@ -377,23 +441,29 @@ impl FleetGateway {
         key: &Digest,
         result: Result<Option<Vec<u8>>, ClientError>,
     ) -> Result<Vec<u8>, (ReadOutcome, Option<ClientError>)> {
+        // Every completed attempt is one watchdog event: a window of
+        // elevated attempt errors (dead or corrupting replica) latches
+        // the fleet degraded flag.
         match result {
             Ok(Some(bytes)) => {
                 if sha256(&bytes) != *key {
                     // Never let one node's corruption exit the
                     // gateway; treat as a damaged replica.
                     self.record_outcome(m, false);
+                    self.watchdog.record_event(false, true);
                     Err((
                         ReadOutcome::Damaged,
                         Some(ClientError::Garbled("replica served wrong bytes")),
                     ))
                 } else {
                     self.record_outcome(m, true);
+                    self.watchdog.record_event(false, false);
                     Ok(bytes)
                 }
             }
             Ok(None) => {
                 self.record_outcome(m, true); // the node answered
+                self.watchdog.record_event(false, false);
                 Err((ReadOutcome::Missing, None))
             }
             Err(e) => {
@@ -403,6 +473,7 @@ impl FleetGateway {
                     ReadOutcome::Damaged
                 };
                 self.record_outcome(m, false);
+                self.watchdog.record_event(false, true);
                 Err((outcome, Some(e)))
             }
         }
@@ -423,10 +494,10 @@ impl FleetGateway {
             .iter()
             .any(|(_, o)| !matches!(o, ReadOutcome::Skipped))
         {
-            self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+            self.metrics.failovers.inc();
         }
         self.repair(key, &bytes, outcomes);
-        self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+        self.metrics.gets.inc();
         Ok(Some(bytes))
     }
 
@@ -443,7 +514,7 @@ impl FleetGateway {
             .iter()
             .all(|(_, o)| matches!(o, ReadOutcome::Missing))
         {
-            self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+            self.metrics.gets.inc();
             return Ok(None);
         }
         Err(FleetError::AllReplicasFailed {
@@ -531,7 +602,7 @@ impl FleetGateway {
                         // admitted replica (if any remains).
                         hedged = true;
                         if let Some(m) = self.next_admitted(members, &mut pos, &mut outcomes) {
-                            self.metrics.hedged_reads.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.hedged_reads.inc();
                             self.spawn_attempt(fired.len(), m, key, tx.clone());
                             fired.push(m);
                             pending += 1;
@@ -550,12 +621,10 @@ impl FleetGateway {
             match self.classify_read(m, key, result) {
                 Ok(bytes) => {
                     if slot > 0 {
-                        self.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.hedge_wins.inc();
                     }
                     if pending > 0 {
-                        self.metrics
-                            .hedge_cancellations
-                            .fetch_add(pending as u64, Ordering::Relaxed);
+                        self.metrics.hedge_cancellations.add(pending as u64);
                     }
                     return self.serve_read(key, bytes, &outcomes);
                 }
@@ -642,7 +711,7 @@ impl FleetGateway {
             };
             if repaired {
                 self.record_outcome(*m, true);
-                self.metrics.read_repairs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.read_repairs.inc();
             }
         }
     }

@@ -11,7 +11,6 @@ use lepton_server::ServiceConfig;
 use lepton_storage::blockstore::{hex, StoreConfig};
 use lepton_storage::sha256::Digest;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -83,7 +82,7 @@ fn three_node_fleet_survives_one_death_and_rebalances() {
     // exactly R=2 of the 3 nodes.
     let blocks = payloads();
     let keys: Vec<Digest> = blocks.iter().map(|b| gw.put(b).unwrap()).collect();
-    assert_eq!(gw.metrics.partial_writes.load(Ordering::Relaxed), 0);
+    assert_eq!(gw.metrics.partial_writes.get(), 0);
     for key in &keys {
         assert_eq!(live_copies(&fleet, key), 2, "block {}", hex(key));
     }
@@ -101,7 +100,7 @@ fn three_node_fleet_survives_one_death_and_rebalances() {
     // Failovers are counted only while the dead node is still being
     // *attempted*; after `eject_after` failures it is skipped, which
     // is routing, not failover.
-    let failovers = gw.metrics.failovers.load(Ordering::Relaxed);
+    let failovers = gw.metrics.failovers.get();
     let expected = dead_primaries.min(fleet_cfg().health.eject_after as usize) as u64;
     assert_eq!(
         failovers, expected,
@@ -109,7 +108,7 @@ fn three_node_fleet_survives_one_death_and_rebalances() {
     );
     // Two consecutive failures eject the dead node; later reads skip
     // it without paying the connect error.
-    assert!(gw.metrics.ejections.load(Ordering::Relaxed) >= 1);
+    assert!(gw.metrics.ejections.get() >= 1);
     assert!(gw.nodes()[0].health().ejected);
 
     // Writes keep working against the degraded fleet; ones whose
@@ -184,8 +183,8 @@ fn damaged_replica_is_read_repaired_onto_the_healthy_node() {
     // damaged record, so the repair put landed).
     let got = gw.get(&key).unwrap().expect("present");
     assert_eq!(got, block, "corruption must not exit the gateway");
-    assert_eq!(gw.metrics.failovers.load(Ordering::Relaxed), 1);
-    assert_eq!(gw.metrics.read_repairs.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics.failovers.get(), 1);
+    assert_eq!(gw.metrics.read_repairs.get(), 1);
     assert_eq!(
         primary_store.get(&key).unwrap().as_deref(),
         Some(block.as_slice()),
@@ -221,7 +220,7 @@ fn missing_copy_from_partial_write_is_read_repaired() {
     let members = gw.replica_set(&key);
     fleet.kill(members[0]);
     assert_eq!(gw.put(&block).unwrap(), key);
-    assert_eq!(gw.metrics.partial_writes.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics.partial_writes.get(), 1);
     assert_eq!(live_copies(&fleet, &key), 1);
 
     // Revive the fleet: fresh services over the same store
@@ -245,7 +244,7 @@ fn missing_copy_from_partial_write_is_read_repaired() {
     // Whichever order the replicas answered, the missing copy is now
     // restored: both members of the set hold it.
     assert_eq!(
-        gw2.metrics.read_repairs.load(Ordering::Relaxed),
+        gw2.metrics.read_repairs.get(),
         1,
         "the empty secondary was repaired in-line"
     );
@@ -289,17 +288,17 @@ fn hedged_read_beats_a_slow_replica_without_charging_it() {
         "hedge must beat the slow primary, took {elapsed:?}"
     );
 
-    assert_eq!(gw.metrics.hedged_reads.load(Ordering::Relaxed), 1);
-    assert_eq!(gw.metrics.hedge_wins.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics.hedged_reads.get(), 1);
+    assert_eq!(gw.metrics.hedge_wins.get(), 1);
     assert_eq!(
-        gw.metrics.hedge_cancellations.load(Ordering::Relaxed),
+        gw.metrics.hedge_cancellations.get(),
         1,
         "the abandoned primary attempt is counted"
     );
     // The loser never completed, so nothing failed: no failover, no
     // health strike, and certainly no ejection for merely being slow.
-    assert_eq!(gw.metrics.failovers.load(Ordering::Relaxed), 0);
-    assert_eq!(gw.metrics.read_repairs.load(Ordering::Relaxed), 0);
+    assert_eq!(gw.metrics.failovers.get(), 0);
+    assert_eq!(gw.metrics.read_repairs.get(), 0);
     let snap = gw.nodes()[primary].health();
     assert!(!snap.ejected);
     assert_eq!(snap.consecutive_failures, 0);
@@ -309,7 +308,71 @@ fn hedged_read_beats_a_slow_replica_without_charging_it() {
     fleet.inject_delay(primary, Duration::ZERO);
     let got = gw.get(&key).unwrap().expect("present");
     assert_eq!(got, block);
-    assert_eq!(gw.metrics.hedged_reads.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics.hedged_reads.get(), 1);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Killing a replica must flip the gateway's degraded-health flag
+/// within one watchdog evaluation window of attempts against it — the
+/// §6 anomaly-detection requirement, observed end to end.
+#[test]
+fn dead_replica_flips_degraded_within_one_window() {
+    let root = temp_root("degraded");
+    let mut fleet = LocalFleet::spawn(
+        &root,
+        3,
+        &StoreConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .unwrap();
+    let cfg = FleetConfig {
+        // Keep attempting the dead node (no ejection) so the watchdog
+        // sees a sustained ~50% attempt-error rate, and evaluate on a
+        // short 4-event window so one burst of reads is decisive.
+        health: HealthPolicy {
+            eject_after: 1000,
+            probation: Duration::from_secs(120),
+        },
+        // Serial reads fail over primary-first, so only dead-*primary*
+        // keys produce attempt errors (~1/3 of the corpus): alarm on
+        // any error in a short window rather than the default 25%.
+        watchdog: lepton_obs::WatchdogConfig {
+            window: 4,
+            error_threshold: 0.2,
+            ..Default::default()
+        },
+        ..fleet_cfg()
+    };
+    let gw = FleetGateway::new(fleet.members().to_vec(), cfg);
+
+    let blocks = payloads();
+    let keys: Vec<Digest> = blocks.iter().map(|b| gw.put(b).unwrap()).collect();
+    assert!(!gw.degraded(), "healthy fleet must not report degraded");
+
+    fleet.kill(0);
+    // Reads after the kill: every key whose primary is node 0 yields
+    // a failed attempt before failing over. Two passes over the
+    // corpus guarantee whole windows full of post-kill events.
+    for _ in 0..2 {
+        for (key, expect) in keys.iter().zip(&blocks) {
+            let got = gw.get(key).unwrap().expect("block readable after kill");
+            assert_eq!(&got, expect);
+        }
+    }
+    assert!(
+        gw.degraded(),
+        "dead replica must latch degraded: {} evaluations, {} trips",
+        gw.watchdog().evaluations(),
+        gw.watchdog().trips()
+    );
+    // The flag rides the published snapshot like any other metric.
+    let snap = gw.snapshot();
+    assert!(snap.degraded());
+    assert_eq!(snap.gauge("health.degraded"), 1);
 
     std::fs::remove_dir_all(&root).unwrap();
 }

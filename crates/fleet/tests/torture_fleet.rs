@@ -11,7 +11,6 @@ use lepton_fleet::{FleetConfig, FleetGateway, LocalFleet};
 use lepton_server::ServiceConfig;
 use lepton_storage::blockstore::StoreConfig;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -69,7 +68,7 @@ fn gateway_put_get_survives_the_matrix() {
         assert_eq!(got, case.input, "{}: wrong bytes through fleet", case.label);
     }
     assert_eq!(
-        gw.metrics.partial_writes.load(Ordering::Relaxed),
+        gw.metrics.partial_writes.get(),
         0,
         "hostile content must not degrade replication"
     );

@@ -1,0 +1,35 @@
+//! The runtime kill switch gates histogram and trace recording.
+//!
+//! Lives in its own integration binary: the switch is process-global,
+//! so it must not race the recording unit tests.
+
+use lepton_obs::{set_enabled, Histogram, TraceRing};
+
+#[test]
+fn kill_switch_gates_histograms_and_traces() {
+    let h = Histogram::new();
+
+    set_enabled(false);
+    h.record(42);
+    let guard = lepton_obs::span_enter("killed_op");
+    lepton_obs::mark_stage("stage");
+    guard.finish("ok", 1, 1);
+    assert_eq!(h.count(), 0, "disabled histogram recorded");
+    assert!(
+        !TraceRing::global()
+            .recent(64)
+            .iter()
+            .any(|t| t.op == "killed_op"),
+        "disabled span recorded"
+    );
+
+    set_enabled(true);
+    h.record(42);
+    let guard = lepton_obs::span_enter("live_op");
+    guard.finish("ok", 1, 1);
+    assert_eq!(h.count(), 1);
+    assert!(TraceRing::global()
+        .recent(64)
+        .iter()
+        .any(|t| t.op == "live_op"));
+}

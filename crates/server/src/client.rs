@@ -14,6 +14,7 @@ use crate::endpoint::{Conn, Endpoint};
 use crate::protocol::{
     read_bounded, read_frame, write_frame, BlockStatReply, Frame, Op, StatsReply, Status, MUX_MAGIC,
 };
+use lepton_obs::Snapshot;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -230,6 +231,19 @@ pub fn probe(ep: &Endpoint, timeout: Duration) -> Result<StatsReply, ClientError
     match convert(ep, Op::Stats, &[], timeout)? {
         (Status::Ok, body) => {
             StatsReply::from_wire(&body).ok_or(ClientError::Garbled("stats reply size"))
+        }
+        (status, _) => Err(ClientError::Refused(status)),
+    }
+}
+
+/// Full telemetry snapshot (`Stats` v2): every registry counter,
+/// gauge, and latency histogram, plus the degraded-health flag.
+/// Old servers that do not speak `Op::StatsV2` refuse the op with a
+/// typed status; callers can fall back to [`probe`].
+pub fn probe_snapshot(ep: &Endpoint, timeout: Duration) -> Result<Snapshot, ClientError> {
+    match convert(ep, Op::StatsV2, &[], timeout)? {
+        (Status::Ok, body) => {
+            Snapshot::from_wire(&body).map_err(|_| ClientError::Garbled("stats v2 snapshot"))
         }
         (status, _) => Err(ClientError::Refused(status)),
     }

@@ -6,47 +6,89 @@
 //! on machines that have more than three conversions happening at a
 //! time"). [`ConcurrencyGauge`] tracks that number with an RAII lease,
 //! plus the high-water mark the Figure 9 experiment plots.
+//!
+//! The gauge now lives on the unified telemetry registry: it is a
+//! thin facade over a [`lepton_obs::Gauge`] (active + high water) and
+//! a [`lepton_obs::Counter`] (total leases), so `Stats` v2 exports the
+//! same numbers the admission path reads, with no parallel bookkeeping.
+//!
+//! # Why this no longer uses `SeqCst`
+//!
+//! The original implementation did every RMW and load with `SeqCst`.
+//! That bought nothing: the three cells are independent statistics —
+//! no other memory is published *through* them — so the only ordering
+//! that matters is (a) per-atomic modification order, which any RMW
+//! ordering provides (increments are never lost, `fetch_max` converges
+//! to the true maximum), and (b) the lease-release edge: a thread that
+//! observes `active() == 0` must also observe the finished jobs'
+//! writes. The RAII lease makes the decrement the job's last action,
+//! so a `Release` decrement paired with an `Acquire` read of the
+//! active count — implemented in `lepton_obs::Gauge::sub`/`value` —
+//! preserves exactly that guarantee while everything else runs
+//! `Relaxed`. The cross-atomic total order `SeqCst` added was paying
+//! for a full fence per request on weakly-ordered targets with no
+//! observable difference. The `lease_raii_tracks_active` /
+//! `high_water_is_monotonic_under_threads` tests below pin the
+//! behavior contract unchanged across the downgrade.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use lepton_obs::{Counter, Gauge, Registry};
 use std::sync::Arc;
 
 /// Live counter of in-flight conversions with a high-water mark.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ConcurrencyGauge {
-    active: AtomicU32,
-    high_water: AtomicU32,
-    total: AtomicU64,
+    active: Arc<Gauge>,
+    total: Arc<Counter>,
+}
+
+impl Default for ConcurrencyGauge {
+    fn default() -> Self {
+        ConcurrencyGauge {
+            active: Arc::new(Gauge::new()),
+            total: Arc::new(Counter::new()),
+        }
+    }
 }
 
 impl ConcurrencyGauge {
-    /// New gauge at zero.
+    /// New detached gauge at zero.
     pub fn new() -> Arc<ConcurrencyGauge> {
         Arc::new(ConcurrencyGauge::default())
     }
 
+    /// New gauge whose cells live on `registry` as
+    /// `<prefix>.active` (gauge + high water) and `<prefix>.total`
+    /// (counter) — the same atomics the admission path updates, so
+    /// snapshots are always live.
+    pub fn on_registry(registry: &Registry, prefix: &str) -> Arc<ConcurrencyGauge> {
+        Arc::new(ConcurrencyGauge {
+            active: registry.gauge(&format!("{prefix}.active")),
+            total: registry.counter(&format!("{prefix}.total")),
+        })
+    }
+
     /// Begin a conversion; the returned lease decrements on drop.
     pub fn acquire(self: &Arc<Self>) -> Lease {
-        let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
-        self.high_water.fetch_max(now, Ordering::SeqCst);
-        self.total.fetch_add(1, Ordering::Relaxed);
+        self.active.add(1);
+        self.total.inc();
         Lease {
             gauge: Arc::clone(self),
         }
     }
 
-    /// Conversions in flight right now.
+    /// Conversions in flight right now (`Acquire`; see module docs).
     pub fn active(&self) -> u32 {
-        self.active.load(Ordering::SeqCst)
+        self.active.value().max(0) as u32
     }
 
     /// Most conversions ever in flight at once.
     pub fn high_water(&self) -> u32 {
-        self.high_water.load(Ordering::SeqCst)
+        self.active.high_water().max(0) as u32
     }
 
     /// Conversions started since creation.
     pub fn total(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
+        self.total.get()
     }
 }
 
@@ -58,7 +100,8 @@ pub struct Lease {
 
 impl Drop for Lease {
     fn drop(&mut self) {
-        self.gauge.active.fetch_sub(1, Ordering::SeqCst);
+        // Release: pairs with the Acquire in `active()` (module docs).
+        self.gauge.active.sub(1);
     }
 }
 
@@ -66,6 +109,8 @@ impl Drop for Lease {
 mod tests {
     use super::*;
 
+    /// Unchanged-behavior contract across the SeqCst→Relaxed/AcqRel
+    /// downgrade: same-thread RAII accounting is exact.
     #[test]
     fn lease_raii_tracks_active() {
         let g = ConcurrencyGauge::new();
@@ -81,6 +126,10 @@ mod tests {
         assert_eq!(g.total(), 2);
     }
 
+    /// Unchanged-behavior contract under contention: totals exact,
+    /// high water within [1, threads], gauge drains to zero — the
+    /// per-atomic modification order guarantees these regardless of
+    /// the weaker orderings.
     #[test]
     fn high_water_is_monotonic_under_threads() {
         let g = ConcurrencyGauge::new();

@@ -56,6 +56,12 @@ pub enum Op {
     /// No payload; returns a [`StatsReply`]. Load probe used by the
     /// power-of-two-choices outsourcing router.
     Stats,
+    /// No payload; returns a versioned telemetry snapshot
+    /// (`lepton_obs::Snapshot` wire format v2: length-prefixed
+    /// key/value metrics plus sparse histogram buckets). Old clients
+    /// keep sending [`Op::Stats`] and still get the fixed 24-byte
+    /// [`StatsReply`]; the two ops coexist indefinitely.
+    StatsV2,
     /// Block bytes in, 32-byte content address out: store a block in
     /// the service's blockstore (compress-on-write is transparent —
     /// the address is the SHA-256 of what was sent).
@@ -86,6 +92,7 @@ impl Op {
             Op::Decompress => b'D',
             Op::Ping => b'P',
             Op::Stats => b'S',
+            Op::StatsV2 => b'V',
             Op::BlockPut => b'B',
             Op::BlockGet => b'G',
             Op::BlockStat => b'T',
@@ -100,11 +107,57 @@ impl Op {
             b'D' => Some(Op::Decompress),
             b'P' => Some(Op::Ping),
             b'S' => Some(Op::Stats),
+            b'V' => Some(Op::StatsV2),
             b'B' => Some(Op::BlockPut),
             b'G' => Some(Op::BlockGet),
             b'T' => Some(Op::BlockStat),
             b'L' => Some(Op::BlockList),
             _ => None,
+        }
+    }
+
+    /// Every op, in wire-introduction order. Drives per-op metric
+    /// arrays and exhaustiveness tests.
+    pub const ALL: [Op; 9] = [
+        Op::Compress,
+        Op::Decompress,
+        Op::Ping,
+        Op::Stats,
+        Op::StatsV2,
+        Op::BlockPut,
+        Op::BlockGet,
+        Op::BlockStat,
+        Op::BlockList,
+    ];
+
+    /// Stable lowercase label used in metric names
+    /// (`server.op.<name>.latency_us`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Compress => "compress",
+            Op::Decompress => "decompress",
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::StatsV2 => "stats_v2",
+            Op::BlockPut => "block_put",
+            Op::BlockGet => "block_get",
+            Op::BlockStat => "block_stat",
+            Op::BlockList => "block_list",
+        }
+    }
+
+    /// Dense index into [`Op::ALL`], for per-op metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Op::Compress => 0,
+            Op::Decompress => 1,
+            Op::Ping => 2,
+            Op::Stats => 3,
+            Op::StatsV2 => 4,
+            Op::BlockPut => 5,
+            Op::BlockGet => 6,
+            Op::BlockStat => 7,
+            Op::BlockList => 8,
         }
     }
 }
@@ -454,17 +507,9 @@ mod tests {
 
     #[test]
     fn op_wire_roundtrip() {
-        for op in [
-            Op::Compress,
-            Op::Decompress,
-            Op::Ping,
-            Op::Stats,
-            Op::BlockPut,
-            Op::BlockGet,
-            Op::BlockStat,
-            Op::BlockList,
-        ] {
+        for (i, op) in Op::ALL.into_iter().enumerate() {
             assert_eq!(Op::from_wire(op.to_wire()), Some(op));
+            assert_eq!(op.index(), i, "ALL order matches index()");
         }
         assert_eq!(Op::from_wire(b'X'), None);
         assert_eq!(Op::from_wire(0), None);

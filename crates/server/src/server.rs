@@ -47,13 +47,14 @@ use crate::protocol::{
     MUX_MAGIC,
 };
 use lepton_core::{CompressOptions, ExitCode};
+use lepton_obs::{Counter, Gauge, Histogram, Registry, Snapshot, Watchdog, WatchdogConfig};
 use lepton_storage::blockstore::{ShardedStore, StoreError};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -100,6 +101,10 @@ pub struct ServiceConfig {
     /// but not yet answered; past it the driver stops reading frames
     /// (TCP backpressure), bounding what one connection can pin.
     pub max_inflight_bytes: usize,
+    /// Anomaly-watchdog thresholds (§6 monitoring): window size and
+    /// the shed/error-rate and compression-ratio-shift alarms that
+    /// latch the degraded-health flag `Stats` v2 reports.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for ServiceConfig {
@@ -116,22 +121,38 @@ impl Default for ServiceConfig {
             job_queue_depth: 128,
             shed_engine_queue: 512,
             max_inflight_bytes: 64 << 20,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
 
 /// Counters exported by [`ServiceHandle::stats`] and the `Stats` op.
-#[derive(Debug, Default)]
+///
+/// Since the telemetry unification these are views onto the service's
+/// [`Registry`] (`server.served` etc.), so the v1 24-byte reply, the
+/// v2 snapshot and these handles always agree.
+#[derive(Debug)]
 pub struct ServiceMetrics {
     /// Successful conversions (compress + decompress).
-    pub served: AtomicU64,
+    pub served: Arc<Counter>,
     /// Failed or rejected conversions.
-    pub failed: AtomicU32,
+    pub failed: Arc<Counter>,
     /// Compression requests refused because the shutoff switch was on.
-    pub shutoff_refusals: AtomicU32,
+    pub shutoff_refusals: Arc<Counter>,
     /// Requests shed by admission control ([`Status::Overloaded`]) —
     /// also counted in `failed`.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn on_registry(reg: &Registry) -> Self {
+        ServiceMetrics {
+            served: reg.counter("server.served"),
+            failed: reg.counter("server.failed"),
+            shutoff_refusals: reg.counter("server.shutoff_refusals"),
+            shed: reg.counter("server.shed"),
+        }
+    }
 }
 
 /// One framed-mode conversion job, queued to the worker pool.
@@ -150,6 +171,9 @@ struct MuxConn {
     writer: Mutex<Conn>,
     inflight_bytes: Mutex<usize>,
     drained: Condvar,
+    /// Service-wide admitted-but-unanswered bytes gauge
+    /// (`server.inflight_bytes`), shared across connections.
+    inflight_gauge: Arc<Gauge>,
 }
 
 impl MuxConn {
@@ -161,6 +185,7 @@ impl MuxConn {
     fn release(&self, bytes: usize) {
         let mut inflight = self.inflight_bytes.lock().expect("mux inflight");
         *inflight -= bytes;
+        self.inflight_gauge.sub(bytes as i64);
         self.drained.notify_all();
     }
 }
@@ -168,6 +193,15 @@ impl MuxConn {
 /// Everything the acceptor, drivers, and workers share.
 struct Shared {
     cfg: ServiceConfig,
+    /// This service instance's unified metric registry. Per-instance
+    /// (not process-global) so in-process fleets keep per-node stats.
+    registry: Arc<Registry>,
+    /// The §6 anomaly watchdog latching the degraded-health flag.
+    watchdog: Arc<Watchdog>,
+    /// Per-op request latency histograms, indexed by [`Op::index`].
+    op_latency: Vec<Arc<Histogram>>,
+    /// Admitted-but-unanswered framed request bytes, service-wide.
+    inflight_bytes: Arc<Gauge>,
     gauge: Arc<ConcurrencyGauge>,
     conns: Arc<ConcurrencyGauge>,
     metrics: Arc<ServiceMetrics>,
@@ -216,11 +250,29 @@ pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> std::io::Result<Service
     };
     let (job_tx, job_rx) = crossbeam::channel::bounded::<MuxJob>(cfg.job_queue_depth.max(1));
 
+    // The unified telemetry registry: every counter the service
+    // updates lives here under a stable dotted name, so the v2 Stats
+    // snapshot is a read, not a collection effort.
+    let registry = Arc::new(Registry::new());
+    let metrics = Arc::new(ServiceMetrics::on_registry(&registry));
+    let op_latency = Op::ALL
+        .iter()
+        .map(|op| registry.histogram(&format!("server.op.{}.latency_us", op.name())))
+        .collect();
+    if let Some(store) = cfg.blockstore.as_deref() {
+        store.bind_registry(&registry, "store");
+    }
+    let watchdog = Arc::new(Watchdog::new(cfg.watchdog));
+
     let shared = Arc::new(Shared {
+        gauge: ConcurrencyGauge::on_registry(&registry, "server.conversions"),
+        conns: ConcurrencyGauge::on_registry(&registry, "server.conns"),
+        inflight_bytes: registry.gauge("server.inflight_bytes"),
+        op_latency,
+        watchdog,
+        registry,
+        metrics,
         cfg,
-        gauge: ConcurrencyGauge::new(),
-        conns: ConcurrencyGauge::new(),
-        metrics: Arc::new(ServiceMetrics::default()),
         stop: AtomicBool::new(false),
         delay_ms: AtomicU64::new(0),
         job_tx: Mutex::new(Some(job_tx)),
@@ -338,6 +390,25 @@ impl ServiceHandle {
         &self.shared.metrics
     }
 
+    /// The service's unified telemetry registry (per-op latency
+    /// histograms, connection lifecycle, storage counters).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// The same versioned snapshot the wire `Stats` v2 op returns:
+    /// this service's registry merged with the process-global one
+    /// (engine, job traces), plus watchdog health gauges.
+    pub fn snapshot(&self) -> Snapshot {
+        stats_snapshot(&self.shared)
+    }
+
+    /// True while the anomaly watchdog's degraded-health flag is
+    /// latched (shed/error storm or compression-ratio shift).
+    pub fn degraded(&self) -> bool {
+        self.shared.watchdog.degraded()
+    }
+
     /// Make every conversion and block op on this service sleep `d`
     /// before running (0 disables). A test/bench hook: `fig10_replay`
     /// uses it to turn one fleet node into the slow replica whose tail
@@ -388,9 +459,25 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         active: shared.gauge.active(),
         high_water: shared.gauge.high_water(),
         busy_threshold: shared.cfg.busy_threshold,
-        total_served: shared.metrics.served.load(Ordering::Relaxed),
-        total_failed: shared.metrics.failed.load(Ordering::Relaxed),
+        total_served: shared.metrics.served.get(),
+        total_failed: shared.metrics.failed.get() as u32,
     }
+}
+
+/// Build the v2 stats snapshot: refresh the computed gauges, then
+/// merge this service's registry with the process-global registry
+/// (codec engine counters, `trace.*` stage histograms).
+fn stats_snapshot(shared: &Shared) -> Snapshot {
+    let engine = lepton_core::Engine::global();
+    engine.refresh_gauges();
+    shared.watchdog.publish(&shared.registry);
+    shared
+        .registry
+        .gauge("server.busy_threshold")
+        .set(i64::from(shared.cfg.busy_threshold));
+    let mut snap = shared.registry.snapshot();
+    snap.merge(Registry::global().snapshot());
+    snap
 }
 
 fn shutoff_engaged(cfg: &ServiceConfig) -> bool {
@@ -414,7 +501,7 @@ fn drive_connection(mut conn: Conn, shared: &Arc<Shared>) {
             Ok(0) => return, // peer hung up before sending anything
             Ok(n) => got += n,
             Err(_) => {
-                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.failed.inc();
                 let _ = write_response(&mut conn, Status::Timeout, &[]);
                 return;
             }
@@ -443,13 +530,13 @@ fn drive_legacy(mut conn: Conn, op_byte: u8, shared: &Arc<Shared>) {
                 // best-effort response.
                 Status::Timeout
             };
-            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.inc();
             let _ = write_response(&mut conn, status, &[]);
             return;
         }
     };
     let Some(op) = Op::from_wire(op_byte) else {
-        shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.failed.inc();
         let _ = write_response(&mut conn, Status::BadRequest, &[]);
         return;
     };
@@ -472,6 +559,7 @@ fn drive_mux(conn: Conn, shared: &Arc<Shared>) {
         writer: Mutex::new(writer),
         inflight_bytes: Mutex::new(0),
         drained: Condvar::new(),
+        inflight_gauge: Arc::clone(&shared.inflight_bytes),
     });
     let mut reader = conn;
     loop {
@@ -487,19 +575,19 @@ fn drive_mux(conn: Conn, shared: &Arc<Shared>) {
                 } else {
                     Status::Timeout
                 };
-                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.failed.inc();
                 mux.respond(u32::MAX, status, &[]);
                 return;
             }
         };
         let Some(op) = Op::from_wire(frame.byte) else {
-            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.inc();
             mux.respond(frame.id, Status::BadRequest, &[]);
             continue;
         };
         // Probes are answered inline — they must never queue behind
         // conversions (that is what makes them useful under load).
-        if matches!(op, Op::Ping | Op::Stats) {
+        if matches!(op, Op::Ping | Op::Stats | Op::StatsV2) {
             let (status, body) = execute_op(shared, op, &frame.payload);
             mux.respond(frame.id, status, &body);
             continue;
@@ -515,6 +603,7 @@ fn drive_mux(conn: Conn, shared: &Arc<Shared>) {
                 inflight = mux.drained.wait(inflight).expect("mux inflight");
             }
             *inflight += bytes;
+            shared.inflight_bytes.add(bytes as i64);
         }
         if sheds(op) && engine_overloaded(shared) {
             shed(shared);
@@ -563,8 +652,9 @@ fn sheds(op: Op) -> bool {
 }
 
 fn shed(shared: &Shared) {
-    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.shed.inc();
+    shared.metrics.failed.inc();
+    shared.watchdog.record_event(true, false);
 }
 
 /// The framed-mode worker loop: execute conversion jobs, write the
@@ -579,10 +669,19 @@ fn worker_loop(shared: &Arc<Shared>, rx: &crossbeam::channel::Receiver<MuxJob>) 
 
 /// Execute one request and produce its response. Shared by both wire
 /// modes, so legacy and framed clients see identical semantics.
+/// Records per-op wall time into the registry's latency histograms.
 fn execute_op(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>) {
+    let start = Instant::now();
+    let result = execute_op_inner(shared, op, payload);
+    shared.op_latency[op.index()].record_duration(start.elapsed());
+    result
+}
+
+fn execute_op_inner(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>) {
     let cfg = &shared.cfg;
     let metrics = &shared.metrics;
-    if !matches!(op, Op::Ping | Op::Stats) {
+    let watchdog = &shared.watchdog;
+    if !matches!(op, Op::Ping | Op::Stats | Op::StatsV2) {
         let delay = shared.delay_ms.load(Ordering::SeqCst);
         if delay > 0 {
             std::thread::sleep(Duration::from_millis(delay));
@@ -591,19 +690,28 @@ fn execute_op(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>)
     match op {
         Op::Ping => (Status::Ok, Vec::new()),
         Op::Stats => (Status::Ok, stats_reply(shared).to_wire().to_vec()),
+        Op::StatsV2 => (Status::Ok, stats_snapshot(shared).to_wire()),
         Op::Compress => {
             if shutoff_engaged(cfg) {
-                metrics.shutoff_refusals.fetch_add(1, Ordering::Relaxed);
+                metrics.shutoff_refusals.inc();
                 return (Status::Shutdown, Vec::new());
             }
             let _lease = shared.gauge.acquire();
             match lepton_core::Engine::global().compress(payload, &cfg.compress) {
                 Ok(lepton) => {
-                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    metrics.served.inc();
+                    // Feed the §6 ratio series: a fleet-wide drift here
+                    // (corpus change, model regression) trips the
+                    // watchdog even when nothing errors.
+                    if !payload.is_empty() {
+                        watchdog.record_ratio(lepton.len() as f64 / payload.len() as f64);
+                    }
+                    watchdog.record_event(false, false);
                     (Status::Ok, lepton)
                 }
                 Err(e) => {
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    metrics.failed.inc();
+                    watchdog.record_event(false, true);
                     (Status::Rejected(ExitCode::classify(&e)), Vec::new())
                 }
             }
@@ -617,18 +725,20 @@ fn execute_op(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>)
             };
             match lepton_core::Engine::global().decompress_opts(payload, &dec_opts) {
                 Ok(jpeg) => {
-                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    metrics.served.inc();
+                    watchdog.record_event(false, false);
                     (Status::Ok, jpeg)
                 }
                 Err(e) => {
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    metrics.failed.inc();
+                    watchdog.record_event(false, true);
                     (Status::Rejected(ExitCode::classify(&e)), Vec::new())
                 }
             }
         }
         Op::BlockPut | Op::BlockGet | Op::BlockStat | Op::BlockList => {
             let Some(store) = cfg.blockstore.as_deref() else {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.failed.inc();
                 return (Status::BadRequest, Vec::new());
             };
             execute_block_op(shared, op, store, payload)
@@ -650,35 +760,45 @@ fn execute_block_op(
     match op {
         Op::BlockPut => {
             let _lease = shared.gauge.acquire();
+            // A job trace for the storage leg: the codec stages inside
+            // `store.put` run on engine workers under their own spans;
+            // this span owns the `store` stage of the canonical
+            // parse → decode → code → verify → store chain.
+            let span = lepton_obs::span_enter("block_put");
             // The §5.7 shutoff switch gates the codec here too — but
             // blockstore writes are never *refused*: the block lands
             // raw and a later backfill converts it. Durability first.
             let result = if shutoff_engaged(cfg) {
-                metrics.shutoff_refusals.fetch_add(1, Ordering::Relaxed);
+                metrics.shutoff_refusals.inc();
                 store.put_raw(payload)
             } else {
                 store.put(payload)
             };
+            lepton_obs::mark_stage("store");
             match result {
                 Ok(key) => {
-                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    metrics.served.inc();
+                    shared.watchdog.record_event(false, false);
+                    span.finish("ok", payload.len() as u64, 32);
                     (Status::Ok, key.to_vec())
                 }
                 Err(_) => {
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    metrics.failed.inc();
+                    shared.watchdog.record_event(false, true);
+                    span.finish("storage_failed", payload.len() as u64, 0);
                     (Status::StorageFailed, Vec::new())
                 }
             }
         }
         Op::BlockGet => {
             let Ok(key) = <[u8; 32]>::try_from(payload) else {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.failed.inc();
                 return (Status::BadRequest, Vec::new());
             };
             let _lease = shared.gauge.acquire();
             match store.get(&key) {
                 Ok(Some(bytes)) => {
-                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    metrics.served.inc();
                     (Status::Ok, bytes)
                 }
                 Ok(None) => (Status::NotFound, Vec::new()),
@@ -687,20 +807,22 @@ fn execute_block_op(
                 // true content can land instead of deduping against
                 // the bad file.
                 Err(StoreError::Corrupt(_)) => {
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    metrics.failed.inc();
+                    shared.watchdog.record_event(false, true);
                     let _ = store.quarantine(&key);
                     (Status::StorageFailed, Vec::new())
                 }
                 // I/O failures are never dressed up as data either.
                 Err(StoreError::Io(_)) => {
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    metrics.failed.inc();
+                    shared.watchdog.record_event(false, true);
                     (Status::StorageFailed, Vec::new())
                 }
                 // A budget refusal is a typed rejection, not damage:
                 // no quarantine, and the client learns the taxonomy
                 // row instead of a storage failure.
                 Err(StoreError::Budget { .. }) => {
-                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    metrics.failed.inc();
                     (Status::Rejected(ExitCode::MemDecodeLimit), Vec::new())
                 }
             }
@@ -714,7 +836,7 @@ fn execute_block_op(
                 (Status::Ok, body)
             }
             Err(_) => {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.failed.inc();
                 (Status::StorageFailed, Vec::new())
             }
         },
@@ -732,7 +854,7 @@ fn execute_block_op(
                 (Status::Ok, reply.to_wire().to_vec())
             }
             Err(_) => {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.failed.inc();
                 (Status::StorageFailed, Vec::new())
             }
         },

@@ -176,13 +176,7 @@ fn burst_past_admission_limit_is_shed_with_typed_rejections() {
         elapsed < Duration::from_secs(10),
         "shed answers must not stack behind the stalled worker: {elapsed:?}"
     );
-    assert_eq!(
-        handle
-            .metrics()
-            .shed
-            .load(std::sync::atomic::Ordering::Relaxed),
-        shed as u64
-    );
+    assert_eq!(handle.metrics().shed.get(), shed as u64);
 
     // The service is not wedged: probes answer instantly and a legacy
     // connection's conversion still completes (slowly — the injected

@@ -1,8 +1,38 @@
 //! Property tests for the wire protocol: every decoder total over
 //! arbitrary bytes, every encoder inverted by its decoder.
 
+use lepton_obs::{hist, MetricValue, Snapshot, SnapshotWireError};
 use lepton_server::protocol::{read_bounded, read_request, Op, StatsReply, Status, EXIT_CODES};
 use proptest::prelude::*;
+
+/// Arbitrary single metric value, covering all three kinds (histogram
+/// buckets generated sparse, ascending, in range — the valid set).
+fn arb_metric_value() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        any::<u64>().prop_map(MetricValue::Counter),
+        (any::<i64>(), any::<i64>())
+            .prop_map(|(value, high_water)| MetricValue::Gauge { value, high_water }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::btree_map(0u16..hist::BUCKET_COUNT as u16, 1u64..1 << 40, 0..12)
+        )
+            .prop_map(|(count, sum, buckets)| {
+                MetricValue::Histogram(lepton_obs::HistogramSnapshot {
+                    count,
+                    sum,
+                    buckets: buckets.into_iter().collect(), // BTreeMap ⇒ ascending
+                })
+            }),
+    ]
+}
+
+/// Arbitrary snapshot with valid names and values.
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    let name = (0usize..10_000).prop_map(|i| format!("metric.{i}.value_us"));
+    proptest::collection::vec((name, arb_metric_value()), 0..24)
+        .prop_map(|entries| Snapshot { entries })
+}
 
 proptest! {
     /// `from_wire` is total over all 256 byte values and inverts
@@ -46,6 +76,69 @@ proptest! {
     fn stats_reply_rejects_wrong_lengths(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
         let parsed = StatsReply::from_wire(&bytes);
         prop_assert_eq!(parsed.is_some(), bytes.len() == StatsReply::WIRE_LEN);
+    }
+
+    /// `Stats` v2 snapshot wire: decode inverts encode exactly for
+    /// arbitrary valid snapshots (all metric kinds, sparse histogram
+    /// buckets, the degraded flag).
+    #[test]
+    fn stats_v2_snapshot_roundtrip(snap in arb_snapshot()) {
+        let wire = snap.to_wire();
+        let back = Snapshot::from_wire(&wire).expect("self-encoded snapshot must parse");
+        prop_assert_eq!(back.entries, snap.entries);
+    }
+
+    /// Truncation at *every* prefix length yields a typed error, never
+    /// a panic or a silently-short snapshot; appended trailing bytes
+    /// are likewise rejected with their exact count.
+    #[test]
+    fn stats_v2_truncation_and_trailing_rejected(snap in arb_snapshot(), extra in 1usize..9) {
+        let wire = snap.to_wire();
+        for cut in 0..wire.len() {
+            match Snapshot::from_wire(&wire[..cut]) {
+                Err(_) => {}
+                Ok(parsed) => prop_assert!(
+                    false,
+                    "prefix of {cut}/{} bytes parsed to {} entries",
+                    wire.len(),
+                    parsed.entries.len()
+                ),
+            }
+        }
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert_eq!(
+            Snapshot::from_wire(&padded),
+            Err(SnapshotWireError::TrailingBytes(extra))
+        );
+    }
+
+    /// An oversized entry count is refused by the announced header
+    /// alone — no attacker-controlled allocation happens first.
+    #[test]
+    fn stats_v2_oversized_count_rejected(n in (lepton_obs::snapshot::MAX_ENTRIES + 1)..u32::MAX) {
+        let mut wire = vec![2u8, 0u8];
+        wire.extend_from_slice(&n.to_le_bytes());
+        prop_assert_eq!(
+            Snapshot::from_wire(&wire),
+            Err(SnapshotWireError::TooManyEntries(n))
+        );
+    }
+
+    /// The legacy 24-byte v1 probe reply still parses unchanged: new
+    /// telemetry must not break deployed v1 clients.
+    #[test]
+    fn stats_v1_back_compat_unchanged(
+        active in any::<u32>(),
+        high_water in any::<u32>(),
+        busy_threshold in any::<u32>(),
+        total_served in any::<u64>(),
+        total_failed in any::<u32>(),
+    ) {
+        let s = StatsReply { active, high_water, busy_threshold, total_served, total_failed };
+        let wire = s.to_wire();
+        prop_assert_eq!(wire.len(), StatsReply::WIRE_LEN);
+        prop_assert_eq!(StatsReply::from_wire(&wire), Some(s));
     }
 
     /// Request framing: op byte + arbitrary payload + EOF parses back

@@ -149,13 +149,7 @@ fn shutoff_switch_refuses_compress_but_serves_decompress() {
         client::decompress(handle.endpoint(), &lepton, TIMEOUT).unwrap(),
         jpeg
     );
-    assert_eq!(
-        handle
-            .metrics()
-            .shutoff_refusals
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(handle.metrics().shutoff_refusals.get(), 1);
 
     // Disengage: service resumes within one request.
     std::fs::remove_file(&switch).unwrap();

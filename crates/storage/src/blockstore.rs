@@ -24,11 +24,13 @@
 use crate::sha256::{sha256, Digest};
 use crate::StoredFormat;
 use lepton_core::CompressOptions;
+use lepton_obs::{Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Magic prefixing every on-disk block record.
@@ -116,28 +118,28 @@ impl Default for StoreConfig {
 #[derive(Debug, Default)]
 pub struct ShardedMetrics {
     /// Blocks this handle admitted in Lepton form at `put`.
-    pub lepton_blocks: AtomicU64,
+    pub lepton_blocks: Arc<Counter>,
     /// Blocks this handle stored raw (non-JPEG, shutoff, or failed
     /// admission).
-    pub raw_blocks: AtomicU64,
+    pub raw_blocks: Arc<Counter>,
     /// Original bytes ingested by `put`.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Arc<Counter>,
     /// Payload bytes written at `put` (headers excluded).
-    pub bytes_stored: AtomicU64,
+    pub bytes_stored: Arc<Counter>,
     /// Round-trip mismatches at admission (fell back to raw).
-    pub roundtrip_failures: AtomicU64,
+    pub roundtrip_failures: Arc<Counter>,
     /// Blocks converted to Lepton in place by `backfill`.
-    pub backfill_conversions: AtomicU64,
+    pub backfill_conversions: Arc<Counter>,
     /// Reads served from the decoded-block cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Reads that had to touch disk (and the codec, for Lepton blocks).
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Corrupt records detected (and refused) by the read path —
     /// damaged headers and failed hash checks alike.
-    pub corrupt_blocks: AtomicU64,
+    pub corrupt_blocks: Arc<Counter>,
     /// Reads refused because the decode would exceed the memory budget
     /// (the record is healthy; it is not quarantined).
-    pub budget_rejections: AtomicU64,
+    pub budget_rejections: Arc<Counter>,
 }
 
 /// Point-in-time summary of a store, as `stat` reports it.
@@ -465,17 +467,13 @@ impl ShardedStore {
         let _ = std::fs::remove_file(self.quarantine_path(&key));
         drop(guard);
 
-        self.metrics
-            .bytes_in
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.metrics
-            .bytes_stored
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.metrics.bytes_in.add(data.len() as u64);
+        self.metrics.bytes_stored.add(payload.len() as u64);
         match format {
             StoredFormat::Lepton => &self.metrics.lepton_blocks,
             _ => &self.metrics.raw_blocks,
         }
-        .fetch_add(1, Ordering::Relaxed);
+        .inc();
         Ok(key)
     }
 
@@ -504,9 +502,7 @@ impl ShardedStore {
             }
             return None; // compression won nothing; raw is simpler
         }
-        self.metrics
-            .roundtrip_failures
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.roundtrip_failures.inc();
         None
     }
 
@@ -540,10 +536,10 @@ impl ShardedStore {
     pub fn get(&self, key: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
         let shard = self.shard_of(key);
         if let Some(hit) = shard.cache.lock().get(key) {
-            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.cache_hits.inc();
             return Ok(Some(hit));
         }
-        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.cache_misses.inc();
 
         let (format, original_len, payload) = match self.read_record(key)? {
             Some(rec) => rec,
@@ -589,9 +585,7 @@ impl ShardedStore {
                     Err(lepton_core::LeptonError::BudgetExceeded {
                         required, limit, ..
                     }) => {
-                        self.metrics
-                            .budget_rejections
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.metrics.budget_rejections.inc();
                         return Err(StoreError::Budget { required, limit });
                     }
                     Err(_) => return Err(self.corrupt(shard, key)),
@@ -612,7 +606,7 @@ impl ShardedStore {
     }
 
     fn corrupt(&self, shard: &Shard, key: &Digest) -> StoreError {
-        self.metrics.corrupt_blocks.fetch_add(1, Ordering::Relaxed);
+        self.metrics.corrupt_blocks.inc();
         shard.cache.lock().remove(key);
         StoreError::Corrupt(*key)
     }
@@ -706,14 +700,36 @@ impl ShardedStore {
         Ok(out)
     }
 
+    /// Publish this handle's live counters on `registry` under
+    /// `<prefix>.<field>` names. The registry adopts the *same* atomics
+    /// the hot paths increment, so `Stats` snapshots are always current
+    /// with no polling or copying.
+    pub fn bind_registry(&self, registry: &Registry, prefix: &str) {
+        let m = &self.metrics;
+        for (name, counter) in [
+            ("lepton_blocks", &m.lepton_blocks),
+            ("raw_blocks", &m.raw_blocks),
+            ("bytes_in", &m.bytes_in),
+            ("bytes_stored", &m.bytes_stored),
+            ("roundtrip_failures", &m.roundtrip_failures),
+            ("backfill_conversions", &m.backfill_conversions),
+            ("cache_hits", &m.cache_hits),
+            ("cache_misses", &m.cache_misses),
+            ("corrupt_blocks", &m.corrupt_blocks),
+            ("budget_rejections", &m.budget_rejections),
+        ] {
+            registry.adopt_counter(&format!("{prefix}.{name}"), counter);
+        }
+    }
+
     /// Walk the store and summarize it. Header-only reads — payload
     /// bytes are never touched. Records with damaged headers are
     /// skipped (they are already counted in `metrics.corrupt_blocks`);
     /// genuine I/O failures still abort the walk.
     pub fn stat(&self) -> Result<StoreStats, StoreError> {
         let mut stats = StoreStats {
-            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.metrics.cache_misses.load(Ordering::Relaxed),
+            cache_hits: self.metrics.cache_hits.get(),
+            cache_misses: self.metrics.cache_misses.get(),
             ..Default::default()
         };
         for key in self.keys()? {
@@ -871,9 +887,7 @@ impl ShardedStore {
         // put-path counters are not touched — this handle may never
         // have put the block — only the monotonic conversion count;
         // at-rest truth comes from `stat()`.
-        self.metrics
-            .backfill_conversions
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.backfill_conversions.inc();
         Ok(Some((before, after)))
     }
 
@@ -997,8 +1011,8 @@ mod tests {
         let key = store.put(&jpg).unwrap();
         assert_eq!(store.get(&key).unwrap().unwrap(), jpg); // cold: decode + fill
         assert_eq!(store.get(&key).unwrap().unwrap(), jpg); // hot
-        assert_eq!(store.metrics.cache_hits.load(Ordering::Relaxed), 1);
-        assert_eq!(store.metrics.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(store.metrics.cache_hits.get(), 1);
+        assert_eq!(store.metrics.cache_misses.get(), 1);
         std::fs::remove_dir_all(&root).unwrap();
     }
 
@@ -1092,9 +1106,9 @@ mod tests {
         let report = store.backfill(2).unwrap();
         assert_eq!(report.converted, 1);
         let m = &store.metrics;
-        assert_eq!(m.backfill_conversions.load(Ordering::Relaxed), 1);
-        assert_eq!(m.raw_blocks.load(Ordering::Relaxed), 0, "no wraparound");
-        assert!(m.bytes_stored.load(Ordering::Relaxed) < u64::MAX / 2);
+        assert_eq!(m.backfill_conversions.get(), 1);
+        assert_eq!(m.raw_blocks.get(), 0, "no wraparound");
+        assert!(m.bytes_stored.get() < u64::MAX / 2);
         // The disk walk is the authority on at-rest state.
         let s = store.stat().unwrap();
         assert_eq!(s.lepton_blocks, 1);

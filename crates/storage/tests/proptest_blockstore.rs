@@ -132,7 +132,7 @@ proptest! {
             Err(StoreError::Corrupt(k)) => {
                 prop_assert_eq!(k, key);
                 prop_assert!(
-                    store.metrics.corrupt_blocks.load(std::sync::atomic::Ordering::Relaxed) >= 1
+                    store.metrics.corrupt_blocks.get() >= 1
                 );
             }
             Ok(Some(bytes)) => {

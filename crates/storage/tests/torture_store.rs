@@ -14,7 +14,6 @@ use lepton_corpus::{hostile_cases, mutation_matrix, probe, rig::RigCase};
 use lepton_storage::blockstore::{ShardedStore, StoreConfig, StoreError};
 use lepton_storage::StoredFormat;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 
 fn spec() -> CorpusSpec {
     CorpusSpec {
@@ -99,7 +98,7 @@ fn starved_encode_budget_degrades_to_raw_storage() {
     let key = store.put(&jpeg).unwrap();
     assert_eq!(store.format_of(&key).unwrap(), Some(StoredFormat::Raw));
     assert_eq!(store.get(&key).unwrap().unwrap(), jpeg);
-    assert_eq!(store.metrics.lepton_blocks.load(Ordering::Relaxed), 0);
+    assert_eq!(store.metrics.lepton_blocks.get(), 0);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -136,8 +135,8 @@ fn starved_decode_budget_refuses_reads_without_quarantine() {
         }
         other => panic!("expected Budget refusal, got {other:?}"),
     }
-    assert_eq!(starved.metrics.budget_rejections.load(Ordering::Relaxed), 1);
-    assert_eq!(starved.metrics.corrupt_blocks.load(Ordering::Relaxed), 0);
+    assert_eq!(starved.metrics.budget_rejections.get(), 1);
+    assert_eq!(starved.metrics.corrupt_blocks.get(), 0);
     drop(starved);
 
     // The record is healthy: a normally-budgeted handle still serves
@@ -169,6 +168,6 @@ fn default_budget_passes_the_corpus_through_the_store() {
         );
         assert_eq!(store.get(&key).unwrap().unwrap(), jpeg);
     }
-    assert_eq!(store.metrics.budget_rejections.load(Ordering::Relaxed), 0);
+    assert_eq!(store.metrics.budget_rejections.get(), 0);
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -25,8 +25,20 @@ THROUGHPUT_HINTS = ("mbps", "mbits_per_sec", "per_sec", "throughput")
 
 # A metric counts as "latency-like" (lower is better) if its key path
 # contains one of these fragments. Checked after the throughput hints,
-# so a hypothetical "p99_mbps" stays higher-is-better.
-LATENCY_HINTS = ("p50", "p99", "p999", "latency", "_ms")
+# so a hypothetical "p99_mbps" stays higher-is-better. `_us` and
+# `overhead` cover the telemetry-registry histogram summaries
+# (`trace.job.compress_us.p99`, ...) and the metrics_overhead verdict.
+LATENCY_HINTS = ("p50", "p99", "p999", "latency", "_ms", "_us", "overhead")
+
+# Histogram-snapshot summaries (a dict with a sibling `count`, as
+# emitted by fig10_replay's telemetry section) are only compared when
+# both runs saw at least this many samples — a p999 over a handful of
+# events is noise, not a trajectory.
+MIN_HIST_COUNT = 10
+
+# Histogram-summary leaf names whose value is a sample statistic (and
+# therefore gated on MIN_HIST_COUNT rather than compared raw).
+HIST_STATS = ("mean", "p50", "p99", "p999")
 
 
 def leaves(node, path=""):
@@ -39,6 +51,16 @@ def leaves(node, path=""):
             yield from leaves(v, f"{path}[{i}]")
     elif isinstance(node, (int, float)) and not isinstance(node, bool):
         yield path, float(node)
+
+
+def hist_count(leaves_map, path):
+    """Sample count of the histogram snapshot `path` belongs to, or
+    None when the leaf is not a histogram statistic (no sibling
+    `.count` key)."""
+    parent, _, leaf = path.rpartition(".")
+    if leaf not in HIST_STATS:
+        return None
+    return leaves_map.get(f"{parent}.count" if parent else "count")
 
 
 def by_id(records):
@@ -72,7 +94,16 @@ def main():
             print(f"note: no fresh record for baseline id '{rec_id}'")
             continue
         fresh_leaves = dict(leaves(fresh_rec))
-        for path, base_val in leaves(base_rec):
+        base_leaves = dict(leaves(base_rec))
+        for path, base_val in base_leaves.items():
+            # Histogram statistics: compare only when both runs have a
+            # respectable sample count behind the summary.
+            counts = (
+                hist_count(base_leaves, path),
+                hist_count(fresh_leaves, path),
+            )
+            if any(c is not None and c < MIN_HIST_COUNT for c in counts):
+                continue
             key = path.lower()
             if any(h in key for h in THROUGHPUT_HINTS):
                 higher_is_better = True
