@@ -144,6 +144,122 @@ fn bench_codec(c: &mut Criterion) {
     }
     g.finish();
 
+    // Per-kernel microbenches for the four SIMD'd hot loops, one
+    // representative number each. These sit below the end-to-end
+    // groups so a kernel-level regression (or a dispatch mishap — run
+    // with LEPTON_FORCE_SCALAR=1 to get the scalar trajectory) is
+    // visible even when pipeline noise hides it. The JSON record tags
+    // `simd_dispatch`, so bench_diff compares like with like.
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(samples);
+
+    // Destuff/marker scan: the `find_ff` primitive over a 1-MiB
+    // pseudo-entropy stream (0xFF at the natural 1/256 rate).
+    let stream: Vec<u8> = {
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        (0..1 << 20)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    };
+    let scan_all = |buf: &[u8]| {
+        let mut hits = 0usize;
+        let mut i = 0usize;
+        while i < buf.len() {
+            i = lepton_simd::find_ff(buf, i, buf.len());
+            if i < buf.len() {
+                hits += 1;
+                i += 1;
+            }
+        }
+        hits
+    };
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    // black_box the *input* too: `scan_all` is pure, and with a
+    // loop-invariant argument LLVM hoists the whole scan out of the
+    // timing loop, reporting fantasy throughput.
+    g.bench_function("destuff_scan", |b| {
+        b.iter(|| std::hint::black_box(scan_all(std::hint::black_box(&stream))))
+    });
+    let destuff_secs = median_secs(samples, || {
+        std::hint::black_box(scan_all(std::hint::black_box(&stream)));
+    });
+    record.push((
+        "destuff_scan_mbps",
+        Json::from(mbps(stream.len(), destuff_secs)),
+    ));
+
+    // Border IDCT: full blocks across the sparsity range the edge
+    // predictors actually see (mostly-zero high bands).
+    let blocks: Vec<[i32; 64]> = {
+        let mut x = 0x1DC7_B10C_5EEDu64;
+        (0..256)
+            .map(|i| {
+                let mut b = [0i32; 64];
+                for (k, c) in b.iter_mut().enumerate() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    // Thin out high frequencies like a real block.
+                    if ((x >> 40) as usize).is_multiple_of(k + 1) {
+                        *c = ((x >> 16) as i16 / 8) as i32;
+                    }
+                }
+                b[0] = (i - 128) * 16;
+                b
+            })
+            .collect()
+    };
+    g.throughput(Throughput::Elements(blocks.len() as u64));
+    g.bench_function("idct_block", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                std::hint::black_box(lepton_jpeg::dct::idct_i32(blk));
+                std::hint::black_box(lepton_jpeg::dct::idct_i32_border_tl(blk));
+                std::hint::black_box(lepton_jpeg::dct::idct_i32_border_br(blk));
+            }
+        })
+    });
+    let idct_secs = median_secs(samples, || {
+        for blk in &blocks {
+            std::hint::black_box(lepton_jpeg::dct::idct_i32(blk));
+            std::hint::black_box(lepton_jpeg::dct::idct_i32_border_tl(blk));
+            std::hint::black_box(lepton_jpeg::dct::idct_i32_border_br(blk));
+        }
+    });
+    // ns per (full + tl + br) triple — the per-block cost on the
+    // decode edge path.
+    record.push((
+        "idct_block_ns",
+        Json::from(idct_secs * 1e9 / blocks.len() as f64),
+    ));
+
+    // Multi-symbol Huffman decode: serial scan decode over the main
+    // bench corpus (the fast path decodes AC pairs per refill).
+    let parsed_main: Vec<_> = files
+        .iter()
+        .map(|f| lepton_jpeg::parse(f).expect("parse"))
+        .collect();
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("huffman_decode", |b| {
+        b.iter(|| {
+            for (f, p) in files.iter().zip(&parsed_main) {
+                std::hint::black_box(decode_scan(f, p, &[]).expect("scan decode"));
+            }
+        })
+    });
+    let huff_secs = median_secs(samples, || {
+        for (f, p) in files.iter().zip(&parsed_main) {
+            std::hint::black_box(decode_scan(f, p, &[]).expect("scan decode"));
+        }
+    });
+    record.push(("huffman_decode_mbps", Json::from(mbps(bytes, huff_secs))));
+    g.finish();
+
     // Bare coder: pump a deterministic skewed bit pattern through one
     // adaptive bin — per-bit cost of Branch::prob_false + record plus
     // range-coder normalization, nothing else.

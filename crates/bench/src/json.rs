@@ -153,13 +153,36 @@ impl std::fmt::Display for Json {
     }
 }
 
-/// Emit one harness record: an object whose first key is `"id"` (the
-/// figure/table identifier) followed by `fields` in order. Printed to
-/// stdout, and appended as a line to `$LEPTON_BENCH_JSON` if set.
-pub fn emit<K: Into<String>, V: Into<Json>>(id: &str, fields: impl IntoIterator<Item = (K, V)>) {
+/// Build one harness record: an object whose first key is `"id"` (the
+/// figure/table identifier), followed by `fields` in order, and closed
+/// by two machine-environment tags every record carries:
+///
+/// * `host_cores` — the detected core count. Throughput numbers from
+///   different core counts are not comparable; `tools/bench_diff.py`
+///   skips the pair and says so instead of emitting a bogus warning.
+/// * `simd_dispatch` — the kernel dispatch level actually used
+///   (`"scalar"` / `"sse2"` / `"avx2"`), honoring `LEPTON_FORCE_SCALAR`.
+pub fn record<K: Into<String>, V: Into<Json>>(
+    id: &str,
+    fields: impl IntoIterator<Item = (K, V)>,
+) -> Json {
     let mut pairs: Vec<(String, Json)> = vec![("id".into(), Json::Str(id.into()))];
     pairs.extend(fields.into_iter().map(|(k, v)| (k.into(), v.into())));
-    let record = Json::Obj(pairs);
+    pairs.push((
+        "host_cores".into(),
+        Json::Int(lepton_simd::host_cores() as i64),
+    ));
+    pairs.push((
+        "simd_dispatch".into(),
+        Json::Str(lepton_simd::level_str().into()),
+    ));
+    Json::Obj(pairs)
+}
+
+/// Emit one harness record (see [`record`] for the shape). Printed to
+/// stdout, and appended as a line to `$LEPTON_BENCH_JSON` if set.
+pub fn emit<K: Into<String>, V: Into<Json>>(id: &str, fields: impl IntoIterator<Item = (K, V)>) {
+    let record = record(id, fields);
     println!("\n{record}");
     if let Ok(path) = std::env::var("LEPTON_BENCH_JSON") {
         if !path.is_empty() {
@@ -200,6 +223,34 @@ mod tests {
     fn control_chars_are_escaped() {
         let v = Json::from("a\nb\tc\u{1}");
         assert_eq!(v.to_string(), "\"a\\nb\\tc\\u0001\"");
+    }
+
+    /// Every record is closed by the machine-environment tags that
+    /// `tools/bench_diff.py` keys comparability on, and the dispatch
+    /// tag reports the level the kernels actually run at.
+    #[test]
+    fn records_carry_environment_tags() {
+        let rec = record("fig_test", [("mbps", Json::from(1.5))]);
+        let Json::Obj(pairs) = rec else {
+            panic!("record must be an object")
+        };
+        assert_eq!(pairs[0].0, "id");
+        assert_eq!(pairs[1], ("mbps".into(), Json::Num(1.5)));
+        let n = pairs.len();
+        assert_eq!(
+            pairs[n - 2],
+            (
+                "host_cores".into(),
+                Json::Int(lepton_simd::host_cores() as i64)
+            )
+        );
+        assert_eq!(
+            pairs[n - 1],
+            (
+                "simd_dispatch".into(),
+                Json::Str(lepton_simd::level_str().into())
+            )
+        );
     }
 
     #[test]

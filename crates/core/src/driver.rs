@@ -10,7 +10,7 @@
 
 use lepton_jpeg::parser::ParsedJpeg;
 use lepton_jpeg::CoefBlock;
-use lepton_model::context::{block_edges_deq, count_nz77, dequantize, BlockEdges, BlockNeighbors};
+use lepton_model::context::{coded_block_meta, BlockEdges, BlockNeighbors};
 
 /// Everything the walk caches about one already-coded block: its
 /// quantized coefficients, its dequantized coefficients (the Lakhani
@@ -188,9 +188,7 @@ pub fn walk_segment<O: BlockOp>(
                         };
                         op.block(si, class, gx, gy, &nbr)?
                     };
-                    let deq = dequantize(&block, &quants[si]);
-                    let edges = block_edges_deq(&deq);
-                    let nz77 = count_nz77(&block);
+                    let (deq, edges, nz77) = coded_block_meta(&block, &quants[si]);
                     rings[si].put(
                         gx,
                         gy,

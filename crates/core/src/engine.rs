@@ -207,11 +207,16 @@ impl BatchGuard<'_> {
             *p += 1;
         }
         self.batch.jobs.lock().expect("batch lock").push_back(job);
-        {
+        let wake = {
             let mut q = self.engine.shared.queue.lock().expect("engine queue");
             q.entries.push_back(Arc::clone(&self.batch));
+            q.idle > 0
+        };
+        // No lost wakeup: a worker only waits after re-checking the
+        // queue under the same lock this push held.
+        if wake {
+            self.engine.shared.work_cv.notify_one();
         }
-        self.engine.shared.work_cv.notify_one();
     }
 
     /// Help execute this batch's jobs on the calling thread (with a
@@ -263,6 +268,11 @@ struct QueueState {
     /// One entry per unstarted job; entries of one batch are adjacent
     /// and FIFO, so workers start segment 0 before segment 1.
     entries: VecDeque<Arc<Batch>>,
+    /// Workers currently blocked in `work_cv.wait`. Producers skip the
+    /// condvar notification entirely when this is zero — under load
+    /// every worker is busy draining, and the per-push futex wake was
+    /// measurable contention in the multicore scaling study.
+    idle: usize,
     shutdown: bool,
 }
 
@@ -295,6 +305,25 @@ pub struct Engine {
 /// retained, so keep the pool shallow).
 const PLANE_POOL_CAP: usize = 4;
 
+/// Ceiling [`Engine::global`] applies to detected parallelism when
+/// sizing the shared pool (historically a hard-coded 16).
+static GLOBAL_WORKER_CAP: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(16);
+
+/// Current ceiling on the shared engine's worker count (see
+/// [`set_global_worker_cap`]).
+pub fn global_worker_cap() -> usize {
+    GLOBAL_WORKER_CAP.load(Ordering::Relaxed)
+}
+
+/// Set the ceiling [`Engine::global`] applies to detected parallelism
+/// (clamped to at least 1). Only effective **before** the shared engine
+/// first spawns — the pool is sized once, on first use — so embedders
+/// and the server's `engine_worker_cap` config must call this during
+/// startup. An explicit `LEPTON_ENGINE_THREADS` bypasses the cap.
+pub fn set_global_worker_cap(cap: usize) {
+    GLOBAL_WORKER_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
 impl Engine {
     /// Spawn an engine with `workers` pre-started worker threads
     /// (clamped to at least 1).
@@ -303,6 +332,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 entries: VecDeque::new(),
+                idle: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -329,10 +359,10 @@ impl Engine {
     }
 
     /// The process-wide shared engine. Sized from available parallelism
-    /// (capped at 16, overridable via `LEPTON_ENGINE_THREADS`), spawned
-    /// on first use, and kept warm for the life of the process — the
-    /// server, blockstore, and fleet paths all compress and decompress
-    /// through this one pool.
+    /// (capped at [`global_worker_cap`], default 16, overridable via
+    /// `LEPTON_ENGINE_THREADS`), spawned on first use, and kept warm for
+    /// the life of the process — the server, blockstore, and fleet paths
+    /// all compress and decompress through this one pool.
     pub fn global() -> &'static Engine {
         static GLOBAL: OnceLock<Engine> = OnceLock::new();
         GLOBAL.get_or_init(|| {
@@ -344,12 +374,18 @@ impl Engine {
                     std::thread::available_parallelism()
                         .map(|n| n.get())
                         .unwrap_or(1)
-                        .min(16)
+                        .min(global_worker_cap())
                 });
             let engine = Engine::new(workers);
             // The shared engine exports its live cells process-wide;
             // dedicated (test/embedder) engines stay unregistered.
             engine.metrics().bind_registry(Registry::global(), "engine");
+            // The resolved SIMD dispatch tier (0 scalar, 1 sse2,
+            // 2 avx2) rides along: `lepton stats` and the bench tags
+            // must report the level the kernels actually ran at.
+            Registry::global()
+                .gauge("build.simd_level")
+                .set(lepton_simd::level().as_gauge());
             engine
         })
     }
@@ -470,16 +506,22 @@ impl Engine {
                 bj.push_back(job);
             }
         }
-        {
+        let idle = {
             let mut q = self.shared.queue.lock().expect("engine queue");
             for _ in 0..n {
                 q.entries.push_back(Arc::clone(&batch));
             }
-        }
-        if n == 1 {
-            self.shared.work_cv.notify_one();
-        } else {
-            self.shared.work_cv.notify_all();
+            q.idle
+        };
+        // Wake only sleepers (see `QueueState::idle`): busy workers
+        // re-check the queue on their own, and waking at most one
+        // thread per queued job avoids a notify_all stampede.
+        if idle > 0 {
+            if n == 1 || idle == 1 {
+                self.shared.work_cv.notify_one();
+            } else {
+                self.shared.work_cv.notify_all();
+            }
         }
         BatchGuard {
             batch,
@@ -577,7 +619,9 @@ fn worker_loop(shared: Arc<Shared>) {
                 if q.shutdown {
                     return;
                 }
+                q.idle += 1;
                 q = shared.work_cv.wait(q).expect("engine queue");
+                q.idle -= 1;
             }
         };
         // Each queue entry is a token for at most one job; a caller

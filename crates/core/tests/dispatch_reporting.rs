@@ -1,0 +1,29 @@
+//! The SIMD dispatch level must be *observable*, not just active:
+//! every stats surface (registry snapshot → server `Stats` op →
+//! `lepton stats`) and every bench JSON record reports which kernel
+//! tier the build actually ran. A fleet operator diagnosing a slow
+//! node needs to see "scalar" on the dashboard, not infer it from
+//! throughput.
+
+use lepton_core::Engine;
+use lepton_obs::{MetricValue, Registry};
+
+/// `Engine::global()` binds a `build.simd_level` gauge into the global
+/// registry whose value is the detected dispatch level (0 = scalar,
+/// 1 = SSE2, 2 = AVX2). This is the number `lepton stats` renders.
+#[test]
+fn global_engine_publishes_simd_level_gauge() {
+    let _ = Engine::global();
+    let snap = Registry::global().snapshot();
+    let value = snap
+        .entries
+        .iter()
+        .find_map(|(name, v)| (name == "build.simd_level").then_some(v))
+        .expect("build.simd_level gauge bound by Engine::global()");
+    match value {
+        MetricValue::Gauge { value, .. } => {
+            assert_eq!(*value, lepton_simd::level().as_gauge());
+        }
+        other => panic!("build.simd_level should be a gauge, got {other:?}"),
+    }
+}

@@ -36,7 +36,25 @@ pub const BASIS_FIX: [[i32; 8]; 8] = [
 /// raster order (`out[y*8+x]`), **without** the +128 level shift, scaled
 /// by `2^SCALE_BITS` — callers keep the extra precision (the DC predictor
 /// compares sub-pixel gradients).
+///
+/// Dispatches to an 8-lane integer SIMD implementation when the runtime
+/// level allows; every implementation is bit-identical to
+/// [`idct_i32_scalar`] (the vector paths use exact 64-bit products and
+/// the same accumulation order, so this is equality, not approximation).
 pub fn idct_i32(coefs: &[i32; 64]) -> [i64; 64] {
+    #[cfg(target_arch = "x86_64")]
+    match lepton_simd::level() {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        lepton_simd::SimdLevel::Avx2 => return unsafe { x86::idct_full_avx2(coefs) },
+        lepton_simd::SimdLevel::Sse2 => return x86::idct_full_sse2(coefs),
+        lepton_simd::SimdLevel::Scalar => {}
+    }
+    idct_i32_scalar(coefs)
+}
+
+/// Reference scalar implementation of [`idct_i32`] (always compiled,
+/// selectable via `LEPTON_FORCE_SCALAR`).
+pub fn idct_i32_scalar(coefs: &[i32; 64]) -> [i64; 64] {
     let (tmp, live, n_live) = idct_pass1(coefs);
     // out[y][x] = Σ_v M[y][v] · tmp[v][x], renormalizing one scale factor.
     let mut out = [0i64; 64];
@@ -98,8 +116,20 @@ fn idct_pass1(coefs: &[i32; 64]) -> ([i64; 64], [usize; 8], usize) {
 ///
 /// The DC predictors (App. A.2.3) consult exactly these 28 pixels of
 /// the current block, and they run once per coded block; computing the
-/// other 36 outputs is pure waste there.
+/// other 36 outputs is pure waste there. Dispatches like [`idct_i32`].
 pub fn idct_i32_border_tl(coefs: &[i32; 64]) -> [i64; 64] {
+    #[cfg(target_arch = "x86_64")]
+    match lepton_simd::level() {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        lepton_simd::SimdLevel::Avx2 => return unsafe { x86::idct_tl_avx2(coefs) },
+        lepton_simd::SimdLevel::Sse2 => return x86::idct_tl_sse2(coefs),
+        lepton_simd::SimdLevel::Scalar => {}
+    }
+    idct_i32_border_tl_scalar(coefs)
+}
+
+/// Reference scalar implementation of [`idct_i32_border_tl`].
+pub fn idct_i32_border_tl_scalar(coefs: &[i32; 64]) -> [i64; 64] {
     let (tmp, live, n_live) = idct_pass1(coefs);
     let mut out = [0i64; 64];
     for y in 0..8 {
@@ -120,8 +150,21 @@ pub fn idct_i32_border_tl(coefs: &[i32; 64]) -> [i64; 64] {
 /// output slot zero. The borders match [`idct_i32`] exactly.
 ///
 /// These are the 28 pixels later neighbors consult through the edge
-/// cache (`block_edges`), computed once per coded block.
+/// cache (`block_edges`), computed once per coded block. Dispatches
+/// like [`idct_i32`].
 pub fn idct_i32_border_br(coefs: &[i32; 64]) -> [i64; 64] {
+    #[cfg(target_arch = "x86_64")]
+    match lepton_simd::level() {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        lepton_simd::SimdLevel::Avx2 => return unsafe { x86::idct_br_avx2(coefs) },
+        lepton_simd::SimdLevel::Sse2 => return x86::idct_br_sse2(coefs),
+        lepton_simd::SimdLevel::Scalar => {}
+    }
+    idct_i32_border_br_scalar(coefs)
+}
+
+/// Reference scalar implementation of [`idct_i32_border_br`].
+pub fn idct_i32_border_br_scalar(coefs: &[i32; 64]) -> [i64; 64] {
     let (tmp, live, n_live) = idct_pass1(coefs);
     let mut out = [0i64; 64];
     for y in 0..8 {
@@ -184,6 +227,371 @@ pub fn fdct_f32(pixels: &[f32; 64]) -> [f32; 64] {
         }
     }
     out
+}
+
+/// 8-lane integer SIMD implementations of the inverse DCTs.
+///
+/// Exactness argument (why these are *equal* to the scalar reference,
+/// not merely close):
+///
+/// * Pass 1 products are `BASIS_FIX` (≤ 13 bits) × dequantized
+///   coefficient (fits `i32`): both operands fit in 32 bits, so
+///   `mul_epi32` (signed 32×32→64) — or, on SSE2, the unsigned
+///   partial-product emulation — produces the exact `i64` product.
+/// * Pass 2 products are `BASIS_FIX` × pass-1 accumulators (≤ 47
+///   bits). The emulated 64-bit multiply computes the product mod 2^64
+///   from unsigned partial products; since the true signed product
+///   fits in `i64`, two's-complement modular arithmetic makes that the
+///   exact signed result.
+/// * Accumulation is plain `i64` addition in the same (live-row) order
+///   as the scalar loops, and the final `>> SCALE_BITS` is reproduced
+///   with a logical shift + sign-extension fixup, which equals the
+///   arithmetic shift for every `i64`.
+///
+/// Alignment: all loads/stores are explicitly unaligned (`loadu`/
+/// `storeu`); no allocation here is ever assumed aligned.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{BASIS_FIX, SCALE_BITS};
+    use std::arch::x86_64::*;
+
+    /// `BASIS_FIX` transposed and widened: `BASIS_T64[u][x] =
+    /// BASIS_FIX[x][u]`. Pass 1 consumes columns of the basis as
+    /// contiguous 8-lane vectors; pass 2's column outputs reuse the
+    /// same rows (`B[y][v]` over `y` is `BASIS_T64[v]`).
+    const BASIS_T64: [[i64; 8]; 8] = {
+        let mut t = [[0i64; 8]; 8];
+        let mut u = 0;
+        while u < 8 {
+            let mut x = 0;
+            while x < 8 {
+                t[u][x] = BASIS_FIX[x][u] as i64;
+                x += 1;
+            }
+            u += 1;
+        }
+        t
+    };
+
+    /// Zero-skip test shared with the scalar pass: is coefficient row
+    /// `v` entirely zero?
+    #[inline]
+    fn row_dead(coefs: &[i32; 64], v: usize) -> bool {
+        let o = v * 8;
+        (coefs[o]
+            | coefs[o + 1]
+            | coefs[o + 2]
+            | coefs[o + 3]
+            | coefs[o + 4]
+            | coefs[o + 5]
+            | coefs[o + 6]
+            | coefs[o + 7])
+            == 0
+    }
+
+    // ---- AVX2: 4 i64 lanes per register, 2 registers per 8-vector ----
+
+    /// Exact `big * small` per i64 lane, where the true product fits in
+    /// `i64` and `small` fits in `i32` (so its high half is pure sign).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul64_avx2(big: __m256i, small: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(big, small);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64(big, 32), small),
+            _mm256_mul_epu32(big, _mm256_srli_epi64(small, 32)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// Arithmetic `>> SCALE_BITS` per i64 lane (AVX2 has no 64-bit
+    /// arithmetic shift; logical shift + sign fixup is exact).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sra_scale_avx2(x: __m256i) -> __m256i {
+        let m = _mm256_set1_epi64x(1i64 << (63 - SCALE_BITS));
+        let t = _mm256_srli_epi64(x, SCALE_BITS as i32);
+        _mm256_sub_epi64(_mm256_xor_si256(t, m), m)
+    }
+
+    /// Pass 1: `tmp[v][x] = Σ_u B[x][u] · F[v][u]` for live rows.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pass1_avx2(coefs: &[i32; 64], tmp: &mut [i64; 64], live: &mut [usize; 8]) -> usize {
+        let mut n_live = 0usize;
+        for v in 0..8 {
+            if row_dead(coefs, v) {
+                continue;
+            }
+            let o = v * 8;
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            for u in 0..8 {
+                let c = coefs[o + u];
+                if c == 0 {
+                    continue; // adds exact zero; skipping is free speed
+                }
+                let cv = _mm256_set1_epi64x(c as i64);
+                let b0 = _mm256_loadu_si256(BASIS_T64[u].as_ptr() as *const __m256i);
+                let b1 = _mm256_loadu_si256(BASIS_T64[u].as_ptr().add(4) as *const __m256i);
+                acc0 = _mm256_add_epi64(acc0, _mm256_mul_epi32(b0, cv));
+                acc1 = _mm256_add_epi64(acc1, _mm256_mul_epi32(b1, cv));
+            }
+            _mm256_storeu_si256(tmp.as_mut_ptr().add(o) as *mut __m256i, acc0);
+            _mm256_storeu_si256(tmp.as_mut_ptr().add(o + 4) as *mut __m256i, acc1);
+            live[n_live] = v;
+            n_live += 1;
+        }
+        n_live
+    }
+
+    /// Pass 2, one output row `y` (8 x-lanes).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pass2_row_avx2(tmp: &[i64; 64], live: &[usize], y: usize, out: &mut [i64; 64]) {
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        for &v in live {
+            let b = _mm256_set1_epi64x(BASIS_FIX[y][v] as i64);
+            let t0 = _mm256_loadu_si256(tmp.as_ptr().add(v * 8) as *const __m256i);
+            let t1 = _mm256_loadu_si256(tmp.as_ptr().add(v * 8 + 4) as *const __m256i);
+            acc0 = _mm256_add_epi64(acc0, mul64_avx2(t0, b));
+            acc1 = _mm256_add_epi64(acc1, mul64_avx2(t1, b));
+        }
+        let o = y * 8;
+        _mm256_storeu_si256(
+            out.as_mut_ptr().add(o) as *mut __m256i,
+            sra_scale_avx2(acc0),
+        );
+        _mm256_storeu_si256(
+            out.as_mut_ptr().add(o + 4) as *mut __m256i,
+            sra_scale_avx2(acc1),
+        );
+    }
+
+    /// Pass 2, one output column `x` (8 y-lanes, strided store).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pass2_col_avx2(tmp: &[i64; 64], live: &[usize], x: usize, out: &mut [i64; 64]) {
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        for &v in live {
+            let t = _mm256_set1_epi64x(tmp[v * 8 + x]);
+            let b0 = _mm256_loadu_si256(BASIS_T64[v].as_ptr() as *const __m256i);
+            let b1 = _mm256_loadu_si256(BASIS_T64[v].as_ptr().add(4) as *const __m256i);
+            acc0 = _mm256_add_epi64(acc0, mul64_avx2(t, b0));
+            acc1 = _mm256_add_epi64(acc1, mul64_avx2(t, b1));
+        }
+        let mut col = [0i64; 8];
+        _mm256_storeu_si256(col.as_mut_ptr() as *mut __m256i, sra_scale_avx2(acc0));
+        _mm256_storeu_si256(
+            col.as_mut_ptr().add(4) as *mut __m256i,
+            sra_scale_avx2(acc1),
+        );
+        for y in 0..8 {
+            out[y * 8 + x] = col[y];
+        }
+    }
+
+    /// Full inverse DCT, AVX2.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn idct_full_avx2(coefs: &[i32; 64]) -> [i64; 64] {
+        let mut tmp = [0i64; 64];
+        let mut live = [0usize; 8];
+        let n = pass1_avx2(coefs, &mut tmp, &mut live);
+        let mut out = [0i64; 64];
+        for y in 0..8 {
+            pass2_row_avx2(&tmp, &live[..n], y, &mut out);
+        }
+        out
+    }
+
+    /// Top-left border inverse DCT (rows 0–1, columns 0–1), AVX2.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn idct_tl_avx2(coefs: &[i32; 64]) -> [i64; 64] {
+        let mut tmp = [0i64; 64];
+        let mut live = [0usize; 8];
+        let n = pass1_avx2(coefs, &mut tmp, &mut live);
+        let mut out = [0i64; 64];
+        for y in 0..2 {
+            pass2_row_avx2(&tmp, &live[..n], y, &mut out);
+        }
+        for x in 0..2 {
+            pass2_col_avx2(&tmp, &live[..n], x, &mut out);
+        }
+        out
+    }
+
+    /// Bottom-right border inverse DCT (rows 6–7, columns 6–7), AVX2.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn idct_br_avx2(coefs: &[i32; 64]) -> [i64; 64] {
+        let mut tmp = [0i64; 64];
+        let mut live = [0usize; 8];
+        let n = pass1_avx2(coefs, &mut tmp, &mut live);
+        let mut out = [0i64; 64];
+        for y in 6..8 {
+            pass2_row_avx2(&tmp, &live[..n], y, &mut out);
+        }
+        for x in 6..8 {
+            pass2_col_avx2(&tmp, &live[..n], x, &mut out);
+        }
+        out
+    }
+
+    // ---- SSE2: 2 i64 lanes per register, 4 registers per 8-vector ----
+    // SSE2 is part of the x86_64 baseline ABI, so these are safe fns.
+
+    /// Exact `big * small` per i64 lane (see `mul64_avx2`). SSE2 has no
+    /// signed 32×32→64 multiply, so pass 1 uses this emulation too.
+    #[inline]
+    fn mul64_sse2(big: __m128i, small: __m128i) -> __m128i {
+        // SAFETY: SSE2 intrinsics on x86_64 (baseline feature).
+        unsafe {
+            let lo = _mm_mul_epu32(big, small);
+            let cross = _mm_add_epi64(
+                _mm_mul_epu32(_mm_srli_epi64(big, 32), small),
+                _mm_mul_epu32(big, _mm_srli_epi64(small, 32)),
+            );
+            _mm_add_epi64(lo, _mm_slli_epi64(cross, 32))
+        }
+    }
+
+    /// Arithmetic `>> SCALE_BITS` per i64 lane.
+    #[inline]
+    fn sra_scale_sse2(x: __m128i) -> __m128i {
+        // SAFETY: SSE2 intrinsics on x86_64 (baseline feature).
+        unsafe {
+            let m = _mm_set1_epi64x(1i64 << (63 - SCALE_BITS));
+            let t = _mm_srli_epi64(x, SCALE_BITS as i32);
+            _mm_sub_epi64(_mm_xor_si128(t, m), m)
+        }
+    }
+
+    fn pass1_sse2(coefs: &[i32; 64], tmp: &mut [i64; 64], live: &mut [usize; 8]) -> usize {
+        let mut n_live = 0usize;
+        for v in 0..8 {
+            if row_dead(coefs, v) {
+                continue;
+            }
+            let o = v * 8;
+            // SAFETY: SSE2 intrinsics; unaligned loads/stores in-bounds.
+            unsafe {
+                let mut acc = [_mm_setzero_si128(); 4];
+                for u in 0..8 {
+                    let c = coefs[o + u];
+                    if c == 0 {
+                        continue;
+                    }
+                    let cv = _mm_set1_epi64x(c as i64);
+                    for (q, a) in acc.iter_mut().enumerate() {
+                        let b = _mm_loadu_si128(BASIS_T64[u].as_ptr().add(q * 2) as *const __m128i);
+                        *a = _mm_add_epi64(*a, mul64_sse2(b, cv));
+                    }
+                }
+                for (q, a) in acc.iter().enumerate() {
+                    _mm_storeu_si128(tmp.as_mut_ptr().add(o + q * 2) as *mut __m128i, *a);
+                }
+            }
+            live[n_live] = v;
+            n_live += 1;
+        }
+        n_live
+    }
+
+    fn pass2_row_sse2(tmp: &[i64; 64], live: &[usize], y: usize, out: &mut [i64; 64]) {
+        // SAFETY: SSE2 intrinsics; unaligned loads/stores in-bounds.
+        unsafe {
+            let mut acc = [_mm_setzero_si128(); 4];
+            for &v in live {
+                let b = _mm_set1_epi64x(BASIS_FIX[y][v] as i64);
+                for (q, a) in acc.iter_mut().enumerate() {
+                    let t = _mm_loadu_si128(tmp.as_ptr().add(v * 8 + q * 2) as *const __m128i);
+                    *a = _mm_add_epi64(*a, mul64_sse2(t, b));
+                }
+            }
+            let o = y * 8;
+            for (q, a) in acc.iter().enumerate() {
+                _mm_storeu_si128(
+                    out.as_mut_ptr().add(o + q * 2) as *mut __m128i,
+                    sra_scale_sse2(*a),
+                );
+            }
+        }
+    }
+
+    fn pass2_col_sse2(tmp: &[i64; 64], live: &[usize], x: usize, out: &mut [i64; 64]) {
+        // SAFETY: SSE2 intrinsics; unaligned loads/stores in-bounds.
+        unsafe {
+            let mut acc = [_mm_setzero_si128(); 4];
+            for &v in live {
+                let t = _mm_set1_epi64x(tmp[v * 8 + x]);
+                for (q, a) in acc.iter_mut().enumerate() {
+                    let b = _mm_loadu_si128(BASIS_T64[v].as_ptr().add(q * 2) as *const __m128i);
+                    *a = _mm_add_epi64(*a, mul64_sse2(t, b));
+                }
+            }
+            let mut col = [0i64; 8];
+            for (q, a) in acc.iter().enumerate() {
+                _mm_storeu_si128(
+                    col.as_mut_ptr().add(q * 2) as *mut __m128i,
+                    sra_scale_sse2(*a),
+                );
+            }
+            for y in 0..8 {
+                out[y * 8 + x] = col[y];
+            }
+        }
+    }
+
+    /// Full inverse DCT, SSE2.
+    pub fn idct_full_sse2(coefs: &[i32; 64]) -> [i64; 64] {
+        let mut tmp = [0i64; 64];
+        let mut live = [0usize; 8];
+        let n = pass1_sse2(coefs, &mut tmp, &mut live);
+        let mut out = [0i64; 64];
+        for y in 0..8 {
+            pass2_row_sse2(&tmp, &live[..n], y, &mut out);
+        }
+        out
+    }
+
+    /// Top-left border inverse DCT, SSE2.
+    pub fn idct_tl_sse2(coefs: &[i32; 64]) -> [i64; 64] {
+        let mut tmp = [0i64; 64];
+        let mut live = [0usize; 8];
+        let n = pass1_sse2(coefs, &mut tmp, &mut live);
+        let mut out = [0i64; 64];
+        for y in 0..2 {
+            pass2_row_sse2(&tmp, &live[..n], y, &mut out);
+        }
+        for x in 0..2 {
+            pass2_col_sse2(&tmp, &live[..n], x, &mut out);
+        }
+        out
+    }
+
+    /// Bottom-right border inverse DCT, SSE2.
+    pub fn idct_br_sse2(coefs: &[i32; 64]) -> [i64; 64] {
+        let mut tmp = [0i64; 64];
+        let mut live = [0usize; 8];
+        let n = pass1_sse2(coefs, &mut tmp, &mut live);
+        let mut out = [0i64; 64];
+        for y in 6..8 {
+            pass2_row_sse2(&tmp, &live[..n], y, &mut out);
+        }
+        for x in 6..8 {
+            pass2_col_sse2(&tmp, &live[..n], x, &mut out);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +706,112 @@ mod tests {
         let p = idct1d_i32(&c);
         // DC basis value: 128 · 2896 for every x.
         assert!(p.iter().all(|&v| v == 128 * 2896));
+    }
+
+    /// Exhaustive sparse-pattern equivalence: every 256-way row-liveness
+    /// mask, with pseudo-random magnitudes including the extreme
+    /// dequantized values (±2047·1_048_575 ≈ ±2^31), must produce
+    /// bit-identical outputs from the scalar reference, the SSE2 path,
+    /// and (when the host supports it) the AVX2 path, for all three
+    /// transform shapes.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_idct_matches_scalar_exhaustive() {
+        const EXTREME: i32 = 2_146_435_072; // > any real dequantized coef
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        let mut x = 0xD1B5_4A32_D192_ED03u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for mask in 0..256usize {
+            for variant in 0..3 {
+                let mut coefs = [0i32; 64];
+                for v in 0..8 {
+                    if mask & (1 << v) == 0 {
+                        continue;
+                    }
+                    for u in 0..8 {
+                        let r = rand();
+                        coefs[v * 8 + u] = match variant {
+                            // Dense row, moderate magnitudes.
+                            0 => ((r >> 8) % 4095) as i32 - 2047,
+                            // Sparse within the row (u-holes), extremes.
+                            1 if r % 3 == 0 => {
+                                if r & 1 == 0 {
+                                    EXTREME
+                                } else {
+                                    -EXTREME
+                                }
+                            }
+                            1 => 0,
+                            // Single hot coefficient per live row.
+                            _ => {
+                                if u == (r % 8) as usize {
+                                    ((r >> 20) % 65535) as i32 - 32767
+                                } else {
+                                    0
+                                }
+                            }
+                        };
+                    }
+                }
+                let scalar = (
+                    idct_i32_scalar(&coefs),
+                    idct_i32_border_tl_scalar(&coefs),
+                    idct_i32_border_br_scalar(&coefs),
+                );
+                let sse2 = (
+                    x86::idct_full_sse2(&coefs),
+                    x86::idct_tl_sse2(&coefs),
+                    x86::idct_br_sse2(&coefs),
+                );
+                assert_eq!(scalar, sse2, "sse2 mask={mask:#b} variant={variant}");
+                if avx2 {
+                    // SAFETY: feature-detected above.
+                    let got = unsafe {
+                        (
+                            x86::idct_full_avx2(&coefs),
+                            x86::idct_tl_avx2(&coefs),
+                            x86::idct_br_avx2(&coefs),
+                        )
+                    };
+                    assert_eq!(scalar, got, "avx2 mask={mask:#b} variant={variant}");
+                }
+            }
+        }
+    }
+
+    /// The public entry points honor the forced dispatch level and stay
+    /// equal to the scalar reference either way.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dispatch_wrappers_equal_scalar() {
+        let mut coefs = [0i32; 64];
+        for (i, c) in coefs.iter_mut().enumerate() {
+            *c = (i as i32 * 389) % 4001 - 2000;
+        }
+        let want = (
+            idct_i32_scalar(&coefs),
+            idct_i32_border_tl_scalar(&coefs),
+            idct_i32_border_br_scalar(&coefs),
+        );
+        for lvl in [
+            lepton_simd::SimdLevel::Scalar,
+            lepton_simd::SimdLevel::Sse2,
+            lepton_simd::level(),
+        ] {
+            lepton_simd::force_level(Some(lvl));
+            let got = (
+                idct_i32(&coefs),
+                idct_i32_border_tl(&coefs),
+                idct_i32_border_br(&coefs),
+            );
+            lepton_simd::force_level(None);
+            assert_eq!(want, got, "level {lvl:?}");
+        }
     }
 
     #[test]

@@ -45,6 +45,20 @@ pub const INTERIOR_RASTER: [usize; 49] = {
 /// Count of non-zero interior coefficients (0..=49).
 #[inline]
 pub fn count_nz77(block: &CoefBlock) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if lepton_simd::level().is_simd() {
+        // One compare + movemask per row beats 49 branches; the same
+        // SSE2 routine serves both SIMD tiers (the kernel is bound by
+        // the 7 row loads either way).
+        return x86::count_nz77_sse2(block);
+    }
+    count_nz77_scalar(block)
+}
+
+/// Scalar reference for [`count_nz77`] (the dispatch fallback and the
+/// equivalence-test oracle).
+#[inline]
+pub fn count_nz77_scalar(block: &CoefBlock) -> u32 {
     let mut n = 0;
     for v in 1..8 {
         for u in 1..8 {
@@ -82,11 +96,38 @@ pub struct BlockEdges {
 /// Dequantize a block into i32 raster coefficients.
 #[inline]
 pub fn dequantize(block: &CoefBlock, quant: &[u16; 64]) -> [i32; 64] {
+    #[cfg(target_arch = "x86_64")]
+    match lepton_simd::level() {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        lepton_simd::SimdLevel::Avx2 => return unsafe { x86::dequantize_avx2(block, quant) },
+        lepton_simd::SimdLevel::Sse2 => return x86::dequantize_sse2(block, quant),
+        lepton_simd::SimdLevel::Scalar => {}
+    }
+    dequantize_scalar(block, quant)
+}
+
+/// Scalar reference for [`dequantize`] (the dispatch fallback and the
+/// equivalence-test oracle).
+#[inline]
+pub fn dequantize_scalar(block: &CoefBlock, quant: &[u16; 64]) -> [i32; 64] {
     let mut out = [0i32; 64];
     for i in 0..64 {
         out[i] = block[i] as i32 * quant[i] as i32;
     }
     out
+}
+
+/// Everything the segment driver caches about a block it just coded, in
+/// one pass: the dequantized coefficients, the border pixels later
+/// neighbors consult, and the interior nonzero count. Fusing the three
+/// means the block is read while still in L1 and the dequantization
+/// feeds the border IDCT directly.
+#[inline]
+pub fn coded_block_meta(block: &CoefBlock, quant: &[u16; 64]) -> ([i32; 64], BlockEdges, u32) {
+    let deq = dequantize(block, quant);
+    let edges = block_edges_deq(&deq);
+    let nz77 = count_nz77(block);
+    (deq, edges, nz77)
 }
 
 /// IDCT of a block, extracting the edges later blocks will consult.
@@ -499,6 +540,82 @@ pub fn zigzag_position(raster: usize) -> usize {
     ZIGZAG_INV[raster]
 }
 
+/// SIMD context kernels: dequantization (8 signed×unsigned 16-bit
+/// products per step) and the interior nonzero count (one compare +
+/// movemask per row). Both are exact: the SSE2 dequantizer builds the
+/// true 32-bit product from `mullo`/`mulhi` with the standard
+/// signed×unsigned high-half correction, and the AVX2 one widens both
+/// operands before a 32-bit multiply.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use lepton_jpeg::CoefBlock;
+    use std::arch::x86_64::*;
+
+    /// 8-lane dequantize: `out[i] = block[i] as i32 * quant[i] as i32`.
+    pub fn dequantize_sse2(block: &CoefBlock, quant: &[u16; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        // SAFETY: SSE2 intrinsics on x86_64 (baseline feature);
+        // unaligned loads/stores, all in-bounds.
+        unsafe {
+            for i in (0..64).step_by(8) {
+                let a = _mm_loadu_si128(block.as_ptr().add(i) as *const __m128i);
+                let q = _mm_loadu_si128(quant.as_ptr().add(i) as *const __m128i);
+                let lo = _mm_mullo_epi16(a, q);
+                // mulhi treats q as signed; when q ≥ 2^15 the true
+                // (unsigned-q) high half is mulhi + a.
+                let hi = _mm_add_epi16(
+                    _mm_mulhi_epi16(a, q),
+                    _mm_and_si128(a, _mm_srai_epi16(q, 15)),
+                );
+                _mm_storeu_si128(
+                    out.as_mut_ptr().add(i) as *mut __m128i,
+                    _mm_unpacklo_epi16(lo, hi),
+                );
+                _mm_storeu_si128(
+                    out.as_mut_ptr().add(i + 4) as *mut __m128i,
+                    _mm_unpackhi_epi16(lo, hi),
+                );
+            }
+        }
+        out
+    }
+
+    /// 8-lane dequantize via widening 32-bit multiplies.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dequantize_avx2(block: &CoefBlock, quant: &[u16; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in (0..64).step_by(8) {
+            let a = _mm256_cvtepi16_epi32(_mm_loadu_si128(block.as_ptr().add(i) as *const __m128i));
+            let q = _mm256_cvtepu16_epi32(_mm_loadu_si128(quant.as_ptr().add(i) as *const __m128i));
+            _mm256_storeu_si256(
+                out.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_mullo_epi32(a, q),
+            );
+        }
+        out
+    }
+
+    /// Interior (7x7) nonzero count: compare each coefficient row to
+    /// zero, movemask, drop the u = 0 lane, popcount.
+    pub fn count_nz77_sse2(block: &CoefBlock) -> u32 {
+        let mut n = 0u32;
+        // SAFETY: SSE2 intrinsics on x86_64; row loads in-bounds.
+        unsafe {
+            let zero = _mm_setzero_si128();
+            for v in 1..8 {
+                let row = _mm_loadu_si128(block.as_ptr().add(v * 8) as *const __m128i);
+                let zmask = _mm_movemask_epi8(_mm_cmpeq_epi16(row, zero)) as u32;
+                // Two mask bits per 16-bit lane; keep lanes 1..8 (u ≥ 1).
+                n += (!zmask & 0xFFFC).count_ones() / 2;
+            }
+        }
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +646,59 @@ mod tests {
         assert_eq!(count_nz77(&b), 2);
         assert_eq!(count_nz_row(&b), 1);
         assert_eq!(count_nz_col(&b), 1);
+    }
+
+    /// SIMD dequantize and nz77 count equal their scalar references at
+    /// every dispatch level, over extreme magnitudes (i16::MIN/MAX ×
+    /// u16::MAX), every single-coefficient placement, and random fills.
+    #[test]
+    fn simd_context_kernels_match_scalar() {
+        use lepton_simd::{force_level, SimdLevel};
+        let detected = {
+            force_level(None);
+            lepton_simd::level()
+        };
+        let mut cases: Vec<(CoefBlock, [u16; 64])> = Vec::new();
+        // Extremes in every slot.
+        cases.push(([i16::MIN; 64], [u16::MAX; 64]));
+        cases.push(([i16::MAX; 64], [u16::MAX; 64]));
+        // Each coefficient hot alone (exercises the interior mask).
+        for i in 0..64 {
+            let mut b = [0i16; 64];
+            b[i] = if i % 2 == 0 { i16::MIN } else { i16::MAX };
+            let mut q = [1u16; 64];
+            q[i] = u16::MAX;
+            cases.push((b, q));
+        }
+        // Pseudo-random fills at varying density.
+        let mut x = 0xA076_1D64_78BD_642Fu64;
+        for density in 1..=16u64 {
+            let mut b = [0i16; 64];
+            let mut q = [0u16; 64];
+            for i in 0..64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 16 < density {
+                    b[i] = x as i16;
+                }
+                q[i] = ((x >> 24) as u16).max(1);
+            }
+            cases.push((b, q));
+        }
+        for (ci, (b, q)) in cases.iter().enumerate() {
+            let want = (dequantize_scalar(b, q), count_nz77_scalar(b));
+            for lvl in [SimdLevel::Scalar, SimdLevel::Sse2, detected] {
+                force_level(Some(lvl));
+                let got = (dequantize(b, q), count_nz77(b));
+                let meta = coded_block_meta(b, q);
+                force_level(None);
+                assert_eq!(want, got, "case {ci} level {lvl:?}");
+                assert_eq!(meta.0, want.0, "meta deq case {ci} level {lvl:?}");
+                assert_eq!(meta.1, block_edges_deq(&want.0), "meta edges case {ci}");
+                assert_eq!(meta.2, want.1, "meta nz case {ci} level {lvl:?}");
+            }
+        }
     }
 
     #[test]

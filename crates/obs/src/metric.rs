@@ -24,7 +24,14 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonic event counter.
+///
+/// Cache-line aligned: registry cells are allocated independently but
+/// hot ones (the engine's `busy_us`, the server's request counters) are
+/// bumped from every worker thread, and two cells sharing a line turn
+/// unrelated counters into a coherence ping-pong. One line per cell
+/// costs bytes, not time.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Counter(AtomicU64);
 
 impl Counter {
@@ -61,7 +68,11 @@ impl Counter {
 /// Backs concurrency/inflight accounting, so unlike [`Counter`] it is
 /// *not* disabled by the `stub` feature — a gauge that stops moving
 /// would unbalance RAII leases.
+// Cache-line aligned for the same false-sharing reason as [`Counter`];
+// `value` and `high_water` deliberately share the line (they are always
+// written together).
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Gauge {
     value: AtomicI64,
     high_water: AtomicI64,

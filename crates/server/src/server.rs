@@ -105,6 +105,13 @@ pub struct ServiceConfig {
     /// the shed/error-rate and compression-ratio-shift alarms that
     /// latch the degraded-health flag `Stats` v2 reports.
     pub watchdog: WatchdogConfig,
+    /// Ceiling on the shared codec engine's worker pool. `0` (default)
+    /// keeps the engine's own cap (16); a nonzero value is applied via
+    /// [`lepton_core::set_global_worker_cap`] before the engine first
+    /// spawns. Only the first server in a process can change this —
+    /// the pool is sized once — and `LEPTON_ENGINE_THREADS` bypasses
+    /// the cap entirely.
+    pub engine_worker_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +129,7 @@ impl Default for ServiceConfig {
             shed_engine_queue: 512,
             max_inflight_bytes: 64 << 20,
             watchdog: WatchdogConfig::default(),
+            engine_worker_cap: 0,
         }
     }
 }
@@ -239,6 +247,10 @@ pub struct ServiceHandle {
 pub fn serve(endpoint: &Endpoint, cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let listener = Listener::bind(endpoint)?;
     let bound = listener.endpoint()?;
+
+    if cfg.engine_worker_cap > 0 {
+        lepton_core::set_global_worker_cap(cfg.engine_worker_cap);
+    }
 
     let worker_count = if cfg.conversion_workers > 0 {
         cfg.conversion_workers

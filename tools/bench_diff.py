@@ -28,7 +28,7 @@ THROUGHPUT_HINTS = ("mbps", "mbits_per_sec", "per_sec", "throughput")
 # so a hypothetical "p99_mbps" stays higher-is-better. `_us` and
 # `overhead` cover the telemetry-registry histogram summaries
 # (`trace.job.compress_us.p99`, ...) and the metrics_overhead verdict.
-LATENCY_HINTS = ("p50", "p99", "p999", "latency", "_ms", "_us", "overhead")
+LATENCY_HINTS = ("p50", "p99", "p999", "latency", "_ms", "_us", "_ns", "overhead")
 
 # Histogram-snapshot summaries (a dict with a sibling `count`, as
 # emitted by fig10_replay's telemetry section) are only compared when
@@ -92,6 +92,22 @@ def main():
         fresh_rec = fresh.get(rec_id)
         if fresh_rec is None:
             print(f"note: no fresh record for baseline id '{rec_id}'")
+            continue
+        # Records emitted since the SIMD PR carry a `host_cores` tag.
+        # Throughput measured on different core counts is not the same
+        # experiment (the scaling harness especially), so skip the pair
+        # instead of warning on an apples-to-oranges drop.
+        base_cores = base_rec.get("host_cores")
+        fresh_cores = fresh_rec.get("host_cores")
+        if (
+            base_cores is not None
+            and fresh_cores is not None
+            and base_cores != fresh_cores
+        ):
+            print(
+                f"note: skipping '{rec_id}': baseline ran on "
+                f"{base_cores} core(s), fresh run on {fresh_cores}"
+            )
             continue
         fresh_leaves = dict(leaves(fresh_rec))
         base_leaves = dict(leaves(base_rec))
