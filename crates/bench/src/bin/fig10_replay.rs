@@ -73,6 +73,7 @@ fn fleet_cfg(hedge: Option<Duration>) -> FleetConfig {
             initial_backoff: Duration::from_millis(5),
             multiplier: 2,
             max_backoff: Duration::from_millis(20),
+            jitter: Some(0xF10),
         },
         health: HealthPolicy {
             eject_after: 2,

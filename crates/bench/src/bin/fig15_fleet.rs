@@ -51,6 +51,7 @@ fn fleet_cfg() -> FleetConfig {
             initial_backoff: Duration::from_millis(5),
             multiplier: 2,
             max_backoff: Duration::from_millis(20),
+            jitter: Some(0xF15),
         },
         health: HealthPolicy {
             eject_after: 2,

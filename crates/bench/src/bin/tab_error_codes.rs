@@ -1,5 +1,5 @@
 //! §6.2 table: exit-code distribution over a mixed corpus, printed
-//! against the full 16-row taxonomy.
+//! against the full 18-row taxonomy.
 //!
 //! Promoted from a one-off tally into the taxonomy gate's reporting
 //! face: every row of [`ExitCode::ALL`] is printed (zeros included),

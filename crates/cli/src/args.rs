@@ -173,6 +173,18 @@ pub enum StoreCommand {
         /// Shard count (`--shards N`).
         shards: usize,
     },
+    /// `store recover --root DIR [--apply]`: the crash-recovery sweep —
+    /// report orphaned tmp files, torn records, and pending quarantine
+    /// tombstones. Dry-run by default; `--apply` removes the orphans
+    /// and quarantines the torn records.
+    Recover {
+        /// Store root directory.
+        root: PathBuf,
+        /// Shard count (`--shards N`).
+        shards: usize,
+        /// Repair instead of just reporting (`--apply`).
+        apply: bool,
+    },
 }
 
 /// The `lepton fleet` subcommands. All but `serve` act through the
@@ -474,7 +486,7 @@ pub const DEFAULT_SHARDS: usize = 16;
 fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, UsageError> {
     let Some(sub) = it.next() else {
         return Err(UsageError(
-            "store needs a subcommand: put | get | backfill | scrub | stat".into(),
+            "store needs a subcommand: put | get | backfill | scrub | stat | recover".into(),
         ));
     };
     let mut root = None;
@@ -482,6 +494,7 @@ fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
     let mut parallelism = 4usize;
     let mut compress = true;
     let mut quarantine = false;
+    let mut apply = false;
     let mut positional: Vec<&str> = Vec::new();
     while let Some(a) = it.next() {
         match a {
@@ -490,6 +503,7 @@ fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
             "--parallelism" => parallelism = parse_num(a, want_value(a, it)?)?,
             "--no-compress" => compress = false,
             "--quarantine" => quarantine = true,
+            "--apply" => apply = true,
             _ if a.starts_with("--") => return Err(UsageError(format!("unknown flag {a}"))),
             _ => positional.push(a),
         }
@@ -535,6 +549,11 @@ fn parse_store<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Command, Us
             quarantine,
         })),
         "stat" => Ok(Command::Store(StoreCommand::Stat { root, shards })),
+        "recover" => Ok(Command::Store(StoreCommand::Recover {
+            root,
+            shards,
+            apply,
+        })),
         other => Err(UsageError(format!("unknown store subcommand {other:?}"))),
     }
 }
@@ -646,6 +665,7 @@ USAGE:
   lepton store backfill --root DIR [--parallelism N] [--shards N]
   lepton store scrub    --root DIR [--parallelism N] [--shards N] [--quarantine]
   lepton store stat     --root DIR [--shards N]
+  lepton store recover  --root DIR [--shards N] [--apply]
   lepton fleet serve    --root DIR [--nodes N] [--shards S] [--no-compress]
   lepton fleet put      --manifest FILE <file...> [--replicas R]
   lepton fleet get      --manifest FILE <hex-digest> [out|-] [--replicas R]
@@ -878,6 +898,27 @@ mod tests {
             panic!()
         };
         assert!(quarantine);
+    }
+
+    #[test]
+    fn store_recover_parses_dry_run_by_default() {
+        assert_eq!(
+            parse(&["store", "recover", "--root", "/s"]).unwrap(),
+            Command::Store(StoreCommand::Recover {
+                root: "/s".into(),
+                shards: DEFAULT_SHARDS,
+                apply: false,
+            })
+        );
+        assert_eq!(
+            parse(&["store", "recover", "--root", "/s", "--shards", "4", "--apply"]).unwrap(),
+            Command::Store(StoreCommand::Recover {
+                root: "/s".into(),
+                shards: 4,
+                apply: true,
+            })
+        );
+        assert!(parse(&["store", "recover"]).is_err(), "--root is required");
     }
 
     #[test]

@@ -591,6 +591,57 @@ fn run_store(cmd: StoreCommand, log: &mut dyn Write) -> Result<i32, Box<dyn std:
             writeln!(log, "  savings:       {:>11.1}%", 100.0 * s.savings())?;
             Ok(0)
         }
+        StoreCommand::Recover {
+            root,
+            shards,
+            apply,
+        } => {
+            // Open with the startup sweep deferred so a dry run can
+            // report damage before anything is touched; `--apply`
+            // makes the explicit pass below repair it.
+            let store = ShardedStore::open(
+                &root,
+                StoreConfig {
+                    shards,
+                    recover_on_open: false,
+                    ..Default::default()
+                },
+            )?;
+            let r = store.recover(apply)?;
+            writeln!(
+                log,
+                "recover{}: {} blocks at rest in {:.2}s",
+                if apply { " --apply" } else { " (dry run)" },
+                r.blocks,
+                r.secs
+            )?;
+            writeln!(
+                log,
+                "  orphaned tmps:      {:>8} found, {} removed",
+                r.orphans_found, r.orphans_removed
+            )?;
+            writeln!(
+                log,
+                "  torn records:       {:>8} found, {} quarantined",
+                r.torn_found, r.torn_quarantined
+            )?;
+            writeln!(
+                log,
+                "  quarantine pending: {:>8} (re-put the true content to repair)",
+                r.quarantined_pending
+            )?;
+            if store.is_read_only() {
+                writeln!(
+                    log,
+                    "  store is READ-ONLY: {}",
+                    store.read_only_reason().unwrap_or_default()
+                )?;
+                return Ok(1);
+            }
+            // A dry run that found work exits 1 so cron/CI notices;
+            // clean (or repaired) exits 0.
+            Ok(if r.clean() || apply { 0 } else { 1 })
+        }
     }
 }
 
@@ -1073,6 +1124,163 @@ mod tests {
             "healed: {}",
             String::from_utf8_lossy(&log)
         );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn store_recover_dry_run_reports_then_apply_repairs() {
+        let base = std::env::temp_dir().join(format!("lepton-cli-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let root = base.join("store");
+        let store = ShardedStore::open(
+            &root,
+            StoreConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let key = store.put(b"block that survives the crash").unwrap();
+        drop(store);
+
+        // Simulate a crash mid-put: an orphaned tmp in one shard and a
+        // record torn down to a ruined header in another.
+        std::fs::write(root.join("shard-000").join(".tmp-999-0"), b"partial").unwrap();
+        let record = (0..4)
+            .map(|i| root.join(format!("shard-{i:03}")).join(hex(&key)))
+            .find(|p| p.exists())
+            .unwrap();
+        std::fs::write(&record, b"\x00\x01").unwrap();
+
+        // The dry run names the damage, touches nothing, exits 1.
+        let dry = Command::Store(StoreCommand::Recover {
+            root: root.clone(),
+            shards: 4,
+            apply: false,
+        });
+        let mut log = Vec::new();
+        assert_eq!(run(dry.clone(), &mut log), 1);
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("recover (dry run)"), "{text}");
+        assert!(
+            text.contains("orphaned tmps:             1 found, 0 removed"),
+            "{text}"
+        );
+        assert!(
+            text.contains("torn records:              1 found, 0 quarantined"),
+            "{text}"
+        );
+        assert!(
+            root.join("shard-000").join(".tmp-999-0").exists(),
+            "dry run must not repair"
+        );
+
+        // --apply removes the orphan and quarantines the torn record.
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Store(StoreCommand::Recover {
+                    root: root.clone(),
+                    shards: 4,
+                    apply: true,
+                }),
+                &mut log,
+            ),
+            0
+        );
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("recover --apply"), "{text}");
+        assert!(text.contains("1 found, 1 removed"), "{text}");
+        assert!(text.contains("1 found, 1 quarantined"), "{text}");
+        assert!(!root.join("shard-000").join(".tmp-999-0").exists());
+
+        // A second dry run finds no fresh damage — only the quarantine
+        // tombstone still awaiting a re-put, which keeps the exit
+        // nonzero so cron keeps nagging until the block is healed.
+        let mut log = Vec::new();
+        assert_eq!(run(dry.clone(), &mut log), 1);
+        let text = String::from_utf8(log).unwrap();
+        assert!(
+            text.contains("orphaned tmps:             0 found"),
+            "{text}"
+        );
+        assert!(
+            text.contains("torn records:              0 found"),
+            "{text}"
+        );
+        assert!(text.contains("quarantine pending:        1"), "{text}");
+
+        // Re-putting the true content heals it; recover then runs clean.
+        let src = base.join("block.bin");
+        std::fs::write(&src, b"block that survives the crash").unwrap();
+        let mut log = Vec::new();
+        assert_eq!(
+            run(
+                Command::Store(StoreCommand::Put {
+                    root: root.clone(),
+                    files: vec![src],
+                    shards: 4,
+                    compress: false,
+                }),
+                &mut log,
+            ),
+            0
+        );
+        let mut log = Vec::new();
+        assert_eq!(run(dry, &mut log), 0, "{}", String::from_utf8_lossy(&log));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn stats_one_shot_exits_one_when_store_latches_read_only() {
+        let base = std::env::temp_dir().join(format!("lepton-cli-stats-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let store = std::sync::Arc::new(
+            ShardedStore::open(
+                base.join("store"),
+                StoreConfig {
+                    shards: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let handle = lepton_server::serve(
+            &lepton_server::Endpoint::tcp("127.0.0.1:0").unwrap(),
+            lepton_server::ServiceConfig {
+                blockstore: Some(std::sync::Arc::clone(&store)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = match handle.endpoint() {
+            lepton_server::Endpoint::Tcp(a) => a.to_string(),
+            other => panic!("expected tcp endpoint, got {other}"),
+        };
+        let stats = Command::Stats {
+            uds: None,
+            tcp: Some(addr),
+            watch: false,
+            interval_ms: 1000,
+        };
+
+        // Healthy: the one-shot probe exits 0 and reports ok.
+        let mut log = Vec::new();
+        assert_eq!(run(stats.clone(), &mut log), 0);
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("ok"), "{text}");
+
+        // The store latches read-only; the same probe now exits 1 so
+        // monitoring cron notices the node stopped taking writes.
+        store.latch_read_only("disk full (test)");
+        let mut log = Vec::new();
+        assert_eq!(run(stats, &mut log), 1);
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("DEGRADED"), "{text}");
+
+        handle.shutdown();
         std::fs::remove_dir_all(&base).unwrap();
     }
 

@@ -101,12 +101,17 @@ pub enum ExitCode {
     OomKill,
     /// Operator interrupt.
     OperatorInterrupt,
+    /// Storage device out of space (ENOSPC on the write path).
+    StorageFull,
+    /// Store latched read-only after ENOSPC or a failed fsync; writes
+    /// are shed until an operator intervenes and the store reopens.
+    ReadOnlyStore,
 }
 
 impl ExitCode {
     /// Every taxonomy row, in the paper's table order (the same order
     /// the wire protocol numbers them).
-    pub const ALL: [ExitCode; 16] = [
+    pub const ALL: [ExitCode; 18] = [
         ExitCode::Success,
         ExitCode::Progressive,
         ExitCode::UnsupportedJpeg,
@@ -123,6 +128,8 @@ impl ExitCode {
         ExitCode::RoundtripFailed,
         ExitCode::OomKill,
         ExitCode::OperatorInterrupt,
+        ExitCode::StorageFull,
+        ExitCode::ReadOnlyStore,
     ];
 
     /// True for rows caused by the *operating environment* (signals,
@@ -138,6 +145,8 @@ impl ExitCode {
                 | ExitCode::Timeout
                 | ExitCode::OomKill
                 | ExitCode::OperatorInterrupt
+                | ExitCode::StorageFull
+                | ExitCode::ReadOnlyStore
         )
     }
 
@@ -183,6 +192,8 @@ impl ExitCode {
             ExitCode::RoundtripFailed => "Roundtrip failed",
             ExitCode::OomKill => "OOM kill",
             ExitCode::OperatorInterrupt => "Operator interrupt",
+            ExitCode::StorageFull => "Storage full",
+            ExitCode::ReadOnlyStore => "Read-only store",
         }
     }
 }
@@ -241,9 +252,9 @@ mod tests {
         for code in ExitCode::ALL {
             assert!(seen.insert(code), "duplicate row {code:?}");
         }
-        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.len(), 18);
         let operational = ExitCode::ALL.iter().filter(|c| c.is_operational()).count();
-        assert_eq!(operational, 6, "6 operational rows, 10 input-reachable");
+        assert_eq!(operational, 8, "8 operational rows, 10 input-reachable");
     }
 
     #[test]

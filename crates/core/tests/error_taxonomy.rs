@@ -10,9 +10,9 @@
 //!    input-reachable §6.2 exit-code rows. A variant nothing can reach
 //!    is dead weight; a row nothing maps to is an untested claim.
 //! 2. **Classification totality** — every produced error maps onto a
-//!    taxonomy row, and never onto one of the 6 operational rows
-//!    (signals, timeouts, operator action) that inputs must not be able
-//!    to fake.
+//!    taxonomy row, and never onto one of the 8 operational rows
+//!    (signals, timeouts, operator action, storage faults) that inputs
+//!    must not be able to fake.
 
 use lepton_core::format::{packets, read_container, write_container};
 use lepton_core::security::BudgetStage;
@@ -276,6 +276,8 @@ fn taxonomy_rows_partition_and_input_rows_are_all_hit() {
                     | ExitCode::Timeout
                     | ExitCode::OomKill
                     | ExitCode::OperatorInterrupt
+                    | ExitCode::StorageFull
+                    | ExitCode::ReadOnlyStore
             )
         );
     }

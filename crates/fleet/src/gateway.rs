@@ -81,6 +81,10 @@ impl Default for FleetConfig {
                 initial_backoff: Duration::from_millis(20),
                 multiplier: 2,
                 max_backoff: Duration::from_millis(200),
+                // Seeded from the gateway's own placement seed: a shed
+                // storm fans retries out instead of re-stampeding, and
+                // a replayed fleet replays its sleeps too.
+                jitter: Some(DEFAULT_SEED),
             },
             health: HealthPolicy::default(),
             hedge: None,

@@ -16,6 +16,7 @@
 
 use lepton_server::{serve, Endpoint, ServiceConfig, ServiceHandle};
 use lepton_storage::blockstore::{ShardedStore, StoreConfig};
+use lepton_storage::vfs::{RealVfs, Vfs};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -28,6 +29,12 @@ pub struct LocalFleet {
     members: Vec<(String, Endpoint)>,
     handles: Vec<Option<ServiceHandle>>,
     stores: Vec<Arc<ShardedStore>>,
+    /// Per-node filesystem + config, kept so [`restart`](Self::restart)
+    /// can reopen the same store the node crashed on.
+    vfs: Vec<Arc<dyn Vfs>>,
+    root: PathBuf,
+    store_cfg: StoreConfig,
+    service_cfg: ServiceConfig,
 }
 
 impl LocalFleet {
@@ -41,12 +48,33 @@ impl LocalFleet {
         store_cfg: &StoreConfig,
         service_cfg: &ServiceConfig,
     ) -> io::Result<LocalFleet> {
+        let real: Arc<dyn Vfs> = Arc::new(RealVfs);
+        Self::spawn_on(root, count, store_cfg, service_cfg, |_| Arc::clone(&real))
+    }
+
+    /// [`spawn`](Self::spawn) with a caller-chosen filesystem per node
+    /// — the chaos tier hands each node its own seeded
+    /// [`FaultVfs`](lepton_storage::vfs::FaultVfs) so a crash can be
+    /// injected into exactly one replica.
+    pub fn spawn_on(
+        root: &Path,
+        count: usize,
+        store_cfg: &StoreConfig,
+        service_cfg: &ServiceConfig,
+        mut node_vfs: impl FnMut(usize) -> Arc<dyn Vfs>,
+    ) -> io::Result<LocalFleet> {
         let mut members = Vec::with_capacity(count);
         let mut handles = Vec::with_capacity(count);
         let mut stores = Vec::with_capacity(count);
+        let mut vfs = Vec::with_capacity(count);
         for i in 0..count {
             let name = node_name(i);
-            let store = Arc::new(ShardedStore::open(root.join(&name), store_cfg.clone())?);
+            let node_fs = node_vfs(i);
+            let store = Arc::new(ShardedStore::open_on(
+                Arc::clone(&node_fs),
+                root.join(&name),
+                store_cfg.clone(),
+            )?);
             let cfg = ServiceConfig {
                 blockstore: Some(Arc::clone(&store)),
                 ..service_cfg.clone()
@@ -55,12 +83,44 @@ impl LocalFleet {
             members.push((name, handle.endpoint().clone()));
             handles.push(Some(handle));
             stores.push(store);
+            vfs.push(node_fs);
         }
         Ok(LocalFleet {
             members,
             handles,
             stores,
+            vfs,
+            root: root.to_path_buf(),
+            store_cfg: store_cfg.clone(),
+            service_cfg: service_cfg.clone(),
         })
+    }
+
+    /// Restart a killed node: reopen its store on the node's own
+    /// filesystem — which runs the startup recovery sweep, exactly as
+    /// a rebooted machine would — and serve it on a fresh ephemeral
+    /// endpoint. The member list is updated in place; callers holding
+    /// a gateway must rebuild it from [`members`](Self::members) (a
+    /// real redeploy republishes the manifest the same way).
+    pub fn restart(&mut self, idx: usize) -> io::Result<()> {
+        if let Some(handle) = self.handles[idx].take() {
+            handle.shutdown();
+        }
+        let name = node_name(idx);
+        let store = Arc::new(ShardedStore::open_on(
+            Arc::clone(&self.vfs[idx]),
+            self.root.join(&name),
+            self.store_cfg.clone(),
+        )?);
+        let cfg = ServiceConfig {
+            blockstore: Some(Arc::clone(&store)),
+            ..self.service_cfg.clone()
+        };
+        let handle = serve(&Endpoint::tcp("127.0.0.1:0")?, cfg)?;
+        self.members[idx] = (name, handle.endpoint().clone());
+        self.handles[idx] = Some(handle);
+        self.stores[idx] = store;
+        Ok(())
     }
 
     /// The members as (name, endpoint) — what a gateway is built from.

@@ -1,0 +1,177 @@
+//! The fleet chaos tier: replicated durability under node crashes.
+//!
+//! Three nodes, R=2, every node's store on its own seeded [`FaultVfs`].
+//! Mid-batch, one node's power is cut (disk gone under a live service —
+//! the nastiest case), then the node is killed, rebooted, and restarted
+//! (which reopens its store and runs the startup recovery sweep). The
+//! contract:
+//!
+//! * every gateway-acked put stays readable byte-exact through the
+//!   outage (single-node crash never loses an acked write);
+//! * one rebalance pass after the restart restores full R=2
+//!   replication;
+//! * the restarted node comes back clean — no orphaned tmps, no torn
+//!   records surviving recovery.
+//!
+//! Quick mode sweeps one victim; `CHAOS_FULL=1` sweeps every node and
+//! a bigger batch.
+
+use lepton_fleet::{rebalance, FleetConfig, FleetGateway, HealthPolicy, LocalFleet};
+use lepton_server::client::RetryPolicy;
+use lepton_server::ServiceConfig;
+use lepton_storage::blockstore::{hex, StoreConfig};
+use lepton_storage::sha256::Digest;
+use lepton_storage::vfs::{FaultConfig, FaultVfs, Vfs};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn full() -> bool {
+    std::env::var("CHAOS_FULL").is_ok_and(|v| v == "1")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("lepton-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        replicas: 2,
+        timeout: Duration::from_secs(30),
+        retry: RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_millis(5),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(20),
+            jitter: Some(0xC405),
+        },
+        health: HealthPolicy {
+            eject_after: 2,
+            probation: Duration::from_secs(120),
+        },
+        ..Default::default()
+    }
+}
+
+fn store_cfg() -> StoreConfig {
+    StoreConfig {
+        shards: 2,
+        cache_bytes: 0,
+        compress_on_write: false,
+        ..StoreConfig::default()
+    }
+}
+
+fn blobs(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    let mut z = seed | 1;
+    (0..n)
+        .map(|i| {
+            let len = 80 + ((z >> 9) % 1200) as usize;
+            (0..len)
+                .map(|_| {
+                    z = z
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64 + 1);
+                    (z >> 33) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn live_copies(fleet: &LocalFleet, key: &Digest) -> usize {
+    (0..fleet.members().len())
+        .filter(|&i| fleet.is_alive(i) && fleet.store(i).contains(key))
+        .count()
+}
+
+#[test]
+fn acked_puts_survive_single_node_crash_and_one_rebalance_restores_r2() {
+    let victims: Vec<usize> = if full() { vec![0, 1, 2] } else { vec![1] };
+    let batch = if full() { 24 } else { 10 };
+
+    for victim in victims {
+        let root = temp_root(&format!("v{victim}"));
+        let node_vfs: Vec<Arc<FaultVfs>> = (0..3)
+            .map(|i| FaultVfs::new(FaultConfig::crash_only(0xF1EE7 + i as u64, u64::MAX)))
+            .collect();
+        let mut fleet =
+            LocalFleet::spawn_on(&root, 3, &store_cfg(), &ServiceConfig::default(), |i| {
+                node_vfs[i].clone() as Arc<dyn Vfs>
+            })
+            .unwrap();
+        let gw = FleetGateway::new(fleet.members().to_vec(), fleet_cfg());
+
+        let data = blobs(0xB10C ^ victim as u64, batch);
+        let mut acked: Vec<(Digest, Vec<u8>)> = Vec::new();
+
+        // First half lands on a healthy fleet.
+        for blob in &data[..batch / 2] {
+            let key = gw.put(blob).expect("healthy fleet must ack");
+            acked.push((key, blob.clone()));
+        }
+        for (key, _) in &acked {
+            assert_eq!(live_copies(&fleet, key), 2, "block {}", hex(key));
+        }
+
+        // Power cut mid-batch: the victim's disk vanishes under its
+        // still-running service, then the node dies outright. Puts
+        // continue against the degraded fleet; whatever the gateway
+        // acks, it owes durably.
+        node_vfs[victim].power_cut();
+        for (i, blob) in data[batch / 2..].iter().enumerate() {
+            if i == 2 {
+                fleet.kill(victim);
+            }
+            match gw.put(blob) {
+                Ok(key) => acked.push((key, blob.clone())),
+                Err(e) => panic!("one dead node must not fail a put: {e:?}"),
+            }
+        }
+
+        // Every acked put is readable byte-exact through the outage.
+        for (key, expect) in &acked {
+            let got = gw
+                .get(key)
+                .expect("gateway read during outage")
+                .expect("acked block present during outage");
+            assert_eq!(&got, expect, "byte-exact through failover");
+        }
+
+        // Reboot and restart the victim: its store reopens through the
+        // startup recovery sweep, on a fresh endpoint.
+        node_vfs[victim].reboot();
+        fleet
+            .restart(victim)
+            .expect("crashed node must recover on restart");
+        let report = fleet.store(victim).recover(false).unwrap();
+        assert_eq!(report.orphans_found, 0, "startup sweep missed tmps");
+        assert_eq!(report.torn_found, 0, "startup sweep missed torn records");
+
+        // One rebalance pass over the restarted topology restores R=2
+        // for every acked block.
+        let gw2 = FleetGateway::new(fleet.members().to_vec(), fleet_cfg());
+        let report = rebalance(&gw2);
+        assert!(report.clean(), "{report:?}");
+        for (key, expect) in &acked {
+            assert_eq!(
+                live_copies(&fleet, key),
+                2,
+                "block {} not re-replicated",
+                hex(key)
+            );
+            let got = gw2
+                .get(key)
+                .unwrap()
+                .expect("block readable after recovery");
+            assert_eq!(&got, expect, "byte-exact after restart + rebalance");
+        }
+        // Idempotence: a second pass finds nothing to move.
+        assert_eq!(rebalance(&gw2).blocks_moved, 0);
+
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -46,6 +46,7 @@ fn fleet_cfg() -> FleetConfig {
             initial_backoff: Duration::from_millis(5),
             multiplier: 2,
             max_backoff: Duration::from_millis(20),
+            jitter: Some(0xFA11),
         },
         health: HealthPolicy {
             eject_after: 2,

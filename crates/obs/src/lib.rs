@@ -1,7 +1,7 @@
 //! Dependency-light, lock-free runtime telemetry for the Lepton stack.
 //!
 //! The paper's deployment story (§6) leans on fleet-wide monitoring:
-//! a 16-row exit-code taxonomy, compression-ratio time series, and
+//! an 18-row exit-code taxonomy, compression-ratio time series, and
 //! anomaly alarms gating rollout. This crate is the in-process half of
 //! that loop, shared by every serving crate:
 //!

@@ -74,10 +74,14 @@ impl ClientError {
     /// an `InvalidData` I/O error is the size-budget gate
     /// (`read_bounded`) — deterministic, so retrying it only burns
     /// backoff sleeps.
+    /// A read-only shed ([`Status::ReadOnly`]) is likewise about the
+    /// *replica's disk*, not the request — another node can take the
+    /// write, so it is transient too.
     pub fn is_transient(&self) -> bool {
         match self {
             ClientError::Io(e) => e.kind() != io::ErrorKind::InvalidData,
             ClientError::Refused(Status::Overloaded) => true,
+            ClientError::Refused(Status::ReadOnly) => true,
             _ => self.is_timeout(),
         }
     }
@@ -97,11 +101,18 @@ impl ClientError {
 ///     initial_backoff: Duration::from_millis(10),
 ///     multiplier: 2,
 ///     max_backoff: Duration::from_millis(25),
+///     jitter: None,
 /// };
 /// assert_eq!(policy.backoff_for(0), Duration::from_millis(10));
 /// assert_eq!(policy.backoff_for(1), Duration::from_millis(20));
 /// assert_eq!(policy.backoff_for(2), Duration::from_millis(25)); // capped
 /// assert_eq!(RetryPolicy::none().attempts, 1); // single shot
+///
+/// // Seeded jitter: deterministic, always within (half, full].
+/// let jittered = RetryPolicy { jitter: Some(7), ..policy };
+/// let d = jittered.backoff_for(1);
+/// assert!(d > Duration::from_millis(10) && d <= Duration::from_millis(20));
+/// assert_eq!(d, jittered.backoff_for(1)); // same seed, same sleep
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -113,6 +124,13 @@ pub struct RetryPolicy {
     pub multiplier: u32,
     /// Backoff ceiling, whatever the exponent says.
     pub max_backoff: Duration,
+    /// Backoff jitter seed. `None` keeps the exact exponential
+    /// schedule; `Some(seed)` scales each sleep by a pseudo-random
+    /// factor in (0.5, 1.0], a pure function of `(seed, attempt)` —
+    /// so a shed storm's synchronized clients fan out instead of
+    /// retrying in lockstep, while a test replaying the same seed
+    /// sees the same sleeps.
+    pub jitter: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -122,6 +140,7 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_millis(50),
             multiplier: 2,
             max_backoff: Duration::from_secs(2),
+            jitter: None,
         }
     }
 }
@@ -134,14 +153,41 @@ impl RetryPolicy {
             initial_backoff: Duration::ZERO,
             multiplier: 1,
             max_backoff: Duration::ZERO,
+            jitter: None,
+        }
+    }
+
+    /// The same policy with seeded backoff jitter enabled.
+    pub fn with_jitter(self, seed: u64) -> Self {
+        RetryPolicy {
+            jitter: Some(seed),
+            ..self
         }
     }
 
     /// The sleep after failed attempt number `attempt` (0-based):
-    /// `initial * multiplier^attempt`, capped at `max_backoff`.
+    /// `initial * multiplier^attempt`, capped at `max_backoff`, then
+    /// scaled into (0.5, 1.0] of itself when jitter is seeded.
     pub fn backoff_for(&self, attempt: u32) -> Duration {
         let factor = self.multiplier.max(1).saturating_pow(attempt).min(1 << 20);
-        (self.initial_backoff * factor).min(self.max_backoff)
+        let base = (self.initial_backoff * factor).min(self.max_backoff);
+        match self.jitter {
+            None => base,
+            Some(seed) => {
+                // SplitMix64 over (seed, attempt): full-period, cheap,
+                // and — unlike thread-local RNG state — replayable.
+                let mut z = seed
+                    .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                // Scale by (0.5, 1.0]: half-to-full keeps the ceiling
+                // meaningful while decorrelating the fleet.
+                let frac = 0.5 + ((z >> 11) as f64 + 1.0) / (1u64 << 54) as f64;
+                base.mul_f64(frac)
+            }
+        }
     }
 }
 
@@ -393,6 +439,9 @@ mod tests {
         // A shed is an invitation to retry elsewhere, not a verdict
         // on the request.
         assert!(ClientError::Refused(Status::Overloaded).is_transient());
+        // A read-only latch is this replica's disk problem; the write
+        // belongs elsewhere.
+        assert!(ClientError::Refused(Status::ReadOnly).is_transient());
         assert!(!ClientError::Refused(Status::BadRequest).is_transient());
         assert!(!ClientError::Garbled("x").is_transient());
         // The response-size budget is deterministic; retrying it is
@@ -408,6 +457,7 @@ mod tests {
             initial_backoff: Duration::from_millis(10),
             multiplier: 2,
             max_backoff: Duration::from_millis(55),
+            jitter: None,
         };
         assert_eq!(p.backoff_for(0), Duration::from_millis(10));
         assert_eq!(p.backoff_for(1), Duration::from_millis(20));
@@ -417,12 +467,43 @@ mod tests {
     }
 
     #[test]
+    fn jitter_is_deterministic_bounded_and_decorrelating() {
+        let base = RetryPolicy {
+            attempts: 8,
+            initial_backoff: Duration::from_millis(40),
+            multiplier: 2,
+            max_backoff: Duration::from_secs(2),
+            jitter: None,
+        };
+        let a = base.with_jitter(0xCAFE);
+        let b = base.with_jitter(0xCAFE);
+        let c = base.with_jitter(0xBEEF);
+        let mut diverged = false;
+        for attempt in 0..8 {
+            let exact = base.backoff_for(attempt);
+            let d = a.backoff_for(attempt);
+            // Same seed: bit-identical schedule (replayable chaos).
+            assert_eq!(d, b.backoff_for(attempt), "attempt {attempt}");
+            // Bounded: never more than the exponential schedule, never
+            // less than half of it — the ceiling still means something.
+            assert!(d <= exact, "attempt {attempt}: {d:?} > {exact:?}");
+            assert!(d * 2 >= exact, "attempt {attempt}: {d:?} under half");
+            if d != c.backoff_for(attempt) {
+                diverged = true;
+            }
+        }
+        // Different seeds: different schedules (no retry lockstep).
+        assert!(diverged, "two fleets with two seeds must not sync up");
+    }
+
+    #[test]
     fn retry_recovers_from_transient_failures() {
         let p = RetryPolicy {
             attempts: 3,
             initial_backoff: Duration::from_millis(1),
             multiplier: 1,
             max_backoff: Duration::from_millis(1),
+            jitter: None,
         };
         let mut seen = Vec::new();
         let out = retry_with_backoff(&p, |attempt| {
@@ -444,6 +525,7 @@ mod tests {
             initial_backoff: Duration::from_millis(1),
             multiplier: 1,
             max_backoff: Duration::from_millis(1),
+            jitter: None,
         };
         let mut calls = 0u32;
         let out: Result<(), _> = retry_with_backoff(&p, |_| {

@@ -187,6 +187,10 @@ pub enum Status {
     /// grow latency. Unlike [`Status::Rejected`] this says nothing
     /// about the input — retry after backoff, ideally elsewhere.
     Overloaded,
+    /// The store is latched read-only (ENOSPC or a failed fsync).
+    /// Writes are shed; reads still serve. Transient from the
+    /// client's perspective — retry elsewhere in the fleet.
+    ReadOnly,
     /// The input was rejected; carries the exit-code taxonomy row.
     Rejected(ExitCode),
 }
@@ -200,7 +204,7 @@ fn exit_code_index(code: ExitCode) -> u8 {
 }
 
 /// All exit codes, in the paper's table order (§6.2); the wire index.
-pub const EXIT_CODES: [ExitCode; 16] = [
+pub const EXIT_CODES: [ExitCode; 18] = [
     ExitCode::Success,
     ExitCode::Progressive,
     ExitCode::UnsupportedJpeg,
@@ -217,6 +221,8 @@ pub const EXIT_CODES: [ExitCode; 16] = [
     ExitCode::RoundtripFailed,
     ExitCode::OomKill,
     ExitCode::OperatorInterrupt,
+    ExitCode::StorageFull,
+    ExitCode::ReadOnlyStore,
 ];
 
 impl Status {
@@ -231,6 +237,7 @@ impl Status {
             Status::NotFound => 5,
             Status::StorageFailed => 6,
             Status::Overloaded => 7,
+            Status::ReadOnly => 8,
             Status::Rejected(code) => REJECT_BASE + exit_code_index(code),
         }
     }
@@ -246,6 +253,7 @@ impl Status {
             5 => Some(Status::NotFound),
             6 => Some(Status::StorageFailed),
             7 => Some(Status::Overloaded),
+            8 => Some(Status::ReadOnly),
             b if b >= REJECT_BASE => EXIT_CODES
                 .get((b - REJECT_BASE) as usize)
                 .map(|c| Status::Rejected(*c)),
@@ -526,6 +534,7 @@ mod tests {
             Status::NotFound,
             Status::StorageFailed,
             Status::Overloaded,
+            Status::ReadOnly,
         ];
         statuses.extend(EXIT_CODES.iter().map(|c| Status::Rejected(*c)));
         for s in statuses {
@@ -535,7 +544,7 @@ mod tests {
 
     #[test]
     fn status_wire_rejects_gaps_and_overflow() {
-        assert_eq!(Status::from_wire(8), None);
+        assert_eq!(Status::from_wire(9), None);
         assert_eq!(Status::from_wire(0x0f), None);
         assert_eq!(
             Status::from_wire(REJECT_BASE + EXIT_CODES.len() as u8),

@@ -416,9 +416,10 @@ impl ServiceHandle {
     }
 
     /// True while the anomaly watchdog's degraded-health flag is
-    /// latched (shed/error storm or compression-ratio shift).
+    /// latched (shed/error storm or compression-ratio shift) or the
+    /// blockstore is latched read-only (ENOSPC / failed fsync).
     pub fn degraded(&self) -> bool {
-        self.shared.watchdog.degraded()
+        self.shared.watchdog.degraded() || store_read_only(&self.shared)
     }
 
     /// Make every conversion and block op on this service sleep `d`
@@ -483,6 +484,12 @@ fn stats_snapshot(shared: &Shared) -> Snapshot {
     let engine = lepton_core::Engine::global();
     engine.refresh_gauges();
     shared.watchdog.publish(&shared.registry);
+    // A read-only storage latch is degraded health even when the
+    // watchdog's shed/error alarms are quiet: this replica cannot
+    // accept writes until an operator runs recovery and it reopens.
+    if store_read_only(shared) {
+        shared.registry.gauge("health.degraded").set(1);
+    }
     shared
         .registry
         .gauge("server.busy_threshold")
@@ -490,6 +497,15 @@ fn stats_snapshot(shared: &Shared) -> Snapshot {
     let mut snap = shared.registry.snapshot();
     snap.merge(Registry::global().snapshot());
     snap
+}
+
+/// Is the configured blockstore (if any) latched read-only?
+fn store_read_only(shared: &Shared) -> bool {
+    shared
+        .cfg
+        .blockstore
+        .as_deref()
+        .is_some_and(|s| s.is_read_only())
 }
 
 fn shutoff_engaged(cfg: &ServiceConfig) -> bool {
@@ -794,6 +810,17 @@ fn execute_block_op(
                     span.finish("ok", payload.len() as u64, 32);
                     (Status::Ok, key.to_vec())
                 }
+                // A read-only latch sheds the write with a typed
+                // transient status: the bytes are fine, this replica's
+                // disk is not. Counts as a shed, not a failure — the
+                // watchdog's error-storm alarm stays quiet while the
+                // degraded flag (wired via `stats_snapshot`) carries
+                // the signal instead.
+                Err(StoreError::ReadOnly(_)) => {
+                    metrics.shed.inc();
+                    span.finish("read_only", payload.len() as u64, 0);
+                    (Status::ReadOnly, Vec::new())
+                }
                 Err(_) => {
                     metrics.failed.inc();
                     shared.watchdog.record_event(false, true);
@@ -836,6 +863,13 @@ fn execute_block_op(
                 Err(StoreError::Budget { .. }) => {
                     metrics.failed.inc();
                     (Status::Rejected(ExitCode::MemDecodeLimit), Vec::new())
+                }
+                // Reads are allowed through the read-only latch; this
+                // arm is unreachable from `get` but the type demands
+                // honesty about it.
+                Err(StoreError::ReadOnly(_)) => {
+                    metrics.shed.inc();
+                    (Status::ReadOnly, Vec::new())
                 }
             }
         }

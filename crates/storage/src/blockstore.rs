@@ -22,14 +22,15 @@
 //! can be calibrated with.
 
 use crate::sha256::{sha256, Digest};
+use crate::vfs::{RealVfs, Vfs};
 use crate::StoredFormat;
 use lepton_core::CompressOptions;
-use lepton_obs::{Counter, Registry};
+use lepton_obs::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,6 +39,10 @@ const RECORD_MAGIC: [u8; 4] = *b"LBS1";
 
 /// Record header: magic, format byte, original length (LE u64).
 const HEADER_LEN: usize = 4 + 1 + 8;
+
+/// A parsed record header plus the open handle positioned at the
+/// payload: `(format, original length, file)`.
+type OpenRecord = (StoredFormat, u64, Box<dyn crate::vfs::VfsFile>);
 
 /// Errors the disk-backed store can report.
 #[derive(Debug)]
@@ -58,6 +63,10 @@ pub enum StoreError {
         /// Configured budget.
         limit: usize,
     },
+    /// The store has latched read-only (ENOSPC or a failed fsync on
+    /// the write path): writes are shed until the operator repairs the
+    /// disk and reopens; reads keep serving. Carries the latch reason.
+    ReadOnly(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -69,6 +78,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Budget { required, limit } => {
                 write!(f, "decode budget exceeded: need {required}, limit {limit}")
+            }
+            StoreError::ReadOnly(reason) => {
+                write!(f, "store is read-only: {reason}")
             }
         }
     }
@@ -98,6 +110,11 @@ pub struct StoreConfig {
     /// shutoff switch (§5.7) and the way tests/benches populate a
     /// store that `backfill` then converts.
     pub compress_on_write: bool,
+    /// When `true` (the default), opening runs the startup
+    /// [`ShardedStore::recover`] sweep in repair mode. `false` defers
+    /// it — how `lepton store recover` opens, so its dry run can
+    /// report damage before anything is touched.
+    pub recover_on_open: bool,
 }
 
 impl Default for StoreConfig {
@@ -107,6 +124,7 @@ impl Default for StoreConfig {
             cache_bytes: 64 << 20,
             compress: CompressOptions::default(),
             compress_on_write: true,
+            recover_on_open: true,
         }
     }
 }
@@ -140,6 +158,20 @@ pub struct ShardedMetrics {
     /// Reads refused because the decode would exceed the memory budget
     /// (the record is healthy; it is not quarantined).
     pub budget_rejections: Arc<Counter>,
+    /// 1 while the store is latched read-only (ENOSPC / failed fsync),
+    /// 0 otherwise.
+    pub readonly: Arc<Gauge>,
+    /// Writes shed because the store was read-only.
+    pub readonly_sheds: Arc<Counter>,
+    /// `recover()` passes completed (including the one at open).
+    pub recovery_runs: Arc<Counter>,
+    /// Orphaned `*.tmp` files removed by recovery sweeps.
+    pub recovery_orphans: Arc<Counter>,
+    /// Torn records quarantined by recovery sweeps.
+    pub recovery_torn: Arc<Counter>,
+    /// Healthy blocks at rest as of the last recovery walk — the
+    /// reconciled counter the disk, not this handle's lifetime, owns.
+    pub blocks_at_rest: Arc<Gauge>,
 }
 
 /// Point-in-time summary of a store, as `stat` reports it.
@@ -223,6 +255,37 @@ pub struct ScrubReport {
     pub secs: f64,
 }
 
+/// Outcome of one [`ShardedStore::recover`] sweep.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Orphaned `*.tmp` files found (a crash mid-write leaves them).
+    pub orphans_found: u64,
+    /// Of which actually removed (equal to `orphans_found` when
+    /// applied; 0 on a dry run).
+    pub orphans_removed: u64,
+    /// Records whose header is torn — truncated, bad magic, unknown
+    /// format byte, or a raw payload shorter than its declared length.
+    pub torn_found: u64,
+    /// Of which quarantined to `<hex>.corrupt` (0 on a dry run).
+    pub torn_quarantined: u64,
+    /// Quarantine tombstones still awaiting repair.
+    pub quarantined_pending: u64,
+    /// Healthy blocks counted during the walk — the reconciled
+    /// at-rest block count.
+    pub blocks: u64,
+    /// Whether repairs were applied (`false` = dry run).
+    pub applied: bool,
+    /// Wall-clock seconds for the sweep.
+    pub secs: f64,
+}
+
+impl RecoveryReport {
+    /// Nothing to repair and nothing pending.
+    pub fn clean(&self) -> bool {
+        self.orphans_found == 0 && self.torn_found == 0 && self.quarantined_pending == 0
+    }
+}
+
 /// A bounded LRU of decoded blocks; one per shard, behind the shard's
 /// own lock.
 struct ShardCache {
@@ -301,6 +364,12 @@ pub struct ShardedStore {
     shards: Vec<Shard>,
     cfg: StoreConfig,
     tmp_counter: AtomicU64,
+    /// Every filesystem touch goes through here: [`RealVfs`] in
+    /// production, a fault injector under the chaos harnesses.
+    vfs: Arc<dyn Vfs>,
+    /// The read-only latch (fast-path flag + the reason it tripped).
+    read_only: AtomicBool,
+    read_only_reason: Mutex<Option<String>>,
     /// Operation counters.
     pub metrics: ShardedMetrics,
 }
@@ -347,20 +416,38 @@ fn looks_like_jpeg(data: &[u8]) -> bool {
 
 impl ShardedStore {
     /// Open (creating if necessary) a store rooted at `root` with the
-    /// given configuration. Shard directories are `root/shard-NNN`;
-    /// opening an existing store with a different shard count is
-    /// rejected, because block placement depends on it.
+    /// given configuration, on the real filesystem. Shard directories
+    /// are `root/shard-NNN`; opening an existing store with a
+    /// different shard count is rejected, because block placement
+    /// depends on it.
     pub fn open(root: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<Self> {
+        Self::open_on(Arc::new(RealVfs), root, cfg)
+    }
+
+    /// Open a store on an explicit [`Vfs`] — how the chaos harnesses
+    /// run the whole write/read/recover protocol against a seeded
+    /// fault injector. Startup runs a full [`ShardedStore::recover`]
+    /// sweep (orphaned tmps removed, torn records quarantined,
+    /// counters reconciled) before the handle is returned.
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        root: impl Into<PathBuf>,
+        cfg: StoreConfig,
+    ) -> io::Result<Self> {
         let root = root.into();
         assert!(cfg.shards > 0, "at least one shard");
-        std::fs::create_dir_all(&root)?;
+        vfs.create_dir_all(&root)?;
         // Refuse to misplace blocks: a store remembers its geometry.
         let geometry = root.join("GEOMETRY");
-        match std::fs::read_to_string(&geometry) {
+        match vfs.read(&geometry) {
             Ok(existing) => {
-                let on_disk: usize = existing.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "unreadable GEOMETRY file")
-                })?;
+                let on_disk: usize =
+                    String::from_utf8_lossy(&existing)
+                        .trim()
+                        .parse()
+                        .map_err(|_| {
+                            io::Error::new(io::ErrorKind::InvalidData, "unreadable GEOMETRY file")
+                        })?;
                 if on_disk != cfg.shards {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidInput,
@@ -372,7 +459,8 @@ impl ShardedStore {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                std::fs::write(&geometry, format!("{}\n", cfg.shards))?;
+                vfs.write(&geometry, format!("{}\n", cfg.shards).as_bytes())?;
+                vfs.sync_dir(&root)?;
             }
             Err(e) => return Err(e),
         }
@@ -380,20 +468,70 @@ impl ShardedStore {
         let mut shards = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
             let dir = root.join(format!("shard-{i:03}"));
-            std::fs::create_dir_all(&dir)?;
+            vfs.create_dir_all(&dir)?;
             shards.push(Shard {
                 dir,
                 write_lock: Mutex::new(()),
                 cache: Mutex::new(ShardCache::new(per_shard_cache)),
             });
         }
-        Ok(ShardedStore {
+        let store = ShardedStore {
             root,
             shards,
             cfg,
             tmp_counter: AtomicU64::new(0),
+            vfs,
+            read_only: AtomicBool::new(false),
+            read_only_reason: Mutex::new(None),
             metrics: ShardedMetrics::default(),
-        })
+        };
+        // The startup sweep: a crash mid-put must never leave the
+        // store serving torn records or accumulating orphaned tmps.
+        if store.cfg.recover_on_open {
+            store.recover(true).map_err(|e| match e {
+                StoreError::Io(e) => e,
+                other => io::Error::other(other.to_string()),
+            })?;
+        }
+        Ok(store)
+    }
+
+    /// Whether the store has latched read-only. Reads still serve;
+    /// every write is shed with [`StoreError::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
+    /// Why the store latched, when it did.
+    pub fn read_only_reason(&self) -> Option<String> {
+        self.read_only_reason.lock().clone()
+    }
+
+    /// Latch the store read-only. Called automatically on ENOSPC or a
+    /// failed fsync anywhere in the write protocol; public so an
+    /// operator (or a test) can freeze writes deliberately. The latch
+    /// is per-handle and clears only by reopening the store.
+    pub fn latch_read_only(&self, reason: &str) {
+        let mut slot = self.read_only_reason.lock();
+        if slot.is_none() {
+            *slot = Some(reason.to_string());
+        }
+        self.read_only.store(true, Ordering::Relaxed);
+        self.metrics.readonly.set(1);
+    }
+
+    /// Gate every record write behind the latch.
+    fn check_writable(&self) -> Result<(), StoreError> {
+        if self.is_read_only() {
+            self.metrics.readonly_sheds.inc();
+            let reason = self
+                .read_only_reason
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "latched".to_string());
+            return Err(StoreError::ReadOnly(reason));
+        }
+        Ok(())
     }
 
     /// The store's root directory.
@@ -439,9 +577,12 @@ impl ShardedStore {
     fn put_with(&self, data: &[u8], compress: bool) -> Result<Digest, StoreError> {
         let key = sha256(data);
         let path = self.block_path(&key);
-        if path.exists() {
+        if self.vfs.exists(&path) {
             return Ok(key); // content-addressed dedup
         }
+        // Shed before paying the codec: a read-only store refuses the
+        // write either way, so don't burn CPU discovering it late.
+        self.check_writable()?;
 
         // Encode outside the shard lock: the codec is the expensive
         // part and needs no coordination.
@@ -457,14 +598,14 @@ impl ShardedStore {
 
         let shard = self.shard_of(&key);
         let guard = shard.write_lock.lock();
-        if path.exists() {
+        if self.vfs.exists(&path) {
             return Ok(key); // raced with another writer of the same content
         }
         self.write_record(shard, &path, format, data.len() as u64, &payload)?;
         // A fresh, verified record supersedes any quarantined one: the
         // tombstone must not keep reporting damage that has been
         // repaired.
-        let _ = std::fs::remove_file(self.quarantine_path(&key));
+        let _ = self.vfs.remove_file(&self.quarantine_path(&key));
         drop(guard);
 
         self.metrics.bytes_in.add(data.len() as u64);
@@ -506,8 +647,16 @@ impl ShardedStore {
         None
     }
 
-    /// Write a block record atomically: temp file in the shard dir,
-    /// then rename into place. Callers hold the shard write lock.
+    /// Write a block record crash-safely: temp file in the shard dir,
+    /// fsync the file, rename into place, fsync the *directory* — only
+    /// after the last step is the record durable under its final name,
+    /// and only then may the caller acknowledge the put. Callers hold
+    /// the shard write lock.
+    ///
+    /// ENOSPC anywhere, or a failed file/directory fsync, latches the
+    /// store read-only: after either, nothing further this handle
+    /// writes can be trusted to reach the platter, so it stops
+    /// promising that it does.
     fn write_record(
         &self,
         shard: &Shard,
@@ -515,20 +664,47 @@ impl ShardedStore {
         format: StoredFormat,
         original_len: u64,
         payload: &[u8],
-    ) -> io::Result<()> {
+    ) -> Result<(), StoreError> {
+        self.check_writable()?;
         let tmp = shard.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&RECORD_MAGIC)?;
-        f.write_all(&[format_byte(format)])?;
-        f.write_all(&original_len.to_le_bytes())?;
-        f.write_all(payload)?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)
+        let wrote = || -> Result<(), (io::Error, bool)> {
+            let enospc_only = |e: io::Error| (e, false);
+            let always_latch = |e: io::Error| (e, true);
+            let mut f = self.vfs.create(&tmp).map_err(enospc_only)?;
+            f.write_all(&RECORD_MAGIC).map_err(enospc_only)?;
+            f.write_all(&[format_byte(format)]).map_err(enospc_only)?;
+            f.write_all(&original_len.to_le_bytes())
+                .map_err(enospc_only)?;
+            f.write_all(payload).map_err(enospc_only)?;
+            f.sync_all().map_err(always_latch)?;
+            drop(f);
+            self.vfs.rename(&tmp, path).map_err(enospc_only)?;
+            self.vfs.sync_dir(&shard.dir).map_err(always_latch)
+        };
+        match wrote() {
+            Ok(()) => Ok(()),
+            Err((e, fsync_failed)) => {
+                // Never leave the partial tmp behind (best-effort: on
+                // a dead disk this fails too, and recovery sweeps it).
+                let _ = self.vfs.remove_file(&tmp);
+                if fsync_failed || is_enospc(&e) {
+                    let what = if fsync_failed {
+                        "failed fsync"
+                    } else {
+                        "ENOSPC"
+                    };
+                    self.latch_read_only(&format!("{what} during write: {e}"));
+                    let reason = self.read_only_reason().unwrap_or_else(|| what.to_string());
+                    Err(StoreError::ReadOnly(reason))
+                } else {
+                    Err(StoreError::Io(e))
+                }
+            }
+        }
     }
 
     /// Retrieve a block's original bytes. `Ok(None)` means the key is
@@ -547,7 +723,9 @@ impl ShardedStore {
             // it as a miss would let a caller (or a fleet's replica
             // quorum) conclude the block never existed. The damage was
             // already counted when it was quarantined.
-            None if self.quarantine_path(key).exists() => return Err(StoreError::Corrupt(*key)),
+            None if self.vfs.exists(&self.quarantine_path(key)) => {
+                return Err(StoreError::Corrupt(*key))
+            }
             None => return Ok(None),
         };
         let decoded = self.decode_and_verify(key, format, original_len, payload)?;
@@ -614,12 +792,9 @@ impl ShardedStore {
     /// Open a record and parse its header. A truncated or unparseable
     /// header is corruption (counted, cache purged); a genuine I/O
     /// failure is [`StoreError::Io`], never misreported as damage.
-    fn open_record(
-        &self,
-        key: &Digest,
-    ) -> Result<Option<(StoredFormat, u64, std::fs::File)>, StoreError> {
+    fn open_record(&self, key: &Digest) -> Result<Option<OpenRecord>, StoreError> {
         let path = self.block_path(key);
-        let mut f = match std::fs::File::open(&path) {
+        let mut f = match self.vfs.open(&path) {
             Ok(f) => f,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
@@ -648,7 +823,7 @@ impl ShardedStore {
         let Some((format, original_len, f)) = self.open_record(key)? else {
             return Ok(None);
         };
-        let total = f.metadata().map_err(StoreError::Io)?.len();
+        let total = f.len().map_err(StoreError::Io)?;
         Ok(Some((
             format,
             original_len,
@@ -670,7 +845,7 @@ impl ShardedStore {
 
     /// Whether `key` is present (no decode, no cache effects).
     pub fn contains(&self, key: &Digest) -> bool {
-        self.block_path(key).exists()
+        self.vfs.exists(&self.block_path(key))
     }
 
     /// How a block is encoded at rest, if present (header-only read).
@@ -688,12 +863,9 @@ impl ShardedStore {
     pub fn keys(&self) -> io::Result<Vec<Digest>> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            for entry in std::fs::read_dir(&shard.dir)? {
-                let entry = entry?;
-                if let Some(name) = entry.file_name().to_str() {
-                    if let Some(d) = parse_hex(name) {
-                        out.push(d);
-                    }
+            for name in self.vfs.read_dir(&shard.dir)? {
+                if let Some(d) = parse_hex(&name) {
+                    out.push(d);
                 }
             }
         }
@@ -717,9 +889,15 @@ impl ShardedStore {
             ("cache_misses", &m.cache_misses),
             ("corrupt_blocks", &m.corrupt_blocks),
             ("budget_rejections", &m.budget_rejections),
+            ("readonly_sheds", &m.readonly_sheds),
+            ("recovery.runs", &m.recovery_runs),
+            ("recovery.orphans_removed", &m.recovery_orphans),
+            ("recovery.torn_quarantined", &m.recovery_torn),
         ] {
             registry.adopt_counter(&format!("{prefix}.{name}"), counter);
         }
+        registry.adopt_gauge(&format!("{prefix}.readonly"), &m.readonly);
+        registry.adopt_gauge(&format!("{prefix}.blocks_at_rest"), &m.blocks_at_rest);
     }
 
     /// Walk the store and summarize it. Header-only reads — payload
@@ -777,13 +955,12 @@ impl ShardedStore {
     fn quarantined_keys(&self) -> io::Result<Vec<Digest>> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            for entry in std::fs::read_dir(&shard.dir)? {
-                let name = entry?.file_name();
-                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".corrupt")) else {
+            for name in self.vfs.read_dir(&shard.dir)? {
+                let Some(stem) = name.strip_suffix(".corrupt") else {
                     continue;
                 };
                 if let Some(key) = parse_hex(stem) {
-                    if !self.block_path(&key).exists() {
+                    if !self.contains(&key) {
                         out.push(key);
                     }
                 }
@@ -828,6 +1005,102 @@ impl ShardedStore {
         })
     }
 
+    /// Header-only crash-damage check used by the recovery sweep: is
+    /// the record's header parseable, and (for raw records, where it
+    /// is knowable without decoding) is the payload the length the
+    /// header declares? Encoded payloads torn mid-stream are caught by
+    /// the read path's hash gate and by `scrub`; this pass only
+    /// quarantines what a crash demonstrably tore. Deliberately does
+    /// not touch the corrupt counter or the cache — it reports to the
+    /// recovery accounting instead.
+    fn record_is_torn(&self, key: &Digest) -> Result<bool, StoreError> {
+        let path = self.block_path(key);
+        let mut f = match self.vfs.open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        let total = f.len()?;
+        let mut header = [0u8; HEADER_LEN];
+        match f.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(true),
+            Err(e) => return Err(e.into()),
+        }
+        if header[..4] != RECORD_MAGIC {
+            return Ok(true);
+        }
+        let Some(format) = parse_format(header[4]) else {
+            return Ok(true);
+        };
+        let original_len = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
+        let payload_len = total.saturating_sub(HEADER_LEN as u64);
+        Ok(format == StoredFormat::Raw && payload_len != original_len)
+    }
+
+    /// The crash-recovery sweep: walk every shard, delete orphaned
+    /// `*.tmp` files (a crash mid-write leaves them), quarantine
+    /// records whose header a crash tore, and reconcile the at-rest
+    /// block count. With `apply = false` nothing is touched — the
+    /// report says what *would* happen (the CLI's dry-run default).
+    ///
+    /// Runs automatically at [`ShardedStore::open`]; an operator can
+    /// rerun it any time via `lepton store recover`.
+    pub fn recover(&self, apply: bool) -> Result<RecoveryReport, StoreError> {
+        let t0 = Instant::now();
+        let mut report = RecoveryReport {
+            applied: apply,
+            ..Default::default()
+        };
+        for shard in &self.shards {
+            let mut removed_any = false;
+            for name in self.vfs.read_dir(&shard.dir)? {
+                if name.starts_with(".tmp-") {
+                    report.orphans_found += 1;
+                    if apply {
+                        let _guard = shard.write_lock.lock();
+                        if self.vfs.remove_file(&shard.dir.join(&name)).is_ok() {
+                            report.orphans_removed += 1;
+                            removed_any = true;
+                        }
+                    }
+                    continue;
+                }
+                if let Some(stem) = name.strip_suffix(".corrupt") {
+                    if let Some(key) = parse_hex(stem) {
+                        if !self.contains(&key) {
+                            report.quarantined_pending += 1;
+                        }
+                    }
+                    continue;
+                }
+                let Some(key) = parse_hex(&name) else {
+                    continue;
+                };
+                if self.record_is_torn(&key)? {
+                    report.torn_found += 1;
+                    if apply && self.quarantine(&key)? {
+                        report.torn_quarantined += 1;
+                        report.quarantined_pending += 1;
+                    }
+                } else {
+                    report.blocks += 1;
+                }
+            }
+            if removed_any {
+                // The removals must be durable too, or the next crash
+                // resurrects the orphans this sweep just buried.
+                self.vfs.sync_dir(&shard.dir)?;
+            }
+        }
+        report.secs = t0.elapsed().as_secs_f64();
+        self.metrics.recovery_runs.inc();
+        self.metrics.recovery_orphans.add(report.orphans_removed);
+        self.metrics.recovery_torn.add(report.torn_quarantined);
+        self.metrics.blocks_at_rest.set(report.blocks as i64);
+        Ok(report)
+    }
+
     /// Move a damaged record aside (renamed to `<hex>.corrupt`, a name
     /// the store's walks skip) so a subsequent `put` of the true
     /// content can land — content-addressed dedup would otherwise see
@@ -835,14 +1108,25 @@ impl ShardedStore {
     /// record was actually quarantined. The serving path calls this
     /// when a read trips the integrity gate, which is what lets a
     /// fleet's read-repair overwrite a bad replica.
+    /// Quarantine runs even on a read-only store: it moves damage
+    /// aside without writing new data, and repair must stay possible
+    /// on a degraded node.
     pub fn quarantine(&self, key: &Digest) -> Result<bool, StoreError> {
         let shard = self.shard_of(key);
         let path = self.block_path(key);
         let _guard = shard.write_lock.lock();
         shard.cache.lock().remove(key);
         let dest = self.quarantine_path(key);
-        match std::fs::rename(&path, &dest) {
-            Ok(()) => Ok(true),
+        match self.vfs.rename(&path, &dest) {
+            Ok(()) => {
+                // The tombstone rename must be as durable as the data
+                // renames, or a crash un-quarantines the damage.
+                if let Err(e) = self.vfs.sync_dir(&shard.dir) {
+                    self.latch_read_only(&format!("failed fsync during quarantine: {e}"));
+                    return Err(StoreError::Io(e));
+                }
+                Ok(true)
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(e.into()),
         }
@@ -940,6 +1224,13 @@ impl ShardedStore {
             secs: t0.elapsed().as_secs_f64(),
         })
     }
+}
+
+/// Whether an I/O error means the disk is full — checked by errno (the
+/// injector forges errno 28 exactly like a real full disk) and by kind
+/// for filesystems that report it differently.
+fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28) || matches!(e.kind(), io::ErrorKind::StorageFull)
 }
 
 fn format_byte(f: StoredFormat) -> u8 {
@@ -1203,6 +1494,95 @@ mod tests {
         assert_eq!(parse_hex(&hex(&d)), Some(d));
         assert_eq!(parse_hex("zz"), None);
         assert_eq!(parse_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    fn enospc_latches_read_only_sheds_writes_serves_reads() {
+        use crate::vfs::{FaultConfig, FaultKind, FaultVfs};
+        let vfs = FaultVfs::new(FaultConfig::default());
+        let cfg = StoreConfig {
+            shards: 2,
+            compress_on_write: false,
+            ..Default::default()
+        };
+        let store = ShardedStore::open_on(vfs.clone(), "/store", cfg).unwrap();
+        let a = store.put(b"safe before the disk filled").unwrap();
+
+        vfs.inject_next(FaultKind::Enospc);
+        let err = store.put(b"this write hits a full disk").unwrap_err();
+        assert!(matches!(err, StoreError::ReadOnly(_)), "{err}");
+        assert!(store.is_read_only());
+        assert!(store.read_only_reason().unwrap().contains("ENOSPC"));
+        assert_eq!(store.metrics.readonly.value(), 1);
+
+        // Subsequent writes shed with the typed error without touching
+        // the disk; reads keep serving.
+        let before = store.metrics.readonly_sheds.get();
+        assert!(matches!(
+            store.put(b"still full"),
+            Err(StoreError::ReadOnly(_))
+        ));
+        assert!(store.metrics.readonly_sheds.get() > before);
+        assert_eq!(
+            store.get(&a).unwrap().unwrap(),
+            b"safe before the disk filled"
+        );
+        // A fresh handle on a repaired disk is writable again.
+        let store2 = ShardedStore::open_on(
+            vfs.clone(),
+            "/store",
+            StoreConfig {
+                shards: 2,
+                compress_on_write: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!store2.is_read_only());
+        store2.put(b"disk repaired").unwrap();
+    }
+
+    #[test]
+    fn recover_sweeps_orphans_and_quarantines_torn_records() {
+        use crate::vfs::{FaultConfig, FaultVfs, Vfs};
+        let vfs = FaultVfs::new(FaultConfig::default());
+        let cfg = StoreConfig {
+            shards: 2,
+            compress_on_write: false,
+            ..Default::default()
+        };
+        let store = ShardedStore::open_on(vfs.clone(), "/store", cfg.clone()).unwrap();
+        let good = store.put(b"healthy block").unwrap();
+
+        // Plant crash debris by hand: an orphaned tmp and a record
+        // whose header a "crash" truncated to garbage.
+        let torn_key = sha256(b"the torn block");
+        vfs.write(&store.shards[0].dir.join(".tmp-999-0"), b"partial")
+            .unwrap();
+        vfs.write(&store.block_path(&torn_key), b"LB").unwrap();
+
+        let dry = store.recover(false).unwrap();
+        assert_eq!(dry.orphans_found, 1);
+        assert_eq!(dry.orphans_removed, 0, "dry run must not touch disk");
+        assert_eq!(dry.torn_found, 1);
+        assert_eq!(dry.torn_quarantined, 0);
+        assert!(!dry.clean());
+        assert!(vfs.exists(&store.shards[0].dir.join(".tmp-999-0")));
+
+        let fix = store.recover(true).unwrap();
+        assert_eq!(fix.orphans_removed, 1);
+        assert_eq!(fix.torn_quarantined, 1);
+        assert_eq!(fix.blocks, 1);
+        assert!(!vfs.exists(&store.shards[0].dir.join(".tmp-999-0")));
+        // The torn record is damage-visible, not absent.
+        assert!(matches!(store.get(&torn_key), Err(StoreError::Corrupt(_))));
+        assert_eq!(store.get(&good).unwrap().unwrap(), b"healthy block");
+
+        let after = store.recover(true).unwrap();
+        assert!(after.orphans_found == 0 && after.torn_found == 0);
+        assert_eq!(after.quarantined_pending, 1, "repair still pending");
+        assert_eq!(store.metrics.recovery_orphans.get(), 1);
+        assert_eq!(store.metrics.recovery_torn.get(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod blockstore;
 pub mod deploy;
 pub mod sha256;
+pub mod vfs;
 
 use lepton_core::{CompressOptions, ExitCode, LeptonError};
 use parking_lot::{Mutex, RwLock};
